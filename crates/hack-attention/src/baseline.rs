@@ -1,0 +1,186 @@
+//! Dense FP32 / FP16 attention: the reference every other kernel is validated against
+//! and the compute path of the disaggregated-inference baseline.
+
+use hack_tensor::matmul::matmul_transposed_b;
+use hack_tensor::matmul::matmul;
+use hack_tensor::softmax::{causal_softmax_rows, softmax_rows};
+use hack_tensor::Matrix;
+
+/// Masking mode of the attention kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttentionMask {
+    /// Causal (autoregressive) masking: query `i` may only attend to keys `0..=i+offset`
+    /// where `offset = L_KV - L_Q`. This is the mask used in both prefill and decode.
+    #[default]
+    Causal,
+    /// No masking: every query attends to every key.
+    None,
+}
+
+/// Single-head scaled dot-product attention in FP32 (Eq. 2 of the paper).
+///
+/// * `q`: `L_Q × d_h`
+/// * `k`: `L_KV × d_h`
+/// * `v`: `L_KV × d_h`
+///
+/// Returns the `L_Q × d_h` output.
+pub fn baseline_attention(q: &Matrix, k: &Matrix, v: &Matrix, mask: AttentionMask) -> Matrix {
+    validate_shapes(q, k, v);
+    let d_h = q.cols();
+    let scale = 1.0 / (d_h as f32).sqrt();
+    let scores = matmul_transposed_b(q, k).scale(scale);
+    let probs = match mask {
+        AttentionMask::Causal => {
+            let offset = k.rows() - q.rows();
+            causal_softmax_rows(&scores, offset)
+        }
+        AttentionMask::None => softmax_rows(&scores),
+    };
+    matmul(&probs, v)
+}
+
+/// Single-head attention with every intermediate tensor rounded to FP16 storage
+/// precision, modelling the baseline's FP16 pipeline.
+pub fn fp16_attention(q: &Matrix, k: &Matrix, v: &Matrix, mask: AttentionMask) -> Matrix {
+    validate_shapes(q, k, v);
+    let q16 = q.to_f16_precision();
+    let k16 = k.to_f16_precision();
+    let v16 = v.to_f16_precision();
+    let d_h = q.cols();
+    let scale = 1.0 / (d_h as f32).sqrt();
+    let scores = matmul_transposed_b(&q16, &k16).scale(scale).to_f16_precision();
+    let probs = match mask {
+        AttentionMask::Causal => {
+            let offset = k.rows() - q.rows();
+            causal_softmax_rows(&scores, offset)
+        }
+        AttentionMask::None => softmax_rows(&scores),
+    }
+    .to_f16_precision();
+    matmul(&probs, &v16).to_f16_precision()
+}
+
+fn validate_shapes(q: &Matrix, k: &Matrix, v: &Matrix) {
+    assert_eq!(q.cols(), k.cols(), "Q and K must share the head dimension");
+    assert_eq!(k.rows(), v.rows(), "K and V must have the same number of tokens");
+    assert!(
+        k.rows() >= q.rows(),
+        "the KV sequence ({}) must be at least as long as the query sequence ({})",
+        k.rows(),
+        q.rows()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hack_tensor::{cosine_similarity, relative_frobenius_error, DetRng};
+
+    fn random_qkv(l_q: usize, l_kv: usize, d_h: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+        let mut rng = DetRng::new(seed);
+        let q = Matrix::random_normal(l_q, d_h, 0.0, 1.0, &mut rng);
+        let k = Matrix::random_normal(l_kv, d_h, 0.0, 1.0, &mut rng);
+        let v = Matrix::random_normal(l_kv, d_h, 0.0, 1.0, &mut rng);
+        (q, k, v)
+    }
+
+    #[test]
+    fn output_shape_matches_query() {
+        let (q, k, v) = random_qkv(5, 12, 16, 1);
+        let o = baseline_attention(&q, &k, &v, AttentionMask::Causal);
+        assert_eq!(o.shape(), (5, 16));
+    }
+
+    #[test]
+    fn single_token_attends_to_itself() {
+        // With one query and one key, the output must equal the value row exactly.
+        let (q, k, v) = random_qkv(1, 1, 8, 2);
+        let o = baseline_attention(&q, &k, &v, AttentionMask::Causal);
+        for c in 0..8 {
+            assert!((o.get(0, c) - v.get(0, c)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn uniform_scores_average_values() {
+        // Zero queries make all scores equal, so (unmasked) attention averages V rows.
+        let d_h = 4;
+        let q = Matrix::zeros(1, d_h);
+        let k = Matrix::from_fn(3, d_h, |r, c| (r * d_h + c) as f32);
+        let v = Matrix::from_fn(3, d_h, |r, _| r as f32);
+        let o = baseline_attention(&q, &k, &v, AttentionMask::None);
+        for c in 0..d_h {
+            assert!((o.get(0, c) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn causal_mask_ignores_future_values() {
+        // Make future value rows enormous; causal attention must not see them.
+        let d_h = 8;
+        let mut rng = DetRng::new(3);
+        let q = Matrix::random_normal(2, d_h, 0.0, 1.0, &mut rng);
+        let k = Matrix::random_normal(4, d_h, 0.0, 1.0, &mut rng);
+        let mut v = Matrix::random_normal(4, d_h, 0.0, 1.0, &mut rng);
+        // Queries are rows 0..2 mapped to key positions 2..4 (offset 2); row 3 is
+        // visible only to query 1.
+        for c in 0..d_h {
+            v.set(3, c, 1e6);
+        }
+        let o = baseline_attention(&q, &k, &v, AttentionMask::Causal);
+        // Query 0 must not be contaminated by the 1e6 row.
+        assert!(o.row(0).iter().all(|&x| x.abs() < 1e3));
+        // Query 1 sees it.
+        assert!(o.row(1).iter().any(|&x| x.abs() > 1e3));
+    }
+
+    #[test]
+    fn decode_shape_one_query_row() {
+        let (q, k, v) = random_qkv(1, 100, 64, 4);
+        let o = baseline_attention(&q, &k, &v, AttentionMask::Causal);
+        assert_eq!(o.shape(), (1, 64));
+        assert!(o.all_finite());
+    }
+
+    #[test]
+    fn fp16_close_to_fp32() {
+        let (q, k, v) = random_qkv(8, 64, 64, 5);
+        let full = baseline_attention(&q, &k, &v, AttentionMask::Causal);
+        let half = fp16_attention(&q, &k, &v, AttentionMask::Causal);
+        let err = relative_frobenius_error(&full, &half);
+        assert!(err < 5e-3, "fp16 error {err}");
+        assert!(cosine_similarity(&full, &half) > 0.9999);
+    }
+
+    #[test]
+    fn output_rows_are_convex_combinations_of_values() {
+        // Every output element must lie within the [min, max] of its value column.
+        let (q, k, v) = random_qkv(3, 10, 6, 6);
+        let o = baseline_attention(&q, &k, &v, AttentionMask::None);
+        for c in 0..6 {
+            let (mn, mx) = v.col_min_max(c, 0, v.rows());
+            for r in 0..3 {
+                let x = o.get(r, c);
+                assert!(x >= mn - 1e-5 && x <= mx + 1e-5, "({r},{c}) = {x} outside [{mn},{mx}]");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "head dimension")]
+    fn mismatched_head_dims_panic() {
+        let q = Matrix::zeros(1, 8);
+        let k = Matrix::zeros(4, 16);
+        let v = Matrix::zeros(4, 16);
+        baseline_attention(&q, &k, &v, AttentionMask::Causal);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of tokens")]
+    fn mismatched_kv_lengths_panic() {
+        let q = Matrix::zeros(1, 8);
+        let k = Matrix::zeros(4, 8);
+        let v = Matrix::zeros(5, 8);
+        baseline_attention(&q, &k, &v, AttentionMask::Causal);
+    }
+}

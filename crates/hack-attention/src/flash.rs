@@ -1,0 +1,121 @@
+//! FlashAttention-2-style tiled attention.
+//!
+//! The paper integrates HACK into a Triton implementation of FlashAttention-2 (§6).
+//! This module provides the CPU analogue of that backend: the KV sequence is processed
+//! in tiles with an online softmax, so the full `L_Q × L_KV` score matrix is never
+//! materialised. It produces the same result as [`crate::baseline::baseline_attention`]
+//! up to floating-point rounding and serves as the memory-efficient substrate the HACK
+//! prefill kernel is fused into.
+
+use crate::baseline::AttentionMask;
+use hack_tensor::matmul::matmul_transposed_b;
+use hack_tensor::softmax::OnlineSoftmax;
+use hack_tensor::Matrix;
+
+/// Tiled single-head attention with online softmax.
+///
+/// * `q`: `L_Q × d_h`, `k`/`v`: `L_KV × d_h`, `block` is the KV tile length.
+pub fn flash_attention(q: &Matrix, k: &Matrix, v: &Matrix, mask: AttentionMask, block: usize) -> Matrix {
+    assert_eq!(q.cols(), k.cols(), "Q and K must share the head dimension");
+    assert_eq!(k.rows(), v.rows(), "K and V must have the same number of tokens");
+    assert!(k.rows() >= q.rows(), "KV sequence shorter than query sequence");
+    assert!(block > 0, "block size must be positive");
+
+    let l_q = q.rows();
+    let l_kv = k.rows();
+    let d_h = q.cols();
+    let d_v = v.cols();
+    let scale = 1.0 / (d_h as f32).sqrt();
+    let offset = l_kv - l_q;
+
+    let mut online = OnlineSoftmax::new(l_q, d_v);
+    let mut start = 0;
+    while start < l_kv {
+        let end = (start + block).min(l_kv);
+        let k_tile = k.row_block(start, end);
+        let v_tile = v.row_block(start, end);
+        let mut scores = matmul_transposed_b(q, &k_tile).scale(scale);
+        if mask == AttentionMask::Causal {
+            for r in 0..l_q {
+                let limit = r + offset; // last visible absolute KV index for query r
+                for (local, absolute) in (start..end).enumerate() {
+                    if absolute > limit {
+                        scores.set(r, local, f32::NEG_INFINITY);
+                    }
+                }
+            }
+        }
+        online.update(&scores, &v_tile);
+        start = end;
+    }
+    online.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::baseline_attention;
+    use hack_tensor::{relative_frobenius_error, DetRng};
+
+    fn random_qkv(l_q: usize, l_kv: usize, d_h: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+        let mut rng = DetRng::new(seed);
+        let q = Matrix::random_normal(l_q, d_h, 0.0, 1.0, &mut rng);
+        let k = Matrix::random_normal(l_kv, d_h, 0.0, 1.0, &mut rng);
+        let v = Matrix::random_normal(l_kv, d_h, 0.0, 1.0, &mut rng);
+        (q, k, v)
+    }
+
+    #[test]
+    fn matches_baseline_unmasked() {
+        let (q, k, v) = random_qkv(6, 40, 32, 1);
+        let expect = baseline_attention(&q, &k, &v, AttentionMask::None);
+        for block in [1, 7, 16, 64] {
+            let got = flash_attention(&q, &k, &v, AttentionMask::None, block);
+            let err = relative_frobenius_error(&expect, &got);
+            assert!(err < 1e-4, "block={block} err={err}");
+        }
+    }
+
+    #[test]
+    fn matches_baseline_causal() {
+        let (q, k, v) = random_qkv(16, 16, 32, 2);
+        let expect = baseline_attention(&q, &k, &v, AttentionMask::Causal);
+        for block in [3, 8, 16] {
+            let got = flash_attention(&q, &k, &v, AttentionMask::Causal, block);
+            let err = relative_frobenius_error(&expect, &got);
+            assert!(err < 1e-4, "block={block} err={err}");
+        }
+    }
+
+    #[test]
+    fn matches_baseline_causal_with_kv_offset() {
+        // Decode-like: queries appended after a cached prefix.
+        let (q, k, v) = random_qkv(4, 50, 16, 3);
+        let expect = baseline_attention(&q, &k, &v, AttentionMask::Causal);
+        let got = flash_attention(&q, &k, &v, AttentionMask::Causal, 13);
+        assert!(relative_frobenius_error(&expect, &got) < 1e-4);
+    }
+
+    #[test]
+    fn single_query_decode_step() {
+        let (q, k, v) = random_qkv(1, 200, 64, 4);
+        let expect = baseline_attention(&q, &k, &v, AttentionMask::Causal);
+        let got = flash_attention(&q, &k, &v, AttentionMask::Causal, 32);
+        assert!(relative_frobenius_error(&expect, &got) < 1e-4);
+    }
+
+    #[test]
+    fn block_larger_than_sequence() {
+        let (q, k, v) = random_qkv(2, 5, 8, 5);
+        let expect = baseline_attention(&q, &k, &v, AttentionMask::None);
+        let got = flash_attention(&q, &k, &v, AttentionMask::None, 1000);
+        assert!(relative_frobenius_error(&expect, &got) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_panics() {
+        let (q, k, v) = random_qkv(1, 2, 4, 6);
+        flash_attention(&q, &k, &v, AttentionMask::None, 0);
+    }
+}

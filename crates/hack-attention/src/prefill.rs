@@ -1,0 +1,188 @@
+//! The `attn_prefill` kernel: fused QKV quantization + homomorphic self-attention for
+//! the prefill stage (Fig. 5, steps 2–4, and §6).
+//!
+//! The prefill instance quantizes Q (INT8), K and V (INT2), computes the attention
+//! scores with the homomorphic product `Q'·K'ᵀ`, applies the causal softmax, quantizes
+//! the probabilities P (INT8) and computes the output with the homomorphic product
+//! `P'·V'`. The quantized K'/V' (plus metadata) are exactly what is later transferred
+//! to the decode instance, so the kernel also returns the ready-to-ship
+//! [`HackKvState`].
+
+use crate::state::HackKvState;
+use hack_quant::homomorphic::homomorphic_matmul_counted;
+use hack_quant::cost::HomomorphicOpCounts;
+use hack_quant::{HackConfig, QuantizedTensor};
+use hack_tensor::softmax::causal_softmax_rows;
+use hack_tensor::{DetRng, Matrix};
+
+/// Result of the prefill attention kernel for one head.
+#[derive(Debug, Clone)]
+pub struct PrefillOutput {
+    /// Self-attention output, `L × d_h`.
+    pub output: Matrix,
+    /// Decode-ready quantized KV state (what gets transferred to the decode instance).
+    pub state: HackKvState,
+    /// Operation counts of the `Q'·K'ᵀ` product.
+    pub qk_counts: HomomorphicOpCounts,
+    /// Operation counts of the `P'·V'` product.
+    pub pv_counts: HomomorphicOpCounts,
+}
+
+/// Runs HACK prefill self-attention for a single head.
+///
+/// * `q`, `k`, `v`: `L × d_h` (the prompt's projections for this head).
+pub fn hack_prefill_attention(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    cfg: HackConfig,
+    rng: &mut DetRng,
+) -> PrefillOutput {
+    assert_eq!(q.shape(), k.shape(), "Q and K must have identical shapes in prefill");
+    assert_eq!(k.shape(), v.shape(), "K and V must have identical shapes in prefill");
+    let (l, d_h) = q.shape();
+    assert!(l > 0, "prefill requires at least one token");
+    let pi = cfg.partition.get();
+
+    // Step 2: quantize Q (INT8, partitions along the head dimension) and K (INT2).
+    let q_q = QuantizedTensor::quantize_rows(q, cfg.q_bits, pi, cfg.rounding, rng);
+    let k_q = QuantizedTensor::quantize_rows(k, cfg.kv_bits, pi, cfg.rounding, rng);
+
+    // Step 3: homomorphic Q'·K'ᵀ, scaled.
+    let (scores_raw, qk_counts) = homomorphic_matmul_counted(&q_q, &k_q, cfg.summation_elimination);
+    let scale = 1.0 / (d_h as f32).sqrt();
+    let scores = scores_raw.scale(scale);
+
+    // Step 4: causal softmax (prefill has L_Q == L_KV).
+    let probs = causal_softmax_rows(&scores, 0);
+
+    // Step 2 again: quantize P (INT8, partitions along the sequence dimension) and V
+    // (INT2, partitions along the sequence dimension).
+    let p_q = QuantizedTensor::quantize_rows(&probs, cfg.p_bits, pi, cfg.rounding, rng);
+    let v_q = QuantizedTensor::quantize_cols(v, cfg.kv_bits, pi, cfg.rounding, rng);
+
+    // Step 3 again: homomorphic P'·V'.
+    let (output, pv_counts) = homomorphic_matmul_counted(&p_q, &v_q, cfg.summation_elimination);
+
+    // Build the decode-ready KV state (honouring RQE for the trailing partial block).
+    let state = HackKvState::from_prefill(k, v, cfg, rng);
+
+    PrefillOutput {
+        output,
+        state,
+        qk_counts,
+        pv_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{baseline_attention, AttentionMask};
+    use hack_tensor::{cosine_similarity, relative_frobenius_error};
+
+    fn structured_qkv(tokens: usize, d_h: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+        let mut rng = DetRng::new(seed);
+        let gen = |rng: &mut DetRng, spread: f32| {
+            Matrix::from_fn(tokens, d_h, |t, c| {
+                let base = ((c % 9) as f32 - 4.0) * spread;
+                base + 0.3 * rng.normal_f32(0.0, 1.0) + 0.1 * ((t + c) as f32 * 0.01).sin()
+            })
+        };
+        let q = gen(&mut rng, 0.3);
+        let k = gen(&mut rng, 0.35);
+        let v = gen(&mut rng, 0.4);
+        (q, k, v)
+    }
+
+    #[test]
+    fn prefill_output_tracks_baseline() {
+        let (q, k, v) = structured_qkv(192, 64, 1);
+        let mut rng = DetRng::new(2);
+        let out = hack_prefill_attention(&q, &k, &v, HackConfig::paper_default(), &mut rng);
+        let expect = baseline_attention(&q, &k, &v, AttentionMask::Causal);
+        let cos = cosine_similarity(&expect, &out.output);
+        assert!(cos > 0.95, "prefill cosine similarity {cos}");
+        assert_eq!(out.output.shape(), (192, 64));
+    }
+
+    #[test]
+    fn finer_partition_is_more_accurate() {
+        let (q, k, v) = structured_qkv(256, 64, 3);
+        let expect = baseline_attention(&q, &k, &v, AttentionMask::Causal);
+        let mut rng_a = DetRng::new(4);
+        let mut rng_b = DetRng::new(4);
+        let fine = hack_prefill_attention(&q, &k, &v, HackConfig::with_partition(32), &mut rng_a);
+        let coarse = hack_prefill_attention(&q, &k, &v, HackConfig::with_partition(128), &mut rng_b);
+        let e_fine = relative_frobenius_error(&expect, &fine.output);
+        let e_coarse = relative_frobenius_error(&expect, &coarse.output);
+        assert!(
+            e_fine < e_coarse * 1.05,
+            "Π=32 error {e_fine} should not exceed Π=128 error {e_coarse}"
+        );
+    }
+
+    #[test]
+    fn returned_state_matches_prompt_length() {
+        let (q, k, v) = structured_qkv(200, 64, 5);
+        let mut rng = DetRng::new(6);
+        let out = hack_prefill_attention(&q, &k, &v, HackConfig::paper_default(), &mut rng);
+        assert_eq!(out.state.seq_len(), 200);
+        assert_eq!(out.state.quantized_tokens(), 192);
+        assert_eq!(out.state.tail_tokens(), 8);
+    }
+
+    #[test]
+    fn op_counts_cover_both_products() {
+        let (q, k, v) = structured_qkv(128, 64, 7);
+        let mut rng = DetRng::new(8);
+        let out = hack_prefill_attention(&q, &k, &v, HackConfig::paper_default(), &mut rng);
+        // Q·Kᵀ: M=N=128, Z=64. P·V: M=128, Z=128, N=64.
+        assert_eq!(out.qk_counts.int_mac_ops, 128 * 128 * 64);
+        assert_eq!(out.pv_counts.int_mac_ops, 128 * 64 * 128);
+        assert_eq!(out.qk_counts.sum_recompute_ops, 0);
+    }
+
+    #[test]
+    fn single_token_prompt_output_is_value_row() {
+        let (q, k, v) = structured_qkv(1, 64, 9);
+        let mut rng = DetRng::new(10);
+        let out = hack_prefill_attention(&q, &k, &v, HackConfig::paper_default(), &mut rng);
+        // With one token, P = [1] exactly, so the output is the (quantized) V row; the
+        // only error comes from V's 2-bit quantization.
+        let cos = cosine_similarity(&out.output, &v);
+        assert!(cos > 0.9, "single-token cosine {cos}");
+    }
+
+    #[test]
+    fn causal_structure_is_respected() {
+        // Token 0's output must not depend on later tokens: computing prefill on the
+        // first token alone and on the full prompt must give similar row 0.
+        let (q, k, v) = structured_qkv(64, 32, 11);
+        let mut rng_a = DetRng::new(12);
+        let mut rng_b = DetRng::new(12);
+        let cfg = HackConfig::paper_default();
+        let full = hack_prefill_attention(&q, &k, &v, cfg, &mut rng_a);
+        let first = hack_prefill_attention(
+            &q.row_block(0, 1),
+            &k.row_block(0, 1),
+            &v.row_block(0, 1),
+            cfg,
+            &mut rng_b,
+        );
+        let row_full = Matrix::from_vec(1, 32, full.output.row(0).to_vec());
+        let row_first = Matrix::from_vec(1, 32, first.output.row(0).to_vec());
+        let cos = cosine_similarity(&row_full, &row_first);
+        assert!(cos > 0.9, "causal first-row cosine {cos}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn empty_prompt_panics() {
+        let q = Matrix::zeros(0, 64);
+        let k = Matrix::zeros(0, 64);
+        let v = Matrix::zeros(0, 64);
+        let mut rng = DetRng::new(13);
+        hack_prefill_attention(&q, &k, &v, HackConfig::paper_default(), &mut rng);
+    }
+}

@@ -1,0 +1,332 @@
+//! Canonical Huffman entropy coding over byte symbols.
+//!
+//! CacheGen encodes quantized KV deltas with an arithmetic coder; this reproduction
+//! uses a canonical Huffman coder — the same class of order-0 entropy coder, easier to
+//! verify, and within a few percent of the same compressed size on the low-entropy
+//! delta streams CacheGen produces (the substitution is documented in DESIGN.md).
+//!
+//! The format written by [`encode`] is self-describing:
+//! `[u32 symbol count][256 bytes of code lengths][packed bitstream]`.
+
+/// Maximum allowed code length. 32 bits is far more than needed for 256 symbols but
+/// keeps the canonical-code arithmetic in `u64` comfortably.
+const MAX_CODE_LEN: usize = 32;
+
+/// Encodes a byte slice with a canonical Huffman code built from its own histogram.
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    if data.is_empty() {
+        out.extend_from_slice(&[0u8; 256]);
+        return out;
+    }
+
+    let lengths = code_lengths(data);
+    out.extend_from_slice(&lengths);
+
+    let codes = canonical_codes(&lengths);
+    let mut writer = BitWriter::new();
+    for &b in data {
+        let (code, len) = codes[b as usize];
+        writer.write_bits(code, len);
+    }
+    out.extend_from_slice(&writer.finish());
+    out
+}
+
+/// Decodes a buffer produced by [`encode`].
+///
+/// # Panics
+/// Panics if the buffer is malformed.
+pub fn decode(buf: &[u8]) -> Vec<u8> {
+    assert!(buf.len() >= 4 + 256, "entropy buffer too short");
+    let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let lengths: [u8; 256] = buf[4..260].try_into().unwrap();
+    if n == 0 {
+        return Vec::new();
+    }
+    let codes = canonical_codes(&lengths);
+
+    // Build a decoding table: sorted (length, code) -> symbol.
+    let mut by_code: Vec<(u32, u64, u8)> = Vec::new();
+    for (sym, &(code, len)) in codes.iter().enumerate() {
+        if len > 0 {
+            by_code.push((len, code, sym as u8));
+        }
+    }
+    by_code.sort_unstable();
+
+    let mut reader = BitReader::new(&buf[260..]);
+    let mut out = Vec::with_capacity(n);
+    // Special case: a single distinct symbol gets code length 1 (code 0).
+    while out.len() < n {
+        let mut code: u64 = 0;
+        let mut len: u32 = 0;
+        let mut found = false;
+        while (len as usize) < MAX_CODE_LEN {
+            code = (code << 1) | reader.read_bit() as u64;
+            len += 1;
+            // Binary search would work, but the table is tiny; scan entries of this length.
+            if let Ok(idx) = by_code.binary_search(&(len, code, 0)) {
+                // Exact symbol 0 match.
+                out.push(by_code[idx].2);
+                found = true;
+                break;
+            }
+            // binary_search with symbol 0 may miss entries with the same (len, code)
+            // but a different symbol byte; look at the insertion point instead.
+            let idx = by_code.partition_point(|&(l, c, _)| (l, c) < (len, code));
+            if idx < by_code.len() && by_code[idx].0 == len && by_code[idx].1 == code {
+                out.push(by_code[idx].2);
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "corrupt Huffman stream");
+    }
+    out
+}
+
+/// Computes Huffman code lengths for every byte symbol (0 for unused symbols).
+fn code_lengths(data: &[u8]) -> [u8; 256] {
+    let mut freq = [0u64; 256];
+    for &b in data {
+        freq[b as usize] += 1;
+    }
+
+    // Build the Huffman tree with a simple two-queue / heap approach.
+    #[derive(Debug)]
+    struct Node {
+        weight: u64,
+        symbol: Option<u8>,
+        left: Option<Box<Node>>,
+        right: Option<Box<Node>>,
+    }
+
+    let mut heap: Vec<Node> = freq
+        .iter()
+        .enumerate()
+        .filter(|(_, &w)| w > 0)
+        .map(|(s, &w)| Node {
+            weight: w,
+            symbol: Some(s as u8),
+            left: None,
+            right: None,
+        })
+        .collect();
+
+    let mut lengths = [0u8; 256];
+    if heap.is_empty() {
+        return lengths;
+    }
+    if heap.len() == 1 {
+        lengths[heap[0].symbol.unwrap() as usize] = 1;
+        return lengths;
+    }
+
+    while heap.len() > 1 {
+        // Pop the two lightest nodes (linear scan: at most 256 leaves, negligible).
+        heap.sort_by(|a, b| b.weight.cmp(&a.weight));
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            symbol: None,
+            left: Some(Box::new(a)),
+            right: Some(Box::new(b)),
+        });
+    }
+
+    fn walk(node: &Node, depth: u8, lengths: &mut [u8; 256]) {
+        if let Some(sym) = node.symbol {
+            lengths[sym as usize] = depth.max(1);
+            return;
+        }
+        if let Some(l) = &node.left {
+            walk(l, depth + 1, lengths);
+        }
+        if let Some(r) = &node.right {
+            walk(r, depth + 1, lengths);
+        }
+    }
+    walk(&heap[0], 0, &mut lengths);
+    lengths
+}
+
+/// Assigns canonical codes from code lengths. Returns `(code, length)` per symbol.
+fn canonical_codes(lengths: &[u8; 256]) -> [(u64, u32); 256] {
+    let mut codes = [(0u64, 0u32); 256];
+    // Symbols sorted by (length, symbol value).
+    let mut symbols: Vec<(u8, u8)> = lengths
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l > 0)
+        .map(|(s, &l)| (l, s as u8))
+        .collect();
+    symbols.sort_unstable();
+    let mut code: u64 = 0;
+    let mut prev_len = 0u8;
+    for (len, sym) in symbols {
+        if prev_len != 0 {
+            code = (code + 1) << (len - prev_len);
+        }
+        codes[sym as usize] = (code, len as u32);
+        prev_len = len;
+    }
+    codes
+}
+
+struct BitWriter {
+    bytes: Vec<u8>,
+    current: u8,
+    filled: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        Self {
+            bytes: Vec::new(),
+            current: 0,
+            filled: 0,
+        }
+    }
+
+    fn write_bits(&mut self, code: u64, len: u32) {
+        // Most-significant bit of the code first.
+        for i in (0..len).rev() {
+            let bit = ((code >> i) & 1) as u8;
+            self.current = (self.current << 1) | bit;
+            self.filled += 1;
+            if self.filled == 8 {
+                self.bytes.push(self.current);
+                self.current = 0;
+                self.filled = 0;
+            }
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.current <<= 8 - self.filled;
+            self.bytes.push(self.current);
+        }
+        self.bytes
+    }
+}
+
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    bit: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0, bit: 0 }
+    }
+
+    fn read_bit(&mut self) -> u8 {
+        assert!(self.pos < self.bytes.len(), "bit stream exhausted");
+        let b = (self.bytes[self.pos] >> (7 - self.bit)) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hack_tensor::DetRng;
+
+    #[test]
+    fn round_trip_simple() {
+        let data = b"hello huffman huffman hello".to_vec();
+        let enc = encode(&data);
+        assert_eq!(decode(&enc), data);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let enc = encode(&[]);
+        assert_eq!(decode(&enc), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn round_trip_single_symbol() {
+        let data = vec![42u8; 1000];
+        let enc = encode(&data);
+        assert_eq!(decode(&enc), data);
+        // 1000 identical bytes compress to ~1 bit each plus the header.
+        assert!(enc.len() < 4 + 256 + 150);
+    }
+
+    #[test]
+    fn round_trip_two_symbols() {
+        let data: Vec<u8> = (0..500).map(|i| if i % 3 == 0 { 7 } else { 9 }).collect();
+        let enc = encode(&data);
+        assert_eq!(decode(&enc), data);
+    }
+
+    #[test]
+    fn round_trip_random_bytes() {
+        let mut rng = DetRng::new(1);
+        let data: Vec<u8> = (0..10_000).map(|_| rng.range_usize(0, 256) as u8).collect();
+        let enc = encode(&data);
+        assert_eq!(decode(&enc), data);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses_well() {
+        // Geometric-ish distribution over a few symbols, like quantized KV deltas.
+        let mut rng = DetRng::new(2);
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                let u = rng.next_f64();
+                if u < 0.7 {
+                    0
+                } else if u < 0.9 {
+                    1
+                } else if u < 0.97 {
+                    2
+                } else {
+                    rng.range_usize(3, 16) as u8
+                }
+            })
+            .collect();
+        let enc = encode(&data);
+        assert_eq!(decode(&enc), data);
+        let payload = enc.len() - 260;
+        // Entropy of this source is ~1.3 bits/symbol; Huffman should get below 2 bits.
+        assert!(
+            (payload as f64) < data.len() as f64 * 2.0 / 8.0 * 1.15,
+            "payload {payload} bytes for {} symbols",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn uniform_bytes_do_not_compress() {
+        let mut rng = DetRng::new(3);
+        let data: Vec<u8> = (0..8192).map(|_| rng.range_usize(0, 256) as u8).collect();
+        let enc = encode(&data);
+        // Header + ~8 bits per symbol.
+        assert!(enc.len() >= data.len());
+        assert!(enc.len() < data.len() + 600);
+    }
+
+    #[test]
+    fn all_byte_values_round_trip() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        assert_eq!(decode(&encode(&data)), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn truncated_buffer_panics() {
+        decode(&[1, 2, 3]);
+    }
+}

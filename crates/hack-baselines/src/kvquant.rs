@@ -1,0 +1,197 @@
+//! KVQuant-like baseline: low-precision partitioned asymmetric quantization with
+//! dequantize-before-compute semantics.
+//!
+//! KVQuant quantizes keys per-channel and values per-token at 2-bit precision,
+//! achieving ≈86% KV compression with ≈98% of baseline accuracy (§2.2). This
+//! reproduction quantizes along the channel axis in partitions (the same partitioned
+//! asymmetric scheme HACK uses, so the compression rate matches), serialises codes +
+//! metadata into a payload, and always dequantizes before compute
+//! ([`KvCompressor::compute_on_compressed`] is false).
+
+use crate::traits::{CompressedKv, KvCompressor};
+use hack_quant::packing::{pack_codes, unpack_codes};
+use hack_quant::params::{QuantBits, RoundingMode};
+use hack_quant::stochastic::PartitionMeta;
+use hack_quant::QuantizedTensor;
+use hack_tensor::{DetRng, Matrix};
+
+/// KVQuant-like 2-bit (configurable) quantizer.
+#[derive(Debug, Clone, Copy)]
+pub struct KvQuantLike {
+    /// Code precision (2-bit in the paper's configuration).
+    pub bits: QuantBits,
+    /// Partition size along the quantized dimension.
+    pub partition: usize,
+}
+
+impl Default for KvQuantLike {
+    fn default() -> Self {
+        Self {
+            bits: QuantBits::Int2,
+            partition: 64,
+        }
+    }
+}
+
+impl KvQuantLike {
+    /// Serialises a quantized tensor into a self-describing payload:
+    /// `[u32 rows][u32 cols][packed codes][metadata as f32 pairs]`.
+    fn serialize(q: &QuantizedTensor) -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(q.rows() as u32).to_le_bytes());
+        payload.extend_from_slice(&(q.cols() as u32).to_le_bytes());
+        // Pack row by row so each vector starts byte-aligned (matches deserialization).
+        for r in 0..q.rows() {
+            payload.extend_from_slice(&pack_codes(q.codes_row(r), q.bits()));
+        }
+        for meta in q.metas() {
+            payload.extend_from_slice(&hack_tensor::half::f32_to_f16_bits(meta.min).to_le_bytes());
+            payload.extend_from_slice(&hack_tensor::half::f32_to_f16_bits(meta.scale).to_le_bytes());
+        }
+        payload
+    }
+
+    fn deserialize(&self, payload: &[u8]) -> QuantizedTensor {
+        assert!(payload.len() >= 8, "KVQuant payload too short");
+        let rows = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+        let cols = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
+        let code_bytes = rows * self.bits.packed_bytes(cols);
+        let codes_end = 8 + code_bytes;
+        assert!(payload.len() >= codes_end, "KVQuant payload truncated (codes)");
+        let mut codes = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let row_bytes = &payload[8 + r * self.bits.packed_bytes(cols)..8 + (r + 1) * self.bits.packed_bytes(cols)];
+            codes.extend(unpack_codes(row_bytes, self.bits, cols));
+        }
+        let n_parts = if cols == 0 { 0 } else { cols.div_ceil(self.partition) };
+        let mut metas = Vec::with_capacity(rows * n_parts);
+        let meta_bytes = &payload[codes_end..];
+        assert!(
+            meta_bytes.len() >= rows * n_parts * 4,
+            "KVQuant payload truncated (metadata)"
+        );
+        for i in 0..rows * n_parts {
+            let min = hack_tensor::half::f16_bits_to_f32(u16::from_le_bytes(
+                meta_bytes[i * 4..i * 4 + 2].try_into().unwrap(),
+            ));
+            let scale = hack_tensor::half::f16_bits_to_f32(u16::from_le_bytes(
+                meta_bytes[i * 4 + 2..i * 4 + 4].try_into().unwrap(),
+            ));
+            metas.push(PartitionMeta { min, scale });
+        }
+        let sums = (0..rows * n_parts).map(|_| 0).collect();
+        let mut q = QuantizedTensor::from_parts(rows, cols, self.bits, self.partition, codes, metas, sums);
+        // Stored sums are not transferred by KVQuant; recompute for internal consistency.
+        let recomputed: Vec<i32> = (0..rows)
+            .flat_map(|r| (0..n_parts).map(move |p| (r, p)))
+            .map(|(r, p)| q.recompute_sum(r, p))
+            .collect();
+        q = QuantizedTensor::from_parts(
+            rows,
+            cols,
+            self.bits,
+            self.partition,
+            q.codes().to_vec(),
+            q.metas().to_vec(),
+            recomputed,
+        );
+        q
+    }
+}
+
+impl KvCompressor for KvQuantLike {
+    fn name(&self) -> &'static str {
+        "kvquant"
+    }
+
+    fn compress(&self, m: &Matrix, rng: &mut DetRng) -> CompressedKv {
+        // Per-channel quantization along the token dimension (KVQuant quantizes keys
+        // per channel because channel magnitudes are far more consistent than token
+        // magnitudes): each channel's token sequence is partitioned into Π-token groups.
+        let q = QuantizedTensor::quantize_cols(m, self.bits, self.partition, RoundingMode::Stochastic, rng);
+        CompressedKv {
+            payload: Self::serialize(&q),
+            rows: m.rows(),
+            cols: m.cols(),
+        }
+    }
+
+    fn decompress(&self, c: &CompressedKv) -> Matrix {
+        let q = self.deserialize(&c.payload);
+        assert_eq!(q.rows(), c.cols, "channel count mismatch in payload");
+        assert_eq!(q.cols(), c.rows, "token count mismatch in payload");
+        q.dequantize_transposed().to_f16_precision()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hack_tensor::{cosine_similarity, relative_frobenius_error};
+
+    fn structured(tokens: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = DetRng::new(seed);
+        Matrix::from_fn(tokens, d, |t, c| {
+            ((c % 8) as f32 - 3.5) * 0.5 + 0.2 * rng.normal_f32(0.0, 1.0) + 0.01 * t as f32 % 0.7
+        })
+    }
+
+    #[test]
+    fn compression_rate_is_around_85_percent() {
+        let mut rng = DetRng::new(1);
+        let m = structured(2048, 128, 2);
+        let c = KvQuantLike::default().compress(&m, &mut rng);
+        let ratio = c.compression_ratio();
+        assert!(ratio > 0.82 && ratio < 0.9, "compression ratio {ratio}");
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let mut rng = DetRng::new(3);
+        let m = structured(256, 128, 4);
+        let kq = KvQuantLike::default();
+        let c = kq.compress(&m, &mut rng);
+        let back = kq.decompress(&c);
+        assert_eq!(back.shape(), m.shape());
+        assert!(cosine_similarity(&m, &back) > 0.97, "cos {}", cosine_similarity(&m, &back));
+    }
+
+    #[test]
+    fn int8_variant_is_nearly_lossless() {
+        let mut rng = DetRng::new(5);
+        let m = structured(64, 128, 6);
+        let kq = KvQuantLike {
+            bits: QuantBits::Int8,
+            partition: 64,
+        };
+        let back = kq.decompress(&kq.compress(&m, &mut rng));
+        assert!(relative_frobenius_error(&m, &back) < 0.01);
+    }
+
+    #[test]
+    fn does_not_claim_compute_on_compressed() {
+        assert!(!KvQuantLike::default().compute_on_compressed());
+        assert_eq!(KvQuantLike::default().name(), "kvquant");
+    }
+
+    #[test]
+    fn odd_dimensions_round_trip() {
+        let mut rng = DetRng::new(7);
+        let m = structured(37, 100, 8);
+        let kq = KvQuantLike::default();
+        let back = kq.decompress(&kq.compress(&m, &mut rng));
+        assert_eq!(back.shape(), (37, 100));
+        assert!(cosine_similarity(&m, &back) > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload too short")]
+    fn corrupt_payload_panics() {
+        let kq = KvQuantLike::default();
+        kq.decompress(&CompressedKv {
+            payload: vec![1, 2],
+            rows: 1,
+            cols: 1,
+        });
+    }
+}

@@ -1,0 +1,28 @@
+//! # hack-baselines
+//!
+//! Comparator KV-compression methods evaluated against HACK in the paper:
+//!
+//! * [`kvquant`] — **KVQuant-like**: low-precision (2-bit) partitioned asymmetric
+//!   quantization of K and V, dequantized to FP16 before every attention computation.
+//! * [`cachegen`] — **CacheGen-like**: exploits the KV data's distributional properties
+//!   (adjacent tokens have similar values) by delta-encoding along the token axis,
+//!   quantizing the deltas and entropy-coding the result into a compact bitstream.
+//!   The paper's CacheGen uses an arithmetic coder; this reproduction uses a canonical
+//!   Huffman coder ([`entropy`]) — the same class of order-0 entropy coder with within
+//!   a few percent of the same compression, documented in DESIGN.md.
+//! * [`minifloat`] — **FP8 / FP6 / FP4** casts (E5M2/E4M3, E3M2, E2M1): the
+//!   low-precision floating-point baselines of §3, which compress less than 2-bit
+//!   quantization and require conversion to FP16 on GPUs without native support.
+//! * [`traits`] — the common [`KvCompressor`] interface (compress → bytes,
+//!   decompress → matrix) used by the fidelity harness and the transport demo.
+
+pub mod cachegen;
+pub mod entropy;
+pub mod kvquant;
+pub mod minifloat;
+pub mod traits;
+
+pub use cachegen::CacheGenLike;
+pub use kvquant::KvQuantLike;
+pub use minifloat::{Fp4, Fp6, Fp8Format, MinifloatCast};
+pub use traits::{CompressedKv, Fp16Identity, KvCompressor};

@@ -1,0 +1,125 @@
+//! Common interface of KV compressors.
+
+use hack_tensor::{DetRng, Matrix};
+
+/// A compressed K or V tensor, as it would travel from the prefill instance to the
+/// decode instance or sit in the KV cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedKv {
+    /// Opaque, self-describing payload (codes + whatever metadata the method needs).
+    pub payload: Vec<u8>,
+    /// Number of token rows of the original matrix.
+    pub rows: usize,
+    /// Head dimension of the original matrix.
+    pub cols: usize,
+}
+
+impl CompressedKv {
+    /// Compressed size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Size of the original FP16 tensor in bytes.
+    pub fn fp16_bytes(&self) -> usize {
+        2 * self.rows * self.cols
+    }
+
+    /// Compression ratio versus FP16 (`1 - compressed/fp16`).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            return 0.0;
+        }
+        1.0 - self.bytes() as f64 / self.fp16_bytes() as f64
+    }
+}
+
+/// A KV compression method: turns a `tokens × head_dim` K or V matrix into bytes and
+/// back. Lossy methods return an approximation from `decompress`.
+pub trait KvCompressor {
+    /// Human-readable method name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Compresses a K or V matrix.
+    fn compress(&self, m: &Matrix, rng: &mut DetRng) -> CompressedKv;
+
+    /// Reconstructs the (approximate) matrix from its compressed form.
+    fn decompress(&self, c: &CompressedKv) -> Matrix;
+
+    /// Whether attention can compute directly on the compressed representation without
+    /// dequantization (true only for HACK's homomorphic quantization).
+    fn compute_on_compressed(&self) -> bool {
+        false
+    }
+}
+
+/// The no-compression baseline: FP16 KV data shipped as raw little-endian bytes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fp16Identity;
+
+impl KvCompressor for Fp16Identity {
+    fn name(&self) -> &'static str {
+        "baseline-fp16"
+    }
+
+    fn compress(&self, m: &Matrix, _rng: &mut DetRng) -> CompressedKv {
+        let mut payload = Vec::with_capacity(2 * m.len());
+        for &v in m.as_slice() {
+            payload.extend_from_slice(&hack_tensor::half::f32_to_f16_bits(v).to_le_bytes());
+        }
+        CompressedKv {
+            payload,
+            rows: m.rows(),
+            cols: m.cols(),
+        }
+    }
+
+    fn decompress(&self, c: &CompressedKv) -> Matrix {
+        assert_eq!(c.payload.len(), 2 * c.rows * c.cols, "corrupt FP16 payload");
+        let data: Vec<f32> = c
+            .payload
+            .chunks_exact(2)
+            .map(|b| hack_tensor::half::f16_bits_to_f32(u16::from_le_bytes([b[0], b[1]])))
+            .collect();
+        Matrix::from_vec(c.rows, c.cols, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hack_tensor::relative_frobenius_error;
+
+    #[test]
+    fn fp16_identity_round_trips_with_half_precision() {
+        let mut rng = DetRng::new(1);
+        let m = Matrix::random_normal(10, 16, 0.0, 2.0, &mut rng);
+        let c = Fp16Identity.compress(&m, &mut rng);
+        assert_eq!(c.bytes(), c.fp16_bytes());
+        assert!(c.compression_ratio().abs() < 1e-9);
+        let back = Fp16Identity.decompress(&c);
+        assert!(relative_frobenius_error(&m, &back) < 1e-3);
+        assert!(!Fp16Identity.compute_on_compressed());
+    }
+
+    #[test]
+    fn compression_ratio_of_empty_matrix_is_zero() {
+        let c = CompressedKv {
+            payload: vec![],
+            rows: 0,
+            cols: 0,
+        };
+        assert_eq!(c.compression_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt FP16 payload")]
+    fn truncated_payload_is_rejected() {
+        let c = CompressedKv {
+            payload: vec![0u8; 3],
+            rows: 1,
+            cols: 2,
+        };
+        Fp16Identity.decompress(&c);
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion benchmarks of the attention kernels: FP32 baseline, FlashAttention-2-style
+//! tiled kernel, HACK prefill, and the HACK decode step with its SE/RQE ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hack_attention::baseline::AttentionMask;
+use hack_attention::flash::flash_attention;
+use hack_core::prelude::*;
+use std::hint::black_box;
+
+fn qkv(tokens: usize, d_h: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+    let mut rng = DetRng::new(seed);
+    (
+        Matrix::random_normal(tokens, d_h, 0.0, 1.0, &mut rng),
+        Matrix::random_normal(tokens, d_h, 0.0, 1.0, &mut rng),
+        Matrix::random_normal(tokens, d_h, 0.0, 1.0, &mut rng),
+    )
+}
+
+fn bench_prefill_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefill_attention_256x64");
+    let (q, k, v) = qkv(256, 64, 1);
+    group.bench_function("baseline_fp32", |b| {
+        b.iter(|| black_box(baseline_attention(&q, &k, &v, AttentionMask::Causal)))
+    });
+    group.bench_function("flash_tiled", |b| {
+        b.iter(|| black_box(flash_attention(&q, &k, &v, AttentionMask::Causal, 64)))
+    });
+    group.bench_function("hack_homomorphic", |b| {
+        b.iter(|| {
+            let mut rng = DetRng::new(2);
+            black_box(hack_prefill_attention(&q, &k, &v, HackConfig::paper_default(), &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_decode_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_step_kv1024_d64");
+    let (_, k, v) = qkv(1024, 64, 3);
+    let configs = [
+        ("hack", HackConfig::paper_default()),
+        ("hack_no_se", HackConfig::without_summation_elimination()),
+        ("hack_no_rqe", HackConfig::without_requant_elimination()),
+    ];
+    for (name, cfg) in configs {
+        let mut rng = DetRng::new(4);
+        let state = HackKvState::from_prefill(&k, &v, cfg, &mut rng);
+        let q_row = vec![0.1f32; 64];
+        group.bench_with_input(BenchmarkId::from_parameter(name), &state, |b, state| {
+            b.iter(|| {
+                let mut rng = DetRng::new(5);
+                black_box(state.decode_attention(&q_row, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_append_token(c: &mut Criterion) {
+    let mut group = c.benchmark_group("append_token_kv1024_d64");
+    let (_, k, v) = qkv(1024, 64, 6);
+    for (name, cfg) in [
+        ("with_rqe", HackConfig::paper_default()),
+        ("without_rqe", HackConfig::without_requant_elimination()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut rng = DetRng::new(7);
+                    (HackKvState::from_prefill(&k, &v, cfg, &mut rng), DetRng::new(8))
+                },
+                |(mut state, mut rng)| {
+                    let row = vec![0.3f32; 64];
+                    black_box(state.append_token(&row, &row, &mut rng))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefill_kernels, bench_decode_step, bench_append_token);
+criterion_main!(benches);

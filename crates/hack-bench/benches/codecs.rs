@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the baseline KV codecs (KVQuant-like, CacheGen-like,
+//! FP8/FP4 casts): compression and decompression throughput on KV-shaped tensors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hack_baselines::{CacheGenLike, Fp8Format, KvCompressor, KvQuantLike, MinifloatCast};
+use hack_core::prelude::*;
+use std::hint::black_box;
+
+fn kv_matrix(tokens: usize, channels: usize) -> Matrix {
+    let mut rng = DetRng::new(1);
+    let mut m = Matrix::zeros(tokens, channels);
+    for ch in 0..channels {
+        let mut value = rng.normal_f32(0.0, 1.0);
+        for t in 0..tokens {
+            value += rng.normal_f32(0.0, 0.05);
+            m.set(t, ch, value + ((ch % 5) as f32 - 2.0) * 0.3);
+        }
+    }
+    m
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let m = kv_matrix(512, 128);
+    let codecs: Vec<(&str, Box<dyn KvCompressor>)> = vec![
+        ("kvquant_2bit", Box::new(KvQuantLike::default())),
+        ("cachegen_delta_entropy", Box::new(CacheGenLike::default())),
+        ("fp8_e4m3", Box::new(MinifloatCast::fp8(Fp8Format::E4M3))),
+        ("fp4_e2m1", Box::new(MinifloatCast::fp4())),
+    ];
+    let mut group = c.benchmark_group("kv_codec_compress_512x128");
+    for (name, codec) in &codecs {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut rng = DetRng::new(2);
+                black_box(codec.compress(&m, &mut rng))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kv_codec_decompress_512x128");
+    for (name, codec) in &codecs {
+        let mut rng = DetRng::new(3);
+        let compressed = codec.compress(&m, &mut rng);
+        group.bench_function(*name, |b| b.iter(|| black_box(codec.decompress(&compressed))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the quantization and homomorphic-matmul kernels:
+//! the per-operation costs behind §5.2/§5.3 (quantized GEMM vs dequantize-then-GEMM,
+//! with and without Summation Elimination, across partition sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hack_core::prelude::*;
+use hack_quant::homomorphic::{dequant_matmul, homomorphic_matmul, homomorphic_matmul_no_se};
+use hack_quant::packing::{pack_codes, unpack_codes};
+use hack_quant::params::{QuantBits, RoundingMode};
+use std::hint::black_box;
+
+fn decode_shape_tensors(l_kv: usize, partition: usize) -> (QuantizedTensor, QuantizedTensor) {
+    let d_h = 128;
+    let mut rng = DetRng::new(1);
+    let q = Matrix::random_normal(1, d_h, 0.0, 1.0, &mut rng);
+    let k = Matrix::random_normal(l_kv, d_h, 0.0, 1.0, &mut rng);
+    let qq = QuantizedTensor::quantize_rows(&q, QuantBits::Int8, partition, RoundingMode::Nearest, &mut rng);
+    let qk = QuantizedTensor::quantize_rows(&k, QuantBits::Int2, partition, RoundingMode::Nearest, &mut rng);
+    (qq, qk)
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantize_2bit");
+    for &tokens in &[256usize, 1024] {
+        let mut rng = DetRng::new(2);
+        let m = Matrix::random_normal(tokens, 128, 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(tokens), &m, |b, m| {
+            b.iter(|| {
+                let mut rng = DetRng::new(3);
+                black_box(QuantizedTensor::quantize_rows(
+                    m,
+                    QuantBits::Int2,
+                    64,
+                    RoundingMode::Stochastic,
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_homomorphic_vs_dequant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("score_matmul_decode_shape");
+    for &l_kv in &[512usize, 2048] {
+        let (qq, qk) = decode_shape_tensors(l_kv, 64);
+        group.bench_with_input(BenchmarkId::new("homomorphic_se", l_kv), &l_kv, |b, _| {
+            b.iter(|| black_box(homomorphic_matmul(&qq, &qk)))
+        });
+        group.bench_with_input(BenchmarkId::new("homomorphic_no_se", l_kv), &l_kv, |b, _| {
+            b.iter(|| black_box(homomorphic_matmul_no_se(&qq, &qk)))
+        });
+        group.bench_with_input(BenchmarkId::new("dequantize_then_matmul", l_kv), &l_kv, |b, _| {
+            b.iter(|| black_box(dequant_matmul(&qq, &qk)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("homomorphic_matmul_partition_sweep");
+    for &partition in &[32usize, 64, 128] {
+        let (qq, qk) = decode_shape_tensors(1024, partition);
+        group.bench_with_input(BenchmarkId::from_parameter(partition), &partition, |b, _| {
+            b.iter(|| black_box(homomorphic_matmul(&qq, &qk)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut rng = DetRng::new(4);
+    let codes: Vec<u8> = (0..128 * 1024).map(|_| rng.range_usize(0, 4) as u8).collect();
+    c.bench_function("pack_codes_2bit_128k", |b| {
+        b.iter(|| black_box(pack_codes(&codes, QuantBits::Int2)))
+    });
+    let packed = pack_codes(&codes, QuantBits::Int2);
+    c.bench_function("unpack_codes_2bit_128k", |b| {
+        b.iter(|| black_box(unpack_codes(&packed, QuantBits::Int2, codes.len())))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_quantization,
+    bench_homomorphic_vs_dequant,
+    bench_partition_sizes,
+    bench_packing
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion benchmarks of the discrete-event cluster simulator itself: one small
+//! end-to-end run per method (useful to keep the figure harness runtimes in check).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hack_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sim_20req_cocktail");
+    group.sample_size(10);
+    for method in Method::main_comparison() {
+        let experiment = JctExperiment {
+            num_requests: 20,
+            ..JctExperiment::paper_default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &experiment,
+            |b, experiment| b.iter(|| black_box(experiment.run(method))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

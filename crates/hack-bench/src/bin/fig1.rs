@@ -1,0 +1,98 @@
+//! Fig. 1 — Bottlenecks in disaggregated LLM inference (baseline, no compression).
+//!
+//! * `fig1 a` — average prefill/comm/decode time ratios while varying the prefill GPU.
+//! * `fig1 b` — the same while varying the model (F uses arXiv).
+//! * `fig1 c` — the same while varying the dataset (Llama-3.1 70B, A10G).
+//! * `fig1 d` — average communication time ratio vs RPS with pipelining enabled.
+//! * no argument — run all four panels.
+
+use hack_bench::{dataset_grid, default_requests, emit, gpu_grid, model_grid, ratio_columns, ratio_row};
+use hack_core::prelude::*;
+
+fn panel_a(n: usize) {
+    let mut table = ExperimentTable::new(
+        "fig1a",
+        "Fig. 1(a): baseline time ratios vs prefill GPU (Llama-3.1 70B, Cocktail)",
+        ratio_columns(),
+        "% of JCT",
+    );
+    for (gpu, e) in gpu_grid(n) {
+        let outcome = e.run(Method::Baseline);
+        table.push_row(ratio_row(format!("{gpu:?}"), &outcome));
+    }
+    emit(&table);
+}
+
+fn panel_b(n: usize) {
+    let mut table = ExperimentTable::new(
+        "fig1b",
+        "Fig. 1(b): baseline time ratios vs model (Cocktail; arXiv for F)",
+        ratio_columns(),
+        "% of JCT",
+    );
+    for (model, e) in model_grid(n) {
+        let outcome = e.run(Method::Baseline);
+        let label = if model == ModelKind::Falcon180B {
+            "F-arXiv".to_string()
+        } else {
+            model.letter().to_string()
+        };
+        table.push_row(ratio_row(label, &outcome));
+    }
+    emit(&table);
+}
+
+fn panel_c(n: usize) {
+    let mut table = ExperimentTable::new(
+        "fig1c",
+        "Fig. 1(c): baseline time ratios vs dataset (Llama-3.1 70B, A10G)",
+        ratio_columns(),
+        "% of JCT",
+    );
+    for (dataset, e) in dataset_grid(n) {
+        let outcome = e.run(Method::Baseline);
+        table.push_row(ratio_row(dataset.name(), &outcome));
+    }
+    emit(&table);
+}
+
+fn panel_d(n: usize) {
+    let rps_points = [0.06, 0.10, 0.14, 0.18];
+    let mut table = ExperimentTable::new(
+        "fig1d",
+        "Fig. 1(d): baseline communication ratio vs RPS with pipelining (Llama-3.1 70B, Cocktail)",
+        rps_points.iter().map(|r| format!("RPS {r}")).collect(),
+        "% of JCT",
+    );
+    for gpu in GpuKind::all() {
+        let mut values = Vec::new();
+        for &rps in &rps_points {
+            let e = JctExperiment {
+                num_requests: n,
+                rps: Some(rps),
+                pipelining: true,
+                ..JctExperiment::new(ModelKind::Llama31_70B, gpu, Dataset::Cocktail)
+            };
+            values.push(100.0 * e.run(Method::Baseline).ratios.communication);
+        }
+        table.push_row(Row::new(format!("{gpu:?}"), values));
+    }
+    emit(&table);
+}
+
+fn main() {
+    let n = default_requests();
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    match arg.as_str() {
+        "a" => panel_a(n),
+        "b" => panel_b(n),
+        "c" => panel_c(n),
+        "d" => panel_d(n),
+        _ => {
+            panel_a(n);
+            panel_b(n);
+            panel_c(n);
+            panel_d(n);
+        }
+    }
+}

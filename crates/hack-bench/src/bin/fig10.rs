@@ -1,0 +1,43 @@
+//! Fig. 10 — Average JCT decomposition (prefill, quantization, communication,
+//! dequantization/approximation, decode) for Llama-3.1 70B with varying datasets.
+
+use hack_bench::{dataset_grid, default_requests, emit};
+use hack_core::prelude::*;
+
+fn main() {
+    let n = default_requests();
+    let methods = Method::main_comparison();
+    for (dataset, e) in dataset_grid(n) {
+        let mut table = ExperimentTable::new(
+            format!("fig10_{}", dataset.name().to_lowercase()),
+            format!("Fig. 10: average JCT decomposition on {} (Llama-3.1 70B, A10G)", dataset.name()),
+            vec![
+                "prefill (s)".into(),
+                "quant (s)".into(),
+                "comm (s)".into(),
+                "dequant/approx (s)".into(),
+                "decode (s)".into(),
+                "queueing (s)".into(),
+                "total (s)".into(),
+            ],
+            "s",
+        );
+        for method in methods {
+            let o = e.run(method);
+            let b = o.stats.mean_breakdown;
+            table.push_row(Row::new(
+                method.name(),
+                vec![
+                    b.prefill,
+                    b.quantization,
+                    b.communication,
+                    b.dequant_or_approx,
+                    b.decode,
+                    b.queueing,
+                    b.total(),
+                ],
+            ));
+        }
+        emit(&table);
+    }
+}

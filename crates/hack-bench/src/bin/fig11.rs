@@ -1,0 +1,36 @@
+//! Fig. 11 — Average JCT across requests for different models with Cocktail
+//! (arXiv for Falcon-180B), A10G prefill instances.
+
+use hack_bench::{default_requests, emit, model_grid};
+use hack_core::prelude::*;
+
+fn main() {
+    let n = default_requests();
+    let methods = Method::main_comparison();
+    let labels: Vec<String> = model_grid(1)
+        .iter()
+        .map(|(m, _)| {
+            if *m == ModelKind::Falcon180B {
+                "F-arXiv".to_string()
+            } else {
+                m.letter().to_string()
+            }
+        })
+        .collect();
+    let mut table = ExperimentTable::new(
+        "fig11",
+        "Fig. 11: average JCT across requests for different models (Cocktail / arXiv)",
+        labels,
+        "s",
+    );
+    let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+    for (_, e) in model_grid(n) {
+        for (i, o) in e.run_all(&methods).iter().enumerate() {
+            per_method[i].push(o.average_jct);
+        }
+    }
+    for (i, method) in methods.iter().enumerate() {
+        table.push_row(Row::new(method.name(), per_method[i].clone()));
+    }
+    emit(&table);
+}

@@ -1,0 +1,44 @@
+//! Fig. 12 — Average JCT across requests for Llama-3.1 70B with Cocktail using
+//! varying prefill instances (A10G, V100, T4, L4, A100).
+
+use hack_bench::{default_requests, emit, gpu_grid};
+use hack_core::prelude::*;
+
+fn main() {
+    let n = default_requests();
+    let methods = Method::main_comparison();
+    let labels: Vec<String> = gpu_grid(1).iter().map(|(g, _)| format!("{g:?}")).collect();
+    let mut table = ExperimentTable::new(
+        "fig12",
+        "Fig. 12: average JCT across requests vs prefill instance (Llama-3.1 70B, Cocktail)",
+        labels.clone(),
+        "s",
+    );
+    let mut reductions = ExperimentTable::new(
+        "fig12_reductions",
+        "Fig. 12 (derived): HACK's JCT reduction vs each method, per prefill instance",
+        labels,
+        "%",
+    );
+    let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+    for (_, e) in gpu_grid(n) {
+        for (i, o) in e.run_all(&methods).iter().enumerate() {
+            per_method[i].push(o.average_jct);
+        }
+    }
+    for (i, method) in methods.iter().enumerate() {
+        table.push_row(Row::new(method.name(), per_method[i].clone()));
+    }
+    for (i, method) in methods.iter().enumerate().take(3) {
+        reductions.push_row(Row::new(
+            format!("HACK vs {}", method.name()),
+            per_method[3]
+                .iter()
+                .zip(&per_method[i])
+                .map(|(h, o)| 100.0 * (1.0 - h / o))
+                .collect(),
+        ));
+    }
+    emit(&table);
+    emit(&reductions);
+}

@@ -1,0 +1,43 @@
+//! Fig. 13 — Ablation study: average JCT of HACK, HACK without Summation Elimination
+//! (HACK/SE) and HACK without Requantization Elimination (HACK/RQE) across datasets.
+
+use hack_bench::{dataset_grid, default_requests, emit};
+use hack_core::prelude::*;
+
+fn main() {
+    let n = default_requests();
+    let methods = [Method::hack(), Method::HackNoSe, Method::HackNoRqe];
+    let mut table = ExperimentTable::new(
+        "fig13",
+        "Fig. 13: ablation study — average JCT (Llama-3.1 70B, A10G)",
+        dataset_grid(1).iter().map(|(d, _)| d.name().to_string()).collect(),
+        "s",
+    );
+    let mut overhead = ExperimentTable::new(
+        "fig13_overhead",
+        "Fig. 13 (derived): JCT increase of each ablation vs full HACK",
+        dataset_grid(1).iter().map(|(d, _)| d.name().to_string()).collect(),
+        "%",
+    );
+    let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+    for (_, e) in dataset_grid(n) {
+        for (i, method) in methods.iter().enumerate() {
+            per_method[i].push(e.run(*method).average_jct);
+        }
+    }
+    for (i, method) in methods.iter().enumerate() {
+        table.push_row(Row::new(method.name(), per_method[i].clone()));
+    }
+    for (i, method) in methods.iter().enumerate().skip(1) {
+        overhead.push_row(Row::new(
+            format!("{} vs HACK", method.name()),
+            per_method[i]
+                .iter()
+                .zip(&per_method[0])
+                .map(|(a, h)| 100.0 * (a / h - 1.0))
+                .collect(),
+        ));
+    }
+    emit(&table);
+    emit(&overhead);
+}

@@ -1,0 +1,36 @@
+//! Fig. 14 — Scalability: average JCT as the ratio `p` of prefill to decode model
+//! replicas grows (RPS = 0.02·p, decode on half an A100 instance).
+
+use hack_bench::{default_requests, emit};
+use hack_core::prelude::*;
+
+fn main() {
+    let n = default_requests().min(80);
+    let ps = [1usize, 2, 3, 4, 6, 8];
+    let methods = Method::main_comparison();
+    let mut table = ExperimentTable::new(
+        "fig14",
+        "Fig. 14: average JCT vs prefill:decode replica ratio p (Llama-3.1 70B, Cocktail)",
+        ps.iter().map(|p| format!("p={p}")).collect(),
+        "s",
+    );
+    for method in methods {
+        let values: Vec<f64> = ps
+            .iter()
+            .map(|&p| {
+                let e = JctExperiment {
+                    num_requests: n,
+                    ..JctExperiment::scalability(p)
+                };
+                e.run(method).average_jct
+            })
+            .collect();
+        table.push_row(Row::new(method.name(), values));
+    }
+    emit(&table);
+    println!(
+        "note: the paper reports a 127% baseline JCT increase from p=1 to p=8 because its decode\n\
+         side saturates; the calibrated service-time model stays below saturation at RPS=0.02·p,\n\
+         so the simulated growth is smaller (see EXPERIMENTS.md)."
+    );
+}

@@ -1,0 +1,22 @@
+//! Fig. 2 — Employing KV quantization (CacheGen / KVQuant) across prefill instances:
+//! average prefill / comm / dequantization / decode time ratios, Llama-3.1 70B on
+//! Cocktail.
+
+use hack_bench::{default_requests, emit, gpu_grid, ratio_columns, ratio_row};
+use hack_core::prelude::*;
+
+fn main() {
+    let n = default_requests();
+    for method in [Method::CacheGen, Method::KvQuant] {
+        let mut table = ExperimentTable::new(
+            format!("fig2_{}", method.name().to_lowercase()),
+            format!("Fig. 2: {} time ratios vs prefill GPU (Llama-3.1 70B, Cocktail)", method.name()),
+            ratio_columns(),
+            "% of JCT",
+        );
+        for (gpu, e) in gpu_grid(n) {
+            table.push_row(ratio_row(format!("{gpu:?}"), &e.run(method)));
+        }
+        emit(&table);
+    }
+}

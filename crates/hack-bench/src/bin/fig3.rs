@@ -1,0 +1,26 @@
+//! Fig. 3 — Employing KV quantization (CacheGen / KVQuant) across models: average
+//! prefill / comm / dequantization / decode time ratios on Cocktail (arXiv for F).
+
+use hack_bench::{default_requests, emit, model_grid, ratio_columns, ratio_row};
+use hack_core::prelude::*;
+
+fn main() {
+    let n = default_requests();
+    for method in [Method::CacheGen, Method::KvQuant] {
+        let mut table = ExperimentTable::new(
+            format!("fig3_{}", method.name().to_lowercase()),
+            format!("Fig. 3: {} time ratios vs model (Cocktail; arXiv for F)", method.name()),
+            ratio_columns(),
+            "% of JCT",
+        );
+        for (model, e) in model_grid(n) {
+            let label = if model == ModelKind::Falcon180B {
+                "F-arXiv".to_string()
+            } else {
+                model.letter().to_string()
+            };
+            table.push_row(ratio_row(label, &e.run(method)));
+        }
+        emit(&table);
+    }
+}

@@ -1,0 +1,21 @@
+//! Fig. 4 — Employing KV quantization (CacheGen / KVQuant) across datasets: average
+//! prefill / comm / dequantization / decode time ratios, Llama-3.1 70B on A10G.
+
+use hack_bench::{dataset_grid, default_requests, emit, ratio_columns, ratio_row};
+use hack_core::prelude::*;
+
+fn main() {
+    let n = default_requests();
+    for method in [Method::CacheGen, Method::KvQuant] {
+        let mut table = ExperimentTable::new(
+            format!("fig4_{}", method.name().to_lowercase()),
+            format!("Fig. 4: {} time ratios vs dataset (Llama-3.1 70B, A10G)", method.name()),
+            ratio_columns(),
+            "% of JCT",
+        );
+        for (dataset, e) in dataset_grid(n) {
+            table.push_row(ratio_row(dataset.name(), &e.run(method)));
+        }
+        emit(&table);
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 9 — Average JCT across requests for Llama-3.1 70B with varying datasets
+//! (Baseline, CacheGen, KVQuant, HACK on A10G prefill instances).
+
+use hack_bench::{dataset_grid, default_requests, emit};
+use hack_core::prelude::*;
+
+fn main() {
+    let n = default_requests();
+    let methods = Method::main_comparison();
+    let mut table = ExperimentTable::new(
+        "fig9",
+        "Fig. 9: average JCT across requests (Llama-3.1 70B, A10G prefill)",
+        dataset_grid(1).iter().map(|(d, _)| d.name().to_string()).collect(),
+        "s",
+    );
+    let mut reductions = ExperimentTable::new(
+        "fig9_reductions",
+        "Fig. 9 (derived): HACK's JCT reduction vs each comparison method",
+        dataset_grid(1).iter().map(|(d, _)| d.name().to_string()).collect(),
+        "%",
+    );
+
+    let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+    for (_, e) in dataset_grid(n) {
+        let outcomes = e.run_all(&methods);
+        for (i, o) in outcomes.iter().enumerate() {
+            per_method[i].push(o.average_jct);
+        }
+    }
+    for (i, method) in methods.iter().enumerate() {
+        table.push_row(Row::new(method.name(), per_method[i].clone()));
+    }
+    for (i, method) in methods.iter().enumerate().take(3) {
+        let hack = &per_method[3];
+        let other = &per_method[i];
+        reductions.push_row(Row::new(
+            format!("HACK vs {}", method.name()),
+            hack.iter().zip(other).map(|(h, o)| 100.0 * (1.0 - h / o)).collect(),
+        ));
+    }
+    emit(&table);
+    emit(&reductions);
+}

@@ -1,0 +1,41 @@
+//! §3 — Low-precision floating point (FP4/FP6/FP8) simulation: average communication
+//! time ratio across prefill instances and KV memory-access behaviour, Llama-3.1 70B on
+//! Cocktail. Shows that the minifloat formats cannot reach the compression (and hence
+//! the communication/memory savings) of 2-bit quantization.
+
+use hack_bench::{default_requests, emit, gpu_grid};
+use hack_core::prelude::*;
+
+fn main() {
+    let n = default_requests();
+    let methods = [Method::Fp4, Method::Fp6, Method::Fp8, Method::hack()];
+
+    let mut comm = ExperimentTable::new(
+        "fp_lowprec_comm",
+        "§3: average communication time ratio of FP4/6/8 vs HACK across prefill GPUs",
+        methods.iter().map(|m| m.name()).collect(),
+        "% of JCT",
+    );
+    let mut mem = ExperimentTable::new(
+        "fp_lowprec_memory",
+        "§3: peak decode memory usage of FP4/6/8 vs HACK across prefill GPUs",
+        methods.iter().map(|m| m.name()).collect(),
+        "% of GPU memory",
+    );
+    for (gpu, e) in gpu_grid(n) {
+        let outcomes: Vec<_> = methods.iter().map(|m| e.run(*m)).collect();
+        comm.push_row(Row::new(
+            format!("{gpu:?}"),
+            outcomes.iter().map(|o| 100.0 * o.ratios.communication).collect(),
+        ));
+        mem.push_row(Row::new(
+            format!("{gpu:?}"),
+            outcomes
+                .iter()
+                .map(|o| 100.0 * o.peak_decode_memory_fraction)
+                .collect(),
+        ));
+    }
+    emit(&comm);
+    emit(&mem);
+}

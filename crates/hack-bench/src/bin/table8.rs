@@ -1,0 +1,70 @@
+//! Table 8 — Sensitivity to the quantization partition size: accuracy increase and JCT
+//! increase of Π = 32 and Π = 64 relative to Π = 128, per dataset.
+
+use hack_bench::{dataset_grid, default_requests, emit};
+use hack_core::fidelity::{evaluate, FidelitySetup};
+use hack_core::prelude::*;
+
+const BASELINE_ACCURACY: [(Dataset, f64); 4] = [
+    (Dataset::Imdb, 95.73),
+    (Dataset::Arxiv, 83.79),
+    (Dataset::Cocktail, 86.39),
+    (Dataset::HumanEval, 85.21),
+];
+
+fn main() {
+    let n = default_requests();
+    let setup = FidelitySetup {
+        trials: 4,
+        ..FidelitySetup::default()
+    };
+    let partitions = [32usize, 64, 128];
+
+    // Accuracy proxies per partition size (dataset-independent fidelity, anchored per
+    // dataset) and JCT per partition size per dataset.
+    let reports: Vec<_> = partitions
+        .iter()
+        .map(|&p| evaluate(Method::Hack { partition: p }, &setup))
+        .collect();
+
+    let mut acc_table = ExperimentTable::new(
+        "table8_accuracy",
+        "Table 8: accuracy increase of Π=32 / Π=64 over Π=128",
+        BASELINE_ACCURACY.iter().map(|(d, _)| d.name().to_string()).collect(),
+        "accuracy points",
+    );
+    for (i, &p) in partitions.iter().enumerate().take(2) {
+        let values: Vec<f64> = BASELINE_ACCURACY
+            .iter()
+            .map(|(_, anchor)| {
+                reports[i].accuracy_proxy(*anchor, 3.0) - reports[2].accuracy_proxy(*anchor, 3.0)
+            })
+            .collect();
+        acc_table.push_row(Row::new(format!("Pi={p}"), values));
+    }
+    emit(&acc_table);
+
+    let mut jct_table = ExperimentTable::new(
+        "table8_jct",
+        "Table 8: average-JCT increase of Π=32 / Π=64 over Π=128",
+        dataset_grid(1).iter().map(|(d, _)| d.name().to_string()).collect(),
+        "%",
+    );
+    let mut per_partition: Vec<Vec<f64>> = vec![Vec::new(); partitions.len()];
+    for (_, e) in dataset_grid(n) {
+        for (i, &p) in partitions.iter().enumerate() {
+            per_partition[i].push(e.run(Method::Hack { partition: p }).average_jct);
+        }
+    }
+    for (i, &p) in partitions.iter().enumerate().take(2) {
+        jct_table.push_row(Row::new(
+            format!("Pi={p}"),
+            per_partition[i]
+                .iter()
+                .zip(&per_partition[2])
+                .map(|(a, b)| 100.0 * (a / b - 1.0))
+                .collect(),
+        ));
+    }
+    emit(&jct_table);
+}

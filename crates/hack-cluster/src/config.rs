@@ -1,0 +1,228 @@
+//! Cluster and simulation configuration (§7.1).
+
+use hack_model::cost::{CostParams, KvMethodProfile};
+use hack_model::gpu::GpuKind;
+use hack_model::parallelism::Parallelism;
+use hack_model::spec::ModelKind;
+use hack_workload::trace::TraceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Static description of a disaggregated cluster: model, prefill fleet, decode fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Model being served.
+    pub model: ModelKind,
+    /// GPU family of the prefill fleet.
+    pub prefill_gpu: GpuKind,
+    /// Number of prefill model replicas.
+    pub prefill_replicas: usize,
+    /// Egress NIC bandwidth available to each prefill replica, in Gbps.
+    pub prefill_network_gbps: f64,
+    /// GPU family of the decode fleet (A100 in the paper).
+    pub decode_gpu: GpuKind,
+    /// Number of decode model replicas.
+    pub decode_replicas: usize,
+    /// Ingress NIC bandwidth available to each decode replica, in Gbps.
+    pub decode_network_gbps: f64,
+    /// Whether KV transfer is overlapped with prefill computation (Fig. 1(d)).
+    pub pipelining: bool,
+    /// Cost-model efficiency constants.
+    pub cost_params: CostParams,
+    /// Fraction of each decode replica's GPU memory reserved for activations and
+    /// runtime overheads (the rest, minus parameters, is KV cache budget).
+    pub activation_reserve: f64,
+}
+
+impl ClusterConfig {
+    /// The paper's default fleet for a given model and prefill GPU (§7.1):
+    /// ten g5 / sixteen p3 / sixteen g4dn / ten g6 / two p4de instances for prefill,
+    /// two p4de.24xlarge instances for decode, so that the two sides have roughly
+    /// similar capacity.
+    pub fn paper_default(model: ModelKind, prefill_gpu: GpuKind) -> Self {
+        let prefill_instances = match prefill_gpu {
+            GpuKind::A10G => 10,
+            GpuKind::V100 => 16,
+            GpuKind::T4 => 16,
+            GpuKind::L4 => 10,
+            GpuKind::A100 => 2,
+        };
+        let decode_instances = 2usize;
+
+        let prefill_parallel = Parallelism::table3(model, prefill_gpu);
+        let decode_parallel = Parallelism::table3(model, GpuKind::A100);
+
+        let prefill_gpus = prefill_instances * prefill_gpu.instance().gpus;
+        let decode_gpus = decode_instances * GpuKind::A100.instance().gpus;
+
+        let prefill_replicas = (prefill_gpus / prefill_parallel.gpus_per_replica()).max(1);
+        let decode_replicas = (decode_gpus / decode_parallel.gpus_per_replica()).max(1);
+
+        // Each replica gets the NIC bandwidth of one instance (a replica that spans
+        // several instances still sources each request's KV transfer from one NIC);
+        // replicas that share an instance share its NIC.
+        let prefill_replicas_per_instance =
+            (prefill_replicas as f64 / prefill_instances as f64).max(1.0);
+        let decode_replicas_per_instance = (decode_replicas as f64 / decode_instances as f64).max(1.0);
+
+        Self {
+            model,
+            prefill_gpu,
+            prefill_replicas,
+            prefill_network_gbps: prefill_gpu.instance().network_gbps / prefill_replicas_per_instance,
+            decode_gpu: GpuKind::A100,
+            decode_replicas,
+            decode_network_gbps: GpuKind::A100.instance().network_gbps / decode_replicas_per_instance,
+            pipelining: false,
+            cost_params: CostParams::default(),
+            activation_reserve: 0.10,
+        }
+    }
+
+    /// The scalability configuration of §7.6: `p` prefill replicas (A10G, TP=4, PP=2,
+    /// two instances each) against **one** decode replica on half an A100 instance
+    /// (4 GPUs, 200 Gbps).
+    pub fn scalability(p: usize) -> Self {
+        let base = Self::paper_default(ModelKind::Llama31_70B, GpuKind::A10G);
+        Self {
+            prefill_replicas: p,
+            decode_replicas: 1,
+            decode_network_gbps: 200.0,
+            ..base
+        }
+    }
+
+    /// TP/PP configuration of the prefill replicas.
+    pub fn prefill_parallelism(&self) -> Parallelism {
+        Parallelism::table3(self.model, self.prefill_gpu)
+    }
+
+    /// TP/PP configuration of the decode replicas.
+    pub fn decode_parallelism(&self) -> Parallelism {
+        Parallelism::table3(self.model, self.decode_gpu)
+    }
+
+    /// GPU memory (bytes) available to one decode replica.
+    pub fn decode_replica_mem_bytes(&self) -> f64 {
+        self.decode_parallelism().gpus_per_replica() as f64
+            * self.decode_gpu.spec().mem_gib
+            * (1u64 << 30) as f64
+    }
+
+    /// KV-cache byte budget of one decode replica (memory minus parameters minus the
+    /// activation reserve).
+    pub fn decode_kv_budget_bytes(&self) -> f64 {
+        let mem = self.decode_replica_mem_bytes();
+        let params = self.model.spec().param_bytes_fp16();
+        (mem - params - self.activation_reserve * mem).max(0.0)
+    }
+
+    /// Rough estimate of the cluster's maximum sustainable request rate for a given
+    /// workload and method, used to set "RPS = maximum processing capacity" (§7.1).
+    pub fn estimate_max_rps(
+        &self,
+        profile: &KvMethodProfile,
+        avg_input: usize,
+        avg_output: usize,
+    ) -> f64 {
+        let model = self.model.spec();
+        let prefill_model = hack_model::ReplicaCostModel {
+            model,
+            gpu: self.prefill_gpu.spec(),
+            parallel: self.prefill_parallelism(),
+            params: self.cost_params,
+        };
+        let decode_model = hack_model::ReplicaCostModel {
+            model,
+            gpu: self.decode_gpu.spec(),
+            parallel: self.decode_parallelism(),
+            params: self.cost_params,
+        };
+        // Prefill-side throughput.
+        let prefill_service = prefill_model.prefill_time(avg_input, profile)
+            + prefill_model.quantization_time(avg_input, profile);
+        let prefill_rps = self.prefill_replicas as f64 / prefill_service.max(1e-9);
+        // Network-side throughput.
+        let transfer = prefill_model.transfer_time(avg_input, profile, self.prefill_network_gbps);
+        let network_rps = self.prefill_replicas as f64 / transfer.max(1e-9);
+        // Decode-side throughput: each replica decodes `decode_batch` sequences
+        // concurrently.
+        let kv_len = avg_input + avg_output / 2;
+        let iter = decode_model.decode_iter_time(kv_len, profile, self.cost_params.decode_batch)
+            + decode_model.dequant_or_approx_iter_time(kv_len, profile);
+        let decode_seconds_per_request = iter * avg_output as f64;
+        let decode_rps = self.decode_replicas as f64 * self.cost_params.decode_batch
+            / decode_seconds_per_request.max(1e-9);
+        prefill_rps.min(network_rps).min(decode_rps)
+    }
+}
+
+/// A full simulation: cluster + workload + evaluated method.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SimulationConfig {
+    /// Cluster description.
+    pub cluster: ClusterConfig,
+    /// Workload trace configuration.
+    pub trace: TraceConfig,
+    /// KV-handling method being evaluated.
+    pub profile: KvMethodProfile,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hack_workload::dataset::Dataset;
+
+    #[test]
+    fn paper_default_llama_a10g_fleet() {
+        let c = ClusterConfig::paper_default(ModelKind::Llama31_70B, GpuKind::A10G);
+        // 10 g5 instances x 4 GPUs / (TP4*PP2 = 8 GPUs) = 5 prefill replicas.
+        assert_eq!(c.prefill_replicas, 5);
+        // 2 p4de x 8 GPUs / (TP4 = 4 GPUs) = 4 decode replicas.
+        assert_eq!(c.decode_replicas, 4);
+        assert_eq!(c.decode_gpu, GpuKind::A100);
+        assert!(c.prefill_network_gbps <= 40.0 + 1e-9);
+        assert!(!c.pipelining);
+    }
+
+    #[test]
+    fn decode_memory_budget_is_positive_and_below_total() {
+        for model in ModelKind::all() {
+            let c = ClusterConfig::paper_default(model, GpuKind::A10G);
+            let budget = c.decode_kv_budget_bytes();
+            assert!(budget > 0.0, "{model:?}");
+            assert!(budget < c.decode_replica_mem_bytes());
+        }
+    }
+
+    #[test]
+    fn scalability_config_uses_half_an_a100_instance() {
+        let c = ClusterConfig::scalability(4);
+        assert_eq!(c.prefill_replicas, 4);
+        assert_eq!(c.decode_replicas, 1);
+        assert_eq!(c.decode_network_gbps, 200.0);
+    }
+
+    #[test]
+    fn estimated_max_rps_is_higher_for_compressed_methods_and_short_prompts() {
+        let c = ClusterConfig::paper_default(ModelKind::Llama31_70B, GpuKind::A10G);
+        let cocktail_in = Dataset::Cocktail.input_stats().avg;
+        let cocktail_out = Dataset::Cocktail.output_stats().avg;
+        let imdb_in = Dataset::Imdb.input_stats().avg;
+        let imdb_out = Dataset::Imdb.output_stats().avg;
+        let base = c.estimate_max_rps(&KvMethodProfile::baseline(), cocktail_in, cocktail_out);
+        let hack = c.estimate_max_rps(&KvMethodProfile::hack(), cocktail_in, cocktail_out);
+        let short = c.estimate_max_rps(&KvMethodProfile::baseline(), imdb_in, imdb_out);
+        assert!(base > 0.0);
+        assert!(hack >= base, "hack rps {hack} vs baseline {base}");
+        assert!(short > base, "short-prompt rps {short} vs long-prompt {base}");
+        // The paper drives the cluster at fractions of an RPS for Cocktail.
+        assert!(base < 5.0, "baseline max rps {base}");
+    }
+
+    #[test]
+    fn v100_fleet_has_lowest_bandwidth() {
+        let v100 = ClusterConfig::paper_default(ModelKind::Llama31_70B, GpuKind::V100);
+        let a10g = ClusterConfig::paper_default(ModelKind::Llama31_70B, GpuKind::A10G);
+        assert!(v100.prefill_network_gbps < a10g.prefill_network_gbps);
+    }
+}

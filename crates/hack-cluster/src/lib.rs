@@ -1,0 +1,26 @@
+//! # hack-cluster
+//!
+//! Discrete-event simulator of disaggregated LLM inference (§2, §4, §7.1 of the paper).
+//!
+//! The simulated cluster consists of prefill replicas (cheap compute GPUs: A10G, V100,
+//! T4, L4 — or A100) and decode replicas (A100), sized the way §7.1 sizes them.
+//! Requests arrive as a Poisson process, are dispatched to the prefill replica with the
+//! shortest queue (by queued tokens), run prefill + KV quantization, transfer their KV
+//! data over the prefill instance's NIC (a FIFO resource, which is where the
+//! communication bottleneck and its contention come from), optionally overlapped with
+//! prefill (pipelining, Fig. 1(d)), wait for decode memory if none is available (the
+//! CPU-swap path of §4), and then decode one token at a time under continuous batching
+//! until the output length is reached.
+//!
+//! Per-stage *service* times come from [`hack_model::ReplicaCostModel`]; the simulator
+//! adds queueing, NIC contention, memory admission control and batching, and produces
+//! the per-request JCT decompositions, average time ratios and peak decode-memory
+//! figures that the paper's figures and tables report.
+
+pub mod config;
+pub mod result;
+pub mod sim;
+
+pub use config::{ClusterConfig, SimulationConfig};
+pub use result::{RequestRecord, SimulationResult};
+pub use sim::Simulator;

@@ -1,0 +1,197 @@
+//! Result tables: the common output format of the per-figure/table harness binaries.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One labelled row of numeric values.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Row {
+    /// Row label (e.g. a method or dataset name).
+    pub label: String,
+    /// Values, one per column.
+    pub values: Vec<f64>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// A named table of results that prints like the paper's figures/tables and serialises
+/// to JSON for downstream processing.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExperimentTable {
+    /// Identifier of the experiment (e.g. "fig9", "table5").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers (not counting the row-label column).
+    pub columns: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Row>,
+    /// Unit of the values (e.g. "s", "%", "ratio").
+    pub unit: String,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: Vec<String>,
+        unit: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            unit: unit.into(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the value count does not match the column count.
+    pub fn push_row(&mut self, row: Row) {
+        assert_eq!(
+            row.values.len(),
+            self.columns.len(),
+            "row '{}' has {} values for {} columns",
+            row.label,
+            row.values.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Looks up a value by row label and column name.
+    pub fn value(&self, row_label: &str, column: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|r| r.label == row_label)
+            .map(|r| r.values[col])
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} [{}] (values in {}) ==", self.title, self.id, self.unit);
+        let label_width = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once("method".len()))
+            .max()
+            .unwrap_or(8)
+            + 2;
+        let col_width = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(8)
+            .max(10)
+            + 2;
+        let _ = write!(out, "{:<label_width$}", "");
+        for c in &self.columns {
+            let _ = write!(out, "{c:>col_width$}");
+        }
+        let _ = writeln!(out);
+        for r in &self.rows {
+            let _ = write!(out, "{:<label_width$}", r.label);
+            for v in &r.values {
+                let formatted = if v.abs() >= 1000.0 {
+                    format!("{v:.0}")
+                } else if v.abs() >= 1.0 {
+                    format!("{v:.2}")
+                } else {
+                    format!("{v:.4}")
+                };
+                let _ = write!(out, "{formatted:>col_width$}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Serialises the table to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("experiment tables always serialise")
+    }
+
+    /// Writes the JSON representation under `dir/<id>.json`, creating the directory.
+    pub fn save_json(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentTable {
+        let mut t = ExperimentTable::new(
+            "fig9",
+            "Average JCT across requests",
+            vec!["IMDb".into(), "Cocktail".into()],
+            "s",
+        );
+        t.push_row(Row::new("Baseline", vec![10.0, 40.0]));
+        t.push_row(Row::new("HACK", vec![6.0, 15.5]));
+        t
+    }
+
+    #[test]
+    fn lookup_by_label_and_column() {
+        let t = sample();
+        assert_eq!(t.value("HACK", "Cocktail"), Some(15.5));
+        assert_eq!(t.value("HACK", "arXiv"), None);
+        assert_eq!(t.value("Nope", "IMDb"), None);
+    }
+
+    #[test]
+    fn render_contains_headers_and_values() {
+        let r = sample().render();
+        assert!(r.contains("Average JCT"));
+        assert!(r.contains("Cocktail"));
+        assert!(r.contains("Baseline"));
+        assert!(r.contains("15.5"));
+    }
+
+    #[test]
+    fn json_round_trips_structurally() {
+        let t = sample();
+        let json = t.to_json();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["id"], "fig9");
+        assert_eq!(value["rows"][1]["label"], "HACK");
+        assert_eq!(value["rows"][1]["values"][1], 15.5);
+    }
+
+    #[test]
+    fn save_json_writes_file() {
+        let dir = std::env::temp_dir().join("hack_experiment_table_test");
+        let path = sample().save_json(&dir).unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "values for")]
+    fn mismatched_row_width_panics() {
+        let mut t = sample();
+        t.push_row(Row::new("bad", vec![1.0]));
+    }
+}

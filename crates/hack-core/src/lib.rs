@@ -1,0 +1,57 @@
+//! # hack-core
+//!
+//! The user-facing API of the HACK reproduction. It ties the substrates together:
+//!
+//! * [`method`] — the [`Method`] enum: every system compared in the paper (baseline,
+//!   CacheGen-like, KVQuant-like, FP8/6/4, HACK and its ablations/partition variants),
+//!   with mappings to the cost-model profile, the numerical attention backend and the
+//!   KV cache layout.
+//! * [`jct_runner`] — end-to-end JCT experiments on the cluster simulator: given a
+//!   model, prefill GPU, dataset and method, produce the average JCT, its stage
+//!   decomposition and the peak decode-memory usage (Figs. 1–4, 9–14, Table 5).
+//! * [`fidelity`] — numerical-fidelity experiments on the reference transformer and on
+//!   raw attention tensors: the accuracy proxy behind Tables 6–8.
+//! * [`experiment`] — output helpers: result tables that print like the paper's
+//!   figures/tables and serialise to JSON for the bench harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hack_core::prelude::*;
+//!
+//! // Homomorphic-quantized attention on one head.
+//! let mut rng = DetRng::new(7);
+//! let q = Matrix::random_normal(64, 64, 0.0, 1.0, &mut rng);
+//! let k = Matrix::random_normal(64, 64, 0.0, 1.0, &mut rng);
+//! let v = Matrix::random_normal(64, 64, 0.0, 1.0, &mut rng);
+//! let out = hack_prefill_attention(&q, &k, &v, HackConfig::paper_default(), &mut rng);
+//! assert_eq!(out.output.shape(), (64, 64));
+//! ```
+
+pub mod experiment;
+pub mod fidelity;
+pub mod jct_runner;
+pub mod method;
+
+pub use experiment::{ExperimentTable, Row};
+pub use fidelity::{FidelityReport, FidelitySetup};
+pub use jct_runner::{JctExperiment, JctOutcome};
+pub use method::Method;
+
+/// Convenience re-exports for examples and downstream users.
+pub mod prelude {
+    pub use crate::experiment::{ExperimentTable, Row};
+    pub use crate::fidelity::{FidelityReport, FidelitySetup};
+    pub use crate::jct_runner::{JctExperiment, JctOutcome};
+    pub use crate::method::Method;
+    pub use hack_attention::prefill::hack_prefill_attention;
+    pub use hack_attention::state::HackKvState;
+    pub use hack_attention::baseline::{baseline_attention, AttentionMask};
+    pub use hack_cluster::{ClusterConfig, SimulationConfig, Simulator};
+    pub use hack_model::gpu::GpuKind;
+    pub use hack_model::spec::ModelKind;
+    pub use hack_quant::{HackConfig, QuantizedTensor};
+    pub use hack_tensor::{DetRng, Matrix};
+    pub use hack_workload::dataset::Dataset;
+    pub use hack_workload::trace::TraceConfig;
+}

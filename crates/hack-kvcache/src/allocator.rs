@@ -1,0 +1,216 @@
+//! Free-list allocator of physical KV cache blocks over a byte budget.
+
+use crate::block::{BlockId, BLOCK_TOKENS};
+use crate::layout::{CacheLayout, KvShape};
+
+/// Allocates fixed-size KV blocks out of a GPU memory budget.
+#[derive(Debug, Clone)]
+pub struct BlockAllocator {
+    total_blocks: usize,
+    free: Vec<BlockId>,
+    block_bytes: usize,
+}
+
+impl BlockAllocator {
+    /// Creates an allocator over `budget_bytes` of KV cache memory for the given model
+    /// shape and storage layout.
+    ///
+    /// The per-block byte cost is amortised over a long reference sequence (128 blocks)
+    /// rather than computed for a single 16-token block: per-sequence structures such
+    /// as quantization metadata and the RQE FP16 tail exist once per sequence, not once
+    /// per block, and charging them to every block would misprice quantized layouts.
+    pub fn new(budget_bytes: usize, shape: &KvShape, layout: &CacheLayout) -> Self {
+        const REFERENCE_BLOCKS: usize = 128;
+        let block_bytes = layout
+            .kv_bytes(shape, BLOCK_TOKENS * REFERENCE_BLOCKS)
+            .div_ceil(REFERENCE_BLOCKS)
+            .max(1);
+        let total_blocks = budget_bytes / block_bytes;
+        let free: Vec<BlockId> = (0..total_blocks).rev().map(BlockId).collect();
+        Self {
+            total_blocks,
+            free,
+            block_bytes,
+        }
+    }
+
+    /// Creates an allocator with an explicit number of blocks (tests / custom sizing).
+    pub fn with_blocks(total_blocks: usize, block_bytes: usize) -> Self {
+        Self {
+            total_blocks,
+            free: (0..total_blocks).rev().map(BlockId).collect(),
+            block_bytes,
+        }
+    }
+
+    /// Total number of blocks managed.
+    pub fn total_blocks(&self) -> usize {
+        self.total_blocks
+    }
+
+    /// Number of currently free blocks.
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of currently allocated blocks.
+    pub fn used_blocks(&self) -> usize {
+        self.total_blocks - self.free.len()
+    }
+
+    /// Bytes represented by a single block.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> usize {
+        self.used_blocks() * self.block_bytes
+    }
+
+    /// Whether `n` blocks can currently be allocated.
+    pub fn can_allocate(&self, n: usize) -> bool {
+        self.free.len() >= n
+    }
+
+    /// Allocates `n` blocks, or returns `None` (allocating nothing) if they are not all
+    /// available.
+    pub fn allocate(&mut self, n: usize) -> Option<Vec<BlockId>> {
+        if !self.can_allocate(n) {
+            return None;
+        }
+        let at = self.free.len() - n;
+        Some(self.free.split_off(at))
+    }
+
+    /// Frees previously allocated blocks.
+    ///
+    /// # Panics
+    /// Panics if freeing would exceed the total block count (double free).
+    pub fn free(&mut self, blocks: &[BlockId]) {
+        assert!(
+            self.free.len() + blocks.len() <= self.total_blocks,
+            "double free: {} free + {} returned > {} total",
+            self.free.len(),
+            blocks.len(),
+            self.total_blocks
+        );
+        self.free.extend_from_slice(blocks);
+    }
+
+    /// Fraction of blocks currently in use (0.0–1.0).
+    pub fn utilization(&self) -> f64 {
+        if self.total_blocks == 0 {
+            return 0.0;
+        }
+        self.used_blocks() as f64 / self.total_blocks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hack_quant::params::QuantBits;
+
+    fn small_shape() -> KvShape {
+        KvShape {
+            layers: 2,
+            kv_heads: 2,
+            head_dim: 64,
+        }
+    }
+
+    #[test]
+    fn budget_determines_block_count() {
+        let shape = small_shape();
+        let layout = CacheLayout::Fp16;
+        let block_bytes = layout.kv_bytes(&shape, BLOCK_TOKENS);
+        let alloc = BlockAllocator::new(block_bytes * 10 + 5, &shape, &layout);
+        assert_eq!(alloc.total_blocks(), 10);
+        assert_eq!(alloc.free_blocks(), 10);
+        assert_eq!(alloc.block_bytes(), block_bytes);
+    }
+
+    #[test]
+    fn quantized_layout_yields_more_blocks_for_same_budget() {
+        let shape = small_shape();
+        let budget = 64 * 1024 * 1024;
+        let fp16 = BlockAllocator::new(budget, &shape, &CacheLayout::Fp16);
+        let hack = BlockAllocator::new(budget, &shape, &CacheLayout::hack_default());
+        assert!(hack.total_blocks() > 4 * fp16.total_blocks());
+    }
+
+    #[test]
+    fn allocate_and_free_round_trip() {
+        let mut alloc = BlockAllocator::with_blocks(8, 100);
+        let a = alloc.allocate(3).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(alloc.used_blocks(), 3);
+        assert_eq!(alloc.used_bytes(), 300);
+        let b = alloc.allocate(5).unwrap();
+        assert_eq!(alloc.free_blocks(), 0);
+        assert!(alloc.allocate(1).is_none());
+        alloc.free(&a);
+        assert_eq!(alloc.free_blocks(), 3);
+        alloc.free(&b);
+        assert_eq!(alloc.free_blocks(), 8);
+        assert_eq!(alloc.utilization(), 0.0);
+    }
+
+    #[test]
+    fn failed_allocation_changes_nothing() {
+        let mut alloc = BlockAllocator::with_blocks(2, 10);
+        assert!(alloc.allocate(3).is_none());
+        assert_eq!(alloc.free_blocks(), 2);
+    }
+
+    #[test]
+    fn allocated_ids_are_unique() {
+        let mut alloc = BlockAllocator::with_blocks(16, 10);
+        let mut all = Vec::new();
+        for _ in 0..4 {
+            all.extend(alloc.allocate(4).unwrap());
+        }
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut alloc = BlockAllocator::with_blocks(2, 10);
+        let a = alloc.allocate(1).unwrap();
+        alloc.free(&a);
+        alloc.free(&a);
+        alloc.free(&a);
+    }
+
+    #[test]
+    fn utilization_tracks_usage() {
+        let mut alloc = BlockAllocator::with_blocks(10, 10);
+        alloc.allocate(5).unwrap();
+        assert!((alloc.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hack_layout_block_bytes_are_amortised() {
+        let shape = KvShape {
+            layers: 4,
+            kv_heads: 4,
+            head_dim: 128,
+        };
+        let layout = CacheLayout::Quantized {
+            bits: QuantBits::Int2,
+            partition: 64,
+            store_sums: true,
+            fp16_tail: true,
+        };
+        let alloc = BlockAllocator::new(1 << 30, &shape, &layout);
+        // The amortised per-block cost must be cheaper than pricing a lone 16-token
+        // block (which would charge the whole FP16 tail to that block) but still much
+        // cheaper than an FP16 block.
+        assert!(alloc.block_bytes() < layout.kv_bytes(&shape, BLOCK_TOKENS));
+        assert!(alloc.block_bytes() * 4 < CacheLayout::Fp16.kv_bytes(&shape, BLOCK_TOKENS));
+    }
+}

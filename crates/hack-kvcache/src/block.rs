@@ -1,0 +1,77 @@
+//! Fixed-size KV cache blocks.
+
+/// Number of token slots per KV cache block (vLLM's default block size).
+pub const BLOCK_TOKENS: usize = 16;
+
+/// Identifier of a physical KV cache block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub usize);
+
+/// A physical block: a fixed number of token slots, of which `used` are filled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// This block's id.
+    pub id: BlockId,
+    /// Number of token slots currently used (`<= BLOCK_TOKENS`).
+    pub used: usize,
+}
+
+impl Block {
+    /// Creates an empty block.
+    pub fn new(id: BlockId) -> Self {
+        Self { id, used: 0 }
+    }
+
+    /// Remaining free token slots.
+    pub fn free_slots(&self) -> usize {
+        BLOCK_TOKENS - self.used
+    }
+
+    /// Whether the block is full.
+    pub fn is_full(&self) -> bool {
+        self.used == BLOCK_TOKENS
+    }
+
+    /// Fills up to `n` slots, returning how many were actually filled.
+    pub fn fill(&mut self, n: usize) -> usize {
+        let take = n.min(self.free_slots());
+        self.used += take;
+        take
+    }
+}
+
+/// Number of blocks needed to hold `tokens` tokens.
+pub fn blocks_for_tokens(tokens: usize) -> usize {
+    tokens.div_ceil(BLOCK_TOKENS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_block_is_empty() {
+        let b = Block::new(BlockId(3));
+        assert_eq!(b.used, 0);
+        assert_eq!(b.free_slots(), BLOCK_TOKENS);
+        assert!(!b.is_full());
+    }
+
+    #[test]
+    fn fill_caps_at_capacity() {
+        let mut b = Block::new(BlockId(0));
+        assert_eq!(b.fill(10), 10);
+        assert_eq!(b.fill(10), BLOCK_TOKENS - 10);
+        assert!(b.is_full());
+        assert_eq!(b.fill(5), 0);
+    }
+
+    #[test]
+    fn blocks_for_tokens_rounds_up() {
+        assert_eq!(blocks_for_tokens(0), 0);
+        assert_eq!(blocks_for_tokens(1), 1);
+        assert_eq!(blocks_for_tokens(BLOCK_TOKENS), 1);
+        assert_eq!(blocks_for_tokens(BLOCK_TOKENS + 1), 2);
+        assert_eq!(blocks_for_tokens(1000), 63);
+    }
+}

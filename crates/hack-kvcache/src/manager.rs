@@ -1,0 +1,283 @@
+//! Per-sequence KV cache management: block tables, appends, admission control.
+
+use crate::allocator::BlockAllocator;
+use crate::block::{blocks_for_tokens, BlockId, BLOCK_TOKENS};
+use crate::layout::{CacheLayout, KvShape};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Identifier of a sequence (request) resident in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SequenceId(pub u64);
+
+#[derive(Debug, Clone)]
+struct SequenceEntry {
+    blocks: Vec<BlockId>,
+    tokens: usize,
+}
+
+/// Paged KV cache manager for one decode (or prefill) instance.
+///
+/// Thread-safe: the cluster simulator and the transport demo touch it from multiple
+/// worker threads.
+#[derive(Debug)]
+pub struct KvCacheManager {
+    inner: Mutex<Inner>,
+    shape: KvShape,
+    layout: CacheLayout,
+}
+
+#[derive(Debug)]
+struct Inner {
+    allocator: BlockAllocator,
+    sequences: HashMap<SequenceId, SequenceEntry>,
+    peak_used_blocks: usize,
+}
+
+impl KvCacheManager {
+    /// Creates a manager over `budget_bytes` of KV memory.
+    pub fn new(budget_bytes: usize, shape: KvShape, layout: CacheLayout) -> Self {
+        let allocator = BlockAllocator::new(budget_bytes, &shape, &layout);
+        Self {
+            inner: Mutex::new(Inner {
+                allocator,
+                sequences: HashMap::new(),
+                peak_used_blocks: 0,
+            }),
+            shape,
+            layout,
+        }
+    }
+
+    /// The model KV shape this cache serves.
+    pub fn shape(&self) -> KvShape {
+        self.shape
+    }
+
+    /// The storage layout of this cache.
+    pub fn layout(&self) -> CacheLayout {
+        self.layout
+    }
+
+    /// Whether a new sequence of `tokens` tokens can currently be admitted.
+    pub fn can_admit(&self, tokens: usize) -> bool {
+        self.inner.lock().allocator.can_allocate(blocks_for_tokens(tokens))
+    }
+
+    /// Admits a sequence with `tokens` tokens (its prompt KV data), allocating blocks.
+    /// Returns `false` (and admits nothing) if memory is insufficient — the caller then
+    /// swaps to CPU memory or queues the request, as in §4.
+    pub fn admit(&self, id: SequenceId, tokens: usize) -> bool {
+        let mut inner = self.inner.lock();
+        assert!(
+            !inner.sequences.contains_key(&id),
+            "sequence {id:?} already admitted"
+        );
+        let needed = blocks_for_tokens(tokens);
+        match inner.allocator.allocate(needed) {
+            Some(blocks) => {
+                inner.sequences.insert(id, SequenceEntry { blocks, tokens });
+                inner.peak_used_blocks = inner.peak_used_blocks.max(inner.allocator.used_blocks());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Appends one generated token to a sequence, allocating a new block when the
+    /// current one is full. Returns `false` if a needed block could not be allocated
+    /// (the sequence is left unchanged).
+    pub fn append_token(&self, id: SequenceId) -> bool {
+        let mut inner = self.inner.lock();
+        let needs_block = {
+            let entry = inner
+                .sequences
+                .get(&id)
+                .unwrap_or_else(|| panic!("unknown sequence {id:?}"));
+            entry.tokens % BLOCK_TOKENS == 0 && entry.tokens > 0 || entry.blocks.is_empty()
+        };
+        if needs_block {
+            match inner.allocator.allocate(1) {
+                Some(mut blocks) => {
+                    let new_block = blocks.pop().unwrap();
+                    inner.sequences.get_mut(&id).unwrap().blocks.push(new_block);
+                }
+                None => return false,
+            }
+        }
+        inner.sequences.get_mut(&id).unwrap().tokens += 1;
+        inner.peak_used_blocks = inner.peak_used_blocks.max(inner.allocator.used_blocks());
+        true
+    }
+
+    /// Releases a finished sequence, returning its blocks to the free list.
+    pub fn release(&self, id: SequenceId) {
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.sequences.remove(&id) {
+            inner.allocator.free(&entry.blocks);
+        }
+    }
+
+    /// Number of tokens held for a sequence, if resident.
+    pub fn tokens_of(&self, id: SequenceId) -> Option<usize> {
+        self.inner.lock().sequences.get(&id).map(|e| e.tokens)
+    }
+
+    /// Number of resident sequences.
+    pub fn resident_sequences(&self) -> usize {
+        self.inner.lock().sequences.len()
+    }
+
+    /// Bytes currently allocated to KV data.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().allocator.used_bytes()
+    }
+
+    /// Peak bytes ever allocated to KV data.
+    pub fn peak_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.peak_used_blocks * inner.allocator.block_bytes()
+    }
+
+    /// Current block utilisation (0.0–1.0).
+    pub fn utilization(&self) -> f64 {
+        self.inner.lock().allocator.utilization()
+    }
+
+    /// Total KV memory budget in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.allocator.total_blocks() * inner.allocator.block_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> KvShape {
+        KvShape {
+            layers: 2,
+            kv_heads: 2,
+            head_dim: 64,
+        }
+    }
+
+    fn manager_with_blocks(blocks: usize) -> KvCacheManager {
+        let layout = CacheLayout::Fp16;
+        let s = shape();
+        let block_bytes = layout.kv_bytes(&s, BLOCK_TOKENS);
+        KvCacheManager::new(block_bytes * blocks, s, layout)
+    }
+
+    #[test]
+    fn admit_allocates_expected_blocks() {
+        let m = manager_with_blocks(10);
+        assert!(m.can_admit(100));
+        assert!(m.admit(SequenceId(1), 100));
+        // 100 tokens -> 7 blocks of 16.
+        assert_eq!(m.used_bytes(), 7 * m.capacity_bytes() / 10);
+        assert_eq!(m.tokens_of(SequenceId(1)), Some(100));
+        assert_eq!(m.resident_sequences(), 1);
+    }
+
+    #[test]
+    fn admission_fails_when_full_and_leaves_state_unchanged() {
+        let m = manager_with_blocks(4);
+        assert!(m.admit(SequenceId(1), 40)); // 3 blocks
+        assert!(!m.can_admit(40));
+        assert!(!m.admit(SequenceId(2), 40));
+        assert_eq!(m.resident_sequences(), 1);
+        assert!(m.admit(SequenceId(3), 10)); // 1 block still fits
+    }
+
+    #[test]
+    fn append_token_allocates_block_on_boundary() {
+        let m = manager_with_blocks(3);
+        assert!(m.admit(SequenceId(1), 16)); // exactly one full block
+        let before = m.used_bytes();
+        assert!(m.append_token(SequenceId(1))); // needs a second block
+        assert!(m.used_bytes() > before);
+        assert_eq!(m.tokens_of(SequenceId(1)), Some(17));
+        // Tokens 18..32 reuse the same block.
+        for _ in 0..15 {
+            assert!(m.append_token(SequenceId(1)));
+        }
+        assert_eq!(m.tokens_of(SequenceId(1)), Some(32));
+        assert_eq!(m.used_bytes(), before + m.capacity_bytes() / 3);
+    }
+
+    #[test]
+    fn append_fails_when_out_of_blocks() {
+        let m = manager_with_blocks(1);
+        assert!(m.admit(SequenceId(1), 16));
+        assert!(!m.append_token(SequenceId(1)));
+        assert_eq!(m.tokens_of(SequenceId(1)), Some(16));
+    }
+
+    #[test]
+    fn release_returns_blocks() {
+        let m = manager_with_blocks(4);
+        assert!(m.admit(SequenceId(1), 64));
+        assert!(!m.can_admit(16));
+        m.release(SequenceId(1));
+        assert!(m.can_admit(64));
+        assert_eq!(m.used_bytes(), 0);
+        assert_eq!(m.resident_sequences(), 0);
+    }
+
+    #[test]
+    fn peak_usage_is_monotone() {
+        let m = manager_with_blocks(8);
+        assert!(m.admit(SequenceId(1), 64)); // 4 blocks
+        let peak_after_admit = m.peak_bytes();
+        m.release(SequenceId(1));
+        assert_eq!(m.peak_bytes(), peak_after_admit);
+        assert!(m.admit(SequenceId(2), 16));
+        assert_eq!(m.peak_bytes(), peak_after_admit);
+        assert!(m.admit(SequenceId(3), 112)); // brings usage to 8 blocks
+        assert!(m.peak_bytes() > peak_after_admit);
+    }
+
+    #[test]
+    #[should_panic(expected = "already admitted")]
+    fn duplicate_admission_panics() {
+        let m = manager_with_blocks(4);
+        m.admit(SequenceId(1), 1);
+        m.admit(SequenceId(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown sequence")]
+    fn append_unknown_sequence_panics() {
+        let m = manager_with_blocks(4);
+        m.append_token(SequenceId(9));
+    }
+
+    #[test]
+    fn quantized_layout_admits_many_more_tokens() {
+        let s = shape();
+        let budget = 8 * 1024 * 1024;
+        let fp16 = KvCacheManager::new(budget, s, CacheLayout::Fp16);
+        let hack = KvCacheManager::new(budget, s, CacheLayout::hack_default());
+        // Keep admitting 512-token sequences until each cache is full.
+        let count = |m: &KvCacheManager| {
+            let mut n = 0u64;
+            while m.admit(SequenceId(n), 512) {
+                n += 1;
+            }
+            n
+        };
+        let n_fp16 = count(&fp16);
+        let n_hack = count(&hack);
+        assert!(n_hack >= 4 * n_fp16, "hack {n_hack} vs fp16 {n_fp16}");
+    }
+
+    #[test]
+    fn utilization_reflects_block_usage() {
+        let m = manager_with_blocks(10);
+        assert_eq!(m.utilization(), 0.0);
+        m.admit(SequenceId(1), 80); // 5 blocks
+        assert!((m.utilization() - 0.5).abs() < 1e-9);
+    }
+}

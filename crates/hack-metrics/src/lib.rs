@@ -1,0 +1,21 @@
+//! # hack-metrics
+//!
+//! Metrics and reporting for the HACK reproduction:
+//!
+//! * [`jct`] — per-request Job Completion Time decomposition (prefill / quantization /
+//!   communication / dequantization-or-approximation / decode / queueing) and the
+//!   aggregated statistics the paper's figures report (average JCT, average time
+//!   ratios).
+//! * [`rouge`] — ROUGE-1 F-score, the paper's accuracy metric for summarization.
+//! * [`edit`] — normalized Levenshtein edit similarity, the paper's accuracy metric for
+//!   code completion.
+//! * [`error`] — scalar error metrics on vectors (used by the fidelity harness).
+
+pub mod edit;
+pub mod error;
+pub mod jct;
+pub mod rouge;
+
+pub use edit::edit_similarity;
+pub use jct::{average_ratios, JctBreakdown, JctStats, StageRatios};
+pub use rouge::rouge1_f1;

@@ -1,0 +1,112 @@
+//! ROUGE-1: unigram-overlap F-score, the paper's accuracy metric for arXiv
+//! summarization (§7.1).
+
+use std::collections::HashMap;
+
+/// Tokenizes text into lowercase alphanumeric words.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+        .collect()
+}
+
+fn counts(tokens: &[String]) -> HashMap<&str, usize> {
+    let mut map = HashMap::new();
+    for t in tokens {
+        *map.entry(t.as_str()).or_insert(0) += 1;
+    }
+    map
+}
+
+/// ROUGE-1 F1 between a candidate and a reference text (clipped unigram overlap).
+///
+/// Returns a value in `[0, 1]`; 1.0 when both texts have identical bags of words,
+/// and 1.0 by convention when both are empty.
+pub fn rouge1_f1(candidate: &str, reference: &str) -> f64 {
+    let cand = tokenize(candidate);
+    let refr = tokenize(reference);
+    rouge1_f1_tokens(&cand, &refr)
+}
+
+/// ROUGE-1 F1 on pre-tokenized word lists (or arbitrary symbol sequences).
+pub fn rouge1_f1_tokens(candidate: &[String], reference: &[String]) -> f64 {
+    if candidate.is_empty() && reference.is_empty() {
+        return 1.0;
+    }
+    if candidate.is_empty() || reference.is_empty() {
+        return 0.0;
+    }
+    let cand_counts = counts(candidate);
+    let ref_counts = counts(reference);
+    let mut overlap = 0usize;
+    for (word, &c) in &cand_counts {
+        if let Some(&r) = ref_counts.get(word) {
+            overlap += c.min(r);
+        }
+    }
+    if overlap == 0 {
+        return 0.0;
+    }
+    let precision = overlap as f64 / candidate.len() as f64;
+    let recall = overlap as f64 / reference.len() as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_score_one() {
+        assert!((rouge1_f1("the cat sat on the mat", "the cat sat on the mat") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_texts_score_zero() {
+        assert_eq!(rouge1_f1("alpha beta gamma", "delta epsilon zeta"), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_known_value() {
+        // candidate: "the cat" (2 tokens), reference: "the cat sat" (3 tokens).
+        // overlap = 2, precision = 1.0, recall = 2/3, F1 = 0.8.
+        assert!((rouge1_f1("the cat", "the cat sat") - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipping_limits_repeated_words() {
+        // candidate repeats "the" 4 times but the reference has it twice.
+        let f1 = rouge1_f1("the the the the", "the quick the fox");
+        // overlap clipped to 2; precision 0.5, recall 0.5 -> F1 0.5.
+        assert!((f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tokenization_is_case_and_punctuation_insensitive() {
+        assert!((rouge1_f1("Hello, World!", "hello world") - 1.0).abs() < 1e-12);
+        assert_eq!(tokenize("Hello,   world!!"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        assert_eq!(rouge1_f1("", ""), 1.0);
+        assert_eq!(rouge1_f1("a", ""), 0.0);
+        assert_eq!(rouge1_f1("", "a"), 0.0);
+    }
+
+    #[test]
+    fn symmetric_in_f1() {
+        let a = "efficient kv cache compression for llm inference";
+        let b = "kv cache quantization makes llm inference efficient";
+        assert!((rouge1_f1(a, b) - rouge1_f1(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn token_variant_works_on_symbol_sequences() {
+        let a: Vec<String> = ["5", "7", "9"].iter().map(|s| s.to_string()).collect();
+        let b: Vec<String> = ["5", "9", "11"].iter().map(|s| s.to_string()).collect();
+        let f1 = rouge1_f1_tokens(&a, &b);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,320 @@
+//! Homomorphic quantized matrix multiplication (Eq. 4 of the paper).
+//!
+//! For `C = A·B` with `A` quantized per-row and `B` quantized per-column (both along
+//! the contracted dimension, in aligned partitions of Π elements), each output entry is
+//! recovered per partition `p` as
+//!
+//! ```text
+//! Σ_z a_iz·b_zj ≈ s_a·s_b·Σ_z a'_iz·b'_zj  +  m_b·s_a·Σ_z a'_iz  +  m_a·s_b·Σ_z b'_zj  +  Π·m_a·m_b
+//! ```
+//!
+//! The first term is the integer GEMM on the raw codes (executable with INT8 tensor
+//! cores); the remaining three are the cheap affine correction. With Summation
+//! Elimination the code sums `Σ a'` and `Σ b'` are read from storage instead of being
+//! recomputed.
+
+use crate::cost::HomomorphicOpCounts;
+use crate::qmatrix::QuantizedTensor;
+use hack_tensor::Matrix;
+
+/// Checks that two tensors can participate in a homomorphic product.
+fn check_compat(a: &QuantizedTensor, b: &QuantizedTensor) {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "contracted dimension mismatch: A has {}, B has {}",
+        a.cols(),
+        b.cols()
+    );
+    assert_eq!(
+        a.partition(),
+        b.partition(),
+        "partition size mismatch: A uses {}, B uses {}",
+        a.partition(),
+        b.partition()
+    );
+}
+
+/// Homomorphic quantized GEMM with Summation Elimination (stored code sums).
+///
+/// `a` holds the `M` rows of the left operand, `b` holds the `N` columns of the right
+/// operand (both along the contracted dimension). Returns the `M × N` approximation of
+/// `A·B` in `f32`.
+pub fn homomorphic_matmul(a: &QuantizedTensor, b: &QuantizedTensor) -> Matrix {
+    homomorphic_matmul_impl(a, b, true).0
+}
+
+/// Homomorphic quantized GEMM without Summation Elimination: the per-partition code
+/// sums are recomputed from the codes on every call (the HACK/SE ablation, §7.4).
+/// The numerical result is identical to [`homomorphic_matmul`].
+pub fn homomorphic_matmul_no_se(a: &QuantizedTensor, b: &QuantizedTensor) -> Matrix {
+    homomorphic_matmul_impl(a, b, false).0
+}
+
+/// Homomorphic GEMM that also returns the operation counts of the integer GEMM and of
+/// the approximation step, for the cost model and the ablation benches.
+pub fn homomorphic_matmul_counted(
+    a: &QuantizedTensor,
+    b: &QuantizedTensor,
+    use_stored_sums: bool,
+) -> (Matrix, HomomorphicOpCounts) {
+    homomorphic_matmul_impl(a, b, use_stored_sums)
+}
+
+fn homomorphic_matmul_impl(
+    a: &QuantizedTensor,
+    b: &QuantizedTensor,
+    use_stored_sums: bool,
+) -> (Matrix, HomomorphicOpCounts) {
+    check_compat(a, b);
+    let m = a.rows();
+    let n = b.rows();
+    let z = a.cols();
+    let n_parts = a.n_partitions();
+    let mut out = Matrix::zeros(m, n);
+    let mut counts = HomomorphicOpCounts::default();
+
+    for p in 0..n_parts {
+        let (start, end) = a.partition_range(p);
+        let len = (end - start) as f32;
+
+        // Pre-fetch the per-partition sums for both operands.
+        let a_sums: Vec<i32> = (0..m)
+            .map(|i| {
+                if use_stored_sums {
+                    a.sum(i, p)
+                } else {
+                    counts.sum_recompute_ops += end - start;
+                    a.recompute_sum(i, p)
+                }
+            })
+            .collect();
+        let b_sums: Vec<i32> = (0..n)
+            .map(|j| {
+                if use_stored_sums {
+                    b.sum(j, p)
+                } else {
+                    counts.sum_recompute_ops += end - start;
+                    b.recompute_sum(j, p)
+                }
+            })
+            .collect();
+
+        for i in 0..m {
+            let a_codes = &a.codes_row(i)[start..end];
+            let a_meta = a.meta(i, p);
+            let out_row = out.row_mut(i);
+            for j in 0..n {
+                let b_codes = &b.codes_row(j)[start..end];
+                let b_meta = b.meta(j, p);
+
+                // Integer inner product on the raw codes (the INT8-accelerated part).
+                let mut dot = 0i32;
+                for (x, y) in a_codes.iter().zip(b_codes) {
+                    dot += *x as i32 * *y as i32;
+                }
+                counts.int_mac_ops += end - start;
+
+                // Affine correction (Eq. 4).
+                let approx = a_meta.scale * b_meta.scale * dot as f32
+                    + b_meta.min * a_meta.scale * a_sums[i] as f32
+                    + a_meta.min * b_meta.scale * b_sums[j] as f32
+                    + len * a_meta.min * b_meta.min;
+                counts.approx_ops += 9;
+                out_row[j] += approx;
+            }
+        }
+    }
+    counts.m = m;
+    counts.n = n;
+    counts.z = z;
+    (out, counts)
+}
+
+/// Dequantize-then-multiply comparator: the path KV-quantization baselines (CacheGen,
+/// KVQuant) must take. Both operands are fully dequantized to FP16 precision and the
+/// product is computed in floating point. Mathematically this equals the homomorphic
+/// result; the paper's point is that it costs a full dequantization of the KV data on
+/// every decode iteration.
+pub fn dequant_matmul(a: &QuantizedTensor, b: &QuantizedTensor) -> Matrix {
+    check_compat(a, b);
+    let a_deq = a.dequantize().to_f16_precision();
+    let b_deq = b.dequantize().to_f16_precision();
+    hack_tensor::matmul::matmul_transposed_b(&a_deq, &b_deq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{QuantBits, RoundingMode};
+    use hack_tensor::matmul::matmul_transposed_b;
+    use hack_tensor::{relative_frobenius_error, DetRng, Matrix};
+
+    fn quantize_pair(
+        a: &Matrix,
+        b_t: &Matrix,
+        a_bits: QuantBits,
+        b_bits: QuantBits,
+        partition: usize,
+        rng: &mut DetRng,
+    ) -> (QuantizedTensor, QuantizedTensor) {
+        let qa = QuantizedTensor::quantize_rows(a, a_bits, partition, RoundingMode::Nearest, rng);
+        let qb = QuantizedTensor::quantize_rows(b_t, b_bits, partition, RoundingMode::Nearest, rng);
+        (qa, qb)
+    }
+
+    #[test]
+    fn matches_dequantize_then_multiply() {
+        // Eq. 4 is the exact algebraic expansion of the dequantized product, so the two
+        // paths must agree to floating-point rounding.
+        let mut rng = DetRng::new(1);
+        let a = Matrix::random_normal(4, 128, 0.0, 1.0, &mut rng);
+        let b_t = Matrix::random_normal(6, 128, 0.0, 1.0, &mut rng);
+        let (qa, qb) = quantize_pair(&a, &b_t, QuantBits::Int8, QuantBits::Int2, 64, &mut rng);
+        let hom = homomorphic_matmul(&qa, &qb);
+        let deq = dequant_matmul(&qa, &qb);
+        let err = relative_frobenius_error(&deq, &hom);
+        assert!(err < 2e-3, "homomorphic vs dequantized mismatch: {err}");
+    }
+
+    #[test]
+    fn approximates_true_product_with_int8() {
+        let mut rng = DetRng::new(2);
+        let a = Matrix::random_normal(8, 128, 0.0, 1.0, &mut rng);
+        let b_t = Matrix::random_normal(8, 128, 0.0, 1.0, &mut rng);
+        let truth = matmul_transposed_b(&a, &b_t);
+        let (qa, qb) = quantize_pair(&a, &b_t, QuantBits::Int8, QuantBits::Int8, 64, &mut rng);
+        let hom = homomorphic_matmul(&qa, &qb);
+        let err = relative_frobenius_error(&truth, &hom);
+        assert!(err < 0.02, "int8 homomorphic error too large: {err}");
+    }
+
+    #[test]
+    fn int2_error_is_moderate_and_improves_with_smaller_partitions() {
+        let mut rng = DetRng::new(3);
+        let a = Matrix::random_normal(4, 128, 0.0, 1.0, &mut rng);
+        let b_t = Matrix::random_normal(16, 128, 0.0, 1.0, &mut rng);
+        let truth = matmul_transposed_b(&a, &b_t);
+
+        let (qa32, qb32) = quantize_pair(&a, &b_t, QuantBits::Int8, QuantBits::Int2, 32, &mut rng);
+        let (qa128, qb128) = quantize_pair(&a, &b_t, QuantBits::Int8, QuantBits::Int2, 128, &mut rng);
+        let e32 = relative_frobenius_error(&truth, &homomorphic_matmul(&qa32, &qb32));
+        let e128 = relative_frobenius_error(&truth, &homomorphic_matmul(&qa128, &qb128));
+        assert!(e32 < e128, "Π=32 error {e32} should be below Π=128 error {e128}");
+        assert!(e128 < 0.6, "Π=128 error should still be bounded: {e128}");
+    }
+
+    #[test]
+    fn exact_when_values_lie_on_quantization_grid() {
+        // Construct matrices whose entries are exactly representable with 2-bit codes
+        // (values in {0, 1, 2, 3}); nearest-rounding quantization is then lossless and
+        // the homomorphic product must equal the exact product.
+        let mut rng = DetRng::new(4);
+        let a = Matrix::from_fn(3, 64, |_, _| rng.range_usize(0, 4) as f32);
+        let b_t = Matrix::from_fn(5, 64, |_, _| rng.range_usize(0, 4) as f32);
+        let truth = matmul_transposed_b(&a, &b_t);
+        let (qa, qb) = quantize_pair(&a, &b_t, QuantBits::Int2, QuantBits::Int2, 32, &mut rng);
+        let hom = homomorphic_matmul(&qa, &qb);
+        let err = relative_frobenius_error(&truth, &hom);
+        assert!(err < 1e-3, "grid-aligned product should be (nearly) exact: {err}");
+    }
+
+    #[test]
+    fn se_and_no_se_agree_exactly() {
+        let mut rng = DetRng::new(5);
+        let a = Matrix::random_normal(2, 96, 0.0, 1.0, &mut rng);
+        let b_t = Matrix::random_normal(7, 96, 0.0, 1.0, &mut rng);
+        let (qa, qb) = quantize_pair(&a, &b_t, QuantBits::Int8, QuantBits::Int2, 32, &mut rng);
+        let with_se = homomorphic_matmul(&qa, &qb);
+        let without_se = homomorphic_matmul_no_se(&qa, &qb);
+        assert_eq!(with_se.as_slice(), without_se.as_slice());
+    }
+
+    #[test]
+    fn op_counts_match_paper_formulas() {
+        let mut rng = DetRng::new(6);
+        let m = 3;
+        let n = 10;
+        let z = 128;
+        let partition = 64;
+        let a = Matrix::random_normal(m, z, 0.0, 1.0, &mut rng);
+        let b_t = Matrix::random_normal(n, z, 0.0, 1.0, &mut rng);
+        let (qa, qb) = quantize_pair(&a, &b_t, QuantBits::Int8, QuantBits::Int2, partition, &mut rng);
+
+        let (_, counts) = homomorphic_matmul_counted(&qa, &qb, true);
+        // Integer MACs: one per (i, j, z) triple.
+        assert_eq!(counts.int_mac_ops, m * n * z);
+        // Approximation: 9 ops per (i, j, partition) triple.
+        let n_parts = z / partition;
+        assert_eq!(counts.approx_ops, 9 * m * n * n_parts);
+        assert_eq!(counts.sum_recompute_ops, 0);
+
+        let (_, counts_no_se) = homomorphic_matmul_counted(&qa, &qb, false);
+        // Without SE every partition sum of both operands is recomputed: (m + n) * z ops.
+        assert_eq!(counts_no_se.sum_recompute_ops, (m + n) * z);
+    }
+
+    #[test]
+    fn decode_shape_single_query_row() {
+        // Decode: L_Q = 1 against a long KV history.
+        let mut rng = DetRng::new(7);
+        let d_h = 128;
+        let l_kv = 300;
+        let q = Matrix::random_normal(1, d_h, 0.0, 1.0, &mut rng);
+        let k = Matrix::random_normal(l_kv, d_h, 0.0, 1.0, &mut rng);
+        let truth = matmul_transposed_b(&q, &k);
+        let qq = QuantizedTensor::quantize_rows(&q, QuantBits::Int8, 64, RoundingMode::Nearest, &mut rng);
+        let qk = QuantizedTensor::quantize_rows(&k, QuantBits::Int2, 64, RoundingMode::Nearest, &mut rng);
+        let hom = homomorphic_matmul(&qq, &qk);
+        assert_eq!(hom.shape(), (1, l_kv));
+        // Pure-Gaussian K is the worst case for 2-bit quantization (real keys carry
+        // much more per-partition structure); the error just needs to stay bounded.
+        let err = relative_frobenius_error(&truth, &hom);
+        assert!(err < 0.6, "decode-shape error {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "contracted dimension mismatch")]
+    fn mismatched_inner_dims_panic() {
+        let mut rng = DetRng::new(8);
+        let a = Matrix::zeros(2, 64);
+        let b = Matrix::zeros(2, 32);
+        let qa = QuantizedTensor::quantize_rows(&a, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let qb = QuantizedTensor::quantize_rows(&b, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        homomorphic_matmul(&qa, &qb);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition size mismatch")]
+    fn mismatched_partitions_panic() {
+        let mut rng = DetRng::new(9);
+        let a = Matrix::zeros(2, 64);
+        let qa = QuantizedTensor::quantize_rows(&a, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let qb = QuantizedTensor::quantize_rows(&a, QuantBits::Int2, 64, RoundingMode::Nearest, &mut rng);
+        homomorphic_matmul(&qa, &qb);
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased_in_the_product() {
+        // Averaging many stochastic quantizations of the same product should converge
+        // towards the true product (the whole point of stochastic rounding).
+        let mut rng = DetRng::new(10);
+        let a = Matrix::random_normal(1, 64, 0.0, 1.0, &mut rng);
+        let b_t = Matrix::random_normal(1, 64, 0.0, 1.0, &mut rng);
+        let truth = matmul_transposed_b(&a, &b_t).get(0, 0);
+        let trials = 400;
+        let mut acc = 0.0f64;
+        for _ in 0..trials {
+            let qa =
+                QuantizedTensor::quantize_rows(&a, QuantBits::Int8, 64, RoundingMode::Stochastic, &mut rng);
+            let qb =
+                QuantizedTensor::quantize_rows(&b_t, QuantBits::Int2, 64, RoundingMode::Stochastic, &mut rng);
+            acc += homomorphic_matmul(&qa, &qb).get(0, 0) as f64;
+        }
+        let mean = acc / trials as f64;
+        assert!(
+            (mean - truth as f64).abs() < 0.35,
+            "stochastic mean {mean} vs truth {truth}"
+        );
+    }
+}

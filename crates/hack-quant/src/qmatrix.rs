@@ -1,0 +1,668 @@
+//! Partitioned, asymmetric, quantized storage of a set of vectors.
+//!
+//! A [`QuantizedTensor`] holds `rows` vectors of length `cols`, where `cols` is the
+//! *contracted* dimension of a matrix product:
+//!
+//! * for the left operand `A` (`M × Z`) the vectors are the rows of `A`;
+//! * for the right operand `B` (`Z × N`) the vectors are the **columns** of `B`
+//!   (i.e. the tensor stores `Bᵀ`), which is also exactly how K and V are laid out in
+//!   the KV cache (token-major for K, channel-major for V).
+//!
+//! Each vector is split into partitions of `Π` consecutive elements (Fig. 6); each
+//! partition carries its own `min`/`scale` metadata and, for Summation Elimination
+//! (§5.3), the integer sum of its codes.
+//!
+//! Codes are held unpacked (one byte per code) for compute — mirroring §6, where 2-bit
+//! codes are widened to INT8 in local GPU memory before the matrix multiplication —
+//! while [`packed bytes`](QuantizedTensor::packed_code_bytes) are used for transfer and
+//! memory accounting.
+
+use crate::params::{QuantBits, RoundingMode};
+use crate::stochastic::{dequantize_value, quantize_value, PartitionMeta};
+use hack_tensor::{DetRng, Matrix};
+
+/// Statistics returned by append operations; used by the ablation cost accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppendStats {
+    /// Number of already-quantized elements that had to be dequantized and requantized
+    /// because the range of their partition changed (only non-zero without RQE).
+    pub requantized_elements: usize,
+    /// Number of new partitions created by the append.
+    pub new_partitions: usize,
+    /// Number of new elements quantized.
+    pub quantized_elements: usize,
+}
+
+impl AppendStats {
+    /// Merges two stats objects.
+    pub fn merge(self, other: AppendStats) -> AppendStats {
+        AppendStats {
+            requantized_elements: self.requantized_elements + other.requantized_elements,
+            new_partitions: self.new_partitions + other.new_partitions,
+            quantized_elements: self.quantized_elements + other.quantized_elements,
+        }
+    }
+}
+
+/// Quantized, partitioned tensor (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    rows: usize,
+    cols: usize,
+    bits: QuantBits,
+    partition: usize,
+    /// Unpacked codes, `rows × cols`, row-major, each in `[0, 2^bits)`.
+    codes: Vec<u8>,
+    /// Per-partition metadata, `rows × n_partitions`, row-major.
+    meta: Vec<PartitionMeta>,
+    /// Per-partition code sums (Summation Elimination), same layout as `meta`.
+    sums: Vec<i32>,
+}
+
+impl QuantizedTensor {
+    /// Quantizes the rows of `m` (each row is one vector along the contracted
+    /// dimension). Use for the left operand of a product and for K (token-major).
+    pub fn quantize_rows(
+        m: &Matrix,
+        bits: QuantBits,
+        partition: usize,
+        mode: RoundingMode,
+        rng: &mut DetRng,
+    ) -> Self {
+        assert!(partition > 0, "partition size must be positive");
+        let rows = m.rows();
+        let cols = m.cols();
+        let n_parts = cols.div_ceil(partition.max(1)).max(if cols == 0 { 0 } else { 1 });
+        let mut codes = vec![0u8; rows * cols];
+        let mut meta = Vec::with_capacity(rows * n_parts);
+        let mut sums = Vec::with_capacity(rows * n_parts);
+        for r in 0..rows {
+            let row = m.row(r);
+            for p in 0..n_parts {
+                let start = p * partition;
+                let end = (start + partition).min(cols);
+                let slice = &row[start..end];
+                let pm = PartitionMeta::from_values(slice, bits);
+                let mut sum = 0i32;
+                for (i, &v) in slice.iter().enumerate() {
+                    let c = quantize_value(v, &pm, bits, mode, rng);
+                    codes[r * cols + start + i] = c;
+                    sum += c as i32;
+                }
+                meta.push(pm);
+                sums.push(sum);
+            }
+        }
+        Self {
+            rows,
+            cols,
+            bits,
+            partition,
+            codes,
+            meta,
+            sums,
+        }
+    }
+
+    /// Quantizes the columns of `m` (`Z × N`): the resulting tensor has `N` vectors of
+    /// length `Z` (it stores `mᵀ`). Use for the right operand of a product and for V
+    /// (sequence-major source, channel-major storage).
+    pub fn quantize_cols(
+        m: &Matrix,
+        bits: QuantBits,
+        partition: usize,
+        mode: RoundingMode,
+        rng: &mut DetRng,
+    ) -> Self {
+        Self::quantize_rows(&m.transpose(), bits, partition, mode, rng)
+    }
+
+    /// Creates an empty tensor with `rows` vectors of length zero, ready for appends.
+    pub fn empty(rows: usize, bits: QuantBits, partition: usize) -> Self {
+        assert!(partition > 0, "partition size must be positive");
+        Self {
+            rows,
+            cols: 0,
+            bits,
+            partition,
+            codes: Vec::new(),
+            meta: Vec::new(),
+            sums: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a tensor from its raw parts (used by the transport layer).
+    ///
+    /// # Panics
+    /// Panics if the part lengths are inconsistent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        bits: QuantBits,
+        partition: usize,
+        codes: Vec<u8>,
+        meta: Vec<PartitionMeta>,
+        sums: Vec<i32>,
+    ) -> Self {
+        assert!(partition > 0, "partition size must be positive");
+        assert_eq!(codes.len(), rows * cols, "codes length mismatch");
+        let n_parts = if cols == 0 { 0 } else { cols.div_ceil(partition) };
+        assert_eq!(meta.len(), rows * n_parts, "meta length mismatch");
+        assert_eq!(sums.len(), rows * n_parts, "sums length mismatch");
+        Self {
+            rows,
+            cols,
+            bits,
+            partition,
+            codes,
+            meta,
+            sums,
+        }
+    }
+
+    /// Number of vectors.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Length of each vector (the contracted dimension).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Quantization precision.
+    pub fn bits(&self) -> QuantBits {
+        self.bits
+    }
+
+    /// Partition size Π.
+    pub fn partition(&self) -> usize {
+        self.partition
+    }
+
+    /// Number of partitions per vector.
+    pub fn n_partitions(&self) -> usize {
+        if self.cols == 0 {
+            0
+        } else {
+            self.cols.div_ceil(self.partition)
+        }
+    }
+
+    /// `[start, end)` column range of partition `p`.
+    pub fn partition_range(&self, p: usize) -> (usize, usize) {
+        let start = p * self.partition;
+        let end = (start + self.partition).min(self.cols);
+        (start, end)
+    }
+
+    /// Codes of vector `r`.
+    pub fn codes_row(&self, r: usize) -> &[u8] {
+        &self.codes[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// All codes, row-major.
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// All partition metadata, row-major.
+    pub fn metas(&self) -> &[PartitionMeta] {
+        &self.meta
+    }
+
+    /// All partition sums, row-major.
+    pub fn sums(&self) -> &[i32] {
+        &self.sums
+    }
+
+    /// Metadata of partition `p` of vector `r`.
+    #[inline]
+    pub fn meta(&self, r: usize, p: usize) -> PartitionMeta {
+        self.meta[r * self.n_partitions() + p]
+    }
+
+    /// Stored code sum of partition `p` of vector `r` (Summation Elimination).
+    #[inline]
+    pub fn sum(&self, r: usize, p: usize) -> i32 {
+        self.sums[r * self.n_partitions() + p]
+    }
+
+    /// Recomputes the code sum of partition `p` of vector `r` from the codes.
+    ///
+    /// This is what the HACK/SE ablation does every decode iteration instead of reading
+    /// the stored sums.
+    pub fn recompute_sum(&self, r: usize, p: usize) -> i32 {
+        let (start, end) = self.partition_range(p);
+        self.codes_row(r)[start..end].iter().map(|&c| c as i32).sum()
+    }
+
+    /// Verifies the stored-sum invariant (every stored sum equals the recomputed one).
+    pub fn sums_consistent(&self) -> bool {
+        for r in 0..self.rows {
+            for p in 0..self.n_partitions() {
+                if self.sum(r, p) != self.recompute_sum(r, p) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Dequantizes into a `rows × cols` matrix (in the stored orientation).
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        let n_parts = self.n_partitions();
+        for r in 0..self.rows {
+            for p in 0..n_parts {
+                let (start, end) = self.partition_range(p);
+                let pm = self.meta[r * n_parts + p];
+                for c in start..end {
+                    out.set(r, c, dequantize_value(self.codes[r * self.cols + c], &pm));
+                }
+            }
+        }
+        out
+    }
+
+    /// Dequantizes and transposes, recovering the original orientation of a tensor that
+    /// was built with [`Self::quantize_cols`].
+    pub fn dequantize_transposed(&self) -> Matrix {
+        self.dequantize().transpose()
+    }
+
+    /// Appends new vectors (rows of `m`, which must have `cols` columns), quantizing
+    /// them with fresh partitions. This is the K-append path during decode: the new
+    /// token's K vector forms its own partitions, so existing metadata never changes.
+    pub fn append_rows(&mut self, m: &Matrix, mode: RoundingMode, rng: &mut DetRng) -> AppendStats {
+        assert_eq!(m.cols(), self.cols, "append_rows expects vectors of length {}", self.cols);
+        let n_parts = self.n_partitions();
+        let mut stats = AppendStats::default();
+        for r in 0..m.rows() {
+            let row = m.row(r);
+            for p in 0..n_parts {
+                let (start, end) = self.partition_range(p);
+                let slice = &row[start..end];
+                let pm = PartitionMeta::from_values(slice, self.bits);
+                let mut sum = 0i32;
+                for &v in slice {
+                    let c = quantize_value(v, &pm, self.bits, mode, rng);
+                    self.codes.push(c);
+                    sum += c as i32;
+                }
+                self.meta.push(pm);
+                self.sums.push(sum);
+                stats.new_partitions += 1;
+                stats.quantized_elements += slice.len();
+            }
+            self.rows += 1;
+        }
+        stats
+    }
+
+    /// Appends new elements along the contracted dimension to **every** vector.
+    ///
+    /// `new_cols` must be a `rows × t` matrix: row `r` holds the `t` new elements of
+    /// vector `r`. This is the V-append path during decode *without* Requantization
+    /// Elimination: when the last partition is partial, its range may grow and all its
+    /// existing codes must be requantized (Fig. 8). The returned [`AppendStats`] counts
+    /// exactly how many elements were requantized.
+    pub fn append_columns(
+        &mut self,
+        new_cols: &Matrix,
+        mode: RoundingMode,
+        rng: &mut DetRng,
+    ) -> AppendStats {
+        assert_eq!(new_cols.rows(), self.rows, "append_columns expects {} rows", self.rows);
+        let t = new_cols.cols();
+        if t == 0 {
+            return AppendStats::default();
+        }
+        let old_cols = self.cols;
+        let new_total = old_cols + t;
+        let old_parts = self.n_partitions();
+        let new_parts = new_total.div_ceil(self.partition);
+        let mut stats = AppendStats::default();
+
+        // Rebuild codes/meta/sums row by row (the contracted dimension is contiguous
+        // per row, so growth shifts every subsequent row's storage anyway).
+        let mut new_codes = vec![0u8; self.rows * new_total];
+        let mut new_meta = Vec::with_capacity(self.rows * new_parts);
+        let mut new_sums = Vec::with_capacity(self.rows * new_parts);
+
+        for r in 0..self.rows {
+            // Assemble the full real-valued row: dequantized existing full partitions
+            // stay untouched; the partial last partition (if any) is dequantized so it
+            // can be requantized together with the new values.
+            let old_row_codes = &self.codes[r * old_cols..(r + 1) * old_cols];
+            let new_row_vals = new_cols.row(r);
+
+            for p in 0..new_parts {
+                let start = p * self.partition;
+                let end = (start + self.partition).min(new_total);
+
+                if end <= old_cols {
+                    // Entirely existing, untouched partition: copy codes/meta/sum.
+                    let pm = self.meta[r * old_parts + p];
+                    let sum = self.sums[r * old_parts + p];
+                    new_codes[r * new_total + start..r * new_total + end]
+                        .copy_from_slice(&old_row_codes[start..end]);
+                    new_meta.push(pm);
+                    new_sums.push(sum);
+                    continue;
+                }
+
+                // Partition contains new elements (and possibly old ones needing
+                // requantization).
+                let n_old = old_cols.saturating_sub(start);
+                let mut values: Vec<f32> = Vec::with_capacity(end - start);
+                if n_old > 0 {
+                    let pm_old = self.meta[r * old_parts + p];
+                    for c in start..old_cols {
+                        values.push(dequantize_value(old_row_codes[c], &pm_old));
+                    }
+                    stats.requantized_elements += n_old;
+                }
+                for idx in (start.max(old_cols))..end {
+                    values.push(new_row_vals[idx - old_cols]);
+                }
+                stats.quantized_elements += end - start.max(old_cols);
+                if p >= old_parts || n_old == 0 {
+                    stats.new_partitions += 1;
+                }
+
+                let pm = PartitionMeta::from_values(&values, self.bits);
+                let mut sum = 0i32;
+                for (i, &v) in values.iter().enumerate() {
+                    let c = quantize_value(v, &pm, self.bits, mode, rng);
+                    new_codes[r * new_total + start + i] = c;
+                    sum += c as i32;
+                }
+                new_meta.push(pm);
+                new_sums.push(sum);
+            }
+        }
+
+        self.cols = new_total;
+        self.codes = new_codes;
+        self.meta = new_meta;
+        self.sums = new_sums;
+        stats
+    }
+
+    /// Appends exactly one full partition's worth of elements (`rows × Π`) to every
+    /// vector. Used by the RQE path when the FP16 tail buffer fills up: the flushed
+    /// block becomes a brand-new partition, so no existing codes are touched.
+    ///
+    /// # Panics
+    /// Panics if the current length is not a multiple of Π or the block is not `Π` wide.
+    pub fn append_full_partition(
+        &mut self,
+        block: &Matrix,
+        mode: RoundingMode,
+        rng: &mut DetRng,
+    ) -> AppendStats {
+        assert_eq!(
+            self.cols % self.partition,
+            0,
+            "append_full_partition requires the tensor to end on a partition boundary"
+        );
+        assert_eq!(block.cols(), self.partition, "block must be exactly Π wide");
+        let stats = self.append_columns(block, mode, rng);
+        debug_assert_eq!(stats.requantized_elements, 0);
+        stats
+    }
+
+    /// Bytes needed for the densely packed codes (2/4/8-bit packing).
+    pub fn packed_code_bytes(&self) -> usize {
+        self.rows * self.bits.packed_bytes(self.cols)
+    }
+
+    /// Bytes needed for the per-partition `min`/`scale` metadata (two FP16 each).
+    pub fn metadata_bytes(&self) -> usize {
+        self.meta.len() * PartitionMeta::STORAGE_BYTES
+    }
+
+    /// Bytes needed for the stored partition sums, honouring the alignment rule of §6
+    /// (1 byte when `b + ⌈log2 Π⌉ ≤ 8`, otherwise INT16).
+    pub fn sum_bytes(&self) -> usize {
+        let per = crate::params::PartitionSize(self.partition).sum_storage_bytes(self.bits);
+        self.sums.len() * per
+    }
+
+    /// Total storage bytes. `include_sums` is false for methods that do not use
+    /// Summation Elimination (baselines, HACK/SE).
+    pub fn total_bytes(&self, include_sums: bool) -> usize {
+        self.packed_code_bytes() + self.metadata_bytes() + if include_sums { self.sum_bytes() } else { 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hack_tensor::relative_frobenius_error;
+
+    fn rng() -> DetRng {
+        DetRng::new(1234)
+    }
+
+    #[test]
+    fn quantize_dequantize_rows_bounded_error() {
+        let mut rng = rng();
+        let m = Matrix::random_normal(8, 128, 0.0, 1.0, &mut rng);
+        let q = QuantizedTensor::quantize_rows(&m, QuantBits::Int8, 64, RoundingMode::Nearest, &mut rng);
+        let back = q.dequantize();
+        let err = relative_frobenius_error(&m, &back);
+        assert!(err < 0.01, "int8 relative error {err}");
+    }
+
+    #[test]
+    fn int2_error_larger_than_int8_but_bounded() {
+        let mut rng = rng();
+        let m = Matrix::random_normal(8, 128, 0.0, 1.0, &mut rng);
+        let q2 = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 64, RoundingMode::Nearest, &mut rng);
+        let q8 = QuantizedTensor::quantize_rows(&m, QuantBits::Int8, 64, RoundingMode::Nearest, &mut rng);
+        let e2 = relative_frobenius_error(&m, &q2.dequantize());
+        let e8 = relative_frobenius_error(&m, &q8.dequantize());
+        assert!(e2 > e8, "int2 error {e2} should exceed int8 error {e8}");
+        assert!(e2 < 0.5, "int2 error should still be bounded, got {e2}");
+    }
+
+    #[test]
+    fn smaller_partitions_give_lower_error() {
+        let mut rng = rng();
+        // Rows with a strong per-segment structure so partition granularity matters.
+        let m = Matrix::from_fn(4, 128, |r, c| {
+            let segment = (c / 32) as f32;
+            (r as f32 + 1.0) * segment + ((c % 32) as f32) * 0.01
+        });
+        let q32 = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let q128 = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 128, RoundingMode::Nearest, &mut rng);
+        let e32 = relative_frobenius_error(&m, &q32.dequantize());
+        let e128 = relative_frobenius_error(&m, &q128.dequantize());
+        assert!(e32 < e128, "Π=32 error {e32} should be below Π=128 error {e128}");
+    }
+
+    #[test]
+    fn quantize_cols_stores_transpose() {
+        let mut rng = rng();
+        let m = Matrix::random_normal(64, 16, 0.0, 1.0, &mut rng);
+        let q = QuantizedTensor::quantize_cols(&m, QuantBits::Int8, 32, RoundingMode::Nearest, &mut rng);
+        assert_eq!(q.rows(), 16);
+        assert_eq!(q.cols(), 64);
+        let back = q.dequantize_transposed();
+        assert_eq!(back.shape(), (64, 16));
+        assert!(relative_frobenius_error(&m, &back) < 0.01);
+    }
+
+    #[test]
+    fn partition_layout_and_ranges() {
+        let mut rng = rng();
+        let m = Matrix::random_normal(2, 100, 0.0, 1.0, &mut rng);
+        let q = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 64, RoundingMode::Nearest, &mut rng);
+        assert_eq!(q.n_partitions(), 2);
+        assert_eq!(q.partition_range(0), (0, 64));
+        assert_eq!(q.partition_range(1), (64, 100));
+        assert_eq!(q.metas().len(), 4);
+        assert_eq!(q.sums().len(), 4);
+    }
+
+    #[test]
+    fn stored_sums_match_recomputed() {
+        let mut rng = rng();
+        let m = Matrix::random_normal(5, 96, 0.0, 2.0, &mut rng);
+        let q = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 32, RoundingMode::Stochastic, &mut rng);
+        assert!(q.sums_consistent());
+        for r in 0..q.rows() {
+            for p in 0..q.n_partitions() {
+                assert_eq!(q.sum(r, p), q.recompute_sum(r, p));
+            }
+        }
+    }
+
+    #[test]
+    fn append_rows_preserves_existing_metadata() {
+        let mut rng = rng();
+        let m = Matrix::random_normal(3, 64, 0.0, 1.0, &mut rng);
+        let mut q = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 64, RoundingMode::Nearest, &mut rng);
+        let before_meta = q.metas().to_vec();
+        let extra = Matrix::random_normal(2, 64, 0.0, 1.0, &mut rng);
+        let stats = q.append_rows(&extra, RoundingMode::Nearest, &mut rng);
+        assert_eq!(q.rows(), 5);
+        assert_eq!(stats.new_partitions, 2);
+        assert_eq!(stats.requantized_elements, 0);
+        assert_eq!(&q.metas()[..before_meta.len()], &before_meta[..]);
+        assert!(q.sums_consistent());
+    }
+
+    #[test]
+    fn append_columns_requantizes_partial_partition() {
+        let mut rng = rng();
+        // 8 channels, 40 tokens, partition 32: last partition has 8 tokens.
+        let v = Matrix::random_normal(8, 40, 0.0, 1.0, &mut rng);
+        let mut q = QuantizedTensor::quantize_rows(&v, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let extra = Matrix::random_normal(8, 1, 0.0, 5.0, &mut rng); // likely out of range
+        let stats = q.append_columns(&extra, RoundingMode::Nearest, &mut rng);
+        assert_eq!(q.cols(), 41);
+        // All 8 rows requantize their 8 existing tail elements.
+        assert_eq!(stats.requantized_elements, 8 * 8);
+        assert_eq!(stats.quantized_elements, 8);
+        assert!(q.sums_consistent());
+    }
+
+    #[test]
+    fn append_columns_on_boundary_creates_new_partition_without_requantization() {
+        let mut rng = rng();
+        let v = Matrix::random_normal(4, 64, 0.0, 1.0, &mut rng);
+        let mut q = QuantizedTensor::quantize_rows(&v, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let extra = Matrix::random_normal(4, 3, 0.0, 1.0, &mut rng);
+        let stats = q.append_columns(&extra, RoundingMode::Nearest, &mut rng);
+        assert_eq!(stats.requantized_elements, 0);
+        assert_eq!(stats.new_partitions, 4);
+        assert_eq!(q.cols(), 67);
+        assert_eq!(q.n_partitions(), 3);
+        assert!(q.sums_consistent());
+    }
+
+    #[test]
+    fn append_full_partition_never_requantizes() {
+        let mut rng = rng();
+        let v = Matrix::random_normal(4, 64, 0.0, 1.0, &mut rng);
+        let mut q = QuantizedTensor::quantize_rows(&v, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let block = Matrix::random_normal(4, 32, 0.0, 1.0, &mut rng);
+        let stats = q.append_full_partition(&block, RoundingMode::Nearest, &mut rng);
+        assert_eq!(stats.requantized_elements, 0);
+        assert_eq!(q.cols(), 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition boundary")]
+    fn append_full_partition_requires_boundary() {
+        let mut rng = rng();
+        let v = Matrix::random_normal(2, 40, 0.0, 1.0, &mut rng);
+        let mut q = QuantizedTensor::quantize_rows(&v, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let block = Matrix::zeros(2, 32);
+        q.append_full_partition(&block, RoundingMode::Nearest, &mut rng);
+    }
+
+    #[test]
+    fn append_columns_equivalent_to_direct_quantization_of_full_matrix() {
+        // With nearest rounding and appends aligned to partition boundaries, appending
+        // must produce exactly the same codes as quantizing the concatenated matrix.
+        let mut rng_a = DetRng::new(9);
+        let mut rng_b = DetRng::new(9);
+        let head = Matrix::random_normal(4, 64, 0.0, 1.0, &mut rng_a);
+        let tail = Matrix::random_normal(4, 32, 0.0, 1.0, &mut rng_a);
+        let full = head.hstack(&tail);
+
+        let mut incremental =
+            QuantizedTensor::quantize_rows(&head, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng_b);
+        incremental.append_columns(&tail, RoundingMode::Nearest, &mut rng_b);
+        let direct =
+            QuantizedTensor::quantize_rows(&full, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng_b);
+        assert_eq!(incremental.codes(), direct.codes());
+        assert_eq!(incremental.metas(), direct.metas());
+        assert_eq!(incremental.sums(), direct.sums());
+    }
+
+    #[test]
+    fn empty_tensor_appends() {
+        let mut rng = rng();
+        let mut q = QuantizedTensor::empty(8, QuantBits::Int2, 32);
+        assert_eq!(q.n_partitions(), 0);
+        assert_eq!(q.total_bytes(true), 0);
+        let cols = Matrix::random_normal(8, 32, 0.0, 1.0, &mut rng);
+        q.append_columns(&cols, RoundingMode::Nearest, &mut rng);
+        assert_eq!(q.cols(), 32);
+        assert_eq!(q.n_partitions(), 1);
+        assert!(q.sums_consistent());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let mut rng = rng();
+        let m = Matrix::random_normal(16, 128, 0.0, 1.0, &mut rng);
+        let q = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 64, RoundingMode::Nearest, &mut rng);
+        // 16 rows x 128 cols x 2 bits = 512 bytes of codes.
+        assert_eq!(q.packed_code_bytes(), 512);
+        // 16 rows x 2 partitions x 4 bytes of metadata.
+        assert_eq!(q.metadata_bytes(), 128);
+        // Π=64, 2-bit: sums fit in one byte -> 32 bytes.
+        assert_eq!(q.sum_bytes(), 32);
+        assert_eq!(q.total_bytes(true), 512 + 128 + 32);
+        assert_eq!(q.total_bytes(false), 512 + 128);
+        // Compression vs FP16: 16*128*2 = 4096 bytes -> ~84% compression with sums.
+        let fp16 = 16 * 128 * 2;
+        let ratio = 1.0 - q.total_bytes(true) as f64 / fp16 as f64;
+        assert!(ratio > 0.8, "compression ratio {ratio}");
+    }
+
+    #[test]
+    fn from_parts_round_trip() {
+        let mut rng = rng();
+        let m = Matrix::random_normal(4, 96, 0.0, 1.0, &mut rng);
+        let q = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let rebuilt = QuantizedTensor::from_parts(
+            q.rows(),
+            q.cols(),
+            q.bits(),
+            q.partition(),
+            q.codes().to_vec(),
+            q.metas().to_vec(),
+            q.sums().to_vec(),
+        );
+        assert_eq!(q, rebuilt);
+    }
+
+    #[test]
+    fn codes_stay_within_bit_range() {
+        let mut rng = rng();
+        let m = Matrix::random_normal(6, 64, 0.0, 3.0, &mut rng);
+        for bits in [QuantBits::Int2, QuantBits::Int4, QuantBits::Int8] {
+            let q = QuantizedTensor::quantize_rows(&m, bits, 32, RoundingMode::Stochastic, &mut rng);
+            let max = bits.max_code() as u8;
+            assert!(q.codes().iter().all(|&c| c <= max), "codes exceed {max} for {bits:?}");
+        }
+    }
+}

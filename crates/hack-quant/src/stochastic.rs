@@ -1,0 +1,261 @@
+//! Scalar asymmetric quantization with stochastic rounding (§5.2).
+//!
+//! A partition with range `[min, max]` and `b`-bit codes uses
+//! `scale = (max - min) / (2^b - 1)` and maps a value `x` to
+//! `code = round((x - min) / scale)`, where `round` is either stochastic (unbiased in
+//! expectation) or nearest. Dequantization maps a code back to `min + scale * code`.
+
+use crate::params::{QuantBits, RoundingMode};
+use hack_tensor::DetRng;
+
+/// Per-partition quantization metadata: minimum value and scale.
+///
+/// Stored in FP16 on the wire and in the cache (§6); kept as `f32` in memory here with
+/// FP16 rounding applied at construction so the numerical behaviour matches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionMeta {
+    /// Minimum value of the partition.
+    pub min: f32,
+    /// Scale value `(max - min) / (2^b - 1)`.
+    pub scale: f32,
+}
+
+impl PartitionMeta {
+    /// Computes metadata from a partition's `[min, max]` range.
+    ///
+    /// Degenerate partitions (constant values, or empty ranges) get `scale = 0`, which
+    /// quantizes every element to code 0 and dequantizes back to `min` exactly.
+    pub fn from_range(min: f32, max: f32, bits: QuantBits) -> Self {
+        let denom = bits.max_code() as f32;
+        let raw_scale = if max > min { (max - min) / denom } else { 0.0 };
+        // The paper stores m and s in FP16 (§6); model that storage precision.
+        Self {
+            min: hack_tensor::half::round_to_f16(min),
+            scale: hack_tensor::half::round_to_f16(raw_scale),
+        }
+    }
+
+    /// Computes metadata directly from a slice of values.
+    pub fn from_values(values: &[f32], bits: QuantBits) -> Self {
+        let mut mn = f32::INFINITY;
+        let mut mx = f32::NEG_INFINITY;
+        for &v in values {
+            mn = mn.min(v);
+            mx = mx.max(v);
+        }
+        if values.is_empty() {
+            mn = 0.0;
+            mx = 0.0;
+        }
+        Self::from_range(mn, mx, bits)
+    }
+
+    /// Bytes used to store this metadata on the wire / in the cache (two FP16 values).
+    pub const STORAGE_BYTES: usize = 4;
+}
+
+/// Rounds `x` (an arbitrary non-negative real in code space) to an integer using the
+/// requested rounding mode, clamping into `[0, max_code]`.
+#[inline]
+pub fn round_code(x: f32, max_code: u32, mode: RoundingMode, rng: &mut DetRng) -> u32 {
+    let clamped = x.clamp(0.0, max_code as f32);
+    let floor = clamped.floor();
+    let frac = clamped - floor;
+    let rounded = match mode {
+        RoundingMode::Nearest => {
+            if frac >= 0.5 {
+                floor + 1.0
+            } else {
+                floor
+            }
+        }
+        RoundingMode::Stochastic => {
+            // Round up with probability equal to the fractional part, which makes the
+            // rounding unbiased: E[round(x)] = x.
+            if frac > 0.0 && (rng.next_f32() < frac) {
+                floor + 1.0
+            } else {
+                floor
+            }
+        }
+    };
+    (rounded as u32).min(max_code)
+}
+
+/// Quantizes a single value to its integer code.
+#[inline]
+pub fn quantize_value(
+    x: f32,
+    meta: &PartitionMeta,
+    bits: QuantBits,
+    mode: RoundingMode,
+    rng: &mut DetRng,
+) -> u8 {
+    if meta.scale == 0.0 {
+        return 0;
+    }
+    let normalised = (x - meta.min) / meta.scale;
+    round_code(normalised, bits.max_code(), mode, rng) as u8
+}
+
+/// Dequantizes a single code back to an approximate real value.
+#[inline]
+pub fn dequantize_value(code: u8, meta: &PartitionMeta) -> f32 {
+    meta.min + meta.scale * code as f32
+}
+
+/// Quantizes a slice in place into `codes` (which must have the same length).
+pub fn quantize_slice(
+    values: &[f32],
+    meta: &PartitionMeta,
+    bits: QuantBits,
+    mode: RoundingMode,
+    rng: &mut DetRng,
+    codes: &mut [u8],
+) {
+    assert_eq!(values.len(), codes.len(), "quantize_slice length mismatch");
+    for (v, c) in values.iter().zip(codes.iter_mut()) {
+        *c = quantize_value(*v, meta, bits, mode, rng);
+    }
+}
+
+/// Dequantizes a slice of codes into `out`.
+pub fn dequantize_slice(codes: &[u8], meta: &PartitionMeta, out: &mut [f32]) {
+    assert_eq!(codes.len(), out.len(), "dequantize_slice length mismatch");
+    for (c, o) in codes.iter().zip(out.iter_mut()) {
+        *o = dequantize_value(*c, meta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_from_range_matches_formula() {
+        let m = PartitionMeta::from_range(-1.0, 2.0, QuantBits::Int2);
+        assert_eq!(m.min, -1.0);
+        assert_eq!(m.scale, 1.0);
+        let m8 = PartitionMeta::from_range(0.0, 255.0, QuantBits::Int8);
+        assert_eq!(m8.scale, 1.0);
+    }
+
+    #[test]
+    fn degenerate_range_has_zero_scale() {
+        let m = PartitionMeta::from_range(3.0, 3.0, QuantBits::Int2);
+        assert_eq!(m.scale, 0.0);
+        let mut rng = DetRng::new(1);
+        let c = quantize_value(3.0, &m, QuantBits::Int2, RoundingMode::Nearest, &mut rng);
+        assert_eq!(c, 0);
+        assert_eq!(dequantize_value(c, &m), 3.0);
+    }
+
+    #[test]
+    fn from_values_finds_range() {
+        let vals = [0.5, -2.0, 1.5, 0.0];
+        let m = PartitionMeta::from_values(&vals, QuantBits::Int4);
+        assert_eq!(m.min, -2.0);
+        assert!((m.scale - 3.5 / 15.0).abs() < 2e-3); // fp16 rounding of the scale
+    }
+
+    #[test]
+    fn empty_values_are_degenerate() {
+        let m = PartitionMeta::from_values(&[], QuantBits::Int2);
+        assert_eq!(m.min, 0.0);
+        assert_eq!(m.scale, 0.0);
+    }
+
+    #[test]
+    fn nearest_rounding_is_exact_on_grid_points() {
+        let mut rng = DetRng::new(1);
+        let m = PartitionMeta::from_range(0.0, 3.0, QuantBits::Int2); // scale = 1
+        for (x, expect) in [(0.0, 0u8), (1.0, 1), (2.0, 2), (3.0, 3)] {
+            let c = quantize_value(x, &m, QuantBits::Int2, RoundingMode::Nearest, &mut rng);
+            assert_eq!(c, expect);
+            assert_eq!(dequantize_value(c, &m), x);
+        }
+    }
+
+    #[test]
+    fn codes_are_clamped_to_range() {
+        let mut rng = DetRng::new(2);
+        let m = PartitionMeta::from_range(0.0, 3.0, QuantBits::Int2);
+        // Values outside the [min, max] range (possible after FP16 rounding of min/scale)
+        // must clamp rather than wrap.
+        let lo = quantize_value(-10.0, &m, QuantBits::Int2, RoundingMode::Stochastic, &mut rng);
+        let hi = quantize_value(10.0, &m, QuantBits::Int2, RoundingMode::Stochastic, &mut rng);
+        assert_eq!(lo, 0);
+        assert_eq!(hi, 3);
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased() {
+        let mut rng = DetRng::new(3);
+        let m = PartitionMeta::from_range(0.0, 3.0, QuantBits::Int2); // scale 1
+        let x = 1.3f32;
+        let n = 200_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            sum += quantize_value(x, &m, QuantBits::Int2, RoundingMode::Stochastic, &mut rng) as u64;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1.3).abs() < 0.01, "stochastic mean {mean}");
+    }
+
+    #[test]
+    fn stochastic_rounding_on_integers_is_deterministic() {
+        let mut rng = DetRng::new(4);
+        for code in 0..=3u32 {
+            let got = round_code(code as f32, 3, RoundingMode::Stochastic, &mut rng);
+            assert_eq!(got, code);
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_scale() {
+        let mut rng = DetRng::new(5);
+        let vals: Vec<f32> = (0..256).map(|_| rng.range_f32(-4.0, 4.0)).collect();
+        let meta = PartitionMeta::from_values(&vals, QuantBits::Int8);
+        for &v in &vals {
+            let c = quantize_value(v, &meta, QuantBits::Int8, RoundingMode::Stochastic, &mut rng);
+            let back = dequantize_value(c, &meta);
+            // Stochastic rounding error is at most one full step.
+            assert!(
+                (back - v).abs() <= meta.scale * 1.001 + 1e-4,
+                "v={v} back={back} scale={}",
+                meta.scale
+            );
+        }
+    }
+
+    #[test]
+    fn int2_error_bounded_by_quarter_range() {
+        let mut rng = DetRng::new(6);
+        let vals: Vec<f32> = (0..64).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+        let meta = PartitionMeta::from_values(&vals, QuantBits::Int2);
+        for &v in &vals {
+            let c = quantize_value(v, &meta, QuantBits::Int2, RoundingMode::Nearest, &mut rng);
+            let back = dequantize_value(c, &meta);
+            assert!((back - v).abs() <= meta.scale / 2.0 + 1e-3);
+        }
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let mut rng = DetRng::new(7);
+        let vals: Vec<f32> = (0..32).map(|_| rng.range_f32(0.0, 1.0)).collect();
+        let meta = PartitionMeta::from_values(&vals, QuantBits::Int8);
+        let mut codes = vec![0u8; vals.len()];
+        quantize_slice(&vals, &meta, QuantBits::Int8, RoundingMode::Nearest, &mut rng, &mut codes);
+        let mut back = vec![0.0f32; vals.len()];
+        dequantize_slice(&codes, &meta, &mut back);
+        for (v, b) in vals.iter().zip(&back) {
+            assert!((v - b).abs() <= meta.scale + 1e-4);
+        }
+    }
+
+    #[test]
+    fn metadata_storage_size() {
+        assert_eq!(PartitionMeta::STORAGE_BYTES, 4);
+    }
+}

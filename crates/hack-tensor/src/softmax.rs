@@ -1,0 +1,296 @@
+//! Numerically-stable softmax and the online-softmax primitives used by the
+//! FlashAttention-2-style kernel.
+
+use crate::matrix::Matrix;
+
+/// Row-wise numerically-stable softmax (Eq. 3 of the paper).
+pub fn softmax_rows(scores: &Matrix) -> Matrix {
+    let mut out = scores.clone();
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// In-place row-wise softmax.
+pub fn softmax_rows_inplace(scores: &mut Matrix) {
+    let cols = scores.cols();
+    if cols == 0 {
+        return;
+    }
+    for r in 0..scores.rows() {
+        let row = scores.row_mut(r);
+        softmax_slice_inplace(row);
+    }
+}
+
+/// In-place softmax of a single slice.
+pub fn softmax_slice_inplace(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        // Fully-masked row: define the output as uniform to avoid NaN propagation.
+        let v = 1.0 / row.len() as f32;
+        for x in row.iter_mut() {
+            *x = v;
+        }
+        return;
+    }
+    let mut sum = 0.0f32;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum;
+    for x in row.iter_mut() {
+        *x *= inv;
+    }
+}
+
+/// Row-wise causal-masked softmax for prefill self-attention.
+///
+/// Entry `(i, j)` is masked (set to probability 0) when `j > i + offset`, where
+/// `offset = L_KV - L_Q`; with `L_Q == L_KV` this is the standard causal mask, and
+/// during decode (`L_Q == 1`) nothing is masked.
+pub fn causal_softmax_rows(scores: &Matrix, l_kv_minus_l_q: usize) -> Matrix {
+    let mut out = scores.clone();
+    for r in 0..out.rows() {
+        let limit = r + l_kv_minus_l_q; // inclusive last visible column
+        let row = out.row_mut(r);
+        for (c, v) in row.iter_mut().enumerate() {
+            if c > limit {
+                *v = f32::NEG_INFINITY;
+            }
+        }
+        softmax_slice_inplace(row);
+    }
+    out
+}
+
+/// Running state for online softmax over blocks of scores (FlashAttention-2 style).
+///
+/// Processes score blocks left-to-right, maintaining the running row max `m`, the
+/// running normaliser `l`, and the unnormalised weighted accumulation of values `acc`.
+#[derive(Debug, Clone)]
+pub struct OnlineSoftmax {
+    /// Running maximum per row.
+    pub m: Vec<f32>,
+    /// Running sum of exponentials per row.
+    pub l: Vec<f32>,
+    /// Unnormalised output accumulator, `rows × d_v`.
+    pub acc: Matrix,
+}
+
+impl OnlineSoftmax {
+    /// Creates the running state for `rows` query rows and value dimension `d_v`.
+    pub fn new(rows: usize, d_v: usize) -> Self {
+        Self {
+            m: vec![f32::NEG_INFINITY; rows],
+            l: vec![0.0; rows],
+            acc: Matrix::zeros(rows, d_v),
+        }
+    }
+
+    /// Folds one block of scores (`rows × block_len`) and the corresponding value block
+    /// (`block_len × d_v`) into the running state.
+    pub fn update(&mut self, score_block: &Matrix, value_block: &Matrix) {
+        assert_eq!(score_block.rows(), self.acc.rows(), "row mismatch");
+        assert_eq!(score_block.cols(), value_block.rows(), "score/value mismatch");
+        assert_eq!(value_block.cols(), self.acc.cols(), "value width mismatch");
+        let rows = score_block.rows();
+        let d_v = self.acc.cols();
+        for r in 0..rows {
+            let s_row = score_block.row(r);
+            let block_max = s_row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let new_m = self.m[r].max(block_max);
+            if new_m == f32::NEG_INFINITY {
+                // Entire block masked and nothing accumulated yet.
+                continue;
+            }
+            let correction = if self.m[r] == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (self.m[r] - new_m).exp()
+            };
+            // Rescale the existing accumulator and normaliser.
+            self.l[r] *= correction;
+            for c in 0..d_v {
+                let v = self.acc.get(r, c) * correction;
+                self.acc.set(r, c, v);
+            }
+            // Fold in the new block.
+            for (j, &s) in s_row.iter().enumerate() {
+                let p = (s - new_m).exp();
+                if p == 0.0 {
+                    continue;
+                }
+                self.l[r] += p;
+                let v_row = value_block.row(j);
+                for c in 0..d_v {
+                    let v = self.acc.get(r, c) + p * v_row[c];
+                    self.acc.set(r, c, v);
+                }
+            }
+            self.m[r] = new_m;
+        }
+    }
+
+    /// Finalises the state into normalised attention outputs (`rows × d_v`).
+    pub fn finish(self) -> Matrix {
+        let mut out = self.acc;
+        for r in 0..out.rows() {
+            let l = self.l[r];
+            let inv = if l > 0.0 { 1.0 / l } else { 0.0 };
+            for c in 0..out.cols() {
+                let v = out.get(r, c) * inv;
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::matmul;
+    use crate::rng::DetRng;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let mut rng = DetRng::new(1);
+        let s = Matrix::random_normal(8, 16, 0.0, 3.0, &mut rng);
+        let p = softmax_rows(&s);
+        for r in 0..p.rows() {
+            let sum: f32 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+            assert!(p.row(r).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let s = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let shifted = s.map(|x| x + 100.0);
+        let a = softmax_rows(&s);
+        let b = softmax_rows(&shifted);
+        for c in 0..3 {
+            assert!((a.get(0, c) - b.get(0, c)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_magnitudes() {
+        let s = Matrix::from_vec(1, 3, vec![1e4, -1e4, 0.0]);
+        let p = softmax_rows(&s);
+        assert!(p.all_finite());
+        assert!((p.get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_scores_give_uniform_probabilities() {
+        let s = Matrix::full(2, 5, 0.7);
+        let p = softmax_rows(&s);
+        for r in 0..2 {
+            for c in 0..5 {
+                assert!((p.get(r, c) - 0.2).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn fully_masked_row_is_uniform_not_nan() {
+        let mut row = vec![f32::NEG_INFINITY; 4];
+        softmax_slice_inplace(&mut row);
+        assert!(row.iter().all(|x| (x - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn causal_mask_zeroes_future_positions() {
+        let s = Matrix::full(3, 3, 1.0);
+        let p = causal_softmax_rows(&s, 0);
+        // Row 0 attends only to position 0.
+        assert!((p.get(0, 0) - 1.0).abs() < 1e-6);
+        assert_eq!(p.get(0, 1), 0.0);
+        assert_eq!(p.get(0, 2), 0.0);
+        // Row 1 attends to 0 and 1 equally.
+        assert!((p.get(1, 0) - 0.5).abs() < 1e-6);
+        assert!((p.get(1, 1) - 0.5).abs() < 1e-6);
+        assert_eq!(p.get(1, 2), 0.0);
+        // Row 2 attends to everything.
+        for c in 0..3 {
+            assert!((p.get(2, c) - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn causal_mask_with_kv_offset() {
+        // L_Q = 2, L_KV = 4 (two cached tokens): row 0 sees columns 0..=2.
+        let s = Matrix::full(2, 4, 0.0);
+        let p = causal_softmax_rows(&s, 2);
+        assert_eq!(p.get(0, 3), 0.0);
+        assert!((p.get(0, 0) - 1.0 / 3.0).abs() < 1e-6);
+        // Row 1 sees all four.
+        assert!((p.get(1, 3) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn online_softmax_matches_dense_attention() {
+        let mut rng = DetRng::new(11);
+        let l_q = 4;
+        let l_kv = 24;
+        let d_v = 8;
+        let scores = Matrix::random_normal(l_q, l_kv, 0.0, 2.0, &mut rng);
+        let values = Matrix::random_normal(l_kv, d_v, 0.0, 1.0, &mut rng);
+
+        let expect = matmul(&softmax_rows(&scores), &values);
+
+        let mut online = OnlineSoftmax::new(l_q, d_v);
+        let block = 7; // deliberately not a divisor of l_kv
+        let mut start = 0;
+        while start < l_kv {
+            let end = (start + block).min(l_kv);
+            let s_block = scores.block(0, l_q, start, end);
+            let v_block = values.row_block(start, end);
+            online.update(&s_block, &v_block);
+            start = end;
+        }
+        let got = online.finish();
+        for r in 0..l_q {
+            for c in 0..d_v {
+                assert!(
+                    (expect.get(r, c) - got.get(r, c)).abs() < 1e-4,
+                    "({r},{c}): {} vs {}",
+                    expect.get(r, c),
+                    got.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn online_softmax_handles_masked_blocks() {
+        let l_q = 2;
+        let d_v = 3;
+        let mut online = OnlineSoftmax::new(l_q, d_v);
+        let masked = Matrix::full(l_q, 4, f32::NEG_INFINITY);
+        let values = Matrix::full(4, d_v, 5.0);
+        online.update(&masked, &values);
+        let normal = Matrix::full(l_q, 2, 0.0);
+        let values2 = Matrix::from_fn(2, d_v, |r, _| r as f32);
+        online.update(&normal, &values2);
+        let out = online.finish();
+        for r in 0..l_q {
+            for c in 0..d_v {
+                assert!((out.get(r, c) - 0.5).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_row_softmax_is_noop() {
+        let mut empty: Vec<f32> = vec![];
+        softmax_slice_inplace(&mut empty);
+        assert!(empty.is_empty());
+    }
+}

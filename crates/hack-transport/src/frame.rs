@@ -1,0 +1,127 @@
+//! Length-prefixed, checksummed framing.
+//!
+//! Wire layout: `[u32 little-endian payload length][u32 little-endian CRC32][payload]`.
+//! The CRC protects against silent truncation/corruption when the demo is run across
+//! real machines.
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame size (1 GiB) — guards against a corrupt length prefix
+/// allocating unbounded memory.
+pub const MAX_FRAME_BYTES: usize = 1 << 30;
+
+/// CRC32 (IEEE 802.3, reflected) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Writes one frame to a writer.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME_BYTES, "frame too large");
+    let mut header = BytesMut::with_capacity(8);
+    header.put_u32_le(payload.len() as u32);
+    header.put_u32_le(crc32(payload));
+    writer.write_all(&header)?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one frame from a reader, verifying length and checksum.
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; 8];
+    reader.read_exact(&mut header)?;
+    let mut buf = &header[..];
+    let len = buf.get_u32_le() as usize;
+    let expected_crc = buf.get_u32_le();
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    let actual_crc = crc32(&payload);
+    if actual_crc != expected_crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame checksum mismatch: expected {expected_crc:#010x}, got {actual_crc:#010x}"),
+        ));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let payload = b"quantized kv bytes".to_vec();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        assert_eq!(buf.len(), 8 + payload.len());
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"second frame").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"first");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"second frame");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+    }
+
+    #[test]
+    fn corrupted_payload_is_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload under test").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let mut cursor = Cursor::new(buf);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let mut cursor = Cursor::new(buf);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"whole frame").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cursor = Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! # hack-transport
+//!
+//! A small, real transfer substrate for quantized KV data: the paper moves K'/V' (plus
+//! quantization metadata and the first generated token) from the prefill instance to
+//! the decode instance with NCCL (§6); this crate provides the equivalent for the
+//! reproduction's CPU-only environment — a length-prefixed, checksummed wire format and
+//! a blocking TCP client/server pair — so the end-to-end "prefill node → network →
+//! decode node" path can be exercised for real (see `examples/disaggregated_demo.rs`).
+//!
+//! * [`frame`] — `[u32 length][u32 crc32][payload]` framing with incremental reads.
+//! * [`wire`] — binary serialization of [`wire::KvTransferMessage`]: quantized K and V
+//!   tensors (packed codes + FP16 metadata + partition sums), the FP16 tail of V, and
+//!   the first output token.
+//! * [`tcp`] — a blocking decode-side server that accepts one message per connection
+//!   and a prefill-side client that ships messages to it.
+
+pub mod frame;
+pub mod tcp;
+pub mod wire;
+
+pub use frame::{read_frame, write_frame};
+pub use tcp::{DecodeServer, PrefillClient};
+pub use wire::KvTransferMessage;

@@ -1,0 +1,212 @@
+//! Blocking TCP transport: a decode-side server that collects KV transfer messages and
+//! a prefill-side client that ships them.
+
+use crate::frame::{read_frame, write_frame};
+use crate::wire::KvTransferMessage;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Decode-side server: accepts connections, reads framed [`KvTransferMessage`]s and
+/// hands them to the consumer through a channel.
+pub struct DecodeServer {
+    addr: SocketAddr,
+    receiver: Receiver<KvTransferMessage>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl DecodeServer {
+    /// Binds to `127.0.0.1:0` (an ephemeral port) and starts accepting in the
+    /// background.
+    pub fn start() -> io::Result<Self> {
+        Self::bind("127.0.0.1:0")
+    }
+
+    /// Binds to an explicit address and starts accepting in the background.
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let (tx, rx) = unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_clone = shutdown.clone();
+        let handle = std::thread::spawn(move || accept_loop(listener, tx, shutdown_clone));
+        Ok(Self {
+            addr,
+            receiver: rx,
+            shutdown,
+            accept_thread: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// Address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocking receive of the next message (returns `None` once all senders are done
+    /// and the server is shut down).
+    pub fn recv(&self) -> Option<KvTransferMessage> {
+        self.receiver.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<KvTransferMessage> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Receives exactly `n` messages (blocking).
+    pub fn recv_n(&self, n: usize) -> Vec<KvTransferMessage> {
+        (0..n).filter_map(|_| self.recv()).collect()
+    }
+
+    /// Stops the accept loop. In-flight connections finish their current message.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the listener so `accept` returns.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DecodeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<KvTransferMessage>, shutdown: Arc<AtomicBool>) {
+    loop {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    // One connection may carry many messages; stop at EOF or error.
+                    while let Ok(payload) = read_frame(&mut stream) {
+                        let msg = KvTransferMessage::decode(&payload);
+                        if tx.send(msg).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Prefill-side client: a persistent connection to the decode server.
+pub struct PrefillClient {
+    stream: TcpStream,
+}
+
+impl PrefillClient {
+    /// Connects to a decode server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one KV transfer message (blocking until fully written).
+    pub fn send(&mut self, msg: &KvTransferMessage) -> io::Result<usize> {
+        let payload = msg.encode();
+        write_frame(&mut self.stream, &payload)?;
+        Ok(payload.len() + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hack_attention::state::HackKvState;
+    use hack_quant::HackConfig;
+    use hack_tensor::{DetRng, Matrix};
+
+    fn message(request_id: u64, tokens: usize, seed: u64) -> KvTransferMessage {
+        let mut rng = DetRng::new(seed);
+        let d = 32;
+        let k = Matrix::random_normal(tokens, d, 0.0, 1.0, &mut rng);
+        let v = Matrix::random_normal(tokens, d, 0.0, 1.0, &mut rng);
+        let state = HackKvState::from_prefill(&k, &v, HackConfig::paper_default(), &mut rng);
+        KvTransferMessage {
+            request_id,
+            layer: 0,
+            head: 0,
+            first_token: 7,
+            k: state.k_quant().clone(),
+            v: state.v_quant().clone(),
+            v_tail: state.v_tail().clone(),
+        }
+    }
+
+    #[test]
+    fn single_message_round_trip_over_tcp() {
+        let server = DecodeServer::start().unwrap();
+        let mut client = PrefillClient::connect(server.addr()).unwrap();
+        let msg = message(1, 100, 1);
+        let sent_bytes = client.send(&msg).unwrap();
+        assert!(sent_bytes > 0);
+        let received = server.recv().expect("message should arrive");
+        assert_eq!(received, msg);
+        server.shutdown();
+    }
+
+    #[test]
+    fn many_messages_from_multiple_clients() {
+        let server = DecodeServer::start().unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4u64)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let mut client = PrefillClient::connect(addr).unwrap();
+                    for i in 0..5u64 {
+                        client.send(&message(c * 100 + i, 64 + i as usize, c + i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let received = server.recv_n(20);
+        assert_eq!(received.len(), 20);
+        let mut ids: Vec<u64> = received.iter().map(|m| m.request_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20, "all messages must be distinct");
+        server.shutdown();
+    }
+
+    #[test]
+    fn persistent_connection_carries_multiple_messages() {
+        let server = DecodeServer::start().unwrap();
+        let mut client = PrefillClient::connect(server.addr()).unwrap();
+        for i in 0..3 {
+            client.send(&message(i, 70, i)).unwrap();
+        }
+        let received = server.recv_n(3);
+        assert_eq!(received.len(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let server = DecodeServer::start().unwrap();
+        server.shutdown();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,222 @@
+//! Binary wire format of a prefill→decode KV transfer (step 7 of Fig. 5).
+//!
+//! A message carries, for one request and one attention head (heads are shipped
+//! independently so they can be streamed as they are produced):
+//!
+//! * the 2-bit packed K codes with their FP16 `min`/`scale` metadata and partition sums,
+//! * the 2-bit packed V codes with metadata and sums,
+//! * the FP16 tail of V (the last partial block kept unquantized by RQE), and
+//! * the first output token produced by prefill.
+
+use bytes::{Buf, BufMut, BytesMut};
+use hack_quant::packing::{pack_codes, unpack_codes};
+use hack_quant::params::QuantBits;
+use hack_quant::stochastic::PartitionMeta;
+use hack_quant::QuantizedTensor;
+use hack_tensor::half::{f16_bits_to_f32, f32_to_f16_bits};
+use hack_tensor::Matrix;
+
+/// One head's KV transfer payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvTransferMessage {
+    /// Request identifier.
+    pub request_id: u64,
+    /// Attention head index (within `layer`).
+    pub head: u32,
+    /// Layer index.
+    pub layer: u32,
+    /// First output token produced by the prefill stage.
+    pub first_token: u32,
+    /// Quantized K (tokens × head_dim layout).
+    pub k: QuantizedTensor,
+    /// Quantized V (head_dim × quantized-tokens layout).
+    pub v: QuantizedTensor,
+    /// FP16 tail of V (tail-tokens × head_dim), empty when RQE is disabled.
+    pub v_tail: Matrix,
+}
+
+fn bits_to_u8(bits: QuantBits) -> u8 {
+    bits.bits() as u8
+}
+
+fn u8_to_bits(b: u8) -> QuantBits {
+    match b {
+        2 => QuantBits::Int2,
+        4 => QuantBits::Int4,
+        8 => QuantBits::Int8,
+        other => panic!("unsupported code width {other} on the wire"),
+    }
+}
+
+fn put_tensor(buf: &mut BytesMut, t: &QuantizedTensor) {
+    buf.put_u32_le(t.rows() as u32);
+    buf.put_u32_le(t.cols() as u32);
+    buf.put_u8(bits_to_u8(t.bits()));
+    buf.put_u32_le(t.partition() as u32);
+    // Codes, packed row by row so each row is byte-aligned.
+    for r in 0..t.rows() {
+        buf.put_slice(&pack_codes(t.codes_row(r), t.bits()));
+    }
+    // Metadata as FP16 pairs.
+    for meta in t.metas() {
+        buf.put_u16_le(f32_to_f16_bits(meta.min));
+        buf.put_u16_le(f32_to_f16_bits(meta.scale));
+    }
+    // Partition sums as i32 (the receiver re-derives narrower storage if it wants).
+    for &s in t.sums() {
+        buf.put_i32_le(s);
+    }
+}
+
+fn get_tensor(buf: &mut &[u8]) -> QuantizedTensor {
+    let rows = buf.get_u32_le() as usize;
+    let cols = buf.get_u32_le() as usize;
+    let bits = u8_to_bits(buf.get_u8());
+    let partition = buf.get_u32_le() as usize;
+    let row_bytes = bits.packed_bytes(cols);
+    let mut codes = Vec::with_capacity(rows * cols);
+    for _ in 0..rows {
+        let packed = &buf[..row_bytes];
+        codes.extend(unpack_codes(packed, bits, cols));
+        buf.advance(row_bytes);
+    }
+    let n_parts = if cols == 0 { 0 } else { cols.div_ceil(partition) };
+    let mut metas = Vec::with_capacity(rows * n_parts);
+    for _ in 0..rows * n_parts {
+        let min = f16_bits_to_f32(buf.get_u16_le());
+        let scale = f16_bits_to_f32(buf.get_u16_le());
+        metas.push(PartitionMeta { min, scale });
+    }
+    let mut sums = Vec::with_capacity(rows * n_parts);
+    for _ in 0..rows * n_parts {
+        sums.push(buf.get_i32_le());
+    }
+    QuantizedTensor::from_parts(rows, cols, bits, partition, codes, metas, sums)
+}
+
+impl KvTransferMessage {
+    /// Serialises the message into bytes (to be wrapped in a frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(self.request_id);
+        buf.put_u32_le(self.layer);
+        buf.put_u32_le(self.head);
+        buf.put_u32_le(self.first_token);
+        put_tensor(&mut buf, &self.k);
+        put_tensor(&mut buf, &self.v);
+        buf.put_u32_le(self.v_tail.rows() as u32);
+        buf.put_u32_le(self.v_tail.cols() as u32);
+        for &v in self.v_tail.as_slice() {
+            buf.put_u16_le(f32_to_f16_bits(v));
+        }
+        buf.to_vec()
+    }
+
+    /// Deserialises a message previously produced by [`Self::encode`].
+    ///
+    /// # Panics
+    /// Panics if the buffer is malformed (the framing layer already guarantees
+    /// integrity via its CRC, so malformed here means a protocol bug).
+    pub fn decode(bytes: &[u8]) -> Self {
+        let mut buf = bytes;
+        let request_id = buf.get_u64_le();
+        let layer = buf.get_u32_le();
+        let head = buf.get_u32_le();
+        let first_token = buf.get_u32_le();
+        let k = get_tensor(&mut buf);
+        let v = get_tensor(&mut buf);
+        let tail_rows = buf.get_u32_le() as usize;
+        let tail_cols = buf.get_u32_le() as usize;
+        let mut tail = Vec::with_capacity(tail_rows * tail_cols);
+        for _ in 0..tail_rows * tail_cols {
+            tail.push(f16_bits_to_f32(buf.get_u16_le()));
+        }
+        Self {
+            request_id,
+            layer,
+            head,
+            first_token,
+            k,
+            v,
+            v_tail: Matrix::from_vec(tail_rows, tail_cols, tail),
+        }
+    }
+
+    /// Size of the encoded message in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hack_attention::state::HackKvState;
+    use hack_quant::HackConfig;
+    use hack_tensor::DetRng;
+
+    fn sample_message(tokens: usize, head_dim: usize, seed: u64) -> KvTransferMessage {
+        let mut rng = DetRng::new(seed);
+        let k = Matrix::random_normal(tokens, head_dim, 0.0, 1.0, &mut rng);
+        let v = Matrix::random_normal(tokens, head_dim, 0.0, 1.0, &mut rng);
+        let state = HackKvState::from_prefill(&k, &v, HackConfig::paper_default(), &mut rng);
+        KvTransferMessage {
+            request_id: 42,
+            layer: 3,
+            head: 5,
+            first_token: 1234,
+            k: state.k_quant().clone(),
+            v: state.v_quant().clone(),
+            v_tail: state.v_tail().clone(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let msg = sample_message(200, 64, 1);
+        let bytes = msg.encode();
+        let back = KvTransferMessage::decode(&bytes);
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn round_trip_with_empty_tail() {
+        // 128 tokens with Π=64: no FP16 tail.
+        let msg = sample_message(128, 64, 2);
+        assert_eq!(msg.v_tail.rows(), 0);
+        let back = KvTransferMessage::decode(&msg.encode());
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn encoded_size_is_far_below_fp16() {
+        let tokens = 2048;
+        let head_dim = 128;
+        let msg = sample_message(tokens, head_dim, 3);
+        let fp16 = 2 * 2 * tokens * head_dim;
+        let ratio = msg.encoded_len() as f64 / fp16 as f64;
+        // Codes are 2-bit; metadata, sums (i32 on the wire) and the FP16 tail add a
+        // little on top. The whole message must stay well under a quarter of FP16.
+        assert!(ratio < 0.25, "wire size ratio {ratio}");
+    }
+
+    #[test]
+    fn header_fields_survive() {
+        let msg = sample_message(70, 32, 4);
+        let back = KvTransferMessage::decode(&msg.encode());
+        assert_eq!(back.request_id, 42);
+        assert_eq!(back.layer, 3);
+        assert_eq!(back.head, 5);
+        assert_eq!(back.first_token, 1234);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported code width")]
+    fn bogus_bit_width_panics() {
+        let msg = sample_message(64, 32, 5);
+        let mut bytes = msg.encode();
+        // The bits byte of K sits right after the 20-byte header + rows/cols (8 bytes).
+        bytes[28] = 7;
+        KvTransferMessage::decode(&bytes);
+    }
+}

@@ -1,0 +1,99 @@
+//! Poisson request-arrival process (§7.1: "The RPS was set to the maximum processing
+//! capacity, following a Poisson distribution").
+
+use hack_tensor::DetRng;
+
+/// Generates arrival timestamps of a Poisson process with a given rate.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rate_per_sec: f64,
+    now: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with `rate_per_sec` requests per second (RPS).
+    pub fn new(rate_per_sec: f64) -> Self {
+        assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+        Self {
+            rate_per_sec,
+            now: 0.0,
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Returns the next arrival timestamp (seconds since the start of the trace).
+    pub fn next_arrival(&mut self, rng: &mut DetRng) -> f64 {
+        self.now += rng.exponential(self.rate_per_sec);
+        self.now
+    }
+
+    /// Generates the first `n` arrival timestamps.
+    pub fn take(&mut self, n: usize, rng: &mut DetRng) -> Vec<f64> {
+        (0..n).map(|_| self.next_arrival(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_monotonically_increasing() {
+        let mut rng = DetRng::new(1);
+        let mut p = PoissonArrivals::new(0.5);
+        let times = p.take(1000, &mut rng);
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(times[0] > 0.0);
+    }
+
+    #[test]
+    fn mean_interarrival_matches_rate() {
+        let mut rng = DetRng::new(2);
+        let rate = 0.18;
+        let mut p = PoissonArrivals::new(rate);
+        let n = 50_000;
+        let times = p.take(n, &mut rng);
+        let mean_gap = times.last().unwrap() / n as f64;
+        assert!(
+            (mean_gap - 1.0 / rate).abs() / (1.0 / rate) < 0.03,
+            "mean gap {mean_gap} vs expected {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn interarrival_variance_is_exponential_like() {
+        // For an exponential distribution the coefficient of variation is 1.
+        let mut rng = DetRng::new(3);
+        let mut p = PoissonArrivals::new(1.0);
+        let times = p.take(50_000, &mut rng);
+        let gaps: Vec<f64> = std::iter::once(times[0])
+            .chain(times.windows(2).map(|w| w[1] - w[0]))
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "coefficient of variation {cv}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = PoissonArrivals::new(0.1);
+        let mut b = PoissonArrivals::new(0.1);
+        let mut rng_a = DetRng::new(9);
+        let mut rng_b = DetRng::new(9);
+        assert_eq!(a.take(100, &mut rng_a), b.take(100, &mut rng_b));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        PoissonArrivals::new(0.0);
+    }
+}

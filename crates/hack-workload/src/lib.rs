@@ -1,0 +1,14 @@
+//! # hack-workload
+//!
+//! Workload generation for the disaggregated-inference experiments: the four datasets
+//! of Table 4 (IMDb classification, arXiv summarization, Cocktail IR, HumanEval) as
+//! input/output-length distributions, plus a Poisson arrival process, combined into
+//! request traces consumed by the cluster simulator.
+
+pub mod arrivals;
+pub mod dataset;
+pub mod trace;
+
+pub use arrivals::PoissonArrivals;
+pub use dataset::{Dataset, LengthStats};
+pub use trace::{Request, TraceConfig, TraceGenerator};

@@ -1,0 +1,167 @@
+//! Request traces: datasets × arrival process → the stream of requests the cluster
+//! simulator replays.
+
+use crate::arrivals::PoissonArrivals;
+use crate::dataset::Dataset;
+use hack_tensor::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// One inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Request id (position in the trace).
+    pub id: u64,
+    /// Arrival time in seconds since the start of the trace.
+    pub arrival: f64,
+    /// Prompt length in tokens.
+    pub input_len: usize,
+    /// Number of output tokens to generate.
+    pub output_len: usize,
+}
+
+impl Request {
+    /// Total sequence length at the end of decoding.
+    pub fn total_tokens(&self) -> usize {
+        self.input_len + self.output_len
+    }
+}
+
+/// Trace-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Dataset providing the length distributions.
+    pub dataset: Dataset,
+    /// Requests per second of the Poisson arrival process.
+    pub rps: f64,
+    /// Number of requests in the trace.
+    pub num_requests: usize,
+    /// Context-window cap of the model serving the trace (inputs are clamped).
+    pub max_context: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// A default trace: the paper's default dataset (Cocktail) at a moderate rate.
+    pub fn cocktail_default() -> Self {
+        Self {
+            dataset: Dataset::Cocktail,
+            rps: 0.1,
+            num_requests: 100,
+            max_context: 131_072,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates request traces.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    config: TraceConfig,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for the given configuration.
+    pub fn new(config: TraceConfig) -> Self {
+        assert!(config.num_requests > 0, "trace must contain at least one request");
+        Self { config }
+    }
+
+    /// The configuration this generator uses.
+    pub fn config(&self) -> TraceConfig {
+        self.config
+    }
+
+    /// Generates the full trace.
+    pub fn generate(&self) -> Vec<Request> {
+        let mut rng = DetRng::new(self.config.seed);
+        let mut arrivals = PoissonArrivals::new(self.config.rps);
+        (0..self.config.num_requests as u64)
+            .map(|id| {
+                let arrival = arrivals.next_arrival(&mut rng);
+                let (input_len, output_len) =
+                    self.config.dataset.sample_lengths(self.config.max_context, &mut rng);
+                Request {
+                    id,
+                    arrival,
+                    input_len,
+                    output_len,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_requested_length_and_ordering() {
+        let gen = TraceGenerator::new(TraceConfig {
+            dataset: Dataset::Arxiv,
+            rps: 0.2,
+            num_requests: 250,
+            max_context: 131_072,
+            seed: 1,
+        });
+        let trace = gen.generate();
+        assert_eq!(trace.len(), 250);
+        for w in trace.windows(2) {
+            assert!(w[1].arrival > w[0].arrival);
+            assert_eq!(w[1].id, w[0].id + 1);
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let cfg = TraceConfig::cocktail_default();
+        let a = TraceGenerator::new(cfg).generate();
+        let b = TraceGenerator::new(cfg).generate();
+        assert_eq!(a, b);
+        let c = TraceGenerator::new(TraceConfig { seed: 43, ..cfg }).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lengths_fall_within_dataset_bounds() {
+        let cfg = TraceConfig {
+            dataset: Dataset::HumanEval,
+            rps: 1.0,
+            num_requests: 500,
+            max_context: 131_072,
+            seed: 3,
+        };
+        let trace = TraceGenerator::new(cfg).generate();
+        let istats = Dataset::HumanEval.input_stats();
+        let ostats = Dataset::HumanEval.output_stats();
+        for r in &trace {
+            assert!(r.input_len >= istats.min && r.input_len <= istats.max);
+            assert!(r.output_len >= ostats.min && r.output_len <= ostats.max);
+            assert_eq!(r.total_tokens(), r.input_len + r.output_len);
+        }
+    }
+
+    #[test]
+    fn context_cap_is_enforced() {
+        let cfg = TraceConfig {
+            dataset: Dataset::Cocktail,
+            rps: 0.1,
+            num_requests: 200,
+            max_context: 2048,
+            seed: 4,
+        };
+        for r in TraceGenerator::new(cfg).generate() {
+            assert!(r.input_len <= 2048);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn empty_trace_panics() {
+        TraceGenerator::new(TraceConfig {
+            num_requests: 0,
+            ..TraceConfig::cocktail_default()
+        });
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: homomorphic-quantized attention on a single head.
+//!
+//! Demonstrates the core HACK pipeline from §5 of the paper on one attention head:
+//! quantize Q/K/V, compute attention with homomorphic quantized matmuls (no
+//! dequantization), compare the result and the KV footprint against exact FP32
+//! attention, then run a few decode steps against the quantized KV state.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hack_core::prelude::*;
+
+fn main() {
+    let mut rng = DetRng::new(42);
+    let tokens = 512;
+    let head_dim = 128;
+
+    // Synthetic per-head projections with realistic per-channel structure.
+    let gen = |rng: &mut DetRng| {
+        Matrix::from_fn(tokens, head_dim, |t, c| {
+            ((c % 13) as f32 - 6.0) * 0.2
+                + 0.3 * rng.normal_f32(0.0, 1.0)
+                + 0.1 * ((t + c) as f32 * 0.01).sin()
+        })
+    };
+    let q = gen(&mut rng);
+    let k = gen(&mut rng);
+    let v = gen(&mut rng);
+
+    // Exact attention (what an FP16/FP32 kernel would produce).
+    let exact = baseline_attention(&q, &k, &v, AttentionMask::Causal);
+
+    // HACK prefill: 2-bit K/V, 8-bit Q/P, partition size 64, computed homomorphically.
+    let cfg = HackConfig::paper_default();
+    let prefill = hack_prefill_attention(&q, &k, &v, cfg, &mut rng);
+
+    let cos = hack_tensor::cosine_similarity(&exact, &prefill.output);
+    println!("== HACK quickstart ==");
+    println!("prompt tokens            : {tokens}");
+    println!("head dimension           : {head_dim}");
+    println!("partition size (Pi)      : {}", cfg.partition.get());
+    println!("attention output cosine  : {cos:.4} (vs exact FP32 attention)");
+
+    // KV footprint: what would be cached / transferred to the decode instance.
+    let state = prefill.state;
+    let quantized = state.kv_bytes();
+    let fp16 = state.fp16_bytes();
+    println!(
+        "KV footprint             : {:.1} KiB quantized vs {:.1} KiB FP16 ({:.1}% compression)",
+        quantized as f64 / 1024.0,
+        fp16 as f64 / 1024.0,
+        100.0 * (1.0 - quantized as f64 / fp16 as f64)
+    );
+    println!(
+        "quantized / FP16-tail    : {} tokens quantized, {} tokens in the FP16 tail (RQE)",
+        state.quantized_tokens(),
+        state.tail_tokens()
+    );
+
+    // A few decode steps: append a token's K/V, then attend with its query — all on the
+    // quantized state, no dequantization anywhere.
+    let mut state = state;
+    println!("\n-- decode steps --");
+    for step in 0..4 {
+        let new_q: Vec<f32> = (0..head_dim).map(|i| ((i + step) as f32 * 0.03).cos()).collect();
+        let new_k: Vec<f32> = (0..head_dim).map(|i| ((i * 2 + step) as f32 * 0.02).sin()).collect();
+        let new_v: Vec<f32> = (0..head_dim).map(|i| ((i + 3 * step) as f32 * 0.05).cos()).collect();
+        let (out, stats) = state.decode_step(&new_q, &new_k, &new_v, &mut rng);
+        println!(
+            "step {step}: seq_len={} int8 MACs={} approx ops={} tail FP ops={} |out|={:.3}",
+            state.seq_len(),
+            stats.int_mac_ops,
+            stats.approx_ops,
+            stats.tail_fp_ops,
+            out.iter().map(|x| x * x).sum::<f32>().sqrt()
+        );
+    }
+
+    println!("\nDone. See `examples/long_prompt_summarization.rs` for the end-to-end cluster view.");
+}

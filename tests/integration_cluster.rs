@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: the cluster simulator driven through the public
+//! `hack-core` experiment API (the machinery behind Figs. 1–4 and 9–14).
+
+use hack_core::prelude::*;
+
+fn experiment(dataset: Dataset, n: usize) -> JctExperiment {
+    JctExperiment {
+        num_requests: n,
+        ..JctExperiment::new(ModelKind::Llama31_70B, GpuKind::A10G, dataset)
+    }
+}
+
+#[test]
+fn fig9_shape_hack_wins_on_every_dataset() {
+    for dataset in [Dataset::Imdb, Dataset::Cocktail] {
+        let outcomes = experiment(dataset, 30).run_all(&Method::main_comparison());
+        let baseline = &outcomes[0];
+        let hack = &outcomes[3];
+        assert!(
+            hack.average_jct < baseline.average_jct,
+            "{}: HACK {} vs baseline {}",
+            dataset.name(),
+            hack.average_jct,
+            baseline.average_jct
+        );
+        for o in &outcomes {
+            assert_eq!(o.completed_requests, 30, "{}", o.method_name);
+        }
+    }
+}
+
+#[test]
+fn long_datasets_benefit_more_than_short_ones() {
+    // Fig. 9: the JCT improvement of HACK over the baseline is larger for arXiv and
+    // Cocktail than for IMDb and HumanEval.
+    let gain = |dataset: Dataset| {
+        let e = experiment(dataset, 30);
+        let base = e.run(Method::Baseline);
+        let hack = e.run(Method::hack());
+        hack.jct_reduction_vs(&base)
+    };
+    let short = gain(Dataset::Imdb);
+    let long = gain(Dataset::Cocktail);
+    assert!(
+        long > short,
+        "long-dataset gain {long} should exceed short-dataset gain {short}"
+    );
+}
+
+#[test]
+fn fig12_baseline_comm_ratio_tracks_bandwidth() {
+    // Fig. 1(a): the A100 prefill instance (400 Gbps) has a far smaller communication
+    // ratio than the 10-50 Gbps instances.
+    let ratio = |gpu: GpuKind| {
+        let e = JctExperiment {
+            num_requests: 30,
+            ..JctExperiment::new(ModelKind::Llama31_70B, gpu, Dataset::Cocktail)
+        };
+        e.run(Method::Baseline).ratios.communication
+    };
+    let a100 = ratio(GpuKind::A100);
+    let v100 = ratio(GpuKind::V100);
+    let a10g = ratio(GpuKind::A10G);
+    assert!(a100 < a10g, "A100 comm {a100} vs A10G {a10g}");
+    assert!(a100 < v100, "A100 comm {a100} vs V100 {v100}");
+}
+
+#[test]
+fn table5_memory_shape() {
+    // Table 5: quantized methods cut peak decode memory; HACK sits at or slightly above
+    // CacheGen/KVQuant (sums + FP16 tail) but below the baseline. The simulated
+    // residency is lower than the paper's (its decode instances run much closer to
+    // memory saturation), so only the ordering is asserted here; the table5 harness
+    // additionally reports the analytic at-capacity breakdown, which reproduces the
+    // paper's magnitudes.
+    let e = experiment(Dataset::Cocktail, 40);
+    let base = e.run(Method::Baseline);
+    let cachegen = e.run(Method::CacheGen);
+    let hack = e.run(Method::hack());
+    assert!(base.peak_decode_memory_fraction > cachegen.peak_decode_memory_fraction);
+    assert!(hack.peak_decode_memory_fraction >= cachegen.peak_decode_memory_fraction - 1e-9);
+    assert!(hack.peak_decode_memory_fraction <= base.peak_decode_memory_fraction);
+}
+
+#[test]
+fn fig13_ablations_cost_time() {
+    // Fig. 13: HACK/SE is slower than HACK, especially on long sequences; HACK/RQE is
+    // never faster than HACK.
+    let e = experiment(Dataset::Cocktail, 30);
+    let hack = e.run(Method::hack());
+    let no_se = e.run(Method::HackNoSe);
+    let no_rqe = e.run(Method::HackNoRqe);
+    assert!(no_se.average_jct > hack.average_jct, "SE removal must cost time");
+    assert!(no_rqe.average_jct >= hack.average_jct);
+}
+
+#[test]
+fn fig14_scalability_completes_and_keeps_the_method_ordering() {
+    // Fig. 14: at every prefill:decode ratio p the compressed methods stay below the
+    // baseline. (The paper's 127% baseline JCT growth comes from running its real
+    // decode side at saturation, which the calibrated service-time model does not reach
+    // at RPS = 0.02·p; the harness binary prints the simulated series and
+    // EXPERIMENTS.md records the deviation.)
+    for p in [1usize, 4] {
+        let e = JctExperiment::scalability(p);
+        let base = e.run(Method::Baseline);
+        let hack = e.run(Method::hack());
+        assert_eq!(base.completed_requests, e.num_requests);
+        assert_eq!(hack.completed_requests, e.num_requests);
+        assert!(
+            hack.average_jct < base.average_jct,
+            "p={p}: HACK {} vs baseline {}",
+            hack.average_jct,
+            base.average_jct
+        );
+    }
+}
+
+#[test]
+fn pipelining_only_helps_communication() {
+    let plain = experiment(Dataset::Cocktail, 30);
+    let mut piped = plain;
+    piped.pipelining = true;
+    let a = plain.run(Method::Baseline);
+    let b = piped.run(Method::Baseline);
+    assert!(b.ratios.communication <= a.ratios.communication + 1e-9);
+    // Prefill and decode service times are untouched by pipelining.
+    assert!((a.stats.mean_breakdown.prefill - b.stats.mean_breakdown.prefill).abs() < 1e-6);
+}
+
+#[test]
+fn outcomes_serialize_to_json() {
+    let e = experiment(Dataset::HumanEval, 10);
+    let outcome = e.run(Method::hack());
+    let json = serde_json::to_string(&outcome).expect("serializable outcome");
+    assert!(json.contains("average_jct"));
+    assert!(json.contains("HACK"));
+}

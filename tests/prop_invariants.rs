@@ -1,0 +1,184 @@
+//! Property-based tests (proptest) on the core data structures and invariants:
+//! quantization round trips, homomorphic-product equivalence, packing, entropy coding,
+//! softmax, FP16 conversion and the metrics.
+
+use hack_baselines::entropy;
+use hack_core::prelude::*;
+use hack_metrics::edit::edit_similarity;
+use hack_metrics::rouge::rouge1_f1;
+use hack_quant::homomorphic::{dequant_matmul, homomorphic_matmul, homomorphic_matmul_no_se};
+use hack_quant::packing::{pack_codes, unpack_codes};
+use hack_quant::params::{QuantBits, RoundingMode};
+use hack_tensor::half::round_to_f16;
+use hack_tensor::softmax::softmax_rows;
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn quantize_dequantize_error_is_bounded_by_one_step(
+        m in small_matrix(4, 64),
+        seed in 0u64..1000,
+        bits_choice in 0usize..3,
+    ) {
+        let bits = [QuantBits::Int2, QuantBits::Int4, QuantBits::Int8][bits_choice];
+        let mut rng = DetRng::new(seed);
+        let q = QuantizedTensor::quantize_rows(&m, bits, 32, RoundingMode::Stochastic, &mut rng);
+        let back = q.dequantize();
+        for r in 0..m.rows() {
+            for p in 0..q.n_partitions() {
+                let meta = q.meta(r, p);
+                let (start, end) = q.partition_range(p);
+                for c in start..end {
+                    let err = (m.get(r, c) - back.get(r, c)).abs();
+                    // One quantization step plus FP16 metadata rounding slack.
+                    prop_assert!(err <= meta.scale * 1.01 + 0.05,
+                        "err {err} exceeds step {} at ({r},{c})", meta.scale);
+                }
+            }
+        }
+        prop_assert!(q.sums_consistent());
+    }
+
+    #[test]
+    fn codes_never_exceed_bit_range(
+        m in small_matrix(3, 48),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let q = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 16, RoundingMode::Stochastic, &mut rng);
+        prop_assert!(q.codes().iter().all(|&c| c <= 3));
+    }
+
+    #[test]
+    fn homomorphic_equals_dequantized_product(
+        a in small_matrix(3, 64),
+        b in small_matrix(5, 64),
+        seed in 0u64..1000,
+    ) {
+        // Eq. 4 is an exact algebraic identity: computing on codes then correcting must
+        // equal dequantizing then multiplying, up to float rounding.
+        let mut rng = DetRng::new(seed);
+        let qa = QuantizedTensor::quantize_rows(&a, QuantBits::Int8, 32, RoundingMode::Nearest, &mut rng);
+        let qb = QuantizedTensor::quantize_rows(&b, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let hom = homomorphic_matmul(&qa, &qb);
+        let deq = dequant_matmul(&qa, &qb);
+        let err = hack_tensor::relative_frobenius_error(&deq, &hom);
+        prop_assert!(err < 5e-3, "relative error {err}");
+    }
+
+    #[test]
+    fn summation_elimination_never_changes_the_result(
+        a in small_matrix(2, 32),
+        b in small_matrix(4, 32),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let qa = QuantizedTensor::quantize_rows(&a, QuantBits::Int8, 16, RoundingMode::Stochastic, &mut rng);
+        let qb = QuantizedTensor::quantize_rows(&b, QuantBits::Int2, 16, RoundingMode::Stochastic, &mut rng);
+        let with_se = homomorphic_matmul(&qa, &qb);
+        let without_se = homomorphic_matmul_no_se(&qa, &qb);
+        prop_assert_eq!(with_se.as_slice(), without_se.as_slice());
+    }
+
+    #[test]
+    fn packing_round_trips(
+        codes in proptest::collection::vec(0u8..4, 0..200),
+    ) {
+        let packed = pack_codes(&codes, QuantBits::Int2);
+        prop_assert_eq!(unpack_codes(&packed, QuantBits::Int2, codes.len()), codes);
+    }
+
+    #[test]
+    fn entropy_coder_round_trips(
+        data in proptest::collection::vec(0u8..16, 0..600),
+    ) {
+        prop_assert_eq!(entropy::decode(&entropy::encode(&data)), data);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in small_matrix(4, 16)) {
+        let p = softmax_rows(&m);
+        for r in 0..p.rows() {
+            let sum: f32 = p.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(r).iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn f16_round_trip_is_idempotent(x in -65000.0f32..65000.0) {
+        let once = round_to_f16(x);
+        let twice = round_to_f16(once);
+        prop_assert_eq!(once, twice);
+        if x.abs() > 1e-3 {
+            prop_assert!(((once - x) / x).abs() <= 2.0f32.powi(-10));
+        }
+    }
+
+    #[test]
+    fn append_token_preserves_kv_state_invariants(
+        prompt_tokens in 1usize..90,
+        extra in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        let d_h = 32;
+        let mut rng = DetRng::new(seed);
+        let k = Matrix::random_normal(prompt_tokens, d_h, 0.0, 1.0, &mut rng);
+        let v = Matrix::random_normal(prompt_tokens, d_h, 0.0, 1.0, &mut rng);
+        let mut state = HackKvState::from_prefill(&k, &v, HackConfig::paper_default(), &mut rng);
+        for i in 0..extra {
+            let row: Vec<f32> = (0..d_h).map(|j| ((i + j) as f32 * 0.01).sin()).collect();
+            let stats = state.append_token(&row, &row, &mut rng);
+            prop_assert_eq!(stats.requantized_elements, 0);
+        }
+        prop_assert_eq!(state.seq_len(), prompt_tokens + extra);
+        prop_assert_eq!(
+            state.quantized_tokens() + state.tail_tokens(),
+            prompt_tokens + extra
+        );
+        prop_assert!(state.tail_tokens() < 64);
+        prop_assert!(state.k_quant().sums_consistent());
+        prop_assert!(state.v_quant().sums_consistent());
+    }
+
+    #[test]
+    fn edit_similarity_properties(
+        a in proptest::collection::vec(0u32..50, 0..30),
+        b in proptest::collection::vec(0u32..50, 0..30),
+    ) {
+        let s = edit_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((edit_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((edit_similarity(&b, &a) - s).abs() < 1e-12, "symmetry");
+    }
+
+    #[test]
+    fn rouge_is_bounded_and_symmetric_in_f1(
+        a in "[a-d ]{0,40}",
+        b in "[a-d ]{0,40}",
+    ) {
+        let f = rouge1_f1(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!((rouge1_f1(&b, &a) - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_layout_bytes_are_monotone_in_tokens(
+        tokens_a in 1usize..4000,
+        tokens_b in 1usize..4000,
+    ) {
+        use hack_kvcache::{CacheLayout, KvShape};
+        let shape = KvShape { layers: 4, kv_heads: 4, head_dim: 128 };
+        let layout = Method::hack().cache_layout();
+        let (lo, hi) = if tokens_a <= tokens_b { (tokens_a, tokens_b) } else { (tokens_b, tokens_a) };
+        prop_assert!(layout.kv_bytes(&shape, lo) <= layout.kv_bytes(&shape, hi));
+        prop_assert!(layout.kv_bytes(&shape, hi) < CacheLayout::Fp16.kv_bytes(&shape, hi));
+    }
+}
