@@ -1,8 +1,8 @@
 //! Dense FP32 / FP16 attention: the reference every other kernel is validated against
 //! and the compute path of the disaggregated-inference baseline.
 
-use hack_tensor::matmul::matmul_transposed_b;
 use hack_tensor::matmul::matmul;
+use hack_tensor::matmul::matmul_transposed_b;
 use hack_tensor::softmax::{causal_softmax_rows, softmax_rows};
 use hack_tensor::Matrix;
 
@@ -48,7 +48,9 @@ pub fn fp16_attention(q: &Matrix, k: &Matrix, v: &Matrix, mask: AttentionMask) -
     let v16 = v.to_f16_precision();
     let d_h = q.cols();
     let scale = 1.0 / (d_h as f32).sqrt();
-    let scores = matmul_transposed_b(&q16, &k16).scale(scale).to_f16_precision();
+    let scores = matmul_transposed_b(&q16, &k16)
+        .scale(scale)
+        .to_f16_precision();
     let probs = match mask {
         AttentionMask::Causal => {
             let offset = k.rows() - q.rows();
@@ -62,7 +64,11 @@ pub fn fp16_attention(q: &Matrix, k: &Matrix, v: &Matrix, mask: AttentionMask) -
 
 fn validate_shapes(q: &Matrix, k: &Matrix, v: &Matrix) {
     assert_eq!(q.cols(), k.cols(), "Q and K must share the head dimension");
-    assert_eq!(k.rows(), v.rows(), "K and V must have the same number of tokens");
+    assert_eq!(
+        k.rows(),
+        v.rows(),
+        "K and V must have the same number of tokens"
+    );
     assert!(
         k.rows() >= q.rows(),
         "the KV sequence ({}) must be at least as long as the query sequence ({})",
@@ -161,7 +167,10 @@ mod tests {
             let (mn, mx) = v.col_min_max(c, 0, v.rows());
             for r in 0..3 {
                 let x = o.get(r, c);
-                assert!(x >= mn - 1e-5 && x <= mx + 1e-5, "({r},{c}) = {x} outside [{mn},{mx}]");
+                assert!(
+                    x >= mn - 1e-5 && x <= mx + 1e-5,
+                    "({r},{c}) = {x} outside [{mn},{mx}]"
+                );
             }
         }
     }

@@ -53,7 +53,15 @@ mod tests {
         let (q, k, v) = random_qkv(4, 96, 64, 1);
         let mut rng = DetRng::new(10);
         let expect = baseline_attention(&q, &k, &v, AttentionMask::Causal);
-        let got = dequant_quantized_attention(&q, &k, &v, QuantBits::Int8, 64, AttentionMask::Causal, &mut rng);
+        let got = dequant_quantized_attention(
+            &q,
+            &k,
+            &v,
+            QuantBits::Int8,
+            64,
+            AttentionMask::Causal,
+            &mut rng,
+        );
         assert!(relative_frobenius_error(&expect, &got) < 0.02);
     }
 
@@ -64,8 +72,20 @@ mod tests {
         let (q, k, v) = random_qkv(4, 128, 64, 2);
         let mut rng = DetRng::new(11);
         let expect = baseline_attention(&q, &k, &v, AttentionMask::Causal);
-        let got = dequant_quantized_attention(&q, &k, &v, QuantBits::Int2, 64, AttentionMask::Causal, &mut rng);
-        assert!(cosine_similarity(&expect, &got) > 0.5, "cos {}", cosine_similarity(&expect, &got));
+        let got = dequant_quantized_attention(
+            &q,
+            &k,
+            &v,
+            QuantBits::Int2,
+            64,
+            AttentionMask::Causal,
+            &mut rng,
+        );
+        assert!(
+            cosine_similarity(&expect, &got) > 0.5,
+            "cos {}",
+            cosine_similarity(&expect, &got)
+        );
     }
 
     #[test]
@@ -74,9 +94,24 @@ mod tests {
         let expect = baseline_attention(&q, &k, &v, AttentionMask::Causal);
         let mut rng_a = DetRng::new(12);
         let mut rng_b = DetRng::new(12);
-        let fine = dequant_quantized_attention(&q, &k, &v, QuantBits::Int2, 32, AttentionMask::Causal, &mut rng_a);
-        let coarse =
-            dequant_quantized_attention(&q, &k, &v, QuantBits::Int2, 128, AttentionMask::Causal, &mut rng_b);
+        let fine = dequant_quantized_attention(
+            &q,
+            &k,
+            &v,
+            QuantBits::Int2,
+            32,
+            AttentionMask::Causal,
+            &mut rng_a,
+        );
+        let coarse = dequant_quantized_attention(
+            &q,
+            &k,
+            &v,
+            QuantBits::Int2,
+            128,
+            AttentionMask::Causal,
+            &mut rng_b,
+        );
         let e_fine = relative_frobenius_error(&expect, &fine);
         let e_coarse = relative_frobenius_error(&expect, &coarse);
         assert!(
@@ -89,7 +124,15 @@ mod tests {
     fn output_shape_is_preserved() {
         let (q, k, v) = random_qkv(1, 40, 32, 4);
         let mut rng = DetRng::new(13);
-        let got = dequant_quantized_attention(&q, &k, &v, QuantBits::Int2, 64, AttentionMask::Causal, &mut rng);
+        let got = dequant_quantized_attention(
+            &q,
+            &k,
+            &v,
+            QuantBits::Int2,
+            64,
+            AttentionMask::Causal,
+            &mut rng,
+        );
         assert_eq!(got.shape(), (1, 32));
         assert!(got.all_finite());
     }

@@ -15,10 +15,23 @@ use hack_tensor::Matrix;
 /// Tiled single-head attention with online softmax.
 ///
 /// * `q`: `L_Q × d_h`, `k`/`v`: `L_KV × d_h`, `block` is the KV tile length.
-pub fn flash_attention(q: &Matrix, k: &Matrix, v: &Matrix, mask: AttentionMask, block: usize) -> Matrix {
+pub fn flash_attention(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    mask: AttentionMask,
+    block: usize,
+) -> Matrix {
     assert_eq!(q.cols(), k.cols(), "Q and K must share the head dimension");
-    assert_eq!(k.rows(), v.rows(), "K and V must have the same number of tokens");
-    assert!(k.rows() >= q.rows(), "KV sequence shorter than query sequence");
+    assert_eq!(
+        k.rows(),
+        v.rows(),
+        "K and V must have the same number of tokens"
+    );
+    assert!(
+        k.rows() >= q.rows(),
+        "KV sequence shorter than query sequence"
+    );
     assert!(block > 0, "block size must be positive");
 
     let l_q = q.rows();

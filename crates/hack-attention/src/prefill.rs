@@ -9,8 +9,8 @@
 //! [`HackKvState`].
 
 use crate::state::HackKvState;
-use hack_quant::homomorphic::homomorphic_matmul_counted;
 use hack_quant::cost::HomomorphicOpCounts;
+use hack_quant::homomorphic::homomorphic_matmul_counted;
 use hack_quant::{HackConfig, QuantizedTensor};
 use hack_tensor::softmax::causal_softmax_rows;
 use hack_tensor::{DetRng, Matrix};
@@ -38,8 +38,16 @@ pub fn hack_prefill_attention(
     cfg: HackConfig,
     rng: &mut DetRng,
 ) -> PrefillOutput {
-    assert_eq!(q.shape(), k.shape(), "Q and K must have identical shapes in prefill");
-    assert_eq!(k.shape(), v.shape(), "K and V must have identical shapes in prefill");
+    assert_eq!(
+        q.shape(),
+        k.shape(),
+        "Q and K must have identical shapes in prefill"
+    );
+    assert_eq!(
+        k.shape(),
+        v.shape(),
+        "K and V must have identical shapes in prefill"
+    );
     let (l, d_h) = q.shape();
     assert!(l > 0, "prefill requires at least one token");
     let pi = cfg.partition.get();
@@ -113,7 +121,8 @@ mod tests {
         let mut rng_a = DetRng::new(4);
         let mut rng_b = DetRng::new(4);
         let fine = hack_prefill_attention(&q, &k, &v, HackConfig::with_partition(32), &mut rng_a);
-        let coarse = hack_prefill_attention(&q, &k, &v, HackConfig::with_partition(128), &mut rng_b);
+        let coarse =
+            hack_prefill_attention(&q, &k, &v, HackConfig::with_partition(128), &mut rng_b);
         let e_fine = relative_frobenius_error(&expect, &fine.output);
         let e_coarse = relative_frobenius_error(&expect, &coarse.output);
         assert!(

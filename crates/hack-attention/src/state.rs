@@ -16,9 +16,7 @@
 //! and HACK/RQE ablations.
 
 use hack_quant::qmatrix::AppendStats;
-use hack_quant::{
-    homomorphic::homomorphic_matmul_counted, HackConfig, QuantizedTensor,
-};
+use hack_quant::{homomorphic::homomorphic_matmul_counted, HackConfig, QuantizedTensor};
 use hack_tensor::matmul::matmul;
 use hack_tensor::softmax::softmax_slice_inplace;
 use hack_tensor::{DetRng, Matrix};
@@ -163,7 +161,11 @@ impl HackKvState {
     ) -> Self {
         assert_eq!(k.cols(), head_dim, "K layout must be tokens × head_dim");
         assert_eq!(v.rows(), head_dim, "V layout must be head_dim × tokens");
-        assert_eq!(v_tail.cols(), head_dim, "V tail layout must be tokens × head_dim");
+        assert_eq!(
+            v_tail.cols(),
+            head_dim,
+            "V tail layout must be tokens × head_dim"
+        );
         assert_eq!(
             k.rows(),
             v.cols() + v_tail.rows(),
@@ -247,8 +249,13 @@ impl HackKvState {
         let mut out = vec![0.0f32; self.head_dim];
         if quantized_tokens > 0 {
             let p_main = Matrix::from_vec(1, quantized_tokens, p[..quantized_tokens].to_vec());
-            let p_q =
-                QuantizedTensor::quantize_rows(&p_main, self.cfg.p_bits, pi, self.cfg.rounding, rng);
+            let p_q = QuantizedTensor::quantize_rows(
+                &p_main,
+                self.cfg.p_bits,
+                pi,
+                self.cfg.rounding,
+                rng,
+            );
             let (o_main, pv_counts) =
                 homomorphic_matmul_counted(&p_q, &self.v, self.cfg.summation_elimination);
             stats.int_mac_ops += pv_counts.int_mac_ops;
@@ -386,7 +393,7 @@ mod tests {
         assert_eq!(state.quantized_tokens(), 64);
         assert_eq!(state.tail_tokens(), 0);
         // One more token starts a fresh tail.
-        state.append_token(&vec![0.0; 32], &vec![0.0; 32], &mut rng);
+        state.append_token(&[0.0; 32], &[0.0; 32], &mut rng);
         assert_eq!(state.tail_tokens(), 1);
         assert_eq!(state.seq_len(), 65);
     }
@@ -397,7 +404,7 @@ mod tests {
         let (k, v) = structured_kv(70, 32, 5);
         let mut state =
             HackKvState::from_prefill(&k, &v, HackConfig::without_requant_elimination(), &mut rng);
-        let stats = state.append_token(&vec![0.5; 32], &vec![0.9; 32], &mut rng);
+        let stats = state.append_token(&[0.5; 32], &[0.9; 32], &mut rng);
         // 70 tokens with Π=64 leaves 6 tokens in the partial partition, all of which
         // must be requantized across the 32 channels.
         assert_eq!(stats.requantized_elements, 6 * 32);
@@ -418,8 +425,14 @@ mod tests {
         let cos = cos_vec(&out, expect.row(0));
         assert!(cos > 0.95, "decode output cosine similarity {cos}");
         assert!(stats.int_mac_ops > 0);
-        assert_eq!(stats.sum_recompute_ops, 0, "SE must avoid sum recomputation");
-        assert!(stats.tail_fp_ops > 0, "tail of 200-64*3=8 tokens should use FP16 path");
+        assert_eq!(
+            stats.sum_recompute_ops, 0,
+            "SE must avoid sum recomputation"
+        );
+        assert!(
+            stats.tail_fp_ops > 0,
+            "tail of 200-64*3=8 tokens should use FP16 path"
+        );
     }
 
     #[test]
@@ -429,8 +442,12 @@ mod tests {
         let d_h = 64;
         let (k, v) = structured_kv(128, d_h, 8);
         let se = HackKvState::from_prefill(&k, &v, HackConfig::paper_default(), &mut rng_a);
-        let no_se =
-            HackKvState::from_prefill(&k, &v, HackConfig::without_summation_elimination(), &mut rng_b);
+        let no_se = HackKvState::from_prefill(
+            &k,
+            &v,
+            HackConfig::without_summation_elimination(),
+            &mut rng_b,
+        );
         let q = vec![0.3; d_h];
         let mut rng_a2 = DetRng::new(99);
         let mut rng_b2 = DetRng::new(99);
@@ -449,8 +466,12 @@ mod tests {
         let mut rng_a = DetRng::new(10);
         let mut rng_b = DetRng::new(10);
         let rqe = HackKvState::from_prefill(&k, &v, HackConfig::paper_default(), &mut rng_a);
-        let no_rqe =
-            HackKvState::from_prefill(&k, &v, HackConfig::without_requant_elimination(), &mut rng_b);
+        let no_rqe = HackKvState::from_prefill(
+            &k,
+            &v,
+            HackConfig::without_requant_elimination(),
+            &mut rng_b,
+        );
         let q: Vec<f32> = (0..d_h).map(|i| (i as f32 * 0.02).sin()).collect();
         let mut rng_a2 = DetRng::new(20);
         let mut rng_b2 = DetRng::new(20);
@@ -551,6 +572,6 @@ mod tests {
         let cfg = HackConfig::paper_default();
         let state = HackKvState::empty(16, cfg);
         let mut rng = DetRng::new(22);
-        state.decode_attention(&vec![0.0; 16], &mut rng);
+        state.decode_attention(&[0.0; 16], &mut rng);
     }
 }

@@ -168,7 +168,9 @@ fn read_meta(buf: &[u8], index: usize) -> PartitionMeta {
     let off = index * 4;
     assert!(buf.len() >= off + 4, "CacheGen metadata truncated");
     PartitionMeta {
-        min: hack_tensor::half::f16_bits_to_f32(u16::from_le_bytes(buf[off..off + 2].try_into().unwrap())),
+        min: hack_tensor::half::f16_bits_to_f32(u16::from_le_bytes(
+            buf[off..off + 2].try_into().unwrap(),
+        )),
         scale: hack_tensor::half::f16_bits_to_f32(u16::from_le_bytes(
             buf[off + 2..off + 4].try_into().unwrap(),
         )),
@@ -255,7 +257,11 @@ mod tests {
         let mut rng = DetRng::new(11);
         let m = correlated_kv(2048, 64, 12);
         let c = CacheGenLike::default().compress(&m, &mut rng);
-        assert!(c.compression_ratio() > 0.78, "ratio {}", c.compression_ratio());
+        assert!(
+            c.compression_ratio() > 0.78,
+            "ratio {}",
+            c.compression_ratio()
+        );
     }
 
     #[test]

@@ -126,7 +126,7 @@ fn code_lengths(data: &[u8]) -> [u8; 256] {
 
     while heap.len() > 1 {
         // Pop the two lightest nodes (linear scan: at most 256 leaves, negligible).
-        heap.sort_by(|a, b| b.weight.cmp(&a.weight));
+        heap.sort_by_key(|n| std::cmp::Reverse(n.weight));
         let a = heap.pop().unwrap();
         let b = heap.pop().unwrap();
         heap.push(Node {
@@ -222,7 +222,11 @@ struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes, pos: 0, bit: 0 }
+        Self {
+            bytes,
+            pos: 0,
+            bit: 0,
+        }
     }
 
     fn read_bit(&mut self) -> u8 {

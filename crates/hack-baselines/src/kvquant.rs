@@ -46,7 +46,8 @@ impl KvQuantLike {
         }
         for meta in q.metas() {
             payload.extend_from_slice(&hack_tensor::half::f32_to_f16_bits(meta.min).to_le_bytes());
-            payload.extend_from_slice(&hack_tensor::half::f32_to_f16_bits(meta.scale).to_le_bytes());
+            payload
+                .extend_from_slice(&hack_tensor::half::f32_to_f16_bits(meta.scale).to_le_bytes());
         }
         payload
     }
@@ -57,13 +58,21 @@ impl KvQuantLike {
         let cols = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
         let code_bytes = rows * self.bits.packed_bytes(cols);
         let codes_end = 8 + code_bytes;
-        assert!(payload.len() >= codes_end, "KVQuant payload truncated (codes)");
+        assert!(
+            payload.len() >= codes_end,
+            "KVQuant payload truncated (codes)"
+        );
         let mut codes = Vec::with_capacity(rows * cols);
         for r in 0..rows {
-            let row_bytes = &payload[8 + r * self.bits.packed_bytes(cols)..8 + (r + 1) * self.bits.packed_bytes(cols)];
+            let row_bytes = &payload
+                [8 + r * self.bits.packed_bytes(cols)..8 + (r + 1) * self.bits.packed_bytes(cols)];
             codes.extend(unpack_codes(row_bytes, self.bits, cols));
         }
-        let n_parts = if cols == 0 { 0 } else { cols.div_ceil(self.partition) };
+        let n_parts = if cols == 0 {
+            0
+        } else {
+            cols.div_ceil(self.partition)
+        };
         let mut metas = Vec::with_capacity(rows * n_parts);
         let meta_bytes = &payload[codes_end..];
         assert!(
@@ -80,7 +89,8 @@ impl KvQuantLike {
             metas.push(PartitionMeta { min, scale });
         }
         let sums = (0..rows * n_parts).map(|_| 0).collect();
-        let mut q = QuantizedTensor::from_parts(rows, cols, self.bits, self.partition, codes, metas, sums);
+        let mut q =
+            QuantizedTensor::from_parts(rows, cols, self.bits, self.partition, codes, metas, sums);
         // Stored sums are not transferred by KVQuant; recompute for internal consistency.
         let recomputed: Vec<i32> = (0..rows)
             .flat_map(|r| (0..n_parts).map(move |p| (r, p)))
@@ -108,7 +118,13 @@ impl KvCompressor for KvQuantLike {
         // Per-channel quantization along the token dimension (KVQuant quantizes keys
         // per channel because channel magnitudes are far more consistent than token
         // magnitudes): each channel's token sequence is partitioned into Π-token groups.
-        let q = QuantizedTensor::quantize_cols(m, self.bits, self.partition, RoundingMode::Stochastic, rng);
+        let q = QuantizedTensor::quantize_cols(
+            m,
+            self.bits,
+            self.partition,
+            RoundingMode::Stochastic,
+            rng,
+        );
         CompressedKv {
             payload: Self::serialize(&q),
             rows: m.rows(),
@@ -153,7 +169,11 @@ mod tests {
         let c = kq.compress(&m, &mut rng);
         let back = kq.decompress(&c);
         assert_eq!(back.shape(), m.shape());
-        assert!(cosine_similarity(&m, &back) > 0.97, "cos {}", cosine_similarity(&m, &back));
+        assert!(
+            cosine_similarity(&m, &back) > 0.97,
+            "cos {}",
+            cosine_similarity(&m, &back)
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ impl MinifloatSpec {
 
     /// Largest finite representable magnitude.
     pub fn max_value(&self) -> f32 {
-        let max_exp = ((1 << self.exp_bits) - 1) as i32 - self.bias();
+        let max_exp = ((1 << self.exp_bits) - 1) - self.bias();
         let man_max = 2.0 - 2.0f32.powi(-(self.man_bits as i32));
         man_max * 2.0f32.powi(max_exp)
     }
@@ -127,15 +127,27 @@ impl MinifloatSpec {
 /// FP8 spec lookup.
 pub fn fp8_spec(format: Fp8Format) -> MinifloatSpec {
     match format {
-        Fp8Format::E4M3 => MinifloatSpec { exp_bits: 4, man_bits: 3 },
-        Fp8Format::E5M2 => MinifloatSpec { exp_bits: 5, man_bits: 2 },
+        Fp8Format::E4M3 => MinifloatSpec {
+            exp_bits: 4,
+            man_bits: 3,
+        },
+        Fp8Format::E5M2 => MinifloatSpec {
+            exp_bits: 5,
+            man_bits: 2,
+        },
     }
 }
 
 /// FP6 E3M2 spec.
-pub const FP6_E3M2: MinifloatSpec = MinifloatSpec { exp_bits: 3, man_bits: 2 };
+pub const FP6_E3M2: MinifloatSpec = MinifloatSpec {
+    exp_bits: 3,
+    man_bits: 2,
+};
 /// FP4 E2M1 spec.
-pub const FP4_E2M1: MinifloatSpec = MinifloatSpec { exp_bits: 2, man_bits: 1 };
+pub const FP4_E2M1: MinifloatSpec = MinifloatSpec {
+    exp_bits: 2,
+    man_bits: 1,
+};
 
 /// FP4 cast baseline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -220,7 +232,11 @@ impl KvCompressor for MinifloatCast {
     fn decompress(&self, c: &CompressedKv) -> Matrix {
         let bits = self.spec.total_bits();
         let row_bytes = (c.cols * bits as usize).div_ceil(8);
-        assert_eq!(c.payload.len(), c.rows * row_bytes, "corrupt minifloat payload");
+        assert_eq!(
+            c.payload.len(),
+            c.rows * row_bytes,
+            "corrupt minifloat payload"
+        );
         let mask = (1u32 << bits) - 1;
         let mut out = Matrix::zeros(c.rows, c.cols);
         for r in 0..c.rows {
@@ -289,7 +305,12 @@ mod tests {
 
     #[test]
     fn zero_round_trips_for_all_formats() {
-        for spec in [fp8_spec(Fp8Format::E4M3), fp8_spec(Fp8Format::E5M2), FP6_E3M2, FP4_E2M1] {
+        for spec in [
+            fp8_spec(Fp8Format::E4M3),
+            fp8_spec(Fp8Format::E5M2),
+            FP6_E3M2,
+            FP4_E2M1,
+        ] {
             assert_eq!(spec.decode(spec.encode(0.0)), 0.0);
         }
     }
@@ -308,7 +329,10 @@ mod tests {
         let e_fp8 = err(fp8_spec(Fp8Format::E4M3));
         let e_fp6 = err(FP6_E3M2);
         let e_fp4 = err(FP4_E2M1);
-        assert!(e_fp8 < e_fp6 && e_fp6 < e_fp4, "fp8 {e_fp8} fp6 {e_fp6} fp4 {e_fp4}");
+        assert!(
+            e_fp8 < e_fp6 && e_fp6 < e_fp4,
+            "fp8 {e_fp8} fp6 {e_fp6} fp4 {e_fp4}"
+        );
     }
 
     #[test]

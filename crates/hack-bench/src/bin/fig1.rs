@@ -6,7 +6,9 @@
 //! * `fig1 d` — average communication time ratio vs RPS with pipelining enabled.
 //! * no argument — run all four panels.
 
-use hack_bench::{dataset_grid, default_requests, emit, gpu_grid, model_grid, ratio_columns, ratio_row};
+use hack_bench::{
+    dataset_grid, default_requests, emit, gpu_grid, model_grid, ratio_columns, ratio_row,
+};
 use hack_core::prelude::*;
 
 fn panel_a(n: usize) {

@@ -10,7 +10,10 @@ fn main() {
     for (dataset, e) in dataset_grid(n) {
         let mut table = ExperimentTable::new(
             format!("fig10_{}", dataset.name().to_lowercase()),
-            format!("Fig. 10: average JCT decomposition on {} (Llama-3.1 70B, A10G)", dataset.name()),
+            format!(
+                "Fig. 10: average JCT decomposition on {} (Llama-3.1 70B, A10G)",
+                dataset.name()
+            ),
             vec![
                 "prefill (s)".into(),
                 "quant (s)".into(),

@@ -10,13 +10,19 @@ fn main() {
     let mut table = ExperimentTable::new(
         "fig13",
         "Fig. 13: ablation study — average JCT (Llama-3.1 70B, A10G)",
-        dataset_grid(1).iter().map(|(d, _)| d.name().to_string()).collect(),
+        dataset_grid(1)
+            .iter()
+            .map(|(d, _)| d.name().to_string())
+            .collect(),
         "s",
     );
     let mut overhead = ExperimentTable::new(
         "fig13_overhead",
         "Fig. 13 (derived): JCT increase of each ablation vs full HACK",
-        dataset_grid(1).iter().map(|(d, _)| d.name().to_string()).collect(),
+        dataset_grid(1)
+            .iter()
+            .map(|(d, _)| d.name().to_string())
+            .collect(),
         "%",
     );
     let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];

@@ -10,7 +10,10 @@ fn main() {
     for method in [Method::CacheGen, Method::KvQuant] {
         let mut table = ExperimentTable::new(
             format!("fig2_{}", method.name().to_lowercase()),
-            format!("Fig. 2: {} time ratios vs prefill GPU (Llama-3.1 70B, Cocktail)", method.name()),
+            format!(
+                "Fig. 2: {} time ratios vs prefill GPU (Llama-3.1 70B, Cocktail)",
+                method.name()
+            ),
             ratio_columns(),
             "% of JCT",
         );

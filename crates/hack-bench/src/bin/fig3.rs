@@ -9,7 +9,10 @@ fn main() {
     for method in [Method::CacheGen, Method::KvQuant] {
         let mut table = ExperimentTable::new(
             format!("fig3_{}", method.name().to_lowercase()),
-            format!("Fig. 3: {} time ratios vs model (Cocktail; arXiv for F)", method.name()),
+            format!(
+                "Fig. 3: {} time ratios vs model (Cocktail; arXiv for F)",
+                method.name()
+            ),
             ratio_columns(),
             "% of JCT",
         );

@@ -9,7 +9,10 @@ fn main() {
     for method in [Method::CacheGen, Method::KvQuant] {
         let mut table = ExperimentTable::new(
             format!("fig4_{}", method.name().to_lowercase()),
-            format!("Fig. 4: {} time ratios vs dataset (Llama-3.1 70B, A10G)", method.name()),
+            format!(
+                "Fig. 4: {} time ratios vs dataset (Llama-3.1 70B, A10G)",
+                method.name()
+            ),
             ratio_columns(),
             "% of JCT",
         );

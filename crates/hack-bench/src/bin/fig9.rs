@@ -10,13 +10,19 @@ fn main() {
     let mut table = ExperimentTable::new(
         "fig9",
         "Fig. 9: average JCT across requests (Llama-3.1 70B, A10G prefill)",
-        dataset_grid(1).iter().map(|(d, _)| d.name().to_string()).collect(),
+        dataset_grid(1)
+            .iter()
+            .map(|(d, _)| d.name().to_string())
+            .collect(),
         "s",
     );
     let mut reductions = ExperimentTable::new(
         "fig9_reductions",
         "Fig. 9 (derived): HACK's JCT reduction vs each comparison method",
-        dataset_grid(1).iter().map(|(d, _)| d.name().to_string()).collect(),
+        dataset_grid(1)
+            .iter()
+            .map(|(d, _)| d.name().to_string())
+            .collect(),
         "%",
     );
 
@@ -35,7 +41,10 @@ fn main() {
         let other = &per_method[i];
         reductions.push_row(Row::new(
             format!("HACK vs {}", method.name()),
-            hack.iter().zip(other).map(|(h, o)| 100.0 * (1.0 - h / o)).collect(),
+            hack.iter()
+                .zip(other)
+                .map(|(h, o)| 100.0 * (1.0 - h / o))
+                .collect(),
         ));
     }
     emit(&table);

@@ -26,7 +26,10 @@ fn main() {
         let outcomes: Vec<_> = methods.iter().map(|m| e.run(*m)).collect();
         comm.push_row(Row::new(
             format!("{gpu:?}"),
-            outcomes.iter().map(|o| 100.0 * o.ratios.communication).collect(),
+            outcomes
+                .iter()
+                .map(|o| 100.0 * o.ratios.communication)
+                .collect(),
         ));
         mem.push_row(Row::new(
             format!("{gpu:?}"),

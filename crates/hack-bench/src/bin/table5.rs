@@ -14,7 +14,8 @@ fn analytic_fraction(method: Method, resident_tokens: usize) -> (f64, f64, f64) 
     let model = DecodeMemoryModel {
         gpu_memory_bytes: cluster.decode_replica_mem_bytes() as usize,
         param_bytes: spec.param_bytes_fp16() as usize,
-        activation_bytes: (cluster.activation_reserve * cluster.decode_replica_mem_bytes()) as usize,
+        activation_bytes: (cluster.activation_reserve * cluster.decode_replica_mem_bytes())
+            as usize,
         shape: KvShape {
             layers: spec.layers,
             kv_heads: spec.kv_heads,

@@ -29,7 +29,10 @@ fn main() {
         Method::Hack { partition: 128 },
     ];
     let setup = FidelitySetup::default();
-    println!("measuring fidelity ({} trials per method)...\n", setup.trials);
+    println!(
+        "measuring fidelity ({} trials per method)...\n",
+        setup.trials
+    );
     let reports = evaluate_all(&methods, &setup);
 
     let mut fidelity = ExperimentTable::new(
@@ -61,7 +64,10 @@ fn main() {
     let mut table = ExperimentTable::new(
         "table6",
         "Table 6 (proxy): accuracy anchored at the paper's Llama-3.1 70B baseline accuracy",
-        BASELINE_ACCURACY.iter().map(|(d, _)| d.name().to_string()).collect(),
+        BASELINE_ACCURACY
+            .iter()
+            .map(|(d, _)| d.name().to_string())
+            .collect(),
         "%",
     );
     for r in &reports {

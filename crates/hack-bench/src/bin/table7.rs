@@ -19,7 +19,10 @@ fn main() {
     let mut table = ExperimentTable::new(
         "table7",
         "Table 7: accuracy decrease of HACK/RQE compared to HACK",
-        BASELINE_ACCURACY.iter().map(|(d, _)| d.name().to_string()).collect(),
+        BASELINE_ACCURACY
+            .iter()
+            .map(|(d, _)| d.name().to_string())
+            .collect(),
         "accuracy points",
     );
     let mut drops = Vec::new();

@@ -30,7 +30,10 @@ fn main() {
     let mut acc_table = ExperimentTable::new(
         "table8_accuracy",
         "Table 8: accuracy increase of Π=32 / Π=64 over Π=128",
-        BASELINE_ACCURACY.iter().map(|(d, _)| d.name().to_string()).collect(),
+        BASELINE_ACCURACY
+            .iter()
+            .map(|(d, _)| d.name().to_string())
+            .collect(),
         "accuracy points",
     );
     for (i, &p) in partitions.iter().enumerate().take(2) {
@@ -47,7 +50,10 @@ fn main() {
     let mut jct_table = ExperimentTable::new(
         "table8_jct",
         "Table 8: average-JCT increase of Π=32 / Π=64 over Π=128",
-        dataset_grid(1).iter().map(|(d, _)| d.name().to_string()).collect(),
+        dataset_grid(1)
+            .iter()
+            .map(|(d, _)| d.name().to_string())
+            .collect(),
         "%",
     );
     let mut per_partition: Vec<Vec<f64>> = vec![Vec::new(); partitions.len()];

@@ -1,0 +1,143 @@
+//! Decode-side memory accounting, batching, completion — and failures.
+
+use crate::components::ClusterState;
+use crate::events::{DecodeFinished, ReplicaFailed, ReplicaRecovered, TransferCompleted};
+use hack_sim::{Event, EventHandler};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One decode replica: admits transferred requests into its continuous batch
+/// (with congestion slowdown beyond the nominal batch size), accounts KV
+/// memory, completes requests (draining the memory-wait queue), and — under
+/// fault injection — fails and recovers, aborting and re-queueing its in-flight
+/// requests.
+pub(crate) struct DecodeReplica {
+    pub index: usize,
+    pub cluster: Rc<RefCell<ClusterState>>,
+}
+
+impl DecodeReplica {
+    fn on_transfer_completed(&self, req: usize, now: f64) {
+        let d = self.index;
+        let mut cs = self.cluster.borrow_mut();
+
+        if cs.decode[d].failed || !cs.states[req].reserved {
+            // The KV data landed on a replica that failed while the transfer
+            // was in flight (its reservation was dropped at failure time, even
+            // if the replica has since recovered empty). Re-queue through the
+            // normal admission path: the prefill side still holds the CPU copy
+            // and re-transfers it.
+            cs.states[req].requeues += 1;
+            cs.requeued += 1;
+            cs.states[req].pipelined_transfer_end = None;
+            cs.try_dispatch_to_decode(req, now);
+            return;
+        }
+
+        cs.decode[d].active += 1;
+        cs.decode[d].resident_tokens += cs.requests[req].total_tokens();
+        let (decode_t, dequant_t) = cs.decode_durations(&cs.requests[req]);
+        // Congestion: when more sequences are resident than the nominal batch,
+        // every iteration takes proportionally longer.
+        let nominal = cs.config.cluster.cost_params.decode_batch;
+        let congestion = (cs.decode[d].active as f64 / nominal).max(1.0);
+        let decode_t = decode_t * congestion;
+        let dequant_t = dequant_t * congestion;
+        cs.states[req].decode_time = decode_t;
+        cs.states[req].dequant_time = dequant_t;
+        let finish = cs.decode_ctxs[d].emit_at(
+            DecodeFinished { req },
+            cs.decode_ctxs[d].id(),
+            now + decode_t + dequant_t,
+        );
+        cs.states[req].pending_decode = Some((finish, now));
+    }
+
+    fn on_decode_finished(&self, req: usize, now: f64) {
+        let d = self.index;
+        let mut cs = self.cluster.borrow_mut();
+        cs.decode[d].kv_used -= cs.states[req].kv_reserve_bytes;
+        cs.decode[d].active -= 1;
+        cs.decode[d].resident_tokens = cs.decode[d]
+            .resident_tokens
+            .saturating_sub(cs.requests[req].total_tokens());
+        cs.states[req].reserved = false;
+        cs.states[req].pending_decode = None;
+        cs.states[req].finish_time = now;
+        cs.states[req].done = true;
+        cs.completed += 1;
+
+        // Freed memory: admit waiting requests in FIFO order while they fit.
+        cs.drain_waiting(now);
+    }
+
+    fn on_failed(&self, now: f64) {
+        let d = self.index;
+        let mut cs = self.cluster.borrow_mut();
+        cs.injected_failures += 1;
+        cs.decode[d].failed = true;
+
+        // Abort every in-flight decode on this replica: cancel its completion
+        // event and charge the wasted time to the decode stage.
+        let aborted: Vec<usize> = (0..cs.states.len())
+            .filter(|&r| {
+                !cs.states[r].done
+                    && cs.states[r].decode_replica == d
+                    && cs.states[r].pending_decode.is_some()
+            })
+            .collect();
+        for &r in &aborted {
+            let (event_id, started) = cs.states[r].pending_decode.take().expect("filtered above");
+            cs.decode_ctxs[d].cancel_event(event_id);
+            cs.states[r].aborted_decode += now - started;
+            cs.states[r].decode_time = 0.0;
+            cs.states[r].dequant_time = 0.0;
+            cs.states[r].reserved = false;
+            cs.states[r].requeues += 1;
+            cs.requeued += 1;
+        }
+
+        // Reservations held by transfers still in flight toward this replica
+        // are gone too; those requests re-queue when their transfer lands.
+        for r in 0..cs.states.len() {
+            if !cs.states[r].done && cs.states[r].decode_replica == d {
+                cs.states[r].reserved = false;
+            }
+        }
+
+        // The replica's memory contents died with it (peak_kv keeps its
+        // high-watermark for the memory report).
+        cs.decode[d].kv_used = 0.0;
+        cs.decode[d].active = 0;
+        cs.decode[d].resident_tokens = 0;
+
+        // Re-dispatch the aborted requests onto the surviving fleet (or the
+        // memory-wait queue when nothing fits).
+        for r in aborted {
+            cs.try_dispatch_to_decode(r, now);
+        }
+    }
+
+    fn on_recovered(&self, now: f64) {
+        let d = self.index;
+        let mut cs = self.cluster.borrow_mut();
+        cs.decode[d].failed = false;
+        // Freshly available capacity: admit waiting requests.
+        cs.drain_waiting(now);
+    }
+}
+
+impl EventHandler for DecodeReplica {
+    fn on(&mut self, event: Event) {
+        let now = event.time;
+        if let Some(&TransferCompleted { req }) = event.get::<TransferCompleted>() {
+            self.on_transfer_completed(req, now);
+        } else if let Some(&DecodeFinished { req }) = event.get::<DecodeFinished>() {
+            self.on_decode_finished(req, now);
+        } else if event.is::<ReplicaFailed>() {
+            self.on_failed(now);
+        } else if event.is::<ReplicaRecovered>() {
+            self.on_recovered(now);
+        }
+    }
+}

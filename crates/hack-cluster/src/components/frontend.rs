@@ -1,0 +1,48 @@
+//! Admission and routing of arriving requests.
+
+use crate::components::{prefill, ClusterState};
+use crate::events::RequestArrived;
+use hack_sim::{Event, EventHandler};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The cluster frontend: receives [`RequestArrived`] events and dispatches each
+/// request to the prefill replica with the shortest queue by queued tokens
+/// (§7.1), kicking the replica if it is idle.
+pub(crate) struct Frontend {
+    pub cluster: Rc<RefCell<ClusterState>>,
+}
+
+impl Frontend {
+    /// Shortest-queue routing: pending tokens per replica, counting the
+    /// in-service request of a busy replica at this request's own length.
+    fn route(cs: &ClusterState, req: usize) -> usize {
+        (0..cs.prefill.len())
+            .min_by_key(|&r| {
+                cs.prefill[r].queued_tokens
+                    + if cs.prefill[r].busy {
+                        cs.requests[req].input_len
+                    } else {
+                        0
+                    }
+            })
+            .expect("cluster has at least one prefill replica")
+    }
+}
+
+impl EventHandler for Frontend {
+    fn on(&mut self, event: Event) {
+        let Some(&RequestArrived { req }) = event.get::<RequestArrived>() else {
+            return;
+        };
+        let now = event.time;
+        let mut cs = self.cluster.borrow_mut();
+        let replica = Self::route(&cs, req);
+        cs.states[req].prefill_replica = replica;
+        cs.prefill[replica].queue.push_back(req);
+        cs.prefill[replica].queued_tokens += cs.requests[req].input_len;
+        if !cs.prefill[replica].busy {
+            prefill::start_prefill(&mut cs, replica, now);
+        }
+    }
+}

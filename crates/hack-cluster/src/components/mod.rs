@@ -1,0 +1,228 @@
+//! The cluster simulator's components on the [`hack_sim`] engine.
+//!
+//! Four component kinds cooperate:
+//!
+//! * [`frontend::Frontend`] — admission and shortest-queue routing of arriving
+//!   requests onto the prefill fleet;
+//! * [`prefill::PrefillReplica`] — the prefill lifecycle of one replica
+//!   (queueing, prefill + quantization service, hand-off to the transfer path);
+//! * [`network::NetworkFabric`] — per-prefill-NIC serialization of KV
+//!   transfers, including transfers pipelined under prefill (Fig. 1(d));
+//! * [`decode::DecodeReplica`] — KV memory accounting, continuous-batching
+//!   congestion, completion, and the fault-injection lifecycle.
+//!
+//! The components communicate through typed events (see [`crate::events`]) and
+//! share one [`ClusterState`] blackboard holding the per-request and
+//! per-replica bookkeeping; the event-handler layer stays thin so that the
+//! arithmetic below is a line-for-line port of the original monolithic
+//! simulator (whose per-request numerics this refactor reproduces exactly).
+
+pub(crate) mod decode;
+pub(crate) mod frontend;
+pub(crate) mod network;
+pub(crate) mod prefill;
+
+use crate::config::SimulationConfig;
+use crate::events::TransferCompleted;
+use hack_model::cost::{KvMethodProfile, ReplicaCostModel};
+use hack_sim::{EventId, SimulationContext};
+use hack_workload::trace::Request;
+use std::collections::VecDeque;
+
+/// Prefill-side state of one replica.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PrefillReplicaState {
+    pub queue: VecDeque<usize>,
+    pub queued_tokens: usize,
+    pub busy: bool,
+}
+
+/// Decode-side state of one replica.
+#[derive(Debug, Clone)]
+pub(crate) struct DecodeReplicaState {
+    pub kv_capacity: f64,
+    pub kv_used: f64,
+    pub peak_kv: f64,
+    pub active: usize,
+    pub resident_tokens: usize,
+    /// Whether the replica is currently failed (fault injection).
+    pub failed: bool,
+}
+
+/// Per-request bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReqState {
+    pub prefill_replica: usize,
+    pub decode_replica: usize,
+    pub prefill_wait: f64,
+    pub prefill_time: f64,
+    pub quant_time: f64,
+    pub comm_time: f64,
+    pub memory_wait: f64,
+    pub dequant_time: f64,
+    pub decode_time: f64,
+    /// Decode time lost to aborted attempts on failed replicas (charged to the
+    /// decode stage in the final breakdown).
+    pub aborted_decode: f64,
+    /// Pipelined transfer completion time (if a transfer was started during prefill).
+    pub pipelined_transfer_end: Option<f64>,
+    /// When the request started waiting for decode memory.
+    pub memory_wait_start: Option<f64>,
+    pub kv_reserve_bytes: f64,
+    /// Whether the KV reservation on `decode_replica` is currently held.
+    pub reserved: bool,
+    /// Pending `DecodeFinished` event (cancellable on replica failure) and the
+    /// time decoding started.
+    pub pending_decode: Option<(EventId, f64)>,
+    pub finish_time: f64,
+    pub done: bool,
+    pub swapped: bool,
+    /// How many times the request was re-queued by a replica failure.
+    pub requeues: usize,
+}
+
+/// Shared blackboard of the cluster components: the request trace, per-replica
+/// and per-request state, admission queues and aggregate counters. The
+/// cross-cutting policies (routing, memory admission, transfer serialization)
+/// live here as methods so every component sees one consistent picture.
+pub(crate) struct ClusterState {
+    pub config: SimulationConfig,
+    pub prefill_model: ReplicaCostModel,
+    pub decode_model: ReplicaCostModel,
+    pub requests: Vec<Request>,
+    pub prefill: Vec<PrefillReplicaState>,
+    pub decode: Vec<DecodeReplicaState>,
+    pub states: Vec<ReqState>,
+    pub waiting_for_memory: VecDeque<usize>,
+    pub fabric: network::NetworkFabric,
+    pub completed: usize,
+    pub swapped: usize,
+    pub requeued: usize,
+    pub injected_failures: usize,
+    /// Per-prefill-replica contexts (engine address + emitter of
+    /// `PrefillFinished` for each replica).
+    pub prefill_ctxs: Vec<SimulationContext>,
+    /// Per-decode-replica contexts (engine address + emitter of
+    /// `DecodeFinished` for each replica).
+    pub decode_ctxs: Vec<SimulationContext>,
+}
+
+impl ClusterState {
+    pub fn profile(&self) -> &KvMethodProfile {
+        &self.config.profile
+    }
+
+    pub fn kv_reserve_bytes(&self, request: &Request) -> f64 {
+        self.decode_model.kv_fp16_bytes(request.total_tokens()) * self.profile().kv_size_factor
+    }
+
+    pub fn decode_durations(&self, request: &Request) -> (f64, f64) {
+        let profile = self.profile();
+        let batch = self.config.cluster.cost_params.decode_batch;
+        let mut decode = 0.0;
+        let mut dequant = 0.0;
+        for i in 0..request.output_len {
+            let kv_len = request.input_len + i + 1;
+            decode += self.decode_model.decode_iter_time(kv_len, profile, batch);
+            dequant += self
+                .decode_model
+                .dequant_or_approx_iter_time(kv_len, profile);
+        }
+        (decode, dequant)
+    }
+
+    /// Hands `req` to the transfer/decode pipeline: reserve decode memory and
+    /// serialize the KV transfer onto the prefill NIC, or spill to prefill CPU
+    /// memory and join the FIFO memory-wait queue (§4).
+    pub fn try_dispatch_to_decode(&mut self, req: usize, now: f64) {
+        let bytes = self.kv_reserve_bytes(&self.requests[req]);
+        if let Some(target) = self.best_decode_replica(bytes) {
+            self.reserve_and_transfer(req, target, now);
+        } else {
+            self.states[req].memory_wait_start = Some(now);
+            // Count each *request* that ever waited for memory once, even if a
+            // replica failure sends it through this path a second time.
+            if !self.states[req].swapped {
+                self.states[req].swapped = true;
+                self.swapped += 1;
+            }
+            self.waiting_for_memory.push_back(req);
+        }
+    }
+
+    /// Reserves KV memory for `req` on decode replica `target` and starts its
+    /// transfer over the prefill replica's NIC.
+    pub fn reserve_and_transfer(&mut self, req: usize, target: usize, now: f64) {
+        let bytes = self.kv_reserve_bytes(&self.requests[req]);
+        self.decode[target].kv_used += bytes;
+        self.decode[target].peak_kv = self.decode[target].peak_kv.max(self.decode[target].kv_used);
+        self.states[req].decode_replica = target;
+        self.states[req].kv_reserve_bytes = bytes;
+        self.states[req].reserved = true;
+
+        let replica = self.states[req].prefill_replica;
+        let duration =
+            self.fabric
+                .transfer_duration(&self.config, &self.prefill_model, &self.requests[req]);
+        let end = self.fabric.reserve_nic(replica, now, duration);
+        // Communication time as experienced by the request: waiting for the NIC
+        // plus the wire time.
+        self.states[req].comm_time += end - now;
+        self.fabric.deliver(
+            TransferCompleted { req },
+            self.decode_ctxs[target].id(),
+            end,
+        );
+    }
+
+    /// Freed memory (or a recovered replica): admit waiting requests in FIFO
+    /// order while they fit somewhere.
+    pub fn drain_waiting(&mut self, now: f64) {
+        while let Some(&head) = self.waiting_for_memory.front() {
+            let bytes = self.kv_reserve_bytes(&self.requests[head]);
+            if let Some(target) = self.best_decode_replica(bytes) {
+                self.waiting_for_memory.pop_front();
+                let wait_start = self.states[head].memory_wait_start.take().unwrap_or(now);
+                self.states[head].memory_wait += now - wait_start;
+                self.reserve_and_transfer(head, target, now);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Picks the live decode replica with the fewest resident tokens among those
+    /// that can fit `bytes` of new KV data. A request too large to ever fit an
+    /// *empty* replica is force-admitted to the emptiest idle one (modelling
+    /// partial host offload) so the simulation always terminates. Failed
+    /// replicas never qualify.
+    pub fn best_decode_replica(&self, bytes: f64) -> Option<usize> {
+        let fit = self
+            .decode
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.failed && d.kv_used + bytes <= d.kv_capacity)
+            .min_by_key(|(_, d)| d.resident_tokens)
+            .map(|(i, _)| i);
+        if fit.is_some() {
+            return fit;
+        }
+        if self
+            .decode
+            .iter()
+            .filter(|d| !d.failed)
+            .all(|d| bytes > d.kv_capacity)
+        {
+            // Oversized even for an empty replica: admit to the one with the
+            // most free space once it is idle.
+            return self
+                .decode
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| !d.failed && d.active == 0)
+                .min_by_key(|(_, d)| d.resident_tokens)
+                .map(|(i, _)| i);
+        }
+        None
+    }
+}

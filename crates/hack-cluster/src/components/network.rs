@@ -1,0 +1,60 @@
+//! NIC serialization and KV-transfer delivery.
+
+use crate::config::SimulationConfig;
+use hack_model::cost::ReplicaCostModel;
+use hack_sim::{ComponentId, SimulationContext};
+use hack_workload::trace::Request;
+use std::any::Any;
+
+/// The transfer path between the prefill and decode fleets.
+///
+/// Each prefill replica sources its KV transfers from one NIC, modelled as a
+/// FIFO resource (`nic_free_at`): a transfer starts when the NIC frees up and
+/// occupies it for the wire time, which is where the communication bottleneck
+/// and its contention come from. The fabric is a passive component — it emits
+/// [`crate::events::TransferCompleted`] events on behalf of the transfer path
+/// but receives none itself.
+pub(crate) struct NetworkFabric {
+    ctx: SimulationContext,
+    /// Earliest time each prefill replica's NIC is free again.
+    nic_free_at: Vec<f64>,
+}
+
+impl NetworkFabric {
+    pub fn new(ctx: SimulationContext, prefill_replicas: usize) -> Self {
+        Self {
+            ctx,
+            nic_free_at: vec![0.0; prefill_replicas],
+        }
+    }
+
+    /// Wire time of one request's KV data, bottlenecked by the slower of the
+    /// prefill egress and decode ingress NICs.
+    pub fn transfer_duration(
+        &self,
+        config: &SimulationConfig,
+        prefill_model: &ReplicaCostModel,
+        request: &Request,
+    ) -> f64 {
+        let gbps = config
+            .cluster
+            .prefill_network_gbps
+            .min(config.cluster.decode_network_gbps);
+        prefill_model.transfer_time(request.input_len, &config.profile, gbps)
+    }
+
+    /// Serializes a `duration`-second transfer onto prefill replica `replica`'s
+    /// NIC starting no earlier than `now`; returns the completion time.
+    pub fn reserve_nic(&mut self, replica: usize, now: f64, duration: f64) -> f64 {
+        let start = self.nic_free_at[replica].max(now);
+        let end = start + duration;
+        self.nic_free_at[replica] = end;
+        end
+    }
+
+    /// Emits `payload` to `dst` at the absolute time `at` (the moment the KV
+    /// data fully lands on the decode side).
+    pub fn deliver<T: Any>(&self, payload: T, dst: ComponentId, at: f64) {
+        self.ctx.emit_at(payload, dst, at);
+    }
+}

@@ -1,0 +1,97 @@
+//! The prefill lifecycle of one replica.
+
+use crate::components::ClusterState;
+use crate::events::{PrefillFinished, TransferCompleted};
+use hack_sim::{Event, EventHandler};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One prefill replica: serves its queue one request at a time (prefill +
+/// quantization), optionally starting the KV transfer concurrently with
+/// prefill (pipelining, Fig. 1(d)), and hands finished requests to the
+/// transfer/decode pipeline.
+pub(crate) struct PrefillReplica {
+    pub index: usize,
+    pub cluster: Rc<RefCell<ClusterState>>,
+}
+
+/// Starts the next queued prefill on `replica`, if any.
+///
+/// Free function (rather than a method of [`PrefillReplica`]) because both the
+/// frontend (on arrival at an idle replica) and the replica itself (on
+/// completion) trigger it while holding the shared state.
+pub(crate) fn start_prefill(cs: &mut ClusterState, replica: usize, now: f64) {
+    let Some(req) = cs.prefill[replica].queue.pop_front() else {
+        return;
+    };
+    cs.prefill[replica].busy = true;
+    let request = cs.requests[req];
+    let profile = *cs.profile();
+
+    cs.states[req].prefill_wait = (now - request.arrival).max(0.0);
+    let prefill_t = cs.prefill_model.prefill_time(request.input_len, &profile);
+    let quant_t = cs
+        .prefill_model
+        .quantization_time(request.input_len, &profile);
+    cs.states[req].prefill_time = prefill_t;
+    cs.states[req].quant_time = quant_t;
+
+    // Pipelining: start the KV transfer concurrently with prefill when a decode
+    // replica can take the request right now (Fig. 1(d): this hides communication
+    // only while the transfer is shorter than prefill and memory is available).
+    if cs.config.cluster.pipelining {
+        let bytes = cs.kv_reserve_bytes(&request);
+        if let Some(target) = cs.best_decode_replica(bytes) {
+            cs.decode[target].kv_used += bytes;
+            cs.decode[target].peak_kv = cs.decode[target].peak_kv.max(cs.decode[target].kv_used);
+            cs.states[req].decode_replica = target;
+            cs.states[req].kv_reserve_bytes = bytes;
+            cs.states[req].reserved = true;
+            let duration = cs
+                .fabric
+                .transfer_duration(&cs.config, &cs.prefill_model, &request);
+            let end = cs.fabric.reserve_nic(replica, now, duration);
+            cs.states[req].pipelined_transfer_end = Some(end);
+        }
+    }
+
+    cs.prefill_ctxs[replica].emit_at(
+        PrefillFinished { req },
+        cs.prefill_ctxs[replica].id(),
+        now + prefill_t + quant_t,
+    );
+}
+
+impl EventHandler for PrefillReplica {
+    fn on(&mut self, event: Event) {
+        let Some(&PrefillFinished { req }) = event.get::<PrefillFinished>() else {
+            return;
+        };
+        let now = event.time;
+        let i = self.index;
+        let mut cs = self.cluster.borrow_mut();
+
+        cs.prefill[i].busy = false;
+        cs.prefill[i].queued_tokens = cs.prefill[i]
+            .queued_tokens
+            .saturating_sub(cs.requests[req].input_len);
+
+        // Hand the request to the transfer/decode pipeline.
+        if let Some(transfer_end) = cs.states[req].pipelined_transfer_end {
+            // Pipelined: the transfer has been running during prefill; only
+            // the non-overlapped part counts as communication time.
+            let ready = transfer_end.max(now);
+            cs.states[req].comm_time = (transfer_end - now).max(0.0);
+            let target = cs.states[req].decode_replica;
+            let dst = cs.decode_ctxs[target].id();
+            cs.fabric.deliver(TransferCompleted { req }, dst, ready);
+        } else {
+            cs.try_dispatch_to_decode(req, now);
+        }
+
+        // Start the next queued prefill, if any.
+        if !cs.prefill[i].queue.is_empty() {
+            start_prefill(&mut cs, i, now);
+        }
+    }
+}

@@ -62,16 +62,19 @@ impl ClusterConfig {
         // replicas that share an instance share its NIC.
         let prefill_replicas_per_instance =
             (prefill_replicas as f64 / prefill_instances as f64).max(1.0);
-        let decode_replicas_per_instance = (decode_replicas as f64 / decode_instances as f64).max(1.0);
+        let decode_replicas_per_instance =
+            (decode_replicas as f64 / decode_instances as f64).max(1.0);
 
         Self {
             model,
             prefill_gpu,
             prefill_replicas,
-            prefill_network_gbps: prefill_gpu.instance().network_gbps / prefill_replicas_per_instance,
+            prefill_network_gbps: prefill_gpu.instance().network_gbps
+                / prefill_replicas_per_instance,
             decode_gpu: GpuKind::A100,
             decode_replicas,
-            decode_network_gbps: GpuKind::A100.instance().network_gbps / decode_replicas_per_instance,
+            decode_network_gbps: GpuKind::A100.instance().network_gbps
+                / decode_replicas_per_instance,
             pipelining: false,
             cost_params: CostParams::default(),
             activation_reserve: 0.10,
@@ -156,7 +159,46 @@ impl ClusterConfig {
     }
 }
 
-/// A full simulation: cluster + workload + evaluated method.
+/// Fault-injection schedule: one decode replica goes down mid-run and
+/// (optionally) comes back.
+///
+/// While the replica is down it admits nothing; its in-flight requests are
+/// aborted, their KV reservations dropped, and they are re-dispatched through
+/// the normal admission path (re-transferring their KV from the prefill side's
+/// CPU copy, the spill path of §4). On recovery the replica rejoins the fleet
+/// empty and the memory-wait queue is drained into it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureSpec {
+    /// Index of the decode replica that fails.
+    pub decode_replica: usize,
+    /// Failure time (seconds since trace start).
+    pub at: f64,
+    /// Recovery time, or `None` for a permanent failure.
+    pub recover_at: Option<f64>,
+}
+
+impl FailureSpec {
+    /// A failure of decode replica `decode_replica` at time `at` with no recovery.
+    pub fn permanent(decode_replica: usize, at: f64) -> Self {
+        Self {
+            decode_replica,
+            at,
+            recover_at: None,
+        }
+    }
+
+    /// A failure at time `at` that recovers at `recover_at`.
+    pub fn transient(decode_replica: usize, at: f64, recover_at: f64) -> Self {
+        Self {
+            decode_replica,
+            at,
+            recover_at: Some(recover_at),
+        }
+    }
+}
+
+/// A full simulation: cluster + workload + evaluated method (+ optional fault
+/// injection).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct SimulationConfig {
     /// Cluster description.
@@ -165,6 +207,8 @@ pub struct SimulationConfig {
     pub trace: TraceConfig,
     /// KV-handling method being evaluated.
     pub profile: KvMethodProfile,
+    /// Optional decode-replica failure injected during the run.
+    pub failure: Option<FailureSpec>,
 }
 
 #[cfg(test)]
@@ -214,7 +258,10 @@ mod tests {
         let short = c.estimate_max_rps(&KvMethodProfile::baseline(), imdb_in, imdb_out);
         assert!(base > 0.0);
         assert!(hack >= base, "hack rps {hack} vs baseline {base}");
-        assert!(short > base, "short-prompt rps {short} vs long-prompt {base}");
+        assert!(
+            short > base,
+            "short-prompt rps {short} vs long-prompt {base}"
+        );
         // The paper drives the cluster at fractions of an RPS for Cocktail.
         assert!(base < 5.0, "baseline max rps {base}");
     }

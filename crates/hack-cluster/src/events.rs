@@ -1,0 +1,47 @@
+//! Typed event payloads exchanged by the cluster components on the
+//! [`hack_sim`] engine.
+//!
+//! Each payload is addressed to one component: arrivals go to the `Frontend`,
+//! prefill completions to the owning `PrefillReplica`, transfer completions and
+//! decode completions to the owning `DecodeReplica`, and failure/recovery
+//! control events to the affected `DecodeReplica`. New scenarios extend the
+//! simulator by adding payload types and handlers rather than editing a
+//! central event enum.
+
+/// A request entered the cluster (delivered to the frontend at its arrival time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestArrived {
+    /// Index of the request in the trace.
+    pub req: usize,
+}
+
+/// A prefill replica finished prefill (+ quantization) of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillFinished {
+    /// Index of the request in the trace.
+    pub req: usize,
+}
+
+/// A request's KV data has fully arrived at its decode replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferCompleted {
+    /// Index of the request in the trace.
+    pub req: usize,
+}
+
+/// A request generated its last token on its decode replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeFinished {
+    /// Index of the request in the trace.
+    pub req: usize,
+}
+
+/// Fault injection: the destination decode replica goes down. Its in-flight
+/// requests are aborted and re-queued onto the remaining fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaFailed;
+
+/// Fault injection: the destination decode replica comes back empty and starts
+/// admitting requests again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaRecovered;

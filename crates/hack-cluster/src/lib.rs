@@ -1,6 +1,7 @@
 //! # hack-cluster
 //!
-//! Discrete-event simulator of disaggregated LLM inference (§2, §4, §7.1 of the paper).
+//! Discrete-event simulator of disaggregated LLM inference (§2, §4, §7.1 of the paper),
+//! built as components on the generic [`hack_sim`] engine.
 //!
 //! The simulated cluster consists of prefill replicas (cheap compute GPUs: A10G, V100,
 //! T4, L4 — or A100) and decode replicas (A100), sized the way §7.1 sizes them.
@@ -12,15 +13,26 @@
 //! CPU-swap path of §4), and then decode one token at a time under continuous batching
 //! until the output length is reached.
 //!
+//! Architecturally, each concern is one event-handler component on the engine —
+//! `Frontend` (admission + routing), `PrefillReplica`, `NetworkFabric` (NIC
+//! serialization + pipelined transfer) and `DecodeReplica` (KV memory accounting) —
+//! communicating through the typed payloads in [`events`]. New serving scenarios are
+//! added by introducing event types and handlers instead of editing a monolithic
+//! match; fault injection ([`FailureSpec`]) is the first such scenario: a decode
+//! replica dies mid-run, its in-flight requests are aborted and re-queued onto the
+//! surviving fleet, and the replica optionally recovers.
+//!
 //! Per-stage *service* times come from [`hack_model::ReplicaCostModel`]; the simulator
 //! adds queueing, NIC contention, memory admission control and batching, and produces
 //! the per-request JCT decompositions, average time ratios and peak decode-memory
 //! figures that the paper's figures and tables report.
 
+mod components;
 pub mod config;
+pub mod events;
 pub mod result;
 pub mod sim;
 
-pub use config::{ClusterConfig, SimulationConfig};
+pub use config::{ClusterConfig, FailureSpec, SimulationConfig};
 pub use result::{RequestRecord, SimulationResult};
 pub use sim::Simulator;

@@ -1,91 +1,26 @@
-//! The discrete-event simulation engine.
+//! The cluster simulator: components assembled on the [`hack_sim`] engine.
+//!
+//! [`Simulator::run`] builds a [`hack_sim::Simulation`], registers the
+//! component fleet (frontend, prefill replicas, network fabric, decode
+//! replicas — see [`crate::components`]), seeds it with the request trace's
+//! arrival events (plus any fault-injection events), and drives the engine
+//! until every request completes.
 
+use crate::components::decode::DecodeReplica;
+use crate::components::frontend::Frontend;
+use crate::components::network::NetworkFabric;
+use crate::components::prefill::PrefillReplica;
+use crate::components::{ClusterState, DecodeReplicaState, PrefillReplicaState, ReqState};
 use crate::config::SimulationConfig;
+use crate::events::{ReplicaFailed, ReplicaRecovered, RequestArrived};
 use crate::result::{RequestRecord, SimulationResult};
 use hack_metrics::jct::JctBreakdown;
 use hack_model::cost::{KvMethodProfile, ReplicaCostModel};
-use hack_workload::trace::{Request, TraceGenerator};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum EventKind {
-    /// A request arrives at the cluster.
-    Arrival { req: usize },
-    /// A prefill replica finishes prefill (+ quantization) of a request.
-    PrefillDone { replica: usize, req: usize },
-    /// A request's KV data has fully arrived at its decode replica.
-    TransferDone { req: usize },
-    /// A request has generated its last token.
-    DecodeDone { replica: usize, req: usize },
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    time: f64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering: BinaryHeap is a max-heap, we need the earliest event first.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-#[derive(Debug, Default, Clone)]
-struct PrefillReplica {
-    queue: VecDeque<usize>,
-    queued_tokens: usize,
-    busy: bool,
-    nic_free_at: f64,
-}
-
-#[derive(Debug, Clone)]
-struct DecodeReplica {
-    kv_capacity: f64,
-    kv_used: f64,
-    peak_kv: f64,
-    active: usize,
-    resident_tokens: usize,
-}
-
-#[derive(Debug, Clone, Default)]
-struct ReqState {
-    prefill_replica: usize,
-    decode_replica: usize,
-    prefill_wait: f64,
-    prefill_time: f64,
-    quant_time: f64,
-    comm_time: f64,
-    memory_wait: f64,
-    dequant_time: f64,
-    decode_time: f64,
-    /// Pipelined transfer completion time (if a transfer was started during prefill).
-    pipelined_transfer_end: Option<f64>,
-    /// When the request started waiting for decode memory.
-    memory_wait_start: Option<f64>,
-    kv_reserve_bytes: f64,
-    finish_time: f64,
-    done: bool,
-    swapped: bool,
-}
+use hack_sim::Simulation;
+use hack_workload::trace::TraceGenerator;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
 
 /// Discrete-event simulator of one configuration (cluster × trace × method).
 pub struct Simulator {
@@ -126,212 +61,140 @@ impl Simulator {
         &self.config.profile
     }
 
-    fn kv_reserve_bytes(&self, request: &Request) -> f64 {
-        self.decode_model
-            .kv_fp16_bytes(request.total_tokens())
-            * self.profile().kv_size_factor
-    }
-
-    fn decode_durations(&self, request: &Request) -> (f64, f64) {
-        let profile = self.profile();
-        let batch = self.config.cluster.cost_params.decode_batch;
-        let mut decode = 0.0;
-        let mut dequant = 0.0;
-        for i in 0..request.output_len {
-            let kv_len = request.input_len + i + 1;
-            decode += self.decode_model.decode_iter_time(kv_len, profile, batch);
-            dequant += self.decode_model.dequant_or_approx_iter_time(kv_len, profile);
-        }
-        (decode, dequant)
-    }
-
     /// Runs the simulation to completion and returns the aggregated result.
     pub fn run(&self) -> SimulationResult {
         let requests = TraceGenerator::new(self.config.trace).generate();
         let profile = *self.profile();
-        let cluster = &self.config.cluster;
+        let cluster_cfg = &self.config.cluster;
 
-        let mut prefill: Vec<PrefillReplica> =
-            vec![PrefillReplica::default(); cluster.prefill_replicas];
-        let kv_capacity = cluster.decode_kv_budget_bytes();
-        let mut decode: Vec<DecodeReplica> = vec![
-            DecodeReplica {
-                kv_capacity,
-                kv_used: 0.0,
-                peak_kv: 0.0,
-                active: 0,
-                resident_tokens: 0,
-            };
-            cluster.decode_replicas
-        ];
-        let mut states: Vec<ReqState> = vec![ReqState::default(); requests.len()];
-        let mut waiting_for_memory: VecDeque<usize> = VecDeque::new();
-
-        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let mut push = |heap: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: EventKind| {
-            *seq += 1;
-            heap.push(Event {
-                time,
-                seq: *seq,
-                kind,
-            });
-        };
-
-        for (i, r) in requests.iter().enumerate() {
-            push(&mut heap, &mut seq, r.arrival, EventKind::Arrival { req: i });
+        if let Some(f) = self.config.failure {
+            assert!(
+                f.decode_replica < cluster_cfg.decode_replicas,
+                "failure targets decode replica {} but the cluster has {}",
+                f.decode_replica,
+                cluster_cfg.decode_replicas
+            );
+            assert!(
+                f.at.is_finite() && f.at >= 0.0,
+                "failure time must be finite and non-negative, got {}",
+                f.at
+            );
+            if let Some(recover) = f.recover_at {
+                assert!(
+                    recover.is_finite() && recover > f.at,
+                    "recovery time {recover} must come after the failure at {}",
+                    f.at
+                );
+            }
         }
 
-        let mut completed = 0usize;
-        let mut swapped = 0usize;
-        let mut makespan = 0.0f64;
+        // --- Assemble the engine and the component fleet. ---
+        let mut sim = Simulation::new(self.config.trace.seed);
+        let driver = sim.create_context("driver");
+        let frontend_ctx = sim.create_context("frontend");
+        let fabric_ctx = sim.create_context("fabric");
+        let prefill_ctxs: Vec<_> = (0..cluster_cfg.prefill_replicas)
+            .map(|i| sim.create_context(format!("prefill-{i}")))
+            .collect();
+        let decode_ctxs: Vec<_> = (0..cluster_cfg.decode_replicas)
+            .map(|i| sim.create_context(format!("decode-{i}")))
+            .collect();
 
-        while let Some(event) = heap.pop() {
-            let now = event.time;
-            makespan = makespan.max(now);
-            match event.kind {
-                EventKind::Arrival { req } => {
-                    // Shortest-queue dispatch by queued tokens (§7.1).
-                    let replica = (0..prefill.len())
-                        .min_by_key(|&r| {
-                            prefill[r].queued_tokens
-                                + if prefill[r].busy { requests[req].input_len } else { 0 }
-                        })
-                        .unwrap();
-                    states[req].prefill_replica = replica;
-                    prefill[replica].queue.push_back(req);
-                    prefill[replica].queued_tokens += requests[req].input_len;
-                    if !prefill[replica].busy {
-                        self.start_prefill(
-                            replica,
-                            now,
-                            &requests,
-                            &mut prefill,
-                            &mut decode,
-                            &mut states,
-                            &mut heap,
-                            &mut seq,
-                            &mut push,
-                        );
-                    }
-                }
-                EventKind::PrefillDone { replica, req } => {
-                    prefill[replica].busy = false;
-                    prefill[replica].queued_tokens =
-                        prefill[replica].queued_tokens.saturating_sub(requests[req].input_len);
+        let frontend_id = frontend_ctx.id();
+        let decode_ids: Vec<_> = decode_ctxs.iter().map(|c| c.id()).collect();
 
-                    // Hand the request to the transfer/decode pipeline.
-                    if let Some(transfer_end) = states[req].pipelined_transfer_end {
-                        // Pipelined: the transfer has been running during prefill; only
-                        // the non-overlapped part counts as communication time.
-                        let ready = transfer_end.max(now);
-                        states[req].comm_time = (transfer_end - now).max(0.0);
-                        push(&mut heap, &mut seq, ready, EventKind::TransferDone { req });
-                    } else {
-                        self.try_dispatch_to_decode(
-                            req,
-                            now,
-                            &requests,
-                            &mut prefill,
-                            &mut decode,
-                            &mut states,
-                            &mut waiting_for_memory,
-                            &mut swapped,
-                            &mut heap,
-                            &mut seq,
-                            &mut push,
-                        );
-                    }
-
-                    // Start the next queued prefill, if any.
-                    if !prefill[replica].queue.is_empty() {
-                        self.start_prefill(
-                            replica,
-                            now,
-                            &requests,
-                            &mut prefill,
-                            &mut decode,
-                            &mut states,
-                            &mut heap,
-                            &mut seq,
-                            &mut push,
-                        );
-                    }
-                }
-                EventKind::TransferDone { req } => {
-                    let d = states[req].decode_replica;
-                    decode[d].active += 1;
-                    decode[d].resident_tokens += requests[req].total_tokens();
-                    let (decode_t, dequant_t) = self.decode_durations(&requests[req]);
-                    // Congestion: when more sequences are resident than the nominal
-                    // batch, every iteration takes proportionally longer.
-                    let nominal = self.config.cluster.cost_params.decode_batch;
-                    let congestion = (decode[d].active as f64 / nominal).max(1.0);
-                    let decode_t = decode_t * congestion;
-                    let dequant_t = dequant_t * congestion;
-                    states[req].decode_time = decode_t;
-                    states[req].dequant_time = dequant_t;
-                    push(
-                        &mut heap,
-                        &mut seq,
-                        now + decode_t + dequant_t,
-                        EventKind::DecodeDone { replica: d, req },
-                    );
-                }
-                EventKind::DecodeDone { replica, req } => {
-                    decode[replica].kv_used -= states[req].kv_reserve_bytes;
-                    decode[replica].active -= 1;
-                    decode[replica].resident_tokens = decode[replica]
-                        .resident_tokens
-                        .saturating_sub(requests[req].total_tokens());
-                    states[req].finish_time = now;
-                    states[req].done = true;
-                    completed += 1;
-
-                    // Freed memory: admit waiting requests in FIFO order while they fit.
-                    while let Some(&head) = waiting_for_memory.front() {
-                        let bytes = self.kv_reserve_bytes(&requests[head]);
-                        if let Some(target) = best_decode_replica(&decode, bytes) {
-                            waiting_for_memory.pop_front();
-                            let wait_start = states[head].memory_wait_start.take().unwrap_or(now);
-                            states[head].memory_wait += now - wait_start;
-                            self.reserve_and_transfer(
-                                head,
-                                target,
-                                now,
-                                &requests,
-                                &mut prefill,
-                                &mut decode,
-                                &mut states,
-                                &mut heap,
-                                &mut seq,
-                                &mut push,
-                            );
-                        } else {
-                            break;
-                        }
-                    }
-                }
+        // Seed the queue: one arrival event per request, plus fault injection.
+        for (i, r) in requests.iter().enumerate() {
+            driver.emit_at(RequestArrived { req: i }, frontend_id, r.arrival);
+        }
+        if let Some(f) = self.config.failure {
+            driver.emit_at(ReplicaFailed, decode_ids[f.decode_replica], f.at);
+            if let Some(recover) = f.recover_at {
+                driver.emit_at(ReplicaRecovered, decode_ids[f.decode_replica], recover);
             }
-            if completed == requests.len() {
+        }
+
+        let num_requests = requests.len();
+        let kv_capacity = cluster_cfg.decode_kv_budget_bytes();
+        let state = ClusterState {
+            config: self.config,
+            prefill_model: self.prefill_model,
+            decode_model: self.decode_model,
+            states: vec![ReqState::default(); requests.len()],
+            requests,
+            prefill: vec![PrefillReplicaState::default(); cluster_cfg.prefill_replicas],
+            decode: vec![
+                DecodeReplicaState {
+                    kv_capacity,
+                    kv_used: 0.0,
+                    peak_kv: 0.0,
+                    active: 0,
+                    resident_tokens: 0,
+                    failed: false,
+                };
+                cluster_cfg.decode_replicas
+            ],
+            waiting_for_memory: VecDeque::new(),
+            fabric: NetworkFabric::new(fabric_ctx, cluster_cfg.prefill_replicas),
+            completed: 0,
+            swapped: 0,
+            requeued: 0,
+            injected_failures: 0,
+            prefill_ctxs,
+            decode_ctxs,
+        };
+        let cluster = Rc::new(RefCell::new(state));
+
+        sim.add_handler(
+            "frontend",
+            Rc::new(RefCell::new(Frontend {
+                cluster: cluster.clone(),
+            })),
+        );
+        for i in 0..cluster_cfg.prefill_replicas {
+            sim.add_handler(
+                &format!("prefill-{i}"),
+                Rc::new(RefCell::new(PrefillReplica {
+                    index: i,
+                    cluster: cluster.clone(),
+                })),
+            );
+        }
+        for i in 0..cluster_cfg.decode_replicas {
+            sim.add_handler(
+                &format!("decode-{i}"),
+                Rc::new(RefCell::new(DecodeReplica {
+                    index: i,
+                    cluster: cluster.clone(),
+                })),
+            );
+        }
+
+        // --- Drive the engine until all requests complete (or the queue runs
+        // dry, e.g. under a permanent failure of the whole decode fleet). ---
+        let mut makespan = 0.0f64;
+        while cluster.borrow().completed < num_requests {
+            if !sim.step() {
                 break;
             }
+            makespan = makespan.max(sim.time());
         }
 
-        // Assemble records.
-        let kv_capacity_total = cluster.decode_replica_mem_bytes();
-        let params_bytes = cluster.model.spec().param_bytes_fp16();
-        let act_bytes = cluster.activation_reserve * kv_capacity_total;
-        let peak_kv = decode.iter().map(|d| d.peak_kv).fold(0.0, f64::max);
-        let peak_fraction =
-            ((params_bytes + act_bytes + peak_kv) / kv_capacity_total).min(1.0);
+        // --- Assemble records. ---
+        let cs = cluster.borrow();
+        let kv_capacity_total = cluster_cfg.decode_replica_mem_bytes();
+        let params_bytes = cluster_cfg.model.spec().param_bytes_fp16();
+        let act_bytes = cluster_cfg.activation_reserve * kv_capacity_total;
+        let peak_kv = cs.decode.iter().map(|d| d.peak_kv).fold(0.0, f64::max);
+        let peak_fraction = ((params_bytes + act_bytes + peak_kv) / kv_capacity_total).min(1.0);
 
-        let mut records: Vec<RequestRecord> = requests
+        let mut records: Vec<RequestRecord> = cs
+            .requests
             .iter()
             .enumerate()
-            .filter(|(i, _)| states[*i].done)
+            .filter(|(i, _)| cs.states[*i].done)
             .map(|(i, r)| {
-                let s = &states[i];
+                let s = &cs.states[i];
                 RequestRecord {
                     request: *r,
                     prefill_replica: s.prefill_replica,
@@ -345,7 +208,10 @@ impl Simulator {
                         // communication, as in the paper's measurements.
                         communication: s.comm_time + s.memory_wait,
                         dequant_or_approx: s.dequant_time,
-                        decode: s.decode_time,
+                        // Decode attempts aborted by a replica failure are wasted
+                        // decode-side time; charge them to the decode stage so the
+                        // breakdown still sums to the JCT.
+                        decode: s.decode_time + s.aborted_decode,
                         queueing: s.prefill_wait,
                     },
                 }
@@ -358,172 +224,29 @@ impl Simulator {
             records,
             peak_decode_memory_fraction: peak_fraction,
             peak_decode_kv_bytes: peak_kv,
-            swapped_requests: swapped,
+            swapped_requests: cs.swapped,
+            requeued_requests: cs.requeued,
+            injected_failures: cs.injected_failures,
             makespan,
         }
     }
-
-    #[allow(clippy::too_many_arguments)]
-    fn start_prefill(
-        &self,
-        replica: usize,
-        now: f64,
-        requests: &[Request],
-        prefill: &mut [PrefillReplica],
-        decode: &mut [DecodeReplica],
-        states: &mut [ReqState],
-        heap: &mut BinaryHeap<Event>,
-        seq: &mut u64,
-        push: &mut impl FnMut(&mut BinaryHeap<Event>, &mut u64, f64, EventKind),
-    ) {
-        let Some(req) = prefill[replica].queue.pop_front() else {
-            return;
-        };
-        prefill[replica].busy = true;
-        let request = &requests[req];
-        let profile = self.profile();
-
-        states[req].prefill_wait = (now - request.arrival).max(0.0);
-        let prefill_t = self.prefill_model.prefill_time(request.input_len, profile);
-        let quant_t = self.prefill_model.quantization_time(request.input_len, profile);
-        states[req].prefill_time = prefill_t;
-        states[req].quant_time = quant_t;
-
-        // Pipelining: start the KV transfer concurrently with prefill when a decode
-        // replica can take the request right now (Fig. 1(d): this hides communication
-        // only while the transfer is shorter than prefill and memory is available).
-        if self.config.cluster.pipelining {
-            let bytes = self.kv_reserve_bytes(request);
-            if let Some(target) = best_decode_replica(decode, bytes) {
-                decode[target].kv_used += bytes;
-                decode[target].peak_kv = decode[target].peak_kv.max(decode[target].kv_used);
-                states[req].decode_replica = target;
-                states[req].kv_reserve_bytes = bytes;
-                let duration = self.transfer_duration(request);
-                let start = prefill[replica].nic_free_at.max(now);
-                let end = start + duration;
-                prefill[replica].nic_free_at = end;
-                states[req].pipelined_transfer_end = Some(end);
-            }
-        }
-
-        push(
-            heap,
-            seq,
-            now + prefill_t + quant_t,
-            EventKind::PrefillDone { replica, req },
-        );
-    }
-
-    fn transfer_duration(&self, request: &Request) -> f64 {
-        let gbps = self
-            .config
-            .cluster
-            .prefill_network_gbps
-            .min(self.config.cluster.decode_network_gbps);
-        self.prefill_model
-            .transfer_time(request.input_len, self.profile(), gbps)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn try_dispatch_to_decode(
-        &self,
-        req: usize,
-        now: f64,
-        requests: &[Request],
-        prefill: &mut [PrefillReplica],
-        decode: &mut [DecodeReplica],
-        states: &mut [ReqState],
-        waiting: &mut VecDeque<usize>,
-        swapped: &mut usize,
-        heap: &mut BinaryHeap<Event>,
-        seq: &mut u64,
-        push: &mut impl FnMut(&mut BinaryHeap<Event>, &mut u64, f64, EventKind),
-    ) {
-        let bytes = self.kv_reserve_bytes(&requests[req]);
-        if let Some(target) = best_decode_replica(decode, bytes) {
-            self.reserve_and_transfer(
-                req, target, now, requests, prefill, decode, states, heap, seq, push,
-            );
-        } else {
-            // No decode replica has room: the prefill instance spills the (quantized)
-            // KV data to its CPU memory and waits (§4).
-            states[req].memory_wait_start = Some(now);
-            states[req].swapped = true;
-            *swapped += 1;
-            waiting.push_back(req);
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn reserve_and_transfer(
-        &self,
-        req: usize,
-        target: usize,
-        now: f64,
-        requests: &[Request],
-        prefill: &mut [PrefillReplica],
-        decode: &mut [DecodeReplica],
-        states: &mut [ReqState],
-        heap: &mut BinaryHeap<Event>,
-        seq: &mut u64,
-        push: &mut impl FnMut(&mut BinaryHeap<Event>, &mut u64, f64, EventKind),
-    ) {
-        let bytes = self.kv_reserve_bytes(&requests[req]);
-        decode[target].kv_used += bytes;
-        decode[target].peak_kv = decode[target].peak_kv.max(decode[target].kv_used);
-        states[req].decode_replica = target;
-        states[req].kv_reserve_bytes = bytes;
-
-        let replica = states[req].prefill_replica;
-        let duration = self.transfer_duration(&requests[req]);
-        let start = prefill[replica].nic_free_at.max(now);
-        let end = start + duration;
-        prefill[replica].nic_free_at = end;
-        // Communication time as experienced by the request: waiting for the NIC plus
-        // the wire time.
-        states[req].comm_time += end - now;
-        push(heap, seq, end, EventKind::TransferDone { req });
-    }
-}
-
-/// Picks the decode replica with the fewest resident tokens among those that can fit
-/// `bytes` of new KV data. A request too large to ever fit an *empty* replica is
-/// force-admitted to the emptiest one (modelling partial host offload) so the
-/// simulation always terminates.
-fn best_decode_replica(decode: &[DecodeReplica], bytes: f64) -> Option<usize> {
-    let fit = decode
-        .iter()
-        .enumerate()
-        .filter(|(_, d)| d.kv_used + bytes <= d.kv_capacity)
-        .min_by_key(|(_, d)| d.resident_tokens)
-        .map(|(i, _)| i);
-    if fit.is_some() {
-        return fit;
-    }
-    if decode.iter().all(|d| bytes > d.kv_capacity) {
-        // Oversized even for an empty replica: admit to the one with the most free
-        // space once it is idle.
-        return decode
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.active == 0)
-            .min_by_key(|(_, d)| d.resident_tokens)
-            .map(|(i, _)| i);
-    }
-    None
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ClusterConfig;
+    use crate::config::{ClusterConfig, FailureSpec};
     use hack_model::gpu::GpuKind;
     use hack_model::spec::ModelKind;
     use hack_workload::dataset::Dataset;
     use hack_workload::trace::TraceConfig;
 
-    fn sim_config(profile: KvMethodProfile, dataset: Dataset, rps: f64, n: usize) -> SimulationConfig {
+    fn sim_config(
+        profile: KvMethodProfile,
+        dataset: Dataset,
+        rps: f64,
+        n: usize,
+    ) -> SimulationConfig {
         let cluster = ClusterConfig::paper_default(ModelKind::Llama31_70B, GpuKind::A10G);
         SimulationConfig {
             cluster,
@@ -535,6 +258,7 @@ mod tests {
                 seed: 7,
             },
             profile,
+            failure: None,
         }
     }
 
@@ -556,6 +280,8 @@ mod tests {
             );
         }
         assert!(result.makespan > 0.0);
+        assert_eq!(result.requeued_requests, 0);
+        assert_eq!(result.injected_failures, 0);
     }
 
     #[test]
@@ -596,15 +322,27 @@ mod tests {
         // a 40 Gbps NIC with long prompts.
         assert_eq!(rb.quantization, 0.0);
         assert_eq!(rb.dequant_or_approx, 0.0);
-        assert!(rb.communication > 0.03, "baseline comm ratio {}", rb.communication);
+        assert!(
+            rb.communication > 0.03,
+            "baseline comm ratio {}",
+            rb.communication
+        );
 
         // KV quantization slashes communication but pays dequantization every decode
         // iteration.
         assert!(rk.communication < rb.communication);
-        assert!(rk.dequant_or_approx > 0.08, "kvquant dequant ratio {}", rk.dequant_or_approx);
+        assert!(
+            rk.dequant_or_approx > 0.08,
+            "kvquant dequant ratio {}",
+            rk.dequant_or_approx
+        );
 
         // HACK: tiny approximation overhead instead of dequantization.
-        assert!(rh.dequant_or_approx < 0.05, "hack approx ratio {}", rh.dequant_or_approx);
+        assert!(
+            rh.dequant_or_approx < 0.05,
+            "hack approx ratio {}",
+            rh.dequant_or_approx
+        );
         assert!(rh.dequant_or_approx < rk.dequant_or_approx / 3.0);
         assert!(rh.communication < rb.communication);
     }
@@ -676,6 +414,7 @@ mod tests {
                     seed: 11,
                 },
                 profile: KvMethodProfile::baseline(),
+                failure: None,
             };
             Simulator::new(cfg).run().average_ratios().communication
         };
@@ -712,6 +451,7 @@ mod tests {
                 seed: 13,
             },
             profile: KvMethodProfile::baseline(),
+            failure: None,
         };
         let result = Simulator::new(cfg).run();
         assert_eq!(result.records.len(), 80);
@@ -720,5 +460,101 @@ mod tests {
             "expected memory pressure to trigger CPU swap"
         );
         assert!(result.peak_decode_memory_fraction > 0.6);
+    }
+
+    // --- Fault injection: scenarios the monolithic simulator could not express. ---
+
+    /// A failure window covering the middle of the run on the default config.
+    fn failure_config(n: usize, failure: FailureSpec) -> SimulationConfig {
+        SimulationConfig {
+            failure: Some(failure),
+            ..sim_config(KvMethodProfile::baseline(), Dataset::Cocktail, 0.08, n)
+        }
+    }
+
+    /// A failure spec guaranteed to abort at least one in-flight decode: from a
+    /// healthy run, pick a completed request and fail its decode replica just
+    /// before it finishes (decoding is the last stage, so it is in flight then).
+    fn mid_decode_failure(n: usize) -> FailureSpec {
+        let healthy = Simulator::new(sim_config(
+            KvMethodProfile::baseline(),
+            Dataset::Cocktail,
+            0.08,
+            n,
+        ))
+        .run();
+        let victim = healthy
+            .records
+            .iter()
+            .find(|r| r.breakdown.decode > 1.0)
+            .expect("some request decodes for more than a second");
+        FailureSpec::transient(
+            victim.decode_replica,
+            victim.finish_time - 0.5,
+            healthy.makespan + 100.0,
+        )
+    }
+
+    #[test]
+    fn transient_decode_failure_requeues_and_still_completes_everything() {
+        let result = Simulator::new(failure_config(40, mid_decode_failure(40))).run();
+        assert_eq!(
+            result.records.len(),
+            40,
+            "all requests must complete despite the failure"
+        );
+        assert_eq!(result.injected_failures, 1);
+        assert!(
+            result.requeued_requests > 0,
+            "a mid-run failure must abort and re-queue in-flight requests"
+        );
+        for r in &result.records {
+            let jct = r.jct();
+            let total = r.breakdown.total();
+            assert!(
+                (total - jct).abs() < 1e-6 * jct.max(1.0),
+                "breakdown must still sum to JCT under failures: {total} vs {jct}"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_increases_average_jct() {
+        let base = run(KvMethodProfile::baseline(), Dataset::Cocktail, 0.08, 40);
+        let failed = Simulator::new(failure_config(40, mid_decode_failure(40))).run();
+        assert_eq!(failed.records.len(), 40);
+        assert!(
+            failed.average_jct() > base.average_jct(),
+            "losing a decode replica mid-run must hurt JCT: {} vs {}",
+            failed.average_jct(),
+            base.average_jct()
+        );
+    }
+
+    #[test]
+    fn permanent_failure_leaves_survivors_serving() {
+        let result = Simulator::new(failure_config(40, FailureSpec::permanent(0, 100.0))).run();
+        // The paper-default fleet has 4 decode replicas; the other three finish the work.
+        assert_eq!(result.records.len(), 40);
+        assert!(result
+            .records
+            .iter()
+            .all(|r| r.decode_replica != 0 || r.finish_time < 100.0));
+    }
+
+    #[test]
+    fn failure_runs_are_deterministic_too() {
+        let spec = mid_decode_failure(35);
+        let a = Simulator::new(failure_config(35, spec)).run();
+        let b = Simulator::new(failure_config(35, spec)).run();
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.requeued_requests, b.requeued_requests);
+        assert!((a.average_jct() - b.average_jct()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure targets decode replica")]
+    fn failure_on_nonexistent_replica_is_rejected() {
+        let _ = Simulator::new(failure_config(10, FailureSpec::permanent(99, 1.0))).run();
     }
 }

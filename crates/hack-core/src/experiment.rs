@@ -84,7 +84,11 @@ impl ExperimentTable {
     /// Renders the table as aligned plain text.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "== {} [{}] (values in {}) ==", self.title, self.id, self.unit);
+        let _ = writeln!(
+            out,
+            "== {} [{}] (values in {}) ==",
+            self.title, self.id, self.unit
+        );
         let label_width = self
             .rows
             .iter()

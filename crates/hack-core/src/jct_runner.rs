@@ -5,7 +5,7 @@
 //! returns the aggregate numbers the figures plot.
 
 use crate::method::Method;
-use hack_cluster::{ClusterConfig, SimulationConfig, Simulator};
+use hack_cluster::{ClusterConfig, FailureSpec, SimulationConfig, Simulator};
 use hack_metrics::jct::{JctStats, StageRatios};
 use hack_model::gpu::GpuKind;
 use hack_model::spec::ModelKind;
@@ -34,6 +34,9 @@ pub struct JctExperiment {
     pub prefill_replicas: Option<usize>,
     /// Override for the number of decode replicas.
     pub decode_replicas: Option<usize>,
+    /// Optional fault injection: a decode replica fails (and possibly recovers)
+    /// mid-run.
+    pub failure: Option<FailureSpec>,
     /// Trace seed.
     pub seed: u64,
 }
@@ -55,6 +58,7 @@ impl JctExperiment {
             pipelining: false,
             prefill_replicas: None,
             decode_replicas: None,
+            failure: None,
             seed: 42,
         }
     }
@@ -73,10 +77,9 @@ impl JctExperiment {
 
     /// Builds the cluster configuration for this experiment.
     pub fn cluster_config(&self) -> ClusterConfig {
-        let mut cluster = if self.decode_replicas == Some(1) && self.prefill_replicas.is_some() {
-            ClusterConfig::scalability(self.prefill_replicas.unwrap())
-        } else {
-            ClusterConfig::paper_default(self.model, self.prefill_gpu)
+        let mut cluster = match self.prefill_replicas {
+            Some(p) if self.decode_replicas == Some(1) => ClusterConfig::scalability(p),
+            _ => ClusterConfig::paper_default(self.model, self.prefill_gpu),
         };
         if let Some(p) = self.prefill_replicas {
             cluster.prefill_replicas = p;
@@ -117,6 +120,7 @@ impl JctExperiment {
             cluster: self.cluster_config(),
             trace: self.trace_config(),
             profile: method.profile(),
+            failure: self.failure,
         };
         let result = Simulator::new(config).run();
         JctOutcome {
@@ -127,6 +131,7 @@ impl JctExperiment {
             ratios: result.average_ratios(),
             peak_decode_memory_fraction: result.peak_decode_memory_fraction,
             swapped_requests: result.swapped_requests,
+            requeued_requests: result.requeued_requests,
             completed_requests: result.records.len(),
         }
     }
@@ -154,6 +159,8 @@ pub struct JctOutcome {
     pub peak_decode_memory_fraction: f64,
     /// Requests that had to wait for decode memory.
     pub swapped_requests: usize,
+    /// Request re-queues caused by injected decode-replica failures.
+    pub requeued_requests: usize,
     /// Requests completed (sanity check: equals the trace length).
     pub completed_requests: usize,
 }
@@ -201,7 +208,11 @@ mod tests {
         assert!(hack.average_jct < cachegen.average_jct);
         assert!(hack.average_jct < kvquant.average_jct);
         assert!(hack.average_jct < base.average_jct);
-        assert!(hack.jct_reduction_vs(base) > 0.1, "reduction {}", hack.jct_reduction_vs(base));
+        assert!(
+            hack.jct_reduction_vs(base) > 0.1,
+            "reduction {}",
+            hack.jct_reduction_vs(base)
+        );
     }
 
     #[test]

@@ -44,10 +44,10 @@ pub mod prelude {
     pub use crate::fidelity::{FidelityReport, FidelitySetup};
     pub use crate::jct_runner::{JctExperiment, JctOutcome};
     pub use crate::method::Method;
+    pub use hack_attention::baseline::{baseline_attention, AttentionMask};
     pub use hack_attention::prefill::hack_prefill_attention;
     pub use hack_attention::state::HackKvState;
-    pub use hack_attention::baseline::{baseline_attention, AttentionMask};
-    pub use hack_cluster::{ClusterConfig, SimulationConfig, Simulator};
+    pub use hack_cluster::{ClusterConfig, FailureSpec, SimulationConfig, Simulator};
     pub use hack_model::gpu::GpuKind;
     pub use hack_model::spec::ModelKind;
     pub use hack_quant::{HackConfig, QuantizedTensor};

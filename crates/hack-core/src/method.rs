@@ -38,7 +38,12 @@ pub enum Method {
 impl Method {
     /// The four methods of the main end-to-end comparison (Figs. 9–12).
     pub fn main_comparison() -> [Method; 4] {
-        [Method::Baseline, Method::CacheGen, Method::KvQuant, Method::hack()]
+        [
+            Method::Baseline,
+            Method::CacheGen,
+            Method::KvQuant,
+            Method::hack(),
+        ]
     }
 
     /// HACK with the default Π = 64.
@@ -97,7 +102,9 @@ impl Method {
                 bits: QuantBits::Int4,
                 partition: 64,
             },
-            Method::Hack { partition } => AttentionBackend::Hack(HackConfig::with_partition(*partition)),
+            Method::Hack { partition } => {
+                AttentionBackend::Hack(HackConfig::with_partition(*partition))
+            }
             Method::HackNoSe => AttentionBackend::Hack(HackConfig::without_summation_elimination()),
             Method::HackNoRqe => AttentionBackend::Hack(HackConfig::without_requant_elimination()),
         }
@@ -150,7 +157,10 @@ impl Method {
 
     /// Whether this method computes attention directly on compressed KV data.
     pub fn computes_on_compressed(&self) -> bool {
-        matches!(self, Method::Hack { .. } | Method::HackNoSe | Method::HackNoRqe)
+        matches!(
+            self,
+            Method::Hack { .. } | Method::HackNoSe | Method::HackNoRqe
+        )
     }
 }
 
@@ -218,11 +228,17 @@ mod tests {
 
     #[test]
     fn backends_are_wired_to_the_right_kernels() {
-        assert!(matches!(Method::hack().attention_backend(), AttentionBackend::Hack(_)));
+        assert!(matches!(
+            Method::hack().attention_backend(),
+            AttentionBackend::Hack(_)
+        ));
         assert!(matches!(
             Method::KvQuant.attention_backend(),
             AttentionBackend::DequantQuant { .. }
         ));
-        assert!(matches!(Method::Baseline.attention_backend(), AttentionBackend::Fp16));
+        assert!(matches!(
+            Method::Baseline.attention_backend(),
+            AttentionBackend::Fp16
+        ));
     }
 }

@@ -71,7 +71,11 @@ impl DecodeMemoryModel {
                 }
                 .kv_bytes(&self.shape, resident_tokens);
                 let se = if store_sums { kv - without_sums } else { 0 };
-                let tail = if fp16_tail { kv.saturating_sub(without_tail) } else { 0 };
+                let tail = if fp16_tail {
+                    kv.saturating_sub(without_tail)
+                } else {
+                    0
+                };
                 (se, tail)
             }
             _ => (0, 0),
@@ -184,11 +188,18 @@ mod tests {
         let base = llama70b_model(CacheLayout::Fp16).peak_usage_fraction(tokens);
         let quant = llama70b_model(CacheLayout::quantized_baseline()).peak_usage_fraction(tokens);
         let hack = llama70b_model(CacheLayout::hack_default()).peak_usage_fraction(tokens);
-        assert!(base > quant, "baseline {base} should exceed quantized {quant}");
+        assert!(
+            base > quant,
+            "baseline {base} should exceed quantized {quant}"
+        );
         assert!(base - quant > 0.2, "reduction {} too small", base - quant);
         // HACK sits slightly above the plain quantized methods (sums + tail).
         assert!(hack >= quant);
-        assert!(hack - quant < 0.05, "HACK extra usage {} too large", hack - quant);
+        assert!(
+            hack - quant < 0.05,
+            "HACK extra usage {} too large",
+            hack - quant
+        );
     }
 
     #[test]

@@ -124,7 +124,8 @@ impl CacheLayout {
     /// Average bytes per token for block-granular accounting (computed over one block
     /// of `block_tokens` tokens).
     pub fn bytes_per_token(&self, shape: &KvShape, block_tokens: usize) -> usize {
-        self.kv_bytes(shape, block_tokens).div_ceil(block_tokens.max(1))
+        self.kv_bytes(shape, block_tokens)
+            .div_ceil(block_tokens.max(1))
     }
 
     /// Compression ratio versus FP16 for a given sequence length

@@ -61,7 +61,10 @@ impl KvCacheManager {
 
     /// Whether a new sequence of `tokens` tokens can currently be admitted.
     pub fn can_admit(&self, tokens: usize) -> bool {
-        self.inner.lock().allocator.can_allocate(blocks_for_tokens(tokens))
+        self.inner
+            .lock()
+            .allocator
+            .can_allocate(blocks_for_tokens(tokens))
     }
 
     /// Admits a sequence with `tokens` tokens (its prompt KV data), allocating blocks.
@@ -94,7 +97,7 @@ impl KvCacheManager {
                 .sequences
                 .get(&id)
                 .unwrap_or_else(|| panic!("unknown sequence {id:?}"));
-            entry.tokens % BLOCK_TOKENS == 0 && entry.tokens > 0 || entry.blocks.is_empty()
+            entry.tokens.is_multiple_of(BLOCK_TOKENS) && entry.tokens > 0 || entry.blocks.is_empty()
         };
         if needs_block {
             match inner.allocator.allocate(1) {

@@ -202,8 +202,7 @@ mod tests {
 
     #[test]
     fn stats_percentiles_are_ordered() {
-        let breakdowns: Vec<JctBreakdown> =
-            (1..=100).map(|i| sample(i as f64, 0.0, 0.0)).collect();
+        let breakdowns: Vec<JctBreakdown> = (1..=100).map(|i| sample(i as f64, 0.0, 0.0)).collect();
         let stats = JctStats::from_breakdowns(&breakdowns);
         assert_eq!(stats.count, 100);
         assert!(stats.p50 <= stats.p95);

@@ -59,7 +59,9 @@ mod tests {
 
     #[test]
     fn identical_texts_score_one() {
-        assert!((rouge1_f1("the cat sat on the mat", "the cat sat on the mat") - 1.0).abs() < 1e-12);
+        assert!(
+            (rouge1_f1("the cat sat on the mat", "the cat sat on the mat") - 1.0).abs() < 1e-12
+        );
     }
 
     #[test]

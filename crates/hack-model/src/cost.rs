@@ -357,7 +357,12 @@ impl ReplicaCostModel {
     }
 
     /// Uncontended KV transfer time over a NIC of `network_gbps`.
-    pub fn transfer_time(&self, tokens: usize, profile: &KvMethodProfile, network_gbps: f64) -> f64 {
+    pub fn transfer_time(
+        &self,
+        tokens: usize,
+        profile: &KvMethodProfile,
+        network_gbps: f64,
+    ) -> f64 {
         let bytes = self.kv_transfer_bytes(tokens, profile);
         bytes / (network_gbps * 1e9 / 8.0 * self.params.network_efficiency)
     }
@@ -385,7 +390,8 @@ impl ReplicaCostModel {
             if !profile.requant_elimination {
                 // Requantize the partial last block of V every iteration (Π/2 tokens on
                 // average).
-                ops += hack_quant::cost::requant_last_block_ops(profile.partition / 2, d_h) as f64 * heads;
+                ops += hack_quant::cost::requant_last_block_ops(profile.partition / 2, d_h) as f64
+                    * heads;
             }
             return ops / self.agg_elementwise_ops();
         }
@@ -471,7 +477,11 @@ mod tests {
 
     fn llama_on(gpu: GpuKind) -> ReplicaCostModel {
         let model = ModelKind::Llama31_70B.spec();
-        ReplicaCostModel::new(model, gpu.spec(), Parallelism::table3(ModelKind::Llama31_70B, gpu))
+        ReplicaCostModel::new(
+            model,
+            gpu.spec(),
+            Parallelism::table3(ModelKind::Llama31_70B, gpu),
+        )
     }
 
     fn cocktail_prompt() -> usize {
@@ -518,7 +528,10 @@ mod tests {
         let hack_40g = m.transfer_time(prompt, &KvMethodProfile::hack(), 40.0);
         let base_400g = m.transfer_time(prompt, &KvMethodProfile::baseline(), 400.0);
         // ~5.3 GB at an effective 4.5 GB/s is on the order of a second.
-        assert!(base_40g > 0.5 && base_40g < 3.0, "baseline 40G transfer {base_40g}");
+        assert!(
+            base_40g > 0.5 && base_40g < 3.0,
+            "baseline 40G transfer {base_40g}"
+        );
         assert!(hack_40g < base_40g * 0.2);
         assert!((base_40g / base_400g - 10.0).abs() < 1e-6);
     }
@@ -558,7 +571,10 @@ mod tests {
         };
         let short = rqe_cost(500);
         let long = rqe_cost(16_000);
-        assert!((short - long).abs() / short < 0.05, "short {short} vs long {long}");
+        assert!(
+            (short - long).abs() / short < 0.05,
+            "short {short} vs long {long}"
+        );
     }
 
     #[test]
@@ -622,7 +638,10 @@ mod tests {
         // IMDb-like (short) vs Cocktail-like (long).
         let short = gain(315, 37);
         let long = gain(16_200, 159);
-        assert!(long > short, "long-prompt gain {long} should exceed short-prompt gain {short}");
+        assert!(
+            long > short,
+            "long-prompt gain {long} should exceed short-prompt gain {short}"
+        );
     }
 
     #[test]
@@ -634,10 +653,22 @@ mod tests {
         let gain_on = |gpu: GpuKind| {
             let prefill = llama_on(gpu);
             let kv = prefill
-                .request_stage_times(&decode, &KvMethodProfile::kvquant(), prompt, out, gpu.instance().network_gbps)
+                .request_stage_times(
+                    &decode,
+                    &KvMethodProfile::kvquant(),
+                    prompt,
+                    out,
+                    gpu.instance().network_gbps,
+                )
                 .total();
             let h = prefill
-                .request_stage_times(&decode, &KvMethodProfile::hack(), prompt, out, gpu.instance().network_gbps)
+                .request_stage_times(
+                    &decode,
+                    &KvMethodProfile::hack(),
+                    prompt,
+                    out,
+                    gpu.instance().network_gbps,
+                )
                 .total();
             (kv - h) / kv
         };

@@ -20,7 +20,13 @@ pub enum GpuKind {
 impl GpuKind {
     /// All GPU kinds, in the paper's figure order (A10G, V100, T4, L4, A100).
     pub fn all() -> [GpuKind; 5] {
-        [GpuKind::A10G, GpuKind::V100, GpuKind::T4, GpuKind::L4, GpuKind::A100]
+        [
+            GpuKind::A10G,
+            GpuKind::V100,
+            GpuKind::T4,
+            GpuKind::L4,
+            GpuKind::A100,
+        ]
     }
 
     /// Hardware specification of one GPU of this kind.

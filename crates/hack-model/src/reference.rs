@@ -115,8 +115,16 @@ pub struct ReferenceTransformer {
 impl ReferenceTransformer {
     /// Builds a transformer with weights drawn deterministically from `seed`.
     pub fn new(config: ReferenceConfig, backend: AttentionBackend, seed: u64) -> Self {
-        assert_eq!(config.hidden, config.heads * config.head_dim, "hidden != heads*head_dim");
-        assert_eq!(config.heads % config.kv_heads, 0, "heads must be divisible by kv_heads");
+        assert_eq!(
+            config.hidden,
+            config.heads * config.head_dim,
+            "hidden != heads*head_dim"
+        );
+        assert_eq!(
+            config.heads % config.kv_heads,
+            0,
+            "heads must be divisible by kv_heads"
+        );
         let mut rng = DetRng::new(seed);
         let h = config.hidden;
         let kv_dim = config.kv_heads * config.head_dim;
@@ -197,8 +205,12 @@ impl ReferenceTransformer {
         let mut rng = DetRng::new(self.rng_seed ^ 0x9E37_79B9_7F4A_7C15);
         let mut x = Matrix::zeros(tokens.len(), cfg.hidden);
         for (i, &tok) in tokens.iter().enumerate() {
-            assert!((tok as usize) < cfg.vocab, "token id {tok} out of vocabulary");
-            x.row_mut(i).copy_from_slice(self.embedding.row(tok as usize));
+            assert!(
+                (tok as usize) < cfg.vocab,
+                "token id {tok} out of vocabulary"
+            );
+            x.row_mut(i)
+                .copy_from_slice(self.embedding.row(tok as usize));
         }
 
         let group = cfg.heads / cfg.kv_heads;
@@ -227,7 +239,9 @@ impl ReferenceTransformer {
             let normed = Self::rmsnorm(&x);
             let gate = matmul(&normed, &lw.w_gate).map(|v| v / (1.0 + (-v).exp()) /* SiLU */);
             let up = matmul(&normed, &lw.w_up);
-            let inter = Matrix::from_fn(gate.rows(), gate.cols(), |r, c| gate.get(r, c) * up.get(r, c));
+            let inter = Matrix::from_fn(gate.rows(), gate.cols(), |r, c| {
+                gate.get(r, c) * up.get(r, c)
+            });
             let mlp = matmul(&inter, &lw.w_down);
             x = x.add(&mlp);
         }
@@ -311,7 +325,8 @@ mod tests {
     fn hack_backend_preserves_logit_direction() {
         let cfg = ReferenceConfig::tiny();
         let exact = ReferenceTransformer::new(cfg, AttentionBackend::Exact, 7);
-        let hack = ReferenceTransformer::new(cfg, AttentionBackend::Hack(HackConfig::paper_default()), 7);
+        let hack =
+            ReferenceTransformer::new(cfg, AttentionBackend::Hack(HackConfig::paper_default()), 7);
         let p = prompt(48, 3, cfg.vocab);
         let le = exact.forward(&p);
         let lh = hack.forward(&p);
@@ -353,14 +368,18 @@ mod tests {
             },
             13,
         );
-        let hack = ReferenceTransformer::new(cfg, AttentionBackend::Hack(HackConfig::paper_default()), 13);
+        let hack =
+            ReferenceTransformer::new(cfg, AttentionBackend::Hack(HackConfig::paper_default()), 13);
         let p = prompt(48, 5, cfg.vocab);
         let le = exact.forward(&p);
         let e_dq = relative_frobenius_error(&le, &dq.forward(&p));
         let e_hack = relative_frobenius_error(&le, &hack.forward(&p));
         // Both are 2-bit KV methods; their error magnitudes should be in the same
         // ballpark (within ~3x of each other).
-        assert!(e_hack < e_dq * 3.0 && e_dq < e_hack * 3.0, "dq {e_dq} vs hack {e_hack}");
+        assert!(
+            e_hack < e_dq * 3.0 && e_dq < e_hack * 3.0,
+            "dq {e_dq} vs hack {e_hack}"
+        );
     }
 
     #[test]
@@ -379,12 +398,16 @@ mod tests {
     fn quantized_backends_mostly_agree_with_exact_generation() {
         let cfg = ReferenceConfig::tiny();
         let exact = ReferenceTransformer::new(cfg, AttentionBackend::Exact, 19);
-        let hack = ReferenceTransformer::new(cfg, AttentionBackend::Hack(HackConfig::paper_default()), 19);
+        let hack =
+            ReferenceTransformer::new(cfg, AttentionBackend::Hack(HackConfig::paper_default()), 19);
         let p = prompt(24, 7, cfg.vocab);
         let a = exact.greedy_generate(&p, 16);
         let b = hack.greedy_generate(&p, 16);
         let agree = a.iter().zip(&b).filter(|(x, y)| x == y).count();
-        assert!(agree >= 4, "at least some agreement expected, got {agree}/16");
+        assert!(
+            agree >= 4,
+            "at least some agreement expected, got {agree}/16"
+        );
     }
 
     #[test]

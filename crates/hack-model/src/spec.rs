@@ -168,9 +168,9 @@ impl ModelSpec {
     /// context (linear layers + attention). Used for both prefill (`tokens = kv_len =
     /// prompt`) and decode (`tokens = 1`).
     pub fn forward_flops(&self, tokens: usize, kv_len: usize) -> f64 {
-        let linear = 2.0 * (self.param_count() - 2.0 * (self.hidden * self.vocab) as f64)
-            * tokens as f64
-            + 2.0 * (self.hidden * self.vocab) as f64 * tokens as f64;
+        let linear =
+            2.0 * (self.param_count() - 2.0 * (self.hidden * self.vocab) as f64) * tokens as f64
+                + 2.0 * (self.hidden * self.vocab) as f64 * tokens as f64;
         linear + self.attention_flops(tokens, kv_len)
     }
 
@@ -179,8 +179,13 @@ impl ModelSpec {
     /// halved for the causal prefill case where on average only half the keys are
     /// visible.
     pub fn attention_flops(&self, tokens: usize, kv_len: usize) -> f64 {
-        let per_layer = 2.0 * 2.0 * (self.heads * self.head_dim) as f64 * tokens as f64 * kv_len as f64;
-        let causal_factor = if tokens == kv_len && tokens > 1 { 0.5 } else { 1.0 };
+        let per_layer =
+            2.0 * 2.0 * (self.heads * self.head_dim) as f64 * tokens as f64 * kv_len as f64;
+        let causal_factor = if tokens == kv_len && tokens > 1 {
+            0.5
+        } else {
+            1.0
+        };
         self.layers as f64 * per_layer * causal_factor
     }
 
@@ -223,7 +228,10 @@ mod tests {
     #[test]
     fn kv_bytes_per_token_llama70b() {
         // 80 layers * 8 KV heads * 128 dims * 2 (K+V) * 2 bytes = 327,680 bytes/token.
-        assert_eq!(ModelKind::Llama31_70B.spec().kv_bytes_per_token_fp16(), 327_680);
+        assert_eq!(
+            ModelKind::Llama31_70B.spec().kv_bytes_per_token_fp16(),
+            327_680
+        );
     }
 
     #[test]
@@ -240,7 +248,10 @@ mod tests {
         let s = ModelKind::Llama31_70B.spec();
         let short = s.prefill_flops(1000);
         let long = s.prefill_flops(10_000);
-        assert!(long > 10.0 * short, "attention quadratic term should show up");
+        assert!(
+            long > 10.0 * short,
+            "attention quadratic term should show up"
+        );
     }
 
     #[test]

@@ -100,6 +100,7 @@ fn homomorphic_matmul_impl(
             })
             .collect();
 
+        #[allow(clippy::needless_range_loop)]
         for i in 0..m {
             let a_codes = &a.codes_row(i)[start..end];
             let a_meta = a.meta(i, p);
@@ -197,10 +198,14 @@ mod tests {
         let truth = matmul_transposed_b(&a, &b_t);
 
         let (qa32, qb32) = quantize_pair(&a, &b_t, QuantBits::Int8, QuantBits::Int2, 32, &mut rng);
-        let (qa128, qb128) = quantize_pair(&a, &b_t, QuantBits::Int8, QuantBits::Int2, 128, &mut rng);
+        let (qa128, qb128) =
+            quantize_pair(&a, &b_t, QuantBits::Int8, QuantBits::Int2, 128, &mut rng);
         let e32 = relative_frobenius_error(&truth, &homomorphic_matmul(&qa32, &qb32));
         let e128 = relative_frobenius_error(&truth, &homomorphic_matmul(&qa128, &qb128));
-        assert!(e32 < e128, "Π=32 error {e32} should be below Π=128 error {e128}");
+        assert!(
+            e32 < e128,
+            "Π=32 error {e32} should be below Π=128 error {e128}"
+        );
         assert!(e128 < 0.6, "Π=128 error should still be bounded: {e128}");
     }
 
@@ -216,7 +221,10 @@ mod tests {
         let (qa, qb) = quantize_pair(&a, &b_t, QuantBits::Int2, QuantBits::Int2, 32, &mut rng);
         let hom = homomorphic_matmul(&qa, &qb);
         let err = relative_frobenius_error(&truth, &hom);
-        assert!(err < 1e-3, "grid-aligned product should be (nearly) exact: {err}");
+        assert!(
+            err < 1e-3,
+            "grid-aligned product should be (nearly) exact: {err}"
+        );
     }
 
     #[test]
@@ -239,7 +247,14 @@ mod tests {
         let partition = 64;
         let a = Matrix::random_normal(m, z, 0.0, 1.0, &mut rng);
         let b_t = Matrix::random_normal(n, z, 0.0, 1.0, &mut rng);
-        let (qa, qb) = quantize_pair(&a, &b_t, QuantBits::Int8, QuantBits::Int2, partition, &mut rng);
+        let (qa, qb) = quantize_pair(
+            &a,
+            &b_t,
+            QuantBits::Int8,
+            QuantBits::Int2,
+            partition,
+            &mut rng,
+        );
 
         let (_, counts) = homomorphic_matmul_counted(&qa, &qb, true);
         // Integer MACs: one per (i, j, z) triple.
@@ -263,8 +278,20 @@ mod tests {
         let q = Matrix::random_normal(1, d_h, 0.0, 1.0, &mut rng);
         let k = Matrix::random_normal(l_kv, d_h, 0.0, 1.0, &mut rng);
         let truth = matmul_transposed_b(&q, &k);
-        let qq = QuantizedTensor::quantize_rows(&q, QuantBits::Int8, 64, RoundingMode::Nearest, &mut rng);
-        let qk = QuantizedTensor::quantize_rows(&k, QuantBits::Int2, 64, RoundingMode::Nearest, &mut rng);
+        let qq = QuantizedTensor::quantize_rows(
+            &q,
+            QuantBits::Int8,
+            64,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
+        let qk = QuantizedTensor::quantize_rows(
+            &k,
+            QuantBits::Int2,
+            64,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         let hom = homomorphic_matmul(&qq, &qk);
         assert_eq!(hom.shape(), (1, l_kv));
         // Pure-Gaussian K is the worst case for 2-bit quantization (real keys carry
@@ -279,8 +306,20 @@ mod tests {
         let mut rng = DetRng::new(8);
         let a = Matrix::zeros(2, 64);
         let b = Matrix::zeros(2, 32);
-        let qa = QuantizedTensor::quantize_rows(&a, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
-        let qb = QuantizedTensor::quantize_rows(&b, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let qa = QuantizedTensor::quantize_rows(
+            &a,
+            QuantBits::Int2,
+            32,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
+        let qb = QuantizedTensor::quantize_rows(
+            &b,
+            QuantBits::Int2,
+            32,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         homomorphic_matmul(&qa, &qb);
     }
 
@@ -289,8 +328,20 @@ mod tests {
     fn mismatched_partitions_panic() {
         let mut rng = DetRng::new(9);
         let a = Matrix::zeros(2, 64);
-        let qa = QuantizedTensor::quantize_rows(&a, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
-        let qb = QuantizedTensor::quantize_rows(&a, QuantBits::Int2, 64, RoundingMode::Nearest, &mut rng);
+        let qa = QuantizedTensor::quantize_rows(
+            &a,
+            QuantBits::Int2,
+            32,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
+        let qb = QuantizedTensor::quantize_rows(
+            &a,
+            QuantBits::Int2,
+            64,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         homomorphic_matmul(&qa, &qb);
     }
 
@@ -305,10 +356,20 @@ mod tests {
         let trials = 400;
         let mut acc = 0.0f64;
         for _ in 0..trials {
-            let qa =
-                QuantizedTensor::quantize_rows(&a, QuantBits::Int8, 64, RoundingMode::Stochastic, &mut rng);
-            let qb =
-                QuantizedTensor::quantize_rows(&b_t, QuantBits::Int2, 64, RoundingMode::Stochastic, &mut rng);
+            let qa = QuantizedTensor::quantize_rows(
+                &a,
+                QuantBits::Int8,
+                64,
+                RoundingMode::Stochastic,
+                &mut rng,
+            );
+            let qb = QuantizedTensor::quantize_rows(
+                &b_t,
+                QuantBits::Int2,
+                64,
+                RoundingMode::Stochastic,
+                &mut rng,
+            );
             acc += homomorphic_matmul(&qa, &qb).get(0, 0) as f64;
         }
         let mean = acc / trials as f64;

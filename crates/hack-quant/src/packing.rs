@@ -61,7 +61,10 @@ pub fn pack_sums_i16(sums: &[i32]) -> Vec<u8> {
 
 /// Unpacks little-endian `i16` sums back to `i32`.
 pub fn unpack_sums_i16(bytes: &[u8]) -> Vec<i32> {
-    assert!(bytes.len() % 2 == 0, "i16 sum buffer must have even length");
+    assert!(
+        bytes.len().is_multiple_of(2),
+        "i16 sum buffer must have even length"
+    );
     bytes
         .chunks_exact(2)
         .map(|c| i16::from_le_bytes([c[0], c[1]]) as i32)

@@ -77,7 +77,7 @@ impl PartitionSize {
         if size == 0 {
             return Err("partition size must be positive".to_string());
         }
-        if size % 16 != 0 {
+        if !size.is_multiple_of(16) {
             return Err(format!(
                 "partition size must be a multiple of 16 for efficient matrix operations (got {size})"
             ));

@@ -72,7 +72,9 @@ impl QuantizedTensor {
         assert!(partition > 0, "partition size must be positive");
         let rows = m.rows();
         let cols = m.cols();
-        let n_parts = cols.div_ceil(partition.max(1)).max(if cols == 0 { 0 } else { 1 });
+        let n_parts = cols
+            .div_ceil(partition.max(1))
+            .max(if cols == 0 { 0 } else { 1 });
         let mut codes = vec![0u8; rows * cols];
         let mut meta = Vec::with_capacity(rows * n_parts);
         let mut sums = Vec::with_capacity(rows * n_parts);
@@ -147,7 +149,11 @@ impl QuantizedTensor {
     ) -> Self {
         assert!(partition > 0, "partition size must be positive");
         assert_eq!(codes.len(), rows * cols, "codes length mismatch");
-        let n_parts = if cols == 0 { 0 } else { cols.div_ceil(partition) };
+        let n_parts = if cols == 0 {
+            0
+        } else {
+            cols.div_ceil(partition)
+        };
         assert_eq!(meta.len(), rows * n_parts, "meta length mismatch");
         assert_eq!(sums.len(), rows * n_parts, "sums length mismatch");
         Self {
@@ -235,7 +241,10 @@ impl QuantizedTensor {
     /// the stored sums.
     pub fn recompute_sum(&self, r: usize, p: usize) -> i32 {
         let (start, end) = self.partition_range(p);
-        self.codes_row(r)[start..end].iter().map(|&c| c as i32).sum()
+        self.codes_row(r)[start..end]
+            .iter()
+            .map(|&c| c as i32)
+            .sum()
     }
 
     /// Verifies the stored-sum invariant (every stored sum equals the recomputed one).
@@ -276,7 +285,12 @@ impl QuantizedTensor {
     /// them with fresh partitions. This is the K-append path during decode: the new
     /// token's K vector forms its own partitions, so existing metadata never changes.
     pub fn append_rows(&mut self, m: &Matrix, mode: RoundingMode, rng: &mut DetRng) -> AppendStats {
-        assert_eq!(m.cols(), self.cols, "append_rows expects vectors of length {}", self.cols);
+        assert_eq!(
+            m.cols(),
+            self.cols,
+            "append_rows expects vectors of length {}",
+            self.cols
+        );
         let n_parts = self.n_partitions();
         let mut stats = AppendStats::default();
         for r in 0..m.rows() {
@@ -314,7 +328,12 @@ impl QuantizedTensor {
         mode: RoundingMode,
         rng: &mut DetRng,
     ) -> AppendStats {
-        assert_eq!(new_cols.rows(), self.rows, "append_columns expects {} rows", self.rows);
+        assert_eq!(
+            new_cols.rows(),
+            self.rows,
+            "append_columns expects {} rows",
+            self.rows
+        );
         let t = new_cols.cols();
         if t == 0 {
             return AppendStats::default();
@@ -359,6 +378,7 @@ impl QuantizedTensor {
                 let mut values: Vec<f32> = Vec::with_capacity(end - start);
                 if n_old > 0 {
                     let pm_old = self.meta[r * old_parts + p];
+                    #[allow(clippy::needless_range_loop)]
                     for c in start..old_cols {
                         values.push(dequantize_value(old_row_codes[c], &pm_old));
                     }
@@ -434,7 +454,9 @@ impl QuantizedTensor {
     /// Total storage bytes. `include_sums` is false for methods that do not use
     /// Summation Elimination (baselines, HACK/SE).
     pub fn total_bytes(&self, include_sums: bool) -> usize {
-        self.packed_code_bytes() + self.metadata_bytes() + if include_sums { self.sum_bytes() } else { 0 }
+        self.packed_code_bytes()
+            + self.metadata_bytes()
+            + if include_sums { self.sum_bytes() } else { 0 }
     }
 }
 
@@ -451,7 +473,13 @@ mod tests {
     fn quantize_dequantize_rows_bounded_error() {
         let mut rng = rng();
         let m = Matrix::random_normal(8, 128, 0.0, 1.0, &mut rng);
-        let q = QuantizedTensor::quantize_rows(&m, QuantBits::Int8, 64, RoundingMode::Nearest, &mut rng);
+        let q = QuantizedTensor::quantize_rows(
+            &m,
+            QuantBits::Int8,
+            64,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         let back = q.dequantize();
         let err = relative_frobenius_error(&m, &back);
         assert!(err < 0.01, "int8 relative error {err}");
@@ -461,8 +489,20 @@ mod tests {
     fn int2_error_larger_than_int8_but_bounded() {
         let mut rng = rng();
         let m = Matrix::random_normal(8, 128, 0.0, 1.0, &mut rng);
-        let q2 = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 64, RoundingMode::Nearest, &mut rng);
-        let q8 = QuantizedTensor::quantize_rows(&m, QuantBits::Int8, 64, RoundingMode::Nearest, &mut rng);
+        let q2 = QuantizedTensor::quantize_rows(
+            &m,
+            QuantBits::Int2,
+            64,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
+        let q8 = QuantizedTensor::quantize_rows(
+            &m,
+            QuantBits::Int8,
+            64,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         let e2 = relative_frobenius_error(&m, &q2.dequantize());
         let e8 = relative_frobenius_error(&m, &q8.dequantize());
         assert!(e2 > e8, "int2 error {e2} should exceed int8 error {e8}");
@@ -477,18 +517,39 @@ mod tests {
             let segment = (c / 32) as f32;
             (r as f32 + 1.0) * segment + ((c % 32) as f32) * 0.01
         });
-        let q32 = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
-        let q128 = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 128, RoundingMode::Nearest, &mut rng);
+        let q32 = QuantizedTensor::quantize_rows(
+            &m,
+            QuantBits::Int2,
+            32,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
+        let q128 = QuantizedTensor::quantize_rows(
+            &m,
+            QuantBits::Int2,
+            128,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         let e32 = relative_frobenius_error(&m, &q32.dequantize());
         let e128 = relative_frobenius_error(&m, &q128.dequantize());
-        assert!(e32 < e128, "Π=32 error {e32} should be below Π=128 error {e128}");
+        assert!(
+            e32 < e128,
+            "Π=32 error {e32} should be below Π=128 error {e128}"
+        );
     }
 
     #[test]
     fn quantize_cols_stores_transpose() {
         let mut rng = rng();
         let m = Matrix::random_normal(64, 16, 0.0, 1.0, &mut rng);
-        let q = QuantizedTensor::quantize_cols(&m, QuantBits::Int8, 32, RoundingMode::Nearest, &mut rng);
+        let q = QuantizedTensor::quantize_cols(
+            &m,
+            QuantBits::Int8,
+            32,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         assert_eq!(q.rows(), 16);
         assert_eq!(q.cols(), 64);
         let back = q.dequantize_transposed();
@@ -500,7 +561,13 @@ mod tests {
     fn partition_layout_and_ranges() {
         let mut rng = rng();
         let m = Matrix::random_normal(2, 100, 0.0, 1.0, &mut rng);
-        let q = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 64, RoundingMode::Nearest, &mut rng);
+        let q = QuantizedTensor::quantize_rows(
+            &m,
+            QuantBits::Int2,
+            64,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         assert_eq!(q.n_partitions(), 2);
         assert_eq!(q.partition_range(0), (0, 64));
         assert_eq!(q.partition_range(1), (64, 100));
@@ -512,7 +579,13 @@ mod tests {
     fn stored_sums_match_recomputed() {
         let mut rng = rng();
         let m = Matrix::random_normal(5, 96, 0.0, 2.0, &mut rng);
-        let q = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 32, RoundingMode::Stochastic, &mut rng);
+        let q = QuantizedTensor::quantize_rows(
+            &m,
+            QuantBits::Int2,
+            32,
+            RoundingMode::Stochastic,
+            &mut rng,
+        );
         assert!(q.sums_consistent());
         for r in 0..q.rows() {
             for p in 0..q.n_partitions() {
@@ -525,7 +598,13 @@ mod tests {
     fn append_rows_preserves_existing_metadata() {
         let mut rng = rng();
         let m = Matrix::random_normal(3, 64, 0.0, 1.0, &mut rng);
-        let mut q = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 64, RoundingMode::Nearest, &mut rng);
+        let mut q = QuantizedTensor::quantize_rows(
+            &m,
+            QuantBits::Int2,
+            64,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         let before_meta = q.metas().to_vec();
         let extra = Matrix::random_normal(2, 64, 0.0, 1.0, &mut rng);
         let stats = q.append_rows(&extra, RoundingMode::Nearest, &mut rng);
@@ -541,7 +620,13 @@ mod tests {
         let mut rng = rng();
         // 8 channels, 40 tokens, partition 32: last partition has 8 tokens.
         let v = Matrix::random_normal(8, 40, 0.0, 1.0, &mut rng);
-        let mut q = QuantizedTensor::quantize_rows(&v, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let mut q = QuantizedTensor::quantize_rows(
+            &v,
+            QuantBits::Int2,
+            32,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         let extra = Matrix::random_normal(8, 1, 0.0, 5.0, &mut rng); // likely out of range
         let stats = q.append_columns(&extra, RoundingMode::Nearest, &mut rng);
         assert_eq!(q.cols(), 41);
@@ -555,7 +640,13 @@ mod tests {
     fn append_columns_on_boundary_creates_new_partition_without_requantization() {
         let mut rng = rng();
         let v = Matrix::random_normal(4, 64, 0.0, 1.0, &mut rng);
-        let mut q = QuantizedTensor::quantize_rows(&v, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let mut q = QuantizedTensor::quantize_rows(
+            &v,
+            QuantBits::Int2,
+            32,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         let extra = Matrix::random_normal(4, 3, 0.0, 1.0, &mut rng);
         let stats = q.append_columns(&extra, RoundingMode::Nearest, &mut rng);
         assert_eq!(stats.requantized_elements, 0);
@@ -569,7 +660,13 @@ mod tests {
     fn append_full_partition_never_requantizes() {
         let mut rng = rng();
         let v = Matrix::random_normal(4, 64, 0.0, 1.0, &mut rng);
-        let mut q = QuantizedTensor::quantize_rows(&v, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let mut q = QuantizedTensor::quantize_rows(
+            &v,
+            QuantBits::Int2,
+            32,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         let block = Matrix::random_normal(4, 32, 0.0, 1.0, &mut rng);
         let stats = q.append_full_partition(&block, RoundingMode::Nearest, &mut rng);
         assert_eq!(stats.requantized_elements, 0);
@@ -581,7 +678,13 @@ mod tests {
     fn append_full_partition_requires_boundary() {
         let mut rng = rng();
         let v = Matrix::random_normal(2, 40, 0.0, 1.0, &mut rng);
-        let mut q = QuantizedTensor::quantize_rows(&v, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let mut q = QuantizedTensor::quantize_rows(
+            &v,
+            QuantBits::Int2,
+            32,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         let block = Matrix::zeros(2, 32);
         q.append_full_partition(&block, RoundingMode::Nearest, &mut rng);
     }
@@ -596,11 +699,21 @@ mod tests {
         let tail = Matrix::random_normal(4, 32, 0.0, 1.0, &mut rng_a);
         let full = head.hstack(&tail);
 
-        let mut incremental =
-            QuantizedTensor::quantize_rows(&head, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng_b);
+        let mut incremental = QuantizedTensor::quantize_rows(
+            &head,
+            QuantBits::Int2,
+            32,
+            RoundingMode::Nearest,
+            &mut rng_b,
+        );
         incremental.append_columns(&tail, RoundingMode::Nearest, &mut rng_b);
-        let direct =
-            QuantizedTensor::quantize_rows(&full, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng_b);
+        let direct = QuantizedTensor::quantize_rows(
+            &full,
+            QuantBits::Int2,
+            32,
+            RoundingMode::Nearest,
+            &mut rng_b,
+        );
         assert_eq!(incremental.codes(), direct.codes());
         assert_eq!(incremental.metas(), direct.metas());
         assert_eq!(incremental.sums(), direct.sums());
@@ -623,7 +736,13 @@ mod tests {
     fn storage_accounting() {
         let mut rng = rng();
         let m = Matrix::random_normal(16, 128, 0.0, 1.0, &mut rng);
-        let q = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 64, RoundingMode::Nearest, &mut rng);
+        let q = QuantizedTensor::quantize_rows(
+            &m,
+            QuantBits::Int2,
+            64,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         // 16 rows x 128 cols x 2 bits = 512 bytes of codes.
         assert_eq!(q.packed_code_bytes(), 512);
         // 16 rows x 2 partitions x 4 bytes of metadata.
@@ -642,7 +761,13 @@ mod tests {
     fn from_parts_round_trip() {
         let mut rng = rng();
         let m = Matrix::random_normal(4, 96, 0.0, 1.0, &mut rng);
-        let q = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let q = QuantizedTensor::quantize_rows(
+            &m,
+            QuantBits::Int2,
+            32,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         let rebuilt = QuantizedTensor::from_parts(
             q.rows(),
             q.cols(),
@@ -660,9 +785,13 @@ mod tests {
         let mut rng = rng();
         let m = Matrix::random_normal(6, 64, 0.0, 3.0, &mut rng);
         for bits in [QuantBits::Int2, QuantBits::Int4, QuantBits::Int8] {
-            let q = QuantizedTensor::quantize_rows(&m, bits, 32, RoundingMode::Stochastic, &mut rng);
+            let q =
+                QuantizedTensor::quantize_rows(&m, bits, 32, RoundingMode::Stochastic, &mut rng);
             let max = bits.max_code() as u8;
-            assert!(q.codes().iter().all(|&c| c <= max), "codes exceed {max} for {bits:?}");
+            assert!(
+                q.codes().iter().all(|&c| c <= max),
+                "codes exceed {max} for {bits:?}"
+            );
         }
     }
 }

@@ -182,8 +182,20 @@ mod tests {
         let m = PartitionMeta::from_range(0.0, 3.0, QuantBits::Int2);
         // Values outside the [min, max] range (possible after FP16 rounding of min/scale)
         // must clamp rather than wrap.
-        let lo = quantize_value(-10.0, &m, QuantBits::Int2, RoundingMode::Stochastic, &mut rng);
-        let hi = quantize_value(10.0, &m, QuantBits::Int2, RoundingMode::Stochastic, &mut rng);
+        let lo = quantize_value(
+            -10.0,
+            &m,
+            QuantBits::Int2,
+            RoundingMode::Stochastic,
+            &mut rng,
+        );
+        let hi = quantize_value(
+            10.0,
+            &m,
+            QuantBits::Int2,
+            RoundingMode::Stochastic,
+            &mut rng,
+        );
         assert_eq!(lo, 0);
         assert_eq!(hi, 3);
     }
@@ -196,7 +208,8 @@ mod tests {
         let n = 200_000;
         let mut sum = 0u64;
         for _ in 0..n {
-            sum += quantize_value(x, &m, QuantBits::Int2, RoundingMode::Stochastic, &mut rng) as u64;
+            sum +=
+                quantize_value(x, &m, QuantBits::Int2, RoundingMode::Stochastic, &mut rng) as u64;
         }
         let mean = sum as f64 / n as f64;
         assert!((mean - 1.3).abs() < 0.01, "stochastic mean {mean}");
@@ -217,7 +230,13 @@ mod tests {
         let vals: Vec<f32> = (0..256).map(|_| rng.range_f32(-4.0, 4.0)).collect();
         let meta = PartitionMeta::from_values(&vals, QuantBits::Int8);
         for &v in &vals {
-            let c = quantize_value(v, &meta, QuantBits::Int8, RoundingMode::Stochastic, &mut rng);
+            let c = quantize_value(
+                v,
+                &meta,
+                QuantBits::Int8,
+                RoundingMode::Stochastic,
+                &mut rng,
+            );
             let back = dequantize_value(c, &meta);
             // Stochastic rounding error is at most one full step.
             assert!(
@@ -246,7 +265,14 @@ mod tests {
         let vals: Vec<f32> = (0..32).map(|_| rng.range_f32(0.0, 1.0)).collect();
         let meta = PartitionMeta::from_values(&vals, QuantBits::Int8);
         let mut codes = vec![0u8; vals.len()];
-        quantize_slice(&vals, &meta, QuantBits::Int8, RoundingMode::Nearest, &mut rng, &mut codes);
+        quantize_slice(
+            &vals,
+            &meta,
+            QuantBits::Int8,
+            RoundingMode::Nearest,
+            &mut rng,
+            &mut codes,
+        );
         let mut back = vec![0.0f32; vals.len()];
         dequantize_slice(&codes, &meta, &mut back);
         for (v, b) in vals.iter().zip(&back) {

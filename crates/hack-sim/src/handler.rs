@@ -1,0 +1,13 @@
+//! The component-side interface of the engine.
+
+use crate::event::Event;
+
+/// A simulation component that consumes events addressed to it.
+///
+/// Components are registered with [`crate::Simulation::add_handler`] and receive
+/// every event whose `dst` is their id. They typically hold their own
+/// [`crate::SimulationContext`] to emit future events from within `on`.
+pub trait EventHandler {
+    /// Processes one delivered event.
+    fn on(&mut self, event: Event);
+}

@@ -1,0 +1,54 @@
+//! Structured event logging.
+//!
+//! When enabled (see [`crate::Simulation::set_log_enabled`]), the engine records
+//! one entry per emitted and per delivered event. The log is the ground truth for
+//! determinism checks: two runs with the same seed and the same component logic
+//! must produce identical logs.
+
+use crate::event::{ComponentId, EventId};
+
+/// Whether a record captures an emission or a delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// The event was scheduled.
+    Emitted,
+    /// The event was popped from the queue and handed to its destination.
+    Delivered,
+}
+
+/// One structured log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event id.
+    pub id: EventId,
+    /// Scheduled/delivery time.
+    pub time: f64,
+    /// Emitting component.
+    pub src: ComponentId,
+    /// Destination component.
+    pub dst: ComponentId,
+    /// `std::any::type_name` of the payload.
+    pub payload_type: &'static str,
+    /// Emission or delivery.
+    pub kind: RecordKind,
+}
+
+impl EventRecord {
+    /// Compact single-line rendering, e.g. for debugging failed runs.
+    pub fn render(&self) -> String {
+        let arrow = match self.kind {
+            RecordKind::Emitted => "~>",
+            RecordKind::Delivered => "->",
+        };
+        // Strip module paths from the payload type for readability.
+        let short = self
+            .payload_type
+            .rsplit("::")
+            .next()
+            .unwrap_or(self.payload_type);
+        format!(
+            "[{:>12.6}] #{} {} {} {} ({short})",
+            self.time, self.id, self.src, arrow, self.dst
+        )
+    }
+}

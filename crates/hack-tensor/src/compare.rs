@@ -35,7 +35,11 @@ pub fn mean_abs_error(a: &Matrix, b: &Matrix) -> f32 {
 ///
 /// Returns the absolute norm of `b` if `a` is (numerically) zero.
 pub fn relative_frobenius_error(a: &Matrix, b: &Matrix) -> f32 {
-    assert_eq!(a.shape(), b.shape(), "relative_frobenius_error shape mismatch");
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "relative_frobenius_error shape mismatch"
+    );
     let diff: f64 = a
         .as_slice()
         .iter()

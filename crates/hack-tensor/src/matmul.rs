@@ -67,6 +67,7 @@ pub fn matmul_transposed_b(a: &Matrix, b_t: &Matrix) -> Matrix {
     for i in 0..m {
         let a_row = a.row(i);
         let out_row = out.row_mut(i);
+        #[allow(clippy::needless_range_loop)]
         for j in 0..n {
             let b_row = b_t.row(j);
             let mut acc = 0.0f32;
@@ -82,7 +83,11 @@ pub fn matmul_transposed_b(a: &Matrix, b_t: &Matrix) -> Matrix {
 /// Cache-blocked FP32 GEMM. Identical results (up to FP associativity) to [`matmul`]
 /// but substantially faster for the reference-transformer shapes.
 pub fn matmul_blocked(a: &Matrix, b: &Matrix, block: usize) -> Matrix {
-    assert_eq!(a.cols(), b.rows(), "matmul_blocked inner dimension mismatch");
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_blocked inner dimension mismatch"
+    );
     assert!(block > 0, "block size must be positive");
     let (m, k) = a.shape();
     let n = b.cols();
@@ -96,6 +101,7 @@ pub fn matmul_blocked(a: &Matrix, b: &Matrix, block: usize) -> Matrix {
                 for i in ii..i_end {
                     let a_row = a.row(i);
                     let out_row = out.row_mut(i);
+                    #[allow(clippy::needless_range_loop)]
                     for z in kk..k_end {
                         let a_iz = a_row[z];
                         if a_iz == 0.0 {
@@ -166,8 +172,16 @@ pub fn gemm_u8_i32(a: &[u8], b: &[u8], m: usize, k: usize, n: usize) -> Vec<i32>
 /// The quantized K matrix is stored token-major, so the score computation `Q'·K'ᵀ` uses
 /// this layout directly.
 pub fn gemm_u8_i32_transposed_b(a: &[u8], b_t: &[u8], m: usize, k: usize, n: usize) -> Vec<i32> {
-    assert_eq!(a.len(), m * k, "gemm_u8_i32_transposed_b: A length mismatch");
-    assert_eq!(b_t.len(), n * k, "gemm_u8_i32_transposed_b: B length mismatch");
+    assert_eq!(
+        a.len(),
+        m * k,
+        "gemm_u8_i32_transposed_b: A length mismatch"
+    );
+    assert_eq!(
+        b_t.len(),
+        n * k,
+        "gemm_u8_i32_transposed_b: B length mismatch"
+    );
     let mut out = vec![0i32; m * n];
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];

@@ -73,7 +73,13 @@ impl Matrix {
     }
 
     /// Builds a matrix with i.i.d. normal entries (`mean`, `std_dev`).
-    pub fn random_normal(rows: usize, cols: usize, mean: f32, std_dev: f32, rng: &mut DetRng) -> Self {
+    pub fn random_normal(
+        rows: usize,
+        cols: usize,
+        mean: f32,
+        std_dev: f32,
+        rng: &mut DetRng,
+    ) -> Self {
         Self::from_fn(rows, cols, |_, _| rng.normal_f32(mean, std_dev))
     }
 
@@ -173,9 +179,21 @@ impl Matrix {
     }
 
     /// Returns a copy of the sub-matrix `[row_start..row_end) × [col_start..col_end)`.
-    pub fn block(&self, row_start: usize, row_end: usize, col_start: usize, col_end: usize) -> Matrix {
-        assert!(row_start <= row_end && row_end <= self.rows, "row range out of bounds");
-        assert!(col_start <= col_end && col_end <= self.cols, "col range out of bounds");
+    pub fn block(
+        &self,
+        row_start: usize,
+        row_end: usize,
+        col_start: usize,
+        col_end: usize,
+    ) -> Matrix {
+        assert!(
+            row_start <= row_end && row_end <= self.rows,
+            "row range out of bounds"
+        );
+        assert!(
+            col_start <= col_end && col_end <= self.cols,
+            "col range out of bounds"
+        );
         let mut out = Matrix::zeros(row_end - row_start, col_end - col_start);
         for (or, r) in (row_start..row_end).enumerate() {
             let src = &self.row(r)[col_start..col_end];
@@ -196,11 +214,17 @@ impl Matrix {
 
     /// Writes `block` into this matrix at offset `(row_off, col_off)`.
     pub fn set_block(&mut self, row_off: usize, col_off: usize, block: &Matrix) {
-        assert!(row_off + block.rows <= self.rows, "block rows overflow destination");
-        assert!(col_off + block.cols <= self.cols, "block cols overflow destination");
+        assert!(
+            row_off + block.rows <= self.rows,
+            "block rows overflow destination"
+        );
+        assert!(
+            col_off + block.cols <= self.cols,
+            "block cols overflow destination"
+        );
         for r in 0..block.rows {
-            let dst = &mut self.data
-                [(row_off + r) * self.cols + col_off..(row_off + r) * self.cols + col_off + block.cols];
+            let dst = &mut self.data[(row_off + r) * self.cols + col_off
+                ..(row_off + r) * self.cols + col_off + block.cols];
             dst.copy_from_slice(block.row(r));
         }
     }
@@ -284,7 +308,11 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|x| (*x as f64).powi(2))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Maximum absolute element.

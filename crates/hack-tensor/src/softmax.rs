@@ -95,7 +95,11 @@ impl OnlineSoftmax {
     /// (`block_len × d_v`) into the running state.
     pub fn update(&mut self, score_block: &Matrix, value_block: &Matrix) {
         assert_eq!(score_block.rows(), self.acc.rows(), "row mismatch");
-        assert_eq!(score_block.cols(), value_block.rows(), "score/value mismatch");
+        assert_eq!(
+            score_block.cols(),
+            value_block.rows(),
+            "score/value mismatch"
+        );
         assert_eq!(value_block.cols(), self.acc.cols(), "value width mismatch");
         let rows = score_block.rows();
         let d_v = self.acc.cols();
@@ -126,6 +130,7 @@ impl OnlineSoftmax {
                 }
                 self.l[r] += p;
                 let v_row = value_block.row(j);
+                #[allow(clippy::needless_range_loop)]
                 for c in 0..d_v {
                     let v = self.acc.get(r, c) + p * v_row[c];
                     self.acc.set(r, c, v);

@@ -54,7 +54,9 @@ pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
     if actual_crc != expected_crc {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("frame checksum mismatch: expected {expected_crc:#010x}, got {actual_crc:#010x}"),
+            format!(
+                "frame checksum mismatch: expected {expected_crc:#010x}, got {actual_crc:#010x}"
+            ),
         ));
     }
     Ok(payload)

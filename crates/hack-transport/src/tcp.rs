@@ -174,7 +174,9 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut client = PrefillClient::connect(addr).unwrap();
                     for i in 0..5u64 {
-                        client.send(&message(c * 100 + i, 64 + i as usize, c + i)).unwrap();
+                        client
+                            .send(&message(c * 100 + i, 64 + i as usize, c + i))
+                            .unwrap();
                     }
                 })
             })

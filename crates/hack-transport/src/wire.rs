@@ -80,7 +80,11 @@ fn get_tensor(buf: &mut &[u8]) -> QuantizedTensor {
         codes.extend(unpack_codes(packed, bits, cols));
         buf.advance(row_bytes);
     }
-    let n_parts = if cols == 0 { 0 } else { cols.div_ceil(partition) };
+    let n_parts = if cols == 0 {
+        0
+    } else {
+        cols.div_ceil(partition)
+    };
     let mut metas = Vec::with_capacity(rows * n_parts);
     for _ in 0..rows * n_parts {
         let min = f16_bits_to_f32(buf.get_u16_le());

@@ -51,7 +51,12 @@ pub enum Dataset {
 impl Dataset {
     /// All four datasets in the paper's order.
     pub fn all() -> [Dataset; 4] {
-        [Dataset::Imdb, Dataset::Arxiv, Dataset::Cocktail, Dataset::HumanEval]
+        [
+            Dataset::Imdb,
+            Dataset::Arxiv,
+            Dataset::Cocktail,
+            Dataset::HumanEval,
+        ]
     }
 
     /// Display name.
@@ -67,20 +72,52 @@ impl Dataset {
     /// Input-length statistics (Table 4).
     pub fn input_stats(&self) -> LengthStats {
         match self {
-            Dataset::Imdb => LengthStats { avg: 315, min: 106, max: 821 },
-            Dataset::Arxiv => LengthStats { avg: 6_300, min: 1_600, max: 14_100 },
-            Dataset::Cocktail => LengthStats { avg: 16_200, min: 9_400, max: 28_800 },
-            Dataset::HumanEval => LengthStats { avg: 204, min: 75, max: 697 },
+            Dataset::Imdb => LengthStats {
+                avg: 315,
+                min: 106,
+                max: 821,
+            },
+            Dataset::Arxiv => LengthStats {
+                avg: 6_300,
+                min: 1_600,
+                max: 14_100,
+            },
+            Dataset::Cocktail => LengthStats {
+                avg: 16_200,
+                min: 9_400,
+                max: 28_800,
+            },
+            Dataset::HumanEval => LengthStats {
+                avg: 204,
+                min: 75,
+                max: 697,
+            },
         }
     }
 
     /// Output-length statistics (Table 4).
     pub fn output_stats(&self) -> LengthStats {
         match self {
-            Dataset::Imdb => LengthStats { avg: 37, min: 16, max: 87 },
-            Dataset::Arxiv => LengthStats { avg: 243, min: 29, max: 464 },
-            Dataset::Cocktail => LengthStats { avg: 159, min: 44, max: 246 },
-            Dataset::HumanEval => LengthStats { avg: 139, min: 11, max: 552 },
+            Dataset::Imdb => LengthStats {
+                avg: 37,
+                min: 16,
+                max: 87,
+            },
+            Dataset::Arxiv => LengthStats {
+                avg: 243,
+                min: 29,
+                max: 464,
+            },
+            Dataset::Cocktail => LengthStats {
+                avg: 159,
+                min: 44,
+                max: 246,
+            },
+            Dataset::HumanEval => LengthStats {
+                avg: 139,
+                min: 11,
+                max: 552,
+            },
         }
     }
 
@@ -120,8 +157,16 @@ mod tests {
             let ostats = ds.output_stats();
             for _ in 0..2000 {
                 let (i, o) = ds.sample_lengths(usize::MAX, &mut rng);
-                assert!(i >= istats.min && i <= istats.max, "{}: input {i}", ds.name());
-                assert!(o >= ostats.min && o <= ostats.max, "{}: output {o}", ds.name());
+                assert!(
+                    i >= istats.min && i <= istats.max,
+                    "{}: input {i}",
+                    ds.name()
+                );
+                assert!(
+                    o >= ostats.min && o <= ostats.max,
+                    "{}: output {o}",
+                    ds.name()
+                );
             }
         }
     }
@@ -132,8 +177,7 @@ mod tests {
         for ds in Dataset::all() {
             let stats = ds.input_stats();
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| stats.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| stats.sample(&mut rng) as f64).sum::<f64>() / n as f64;
             let ratio = mean / stats.avg as f64;
             assert!(
                 (0.8..1.25).contains(&ratio),
@@ -165,7 +209,11 @@ mod tests {
 
     #[test]
     fn degenerate_stats_sample_constant() {
-        let s = LengthStats { avg: 5, min: 5, max: 5 };
+        let s = LengthStats {
+            avg: 5,
+            min: 5,
+            max: 5,
+        };
         let mut rng = DetRng::new(4);
         assert_eq!(s.sample(&mut rng), 5);
     }
@@ -174,8 +222,12 @@ mod tests {
     fn deterministic_given_seed() {
         let mut a = DetRng::new(7);
         let mut b = DetRng::new(7);
-        let sa: Vec<usize> = (0..100).map(|_| Dataset::Cocktail.input_stats().sample(&mut a)).collect();
-        let sb: Vec<usize> = (0..100).map(|_| Dataset::Cocktail.input_stats().sample(&mut b)).collect();
+        let sa: Vec<usize> = (0..100)
+            .map(|_| Dataset::Cocktail.input_stats().sample(&mut a))
+            .collect();
+        let sb: Vec<usize> = (0..100)
+            .map(|_| Dataset::Cocktail.input_stats().sample(&mut b))
+            .collect();
         assert_eq!(sa, sb);
     }
 }

@@ -63,7 +63,10 @@ pub struct TraceGenerator {
 impl TraceGenerator {
     /// Creates a generator for the given configuration.
     pub fn new(config: TraceConfig) -> Self {
-        assert!(config.num_requests > 0, "trace must contain at least one request");
+        assert!(
+            config.num_requests > 0,
+            "trace must contain at least one request"
+        );
         Self { config }
     }
 
@@ -79,8 +82,10 @@ impl TraceGenerator {
         (0..self.config.num_requests as u64)
             .map(|id| {
                 let arrival = arrivals.next_arrival(&mut rng);
-                let (input_len, output_len) =
-                    self.config.dataset.sample_lengths(self.config.max_context, &mut rng);
+                let (input_len, output_len) = self
+                    .config
+                    .dataset
+                    .sample_lengths(self.config.max_context, &mut rng);
                 Request {
                     id,
                     arrival,

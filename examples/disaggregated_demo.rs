@@ -20,7 +20,9 @@ fn synth_kv(tokens: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
     let mut rng = DetRng::new(seed);
     let gen = |rng: &mut DetRng| {
         Matrix::from_fn(tokens, HEAD_DIM, |t, c| {
-            ((c % 7) as f32 - 3.0) * 0.3 + 0.25 * rng.normal_f32(0.0, 1.0) + 0.05 * (t as f32 * 0.01).cos()
+            ((c % 7) as f32 - 3.0) * 0.3
+                + 0.25 * rng.normal_f32(0.0, 1.0)
+                + 0.05 * (t as f32 * 0.01).cos()
         })
     };
     (gen(&mut rng), gen(&mut rng), gen(&mut rng))
@@ -95,9 +97,15 @@ fn main() {
         let mut generated = vec![msg.first_token];
         for step in 0..DECODE_STEPS {
             let last = *generated.last().unwrap() as usize;
-            let q: Vec<f32> = (0..HEAD_DIM).map(|i| ((i + last + step) as f32 * 0.02).sin()).collect();
-            let k: Vec<f32> = (0..HEAD_DIM).map(|i| ((i * 3 + last) as f32 * 0.015).cos()).collect();
-            let v: Vec<f32> = (0..HEAD_DIM).map(|i| ((i + 2 * step) as f32 * 0.04).sin()).collect();
+            let q: Vec<f32> = (0..HEAD_DIM)
+                .map(|i| ((i + last + step) as f32 * 0.02).sin())
+                .collect();
+            let k: Vec<f32> = (0..HEAD_DIM)
+                .map(|i| ((i * 3 + last) as f32 * 0.015).cos())
+                .collect();
+            let v: Vec<f32> = (0..HEAD_DIM)
+                .map(|i| ((i + 2 * step) as f32 * 0.04).sin())
+                .collect();
             let (out, _) = state.decode_step(&q, &k, &v, &mut rng);
             // Toy "sampling": index of the strongest output channel.
             let next = out

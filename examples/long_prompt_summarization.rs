@@ -21,7 +21,10 @@ fn main() {
         Dataset::Arxiv.name(),
         experiment.effective_rps()
     );
-    println!("simulating {} requests per method...\n", experiment.num_requests);
+    println!(
+        "simulating {} requests per method...\n",
+        experiment.num_requests
+    );
 
     let outcomes = experiment.run_all(&Method::main_comparison());
 

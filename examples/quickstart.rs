@@ -61,9 +61,15 @@ fn main() {
     let mut state = state;
     println!("\n-- decode steps --");
     for step in 0..4 {
-        let new_q: Vec<f32> = (0..head_dim).map(|i| ((i + step) as f32 * 0.03).cos()).collect();
-        let new_k: Vec<f32> = (0..head_dim).map(|i| ((i * 2 + step) as f32 * 0.02).sin()).collect();
-        let new_v: Vec<f32> = (0..head_dim).map(|i| ((i + 3 * step) as f32 * 0.05).cos()).collect();
+        let new_q: Vec<f32> = (0..head_dim)
+            .map(|i| ((i + step) as f32 * 0.03).cos())
+            .collect();
+        let new_k: Vec<f32> = (0..head_dim)
+            .map(|i| ((i * 2 + step) as f32 * 0.02).sin())
+            .collect();
+        let new_v: Vec<f32> = (0..head_dim)
+            .map(|i| ((i + 3 * step) as f32 * 0.05).cos())
+            .collect();
         let (out, stats) = state.decode_step(&new_q, &new_k, &new_v, &mut rng);
         println!(
             "step {step}: seq_len={} int8 MACs={} approx ops={} tail FP ops={} |out|={:.3}",
@@ -75,5 +81,7 @@ fn main() {
         );
     }
 
-    println!("\nDone. See `examples/long_prompt_summarization.rs` for the end-to-end cluster view.");
+    println!(
+        "\nDone. See `examples/long_prompt_summarization.rs` for the end-to-end cluster view."
+    );
 }

@@ -90,7 +90,10 @@ fn fig13_ablations_cost_time() {
     let hack = e.run(Method::hack());
     let no_se = e.run(Method::HackNoSe);
     let no_rqe = e.run(Method::HackNoRqe);
-    assert!(no_se.average_jct > hack.average_jct, "SE removal must cost time");
+    assert!(
+        no_se.average_jct > hack.average_jct,
+        "SE removal must cost time"
+    );
     assert!(no_rqe.average_jct >= hack.average_jct);
 }
 

@@ -10,7 +10,9 @@ use hack_quant::params::RoundingMode;
 fn structured(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut rng = DetRng::new(seed);
     Matrix::from_fn(rows, cols, |t, c| {
-        ((c % 8) as f32 - 3.5) * 0.3 + 0.25 * rng.normal_f32(0.0, 1.0) + 0.05 * (t as f32 * 0.02).sin()
+        ((c % 8) as f32 - 3.5) * 0.3
+            + 0.25 * rng.normal_f32(0.0, 1.0)
+            + 0.05 * (t as f32 * 0.02).sin()
     })
 }
 
@@ -42,7 +44,10 @@ fn prefill_plus_decode_tracks_exact_attention_over_many_steps() {
         let t = prompt + step;
         let (out, stats) = state.decode_step(q_full.row(t), k_full.row(t), v_full.row(t), &mut rng);
         assert_eq!(state.seq_len(), t + 1);
-        assert_eq!(stats.requantized_elements, 0, "RQE must prevent requantization");
+        assert_eq!(
+            stats.requantized_elements, 0,
+            "RQE must prevent requantization"
+        );
 
         let exact = baseline_attention(
             &q_full.row_block(t, t + 1),
@@ -54,7 +59,10 @@ fn prefill_plus_decode_tracks_exact_attention_over_many_steps() {
         cos_sum += hack_tensor::cosine_similarity(&exact, &out_m) as f64;
     }
     let avg_cos = cos_sum / steps as f64;
-    assert!(avg_cos > 0.93, "average decode cosine over {steps} steps: {avg_cos}");
+    assert!(
+        avg_cos > 0.93,
+        "average decode cosine over {steps} steps: {avg_cos}"
+    );
 
     // The quantized state must keep its invariants after all those appends.
     assert!(state.k_quant().sums_consistent());

@@ -8,7 +8,9 @@ fn build_state(tokens: usize, head_dim: usize, seed: u64) -> HackKvState {
     let mut rng = DetRng::new(seed);
     let gen = |rng: &mut DetRng| {
         Matrix::from_fn(tokens, head_dim, |t, c| {
-            ((c % 5) as f32 - 2.0) * 0.4 + 0.2 * rng.normal_f32(0.0, 1.0) + 0.03 * (t as f32 * 0.05).cos()
+            ((c % 5) as f32 - 2.0) * 0.4
+                + 0.2 * rng.normal_f32(0.0, 1.0)
+                + 0.03 * (t as f32 * 0.05).cos()
         })
     };
     let k = gen(&mut rng);
@@ -22,7 +24,9 @@ fn prefill_to_decode_over_tcp_preserves_the_state_bit_for_bit() {
     let server = DecodeServer::start().expect("bind server");
     let addr = server.addr();
 
-    let states: Vec<HackKvState> = (0..3).map(|i| build_state(100 + 30 * i, head_dim, i as u64)).collect();
+    let states: Vec<HackKvState> = (0..3)
+        .map(|i| build_state(100 + 30 * i, head_dim, i as u64))
+        .collect();
     let expected: Vec<_> = states
         .iter()
         .map(|s| (s.k_quant().clone(), s.v_quant().clone(), s.v_tail().clone()))
@@ -54,7 +58,10 @@ fn prefill_to_decode_over_tcp_preserves_the_state_bit_for_bit() {
         let (k, v, tail) = &expected[i];
         assert_eq!(&msg.k, k, "request {i}: K codes must be identical");
         assert_eq!(&msg.v, v, "request {i}: V codes must be identical");
-        assert_eq!(&msg.v_tail, tail, "request {i}: FP16 tail must be identical");
+        assert_eq!(
+            &msg.v_tail, tail,
+            "request {i}: FP16 tail must be identical"
+        );
     }
     server.shutdown();
 }
@@ -93,8 +100,12 @@ fn transferred_state_continues_decoding_identically() {
     let mut rng_local = DetRng::new(555);
     let mut rng_remote = DetRng::new(555);
     for step in 0..10 {
-        let q: Vec<f32> = (0..head_dim).map(|i| ((i + step) as f32 * 0.04).sin()).collect();
-        let kv: Vec<f32> = (0..head_dim).map(|i| ((i * 2 + step) as f32 * 0.03).cos()).collect();
+        let q: Vec<f32> = (0..head_dim)
+            .map(|i| ((i + step) as f32 * 0.04).sin())
+            .collect();
+        let kv: Vec<f32> = (0..head_dim)
+            .map(|i| ((i * 2 + step) as f32 * 0.03).cos())
+            .collect();
         let (out_local, _) = local.decode_step(&q, &kv, &kv, &mut rng_local);
         let (out_remote, _) = remote.decode_step(&q, &kv, &kv, &mut rng_remote);
         assert_eq!(out_local, out_remote, "step {step} diverged");
@@ -123,6 +134,9 @@ fn wire_size_matches_cache_accounting_scale() {
     assert!(wire < 0.3 * fp16, "wire {wire} vs fp16 {fp16}");
     // The wire format ships sums as i32 (vs 1-2 bytes in the cache), so it is a bit
     // larger than the cache accounting but within 2x.
-    assert!(wire < 2.0 * accounted, "wire {wire} vs accounted {accounted}");
+    assert!(
+        wire < 2.0 * accounted,
+        "wire {wire} vs accounted {accounted}"
+    );
     assert!(wire > 0.5 * accounted);
 }

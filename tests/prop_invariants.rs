@@ -1,34 +1,51 @@
-//! Property-based tests (proptest) on the core data structures and invariants:
-//! quantization round trips, homomorphic-product equivalence, packing, entropy coding,
-//! softmax, FP16 conversion and the metrics.
+//! Property-based tests on the core data structures and invariants:
+//! quantization round trips, homomorphic-product equivalence, packing, entropy
+//! coding, softmax, FP16 conversion, the metrics — and determinism of the
+//! `hack-sim` discrete-event engine and the cluster simulator built on it.
+//!
+//! The external `proptest` crate is unavailable in this offline environment, so
+//! inputs are generated with the workspace's own [`DetRng`]: every property runs
+//! over `CASES` independently seeded random instances, which keeps the tests
+//! exhaustive in spirit while staying fully deterministic and dependency-free.
 
 use hack_baselines::entropy;
+use hack_cluster::FailureSpec;
 use hack_core::prelude::*;
 use hack_metrics::edit::edit_similarity;
 use hack_metrics::rouge::rouge1_f1;
 use hack_quant::homomorphic::{dequant_matmul, homomorphic_matmul, homomorphic_matmul_no_se};
 use hack_quant::packing::{pack_codes, unpack_codes};
 use hack_quant::params::{QuantBits, RoundingMode};
+use hack_sim::{Event, EventHandler, EventRecord, Simulation, SimulationContext};
 use hack_tensor::half::round_to_f16;
 use hack_tensor::softmax::softmax_rows;
-use proptest::prelude::*;
+use hack_workload::trace::TraceConfig;
+use std::cell::RefCell;
+use std::rc::Rc;
 
-fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-10.0f32..10.0, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+/// Number of random instances per property (mirrors the old proptest config).
+const CASES: u64 = 48;
+
+fn uniform_matrix(rows: usize, cols: usize, rng: &mut DetRng) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| rng.range_f32(-10.0, 10.0))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_bytes(max_len: usize, max_value: u8, rng: &mut DetRng) -> Vec<u8> {
+    let len = rng.range_usize(0, max_len + 1);
+    (0..len)
+        .map(|_| rng.range_usize(0, max_value as usize) as u8)
+        .collect()
+}
 
-    #[test]
-    fn quantize_dequantize_error_is_bounded_by_one_step(
-        m in small_matrix(4, 64),
-        seed in 0u64..1000,
-        bits_choice in 0usize..3,
-    ) {
-        let bits = [QuantBits::Int2, QuantBits::Int4, QuantBits::Int8][bits_choice];
-        let mut rng = DetRng::new(seed);
+#[test]
+fn quantize_dequantize_error_is_bounded_by_one_step() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(1000 + case);
+        let m = uniform_matrix(4, 64, &mut rng);
+        let bits = [QuantBits::Int2, QuantBits::Int4, QuantBits::Int8][case as usize % 3];
         let q = QuantizedTensor::quantize_rows(&m, bits, 32, RoundingMode::Stochastic, &mut rng);
         let back = q.dequantize();
         for r in 0..m.rows() {
@@ -38,147 +55,357 @@ proptest! {
                 for c in start..end {
                     let err = (m.get(r, c) - back.get(r, c)).abs();
                     // One quantization step plus FP16 metadata rounding slack.
-                    prop_assert!(err <= meta.scale * 1.01 + 0.05,
-                        "err {err} exceeds step {} at ({r},{c})", meta.scale);
+                    assert!(
+                        err <= meta.scale * 1.01 + 0.05,
+                        "case {case}: err {err} exceeds step {} at ({r},{c})",
+                        meta.scale
+                    );
                 }
             }
         }
-        prop_assert!(q.sums_consistent());
+        assert!(q.sums_consistent(), "case {case}");
     }
+}
 
-    #[test]
-    fn codes_never_exceed_bit_range(
-        m in small_matrix(3, 48),
-        seed in 0u64..1000,
-    ) {
-        let mut rng = DetRng::new(seed);
-        let q = QuantizedTensor::quantize_rows(&m, QuantBits::Int2, 16, RoundingMode::Stochastic, &mut rng);
-        prop_assert!(q.codes().iter().all(|&c| c <= 3));
+#[test]
+fn codes_never_exceed_bit_range() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(2000 + case);
+        let m = uniform_matrix(3, 48, &mut rng);
+        let q = QuantizedTensor::quantize_rows(
+            &m,
+            QuantBits::Int2,
+            16,
+            RoundingMode::Stochastic,
+            &mut rng,
+        );
+        assert!(q.codes().iter().all(|&c| c <= 3), "case {case}");
     }
+}
 
-    #[test]
-    fn homomorphic_equals_dequantized_product(
-        a in small_matrix(3, 64),
-        b in small_matrix(5, 64),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn homomorphic_equals_dequantized_product() {
+    for case in 0..CASES {
         // Eq. 4 is an exact algebraic identity: computing on codes then correcting must
         // equal dequantizing then multiplying, up to float rounding.
-        let mut rng = DetRng::new(seed);
-        let qa = QuantizedTensor::quantize_rows(&a, QuantBits::Int8, 32, RoundingMode::Nearest, &mut rng);
-        let qb = QuantizedTensor::quantize_rows(&b, QuantBits::Int2, 32, RoundingMode::Nearest, &mut rng);
+        let mut rng = DetRng::new(3000 + case);
+        let a = uniform_matrix(3, 64, &mut rng);
+        let b = uniform_matrix(5, 64, &mut rng);
+        let qa = QuantizedTensor::quantize_rows(
+            &a,
+            QuantBits::Int8,
+            32,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
+        let qb = QuantizedTensor::quantize_rows(
+            &b,
+            QuantBits::Int2,
+            32,
+            RoundingMode::Nearest,
+            &mut rng,
+        );
         let hom = homomorphic_matmul(&qa, &qb);
         let deq = dequant_matmul(&qa, &qb);
         let err = hack_tensor::relative_frobenius_error(&deq, &hom);
-        prop_assert!(err < 5e-3, "relative error {err}");
+        assert!(err < 5e-3, "case {case}: relative error {err}");
     }
+}
 
-    #[test]
-    fn summation_elimination_never_changes_the_result(
-        a in small_matrix(2, 32),
-        b in small_matrix(4, 32),
-        seed in 0u64..1000,
-    ) {
-        let mut rng = DetRng::new(seed);
-        let qa = QuantizedTensor::quantize_rows(&a, QuantBits::Int8, 16, RoundingMode::Stochastic, &mut rng);
-        let qb = QuantizedTensor::quantize_rows(&b, QuantBits::Int2, 16, RoundingMode::Stochastic, &mut rng);
+#[test]
+fn summation_elimination_never_changes_the_result() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(4000 + case);
+        let a = uniform_matrix(2, 32, &mut rng);
+        let b = uniform_matrix(4, 32, &mut rng);
+        let qa = QuantizedTensor::quantize_rows(
+            &a,
+            QuantBits::Int8,
+            16,
+            RoundingMode::Stochastic,
+            &mut rng,
+        );
+        let qb = QuantizedTensor::quantize_rows(
+            &b,
+            QuantBits::Int2,
+            16,
+            RoundingMode::Stochastic,
+            &mut rng,
+        );
         let with_se = homomorphic_matmul(&qa, &qb);
         let without_se = homomorphic_matmul_no_se(&qa, &qb);
-        prop_assert_eq!(with_se.as_slice(), without_se.as_slice());
+        assert_eq!(with_se.as_slice(), without_se.as_slice(), "case {case}");
     }
+}
 
-    #[test]
-    fn packing_round_trips(
-        codes in proptest::collection::vec(0u8..4, 0..200),
-    ) {
+#[test]
+fn packing_round_trips() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(5000 + case);
+        let codes = random_bytes(200, 4, &mut rng);
         let packed = pack_codes(&codes, QuantBits::Int2);
-        prop_assert_eq!(unpack_codes(&packed, QuantBits::Int2, codes.len()), codes);
+        assert_eq!(
+            unpack_codes(&packed, QuantBits::Int2, codes.len()),
+            codes,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn entropy_coder_round_trips(
-        data in proptest::collection::vec(0u8..16, 0..600),
-    ) {
-        prop_assert_eq!(entropy::decode(&entropy::encode(&data)), data);
+#[test]
+fn entropy_coder_round_trips() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(6000 + case);
+        let data = random_bytes(600, 16, &mut rng);
+        assert_eq!(
+            entropy::decode(&entropy::encode(&data)),
+            data,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(m in small_matrix(4, 16)) {
+#[test]
+fn softmax_rows_are_distributions() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(7000 + case);
+        let m = uniform_matrix(4, 16, &mut rng);
         let p = softmax_rows(&m);
         for r in 0..p.rows() {
             let sum: f32 = p.row(r).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-            prop_assert!(p.row(r).iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+            assert!(
+                (sum - 1.0).abs() < 1e-4,
+                "case {case}: row {r} sums to {sum}"
+            );
+            assert!(
+                p.row(r).iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)),
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn f16_round_trip_is_idempotent(x in -65000.0f32..65000.0) {
+#[test]
+fn f16_round_trip_is_idempotent() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(8000 + case);
+        let x = rng.range_f32(-65000.0, 65000.0);
         let once = round_to_f16(x);
         let twice = round_to_f16(once);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "case {case}");
         if x.abs() > 1e-3 {
-            prop_assert!(((once - x) / x).abs() <= 2.0f32.powi(-10));
+            assert!(
+                ((once - x) / x).abs() <= 2.0f32.powi(-10),
+                "case {case}: x {x}"
+            );
         }
     }
+}
 
-    #[test]
-    fn append_token_preserves_kv_state_invariants(
-        prompt_tokens in 1usize..90,
-        extra in 1usize..40,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn append_token_preserves_kv_state_invariants() {
+    // Fewer cases: this property builds a full KV state per case.
+    for case in 0..12 {
+        let mut rng = DetRng::new(9000 + case);
+        let prompt_tokens = rng.range_usize(1, 90);
+        let extra = rng.range_usize(1, 40);
         let d_h = 32;
-        let mut rng = DetRng::new(seed);
         let k = Matrix::random_normal(prompt_tokens, d_h, 0.0, 1.0, &mut rng);
         let v = Matrix::random_normal(prompt_tokens, d_h, 0.0, 1.0, &mut rng);
         let mut state = HackKvState::from_prefill(&k, &v, HackConfig::paper_default(), &mut rng);
         for i in 0..extra {
             let row: Vec<f32> = (0..d_h).map(|j| ((i + j) as f32 * 0.01).sin()).collect();
             let stats = state.append_token(&row, &row, &mut rng);
-            prop_assert_eq!(stats.requantized_elements, 0);
+            assert_eq!(stats.requantized_elements, 0, "case {case}");
         }
-        prop_assert_eq!(state.seq_len(), prompt_tokens + extra);
-        prop_assert_eq!(
+        assert_eq!(state.seq_len(), prompt_tokens + extra, "case {case}");
+        assert_eq!(
             state.quantized_tokens() + state.tail_tokens(),
-            prompt_tokens + extra
+            prompt_tokens + extra,
+            "case {case}"
         );
-        prop_assert!(state.tail_tokens() < 64);
-        prop_assert!(state.k_quant().sums_consistent());
-        prop_assert!(state.v_quant().sums_consistent());
+        assert!(state.tail_tokens() < 64, "case {case}");
+        assert!(state.k_quant().sums_consistent(), "case {case}");
+        assert!(state.v_quant().sums_consistent(), "case {case}");
     }
+}
 
-    #[test]
-    fn edit_similarity_properties(
-        a in proptest::collection::vec(0u32..50, 0..30),
-        b in proptest::collection::vec(0u32..50, 0..30),
-    ) {
+#[test]
+fn edit_similarity_properties() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(10_000 + case);
+        let len_a = rng.range_usize(0, 30);
+        let len_b = rng.range_usize(0, 30);
+        let a: Vec<u32> = (0..len_a).map(|_| rng.range_usize(0, 50) as u32).collect();
+        let b: Vec<u32> = (0..len_b).map(|_| rng.range_usize(0, 50) as u32).collect();
         let s = edit_similarity(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&s));
-        prop_assert!((edit_similarity(&a, &a) - 1.0).abs() < 1e-12);
-        prop_assert!((edit_similarity(&b, &a) - s).abs() < 1e-12, "symmetry");
+        assert!((0.0..=1.0).contains(&s), "case {case}");
+        assert!((edit_similarity(&a, &a) - 1.0).abs() < 1e-12, "case {case}");
+        assert!(
+            (edit_similarity(&b, &a) - s).abs() < 1e-12,
+            "case {case}: symmetry"
+        );
     }
+}
 
-    #[test]
-    fn rouge_is_bounded_and_symmetric_in_f1(
-        a in "[a-d ]{0,40}",
-        b in "[a-d ]{0,40}",
-    ) {
+#[test]
+fn rouge_is_bounded_and_symmetric_in_f1() {
+    let random_text = |rng: &mut DetRng| -> String {
+        let len = rng.range_usize(0, 40);
+        (0..len)
+            .map(|_| ['a', 'b', 'c', 'd', ' '][rng.range_usize(0, 5)])
+            .collect()
+    };
+    for case in 0..CASES {
+        let mut rng = DetRng::new(11_000 + case);
+        let a = random_text(&mut rng);
+        let b = random_text(&mut rng);
         let f = rouge1_f1(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&f));
-        prop_assert!((rouge1_f1(&b, &a) - f).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&f), "case {case}");
+        assert!((rouge1_f1(&b, &a) - f).abs() < 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn cache_layout_bytes_are_monotone_in_tokens(
-        tokens_a in 1usize..4000,
-        tokens_b in 1usize..4000,
-    ) {
-        use hack_kvcache::{CacheLayout, KvShape};
-        let shape = KvShape { layers: 4, kv_heads: 4, head_dim: 128 };
+#[test]
+fn cache_layout_bytes_are_monotone_in_tokens() {
+    use hack_kvcache::{CacheLayout, KvShape};
+    for case in 0..CASES {
+        let mut rng = DetRng::new(12_000 + case);
+        let tokens_a = rng.range_usize(1, 4000);
+        let tokens_b = rng.range_usize(1, 4000);
+        let shape = KvShape {
+            layers: 4,
+            kv_heads: 4,
+            head_dim: 128,
+        };
         let layout = Method::hack().cache_layout();
-        let (lo, hi) = if tokens_a <= tokens_b { (tokens_a, tokens_b) } else { (tokens_b, tokens_a) };
-        prop_assert!(layout.kv_bytes(&shape, lo) <= layout.kv_bytes(&shape, hi));
-        prop_assert!(layout.kv_bytes(&shape, hi) < CacheLayout::Fp16.kv_bytes(&shape, hi));
+        let (lo, hi) = if tokens_a <= tokens_b {
+            (tokens_a, tokens_b)
+        } else {
+            (tokens_b, tokens_a)
+        };
+        assert!(
+            layout.kv_bytes(&shape, lo) <= layout.kv_bytes(&shape, hi),
+            "case {case}"
+        );
+        assert!(
+            layout.kv_bytes(&shape, hi) < CacheLayout::Fp16.kv_bytes(&shape, hi),
+            "case {case}"
+        );
     }
+}
+
+// --- Engine determinism: same seed + same component logic ⇒ bit-identical
+// --- event order; same config ⇒ bit-identical SimulationResult.
+
+/// A component that reacts to every event with a random number of random-delay
+/// echoes: any nondeterminism in queue ordering or RNG state shows up in its
+/// event trace immediately.
+struct Echo {
+    ctx: SimulationContext,
+    budget: u32,
+}
+
+struct Burst;
+
+impl EventHandler for Echo {
+    fn on(&mut self, event: Event) {
+        if event.is::<Burst>() && self.budget > 0 {
+            self.budget -= 1;
+            let fan_out = 1 + (self.ctx.rand() * 3.0) as usize;
+            for _ in 0..fan_out {
+                let delay = self.ctx.gen_range(0.0, 2.0);
+                self.ctx.emit_self(Burst, delay);
+            }
+        }
+    }
+}
+
+fn echo_trace(seed: u64) -> (Vec<EventRecord>, f64, u64) {
+    let mut sim = Simulation::new(seed);
+    sim.set_log_enabled(true);
+    let ctx = sim.create_context("echo");
+    let echo = Rc::new(RefCell::new(Echo { ctx, budget: 200 }));
+    echo.borrow().ctx.emit_self(Burst, 0.0);
+    sim.add_handler("echo", echo);
+    sim.run();
+    (sim.take_log(), sim.time(), sim.processed_count())
+}
+
+#[test]
+fn engine_event_order_is_bit_identical_across_runs() {
+    for seed in 0..8 {
+        let (log_a, time_a, count_a) = echo_trace(seed);
+        let (log_b, time_b, count_b) = echo_trace(seed);
+        assert!(!log_a.is_empty());
+        assert_eq!(log_a, log_b, "seed {seed}: event traces must be identical");
+        assert_eq!(
+            time_a.to_bits(),
+            time_b.to_bits(),
+            "seed {seed}: final clock"
+        );
+        assert_eq!(count_a, count_b, "seed {seed}");
+    }
+    // Different seeds must actually diverge (the RNG is in the loop).
+    assert_ne!(echo_trace(1).0, echo_trace(2).0);
+}
+
+fn random_sim_config(rng: &mut DetRng) -> SimulationConfig {
+    let datasets = [
+        Dataset::Imdb,
+        Dataset::Cocktail,
+        Dataset::Arxiv,
+        Dataset::HumanEval,
+    ];
+    let dataset = datasets[rng.range_usize(0, datasets.len())];
+    let mut cluster = ClusterConfig::paper_default(ModelKind::Llama31_70B, GpuKind::A10G);
+    cluster.pipelining = rng.chance(0.5);
+    SimulationConfig {
+        cluster,
+        trace: TraceConfig {
+            dataset,
+            rps: rng.range_f64(0.02, 0.5),
+            num_requests: rng.range_usize(5, 25),
+            max_context: ModelKind::Llama31_70B.spec().max_context,
+            seed: rng.next_u64(),
+        },
+        profile: if rng.chance(0.5) {
+            Method::hack().profile()
+        } else {
+            Method::Baseline.profile()
+        },
+        failure: if rng.chance(0.3) {
+            Some(FailureSpec::transient(
+                rng.range_usize(0, cluster.decode_replicas),
+                rng.range_f64(1.0, 300.0),
+                1e6,
+            ))
+        } else {
+            None
+        },
+    }
+}
+
+#[test]
+fn cluster_simulation_results_are_bit_identical_for_same_config() {
+    for case in 0..10 {
+        let mut rng = DetRng::new(13_000 + case);
+        let config = random_sim_config(&mut rng);
+        let a = Simulator::new(config).run();
+        let b = Simulator::new(config).run();
+        // PartialEq on SimulationResult compares every f64 exactly: same seed +
+        // same config must give bit-identical results, not merely close ones.
+        assert_eq!(a, b, "case {case}: {config:?}");
+    }
+}
+
+#[test]
+fn cluster_simulation_diverges_across_trace_seeds() {
+    let mut rng = DetRng::new(99);
+    let config = random_sim_config(&mut rng);
+    let mut other = config;
+    other.trace.seed = config.trace.seed.wrapping_add(1);
+    let a = Simulator::new(config).run();
+    let b = Simulator::new(other).run();
+    assert_ne!(a, b, "different trace seeds must change the outcome");
 }

@@ -1,0 +1,33 @@
+//! Offline stub of `rand`: only the [`RngCore`] trait (implemented by
+//! `hack_tensor::DetRng`) and the [`Error`] type its fallible method mentions.
+
+/// Error type for fallible RNG operations. The in-tree generators never fail, so
+/// this is effectively uninhabited in practice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RNG failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core uniform random number generation interface.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

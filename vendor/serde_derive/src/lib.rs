@@ -1,0 +1,292 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` without `syn` or
+//! `quote`, by walking the raw [`proc_macro::TokenStream`]. Supports what this
+//! workspace actually derives on: non-generic structs with named fields and
+//! non-generic enums (unit, tuple and struct variants). `#[serde(...)]` attributes
+//! are not supported and will cause a compile error through the real attribute
+//! check below.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    /// Struct variant with these named fields.
+    Struct(Vec<String>),
+}
+
+/// Skips attributes (`#[...]`) at the current position.
+fn skip_attributes(tokens: &[TokenTree], mut pos: usize) -> usize {
+    while pos + 1 < tokens.len() {
+        match (&tokens[pos], &tokens[pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                pos += 2;
+            }
+            _ => break,
+        }
+    }
+    pos
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at the current position.
+fn skip_visibility(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(pos) {
+        if id.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    pos
+}
+
+/// Parses the named fields of a brace-delimited body: `field: Type, ...`.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < body.len() {
+        pos = skip_attributes(body, pos);
+        pos = skip_visibility(body, pos);
+        let Some(TokenTree::Ident(name)) = body.get(pos) else {
+            break;
+        };
+        fields.push(name.to_string());
+        pos += 1;
+        // Expect `:` then the type; skip type tokens up to a top-level comma
+        // (tracking `<`/`>` depth so `Foo<A, B>` does not split).
+        match body.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive stub: expected ':' after field name, got {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        while pos < body.len() {
+            match &body[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a paren-delimited tuple body: `Type, Type, ...`.
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for token in body {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < body.len() {
+        pos = skip_attributes(body, pos);
+        let Some(TokenTree::Ident(name)) = body.get(pos) else {
+            break;
+        };
+        let name = name.to_string();
+        pos += 1;
+        let kind = match body.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(&inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional explicit discriminant and the trailing comma.
+        while pos < body.len() {
+            if let TokenTree::Punct(p) = &body[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = skip_attributes(&tokens, 0);
+    pos = skip_visibility(&tokens, pos);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported (derive on `{name}`)");
+        }
+    }
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        other => panic!(
+            "serde_derive stub: only brace-bodied items are supported \
+             (derive on `{name}`, got {other:?})"
+        ),
+    };
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("serde_derive stub: cannot derive on `{other}`"),
+    }
+}
+
+fn serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vname}\")),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pattern = binders.join(", ");
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        let items = items.join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vname}({pattern}) => ::serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Array(vec![{items}]))]),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pattern = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::serialize_value({f}))"
+                                )
+                            })
+                            .collect();
+                        let items = items.join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {pattern} }} => ::serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(vec![{items}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (stub: conversion into the `serde::Value` model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    serialize_impl(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (stub: marker impl only).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_item(input) {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub generated invalid Rust")
+}
