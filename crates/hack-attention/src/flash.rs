@@ -50,11 +50,13 @@ pub fn flash_attention(
         let mut scores = matmul_transposed_b(q, &k_tile).scale(scale);
         if mask == AttentionMask::Causal {
             for r in 0..l_q {
-                let limit = r + offset; // last visible absolute KV index for query r
-                for (local, absolute) in (start..end).enumerate() {
-                    if absolute > limit {
-                        scores.set(r, local, f32::NEG_INFINITY);
-                    }
+                // `limit` is the last visible absolute KV index for query r;
+                // everything after it in this tile is masked — fill the row's
+                // suffix in one slice write instead of branching per element.
+                let limit = r + offset;
+                let masked_from = (limit + 1).clamp(start, end) - start;
+                for s in &mut scores.row_mut(r)[masked_from..] {
+                    *s = f32::NEG_INFINITY;
                 }
             }
         }

@@ -1,0 +1,574 @@
+//! `bench` — the in-tree micro-benchmark harness (criterion is unavailable
+//! offline, so timing is done with `std::time::Instant` directly).
+//!
+//! Times the three hot paths this repo optimizes and writes machine-readable
+//! results next to the workspace root:
+//!
+//! * **Kernels** (`BENCH_kernels.json`): quantization, the blocked homomorphic
+//!   GEMM vs the retained scalar reference (the headline speedup number) and vs
+//!   dequantize-then-matmul, the SE ablation, partition sweep, code packing,
+//!   attention prefill/decode/append, and the baseline codecs.
+//! * **Simulator** (`BENCH_sim.json`): a 1M+-event cluster run on the slab
+//!   engine vs the pre-change boxed engine (the headline wall-clock reduction),
+//!   plus per-method end-to-end cluster runs.
+//!
+//! `BENCH_SCALE=smoke` (or `--smoke`) shrinks every workload for CI; the JSON
+//! schema is identical. See PERF.md for the schema and how to compare runs.
+
+use hack_attention::baseline::AttentionMask;
+use hack_attention::flash::flash_attention;
+use hack_baselines::{CacheGenLike, Fp8Format, KvCompressor, KvQuantLike, MinifloatCast};
+use hack_core::prelude::*;
+use hack_quant::homomorphic::{
+    dequant_matmul, homomorphic_matmul, homomorphic_matmul_no_se, reference,
+};
+use hack_quant::packing::{pack_codes, unpack_codes};
+use hack_quant::params::{QuantBits, RoundingMode};
+use hack_sim::EngineMode;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One timed workload.
+#[derive(Debug, Serialize)]
+struct Bench {
+    /// Workload group (e.g. `quantize_2bit`).
+    name: String,
+    /// Parameterisation within the group (e.g. `tokens=1024`).
+    config: String,
+    /// Timed iterations (after one warmup iteration).
+    iters: u64,
+    /// Best (minimum) wall-clock seconds per iteration — the standard robust
+    /// estimator under scheduler noise.
+    seconds_per_iter: f64,
+}
+
+/// The headline kernel comparison: blocked vs scalar-reference homomorphic GEMM.
+#[derive(Debug, Serialize)]
+struct MatmulSpeedup {
+    l_kv: usize,
+    optimized_secs: f64,
+    scalar_reference_secs: f64,
+    /// `scalar_reference_secs / optimized_secs`.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct KernelsReport {
+    schema: &'static str,
+    scale: &'static str,
+    /// Blocked vs scalar homomorphic GEMM (the paper's quantized score matmul).
+    quantized_matmul_speedup: Vec<MatmulSpeedup>,
+    benches: Vec<Bench>,
+}
+
+/// The headline engine comparison: one seeded workload, both engine modes.
+#[derive(Debug, Serialize)]
+struct EngineComparison {
+    /// Events processed by the engine during the run (identical across modes).
+    events_processed: u64,
+    /// Best-of-two wall-clock per mode (runs alternate modes to cancel drift).
+    slab_secs: f64,
+    boxed_secs: f64,
+    /// `100 * (1 - slab_secs / boxed_secs)`.
+    reduction_percent: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct SimReport {
+    schema: &'static str,
+    scale: &'static str,
+    /// Slab vs pre-change boxed engine on a 1M+-event seeded cluster run
+    /// (short-output IMDb workload: the engine, not the cost model, dominates).
+    cluster_run_requests: usize,
+    engine_cluster_run: EngineComparison,
+    /// Slab vs boxed on a pure engine event storm (no cluster cost model at
+    /// all): isolates queue + payload-allocation overhead.
+    engine_event_storm: EngineComparison,
+    benches: Vec<Bench>,
+}
+
+/// Times `f`: one warmup call, then `iters` timed calls; returns the minimum
+/// per-call wall-clock (robust against scheduler interference).
+fn time_iters<R>(iters: u64, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn push(benches: &mut Vec<Bench>, name: &str, config: String, iters: u64, secs: f64) {
+    println!("  {name:<38} {config:<24} {:>12.3} us/iter", secs * 1e6);
+    benches.push(Bench {
+        name: name.to_string(),
+        config,
+        iters,
+        seconds_per_iter: secs,
+    });
+}
+
+fn decode_shape_tensors(l_kv: usize, partition: usize) -> (QuantizedTensor, QuantizedTensor) {
+    let d_h = 128;
+    let mut rng = DetRng::new(1);
+    let q = Matrix::random_normal(1, d_h, 0.0, 1.0, &mut rng);
+    let k = Matrix::random_normal(l_kv, d_h, 0.0, 1.0, &mut rng);
+    let qq = QuantizedTensor::quantize_rows(
+        &q,
+        QuantBits::Int8,
+        partition,
+        RoundingMode::Nearest,
+        &mut rng,
+    );
+    let qk = QuantizedTensor::quantize_rows(
+        &k,
+        QuantBits::Int2,
+        partition,
+        RoundingMode::Nearest,
+        &mut rng,
+    );
+    (qq, qk)
+}
+
+fn qkv(tokens: usize, d_h: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+    let mut rng = DetRng::new(seed);
+    (
+        Matrix::random_normal(tokens, d_h, 0.0, 1.0, &mut rng),
+        Matrix::random_normal(tokens, d_h, 0.0, 1.0, &mut rng),
+        Matrix::random_normal(tokens, d_h, 0.0, 1.0, &mut rng),
+    )
+}
+
+fn kv_matrix(tokens: usize, channels: usize) -> Matrix {
+    let mut rng = DetRng::new(1);
+    let mut m = Matrix::zeros(tokens, channels);
+    for ch in 0..channels {
+        let mut value = rng.normal_f32(0.0, 1.0);
+        for t in 0..tokens {
+            value += rng.normal_f32(0.0, 0.05);
+            m.set(t, ch, value + ((ch % 5) as f32 - 2.0) * 0.3);
+        }
+    }
+    m
+}
+
+#[allow(clippy::too_many_lines)]
+fn kernel_benches(smoke: bool) -> KernelsReport {
+    let mut benches = Vec::new();
+    println!("== kernel benches ==");
+
+    // --- Quantization (ported from benches/kernels.rs). ---
+    let quant_tokens: &[usize] = if smoke { &[64] } else { &[256, 1024] };
+    for &tokens in quant_tokens {
+        let mut rng = DetRng::new(2);
+        let m = Matrix::random_normal(tokens, 128, 0.0, 1.0, &mut rng);
+        let iters = if smoke { 3 } else { 20 };
+        let secs = time_iters(iters, || {
+            let mut rng = DetRng::new(3);
+            QuantizedTensor::quantize_rows(
+                &m,
+                QuantBits::Int2,
+                64,
+                RoundingMode::Stochastic,
+                &mut rng,
+            )
+        });
+        push(
+            &mut benches,
+            "quantize_2bit",
+            format!("tokens={tokens}"),
+            iters,
+            secs,
+        );
+    }
+
+    // --- Homomorphic matmul: blocked vs scalar reference vs dequant path. ---
+    let lkvs: &[usize] = if smoke { &[256] } else { &[512, 2048] };
+    let mut speedups = Vec::new();
+    for &l_kv in lkvs {
+        let (qq, qk) = decode_shape_tensors(l_kv, 64);
+        let iters = if smoke { 5 } else { 50 };
+        let optimized = time_iters(iters, || homomorphic_matmul(&qq, &qk));
+        let scalar = time_iters(iters, || {
+            reference::homomorphic_matmul_scalar(&qq, &qk, true)
+        });
+        let no_se = time_iters(iters, || homomorphic_matmul_no_se(&qq, &qk));
+        let dequant = time_iters(iters, || dequant_matmul(&qq, &qk));
+        push(
+            &mut benches,
+            "score_matmul/homomorphic_se",
+            format!("l_kv={l_kv}"),
+            iters,
+            optimized,
+        );
+        push(
+            &mut benches,
+            "score_matmul/homomorphic_se_scalar_ref",
+            format!("l_kv={l_kv}"),
+            iters,
+            scalar,
+        );
+        push(
+            &mut benches,
+            "score_matmul/homomorphic_no_se",
+            format!("l_kv={l_kv}"),
+            iters,
+            no_se,
+        );
+        push(
+            &mut benches,
+            "score_matmul/dequantize_then_matmul",
+            format!("l_kv={l_kv}"),
+            iters,
+            dequant,
+        );
+        speedups.push(MatmulSpeedup {
+            l_kv,
+            optimized_secs: optimized,
+            scalar_reference_secs: scalar,
+            speedup: scalar / optimized,
+        });
+    }
+
+    // --- Partition-size sweep. ---
+    let sweep_lkv = if smoke { 256 } else { 1024 };
+    for partition in [32usize, 64, 128] {
+        let (qq, qk) = decode_shape_tensors(sweep_lkv, partition);
+        let iters = if smoke { 5 } else { 50 };
+        let secs = time_iters(iters, || homomorphic_matmul(&qq, &qk));
+        push(
+            &mut benches,
+            "homomorphic_matmul_partition_sweep",
+            format!("partition={partition},l_kv={sweep_lkv}"),
+            iters,
+            secs,
+        );
+    }
+
+    // --- Code packing (ported from benches/kernels.rs). ---
+    let pack_n = if smoke { 16 * 1024 } else { 128 * 1024 };
+    let mut rng = DetRng::new(4);
+    let codes: Vec<u8> = (0..pack_n).map(|_| rng.range_usize(0, 4) as u8).collect();
+    let iters = if smoke { 10 } else { 100 };
+    let secs = time_iters(iters, || pack_codes(&codes, QuantBits::Int2));
+    push(
+        &mut benches,
+        "pack_codes_2bit",
+        format!("codes={pack_n}"),
+        iters,
+        secs,
+    );
+    let packed = pack_codes(&codes, QuantBits::Int2);
+    let secs = time_iters(iters, || {
+        unpack_codes(&packed, QuantBits::Int2, codes.len())
+    });
+    push(
+        &mut benches,
+        "unpack_codes_2bit",
+        format!("codes={pack_n}"),
+        iters,
+        secs,
+    );
+
+    // --- Attention prefill kernels (ported from benches/attention.rs). ---
+    let prefill_tokens = if smoke { 64 } else { 256 };
+    let (q, k, v) = qkv(prefill_tokens, 64, 1);
+    let iters = if smoke { 2 } else { 10 };
+    let secs = time_iters(iters, || {
+        baseline_attention(&q, &k, &v, AttentionMask::Causal)
+    });
+    push(
+        &mut benches,
+        "prefill_attention/baseline_fp32",
+        format!("tokens={prefill_tokens}"),
+        iters,
+        secs,
+    );
+    let secs = time_iters(iters, || {
+        flash_attention(&q, &k, &v, AttentionMask::Causal, 64)
+    });
+    push(
+        &mut benches,
+        "prefill_attention/flash_tiled",
+        format!("tokens={prefill_tokens}"),
+        iters,
+        secs,
+    );
+    let secs = time_iters(iters, || {
+        let mut rng = DetRng::new(2);
+        hack_prefill_attention(&q, &k, &v, HackConfig::paper_default(), &mut rng)
+    });
+    push(
+        &mut benches,
+        "prefill_attention/hack_homomorphic",
+        format!("tokens={prefill_tokens}"),
+        iters,
+        secs,
+    );
+
+    // --- Decode step + append (ported from benches/attention.rs). ---
+    let decode_tokens = if smoke { 256 } else { 1024 };
+    let (_, k, v) = qkv(decode_tokens, 64, 3);
+    for (name, cfg) in [
+        ("hack", HackConfig::paper_default()),
+        ("hack_no_se", HackConfig::without_summation_elimination()),
+        ("hack_no_rqe", HackConfig::without_requant_elimination()),
+    ] {
+        let mut rng = DetRng::new(4);
+        let state = HackKvState::from_prefill(&k, &v, cfg, &mut rng);
+        let q_row = vec![0.1f32; 64];
+        let iters = if smoke { 3 } else { 30 };
+        let secs = time_iters(iters, || {
+            let mut rng = DetRng::new(5);
+            state.decode_attention(&q_row, &mut rng)
+        });
+        push(
+            &mut benches,
+            "decode_step",
+            format!("variant={name},kv={decode_tokens}"),
+            iters,
+            secs,
+        );
+    }
+    for (name, cfg) in [
+        ("with_rqe", HackConfig::paper_default()),
+        ("without_rqe", HackConfig::without_requant_elimination()),
+    ] {
+        let iters = if smoke { 3 } else { 20 };
+        let secs = time_iters(iters, || {
+            let mut rng = DetRng::new(7);
+            let mut state = HackKvState::from_prefill(&k, &v, cfg, &mut rng);
+            let mut rng = DetRng::new(8);
+            let row = vec![0.3f32; 64];
+            state.append_token(&row, &row, &mut rng)
+        });
+        push(
+            &mut benches,
+            "append_token",
+            format!("variant={name},kv={decode_tokens}"),
+            iters,
+            secs,
+        );
+    }
+
+    // --- Baseline codecs (ported from benches/codecs.rs). ---
+    let (codec_tokens, codec_channels) = if smoke { (128, 64) } else { (512, 128) };
+    let m = kv_matrix(codec_tokens, codec_channels);
+    let codecs: Vec<(&str, Box<dyn KvCompressor>)> = vec![
+        ("kvquant_2bit", Box::new(KvQuantLike::default())),
+        ("cachegen_delta_entropy", Box::new(CacheGenLike::default())),
+        ("fp8_e4m3", Box::new(MinifloatCast::fp8(Fp8Format::E4M3))),
+        ("fp4_e2m1", Box::new(MinifloatCast::fp4())),
+    ];
+    for (name, codec) in &codecs {
+        let iters = if smoke { 3 } else { 20 };
+        let secs = time_iters(iters, || {
+            let mut rng = DetRng::new(2);
+            codec.compress(&m, &mut rng)
+        });
+        push(
+            &mut benches,
+            "kv_codec_compress",
+            format!("codec={name},{codec_tokens}x{codec_channels}"),
+            iters,
+            secs,
+        );
+        let mut rng = DetRng::new(3);
+        let compressed = codec.compress(&m, &mut rng);
+        let secs = time_iters(iters, || codec.decompress(&compressed));
+        push(
+            &mut benches,
+            "kv_codec_decompress",
+            format!("codec={name},{codec_tokens}x{codec_channels}"),
+            iters,
+            secs,
+        );
+    }
+
+    KernelsReport {
+        schema: "hack-bench/kernels/v1",
+        scale: if smoke { "smoke" } else { "full" },
+        quantized_matmul_speedup: speedups,
+        benches,
+    }
+}
+
+/// A self-scheduling engine component: every delivery fans out two more events
+/// until the budget is exhausted — a pure queue/payload workload.
+mod storm {
+    use hack_sim::{EngineMode, Event, EventHandler, Simulation, SimulationContext};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Burst {
+        depth: u32,
+    }
+
+    struct Echo {
+        ctx: SimulationContext,
+        budget: u64,
+    }
+
+    impl EventHandler for Echo {
+        fn on(&mut self, event: Event) {
+            if let Some(burst) = event.get::<Burst>() {
+                if self.budget > 0 {
+                    self.budget -= 1;
+                    let delay = 0.5 + (burst.depth % 7) as f64 * 0.25;
+                    self.ctx.emit_self(
+                        Burst {
+                            depth: burst.depth + 1,
+                        },
+                        delay,
+                    );
+                    self.ctx.emit_self(
+                        Burst {
+                            depth: burst.depth + 2,
+                        },
+                        delay * 2.0,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Runs the storm until ~`2 * budget` events are processed; returns the count.
+    pub fn run(mode: EngineMode, budget: u64) -> u64 {
+        let mut sim = Simulation::with_mode(7, mode);
+        let ctx = sim.create_context("echo");
+        let echo = Rc::new(RefCell::new(Echo { ctx, budget }));
+        echo.borrow().ctx.emit_self(Burst { depth: 0 }, 0.0);
+        sim.add_handler("echo", echo);
+        sim.run();
+        sim.processed_count()
+    }
+}
+
+/// Times `run` in both engine modes, alternating Boxed/Slab twice and keeping
+/// the best per mode, and verifies both modes report the same event count.
+fn compare_engines(label: &str, mut run: impl FnMut(EngineMode) -> u64) -> EngineComparison {
+    let mut best = [f64::INFINITY; 2]; // [slab, boxed]
+    let mut events = [0u64; 2];
+    for _round in 0..2 {
+        for (slot, mode) in [(1, EngineMode::Boxed), (0, EngineMode::Slab)] {
+            let start = Instant::now();
+            let count = run(mode);
+            best[slot] = best[slot].min(start.elapsed().as_secs_f64());
+            events[slot] = count;
+        }
+    }
+    assert_eq!(
+        events[0], events[1],
+        "{label}: modes must process identically"
+    );
+    let cmp = EngineComparison {
+        events_processed: events[0],
+        slab_secs: best[0],
+        boxed_secs: best[1],
+        reduction_percent: 100.0 * (1.0 - best[0] / best[1]),
+    };
+    println!(
+        "  {label}: {} events, slab {:.3}s vs boxed {:.3}s ({:+.1}% wall-clock)",
+        cmp.events_processed, cmp.slab_secs, cmp.boxed_secs, -cmp.reduction_percent
+    );
+    cmp
+}
+
+fn sim_benches(smoke: bool) -> SimReport {
+    let mut benches = Vec::new();
+    println!("== simulator benches ==");
+
+    // --- Headline comparison 1: a seeded cluster run, slab vs boxed engine.
+    // The components emit 4 events per request, so the full-scale run processes
+    // well over one million engine events; the short-output IMDb workload keeps
+    // the analytic cost model cheap so the engine dominates the wall-clock. ---
+    let requests = if smoke { 2_000 } else { 300_000 };
+    let experiment = JctExperiment {
+        num_requests: requests,
+        rps: Some(2.0),
+        ..JctExperiment::new(ModelKind::Llama31_70B, GpuKind::A10G, Dataset::Imdb)
+    };
+    let simulator = Simulator::new(experiment.simulation_config(Method::hack()));
+    let mut last_result: Option<hack_cluster::SimulationResult> = None;
+    let engine_cluster_run = compare_engines("cluster_run", |mode| {
+        let (result, events) = simulator.run_counted(mode);
+        if let Some(prev) = &last_result {
+            assert_eq!(prev, &result, "engine modes must agree bit-for-bit");
+        }
+        last_result = Some(result);
+        events
+    });
+
+    // --- Headline comparison 2: pure engine event storm (queue + payload
+    // churn only). ---
+    let storm_budget = if smoke { 50_000 } else { 600_000 };
+    let engine_event_storm = compare_engines("event_storm", |mode| storm::run(mode, storm_budget));
+
+    // --- Per-method end-to-end runs (ported from benches/simulator.rs). ---
+    let per_method_requests = if smoke { 10 } else { 200 };
+    for method in Method::main_comparison() {
+        let e = JctExperiment {
+            num_requests: per_method_requests,
+            ..JctExperiment::paper_default()
+        };
+        let iters = if smoke { 2 } else { 5 };
+        let secs = time_iters(iters, || e.run(method));
+        push(
+            &mut benches,
+            "cluster_sim",
+            format!("method={},requests={per_method_requests}", method.name()),
+            iters,
+            secs,
+        );
+    }
+
+    SimReport {
+        schema: "hack-bench/sim/v1",
+        scale: if smoke { "smoke" } else { "full" },
+        cluster_run_requests: requests,
+        engine_cluster_run,
+        engine_event_storm,
+        benches,
+    }
+}
+
+fn write_json<T: Serialize>(path: &str, value: &T) {
+    let json = serde_json::to_string_pretty(value).expect("serialise bench report");
+    std::fs::write(path, json + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("[saved {path}]");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke")
+        || std::env::var("BENCH_SCALE").is_ok_and(|v| v == "smoke");
+    // `--only kernels` / `--only sim` runs a single section (handy when
+    // comparing one side across commits).
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1).cloned());
+    let wants = |section: &str| only.as_deref().is_none_or(|o| o == section);
+
+    if wants("kernels") {
+        let kernels = kernel_benches(smoke);
+        for s in &kernels.quantized_matmul_speedup {
+            println!(
+                "  quantized-matmul speedup @ l_kv={}: {:.2}x (blocked {:.1} us vs scalar {:.1} us)",
+                s.l_kv,
+                s.speedup,
+                s.optimized_secs * 1e6,
+                s.scalar_reference_secs * 1e6
+            );
+        }
+        write_json("BENCH_kernels.json", &kernels);
+    }
+
+    if wants("sim") {
+        let sim = sim_benches(smoke);
+        write_json("BENCH_sim.json", &sim);
+    }
+}

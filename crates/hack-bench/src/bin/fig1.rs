@@ -5,9 +5,13 @@
 //! * `fig1 c` — the same while varying the dataset (Llama-3.1 70B, A10G).
 //! * `fig1 d` — average communication time ratio vs RPS with pipelining enabled.
 //! * no argument — run all four panels.
+//!
+//! Cells with an unset load resolve it by measured bisection
+//! ([`JctExperiment::with_measured_load`]); independent cells run on worker threads.
 
 use hack_bench::{
     dataset_grid, default_requests, emit, gpu_grid, model_grid, ratio_columns, ratio_row,
+    run_grid_measured, run_sharded,
 };
 use hack_core::prelude::*;
 
@@ -18,9 +22,12 @@ fn panel_a(n: usize) {
         ratio_columns(),
         "% of JCT",
     );
-    for (gpu, e) in gpu_grid(n) {
-        let outcome = e.run(Method::Baseline);
-        table.push_row(ratio_row(format!("{gpu:?}"), &outcome));
+    let grid = gpu_grid(n);
+    for ((gpu, _), outcomes) in grid
+        .iter()
+        .zip(run_grid_measured(&grid, &[Method::Baseline]))
+    {
+        table.push_row(ratio_row(format!("{gpu:?}"), &outcomes[0]));
     }
     emit(&table);
 }
@@ -32,14 +39,17 @@ fn panel_b(n: usize) {
         ratio_columns(),
         "% of JCT",
     );
-    for (model, e) in model_grid(n) {
-        let outcome = e.run(Method::Baseline);
-        let label = if model == ModelKind::Falcon180B {
+    let grid = model_grid(n);
+    for ((model, _), outcomes) in grid
+        .iter()
+        .zip(run_grid_measured(&grid, &[Method::Baseline]))
+    {
+        let label = if *model == ModelKind::Falcon180B {
             "F-arXiv".to_string()
         } else {
             model.letter().to_string()
         };
-        table.push_row(ratio_row(label, &outcome));
+        table.push_row(ratio_row(label, &outcomes[0]));
     }
     emit(&table);
 }
@@ -51,9 +61,12 @@ fn panel_c(n: usize) {
         ratio_columns(),
         "% of JCT",
     );
-    for (dataset, e) in dataset_grid(n) {
-        let outcome = e.run(Method::Baseline);
-        table.push_row(ratio_row(dataset.name(), &outcome));
+    let grid = dataset_grid(n);
+    for ((dataset, _), outcomes) in grid
+        .iter()
+        .zip(run_grid_measured(&grid, &[Method::Baseline]))
+    {
+        table.push_row(ratio_row(dataset.name(), &outcomes[0]));
     }
     emit(&table);
 }
@@ -66,17 +79,28 @@ fn panel_d(n: usize) {
         rps_points.iter().map(|r| format!("RPS {r}")).collect(),
         "% of JCT",
     );
-    for gpu in GpuKind::all() {
-        let mut values = Vec::new();
-        for &rps in &rps_points {
-            let e = JctExperiment {
-                num_requests: n,
-                rps: Some(rps),
-                pipelining: true,
-                ..JctExperiment::new(ModelKind::Llama31_70B, gpu, Dataset::Cocktail)
-            };
-            values.push(100.0 * e.run(Method::Baseline).ratios.communication);
-        }
+    // One independent cell per (gpu, rps) point, sharded across threads.
+    let cells: Vec<(GpuKind, JctExperiment)> = GpuKind::all()
+        .into_iter()
+        .flat_map(|gpu| {
+            rps_points.into_iter().map(move |rps| {
+                (
+                    gpu,
+                    JctExperiment {
+                        num_requests: n,
+                        rps: Some(rps),
+                        pipelining: true,
+                        ..JctExperiment::new(ModelKind::Llama31_70B, gpu, Dataset::Cocktail)
+                    },
+                )
+            })
+        })
+        .collect();
+    let ratios = run_sharded(&cells, |_, (_, e)| {
+        100.0 * e.run(Method::Baseline).ratios.communication
+    });
+    for (row, gpu) in GpuKind::all().into_iter().enumerate() {
+        let values = ratios[row * rps_points.len()..(row + 1) * rps_points.len()].to_vec();
         table.push_row(Row::new(format!("{gpu:?}"), values));
     }
     emit(&table);

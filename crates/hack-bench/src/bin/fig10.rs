@@ -1,13 +1,15 @@
 //! Fig. 10 — Average JCT decomposition (prefill, quantization, communication,
 //! dequantization/approximation, decode) for Llama-3.1 70B with varying datasets.
 
-use hack_bench::{dataset_grid, default_requests, emit};
+use hack_bench::{dataset_grid, default_requests, emit, run_grid_measured};
 use hack_core::prelude::*;
 
 fn main() {
     let n = default_requests();
     let methods = Method::main_comparison();
-    for (dataset, e) in dataset_grid(n) {
+    let grid = dataset_grid(n);
+    let cells = run_grid_measured(&grid, &methods);
+    for ((dataset, _), outcomes) in grid.iter().zip(cells) {
         let mut table = ExperimentTable::new(
             format!("fig10_{}", dataset.name().to_lowercase()),
             format!(
@@ -25,8 +27,7 @@ fn main() {
             ],
             "s",
         );
-        for method in methods {
-            let o = e.run(method);
+        for (method, o) in methods.iter().zip(&outcomes) {
             let b = o.stats.mean_breakdown;
             table.push_row(Row::new(
                 method.name(),

@@ -1,7 +1,7 @@
 //! Fig. 11 — Average JCT across requests for different models with Cocktail
 //! (arXiv for Falcon-180B), A10G prefill instances.
 
-use hack_bench::{default_requests, emit, model_grid};
+use hack_bench::{default_requests, emit, model_grid, run_grid_measured};
 use hack_core::prelude::*;
 
 fn main() {
@@ -24,8 +24,8 @@ fn main() {
         "s",
     );
     let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
-    for (_, e) in model_grid(n) {
-        for (i, o) in e.run_all(&methods).iter().enumerate() {
+    for outcomes in run_grid_measured(&model_grid(n), &methods) {
+        for (i, o) in outcomes.iter().enumerate() {
             per_method[i].push(o.average_jct);
         }
     }

@@ -1,7 +1,7 @@
 //! Fig. 12 — Average JCT across requests for Llama-3.1 70B with Cocktail using
 //! varying prefill instances (A10G, V100, T4, L4, A100).
 
-use hack_bench::{default_requests, emit, gpu_grid};
+use hack_bench::{default_requests, emit, gpu_grid, run_grid_measured};
 use hack_core::prelude::*;
 
 fn main() {
@@ -21,8 +21,8 @@ fn main() {
         "%",
     );
     let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
-    for (_, e) in gpu_grid(n) {
-        for (i, o) in e.run_all(&methods).iter().enumerate() {
+    for outcomes in run_grid_measured(&gpu_grid(n), &methods) {
+        for (i, o) in outcomes.iter().enumerate() {
             per_method[i].push(o.average_jct);
         }
     }

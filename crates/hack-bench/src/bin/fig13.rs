@@ -1,7 +1,7 @@
 //! Fig. 13 — Ablation study: average JCT of HACK, HACK without Summation Elimination
 //! (HACK/SE) and HACK without Requantization Elimination (HACK/RQE) across datasets.
 
-use hack_bench::{dataset_grid, default_requests, emit};
+use hack_bench::{dataset_grid, default_requests, emit, run_grid_measured};
 use hack_core::prelude::*;
 
 fn main() {
@@ -26,9 +26,9 @@ fn main() {
         "%",
     );
     let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
-    for (_, e) in dataset_grid(n) {
-        for (i, method) in methods.iter().enumerate() {
-            per_method[i].push(e.run(*method).average_jct);
+    for outcomes in run_grid_measured(&dataset_grid(n), &methods) {
+        for (i, o) in outcomes.iter().enumerate() {
+            per_method[i].push(o.average_jct);
         }
     }
     for (i, method) in methods.iter().enumerate() {

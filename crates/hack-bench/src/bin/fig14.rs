@@ -1,7 +1,7 @@
 //! Fig. 14 — Scalability: average JCT as the ratio `p` of prefill to decode model
 //! replicas grows (RPS = 0.02·p, decode on half an A100 instance).
 
-use hack_bench::{default_requests, emit};
+use hack_bench::{default_requests, emit, run_grid};
 use hack_core::prelude::*;
 
 fn main() {
@@ -14,17 +14,23 @@ fn main() {
         ps.iter().map(|p| format!("p={p}")).collect(),
         "s",
     );
-    for method in methods {
-        let values: Vec<f64> = ps
-            .iter()
-            .map(|&p| {
-                let e = JctExperiment {
+    // The scalability grid pins its load (RPS = 0.02·p), so no capacity search is
+    // needed; the cells still shard across threads.
+    let grid: Vec<(usize, JctExperiment)> = ps
+        .iter()
+        .map(|&p| {
+            (
+                p,
+                JctExperiment {
                     num_requests: n,
                     ..JctExperiment::scalability(p)
-                };
-                e.run(method).average_jct
-            })
-            .collect();
+                },
+            )
+        })
+        .collect();
+    let cells = run_grid(&grid, &methods);
+    for (i, method) in methods.iter().enumerate() {
+        let values: Vec<f64> = cells.iter().map(|c| c[i].average_jct).collect();
         table.push_row(Row::new(method.name(), values));
     }
     emit(&table);

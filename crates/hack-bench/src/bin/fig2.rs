@@ -2,12 +2,15 @@
 //! average prefill / comm / dequantization / decode time ratios, Llama-3.1 70B on
 //! Cocktail.
 
-use hack_bench::{default_requests, emit, gpu_grid, ratio_columns, ratio_row};
+use hack_bench::{default_requests, emit, gpu_grid, ratio_columns, ratio_row, run_grid_measured};
 use hack_core::prelude::*;
 
 fn main() {
     let n = default_requests();
-    for method in [Method::CacheGen, Method::KvQuant] {
+    let methods = [Method::CacheGen, Method::KvQuant];
+    let grid = gpu_grid(n);
+    let outcomes = run_grid_measured(&grid, &methods);
+    for (m, method) in methods.into_iter().enumerate() {
         let mut table = ExperimentTable::new(
             format!("fig2_{}", method.name().to_lowercase()),
             format!(
@@ -17,8 +20,8 @@ fn main() {
             ratio_columns(),
             "% of JCT",
         );
-        for (gpu, e) in gpu_grid(n) {
-            table.push_row(ratio_row(format!("{gpu:?}"), &e.run(method)));
+        for ((gpu, _), cell) in grid.iter().zip(&outcomes) {
+            table.push_row(ratio_row(format!("{gpu:?}"), &cell[m]));
         }
         emit(&table);
     }

@@ -1,12 +1,15 @@
 //! Fig. 3 — Employing KV quantization (CacheGen / KVQuant) across models: average
 //! prefill / comm / dequantization / decode time ratios on Cocktail (arXiv for F).
 
-use hack_bench::{default_requests, emit, model_grid, ratio_columns, ratio_row};
+use hack_bench::{default_requests, emit, model_grid, ratio_columns, ratio_row, run_grid_measured};
 use hack_core::prelude::*;
 
 fn main() {
     let n = default_requests();
-    for method in [Method::CacheGen, Method::KvQuant] {
+    let methods = [Method::CacheGen, Method::KvQuant];
+    let grid = model_grid(n);
+    let outcomes = run_grid_measured(&grid, &methods);
+    for (m, method) in methods.into_iter().enumerate() {
         let mut table = ExperimentTable::new(
             format!("fig3_{}", method.name().to_lowercase()),
             format!(
@@ -16,13 +19,13 @@ fn main() {
             ratio_columns(),
             "% of JCT",
         );
-        for (model, e) in model_grid(n) {
-            let label = if model == ModelKind::Falcon180B {
+        for ((model, _), cell) in grid.iter().zip(&outcomes) {
+            let label = if *model == ModelKind::Falcon180B {
                 "F-arXiv".to_string()
             } else {
                 model.letter().to_string()
             };
-            table.push_row(ratio_row(label, &e.run(method)));
+            table.push_row(ratio_row(label, &cell[m]));
         }
         emit(&table);
     }

@@ -1,12 +1,17 @@
 //! Fig. 4 — Employing KV quantization (CacheGen / KVQuant) across datasets: average
 //! prefill / comm / dequantization / decode time ratios, Llama-3.1 70B on A10G.
 
-use hack_bench::{dataset_grid, default_requests, emit, ratio_columns, ratio_row};
+use hack_bench::{
+    dataset_grid, default_requests, emit, ratio_columns, ratio_row, run_grid_measured,
+};
 use hack_core::prelude::*;
 
 fn main() {
     let n = default_requests();
-    for method in [Method::CacheGen, Method::KvQuant] {
+    let methods = [Method::CacheGen, Method::KvQuant];
+    let grid = dataset_grid(n);
+    let outcomes = run_grid_measured(&grid, &methods);
+    for (m, method) in methods.into_iter().enumerate() {
         let mut table = ExperimentTable::new(
             format!("fig4_{}", method.name().to_lowercase()),
             format!(
@@ -16,8 +21,8 @@ fn main() {
             ratio_columns(),
             "% of JCT",
         );
-        for (dataset, e) in dataset_grid(n) {
-            table.push_row(ratio_row(dataset.name(), &e.run(method)));
+        for ((dataset, _), cell) in grid.iter().zip(&outcomes) {
+            table.push_row(ratio_row(dataset.name(), &cell[m]));
         }
         emit(&table);
     }

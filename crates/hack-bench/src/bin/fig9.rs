@@ -1,7 +1,7 @@
 //! Fig. 9 — Average JCT across requests for Llama-3.1 70B with varying datasets
 //! (Baseline, CacheGen, KVQuant, HACK on A10G prefill instances).
 
-use hack_bench::{dataset_grid, default_requests, emit};
+use hack_bench::{dataset_grid, default_requests, emit, run_grid_measured};
 use hack_core::prelude::*;
 
 fn main() {
@@ -27,8 +27,7 @@ fn main() {
     );
 
     let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
-    for (_, e) in dataset_grid(n) {
-        let outcomes = e.run_all(&methods);
+    for outcomes in run_grid_measured(&dataset_grid(n), &methods) {
         for (i, o) in outcomes.iter().enumerate() {
             per_method[i].push(o.average_jct);
         }

@@ -3,7 +3,7 @@
 //! Cocktail. Shows that the minifloat formats cannot reach the compression (and hence
 //! the communication/memory savings) of 2-bit quantization.
 
-use hack_bench::{default_requests, emit, gpu_grid};
+use hack_bench::{default_requests, emit, gpu_grid, run_grid_measured};
 use hack_core::prelude::*;
 
 fn main() {
@@ -22,8 +22,9 @@ fn main() {
         methods.iter().map(|m| m.name()).collect(),
         "% of GPU memory",
     );
-    for (gpu, e) in gpu_grid(n) {
-        let outcomes: Vec<_> = methods.iter().map(|m| e.run(*m)).collect();
+    let grid = gpu_grid(n);
+    let cells = run_grid_measured(&grid, &methods);
+    for ((gpu, _), outcomes) in grid.iter().zip(cells) {
         comm.push_row(Row::new(
             format!("{gpu:?}"),
             outcomes

@@ -4,7 +4,7 @@
 //! which is the regime the paper's 65–94% numbers correspond to. Pass `--overheads` to
 //! also print the §7.4 SE/RQE memory-overhead figures.
 
-use hack_bench::{dataset_grid, default_requests, emit};
+use hack_bench::{dataset_grid, default_requests, emit, run_grid_measured};
 use hack_core::prelude::*;
 use hack_kvcache::{DecodeMemoryModel, KvShape};
 
@@ -43,10 +43,11 @@ fn main() {
         datasets.iter().map(|(d, _)| d.name().to_string()).collect(),
         "% of GPU memory",
     );
-    for method in methods {
-        let values: Vec<f64> = dataset_grid(n)
-            .into_iter()
-            .map(|(_, e)| 100.0 * e.run(method).peak_decode_memory_fraction)
+    let cells = run_grid_measured(&dataset_grid(n), &methods);
+    for (i, method) in methods.iter().enumerate() {
+        let values: Vec<f64> = cells
+            .iter()
+            .map(|c| 100.0 * c[i].peak_decode_memory_fraction)
             .collect();
         simulated.push_row(Row::new(method.name(), values));
     }

@@ -1,7 +1,7 @@
 //! Table 8 — Sensitivity to the quantization partition size: accuracy increase and JCT
 //! increase of Π = 32 and Π = 64 relative to Π = 128, per dataset.
 
-use hack_bench::{dataset_grid, default_requests, emit};
+use hack_bench::{dataset_grid, default_requests, emit, run_grid_measured};
 use hack_core::fidelity::{evaluate, FidelitySetup};
 use hack_core::prelude::*;
 
@@ -56,10 +56,14 @@ fn main() {
             .collect(),
         "%",
     );
+    let partition_methods: Vec<Method> = partitions
+        .iter()
+        .map(|&p| Method::Hack { partition: p })
+        .collect();
     let mut per_partition: Vec<Vec<f64>> = vec![Vec::new(); partitions.len()];
-    for (_, e) in dataset_grid(n) {
-        for (i, &p) in partitions.iter().enumerate() {
-            per_partition[i].push(e.run(Method::Hack { partition: p }).average_jct);
+    for outcomes in run_grid_measured(&dataset_grid(n), &partition_methods) {
+        for (i, o) in outcomes.iter().enumerate() {
+            per_partition[i].push(o.average_jct);
         }
     }
     for (i, &p) in partitions.iter().enumerate().take(2) {

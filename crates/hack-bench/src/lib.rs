@@ -2,16 +2,26 @@
 //!
 //! Benchmark and experiment harness of the HACK reproduction:
 //!
-//! * **Criterion micro-benchmarks** (`benches/`): quantization and homomorphic-matmul
-//!   kernels, attention kernels (prefill + decode, including the SE/RQE ablations),
-//!   the baseline codecs, and a small end-to-end cluster simulation.
+//! * **In-tree micro-benchmarks** (`src/bin/bench.rs`): quantization and
+//!   homomorphic-matmul kernels (optimized vs the retained scalar reference),
+//!   attention kernels (prefill + decode, including the SE/RQE ablations), the
+//!   baseline codecs, and the discrete-event engine (slab vs the pre-change boxed
+//!   representation). Writes `BENCH_kernels.json` / `BENCH_sim.json`; see
+//!   `PERF.md` at the repository root for the schema and how to compare runs
+//!   across commits.
 //! * **Per-figure/table binaries** (`src/bin/`): one binary per figure and table of the
 //!   paper's evaluation (Fig. 1–4, the §3 FP4/6/8 study, Fig. 9–14, Tables 5–8). Each
 //!   prints the same rows/series the paper reports and writes a JSON copy under
-//!   `target/experiments/`.
+//!   `target/experiments/`. Grid cells are sharded across threads by [`shard`];
+//!   cells with `rps: None` measure the cluster's capacity by bisection over
+//!   simulator runs ([`hack_core::JctExperiment::with_measured_load`]).
 //!
 //! Run `cargo run -p hack-bench --release --bin <experiment>` for a single experiment,
 //! or see EXPERIMENTS.md for the full index and the recorded outcomes.
+
+pub mod shard;
+
+pub use shard::{run_grid, run_grid_measured, run_sharded, worker_threads};
 
 use hack_core::prelude::*;
 use std::path::PathBuf;

@@ -1,0 +1,132 @@
+//! Threaded sharding of independent experiment cells.
+//!
+//! The figure/table binaries evaluate grids of (dataset × method × config)
+//! cells that share nothing: each cell builds its own trace from its own seed
+//! and runs its own simulator. This module fans those cells out over scoped
+//! worker threads (vendored `crossbeam`), pulling work from a shared atomic
+//! cursor and merging results back **in cell order**, so output is identical
+//! to a sequential run:
+//!
+//! * determinism — every cell's RNG seed lives in the cell itself
+//!   ([`hack_core::JctExperiment::seed`] / the trace seed), never in thread
+//!   state, so scheduling cannot change any result;
+//! * merge-ordered output — workers report `(index, result)` and the caller
+//!   reassembles by index.
+//!
+//! Worker count defaults to the machine's available parallelism, capped by the
+//! cell count; `HACK_BENCH_THREADS` overrides it (`HACK_BENCH_THREADS=1`
+//! forces the sequential path).
+
+use hack_core::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads for `cells` independent cells.
+pub fn worker_threads(cells: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let configured = std::env::var("HACK_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    configured.unwrap_or(available).min(cells).max(1)
+}
+
+/// Applies `f` to every cell, sharding across scoped threads, and returns the
+/// results in cell order (identical to `cells.iter().enumerate().map(f)`).
+pub fn run_sharded<T, R, F>(cells: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = worker_threads(cells.len());
+    if threads <= 1 {
+        return cells.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                if tx.send((i, f(i, &cells[i]))).is_err() {
+                    panic!("result receiver dropped");
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..cells.len()).map(|_| None).collect();
+        while let Ok((i, r)) = rx.recv() {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("worker exited without reporting its cell"))
+            .collect()
+    })
+    .expect("experiment worker thread panicked")
+}
+
+/// Runs every method on every cell of a labelled experiment grid, sharding the
+/// cells across threads. Returns one `Vec<JctOutcome>` per cell, in grid order.
+pub fn run_grid<L: Sync>(grid: &[(L, JctExperiment)], methods: &[Method]) -> Vec<Vec<JctOutcome>> {
+    run_sharded(grid, |_, (_, experiment)| experiment.run_all(methods))
+}
+
+/// Like [`run_grid`], but first resolves every `rps: None` cell to its
+/// **measured** capacity (bisection over simulator runs,
+/// [`JctExperiment::with_measured_load`]) instead of the analytic estimate.
+/// This is the path the figure/table binaries take; the capacity search runs
+/// inside each cell's worker, so it is sharded too.
+pub fn run_grid_measured<L: Sync>(
+    grid: &[(L, JctExperiment)],
+    methods: &[Method],
+) -> Vec<Vec<JctOutcome>> {
+    run_sharded(grid, |_, (_, experiment)| {
+        experiment.with_measured_load().run_all(methods)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_results_are_merge_ordered() {
+        let cells: Vec<u64> = (0..23).collect();
+        let got = run_sharded(&cells, |i, &c| {
+            assert_eq!(i as u64, c);
+            c * 3
+        });
+        let expect: Vec<u64> = cells.iter().map(|c| c * 3).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn parallel_grid_matches_sequential_run() {
+        let grid: Vec<(Dataset, JctExperiment)> = [Dataset::Imdb, Dataset::Cocktail]
+            .into_iter()
+            .map(|d| {
+                (
+                    d,
+                    JctExperiment {
+                        num_requests: 10,
+                        ..JctExperiment::new(ModelKind::Llama31_70B, GpuKind::A10G, d)
+                    },
+                )
+            })
+            .collect();
+        let methods = [Method::Baseline, Method::hack()];
+        let parallel = run_grid(&grid, &methods);
+        let sequential: Vec<Vec<JctOutcome>> =
+            grid.iter().map(|(_, e)| e.run_all(&methods)).collect();
+        assert_eq!(parallel, sequential);
+    }
+}

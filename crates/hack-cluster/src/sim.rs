@@ -16,7 +16,7 @@ use crate::events::{ReplicaFailed, ReplicaRecovered, RequestArrived};
 use crate::result::{RequestRecord, SimulationResult};
 use hack_metrics::jct::JctBreakdown;
 use hack_model::cost::{KvMethodProfile, ReplicaCostModel};
-use hack_sim::Simulation;
+use hack_sim::{EngineMode, EventRecord, Simulation};
 use hack_workload::trace::TraceGenerator;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -63,6 +63,35 @@ impl Simulator {
 
     /// Runs the simulation to completion and returns the aggregated result.
     pub fn run(&self) -> SimulationResult {
+        self.run_with_mode(EngineMode::Slab)
+    }
+
+    /// Runs on an explicit engine representation ([`EngineMode::Boxed`] is the
+    /// pre-slab engine, kept for benchmarking and equivalence testing; results
+    /// are bit-identical across modes).
+    pub fn run_with_mode(&self, mode: EngineMode) -> SimulationResult {
+        self.run_impl(mode, false).0
+    }
+
+    /// Runs with structured event logging enabled, returning the full engine
+    /// event trace alongside the result (used by the trace-equivalence tests).
+    pub fn run_traced(&self, mode: EngineMode) -> (SimulationResult, Vec<EventRecord>) {
+        let (result, trace, _) = self.run_impl(mode, true);
+        (result, trace)
+    }
+
+    /// Runs and also reports the number of engine events processed (used by the
+    /// bench harness to size its workloads honestly).
+    pub fn run_counted(&self, mode: EngineMode) -> (SimulationResult, u64) {
+        let (result, _, events) = self.run_impl(mode, false);
+        (result, events)
+    }
+
+    fn run_impl(
+        &self,
+        mode: EngineMode,
+        capture_log: bool,
+    ) -> (SimulationResult, Vec<EventRecord>, u64) {
         let requests = TraceGenerator::new(self.config.trace).generate();
         let profile = *self.profile();
         let cluster_cfg = &self.config.cluster;
@@ -89,7 +118,8 @@ impl Simulator {
         }
 
         // --- Assemble the engine and the component fleet. ---
-        let mut sim = Simulation::new(self.config.trace.seed);
+        let mut sim = Simulation::with_mode(self.config.trace.seed, mode);
+        sim.set_log_enabled(capture_log);
         let driver = sim.create_context("driver");
         let frontend_ctx = sim.create_context("frontend");
         let fabric_ctx = sim.create_context("fabric");
@@ -219,7 +249,7 @@ impl Simulator {
             .collect();
         records.sort_by(|a, b| a.finish_time.partial_cmp(&b.finish_time).unwrap());
 
-        SimulationResult {
+        let result = SimulationResult {
             method: profile.name.to_string(),
             records,
             peak_decode_memory_fraction: peak_fraction,
@@ -228,7 +258,10 @@ impl Simulator {
             requeued_requests: cs.requeued,
             injected_failures: cs.injected_failures,
             makespan,
-        }
+        };
+        drop(cs);
+        let events = sim.processed_count();
+        (result, sim.take_log(), events)
     }
 }
 
@@ -422,6 +455,32 @@ mod tests {
         let a100 = mk(GpuKind::A100);
         assert!(v100 > a100, "V100 comm ratio {v100} vs A100 {a100}");
         assert!(a100 < 0.1, "A100 (400 Gbps) comm ratio {a100}");
+    }
+
+    #[test]
+    fn slab_engine_reproduces_boxed_engine_trace_and_result() {
+        // The slab/inline-payload engine must reproduce the pre-change boxed
+        // engine on a seeded cluster run: identical event trace (every emission
+        // and delivery, in order) and identical SimulationResult (PartialEq on
+        // the result compares every f64 exactly).
+        for profile in [KvMethodProfile::baseline(), KvMethodProfile::hack()] {
+            let cfg = sim_config(profile, Dataset::Cocktail, 0.08, 40);
+            let (slab_result, slab_trace) = Simulator::new(cfg).run_traced(EngineMode::Slab);
+            let (boxed_result, boxed_trace) = Simulator::new(cfg).run_traced(EngineMode::Boxed);
+            assert!(!slab_trace.is_empty());
+            assert_eq!(slab_trace, boxed_trace, "{}: event traces", profile.name);
+            assert_eq!(slab_result, boxed_result, "{}: results", profile.name);
+        }
+    }
+
+    #[test]
+    fn slab_engine_matches_boxed_under_fault_injection() {
+        let spec = FailureSpec::transient(0, 50.0, 400.0);
+        let cfg = failure_config(30, spec);
+        let (slab_result, slab_trace) = Simulator::new(cfg).run_traced(EngineMode::Slab);
+        let (boxed_result, boxed_trace) = Simulator::new(cfg).run_traced(EngineMode::Boxed);
+        assert_eq!(slab_trace, boxed_trace);
+        assert_eq!(slab_result, boxed_result);
     }
 
     #[test]

@@ -92,6 +92,11 @@ impl JctExperiment {
     }
 
     /// The request rate used by this experiment.
+    ///
+    /// With `rps: None` this falls back to the **analytic** capacity estimate
+    /// (fast, used by unit tests and as the bisection's starting bracket); the
+    /// figure binaries instead resolve the load by *measurement* — see
+    /// [`JctExperiment::with_measured_load`].
     pub fn effective_rps(&self) -> f64 {
         if let Some(rps) = self.rps {
             return rps;
@@ -104,6 +109,86 @@ impl JctExperiment {
         0.9 * cluster.estimate_max_rps(&Method::Baseline.profile(), input, output)
     }
 
+    /// Average baseline JCT of this experiment at an explicit request rate, on a
+    /// bounded probe trace (the primitive the capacity bisection is built on).
+    fn probe_average_jct(&self, rps: f64, num_requests: usize) -> f64 {
+        let probe = JctExperiment {
+            rps: Some(rps),
+            num_requests,
+            ..*self
+        };
+        probe.run(Method::Baseline).average_jct
+    }
+
+    /// Measures the cluster's maximum sustainable request rate by bisection over
+    /// actual simulator runs (§7.1: "the RPS was set to the maximum processing
+    /// capacity").
+    ///
+    /// A rate is deemed sustainable when the measured average baseline JCT stays
+    /// within [`Self::SATURATION_FACTOR`] of the unloaded JCT — past saturation,
+    /// queueing makes the JCT blow up and the probe fails immediately. The
+    /// analytic [`hack_cluster::ClusterConfig::estimate_max_rps`] only seeds the
+    /// initial bracket; every accept/reject decision is a measured simulator run,
+    /// so model errors in the analytic estimate cannot skew the operating point.
+    ///
+    /// Deterministic: probes reuse this experiment's trace seed.
+    pub fn measured_max_rps(&self) -> f64 {
+        let n = self.num_requests.clamp(20, 40);
+        let analytic = {
+            let cluster = self.cluster_config();
+            let input = self.dataset.input_stats().avg;
+            let output = self.dataset.output_stats().avg;
+            cluster.estimate_max_rps(&Method::Baseline.profile(), input, output)
+        };
+        // Unloaded reference: a rate so low queueing is negligible.
+        let unloaded_jct = self.probe_average_jct(analytic * 0.05, n);
+        let stable =
+            |rps: f64| self.probe_average_jct(rps, n) <= unloaded_jct * Self::SATURATION_FACTOR;
+
+        // Grow a bracket [lo stable, hi unstable] from the analytic seed.
+        let mut lo = analytic * 0.05;
+        let mut hi = analytic.max(lo * 2.0);
+        let mut bracketed = !stable(hi);
+        let mut growth = 0;
+        while !bracketed && growth < 8 {
+            lo = hi;
+            hi *= 2.0;
+            growth += 1;
+            bracketed = !stable(hi);
+        }
+        if !bracketed {
+            // Never saturated within 256x of the estimate; report the highest
+            // rate that probed stable.
+            return lo;
+        }
+        for _ in 0..12 {
+            let mid = 0.5 * (lo + hi);
+            if stable(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// JCT inflation over the unloaded baseline beyond which a probed rate is
+    /// considered saturated (see [`Self::measured_max_rps`]).
+    pub const SATURATION_FACTOR: f64 = 1.3;
+
+    /// Resolves a `rps: None` load by measurement: 90% of
+    /// [`Self::measured_max_rps`], mirroring the analytic default's headroom.
+    /// Experiments with an explicit rate are returned unchanged.
+    pub fn with_measured_load(self) -> Self {
+        if self.rps.is_some() {
+            return self;
+        }
+        Self {
+            rps: Some(0.9 * self.measured_max_rps()),
+            ..self
+        }
+    }
+
     fn trace_config(&self) -> TraceConfig {
         TraceConfig {
             dataset: self.dataset,
@@ -114,15 +199,21 @@ impl JctExperiment {
         }
     }
 
-    /// Runs one method on this experiment.
-    pub fn run(&self, method: Method) -> JctOutcome {
-        let config = SimulationConfig {
+    /// Builds the full simulation configuration for one method (also used by the
+    /// bench harness to drive the [`Simulator`] directly, e.g. with an explicit
+    /// engine mode).
+    pub fn simulation_config(&self, method: Method) -> SimulationConfig {
+        SimulationConfig {
             cluster: self.cluster_config(),
             trace: self.trace_config(),
             profile: method.profile(),
             failure: self.failure,
-        };
-        let result = Simulator::new(config).run();
+        }
+    }
+
+    /// Runs one method on this experiment.
+    pub fn run(&self, method: Method) -> JctOutcome {
+        let result = Simulator::new(self.simulation_config(method)).run();
         JctOutcome {
             method,
             method_name: method.name(),
@@ -191,6 +282,51 @@ mod tests {
         let e = small(Dataset::Cocktail);
         let rps = e.effective_rps();
         assert!(rps > 0.0 && rps < 5.0, "rps {rps}");
+    }
+
+    #[test]
+    fn measured_capacity_is_deterministic_and_tracks_the_analytic_estimate() {
+        let e = small(Dataset::Cocktail);
+        let measured = e.measured_max_rps();
+        assert!(measured > 0.0, "measured capacity must be positive");
+        // The analytic model and the measured saturation point describe the same
+        // cluster; they must agree to well within an order of magnitude.
+        let analytic = e.effective_rps() / 0.9;
+        assert!(
+            measured > 0.2 * analytic && measured < 5.0 * analytic,
+            "measured {measured} vs analytic {analytic}"
+        );
+        assert_eq!(
+            measured,
+            e.measured_max_rps(),
+            "bisection must be deterministic"
+        );
+    }
+
+    #[test]
+    fn with_measured_load_fills_only_unset_rates() {
+        let e = small(Dataset::Imdb);
+        let resolved = e.with_measured_load();
+        assert!(resolved.rps.is_some());
+        // The measured operating point must actually be sustainable: the probe
+        // at the resolved rate stays below the saturation threshold.
+        let jct = resolved.run(Method::Baseline).average_jct;
+        let unloaded = JctExperiment {
+            rps: Some(resolved.rps.unwrap() * 0.05),
+            ..e
+        }
+        .run(Method::Baseline)
+        .average_jct;
+        assert!(
+            jct <= unloaded * 2.0,
+            "resolved load saturates the cluster: {jct} vs unloaded {unloaded}"
+        );
+
+        let pinned = JctExperiment {
+            rps: Some(0.123),
+            ..e
+        };
+        assert_eq!(pinned.with_measured_load().rps, Some(0.123));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::cost::HomomorphicOpCounts;
 use crate::qmatrix::QuantizedTensor;
+use hack_tensor::matmul::partition_dots_u8_i32;
 use hack_tensor::Matrix;
 
 /// Checks that two tensors can participate in a homomorphic product.
@@ -61,6 +62,21 @@ pub fn homomorphic_matmul_counted(
     homomorphic_matmul_impl(a, b, use_stored_sums)
 }
 
+/// Recomputes every per-partition code sum of `t` (the no-SE path), once per
+/// `(row, partition)` — the same recomputation count as reading them partition by
+/// partition, so [`HomomorphicOpCounts::sum_recompute_ops`] is unchanged.
+fn recompute_all_sums(t: &QuantizedTensor) -> Vec<i32> {
+    let layout = t.layout();
+    let cols = t.cols();
+    let mut sums = Vec::with_capacity(t.rows() * layout.n_partitions());
+    for row_codes in t.codes().chunks_exact(cols.max(1)) {
+        for (start, end) in layout.ranges() {
+            sums.push(row_codes[start..end].iter().map(|&c| c as i32).sum());
+        }
+    }
+    sums
+}
+
 fn homomorphic_matmul_impl(
     a: &QuantizedTensor,
     b: &QuantizedTensor,
@@ -70,66 +86,149 @@ fn homomorphic_matmul_impl(
     let m = a.rows();
     let n = b.rows();
     let z = a.cols();
-    let n_parts = a.n_partitions();
+    let layout = a.layout();
+    let n_parts = layout.n_partitions();
     let mut out = Matrix::zeros(m, n);
     let mut counts = HomomorphicOpCounts::default();
 
-    for p in 0..n_parts {
-        let (start, end) = a.partition_range(p);
-        let len = (end - start) as f32;
+    // Hoist everything that is per-partition or per-row out of the (i, j) loops:
+    // partition ranges/lengths, code sums (stored with SE, recomputed once per
+    // row-partition without), and flat row strides into the code/metadata arrays.
+    let spans: Vec<(usize, usize)> = layout.ranges().collect();
+    let lens: Vec<f32> = spans.iter().map(|&(s, e)| (e - s) as f32).collect();
+    let mut dots = vec![0i32; n_parts];
+    let (a_sums_buf, b_sums_buf);
+    let (a_sums, b_sums): (&[i32], &[i32]) = if use_stored_sums {
+        (a.sums(), b.sums())
+    } else {
+        a_sums_buf = recompute_all_sums(a);
+        b_sums_buf = recompute_all_sums(b);
+        counts.sum_recompute_ops += (m + n) * z;
+        (&a_sums_buf, &b_sums_buf)
+    };
+    let a_codes = a.codes();
+    let b_codes = b.codes();
+    let a_metas = a.metas();
+    let b_metas = b.metas();
 
-        // Pre-fetch the per-partition sums for both operands.
-        let a_sums: Vec<i32> = (0..m)
-            .map(|i| {
-                if use_stored_sums {
-                    a.sum(i, p)
-                } else {
-                    counts.sum_recompute_ops += end - start;
-                    a.recompute_sum(i, p)
-                }
-            })
-            .collect();
-        let b_sums: Vec<i32> = (0..n)
-            .map(|j| {
-                if use_stored_sums {
-                    b.sum(j, p)
-                } else {
-                    counts.sum_recompute_ops += end - start;
-                    b.recompute_sum(j, p)
-                }
-            })
-            .collect();
-
+    for i in 0..m {
+        let a_row = &a_codes[i * z..(i + 1) * z];
+        let a_meta_row = &a_metas[i * n_parts..(i + 1) * n_parts];
+        let a_sum_row = &a_sums[i * n_parts..(i + 1) * n_parts];
+        let out_row = out.row_mut(i);
         #[allow(clippy::needless_range_loop)]
-        for i in 0..m {
-            let a_codes = &a.codes_row(i)[start..end];
-            let a_meta = a.meta(i, p);
-            let out_row = out.row_mut(i);
-            for j in 0..n {
-                let b_codes = &b.codes_row(j)[start..end];
-                let b_meta = b.meta(j, p);
+        for j in 0..n {
+            let b_row = &b_codes[j * z..(j + 1) * z];
+            let b_meta_row = &b_metas[j * n_parts..(j + 1) * n_parts];
+            let b_sum_row = &b_sums[j * n_parts..(j + 1) * n_parts];
 
-                // Integer inner product on the raw codes (the INT8-accelerated part).
-                let mut dot = 0i32;
-                for (x, y) in a_codes.iter().zip(b_codes) {
-                    dot += *x as i32 * *y as i32;
-                }
-                counts.int_mac_ops += end - start;
+            // Integer inner products on the raw codes, all partitions in one
+            // fused pass (the INT8-accelerated part).
+            partition_dots_u8_i32(a_row, b_row, &spans, &mut dots);
 
-                // Affine correction (Eq. 4).
-                let approx = a_meta.scale * b_meta.scale * dot as f32
-                    + b_meta.min * a_meta.scale * a_sums[i] as f32
-                    + a_meta.min * b_meta.scale * b_sums[j] as f32
-                    + len * a_meta.min * b_meta.min;
-                counts.approx_ops += 9;
-                out_row[j] += approx;
+            // Accumulate the per-partition affine corrections (Eq. 4) in
+            // partition order — the same FP addition order as the scalar
+            // reference, so the result is bit-identical.
+            let mut acc = 0.0f32;
+            for (p, &dot) in dots.iter().enumerate() {
+                let a_meta = a_meta_row[p];
+                let b_meta = b_meta_row[p];
+                acc += a_meta.scale * b_meta.scale * dot as f32
+                    + b_meta.min * a_meta.scale * a_sum_row[p] as f32
+                    + a_meta.min * b_meta.scale * b_sum_row[p] as f32
+                    + lens[p] * a_meta.min * b_meta.min;
             }
+            out_row[j] += acc;
         }
     }
+    counts.int_mac_ops = m * n * z;
+    counts.approx_ops = 9 * m * n * n_parts;
     counts.m = m;
     counts.n = n;
     counts.z = z;
     (out, counts)
+}
+
+/// The pre-change scalar homomorphic GEMM, retained verbatim.
+///
+/// It serves two purposes: the bit-exactness oracle the blocked kernel above is
+/// pinned against in tests, and the baseline the in-tree `bench` binary times the
+/// optimized kernel against (see PERF.md).
+pub mod reference {
+    use super::*;
+
+    /// Scalar homomorphic GEMM (the seed implementation of
+    /// [`super::homomorphic_matmul`]).
+    pub fn homomorphic_matmul_scalar(
+        a: &QuantizedTensor,
+        b: &QuantizedTensor,
+        use_stored_sums: bool,
+    ) -> (Matrix, HomomorphicOpCounts) {
+        check_compat(a, b);
+        let m = a.rows();
+        let n = b.rows();
+        let z = a.cols();
+        let n_parts = a.n_partitions();
+        let mut out = Matrix::zeros(m, n);
+        let mut counts = HomomorphicOpCounts::default();
+
+        for p in 0..n_parts {
+            let (start, end) = a.partition_range(p);
+            let len = (end - start) as f32;
+
+            // Pre-fetch the per-partition sums for both operands.
+            let a_sums: Vec<i32> = (0..m)
+                .map(|i| {
+                    if use_stored_sums {
+                        a.sum(i, p)
+                    } else {
+                        counts.sum_recompute_ops += end - start;
+                        a.recompute_sum(i, p)
+                    }
+                })
+                .collect();
+            let b_sums: Vec<i32> = (0..n)
+                .map(|j| {
+                    if use_stored_sums {
+                        b.sum(j, p)
+                    } else {
+                        counts.sum_recompute_ops += end - start;
+                        b.recompute_sum(j, p)
+                    }
+                })
+                .collect();
+
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..m {
+                let a_codes = &a.codes_row(i)[start..end];
+                let a_meta = a.meta(i, p);
+                let out_row = out.row_mut(i);
+                for j in 0..n {
+                    let b_codes = &b.codes_row(j)[start..end];
+                    let b_meta = b.meta(j, p);
+
+                    // Integer inner product on the raw codes.
+                    let mut dot = 0i32;
+                    for (x, y) in a_codes.iter().zip(b_codes) {
+                        dot += *x as i32 * *y as i32;
+                    }
+                    counts.int_mac_ops += end - start;
+
+                    // Affine correction (Eq. 4).
+                    let approx = a_meta.scale * b_meta.scale * dot as f32
+                        + b_meta.min * a_meta.scale * a_sums[i] as f32
+                        + a_meta.min * b_meta.scale * b_sums[j] as f32
+                        + len * a_meta.min * b_meta.min;
+                    counts.approx_ops += 9;
+                    out_row[j] += approx;
+                }
+            }
+        }
+        counts.m = m;
+        counts.n = n;
+        counts.z = z;
+        (out, counts)
+    }
 }
 
 /// Dequantize-then-multiply comparator: the path KV-quantization baselines (CacheGen,
@@ -162,6 +261,45 @@ mod tests {
         let qa = QuantizedTensor::quantize_rows(a, a_bits, partition, RoundingMode::Nearest, rng);
         let qb = QuantizedTensor::quantize_rows(b_t, b_bits, partition, RoundingMode::Nearest, rng);
         (qa, qb)
+    }
+
+    #[test]
+    fn blocked_kernel_is_bit_identical_to_scalar_reference() {
+        // The blocked kernel must reproduce the scalar seed implementation exactly:
+        // same output bits, same operation counts, with and without SE, across
+        // shapes that cover full, partial and single partitions.
+        for (case, (m, n, z, partition)) in [
+            (1usize, 6usize, 128usize, 64usize),
+            (4, 3, 96, 32),
+            (2, 5, 100, 64), // partial last partition
+            (3, 2, 16, 16),  // single partition
+            (1, 1, 130, 64), // decode-like with ragged tail
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut rng = DetRng::new(4242 + case as u64);
+            let a = Matrix::random_normal(m, z, 0.0, 1.0, &mut rng);
+            let b_t = Matrix::random_normal(n, z, 0.0, 1.0, &mut rng);
+            let (qa, qb) = quantize_pair(
+                &a,
+                &b_t,
+                QuantBits::Int8,
+                QuantBits::Int2,
+                partition,
+                &mut rng,
+            );
+            for use_se in [true, false] {
+                let (fast, fast_counts) = homomorphic_matmul_counted(&qa, &qb, use_se);
+                let (slow, slow_counts) = reference::homomorphic_matmul_scalar(&qa, &qb, use_se);
+                assert_eq!(
+                    fast.as_slice(),
+                    slow.as_slice(),
+                    "case {case} se={use_se}: outputs differ"
+                );
+                assert_eq!(fast_counts, slow_counts, "case {case} se={use_se}: counts");
+            }
+        }
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub mod stochastic;
 
 pub use homomorphic::{dequant_matmul, homomorphic_matmul, homomorphic_matmul_no_se};
 pub use params::{HackConfig, PartitionSize, QuantBits, RoundingMode};
-pub use qmatrix::QuantizedTensor;
+pub use qmatrix::{PartitionLayout, QuantizedTensor};

@@ -44,6 +44,74 @@ impl AppendStats {
     }
 }
 
+/// Quantizes one partition's values into `dst` (same length), returning the partition
+/// metadata and the code sum (Summation Elimination). Operating on flat slices lets the
+/// compiler hoist every bounds check out of the element loop; the per-element
+/// arithmetic is exactly [`quantize_value`], so codes are bit-identical to the scalar
+/// path.
+#[inline]
+fn quantize_partition(
+    src: &[f32],
+    dst: &mut [u8],
+    bits: QuantBits,
+    mode: RoundingMode,
+    rng: &mut DetRng,
+) -> (PartitionMeta, i32) {
+    debug_assert_eq!(src.len(), dst.len());
+    let pm = PartitionMeta::from_values(src, bits);
+    let mut sum = 0i32;
+    for (c, &v) in dst.iter_mut().zip(src) {
+        let code = quantize_value(v, &pm, bits, mode, rng);
+        *c = code;
+        sum += code as i32;
+    }
+    (pm, sum)
+}
+
+/// Partition layout of one vector along the contracted dimension: Π plus the vector
+/// length. This is the single place the partition-index arithmetic lives; every
+/// quantize/dequantize/append path derives its ranges from here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionLayout {
+    cols: usize,
+    partition: usize,
+}
+
+impl PartitionLayout {
+    /// Creates a layout for vectors of length `cols` split into partitions of Π =
+    /// `partition` elements.
+    ///
+    /// # Panics
+    /// Panics if `partition` is zero.
+    pub fn new(cols: usize, partition: usize) -> Self {
+        assert!(partition > 0, "partition size must be positive");
+        Self { cols, partition }
+    }
+
+    /// Number of partitions per vector (zero for zero-length vectors).
+    #[inline]
+    pub fn n_partitions(&self) -> usize {
+        if self.cols == 0 {
+            0
+        } else {
+            self.cols.div_ceil(self.partition)
+        }
+    }
+
+    /// `[start, end)` column range of partition `p` (the last partition may be short).
+    #[inline]
+    pub fn range(&self, p: usize) -> (usize, usize) {
+        let start = p * self.partition;
+        let end = (start + self.partition).min(self.cols);
+        (start, end)
+    }
+
+    /// Iterator over `(start, end)` ranges of every partition, in order.
+    pub fn ranges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n_partitions()).map(|p| self.range(p))
+    }
+}
+
 /// Quantized, partitioned tensor (see module docs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedTensor {
@@ -69,30 +137,27 @@ impl QuantizedTensor {
         mode: RoundingMode,
         rng: &mut DetRng,
     ) -> Self {
-        assert!(partition > 0, "partition size must be positive");
+        let layout = PartitionLayout::new(m.cols(), partition);
         let rows = m.rows();
         let cols = m.cols();
-        let n_parts = cols
-            .div_ceil(partition.max(1))
-            .max(if cols == 0 { 0 } else { 1 });
+        let n_parts = layout.n_partitions();
         let mut codes = vec![0u8; rows * cols];
         let mut meta = Vec::with_capacity(rows * n_parts);
         let mut sums = Vec::with_capacity(rows * n_parts);
-        for r in 0..rows {
-            let row = m.row(r);
-            for p in 0..n_parts {
-                let start = p * partition;
-                let end = (start + partition).min(cols);
-                let slice = &row[start..end];
-                let pm = PartitionMeta::from_values(slice, bits);
-                let mut sum = 0i32;
-                for (i, &v) in slice.iter().enumerate() {
-                    let c = quantize_value(v, &pm, bits, mode, rng);
-                    codes[r * cols + start + i] = c;
-                    sum += c as i32;
+        if cols > 0 {
+            for (r, row_codes) in codes.chunks_exact_mut(cols).enumerate() {
+                let row = m.row(r);
+                for (start, end) in layout.ranges() {
+                    let (pm, sum) = quantize_partition(
+                        &row[start..end],
+                        &mut row_codes[start..end],
+                        bits,
+                        mode,
+                        rng,
+                    );
+                    meta.push(pm);
+                    sums.push(sum);
                 }
-                meta.push(pm);
-                sums.push(sum);
             }
         }
         Self {
@@ -147,13 +212,8 @@ impl QuantizedTensor {
         meta: Vec<PartitionMeta>,
         sums: Vec<i32>,
     ) -> Self {
-        assert!(partition > 0, "partition size must be positive");
         assert_eq!(codes.len(), rows * cols, "codes length mismatch");
-        let n_parts = if cols == 0 {
-            0
-        } else {
-            cols.div_ceil(partition)
-        };
+        let n_parts = PartitionLayout::new(cols, partition).n_partitions();
         assert_eq!(meta.len(), rows * n_parts, "meta length mismatch");
         assert_eq!(sums.len(), rows * n_parts, "sums length mismatch");
         Self {
@@ -187,20 +247,25 @@ impl QuantizedTensor {
         self.partition
     }
 
-    /// Number of partitions per vector.
-    pub fn n_partitions(&self) -> usize {
-        if self.cols == 0 {
-            0
-        } else {
-            self.cols.div_ceil(self.partition)
+    /// Partition layout of the stored vectors.
+    #[inline]
+    pub fn layout(&self) -> PartitionLayout {
+        PartitionLayout {
+            cols: self.cols,
+            partition: self.partition,
         }
     }
 
+    /// Number of partitions per vector.
+    #[inline]
+    pub fn n_partitions(&self) -> usize {
+        self.layout().n_partitions()
+    }
+
     /// `[start, end)` column range of partition `p`.
+    #[inline]
     pub fn partition_range(&self, p: usize) -> (usize, usize) {
-        let start = p * self.partition;
-        let end = (start + self.partition).min(self.cols);
-        (start, end)
+        self.layout().range(p)
     }
 
     /// Codes of vector `r`.
@@ -262,13 +327,24 @@ impl QuantizedTensor {
     /// Dequantizes into a `rows × cols` matrix (in the stored orientation).
     pub fn dequantize(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, self.cols);
-        let n_parts = self.n_partitions();
-        for r in 0..self.rows {
-            for p in 0..n_parts {
-                let (start, end) = self.partition_range(p);
-                let pm = self.meta[r * n_parts + p];
-                for c in start..end {
-                    out.set(r, c, dequantize_value(self.codes[r * self.cols + c], &pm));
+        let cols = self.cols;
+        if cols == 0 {
+            return out;
+        }
+        let layout = self.layout();
+        let n_parts = layout.n_partitions();
+        let data = out.as_mut_slice();
+        for (r, (row_codes, out_row)) in self
+            .codes
+            .chunks_exact(cols)
+            .zip(data.chunks_exact_mut(cols))
+            .enumerate()
+        {
+            let meta_row = &self.meta[r * n_parts..(r + 1) * n_parts];
+            for (p, (start, end)) in layout.ranges().enumerate() {
+                let pm = meta_row[p];
+                for (o, &c) in out_row[start..end].iter_mut().zip(&row_codes[start..end]) {
+                    *o = dequantize_value(c, &pm);
                 }
             }
         }
@@ -291,24 +367,25 @@ impl QuantizedTensor {
             "append_rows expects vectors of length {}",
             self.cols
         );
-        let n_parts = self.n_partitions();
+        let layout = self.layout();
         let mut stats = AppendStats::default();
         for r in 0..m.rows() {
             let row = m.row(r);
-            for p in 0..n_parts {
-                let (start, end) = self.partition_range(p);
-                let slice = &row[start..end];
-                let pm = PartitionMeta::from_values(slice, self.bits);
-                let mut sum = 0i32;
-                for &v in slice {
-                    let c = quantize_value(v, &pm, self.bits, mode, rng);
-                    self.codes.push(c);
-                    sum += c as i32;
-                }
+            let base = self.codes.len();
+            self.codes.resize(base + self.cols, 0);
+            let row_codes = &mut self.codes[base..];
+            for (start, end) in layout.ranges() {
+                let (pm, sum) = quantize_partition(
+                    &row[start..end],
+                    &mut row_codes[start..end],
+                    self.bits,
+                    mode,
+                    rng,
+                );
                 self.meta.push(pm);
                 self.sums.push(sum);
                 stats.new_partitions += 1;
-                stats.quantized_elements += slice.len();
+                stats.quantized_elements += end - start;
             }
             self.rows += 1;
         }
@@ -341,7 +418,8 @@ impl QuantizedTensor {
         let old_cols = self.cols;
         let new_total = old_cols + t;
         let old_parts = self.n_partitions();
-        let new_parts = new_total.div_ceil(self.partition);
+        let new_layout = PartitionLayout::new(new_total, self.partition);
+        let new_parts = new_layout.n_partitions();
         let mut stats = AppendStats::default();
 
         // Rebuild codes/meta/sums row by row (the contracted dimension is contiguous
@@ -349,56 +427,54 @@ impl QuantizedTensor {
         let mut new_codes = vec![0u8; self.rows * new_total];
         let mut new_meta = Vec::with_capacity(self.rows * new_parts);
         let mut new_sums = Vec::with_capacity(self.rows * new_parts);
+        // Scratch for the values of a partition that must be (re)quantized.
+        let mut values: Vec<f32> = Vec::with_capacity(self.partition);
 
-        for r in 0..self.rows {
+        for (r, new_row_codes) in new_codes.chunks_exact_mut(new_total).enumerate() {
             // Assemble the full real-valued row: dequantized existing full partitions
             // stay untouched; the partial last partition (if any) is dequantized so it
             // can be requantized together with the new values.
             let old_row_codes = &self.codes[r * old_cols..(r + 1) * old_cols];
+            let old_meta_row = &self.meta[r * old_parts..(r + 1) * old_parts];
+            let old_sums_row = &self.sums[r * old_parts..(r + 1) * old_parts];
             let new_row_vals = new_cols.row(r);
 
-            for p in 0..new_parts {
-                let start = p * self.partition;
-                let end = (start + self.partition).min(new_total);
-
+            for (p, (start, end)) in new_layout.ranges().enumerate() {
                 if end <= old_cols {
                     // Entirely existing, untouched partition: copy codes/meta/sum.
-                    let pm = self.meta[r * old_parts + p];
-                    let sum = self.sums[r * old_parts + p];
-                    new_codes[r * new_total + start..r * new_total + end]
-                        .copy_from_slice(&old_row_codes[start..end]);
-                    new_meta.push(pm);
-                    new_sums.push(sum);
+                    new_row_codes[start..end].copy_from_slice(&old_row_codes[start..end]);
+                    new_meta.push(old_meta_row[p]);
+                    new_sums.push(old_sums_row[p]);
                     continue;
                 }
 
                 // Partition contains new elements (and possibly old ones needing
                 // requantization).
                 let n_old = old_cols.saturating_sub(start);
-                let mut values: Vec<f32> = Vec::with_capacity(end - start);
+                values.clear();
                 if n_old > 0 {
-                    let pm_old = self.meta[r * old_parts + p];
-                    #[allow(clippy::needless_range_loop)]
-                    for c in start..old_cols {
-                        values.push(dequantize_value(old_row_codes[c], &pm_old));
-                    }
+                    let pm_old = old_meta_row[p];
+                    values.extend(
+                        old_row_codes[start..old_cols]
+                            .iter()
+                            .map(|&c| dequantize_value(c, &pm_old)),
+                    );
                     stats.requantized_elements += n_old;
                 }
-                for idx in (start.max(old_cols))..end {
-                    values.push(new_row_vals[idx - old_cols]);
-                }
-                stats.quantized_elements += end - start.max(old_cols);
+                let new_from = start.max(old_cols);
+                values.extend_from_slice(&new_row_vals[new_from - old_cols..end - old_cols]);
+                stats.quantized_elements += end - new_from;
                 if p >= old_parts || n_old == 0 {
                     stats.new_partitions += 1;
                 }
 
-                let pm = PartitionMeta::from_values(&values, self.bits);
-                let mut sum = 0i32;
-                for (i, &v) in values.iter().enumerate() {
-                    let c = quantize_value(v, &pm, self.bits, mode, rng);
-                    new_codes[r * new_total + start + i] = c;
-                    sum += c as i32;
-                }
+                let (pm, sum) = quantize_partition(
+                    &values,
+                    &mut new_row_codes[start..end],
+                    self.bits,
+                    mode,
+                    rng,
+                );
                 new_meta.push(pm);
                 new_sums.push(sum);
             }
@@ -460,6 +536,151 @@ impl QuantizedTensor {
     }
 }
 
+/// Pre-change scalar implementations, kept verbatim as the bit-exactness oracle for
+/// the blocked kernels above. Every optimized path must reproduce these exactly —
+/// codes, metadata, sums and RNG stream consumption included.
+#[cfg(test)]
+mod scalar_reference {
+    use super::*;
+
+    /// The seed's element-indexed `quantize_rows`.
+    pub fn quantize_rows(
+        m: &Matrix,
+        bits: QuantBits,
+        partition: usize,
+        mode: RoundingMode,
+        rng: &mut DetRng,
+    ) -> QuantizedTensor {
+        assert!(partition > 0, "partition size must be positive");
+        let rows = m.rows();
+        let cols = m.cols();
+        let n_parts = cols
+            .div_ceil(partition.max(1))
+            .max(if cols == 0 { 0 } else { 1 });
+        let mut codes = vec![0u8; rows * cols];
+        let mut meta = Vec::with_capacity(rows * n_parts);
+        let mut sums = Vec::with_capacity(rows * n_parts);
+        for r in 0..rows {
+            let row = m.row(r);
+            for p in 0..n_parts {
+                let start = p * partition;
+                let end = (start + partition).min(cols);
+                let slice = &row[start..end];
+                let pm = PartitionMeta::from_values(slice, bits);
+                let mut sum = 0i32;
+                for (i, &v) in slice.iter().enumerate() {
+                    let c = quantize_value(v, &pm, bits, mode, rng);
+                    codes[r * cols + start + i] = c;
+                    sum += c as i32;
+                }
+                meta.push(pm);
+                sums.push(sum);
+            }
+        }
+        QuantizedTensor::from_parts(rows, cols, bits, partition, codes, meta, sums)
+    }
+
+    /// The seed's element-indexed `dequantize`.
+    pub fn dequantize(q: &QuantizedTensor) -> Matrix {
+        let mut out = Matrix::zeros(q.rows(), q.cols());
+        let n_parts = q.n_partitions();
+        for r in 0..q.rows() {
+            for p in 0..n_parts {
+                let (start, end) = q.partition_range(p);
+                let pm = q.metas()[r * n_parts + p];
+                for c in start..end {
+                    out.set(r, c, dequantize_value(q.codes()[r * q.cols() + c], &pm));
+                }
+            }
+        }
+        out
+    }
+
+    /// The seed's element-indexed `append_columns`.
+    pub fn append_columns(
+        q: &mut QuantizedTensor,
+        new_cols: &Matrix,
+        mode: RoundingMode,
+        rng: &mut DetRng,
+    ) -> AppendStats {
+        assert_eq!(new_cols.rows(), q.rows(), "append_columns rows");
+        let t = new_cols.cols();
+        if t == 0 {
+            return AppendStats::default();
+        }
+        let old_cols = q.cols();
+        let new_total = old_cols + t;
+        let old_parts = q.n_partitions();
+        let partition = q.partition();
+        let bits = q.bits();
+        let new_parts = new_total.div_ceil(partition);
+        let mut stats = AppendStats::default();
+
+        let mut new_codes = vec![0u8; q.rows() * new_total];
+        let mut new_meta = Vec::with_capacity(q.rows() * new_parts);
+        let mut new_sums = Vec::with_capacity(q.rows() * new_parts);
+
+        for r in 0..q.rows() {
+            let old_row_codes = &q.codes()[r * old_cols..(r + 1) * old_cols];
+            let new_row_vals = new_cols.row(r);
+
+            for p in 0..new_parts {
+                let start = p * partition;
+                let end = (start + partition).min(new_total);
+
+                if end <= old_cols {
+                    let pm = q.metas()[r * old_parts + p];
+                    let sum = q.sums()[r * old_parts + p];
+                    new_codes[r * new_total + start..r * new_total + end]
+                        .copy_from_slice(&old_row_codes[start..end]);
+                    new_meta.push(pm);
+                    new_sums.push(sum);
+                    continue;
+                }
+
+                let n_old = old_cols.saturating_sub(start);
+                let mut values: Vec<f32> = Vec::with_capacity(end - start);
+                if n_old > 0 {
+                    let pm_old = q.metas()[r * old_parts + p];
+                    #[allow(clippy::needless_range_loop)]
+                    for c in start..old_cols {
+                        values.push(dequantize_value(old_row_codes[c], &pm_old));
+                    }
+                    stats.requantized_elements += n_old;
+                }
+                for idx in (start.max(old_cols))..end {
+                    values.push(new_row_vals[idx - old_cols]);
+                }
+                stats.quantized_elements += end - start.max(old_cols);
+                if p >= old_parts || n_old == 0 {
+                    stats.new_partitions += 1;
+                }
+
+                let pm = PartitionMeta::from_values(&values, bits);
+                let mut sum = 0i32;
+                for (i, &v) in values.iter().enumerate() {
+                    let c = quantize_value(v, &pm, bits, mode, rng);
+                    new_codes[r * new_total + start + i] = c;
+                    sum += c as i32;
+                }
+                new_meta.push(pm);
+                new_sums.push(sum);
+            }
+        }
+
+        *q = QuantizedTensor::from_parts(
+            q.rows(),
+            new_total,
+            bits,
+            partition,
+            new_codes,
+            new_meta,
+            new_sums,
+        );
+        stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +688,84 @@ mod tests {
 
     fn rng() -> DetRng {
         DetRng::new(1234)
+    }
+
+    // --- Bit-exactness of the blocked kernels against the scalar reference. ---
+
+    #[test]
+    fn blocked_quantize_rows_is_bit_identical_to_scalar_reference() {
+        for (case, (rows, cols, partition)) in
+            [(3, 128, 64), (5, 100, 32), (1, 16, 16), (4, 97, 64)]
+                .into_iter()
+                .enumerate()
+        {
+            for bits in [QuantBits::Int2, QuantBits::Int4, QuantBits::Int8] {
+                for mode in [RoundingMode::Nearest, RoundingMode::Stochastic] {
+                    let mut data_rng = DetRng::new(500 + case as u64);
+                    let m = Matrix::random_normal(rows, cols, 0.0, 1.5, &mut data_rng);
+                    let mut rng_a = DetRng::new(42 + case as u64);
+                    let mut rng_b = DetRng::new(42 + case as u64);
+                    let fast =
+                        QuantizedTensor::quantize_rows(&m, bits, partition, mode, &mut rng_a);
+                    let slow =
+                        scalar_reference::quantize_rows(&m, bits, partition, mode, &mut rng_b);
+                    assert_eq!(fast, slow, "case {case} {bits:?} {mode:?}");
+                    // The RNG streams must stay in lockstep, so later draws agree too.
+                    assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "case {case}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_dequantize_is_bit_identical_to_scalar_reference() {
+        for seed in 0..4 {
+            let mut rng = DetRng::new(700 + seed);
+            let m = Matrix::random_normal(6, 150, 0.0, 2.0, &mut rng);
+            let q = QuantizedTensor::quantize_rows(
+                &m,
+                QuantBits::Int2,
+                64,
+                RoundingMode::Stochastic,
+                &mut rng,
+            );
+            let fast = q.dequantize();
+            let slow = scalar_reference::dequantize(&q);
+            assert_eq!(fast.as_slice(), slow.as_slice(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn blocked_append_columns_is_bit_identical_to_scalar_reference() {
+        // Exercise aligned, unaligned and growing-past-a-boundary appends.
+        for (case, (cols, t)) in [(64, 3), (40, 1), (40, 30), (0, 32), (33, 64)]
+            .into_iter()
+            .enumerate()
+        {
+            for mode in [RoundingMode::Nearest, RoundingMode::Stochastic] {
+                let mut data_rng = DetRng::new(900 + case as u64);
+                let head = Matrix::random_normal(4, cols, 0.0, 1.0, &mut data_rng);
+                let tail = Matrix::random_normal(4, t, 0.0, 2.0, &mut data_rng);
+                let mut rng_a = DetRng::new(77 + case as u64);
+                let mut rng_b = DetRng::new(77 + case as u64);
+                let mut fast = if cols == 0 {
+                    QuantizedTensor::empty(4, QuantBits::Int2, 32)
+                } else {
+                    QuantizedTensor::quantize_rows(&head, QuantBits::Int2, 32, mode, &mut rng_a)
+                };
+                let mut slow = if cols == 0 {
+                    QuantizedTensor::empty(4, QuantBits::Int2, 32)
+                } else {
+                    scalar_reference::quantize_rows(&head, QuantBits::Int2, 32, mode, &mut rng_b)
+                };
+                let stats_fast = fast.append_columns(&tail, mode, &mut rng_a);
+                let stats_slow =
+                    scalar_reference::append_columns(&mut slow, &tail, mode, &mut rng_b);
+                assert_eq!(fast, slow, "case {case} {mode:?}");
+                assert_eq!(stats_fast, stats_slow, "case {case} {mode:?}");
+                assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "case {case}");
+            }
+        }
     }
 
     #[test]

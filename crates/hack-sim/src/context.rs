@@ -1,7 +1,9 @@
 //! Per-component handle into the simulation.
 
 use crate::event::{ComponentId, EventId};
+use crate::payload::Payload;
 use crate::state::SimState;
+use crate::EngineMode;
 use hack_tensor::DetRng;
 use std::any::Any;
 use std::cell::RefCell;
@@ -46,13 +48,8 @@ impl SimulationContext {
     pub fn emit<T: Any>(&self, payload: T, dst: ComponentId, delay: f64) -> EventId {
         let mut state = self.state.borrow_mut();
         let time = state.time() + delay;
-        state.add_event(
-            Box::new(payload),
-            std::any::type_name::<T>(),
-            self.id,
-            dst,
-            time,
-        )
+        let payload = wrap_payload(payload, state.mode());
+        state.add_event(payload, std::any::type_name::<T>(), self.id, dst, time)
     }
 
     /// Schedules `payload` for delivery to `dst` at the absolute time `time`.
@@ -60,13 +57,9 @@ impl SimulationContext {
     /// # Panics
     /// Panics when `time` is non-finite or earlier than the current time.
     pub fn emit_at<T: Any>(&self, payload: T, dst: ComponentId, time: f64) -> EventId {
-        self.state.borrow_mut().add_event(
-            Box::new(payload),
-            std::any::type_name::<T>(),
-            self.id,
-            dst,
-            time,
-        )
+        let mut state = self.state.borrow_mut();
+        let payload = wrap_payload(payload, state.mode());
+        state.add_event(payload, std::any::type_name::<T>(), self.id, dst, time)
     }
 
     /// Schedules `payload` for delivery back to this component after `delay`.
@@ -95,6 +88,15 @@ impl SimulationContext {
     /// component that wants its own stream).
     pub fn fork_rng(&self) -> DetRng {
         self.state.borrow_mut().rng().fork()
+    }
+}
+
+/// Wraps a payload according to the engine mode: inline-capable in the default
+/// slab engine, always boxed in the pre-change compatibility mode.
+fn wrap_payload<T: Any>(payload: T, mode: EngineMode) -> Payload {
+    match mode {
+        EngineMode::Slab => Payload::new(payload),
+        EngineMode::Boxed => Payload::boxed(payload),
     }
 }
 

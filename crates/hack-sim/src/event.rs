@@ -1,5 +1,6 @@
 //! Simulation events: typed payloads with total-ordered (time, id) scheduling.
 
+use crate::payload::Payload;
 use std::any::Any;
 use std::cmp::Ordering;
 
@@ -29,8 +30,9 @@ pub struct Event {
     /// `std::any::type_name` of the payload, captured at emission (for logs and
     /// diagnostics).
     pub payload_type: &'static str,
-    /// Typed payload.
-    pub payload: Box<dyn Any>,
+    /// Typed payload (stored inline when small, boxed otherwise — see
+    /// [`crate::payload::Payload`]).
+    pub payload: Payload,
 }
 
 impl Event {
@@ -42,6 +44,11 @@ impl Event {
     /// The payload as `&T`, if it is of type `T`.
     pub fn get<T: Any>(&self) -> Option<&T> {
         self.payload.downcast_ref::<T>()
+    }
+
+    /// Whether the payload avoids a heap allocation.
+    pub fn payload_is_inline(&self) -> bool {
+        self.payload.is_inline()
     }
 }
 
@@ -85,7 +92,7 @@ mod tests {
             src: 0,
             dst: 0,
             payload_type: "()",
-            payload: Box::new(()),
+            payload: Payload::new(()),
         }
     }
 
@@ -124,7 +131,7 @@ mod tests {
             src: 1,
             dst: 2,
             payload_type: std::any::type_name::<Ping>(),
-            payload: Box::new(Ping { n: 7 }),
+            payload: Payload::new(Ping { n: 7 }),
         };
         assert!(e.is::<Ping>());
         assert!(!e.is::<u32>());

@@ -85,11 +85,31 @@ pub mod context;
 pub mod event;
 pub mod handler;
 pub mod log;
+pub mod payload;
+pub mod queue;
 pub mod simulation;
 mod state;
+
+/// Engine representation: how events are queued and payloads stored.
+///
+/// Both modes produce bit-identical event traces and results; they differ only
+/// in allocation behaviour and speed. [`EngineMode::Boxed`] is the seed
+/// implementation, retained so benchmarks and tests can measure/verify the
+/// slab engine against it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Free-list slab of event nodes behind a compact key heap; payloads up to
+    /// 24 bytes stored inline (no allocation per event). The default.
+    #[default]
+    Slab,
+    /// Pre-change representation: full events in a `BinaryHeap`, every payload
+    /// boxed.
+    Boxed,
+}
 
 pub use context::SimulationContext;
 pub use event::{ComponentId, Event, EventId};
 pub use handler::EventHandler;
 pub use log::{EventRecord, RecordKind};
+pub use payload::Payload;
 pub use simulation::Simulation;

@@ -5,6 +5,7 @@ use crate::event::{ComponentId, Event};
 use crate::handler::EventHandler;
 use crate::log::EventRecord;
 use crate::state::SimState;
+use crate::EngineMode;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -24,14 +25,29 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Creates an empty simulation whose RNG is seeded with `seed`.
+    /// Creates an empty simulation whose RNG is seeded with `seed`, using the
+    /// default slab/inline-payload engine.
     pub fn new(seed: u64) -> Self {
+        Self::with_mode(seed, EngineMode::Slab)
+    }
+
+    /// Creates an empty simulation with an explicit engine representation.
+    ///
+    /// [`EngineMode::Boxed`] reproduces the pre-slab engine (full events
+    /// heapified, every payload boxed); event traces and results are
+    /// bit-identical across modes — only allocation behaviour and speed differ.
+    pub fn with_mode(seed: u64, mode: EngineMode) -> Self {
         Self {
-            state: Rc::new(RefCell::new(SimState::new(seed))),
+            state: Rc::new(RefCell::new(SimState::new(seed, mode))),
             names: Vec::new(),
             handlers: Vec::new(),
             unhandled: 0,
         }
+    }
+
+    /// The engine representation this simulation runs on.
+    pub fn mode(&self) -> EngineMode {
+        self.state.borrow().mode()
     }
 
     /// Registers a component name and returns its context. The returned context
@@ -282,6 +298,50 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn slab_and_boxed_modes_produce_identical_traces() {
+        // The slab/inline-payload engine must reproduce the pre-change boxed
+        // engine bit-for-bit: same event log, same final clock, same counts.
+        let run = |mode: crate::EngineMode| {
+            let mut sim = Simulation::with_mode(21, mode);
+            sim.set_log_enabled(true);
+            let counter = build_counter(&mut sim, 0.75);
+            let delay = counter.borrow().ctx.gen_range(0.0, 1.0);
+            counter.borrow().ctx.emit_self(Tick { n: 50 }, delay);
+            sim.run();
+            (sim.take_log(), sim.time().to_bits(), sim.processed_count())
+        };
+        let slab = run(crate::EngineMode::Slab);
+        let boxed = run(crate::EngineMode::Boxed);
+        assert_eq!(slab, boxed);
+    }
+
+    #[test]
+    fn slab_mode_delivers_small_payloads_inline_boxed_mode_never_does() {
+        struct Probe {
+            inline_seen: Vec<bool>,
+        }
+        impl EventHandler for Probe {
+            fn on(&mut self, event: Event) {
+                self.inline_seen.push(event.payload_is_inline());
+            }
+        }
+        for (mode, expect_inline) in [
+            (crate::EngineMode::Slab, true),
+            (crate::EngineMode::Boxed, false),
+        ] {
+            let mut sim = Simulation::with_mode(1, mode);
+            let ctx = sim.create_context("probe");
+            ctx.emit_self(Tick { n: 1 }, 0.5);
+            let probe = Rc::new(RefCell::new(Probe {
+                inline_seen: Vec::new(),
+            }));
+            sim.add_handler("probe", probe.clone());
+            sim.run();
+            assert_eq!(probe.borrow().inline_seen, vec![expect_inline], "{mode:?}");
+        }
     }
 
     #[test]

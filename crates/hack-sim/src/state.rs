@@ -2,13 +2,16 @@
 
 use crate::event::{ComponentId, Event, EventId};
 use crate::log::{EventRecord, RecordKind};
+use crate::payload::Payload;
+use crate::queue::{BoxedEventQueue, EventQueue, SlabEventQueue};
+use crate::EngineMode;
 use hack_tensor::DetRng;
-use std::any::Any;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 
 pub(crate) struct SimState {
     clock: f64,
-    events: BinaryHeap<Event>,
+    mode: EngineMode,
+    events: EventQueue,
     canceled: HashSet<EventId>,
     next_event_id: EventId,
     processed: u64,
@@ -17,16 +20,25 @@ pub(crate) struct SimState {
 }
 
 impl SimState {
-    pub fn new(seed: u64) -> Self {
+    pub fn new(seed: u64, mode: EngineMode) -> Self {
         Self {
             clock: 0.0,
-            events: BinaryHeap::new(),
+            mode,
+            events: match mode {
+                EngineMode::Slab => EventQueue::Slab(SlabEventQueue::default()),
+                EngineMode::Boxed => EventQueue::Boxed(BoxedEventQueue::default()),
+            },
             canceled: HashSet::new(),
             next_event_id: 0,
             processed: 0,
             rng: DetRng::new(seed),
             log: None,
         }
+    }
+
+    /// The engine representation this state was built with.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
     }
 
     pub fn time(&self) -> f64 {
@@ -60,7 +72,7 @@ impl SimState {
     /// source.
     pub fn add_event(
         &mut self,
-        payload: Box<dyn Any>,
+        payload: Payload,
         payload_type: &'static str,
         src: ComponentId,
         dst: ComponentId,
@@ -112,7 +124,9 @@ impl SimState {
     /// Pops the next live event and advances the clock to it.
     pub fn next_event(&mut self) -> Option<Event> {
         while let Some(event) = self.events.pop() {
-            if self.canceled.remove(&event.id) {
+            // The empty-set check skips a per-event hash lookup on the (vastly
+            // dominant) runs that never cancel anything.
+            if !self.canceled.is_empty() && self.canceled.remove(&event.id) {
                 continue;
             }
             debug_assert!(event.time >= self.clock, "event queue went backwards");

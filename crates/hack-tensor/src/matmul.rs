@@ -167,6 +167,158 @@ pub fn gemm_u8_i32(a: &[u8], b: &[u8], m: usize, k: usize, n: usize) -> Vec<i32>
     out
 }
 
+/// Blocked inner product of two unsigned code slices with `i32` accumulation —
+/// the innermost kernel of the homomorphic GEMM (§5.3).
+///
+/// On x86-64 this widens 16 codes at a time to 16-bit lanes and multiply-adds
+/// them with `pmaddwd` (part of the x86-64 baseline, so no runtime dispatch) —
+/// the CPU analogue of the paper's §6 trick of widening 2-bit codes to INT8
+/// for the tensor-core GEMM. Every step is exact integer arithmetic and `i32`
+/// addition is associative (also modulo 2³², so even on overflow), making the
+/// result bit-identical to the scalar left-to-right sum.
+#[inline]
+pub fn dot_u8_i32(a: &[u8], b: &[u8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "dot_u8_i32 length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        // `is_x86_feature_detected!` caches its probe in an atomic, so this is
+        // one relaxed load + predictable branch per call.
+        if a.len() >= 32 && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 presence just checked.
+            return unsafe { dot_u8_i32_avx2(a, b) };
+        }
+        // SAFETY: SSE2 is part of the x86-64 baseline instruction set.
+        unsafe { dot_u8_i32_sse2(a, b) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    dot_u8_i32_scalar(a, b)
+}
+
+/// Portable fallback (and the oracle the SIMD path is tested against).
+#[inline]
+#[cfg_attr(target_arch = "x86_64", allow(dead_code))]
+fn dot_u8_i32_scalar(a: &[u8], b: &[u8]) -> i32 {
+    let mut acc = 0i32;
+    for (x, y) in a.iter().zip(b) {
+        acc = acc.wrapping_add(*x as i32 * *y as i32);
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn dot_u8_i32_sse2(a: &[u8], b: &[u8]) -> i32 {
+    use std::arch::x86_64::*;
+    let len = a.len();
+    let chunks = len / 16;
+    unsafe {
+        let zero = _mm_setzero_si128();
+        let mut acc = _mm_setzero_si128(); // four i32 partial sums
+        for c in 0..chunks {
+            let pa = _mm_loadu_si128(a.as_ptr().add(c * 16).cast());
+            let pb = _mm_loadu_si128(b.as_ptr().add(c * 16).cast());
+            // Zero-extend u8 -> 16-bit lanes (0..=255 is non-negative as i16),
+            // then pmaddwd: lane products (<= 255² = 65025) are summed pairwise
+            // into i32 lanes — exact.
+            let a_lo = _mm_unpacklo_epi8(pa, zero);
+            let a_hi = _mm_unpackhi_epi8(pa, zero);
+            let b_lo = _mm_unpacklo_epi8(pb, zero);
+            let b_hi = _mm_unpackhi_epi8(pb, zero);
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(a_lo, b_lo));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(a_hi, b_hi));
+        }
+        // Horizontal sum of the four i32 lanes.
+        let hi64 = _mm_unpackhi_epi64(acc, acc);
+        let sum2 = _mm_add_epi32(acc, hi64);
+        let hi32 = _mm_shuffle_epi32(sum2, 0b0000_0001);
+        let mut total = _mm_cvtsi128_si32(_mm_add_epi32(sum2, hi32));
+        for i in chunks * 16..len {
+            total = total.wrapping_add(*a.get_unchecked(i) as i32 * *b.get_unchecked(i) as i32);
+        }
+        total
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn dot_u8_i32_avx2(a: &[u8], b: &[u8]) -> i32 {
+    use std::arch::x86_64::*;
+    let len = a.len();
+    let chunks = len / 32;
+    unsafe {
+        let zero = _mm256_setzero_si256();
+        let mut acc = _mm256_setzero_si256(); // eight i32 partial sums
+        for c in 0..chunks {
+            let pa = _mm256_loadu_si256(a.as_ptr().add(c * 32).cast());
+            let pb = _mm256_loadu_si256(b.as_ptr().add(c * 32).cast());
+            // Same widen-then-pmaddwd scheme as the SSE2 path, 32 codes at a time.
+            let a_lo = _mm256_unpacklo_epi8(pa, zero);
+            let a_hi = _mm256_unpackhi_epi8(pa, zero);
+            let b_lo = _mm256_unpacklo_epi8(pb, zero);
+            let b_hi = _mm256_unpackhi_epi8(pb, zero);
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_lo, b_lo));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_hi, b_hi));
+        }
+        // Horizontal sum of the eight i32 lanes.
+        let lo128 = _mm256_castsi256_si128(acc);
+        let hi128 = _mm256_extracti128_si256(acc, 1);
+        let sum4 = _mm_add_epi32(lo128, hi128);
+        let hi64 = _mm_unpackhi_epi64(sum4, sum4);
+        let sum2 = _mm_add_epi32(sum4, hi64);
+        let hi32 = _mm_shuffle_epi32(sum2, 0b0000_0001);
+        let mut total = _mm_cvtsi128_si32(_mm_add_epi32(sum2, hi32));
+        for i in chunks * 32..len {
+            total = total.wrapping_add(*a.get_unchecked(i) as i32 * *b.get_unchecked(i) as i32);
+        }
+        total
+    }
+}
+
+/// Computes the per-partition inner products of two equal-length code rows in
+/// one pass: `out[p] = dot(a[start_p..end_p], b[start_p..end_p])`.
+///
+/// This is [`dot_u8_i32`] fused over a whole partitioned row: the SIMD feature
+/// dispatch and the slice validation happen once per row pair instead of once
+/// per partition, which matters when partitions are short (Π = 32..128 codes).
+///
+/// # Panics
+/// Panics if the rows differ in length, `spans` and `out` differ in length, or
+/// any span is reversed or out of bounds.
+#[inline]
+pub fn partition_dots_u8_i32(a: &[u8], b: &[u8], spans: &[(usize, usize)], out: &mut [i32]) {
+    assert_eq!(a.len(), b.len(), "partition_dots_u8_i32 length mismatch");
+    assert_eq!(spans.len(), out.len(), "partition_dots_u8_i32 span count");
+    // Validate every span up front — this is a safe public fn, so the unchecked
+    // slicing below must be impossible to reach with a bad span.
+    for &(start, end) in spans {
+        assert!(
+            start <= end && end <= a.len(),
+            "partition span {start}..{end} out of bounds for row of length {}",
+            a.len()
+        );
+    }
+    #[cfg(target_arch = "x86_64")]
+    let use_avx2 = std::arch::is_x86_feature_detected!("avx2");
+    for (i, &(start, end)) in spans.iter().enumerate() {
+        // SAFETY: every span was validated against the row length above.
+        let (pa, pb) = unsafe { (a.get_unchecked(start..end), b.get_unchecked(start..end)) };
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY: feature checked (AVX2) / baseline (SSE2).
+            out[i] = if use_avx2 && pa.len() >= 32 {
+                unsafe { dot_u8_i32_avx2(pa, pb) }
+            } else {
+                unsafe { dot_u8_i32_sse2(pa, pb) }
+            };
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            out[i] = dot_u8_i32_scalar(pa, pb);
+        }
+    }
+}
+
 /// Integer GEMM where `B` is provided transposed (`n × k` row-major): `C = A · Bᵀ`.
 ///
 /// The quantized K matrix is stored token-major, so the score computation `Q'·K'ᵀ` uses
@@ -187,12 +339,7 @@ pub fn gemm_u8_i32_transposed_b(a: &[u8], b_t: &[u8], m: usize, k: usize, n: usi
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
         for (j, out_ij) in out_row.iter_mut().enumerate() {
-            let b_row = &b_t[j * k..(j + 1) * k];
-            let mut acc = 0i32;
-            for z in 0..k {
-                acc += a_row[z] as i32 * b_row[z] as i32;
-            }
-            *out_ij = acc;
+            *out_ij = dot_u8_i32(a_row, &b_t[j * k..(j + 1) * k]);
         }
     }
     out
@@ -301,6 +448,42 @@ mod tests {
         let expect = matmul(&af, &bf);
         for (i, &g) in got.iter().enumerate() {
             assert_eq!(g as f32, expect.as_slice()[i]);
+        }
+    }
+
+    #[test]
+    fn blocked_u8_dot_matches_scalar_sum() {
+        let mut rng = DetRng::new(11);
+        for len in [0, 1, 15, 16, 17, 31, 32, 64, 100, 255] {
+            let a: Vec<u8> = (0..len).map(|_| rng.range_usize(0, 256) as u8).collect();
+            let b: Vec<u8> = (0..len).map(|_| rng.range_usize(0, 256) as u8).collect();
+            let scalar: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+            assert_eq!(dot_u8_i32(&a, &b), scalar, "len {len}");
+            assert_eq!(dot_u8_i32_scalar(&a, &b), scalar, "scalar len {len}");
+        }
+        // Saturated inputs at maximal length exercise the pairwise i32 sums.
+        let a = vec![255u8; 4096];
+        assert_eq!(dot_u8_i32(&a, &a), 4096 * 255 * 255);
+    }
+
+    #[test]
+    fn fused_partition_dots_match_per_partition_dots() {
+        let mut rng = DetRng::new(12);
+        for (len, partition) in [(128usize, 64usize), (100, 32), (64, 64), (36, 16)] {
+            let a: Vec<u8> = (0..len).map(|_| rng.range_usize(0, 256) as u8).collect();
+            let b: Vec<u8> = (0..len).map(|_| rng.range_usize(0, 256) as u8).collect();
+            let spans: Vec<(usize, usize)> = (0..len.div_ceil(partition))
+                .map(|p| (p * partition, ((p + 1) * partition).min(len)))
+                .collect();
+            let mut fused = vec![0i32; spans.len()];
+            partition_dots_u8_i32(&a, &b, &spans, &mut fused);
+            for (i, &(s, e)) in spans.iter().enumerate() {
+                assert_eq!(
+                    fused[i],
+                    dot_u8_i32(&a[s..e], &b[s..e]),
+                    "{len}/{partition}@{i}"
+                );
+            }
         }
     }
 

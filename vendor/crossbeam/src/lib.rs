@@ -1,5 +1,28 @@
-//! Offline stub of `crossbeam`: just `channel::{unbounded, Sender, Receiver}`,
-//! implemented over `std::sync::mpsc` (single consumer is all this workspace needs).
+//! Offline stub of `crossbeam`: `channel::{unbounded, Sender, Receiver}`
+//! (implemented over `std::sync::mpsc` — single consumer is all this workspace
+//! needs) and `thread::scope` (implemented over `std::thread::scope`, which has
+//! provided structured borrowing of stack data since Rust 1.63).
+
+pub mod thread {
+    /// Scoped threads: spawned threads may borrow from the caller's stack and
+    /// are all joined before `scope` returns.
+    ///
+    /// Unlike the real crossbeam (whose spawn closures receive a `&Scope`
+    /// argument), this stub re-exports the `std` scope directly: closures take
+    /// no argument. The `Result` mirrors crossbeam's signature — `Err` carries
+    /// the payload of the first panicking thread instead of unwinding.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| std::thread::scope(f)))
+    }
+
+    /// Re-export of the std scope handle (`Scope::spawn` works as in std).
+    pub use std::thread::Scope;
+    /// Re-export of the std scoped join handle.
+    pub use std::thread::ScopedJoinHandle;
+}
 
 pub mod channel {
     use std::sync::mpsc;
@@ -59,6 +82,42 @@ pub mod channel {
         Empty,
         /// All senders disconnected.
         Disconnected,
+    }
+}
+
+#[cfg(test)]
+mod thread_tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data_and_join() {
+        let counter = AtomicU32::new(0);
+        let items = [1u32, 2, 3, 4];
+        let counter_ref = &counter;
+        let sum = thread::scope(|s| {
+            let handles: Vec<_> = items
+                .iter()
+                .map(|&x| {
+                    s.spawn(move || {
+                        counter_ref.fetch_add(1, Ordering::SeqCst);
+                        x * 10
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 100);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let result = thread::scope(|s| {
+            s.spawn(|| panic!("boom"));
+        });
+        assert!(result.is_err());
     }
 }
 
