@@ -24,10 +24,40 @@ pub(crate) mod prefill;
 
 use crate::config::SimulationConfig;
 use crate::events::TransferCompleted;
+use crate::sim::CostMode;
 use hack_model::cost::{KvMethodProfile, ReplicaCostModel};
+use hack_model::cost_table::{DecodeCostTable, PrefillCostTable};
 use hack_sim::{EventId, SimulationContext};
 use hack_workload::trace::Request;
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The memoized cost layer of one simulation run: the decode-side prefix-sum
+/// table and the prefill-side per-prompt-length memo, both built once per
+/// [`crate::sim::Simulator`], plus the mode selecting between them and the
+/// reference summation loops (kept as the equivalence oracle). The tables are
+/// `None` exactly under [`CostMode::Reference`], which never reads them (and
+/// must not pay for building them — it is the benchmarked "pre-table"
+/// baseline).
+pub(crate) struct SimCosts {
+    pub mode: CostMode,
+    pub decode: Option<Arc<DecodeCostTable>>,
+    pub prefill: Option<Arc<PrefillCostTable>>,
+}
+
+impl SimCosts {
+    fn decode_table(&self) -> &DecodeCostTable {
+        self.decode
+            .as_deref()
+            .expect("table cost mode always carries a decode cost table")
+    }
+
+    fn prefill_table(&self) -> &PrefillCostTable {
+        self.prefill
+            .as_deref()
+            .expect("table cost mode always carries a prefill cost table")
+    }
+}
 
 /// Prefill-side state of one replica.
 #[derive(Debug, Default, Clone)]
@@ -89,7 +119,8 @@ pub(crate) struct ClusterState {
     pub config: SimulationConfig,
     pub prefill_model: ReplicaCostModel,
     pub decode_model: ReplicaCostModel,
-    pub requests: Vec<Request>,
+    pub costs: SimCosts,
+    pub requests: Arc<Vec<Request>>,
     pub prefill: Vec<PrefillReplicaState>,
     pub decode: Vec<DecodeReplicaState>,
     pub states: Vec<ReqState>,
@@ -116,19 +147,56 @@ impl ClusterState {
         self.decode_model.kv_fp16_bytes(request.total_tokens()) * self.profile().kv_size_factor
     }
 
+    /// Total (decode, dequant/approx) time of `request`'s decode iterations —
+    /// two prefix subtractions in the decode cost table (O(1) per request), or
+    /// the reference summation loop under [`CostMode::Reference`].
     pub fn decode_durations(&self, request: &Request) -> (f64, f64) {
-        let profile = self.profile();
-        let batch = self.config.cluster.cost_params.decode_batch;
-        let mut decode = 0.0;
-        let mut dequant = 0.0;
-        for i in 0..request.output_len {
-            let kv_len = request.input_len + i + 1;
-            decode += self.decode_model.decode_iter_time(kv_len, profile, batch);
-            dequant += self
-                .decode_model
-                .dequant_or_approx_iter_time(kv_len, profile);
+        match self.costs.mode {
+            CostMode::Table => self
+                .costs
+                .decode_table()
+                .decode_durations(request.input_len, request.output_len),
+            CostMode::Reference => self.decode_durations_reference(request),
         }
-        (decode, dequant)
+    }
+
+    /// The pre-table sequential summation over decode iterations, kept as the
+    /// oracle the table path is pinned against.
+    pub fn decode_durations_reference(&self, request: &Request) -> (f64, f64) {
+        self.decode_model.decode_durations_reference(
+            self.profile(),
+            self.config.cluster.cost_params.decode_batch,
+            request.input_len,
+            request.output_len,
+        )
+    }
+
+    /// Prefill and quantization service times of a prompt, memoized by prompt
+    /// length (lengths repeat heavily across a trace).
+    pub fn prefill_service_times(&self, prompt: usize) -> (f64, f64) {
+        if self.costs.mode == CostMode::Table {
+            if let Some(costs) = self.costs.prefill_table().get(prompt) {
+                return (costs.prefill, costs.quantization);
+            }
+        }
+        let profile = self.profile();
+        (
+            self.prefill_model.prefill_time(prompt, profile),
+            self.prefill_model.quantization_time(prompt, profile),
+        )
+    }
+
+    /// Uncontended wire time of `request`'s KV transfer, memoized by prompt
+    /// length (the NIC serialization on top of it is per-request state in the
+    /// fabric).
+    pub fn transfer_duration(&self, request: &Request) -> f64 {
+        if self.costs.mode == CostMode::Table {
+            if let Some(costs) = self.costs.prefill_table().get(request.input_len) {
+                return costs.transfer;
+            }
+        }
+        self.fabric
+            .transfer_duration(&self.config, &self.prefill_model, request)
     }
 
     /// Hands `req` to the transfer/decode pipeline: reserve decode memory and
@@ -137,7 +205,7 @@ impl ClusterState {
     pub fn try_dispatch_to_decode(&mut self, req: usize, now: f64) {
         let bytes = self.kv_reserve_bytes(&self.requests[req]);
         if let Some(target) = self.best_decode_replica(bytes) {
-            self.reserve_and_transfer(req, target, now);
+            self.reserve_and_transfer(req, target, bytes, now);
         } else {
             self.states[req].memory_wait_start = Some(now);
             // Count each *request* that ever waited for memory once, even if a
@@ -150,10 +218,11 @@ impl ClusterState {
         }
     }
 
-    /// Reserves KV memory for `req` on decode replica `target` and starts its
-    /// transfer over the prefill replica's NIC.
-    pub fn reserve_and_transfer(&mut self, req: usize, target: usize, now: f64) {
-        let bytes = self.kv_reserve_bytes(&self.requests[req]);
+    /// Reserves `bytes` of KV memory for `req` on decode replica `target` and
+    /// starts its transfer over the prefill replica's NIC. `bytes` is the
+    /// caller's `kv_reserve_bytes` for the request, computed once per dispatch
+    /// attempt.
+    pub fn reserve_and_transfer(&mut self, req: usize, target: usize, bytes: f64, now: f64) {
         self.decode[target].kv_used += bytes;
         self.decode[target].peak_kv = self.decode[target].peak_kv.max(self.decode[target].kv_used);
         self.states[req].decode_replica = target;
@@ -161,9 +230,7 @@ impl ClusterState {
         self.states[req].reserved = true;
 
         let replica = self.states[req].prefill_replica;
-        let duration =
-            self.fabric
-                .transfer_duration(&self.config, &self.prefill_model, &self.requests[req]);
+        let duration = self.transfer_duration(&self.requests[req]);
         let end = self.fabric.reserve_nic(replica, now, duration);
         // Communication time as experienced by the request: waiting for the NIC
         // plus the wire time.
@@ -184,7 +251,7 @@ impl ClusterState {
                 self.waiting_for_memory.pop_front();
                 let wait_start = self.states[head].memory_wait_start.take().unwrap_or(now);
                 self.states[head].memory_wait += now - wait_start;
-                self.reserve_and_transfer(head, target, now);
+                self.reserve_and_transfer(head, target, bytes, now);
             } else {
                 break;
             }

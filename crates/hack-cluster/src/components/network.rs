@@ -30,6 +30,11 @@ impl NetworkFabric {
 
     /// Wire time of one request's KV data, bottlenecked by the slower of the
     /// prefill egress and decode ingress NICs.
+    ///
+    /// This is the direct formula evaluation; the simulator's hot path goes
+    /// through [`super::ClusterState::transfer_duration`], which memoizes
+    /// these values by prompt length and falls back here under
+    /// [`crate::sim::CostMode::Reference`].
     pub fn transfer_duration(
         &self,
         config: &SimulationConfig,

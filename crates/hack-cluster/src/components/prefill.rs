@@ -26,13 +26,9 @@ pub(crate) fn start_prefill(cs: &mut ClusterState, replica: usize, now: f64) {
     };
     cs.prefill[replica].busy = true;
     let request = cs.requests[req];
-    let profile = *cs.profile();
 
     cs.states[req].prefill_wait = (now - request.arrival).max(0.0);
-    let prefill_t = cs.prefill_model.prefill_time(request.input_len, &profile);
-    let quant_t = cs
-        .prefill_model
-        .quantization_time(request.input_len, &profile);
+    let (prefill_t, quant_t) = cs.prefill_service_times(request.input_len);
     cs.states[req].prefill_time = prefill_t;
     cs.states[req].quant_time = quant_t;
 
@@ -47,9 +43,7 @@ pub(crate) fn start_prefill(cs: &mut ClusterState, replica: usize, now: f64) {
             cs.states[req].decode_replica = target;
             cs.states[req].kv_reserve_bytes = bytes;
             cs.states[req].reserved = true;
-            let duration = cs
-                .fabric
-                .transfer_duration(&cs.config, &cs.prefill_model, &request);
+            let duration = cs.transfer_duration(&request);
             let end = cs.fabric.reserve_nic(replica, now, duration);
             cs.states[req].pipelined_transfer_end = Some(end);
         }

@@ -35,4 +35,4 @@ pub mod sim;
 
 pub use config::{ClusterConfig, FailureSpec, SimulationConfig};
 pub use result::{RequestRecord, SimulationResult};
-pub use sim::Simulator;
+pub use sim::{CostMode, Simulator};

@@ -5,33 +5,78 @@
 //! replicas — see [`crate::components`]), seeds it with the request trace's
 //! arrival events (plus any fault-injection events), and drives the engine
 //! until every request completes.
+//!
+//! [`Simulator::new`] also materialises the run's *cost layer* once: the trace
+//! itself, the decode-side prefix-sum table
+//! ([`hack_model::cost_table::DecodeCostTable`], shared process-wide across
+//! simulators with the same parameterisation) and the prefill-side
+//! per-prompt-length memo, so every per-request cost during the event loop is
+//! O(1). [`CostMode::Reference`] re-runs the original per-token summation
+//! loops instead — kept for benchmarking and as the equivalence oracle.
 
 use crate::components::decode::DecodeReplica;
 use crate::components::frontend::Frontend;
 use crate::components::network::NetworkFabric;
 use crate::components::prefill::PrefillReplica;
-use crate::components::{ClusterState, DecodeReplicaState, PrefillReplicaState, ReqState};
+use crate::components::{
+    ClusterState, DecodeReplicaState, PrefillReplicaState, ReqState, SimCosts,
+};
 use crate::config::SimulationConfig;
 use crate::events::{ReplicaFailed, ReplicaRecovered, RequestArrived};
 use crate::result::{RequestRecord, SimulationResult};
 use hack_metrics::jct::JctBreakdown;
 use hack_model::cost::{KvMethodProfile, ReplicaCostModel};
+use hack_model::cost_table::{DecodeCostTable, PrefillCostTable};
 use hack_sim::{EngineMode, EventRecord, Simulation};
-use hack_workload::trace::TraceGenerator;
-use std::cell::RefCell;
+use hack_workload::trace::{Request, TraceGenerator};
+use std::cell::{OnceCell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::Arc;
+
+/// How the simulator evaluates per-request analytic costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostMode {
+    /// Memoized cost tables: decode durations are prefix subtractions,
+    /// prefill/quantization/transfer times are per-prompt-length memos.
+    #[default]
+    Table,
+    /// The pre-table paths: O(output tokens) summation per request and direct
+    /// formula evaluation per call. Kept for benchmarking and equivalence
+    /// testing; results agree with [`CostMode::Table`] to ~1e-15 relative.
+    Reference,
+}
 
 /// Discrete-event simulator of one configuration (cluster × trace × method).
 pub struct Simulator {
     config: SimulationConfig,
     prefill_model: ReplicaCostModel,
     decode_model: ReplicaCostModel,
+    requests: Arc<Vec<Request>>,
+    /// Cost tables, built on the first [`CostMode::Table`] run and reused by
+    /// every subsequent one. Lazy so that pure [`CostMode::Reference`] runs —
+    /// the benchmarked "pre-table" baseline — never pay table construction.
+    tables: OnceCell<(Arc<DecodeCostTable>, Arc<PrefillCostTable>)>,
 }
 
 impl Simulator {
-    /// Creates a simulator from a configuration.
+    /// Creates a simulator from a configuration, generating its trace once
+    /// (reused across `run*` calls, as are the lazily built cost tables).
     pub fn new(config: SimulationConfig) -> Self {
+        let requests = Arc::new(TraceGenerator::new(config.trace).generate());
+        Self::with_requests(config, requests)
+    }
+
+    /// Creates a simulator over an externally supplied trace (which must match
+    /// `config.trace.num_requests`). This is how the capacity bisection in
+    /// `hack-core` reuses one trace template across its probe runs instead of
+    /// re-synthesising the trace per probe.
+    pub fn with_requests(config: SimulationConfig, requests: Arc<Vec<Request>>) -> Self {
+        assert_eq!(
+            requests.len(),
+            config.trace.num_requests,
+            "supplied trace length must match config.trace.num_requests"
+        );
         let model = config.cluster.model.spec();
         let prefill_model = ReplicaCostModel {
             model,
@@ -49,7 +94,41 @@ impl Simulator {
             config,
             prefill_model,
             decode_model,
+            requests,
+            tables: OnceCell::new(),
         }
+    }
+
+    /// The memoized cost layer of this simulator: the decode prefix-sum table
+    /// (shared process-wide across equal parameterisations) and the prefill
+    /// per-prompt-length memo, built on first use.
+    fn tables(&self) -> &(Arc<DecodeCostTable>, Arc<PrefillCostTable>) {
+        self.tables.get_or_init(|| {
+            let max_kv_len = self
+                .requests
+                .iter()
+                .map(Request::total_tokens)
+                .max()
+                .unwrap_or(1);
+            let decode_table = DecodeCostTable::shared(
+                &self.decode_model,
+                &self.config.profile,
+                self.config.cluster.cost_params.decode_batch,
+                max_kv_len,
+            );
+            let network_gbps = self
+                .config
+                .cluster
+                .prefill_network_gbps
+                .min(self.config.cluster.decode_network_gbps);
+            let prefill_table = Arc::new(PrefillCostTable::build(
+                &self.prefill_model,
+                &self.config.profile,
+                network_gbps,
+                self.requests.iter().map(|r| r.input_len),
+            ));
+            (decode_table, prefill_table)
+        })
     }
 
     /// The configuration being simulated.
@@ -70,29 +149,52 @@ impl Simulator {
     /// pre-slab engine, kept for benchmarking and equivalence testing; results
     /// are bit-identical across modes).
     pub fn run_with_mode(&self, mode: EngineMode) -> SimulationResult {
-        self.run_impl(mode, false).0
+        self.run_impl(mode, CostMode::Table, false).0
+    }
+
+    /// Runs with an explicit cost-evaluation mode ([`CostMode::Reference`] is
+    /// the pre-table summation path, kept for benchmarking and equivalence
+    /// testing; results agree to ~1e-15 relative).
+    pub fn run_with_costs(&self, costs: CostMode) -> SimulationResult {
+        self.run_impl(EngineMode::Slab, costs, false).0
     }
 
     /// Runs with structured event logging enabled, returning the full engine
     /// event trace alongside the result (used by the trace-equivalence tests).
     pub fn run_traced(&self, mode: EngineMode) -> (SimulationResult, Vec<EventRecord>) {
-        let (result, trace, _) = self.run_impl(mode, true);
+        let (result, trace, _) = self.run_impl(mode, CostMode::Table, true);
         (result, trace)
     }
 
     /// Runs and also reports the number of engine events processed (used by the
     /// bench harness to size its workloads honestly).
     pub fn run_counted(&self, mode: EngineMode) -> (SimulationResult, u64) {
-        let (result, _, events) = self.run_impl(mode, false);
+        let (result, _, events) = self.run_impl(mode, CostMode::Table, false);
         (result, events)
     }
 
     fn run_impl(
         &self,
         mode: EngineMode,
+        costs: CostMode,
         capture_log: bool,
     ) -> (SimulationResult, Vec<EventRecord>, u64) {
-        let requests = TraceGenerator::new(self.config.trace).generate();
+        let requests = self.requests.clone();
+        let sim_costs = match costs {
+            CostMode::Table => {
+                let (decode, prefill) = self.tables();
+                SimCosts {
+                    mode: costs,
+                    decode: Some(decode.clone()),
+                    prefill: Some(prefill.clone()),
+                }
+            }
+            CostMode::Reference => SimCosts {
+                mode: costs,
+                decode: None,
+                prefill: None,
+            },
+        };
         let profile = *self.profile();
         let cluster_cfg = &self.config.cluster;
 
@@ -150,6 +252,7 @@ impl Simulator {
             config: self.config,
             prefill_model: self.prefill_model,
             decode_model: self.decode_model,
+            costs: sim_costs,
             states: vec![ReqState::default(); requests.len()],
             requests,
             prefill: vec![PrefillReplicaState::default(); cluster_cfg.prefill_replicas],
@@ -470,6 +573,46 @@ mod tests {
             assert!(!slab_trace.is_empty());
             assert_eq!(slab_trace, boxed_trace, "{}: event traces", profile.name);
             assert_eq!(slab_result, boxed_result, "{}: results", profile.name);
+        }
+    }
+
+    #[test]
+    fn cost_tables_reproduce_reference_summation_end_to_end() {
+        // The prefix-sum/memoized cost layer changes only f64 summation order,
+        // so a seeded run must agree with the reference per-token loops on
+        // every record to within 1e-9 relative (and exactly on the discrete
+        // outcomes: completion order, replica placement, swap counts).
+        for profile in [
+            KvMethodProfile::baseline(),
+            KvMethodProfile::cachegen(),
+            KvMethodProfile::hack(),
+        ] {
+            let sim = Simulator::new(sim_config(profile, Dataset::Cocktail, 0.08, 50));
+            let table = sim.run_with_costs(CostMode::Table);
+            let reference = sim.run_with_costs(CostMode::Reference);
+            assert_eq!(table.records.len(), reference.records.len());
+            assert_eq!(table.swapped_requests, reference.swapped_requests);
+            assert_eq!(table.requeued_requests, reference.requeued_requests);
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+            for (t, r) in table.records.iter().zip(&reference.records) {
+                assert_eq!(
+                    t.request.id, r.request.id,
+                    "{}: completion order",
+                    profile.name
+                );
+                assert_eq!(t.prefill_replica, r.prefill_replica);
+                assert_eq!(t.decode_replica, r.decode_replica);
+                assert!(
+                    close(t.jct(), r.jct()),
+                    "{}: request {} jct {} vs {}",
+                    profile.name,
+                    t.request.id,
+                    t.jct(),
+                    r.jct()
+                );
+            }
+            assert!(close(table.average_jct(), reference.average_jct()));
+            assert!(close(table.makespan, reference.makespan));
         }
     }
 

@@ -5,13 +5,14 @@
 //! returns the aggregate numbers the figures plot.
 
 use crate::method::Method;
-use hack_cluster::{ClusterConfig, FailureSpec, SimulationConfig, Simulator};
+use hack_cluster::{ClusterConfig, CostMode, FailureSpec, SimulationConfig, Simulator};
 use hack_metrics::jct::{JctStats, StageRatios};
 use hack_model::gpu::GpuKind;
 use hack_model::spec::ModelKind;
 use hack_workload::dataset::Dataset;
-use hack_workload::trace::TraceConfig;
+use hack_workload::trace::{TraceConfig, TraceTemplate};
 use serde::Serialize;
+use std::sync::Arc;
 
 /// One experiment configuration (the workload/cluster side; the method is supplied to
 /// [`JctExperiment::run`]).
@@ -101,49 +102,39 @@ impl JctExperiment {
         if let Some(rps) = self.rps {
             return rps;
         }
+        // The paper drives every method at the same load, set by the capacity of the
+        // deployment; use 90% of the baseline's estimated maximum.
+        0.9 * self.analytic_max_rps()
+    }
+
+    /// The analytic capacity estimate of this experiment's cluster for the
+    /// baseline method (the bisection's starting bracket and the fast default
+    /// behind [`Self::effective_rps`]).
+    fn analytic_max_rps(&self) -> f64 {
         let cluster = self.cluster_config();
         let input = self.dataset.input_stats().avg;
         let output = self.dataset.output_stats().avg;
-        // The paper drives every method at the same load, set by the capacity of the
-        // deployment; use 90% of the baseline's estimated maximum.
-        0.9 * cluster.estimate_max_rps(&Method::Baseline.profile(), input, output)
+        cluster.estimate_max_rps(&Method::Baseline.profile(), input, output)
     }
 
-    /// Average baseline JCT of this experiment at an explicit request rate, on a
-    /// bounded probe trace (the primitive the capacity bisection is built on).
-    fn probe_average_jct(&self, rps: f64, num_requests: usize) -> f64 {
-        let probe = JctExperiment {
+    /// The bounded probe experiment the capacity bisection runs at each rate.
+    fn probe_experiment(&self, rps: f64, num_requests: usize) -> JctExperiment {
+        JctExperiment {
             rps: Some(rps),
             num_requests,
             ..*self
-        };
-        probe.run(Method::Baseline).average_jct
+        }
     }
 
-    /// Measures the cluster's maximum sustainable request rate by bisection over
-    /// actual simulator runs (§7.1: "the RPS was set to the maximum processing
-    /// capacity").
-    ///
-    /// A rate is deemed sustainable when the measured average baseline JCT stays
-    /// within [`Self::SATURATION_FACTOR`] of the unloaded JCT — past saturation,
-    /// queueing makes the JCT blow up and the probe fails immediately. The
-    /// analytic [`hack_cluster::ClusterConfig::estimate_max_rps`] only seeds the
-    /// initial bracket; every accept/reject decision is a measured simulator run,
-    /// so model errors in the analytic estimate cannot skew the operating point.
-    ///
-    /// Deterministic: probes reuse this experiment's trace seed.
-    pub fn measured_max_rps(&self) -> f64 {
-        let n = self.num_requests.clamp(20, 40);
-        let analytic = {
-            let cluster = self.cluster_config();
-            let input = self.dataset.input_stats().avg;
-            let output = self.dataset.output_stats().avg;
-            cluster.estimate_max_rps(&Method::Baseline.profile(), input, output)
-        };
+    /// The shared accept/reject structure of the capacity measurement:
+    /// `probe_jct(rps)` is the measured average baseline JCT at a rate; a rate
+    /// is sustainable while that stays within [`Self::SATURATION_FACTOR`] of
+    /// the unloaded JCT. Grow a bracket from the analytic seed, then bisect.
+    fn bisect_max_rps(&self, mut probe_jct: impl FnMut(f64) -> f64) -> f64 {
+        let analytic = self.analytic_max_rps();
         // Unloaded reference: a rate so low queueing is negligible.
-        let unloaded_jct = self.probe_average_jct(analytic * 0.05, n);
-        let stable =
-            |rps: f64| self.probe_average_jct(rps, n) <= unloaded_jct * Self::SATURATION_FACTOR;
+        let unloaded_jct = probe_jct(analytic * 0.05);
+        let mut stable = move |rps: f64| probe_jct(rps) <= unloaded_jct * Self::SATURATION_FACTOR;
 
         // Grow a bracket [lo stable, hi unstable] from the analytic seed.
         let mut lo = analytic * 0.05;
@@ -170,6 +161,55 @@ impl JctExperiment {
             }
         }
         lo
+    }
+
+    /// Measures the cluster's maximum sustainable request rate by bisection over
+    /// actual simulator runs (§7.1: "the RPS was set to the maximum processing
+    /// capacity").
+    ///
+    /// A rate is deemed sustainable when the measured average baseline JCT stays
+    /// within [`Self::SATURATION_FACTOR`] of the unloaded JCT — past saturation,
+    /// queueing makes the JCT blow up and the probe fails immediately. The
+    /// analytic [`hack_cluster::ClusterConfig::estimate_max_rps`] only seeds the
+    /// initial bracket; every accept/reject decision is a measured simulator run,
+    /// so model errors in the analytic estimate cannot skew the operating point.
+    ///
+    /// The ~20 probe runs of a bisection share one [`TraceTemplate`] (sampled
+    /// once; each probe only rescales arrival times, bit-identical to a fresh
+    /// trace at that rate) and, through the process-wide cost-table cache, one
+    /// set of decode cost tables — so each probe re-runs only the event loop.
+    /// [`Self::measured_max_rps_reference`] keeps the uncached per-probe path;
+    /// both return bit-identical results (pinned by test).
+    ///
+    /// Deterministic: probes reuse this experiment's trace seed.
+    pub fn measured_max_rps(&self) -> f64 {
+        let n = self.num_requests.clamp(20, 40);
+        let template = TraceTemplate::new(self.probe_experiment(1.0, n).trace_config());
+        self.bisect_max_rps(|rps| {
+            let config = self
+                .probe_experiment(rps, n)
+                .simulation_config(Method::Baseline);
+            let requests = Arc::new(template.instantiate(rps));
+            Simulator::with_requests(config, requests)
+                .run()
+                .average_jct()
+        })
+    }
+
+    /// The pre-cache capacity measurement: every probe synthesises its trace
+    /// from scratch and evaluates costs through the reference summation loops
+    /// ([`CostMode::Reference`]). Kept as the benchmark "before" and as the
+    /// oracle [`Self::measured_max_rps`] must reproduce bit-identically.
+    pub fn measured_max_rps_reference(&self) -> f64 {
+        let n = self.num_requests.clamp(20, 40);
+        self.bisect_max_rps(|rps| {
+            let config = self
+                .probe_experiment(rps, n)
+                .simulation_config(Method::Baseline);
+            Simulator::new(config)
+                .run_with_costs(CostMode::Reference)
+                .average_jct()
+        })
     }
 
     /// JCT inflation over the unloaded baseline beyond which a probed rate is
@@ -301,6 +341,70 @@ mod tests {
             e.measured_max_rps(),
             "bisection must be deterministic"
         );
+    }
+
+    #[test]
+    fn cached_bisection_is_bit_identical_to_the_reference_path() {
+        // The cached capacity measurement (shared trace template + cost
+        // tables) must make exactly the same accept/reject decisions as the
+        // uncached reference path, hence return the identical rate.
+        for dataset in [Dataset::Imdb, Dataset::Cocktail] {
+            let e = small(dataset);
+            assert_eq!(
+                e.measured_max_rps(),
+                e.measured_max_rps_reference(),
+                "{}: cached and reference bisection disagree",
+                dataset.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_method_profile_matches_reference_at_dataset_contexts() {
+        // Table-vs-loop equivalence of decode durations for every Method's
+        // cost profile, at each dataset's maximum context.
+        use hack_model::cost_table::DecodeCostTable;
+        use hack_model::parallelism::Parallelism;
+        use hack_model::ReplicaCostModel;
+
+        let spec = ModelKind::Llama31_70B.spec();
+        let decode_model = ReplicaCostModel::new(
+            spec,
+            GpuKind::A100.spec(),
+            Parallelism::table3(ModelKind::Llama31_70B, GpuKind::A100),
+        );
+        let batch = decode_model.params.decode_batch;
+        let methods = [
+            Method::Baseline,
+            Method::CacheGen,
+            Method::KvQuant,
+            Method::Fp8,
+            Method::Fp6,
+            Method::Fp4,
+            Method::Hack { partition: 32 },
+            Method::hack(),
+            Method::Hack { partition: 128 },
+            Method::HackNoSe,
+            Method::HackNoRqe,
+        ];
+        for dataset in Dataset::all() {
+            let input = dataset.input_stats().max;
+            let output = dataset.output_stats().max;
+            for method in methods {
+                let profile = method.profile();
+                let table = DecodeCostTable::build(&decode_model, &profile, batch, input + output);
+                let (td, tq) = table.decode_durations(input, output);
+                let (rd, rq) =
+                    decode_model.decode_durations_reference(&profile, batch, input, output);
+                let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(f64::MIN_POSITIVE);
+                assert!(
+                    close(td, rd) && close(tq, rq),
+                    "{} on {}: table ({td}, {tq}) vs reference ({rd}, {rq})",
+                    method.name(),
+                    dataset.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -437,6 +437,29 @@ impl ReplicaCostModel {
             + compute_time
     }
 
+    /// Total (decode, dequant/approx) time of `output_len` decode iterations
+    /// starting after a prompt of `input_len` tokens, summed sequentially — the
+    /// O(`output_len`) loop [`crate::cost_table::DecodeCostTable`] replaces
+    /// with prefix subtractions. Kept as the equivalence oracle the table path
+    /// is pinned against (and as the `CostMode::Reference` path of the cluster
+    /// simulator).
+    pub fn decode_durations_reference(
+        &self,
+        profile: &KvMethodProfile,
+        batch: f64,
+        input_len: usize,
+        output_len: usize,
+    ) -> (f64, f64) {
+        let mut decode = 0.0;
+        let mut dequant = 0.0;
+        for i in 0..output_len {
+            let kv_len = input_len + i + 1;
+            decode += self.decode_iter_time(kv_len, profile, batch);
+            dequant += self.dequant_or_approx_iter_time(kv_len, profile);
+        }
+        (decode, dequant)
+    }
+
     /// Full per-request stage times: prefill on this replica, transfer over
     /// `network_gbps`, then `output_len` decode iterations at an average batch size of
     /// `CostParams::decode_batch` on the decode replica `decode_model`.
@@ -452,13 +475,8 @@ impl ReplicaCostModel {
         let quantization = self.quantization_time(prompt, profile);
         let transfer = self.transfer_time(prompt, profile, network_gbps);
         let batch = decode_model.params.decode_batch;
-        let mut decode = 0.0;
-        let mut dequant = 0.0;
-        for i in 0..output_len {
-            let kv_len = prompt + i + 1;
-            decode += decode_model.decode_iter_time(kv_len, profile, batch);
-            dequant += decode_model.dequant_or_approx_iter_time(kv_len, profile);
-        }
+        let (decode, dequant) =
+            decode_model.decode_durations_reference(profile, batch, prompt, output_len);
         StageTimes {
             prefill,
             quantization,

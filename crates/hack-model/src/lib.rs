@@ -23,17 +23,23 @@
 //! * [`cost`] — [`cost::ReplicaCostModel`]: stage latencies (prefill, quantization,
 //!   transfer, dequantization/approximation, decode) for a model replica on a given
 //!   instance, parameterised by a [`cost::KvMethodProfile`].
+//! * [`cost_table`] — memoized O(1) views of the cost model for the simulator:
+//!   per-`kv_len` decode/dequant tables with prefix sums
+//!   ([`cost_table::DecodeCostTable`], process-wide cached) and per-prompt-length
+//!   prefill/quantization/transfer memos ([`cost_table::PrefillCostTable`]).
 //! * [`reference`] — a small, runnable decoder-only transformer (RMSNorm, RoPE, GQA,
 //!   SwiGLU MLP) whose attention backend is pluggable, used to measure end-to-end
 //!   output fidelity of HACK and the baselines (Table 6/7 proxies).
 
 pub mod cost;
+pub mod cost_table;
 pub mod gpu;
 pub mod parallelism;
 pub mod reference;
 pub mod spec;
 
 pub use cost::{CostParams, KvMethodProfile, ReplicaCostModel, StageTimes};
+pub use cost_table::{DecodeCostTable, PrefillCostTable, PrefillCosts};
 pub use gpu::{GpuKind, GpuSpec, InstanceKind, InstanceSpec};
 pub use parallelism::Parallelism;
 pub use reference::{AttentionBackend, ReferenceConfig, ReferenceTransformer};

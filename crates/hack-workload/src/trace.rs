@@ -97,6 +97,84 @@ impl TraceGenerator {
     }
 }
 
+/// A rate-independent trace template: the random draws of a trace with the
+/// request rate factored out, so one sampling pass can be instantiated at many
+/// rates.
+///
+/// [`TraceGenerator::generate`] interleaves two streams from one seeded RNG:
+/// exponential inter-arrival gaps (`-ln(u) / rps`) and per-request length
+/// pairs. Only the division by `rps` depends on the rate, so the template
+/// stores the unit-rate gaps (`-ln(u)`) and the lengths once;
+/// [`TraceTemplate::instantiate`] divides and accumulates exactly the way the
+/// generator does, producing **bit-identical** traces (pinned by test). The
+/// capacity bisection in `hack-core` uses this to synthesise its probe trace
+/// once instead of once per probed rate.
+#[derive(Debug, Clone)]
+pub struct TraceTemplate {
+    config: TraceConfig,
+    /// `-ln(u)` draws: inter-arrival gaps of a unit-rate Poisson process.
+    unit_gaps: Vec<f64>,
+    /// `(input_len, output_len)` per request.
+    lengths: Vec<(usize, usize)>,
+}
+
+impl TraceTemplate {
+    /// Samples the template for `config` (whose `rps` field is irrelevant here;
+    /// the rate is chosen per [`Self::instantiate`] call).
+    pub fn new(config: TraceConfig) -> Self {
+        assert!(
+            config.num_requests > 0,
+            "trace must contain at least one request"
+        );
+        let mut rng = DetRng::new(config.seed);
+        let mut unit_gaps = Vec::with_capacity(config.num_requests);
+        let mut lengths = Vec::with_capacity(config.num_requests);
+        for _ in 0..config.num_requests {
+            // exponential(1.0) divides -ln(u) by exactly 1.0, so the stored gap
+            // is the raw -ln(u) draw and consumes the same RNG stream as
+            // `PoissonArrivals` does at any rate.
+            unit_gaps.push(rng.exponential(1.0));
+            lengths.push(config.dataset.sample_lengths(config.max_context, &mut rng));
+        }
+        Self {
+            config,
+            unit_gaps,
+            lengths,
+        }
+    }
+
+    /// The configuration the template was sampled from.
+    pub fn config(&self) -> TraceConfig {
+        self.config
+    }
+
+    /// Largest `input_len + output_len` in the template (sizes cost tables).
+    pub fn max_total_tokens(&self) -> usize {
+        self.lengths.iter().map(|(i, o)| i + o).max().unwrap_or(0)
+    }
+
+    /// Materialises the trace at `rps`, bit-identical to
+    /// `TraceGenerator::new(TraceConfig { rps, ..config }).generate()`.
+    pub fn instantiate(&self, rps: f64) -> Vec<Request> {
+        assert!(rps > 0.0, "arrival rate must be positive");
+        let mut now = 0.0f64;
+        self.unit_gaps
+            .iter()
+            .zip(&self.lengths)
+            .enumerate()
+            .map(|(id, (gap, &(input_len, output_len)))| {
+                now += gap / rps;
+                Request {
+                    id: id as u64,
+                    arrival: now,
+                    input_len,
+                    output_len,
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +237,44 @@ mod tests {
         for r in TraceGenerator::new(cfg).generate() {
             assert!(r.input_len <= 2048);
         }
+    }
+
+    #[test]
+    fn template_instantiates_bit_identical_traces_at_any_rate() {
+        for dataset in Dataset::all() {
+            let cfg = TraceConfig {
+                dataset,
+                rps: 0.0, // irrelevant to the template
+                num_requests: 300,
+                max_context: 131_072,
+                seed: 17,
+            };
+            let template = TraceTemplate::new(cfg);
+            for rps in [0.013, 0.08, 1.0, 7.5] {
+                let direct = TraceGenerator::new(TraceConfig { rps, ..cfg }).generate();
+                let templated = template.instantiate(rps);
+                assert_eq!(direct, templated, "{}: rps {rps}", dataset.name());
+            }
+        }
+    }
+
+    #[test]
+    fn template_reports_max_total_tokens() {
+        let cfg = TraceConfig::cocktail_default();
+        let template = TraceTemplate::new(cfg);
+        let expected = TraceGenerator::new(cfg)
+            .generate()
+            .iter()
+            .map(Request::total_tokens)
+            .max()
+            .unwrap();
+        assert_eq!(template.max_total_tokens(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn template_rejects_zero_rate() {
+        TraceTemplate::new(TraceConfig::cocktail_default()).instantiate(0.0);
     }
 
     #[test]
