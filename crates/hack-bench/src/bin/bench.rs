@@ -23,6 +23,7 @@ use hack_attention::baseline::AttentionMask;
 use hack_attention::flash::flash_attention;
 use hack_baselines::{CacheGenLike, Fp8Format, KvCompressor, KvQuantLike, MinifloatCast};
 use hack_cluster::CostMode;
+use hack_cluster::SchedulingPolicyKind;
 use hack_core::prelude::*;
 use hack_model::cost_table::DecodeCostTable;
 use hack_model::parallelism::Parallelism;
@@ -134,6 +135,37 @@ struct SimCostReport {
     capacity_bisection: BisectionComparison,
 }
 
+/// One scheduling policy evaluated on the two-tenant contention mix.
+#[derive(Debug, Serialize)]
+struct TenantMixPolicyRun {
+    policy: String,
+    /// Best wall-clock seconds of one full simulation run.
+    secs: f64,
+    /// Jain fairness index over the tenants' normalized service rates.
+    jain_fairness: f64,
+    /// Global average JCT (seconds).
+    average_jct: f64,
+    /// Per-tenant mean JCT, ascending by tenant id.
+    per_tenant_mean_jct: Vec<f64>,
+    /// Per-tenant SLO attainment in [0, 1], ascending by tenant id.
+    per_tenant_slo_attainment: Vec<f64>,
+}
+
+/// The multi-tenant section: the `tenant_mix` grid (one row per scheduling
+/// policy on the interactive-vs-batch overload mix) plus the fairness gain of
+/// round-robin over FCFS (the headline the policy layer exists for).
+#[derive(Debug, Serialize)]
+struct TenantMixReport {
+    requests: usize,
+    tenants: usize,
+    runs: Vec<TenantMixPolicyRun>,
+    /// `jain(wrr) - jain(fcfs)`: positive means round-robin out-fairs FCFS
+    /// under overload.
+    wrr_jain_gain_vs_fcfs: f64,
+    /// `jain(slo-edf) - jain(fcfs)`.
+    slo_edf_jain_gain_vs_fcfs: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct SimReport {
     schema: &'static str,
@@ -147,6 +179,9 @@ struct SimReport {
     engine_event_storm: EngineComparison,
     /// Memoized cost tables vs the reference summation loops.
     sim_cost: SimCostReport,
+    /// The multi-tenant scheduling grid (see PERF.md, "Multi-tenant
+    /// scenarios").
+    tenant_mix: TenantMixReport,
     benches: Vec<Bench>,
 }
 
@@ -756,6 +791,75 @@ fn sim_benches(smoke: bool) -> SimReport {
         cached_rps
     );
 
+    // --- tenant_mix: the two-tenant contention grid, one run per scheduling
+    // policy. The timed closure is *only* the policy-driven simulation run —
+    // trace generation and outcome aggregation stay outside so a slow policy
+    // implementation is not diluted by policy-independent setup. ---
+    let mut mix = TenantMixExperiment::interactive_vs_batch();
+    if smoke {
+        mix.tenants[0].num_requests = 8;
+        mix.tenants[1].num_requests = 30;
+    }
+    let mix_requests = std::sync::Arc::new(mix.trace().generate());
+    let mix_classes = mix.classes();
+    let mix_iters = if smoke { 2 } else { 5 };
+    let mut runs = Vec::new();
+    for scheduling in SchedulingPolicyKind::all() {
+        let config = mix.simulation_config(Method::hack(), scheduling);
+        let simulator = Simulator::with_requests(config, mix_requests.clone());
+        let secs = time_iters(mix_iters, || simulator.run());
+        let outcome = hack_core::tenant_mix::TenantMixOutcome::from_result_with_classes(
+            scheduling,
+            &mix_classes,
+            simulator.run(),
+        );
+        push(
+            &mut benches,
+            "tenant_mix/cluster_run",
+            format!(
+                "policy={},requests={}",
+                scheduling.name(),
+                mix.tenants.iter().map(|t| t.num_requests).sum::<usize>()
+            ),
+            mix_iters,
+            secs,
+        );
+        runs.push(TenantMixPolicyRun {
+            policy: scheduling.name().to_string(),
+            secs,
+            jain_fairness: outcome.jain_fairness,
+            average_jct: outcome.average_jct,
+            per_tenant_mean_jct: outcome.per_tenant.iter().map(|t| t.stats.mean).collect(),
+            per_tenant_slo_attainment: outcome
+                .slo
+                .iter()
+                .map(hack_metrics::tenant::TenantSlo::attainment)
+                .collect(),
+        });
+    }
+    let jain_of = |runs: &[TenantMixPolicyRun], policy: &str| {
+        runs.iter()
+            .find(|r| r.policy == policy)
+            .map_or(f64::NAN, |r| r.jain_fairness)
+    };
+    let (fcfs_jain, wrr_jain, edf_jain) = (
+        jain_of(&runs, "fcfs"),
+        jain_of(&runs, "wrr"),
+        jain_of(&runs, "slo-edf"),
+    );
+    let tenant_mix = TenantMixReport {
+        requests: mix.tenants.iter().map(|t| t.num_requests).sum(),
+        tenants: mix.tenants.len(),
+        wrr_jain_gain_vs_fcfs: wrr_jain - fcfs_jain,
+        slo_edf_jain_gain_vs_fcfs: edf_jain - fcfs_jain,
+        runs,
+    };
+    println!(
+        "  tenant_mix: jain fcfs {fcfs_jain:.3} / wrr {wrr_jain:.3} / slo-edf {edf_jain:.3} \
+         (wrr gain {:+.3})",
+        tenant_mix.wrr_jain_gain_vs_fcfs
+    );
+
     // --- Per-method end-to-end runs (ported from benches/simulator.rs). ---
     let per_method_requests = if smoke { 10 } else { 200 };
     for method in Method::main_comparison() {
@@ -775,7 +879,7 @@ fn sim_benches(smoke: bool) -> SimReport {
     }
 
     SimReport {
-        schema: "hack-bench/sim/v2",
+        schema: "hack-bench/sim/v3",
         scale: if smoke { "smoke" } else { "full" },
         cluster_run_requests: requests,
         engine_cluster_run,
@@ -785,6 +889,7 @@ fn sim_benches(smoke: bool) -> SimReport {
             cluster_run_cost_model,
             capacity_bisection,
         },
+        tenant_mix,
         benches,
     }
 }
@@ -980,6 +1085,16 @@ mod compare {
                     ["sim_cost", "decode_durations", "speedup"],
                     ["sim_cost", "cluster_run_cost_model", "reduction_percent"],
                     ["sim_cost", "capacity_bisection", "speedup"],
+                ] {
+                    headline(
+                        &path.join("."),
+                        lookup(baseline, &path).and_then(Value::as_f64),
+                        lookup(current, &path).and_then(Value::as_f64),
+                    );
+                }
+                for path in [
+                    ["tenant_mix", "wrr_jain_gain_vs_fcfs"],
+                    ["tenant_mix", "slo_edf_jain_gain_vs_fcfs"],
                 ] {
                     headline(
                         &path.join("."),

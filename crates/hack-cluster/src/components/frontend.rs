@@ -6,9 +6,12 @@ use hack_sim::{Event, EventHandler};
 use std::cell::RefCell;
 use std::rc::Rc;
 
-/// The cluster frontend: receives [`RequestArrived`] events and dispatches each
-/// request to the prefill replica with the shortest queue by queued tokens
-/// (§7.1), kicking the replica if it is idle.
+/// The cluster frontend: receives [`RequestArrived`] events, asks the run's
+/// [`crate::policy::AdmissionPolicy`] whether the request enters at all, and
+/// dispatches admitted requests to the prefill replica with the shortest queue
+/// by queued tokens (§7.1), kicking the replica if it is idle. Which queued
+/// request a replica serves next is the scheduling policy's decision (see
+/// [`prefill::start_prefill`]).
 pub(crate) struct Frontend {
     pub cluster: Rc<RefCell<ClusterState>>,
 }
@@ -37,12 +40,22 @@ impl EventHandler for Frontend {
         };
         let now = event.time;
         let mut cs = self.cluster.borrow_mut();
-        let replica = Self::route(&cs, req);
+        let cs = &mut *cs;
+        // `None` is the built-in admit-everything default: no policy call on
+        // the arrival hot path.
+        if let Some(admission) = cs.admission.as_mut() {
+            if !admission.admit(&cs.requests[req], now) {
+                cs.rejected += 1;
+                cs.rejected_per_tenant[cs.requests[req].tenant.index()] += 1;
+                return;
+            }
+        }
+        let replica = Self::route(cs, req);
         cs.states[req].prefill_replica = replica;
         cs.prefill[replica].queue.push_back(req);
         cs.prefill[replica].queued_tokens += cs.requests[req].input_len;
         if !cs.prefill[replica].busy {
-            prefill::start_prefill(&mut cs, replica, now);
+            prefill::start_prefill(cs, replica, now);
         }
     }
 }

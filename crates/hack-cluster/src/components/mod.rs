@@ -24,6 +24,7 @@ pub(crate) mod prefill;
 
 use crate::config::SimulationConfig;
 use crate::events::TransferCompleted;
+use crate::policy::{AdmissionPolicy, SchedulingPolicy};
 use crate::sim::CostMode;
 use hack_model::cost::{KvMethodProfile, ReplicaCostModel};
 use hack_model::cost_table::{DecodeCostTable, PrefillCostTable};
@@ -120,6 +121,15 @@ pub(crate) struct ClusterState {
     pub prefill_model: ReplicaCostModel,
     pub decode_model: ReplicaCostModel,
     pub costs: SimCosts,
+    /// Admission policy of this run (fresh per run; see [`crate::policy`]).
+    /// `None` is the built-in admit-everything default — the frontend skips
+    /// the policy call entirely, keeping the default arrival path as cheap as
+    /// the pre-policy simulator's.
+    pub admission: Option<Box<dyn AdmissionPolicy>>,
+    /// Scheduling policy of this run (fresh per run; see [`crate::policy`]).
+    /// `None` is built-in FCFS — `start_prefill` pops the queue head without
+    /// a policy call.
+    pub scheduling: Option<Box<dyn SchedulingPolicy>>,
     pub requests: Arc<Vec<Request>>,
     pub prefill: Vec<PrefillReplicaState>,
     pub decode: Vec<DecodeReplicaState>,
@@ -127,6 +137,9 @@ pub(crate) struct ClusterState {
     pub waiting_for_memory: VecDeque<usize>,
     pub fabric: network::NetworkFabric,
     pub completed: usize,
+    pub rejected: usize,
+    /// Admission rejections per tenant (index = tenant id).
+    pub rejected_per_tenant: [usize; crate::policy::MAX_TENANTS],
     pub swapped: usize,
     pub requeued: usize,
     pub injected_failures: usize,

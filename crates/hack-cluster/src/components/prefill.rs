@@ -15,13 +15,35 @@ pub(crate) struct PrefillReplica {
     pub cluster: Rc<RefCell<ClusterState>>,
 }
 
-/// Starts the next queued prefill on `replica`, if any.
+/// Starts the next queued prefill on `replica`, if any — *which* queued
+/// request is the run's [`crate::policy::SchedulingPolicy`] decision (FCFS
+/// picks the head, reproducing the pre-policy simulator bit-for-bit).
 ///
 /// Free function (rather than a method of [`PrefillReplica`]) because both the
 /// frontend (on arrival at an idle replica) and the replica itself (on
 /// completion) trigger it while holding the shared state.
 pub(crate) fn start_prefill(cs: &mut ClusterState, replica: usize, now: f64) {
-    let Some(req) = cs.prefill[replica].queue.pop_front() else {
+    let next = {
+        // Split-borrow the policy away from the queue it inspects.
+        let ClusterState {
+            scheduling,
+            prefill,
+            requests,
+            config,
+            ..
+        } = cs;
+        let queue = &mut prefill[replica].queue;
+        match scheduling {
+            // Built-in FCFS: the pre-policy hot path, no policy call.
+            None => queue.pop_front(),
+            Some(_) if queue.is_empty() => None,
+            Some(policy) => {
+                let pos = policy.select(queue, requests, &config.policy.tenants, now);
+                queue.remove(pos)
+            }
+        }
+    };
+    let Some(req) = next else {
         return;
     };
     cs.prefill[replica].busy = true;

@@ -1,5 +1,6 @@
 //! Cluster and simulation configuration (§7.1).
 
+use crate::policy::PolicyConfig;
 use hack_model::cost::{CostParams, KvMethodProfile};
 use hack_model::gpu::GpuKind;
 use hack_model::parallelism::Parallelism;
@@ -197,8 +198,8 @@ impl FailureSpec {
     }
 }
 
-/// A full simulation: cluster + workload + evaluated method (+ optional fault
-/// injection).
+/// A full simulation: cluster + workload + evaluated method + frontend policy
+/// (+ optional fault injection).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct SimulationConfig {
     /// Cluster description.
@@ -207,6 +208,10 @@ pub struct SimulationConfig {
     pub trace: TraceConfig,
     /// KV-handling method being evaluated.
     pub profile: KvMethodProfile,
+    /// Frontend policy: tenant classes plus admission/scheduling policies.
+    /// [`PolicyConfig::default`] reproduces the pre-policy simulator
+    /// bit-for-bit (admit all, FCFS).
+    pub policy: PolicyConfig,
     /// Optional decode-replica failure injected during the run.
     pub failure: Option<FailureSpec>,
 }

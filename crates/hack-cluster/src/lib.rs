@@ -20,7 +20,12 @@
 //! added by introducing event types and handlers instead of editing a monolithic
 //! match; fault injection ([`FailureSpec`]) is the first such scenario: a decode
 //! replica dies mid-run, its in-flight requests are aborted and re-queued onto the
-//! surviving fleet, and the replica optionally recovers.
+//! surviving fleet, and the replica optionally recovers. Multi-tenancy is the
+//! second: requests carry a [`hack_workload::trace::TenantId`], and the frontend's
+//! admission and prefill-scheduling decisions are pluggable policies
+//! ([`policy`]: FCFS — bit-identical to the pre-policy simulator — weighted
+//! round-robin, SLO-deadline EDF, and per-tenant token-bucket admission), with
+//! per-tenant JCT/fairness/SLO summaries on [`SimulationResult`].
 //!
 //! Per-stage *service* times come from [`hack_model::ReplicaCostModel`]; the simulator
 //! adds queueing, NIC contention, memory admission control and batching, and produces
@@ -30,9 +35,14 @@
 mod components;
 pub mod config;
 pub mod events;
+pub mod policy;
 pub mod result;
 pub mod sim;
 
 pub use config::{ClusterConfig, FailureSpec, SimulationConfig};
+pub use policy::{
+    AdmissionPolicy, AdmissionPolicyKind, PolicyConfig, SchedulingPolicy, SchedulingPolicyKind,
+    TenantClass, TenantClasses,
+};
 pub use result::{RequestRecord, SimulationResult};
 pub use sim::{CostMode, Simulator};

@@ -1,0 +1,598 @@
+//! Pluggable admission and scheduling policies of the [`Frontend`].
+//!
+//! Multi-tenant serving separates *whether* a request enters the cluster
+//! ([`AdmissionPolicy`]) from *which* queued request a freed prefill replica
+//! serves next ([`SchedulingPolicy`]). Both are chosen per run through the
+//! serializable, `Copy` [`PolicyConfig`] on
+//! [`crate::config::SimulationConfig`]; the trait objects themselves are
+//! built fresh for every run so policy state (round-robin credit, token
+//! buckets) never leaks across runs.
+//!
+//! Shipped scheduling policies:
+//!
+//! * [`Fcfs`] — first-come-first-served, **bit-identical** to the pre-policy
+//!   simulator (the frontend queues are already in arrival order, and `Fcfs`
+//!   always picks the head; pinned by `tests/seed_equivalence.rs`).
+//! * [`WeightedRoundRobin`] — smooth weighted round-robin over the tenants
+//!   present in the queue: each tenant's wait is bounded by the backlog of
+//!   one "turn" of the other tenants instead of the whole FCFS backlog.
+//! * [`SloEdf`] — earliest-deadline-first with per-tenant deadlines
+//!   `arrival + slo_jct`, prioritising tight-SLO tenants under contention.
+//!
+//! Shipped admission policies: [`AdmitAll`] (default) and
+//! [`TenantTokenBucket`] — a per-tenant token bucket whose refill rate is
+//! proportional to the tenant's scheduling weight, turning overload into
+//! bounded per-tenant rejection instead of unbounded queueing.
+//!
+//! [`Frontend`]: crate::components::frontend::Frontend
+
+use hack_workload::trace::{Request, TenantId};
+use serde::{Serialize, Value};
+use std::collections::VecDeque;
+
+/// Upper bound on distinct tenants per simulation (sizes the fixed per-tenant
+/// state so [`PolicyConfig`] stays `Copy`).
+pub const MAX_TENANTS: usize = 8;
+
+/// Service class of one tenant: scheduling weight and SLO target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TenantClass {
+    /// Relative scheduling weight (share under [`WeightedRoundRobin`], token
+    /// rate under [`TenantTokenBucket`]).
+    pub weight: f64,
+    /// Target job completion time in seconds ([`SloEdf`]'s deadline offset
+    /// and the SLO-attainment threshold in the metrics).
+    pub slo_jct: f64,
+}
+
+impl Default for TenantClass {
+    fn default() -> Self {
+        Self {
+            weight: 1.0,
+            slo_jct: f64::INFINITY,
+        }
+    }
+}
+
+/// The per-tenant service classes of a run: class `i` applies to
+/// [`TenantId`]`(i)`. Fixed capacity ([`MAX_TENANTS`]) so the containing
+/// configuration stays `Copy`; tenants beyond the configured set fall back to
+/// [`TenantClass::default`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantClasses {
+    classes: [TenantClass; MAX_TENANTS],
+    len: usize,
+}
+
+impl TenantClasses {
+    /// A single default tenant (weight 1, no SLO target).
+    pub fn single_tenant() -> Self {
+        Self::new(&[TenantClass::default()])
+    }
+
+    /// Classes for tenants `0..classes.len()`.
+    ///
+    /// # Panics
+    /// Panics when more than [`MAX_TENANTS`] classes are supplied or a weight
+    /// is not positive.
+    pub fn new(classes: &[TenantClass]) -> Self {
+        assert!(
+            classes.len() <= MAX_TENANTS,
+            "at most {MAX_TENANTS} tenants per simulation, got {}",
+            classes.len()
+        );
+        assert!(
+            classes.iter().all(|c| c.weight > 0.0),
+            "tenant weights must be positive"
+        );
+        let mut fixed = [TenantClass::default(); MAX_TENANTS];
+        fixed[..classes.len()].copy_from_slice(classes);
+        Self {
+            classes: fixed,
+            len: classes.len().max(1),
+        }
+    }
+
+    /// Number of configured tenant classes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no class beyond the implicit default tenant is configured.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The class of `tenant` (the default class when unconfigured).
+    pub fn get(&self, tenant: TenantId) -> TenantClass {
+        self.classes
+            .get(tenant.index())
+            .copied()
+            .filter(|_| tenant.index() < self.len)
+            .unwrap_or_default()
+    }
+
+    /// The configured classes, in tenant order.
+    pub fn iter(&self) -> impl Iterator<Item = (TenantId, TenantClass)> + '_ {
+        (0..self.len).map(|i| (TenantId(i as u32), self.classes[i]))
+    }
+}
+
+impl Default for TenantClasses {
+    fn default() -> Self {
+        Self::single_tenant()
+    }
+}
+
+// Serialize only the live prefix (the derive would emit all MAX_TENANTS slots).
+impl Serialize for TenantClasses {
+    fn serialize_value(&self) -> Value {
+        Value::Array(
+            self.classes[..self.len]
+                .iter()
+                .map(Serialize::serialize_value)
+                .collect(),
+        )
+    }
+}
+
+/// Decides whether an arriving request enters the cluster at all.
+///
+/// Rejected requests never occupy a prefill queue; the simulator counts them
+/// per run (and per tenant) in the result.
+pub trait AdmissionPolicy {
+    /// Called once per arrival, in arrival order. `now` is the arrival time.
+    fn admit(&mut self, request: &Request, now: f64) -> bool;
+}
+
+/// Picks which queued request a prefill replica serves next.
+pub trait SchedulingPolicy {
+    /// Returns the position in `queue` (non-empty, arrival-ordered) of the
+    /// request to start next. `requests` is the full trace, `classes` the
+    /// per-tenant service classes, `now` the decision time.
+    fn select(
+        &mut self,
+        queue: &VecDeque<usize>,
+        requests: &[Request],
+        classes: &TenantClasses,
+        now: f64,
+    ) -> usize;
+}
+
+/// Admits everything (the default, and the pre-policy behaviour).
+#[derive(Debug, Default)]
+pub struct AdmitAll;
+
+impl AdmissionPolicy for AdmitAll {
+    fn admit(&mut self, _request: &Request, _now: f64) -> bool {
+        true
+    }
+}
+
+/// Per-tenant token bucket: tenant `t` accrues `rate_per_weight * weight(t)`
+/// tokens per second up to `burst`, and each admission spends one token.
+///
+/// Buckets start full, so short bursts are absorbed; a tenant that sustains
+/// more than its configured rate sees deterministic rejections instead of
+/// inflating every other tenant's queueing time.
+#[derive(Debug)]
+pub struct TenantTokenBucket {
+    rates: [f64; MAX_TENANTS],
+    burst: f64,
+    tokens: [f64; MAX_TENANTS],
+    refilled_at: [f64; MAX_TENANTS],
+}
+
+impl TenantTokenBucket {
+    /// Builds the bucket set from the run's tenant classes.
+    pub fn new(rate_per_weight: f64, burst: f64, classes: &TenantClasses) -> Self {
+        assert!(rate_per_weight > 0.0, "token rate must be positive");
+        assert!(burst >= 1.0, "burst must admit at least one request");
+        let mut rates = [rate_per_weight; MAX_TENANTS];
+        for (tenant, class) in classes.iter() {
+            rates[tenant.index()] = rate_per_weight * class.weight;
+        }
+        Self {
+            rates,
+            burst,
+            tokens: [burst; MAX_TENANTS],
+            refilled_at: [0.0; MAX_TENANTS],
+        }
+    }
+}
+
+impl AdmissionPolicy for TenantTokenBucket {
+    fn admit(&mut self, request: &Request, now: f64) -> bool {
+        let t = request.tenant.index().min(MAX_TENANTS - 1);
+        let elapsed = (now - self.refilled_at[t]).max(0.0);
+        self.tokens[t] = (self.tokens[t] + elapsed * self.rates[t]).min(self.burst);
+        self.refilled_at[t] = now;
+        if self.tokens[t] >= 1.0 {
+            self.tokens[t] -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// First-come-first-served: always the queue head. Bit-identical to the
+/// pre-policy simulator.
+#[derive(Debug, Default)]
+pub struct Fcfs;
+
+impl SchedulingPolicy for Fcfs {
+    fn select(
+        &mut self,
+        _queue: &VecDeque<usize>,
+        _requests: &[Request],
+        _classes: &TenantClasses,
+        _now: f64,
+    ) -> usize {
+        0
+    }
+}
+
+/// Smooth weighted round-robin over the tenants currently present in the
+/// queue; within a tenant, requests are served in arrival order.
+///
+/// Classic smooth-WRR: every selection first credits each *present* tenant by
+/// its weight, picks the present tenant with the highest accumulated credit
+/// (ties to the lowest tenant id), then debits the winner by the total weight
+/// credited this round. Absent tenants accrue nothing, so a tenant cannot
+/// bank service while idle.
+#[derive(Debug, Default)]
+pub struct WeightedRoundRobin {
+    credit: [f64; MAX_TENANTS],
+}
+
+impl SchedulingPolicy for WeightedRoundRobin {
+    fn select(
+        &mut self,
+        queue: &VecDeque<usize>,
+        requests: &[Request],
+        classes: &TenantClasses,
+        _now: f64,
+    ) -> usize {
+        let mut present = [false; MAX_TENANTS];
+        for &req in queue {
+            present[requests[req].tenant.index().min(MAX_TENANTS - 1)] = true;
+        }
+        let mut round_total = 0.0;
+        let mut winner = MAX_TENANTS;
+        for (t, _) in present.iter().enumerate().filter(|(_, &p)| p) {
+            let weight = classes.get(TenantId(t as u32)).weight;
+            self.credit[t] += weight;
+            round_total += weight;
+            if winner == MAX_TENANTS || self.credit[t] > self.credit[winner] {
+                winner = t;
+            }
+        }
+        debug_assert!(winner < MAX_TENANTS, "queue is non-empty");
+        self.credit[winner] -= round_total;
+        queue
+            .iter()
+            .position(|&req| requests[req].tenant.index().min(MAX_TENANTS - 1) == winner)
+            .expect("winner was marked present from this queue")
+    }
+}
+
+/// Earliest-deadline-first with per-tenant deadlines `arrival + slo_jct`.
+///
+/// Tenants without a finite SLO target effectively yield to every tenant with
+/// one; among equal deadlines the earliest queue position (arrival order)
+/// wins, so single-tenant traces degrade to FCFS.
+#[derive(Debug, Default)]
+pub struct SloEdf;
+
+impl SchedulingPolicy for SloEdf {
+    fn select(
+        &mut self,
+        queue: &VecDeque<usize>,
+        requests: &[Request],
+        classes: &TenantClasses,
+        _now: f64,
+    ) -> usize {
+        let deadline = |req: usize| {
+            let r = &requests[req];
+            r.arrival + classes.get(r.tenant).slo_jct
+        };
+        let mut best = 0;
+        for pos in 1..queue.len() {
+            if deadline(queue[pos]) < deadline(queue[best]) {
+                best = pos;
+            }
+        }
+        best
+    }
+}
+
+/// Serializable selector of the run's [`AdmissionPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub enum AdmissionPolicyKind {
+    /// Admit everything (the pre-policy behaviour).
+    #[default]
+    AdmitAll,
+    /// Per-tenant token bucket: `rate_per_weight * weight(t)` admissions per
+    /// second sustained, bursts up to `burst`.
+    TokenBucket {
+        /// Sustained admission rate per unit of tenant weight (requests/s).
+        rate_per_weight: f64,
+        /// Bucket capacity in requests (≥ 1).
+        burst: f64,
+    },
+}
+
+impl AdmissionPolicyKind {
+    /// Builds the policy instance for one run.
+    pub fn build(self, classes: &TenantClasses) -> Box<dyn AdmissionPolicy> {
+        match self {
+            AdmissionPolicyKind::AdmitAll => Box::new(AdmitAll),
+            AdmissionPolicyKind::TokenBucket {
+                rate_per_weight,
+                burst,
+            } => Box::new(TenantTokenBucket::new(rate_per_weight, burst, classes)),
+        }
+    }
+
+    /// Builds the policy for the simulator's hot path: `None` means the
+    /// built-in admit-everything default, which the frontend handles without
+    /// any per-arrival policy call (keeping the single-tenant path identical
+    /// in cost, not just in outcome, to the pre-policy simulator).
+    pub(crate) fn instantiate(self, classes: &TenantClasses) -> Option<Box<dyn AdmissionPolicy>> {
+        match self {
+            AdmissionPolicyKind::AdmitAll => None,
+            other => Some(other.build(classes)),
+        }
+    }
+}
+
+/// Serializable selector of the run's [`SchedulingPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub enum SchedulingPolicyKind {
+    /// First-come-first-served (the pre-policy behaviour, bit-identical).
+    #[default]
+    Fcfs,
+    /// Smooth weighted round-robin over the tenants present in each queue.
+    WeightedRoundRobin,
+    /// Earliest-deadline-first on per-tenant SLO deadlines.
+    SloEdf,
+}
+
+impl SchedulingPolicyKind {
+    /// Builds the policy instance for one run.
+    pub fn build(self) -> Box<dyn SchedulingPolicy> {
+        match self {
+            SchedulingPolicyKind::Fcfs => Box::<Fcfs>::default(),
+            SchedulingPolicyKind::WeightedRoundRobin => Box::<WeightedRoundRobin>::default(),
+            SchedulingPolicyKind::SloEdf => Box::<SloEdf>::default(),
+        }
+    }
+
+    /// Builds the policy for the simulator's hot path: `None` means the
+    /// built-in FCFS default, which `start_prefill` serves with a plain
+    /// `pop_front` — no per-selection policy call, so the single-tenant path
+    /// costs exactly what it did before policies existed.
+    pub(crate) fn instantiate(self) -> Option<Box<dyn SchedulingPolicy>> {
+        match self {
+            SchedulingPolicyKind::Fcfs => None,
+            other => Some(other.build()),
+        }
+    }
+
+    /// Display name (bench/table row labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulingPolicyKind::Fcfs => "fcfs",
+            SchedulingPolicyKind::WeightedRoundRobin => "wrr",
+            SchedulingPolicyKind::SloEdf => "slo-edf",
+        }
+    }
+
+    /// Every shipped scheduling policy (grid/bench sweeps).
+    pub fn all() -> [SchedulingPolicyKind; 3] {
+        [
+            SchedulingPolicyKind::Fcfs,
+            SchedulingPolicyKind::WeightedRoundRobin,
+            SchedulingPolicyKind::SloEdf,
+        ]
+    }
+}
+
+/// The frontend policy of one run: tenant classes plus the admission and
+/// scheduling policies operating on them. `Copy` and serializable so it rides
+/// inside [`crate::config::SimulationConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct PolicyConfig {
+    /// Per-tenant service classes (weight, SLO target).
+    pub tenants: TenantClasses,
+    /// Admission policy.
+    pub admission: AdmissionPolicyKind,
+    /// Scheduling policy.
+    pub scheduling: SchedulingPolicyKind,
+}
+
+impl PolicyConfig {
+    /// A multi-tenant policy with the given classes and scheduling policy,
+    /// admitting everything.
+    pub fn scheduled(classes: &[TenantClass], scheduling: SchedulingPolicyKind) -> Self {
+        Self {
+            tenants: TenantClasses::new(classes),
+            admission: AdmissionPolicyKind::AdmitAll,
+            scheduling,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, tenant: u32, arrival: f64) -> Request {
+        Request {
+            id,
+            tenant: TenantId(tenant),
+            arrival,
+            input_len: 100,
+            output_len: 10,
+        }
+    }
+
+    fn queue_of(ids: &[usize]) -> VecDeque<usize> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn tenant_classes_default_beyond_configured_set() {
+        let classes = TenantClasses::new(&[
+            TenantClass {
+                weight: 3.0,
+                slo_jct: 60.0,
+            },
+            TenantClass {
+                weight: 1.0,
+                slo_jct: 600.0,
+            },
+        ]);
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes.get(TenantId(0)).weight, 3.0);
+        assert_eq!(classes.get(TenantId(1)).slo_jct, 600.0);
+        // Unconfigured tenant falls back to the default class.
+        assert_eq!(classes.get(TenantId(5)).weight, 1.0);
+        assert!(classes.get(TenantId(5)).slo_jct.is_infinite());
+    }
+
+    #[test]
+    fn fcfs_always_picks_the_head() {
+        let requests = vec![request(0, 1, 0.0), request(1, 0, 1.0)];
+        let classes = TenantClasses::single_tenant();
+        let mut fcfs = Fcfs;
+        assert_eq!(fcfs.select(&queue_of(&[1, 0]), &requests, &classes, 5.0), 0);
+    }
+
+    #[test]
+    fn wrr_shares_service_by_weight() {
+        // Tenant 0 (weight 2) and tenant 1 (weight 1), both always backlogged:
+        // over 3 selections tenant 0 must win twice, tenant 1 once.
+        let requests: Vec<Request> = (0..12)
+            .map(|i| request(i, (i % 2) as u32, i as f64))
+            .collect();
+        let classes = TenantClasses::new(&[
+            TenantClass {
+                weight: 2.0,
+                slo_jct: f64::INFINITY,
+            },
+            TenantClass {
+                weight: 1.0,
+                slo_jct: f64::INFINITY,
+            },
+        ]);
+        let mut wrr = WeightedRoundRobin::default();
+        let queue = queue_of(&[0, 1, 2, 3, 4, 5]); // tenants 0,1,0,1,0,1
+        let mut wins = [0usize; 2];
+        for _ in 0..6 {
+            let pos = wrr.select(&queue, &requests, &classes, 0.0);
+            wins[requests[queue[pos]].tenant.index()] += 1;
+        }
+        assert_eq!(wins, [4, 2], "2:1 weights over 6 turns");
+    }
+
+    #[test]
+    fn wrr_serves_a_lone_tenant_in_arrival_order() {
+        let requests: Vec<Request> = (0..4).map(|i| request(i, 0, i as f64)).collect();
+        let classes = TenantClasses::single_tenant();
+        let mut wrr = WeightedRoundRobin::default();
+        // Only tenant 0 present: always position 0 (the earliest arrival).
+        for _ in 0..4 {
+            assert_eq!(
+                wrr.select(&queue_of(&[0, 1, 2, 3]), &requests, &classes, 0.0),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn slo_edf_prioritises_tight_deadlines_and_breaks_ties_by_position() {
+        let requests = vec![
+            request(0, 0, 0.0), // deadline 0 + 1000
+            request(1, 1, 5.0), // deadline 5 + 10 = 15
+            request(2, 1, 8.0), // deadline 8 + 10 = 18
+        ];
+        let classes = TenantClasses::new(&[
+            TenantClass {
+                weight: 1.0,
+                slo_jct: 1000.0,
+            },
+            TenantClass {
+                weight: 1.0,
+                slo_jct: 10.0,
+            },
+        ]);
+        let mut edf = SloEdf;
+        assert_eq!(
+            edf.select(&queue_of(&[0, 1, 2]), &requests, &classes, 9.0),
+            1
+        );
+        // Equal deadlines: earliest queue position wins.
+        let twins = vec![request(0, 0, 1.0), request(1, 0, 1.0)];
+        assert_eq!(
+            edf.select(
+                &queue_of(&[0, 1]),
+                &twins,
+                &TenantClasses::single_tenant(),
+                2.0
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn token_bucket_enforces_weighted_rates_and_bursts() {
+        let classes = TenantClasses::new(&[
+            TenantClass {
+                weight: 2.0,
+                slo_jct: f64::INFINITY,
+            },
+            TenantClass {
+                weight: 1.0,
+                slo_jct: f64::INFINITY,
+            },
+        ]);
+        let mut bucket = TenantTokenBucket::new(0.5, 2.0, &classes);
+        // Burst of 2 admitted at t=0; the third is rejected.
+        assert!(bucket.admit(&request(0, 1, 0.0), 0.0));
+        assert!(bucket.admit(&request(1, 1, 0.0), 0.0));
+        assert!(!bucket.admit(&request(2, 1, 0.0), 0.0));
+        // Tenant 1 refills at 0.5/s: one token back after 2 s.
+        assert!(bucket.admit(&request(3, 1, 2.0), 2.0));
+        assert!(!bucket.admit(&request(4, 1, 2.0), 2.0));
+        // Tenant 0 (weight 2) refills twice as fast — its own bucket is
+        // untouched by tenant 1's spending.
+        assert!(bucket.admit(&request(5, 0, 0.0), 0.0));
+        assert!(bucket.admit(&request(6, 0, 0.0), 0.0));
+        assert!(!bucket.admit(&request(7, 0, 0.0), 0.0));
+        assert!(bucket.admit(&request(8, 0, 1.0), 1.0));
+    }
+
+    #[test]
+    fn kinds_build_their_policies() {
+        let classes = TenantClasses::single_tenant();
+        let mut requestq = queue_of(&[0]);
+        requestq.make_contiguous();
+        let requests = vec![request(0, 0, 0.0)];
+        for kind in SchedulingPolicyKind::all() {
+            let mut policy = kind.build();
+            assert_eq!(policy.select(&requestq, &requests, &classes, 0.0), 0);
+            assert!(!kind.name().is_empty());
+        }
+        let mut admit = AdmissionPolicyKind::AdmitAll.build(&classes);
+        assert!(admit.admit(&requests[0], 0.0));
+        let mut bucket = AdmissionPolicyKind::TokenBucket {
+            rate_per_weight: 1.0,
+            burst: 1.0,
+        }
+        .build(&classes);
+        assert!(bucket.admit(&requests[0], 0.0));
+        assert!(!bucket.admit(&requests[0], 0.0));
+    }
+}

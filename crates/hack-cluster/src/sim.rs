@@ -47,6 +47,14 @@ pub enum CostMode {
     Reference,
 }
 
+#[cfg(test)]
+thread_local! {
+    /// Test-only switch forcing the boxed trait-object policy path even for
+    /// the FCFS/AdmitAll defaults (see
+    /// [`Simulator::run_with_boxed_default_policies`]).
+    static FORCE_BOXED_POLICIES: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// Discrete-event simulator of one configuration (cluster × trace × method).
 pub struct Simulator {
     config: SimulationConfig,
@@ -166,6 +174,24 @@ impl Simulator {
         (result, trace)
     }
 
+    /// Test hook: run with the configured policies forced through the boxed
+    /// trait-object path, even for the FCFS/AdmitAll defaults that normally
+    /// instantiate to `None`. Pins the `Some`-branch mechanics (virtual
+    /// `select` + `VecDeque::remove(pos)`, per-arrival `admit`) bit-identical
+    /// to the built-in fast path.
+    #[cfg(test)]
+    pub(crate) fn run_with_boxed_default_policies(&self) -> SimulationResult {
+        self.run_boxed_impl().0
+    }
+
+    #[cfg(test)]
+    fn run_boxed_impl(&self) -> (SimulationResult, Vec<EventRecord>, u64) {
+        let prev = FORCE_BOXED_POLICIES.with(|f| f.replace(true));
+        let out = self.run_impl(EngineMode::Slab, CostMode::Table, false);
+        FORCE_BOXED_POLICIES.with(|f| f.set(prev));
+        out
+    }
+
     /// Runs and also reports the number of engine events processed (used by the
     /// bench harness to size its workloads honestly).
     pub fn run_counted(&self, mode: EngineMode) -> (SimulationResult, u64) {
@@ -197,6 +223,14 @@ impl Simulator {
         };
         let profile = *self.profile();
         let cluster_cfg = &self.config.cluster;
+
+        assert!(
+            requests
+                .iter()
+                .all(|r| r.tenant.index() < crate::policy::MAX_TENANTS),
+            "trace tags a tenant beyond MAX_TENANTS ({})",
+            crate::policy::MAX_TENANTS
+        );
 
         if let Some(f) = self.config.failure {
             assert!(
@@ -248,11 +282,29 @@ impl Simulator {
 
         let num_requests = requests.len();
         let kv_capacity = cluster_cfg.decode_kv_budget_bytes();
+        let policy = self.config.policy;
+        #[cfg(test)]
+        let force_boxed = FORCE_BOXED_POLICIES.with(std::cell::Cell::get);
+        #[cfg(not(test))]
+        let force_boxed = false;
+        let (admission, scheduling) = if force_boxed {
+            (
+                Some(policy.admission.build(&policy.tenants)),
+                Some(policy.scheduling.build()),
+            )
+        } else {
+            (
+                policy.admission.instantiate(&policy.tenants),
+                policy.scheduling.instantiate(),
+            )
+        };
         let state = ClusterState {
             config: self.config,
             prefill_model: self.prefill_model,
             decode_model: self.decode_model,
             costs: sim_costs,
+            admission,
+            scheduling,
             states: vec![ReqState::default(); requests.len()],
             requests,
             prefill: vec![PrefillReplicaState::default(); cluster_cfg.prefill_replicas],
@@ -270,6 +322,8 @@ impl Simulator {
             waiting_for_memory: VecDeque::new(),
             fabric: NetworkFabric::new(fabric_ctx, cluster_cfg.prefill_replicas),
             completed: 0,
+            rejected: 0,
+            rejected_per_tenant: [0; crate::policy::MAX_TENANTS],
             swapped: 0,
             requeued: 0,
             injected_failures: 0,
@@ -303,10 +357,14 @@ impl Simulator {
             );
         }
 
-        // --- Drive the engine until all requests complete (or the queue runs
-        // dry, e.g. under a permanent failure of the whole decode fleet). ---
+        // --- Drive the engine until every request is resolved — completed or
+        // rejected by admission — (or the queue runs dry, e.g. under a
+        // permanent failure of the whole decode fleet). ---
         let mut makespan = 0.0f64;
-        while cluster.borrow().completed < num_requests {
+        while {
+            let cs = cluster.borrow();
+            cs.completed + cs.rejected < num_requests
+        } {
             if !sim.step() {
                 break;
             }
@@ -358,6 +416,12 @@ impl Simulator {
             peak_decode_memory_fraction: peak_fraction,
             peak_decode_kv_bytes: peak_kv,
             swapped_requests: cs.swapped,
+            rejected_requests: cs.rejected,
+            rejected_by_tenant: {
+                let counts = &cs.rejected_per_tenant;
+                let live = counts.iter().rposition(|&n| n > 0).map_or(0, |i| i + 1);
+                counts[..live].to_vec()
+            },
             requeued_requests: cs.requeued,
             injected_failures: cs.injected_failures,
             makespan,
@@ -372,6 +436,7 @@ impl Simulator {
 mod tests {
     use super::*;
     use crate::config::{ClusterConfig, FailureSpec};
+    use crate::policy::PolicyConfig;
     use hack_model::gpu::GpuKind;
     use hack_model::spec::ModelKind;
     use hack_workload::dataset::Dataset;
@@ -394,6 +459,7 @@ mod tests {
                 seed: 7,
             },
             profile,
+            policy: PolicyConfig::default(),
             failure: None,
         }
     }
@@ -550,6 +616,7 @@ mod tests {
                     seed: 11,
                 },
                 profile: KvMethodProfile::baseline(),
+                policy: PolicyConfig::default(),
                 failure: None,
             };
             Simulator::new(cfg).run().average_ratios().communication
@@ -653,6 +720,7 @@ mod tests {
                 seed: 13,
             },
             profile: KvMethodProfile::baseline(),
+            policy: PolicyConfig::default(),
             failure: None,
         };
         let result = Simulator::new(cfg).run();
@@ -758,5 +826,33 @@ mod tests {
     #[should_panic(expected = "failure targets decode replica")]
     fn failure_on_nonexistent_replica_is_rejected() {
         let _ = Simulator::new(failure_config(10, FailureSpec::permanent(99, 1.0))).run();
+    }
+
+    #[test]
+    fn boxed_default_policies_reproduce_the_fast_path_bit_for_bit() {
+        // FCFS/AdmitAll normally instantiate to `None` (the pre-policy
+        // pop_front hot path). Forcing them through the boxed trait-object
+        // path (`Fcfs::select` + `VecDeque::remove(pos)`, per-arrival
+        // `AdmitAll::admit`) must change nothing: PartialEq compares every
+        // f64 exactly.
+        for (dataset, rps) in [(Dataset::Cocktail, 0.08), (Dataset::Imdb, 0.6)] {
+            let sim = Simulator::new(sim_config(KvMethodProfile::hack(), dataset, rps, 50));
+            assert_eq!(
+                sim.run_with_boxed_default_policies(),
+                sim.run(),
+                "{}: boxed Fcfs/AdmitAll must match the built-in fast path",
+                dataset.name()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond MAX_TENANTS")]
+    fn out_of_range_tenant_tags_are_rejected() {
+        use hack_workload::trace::TenantId;
+        let cfg = sim_config(KvMethodProfile::baseline(), Dataset::Cocktail, 0.05, 5);
+        let mut requests = hack_workload::trace::TraceGenerator::new(cfg.trace).generate();
+        requests[3].tenant = TenantId(crate::policy::MAX_TENANTS as u32);
+        let _ = Simulator::with_requests(cfg, std::sync::Arc::new(requests)).run();
     }
 }

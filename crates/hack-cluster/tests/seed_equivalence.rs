@@ -375,6 +375,8 @@ mod legacy {
                 peak_decode_memory_fraction: peak_fraction,
                 peak_decode_kv_bytes: peak_kv,
                 swapped_requests: swapped,
+                rejected_requests: 0,
+                rejected_by_tenant: Vec::new(),
                 requeued_requests: 0,
                 injected_failures: 0,
                 makespan,
@@ -535,7 +537,7 @@ mod legacy {
     }
 }
 
-use hack_cluster::{ClusterConfig, SimulationConfig, Simulator};
+use hack_cluster::{ClusterConfig, PolicyConfig, SimulationConfig, Simulator};
 use hack_model::cost::KvMethodProfile;
 use hack_model::gpu::GpuKind;
 use hack_model::spec::ModelKind;
@@ -631,6 +633,7 @@ fn config(
             seed,
         },
         profile,
+        policy: PolicyConfig::default(),
         failure: None,
     }
 }
@@ -641,6 +644,33 @@ fn default_config_matches_seed_simulator_exactly() {
         config(KvMethodProfile::baseline(), Dataset::Cocktail, 0.08, 60, 7),
         "baseline/cocktail",
     );
+}
+
+#[test]
+fn explicit_fcfs_policy_is_bit_identical_to_the_default_and_the_seed() {
+    // The pluggable-policy frontend under explicit FCFS must reproduce the
+    // default-policy simulator bit-for-bit (PartialEq compares every f64
+    // exactly) and hence, transitively with the tests above, the seed
+    // simulator. An admission policy generous enough to admit everything
+    // (huge token buckets) must not perturb the run either.
+    let base = config(KvMethodProfile::hack(), Dataset::Cocktail, 0.08, 50, 9);
+    let default_run = Simulator::new(base).run();
+
+    let mut fcfs = base;
+    fcfs.policy.scheduling = hack_cluster::SchedulingPolicyKind::Fcfs;
+    assert_eq!(Simulator::new(fcfs).run(), default_run, "explicit FCFS");
+
+    let mut buckets = base;
+    buckets.policy.admission = hack_cluster::AdmissionPolicyKind::TokenBucket {
+        rate_per_weight: 1e6,
+        burst: 1e6,
+    };
+    let bucket_run = Simulator::new(buckets).run();
+    assert_eq!(bucket_run.rejected_requests, 0);
+    assert_eq!(bucket_run, default_run, "non-binding admission");
+
+    // Legacy oracle on the same configuration, for direct coverage.
+    assert_equivalent(fcfs, "explicit fcfs vs seed");
 }
 
 #[test]
@@ -677,6 +707,7 @@ fn memory_pressure_and_swap_path_match_seed_simulator() {
             seed: 13,
         },
         profile: KvMethodProfile::baseline(),
+        policy: PolicyConfig::default(),
         failure: None,
     };
     assert_equivalent(cfg, "overload/swap");

@@ -5,7 +5,9 @@
 //! returns the aggregate numbers the figures plot.
 
 use crate::method::Method;
-use hack_cluster::{ClusterConfig, CostMode, FailureSpec, SimulationConfig, Simulator};
+use hack_cluster::{
+    ClusterConfig, CostMode, FailureSpec, PolicyConfig, SimulationConfig, Simulator,
+};
 use hack_metrics::jct::{JctStats, StageRatios};
 use hack_model::gpu::GpuKind;
 use hack_model::spec::ModelKind;
@@ -247,6 +249,7 @@ impl JctExperiment {
             cluster: self.cluster_config(),
             trace: self.trace_config(),
             profile: method.profile(),
+            policy: PolicyConfig::default(),
             failure: self.failure,
         }
     }

@@ -32,11 +32,13 @@ pub mod experiment;
 pub mod fidelity;
 pub mod jct_runner;
 pub mod method;
+pub mod tenant_mix;
 
 pub use experiment::{ExperimentTable, Row};
 pub use fidelity::{FidelityReport, FidelitySetup};
 pub use jct_runner::{JctExperiment, JctOutcome};
 pub use method::Method;
+pub use tenant_mix::{TenantMixExperiment, TenantMixOutcome, TenantWorkload};
 
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
@@ -44,14 +46,20 @@ pub mod prelude {
     pub use crate::fidelity::{FidelityReport, FidelitySetup};
     pub use crate::jct_runner::{JctExperiment, JctOutcome};
     pub use crate::method::Method;
+    pub use crate::tenant_mix::{TenantMixExperiment, TenantMixOutcome, TenantWorkload};
     pub use hack_attention::baseline::{baseline_attention, AttentionMask};
     pub use hack_attention::prefill::hack_prefill_attention;
     pub use hack_attention::state::HackKvState;
-    pub use hack_cluster::{ClusterConfig, FailureSpec, SimulationConfig, Simulator};
+    pub use hack_cluster::{
+        AdmissionPolicyKind, ClusterConfig, FailureSpec, PolicyConfig, SchedulingPolicyKind,
+        SimulationConfig, Simulator, TenantClass, TenantClasses,
+    };
     pub use hack_model::gpu::GpuKind;
     pub use hack_model::spec::ModelKind;
     pub use hack_quant::{HackConfig, QuantizedTensor};
     pub use hack_tensor::{DetRng, Matrix};
     pub use hack_workload::dataset::Dataset;
+    pub use hack_workload::tenant::{MultiTenantTrace, TenantSpec};
+    pub use hack_workload::trace::TenantId;
     pub use hack_workload::trace::TraceConfig;
 }

@@ -10,12 +10,16 @@
 //! * [`edit`] — normalized Levenshtein edit similarity, the paper's accuracy metric for
 //!   code completion.
 //! * [`error`] — scalar error metrics on vectors (used by the fidelity harness).
+//! * [`tenant`] — per-tenant JCT grouping, Jain's fairness index and SLO-attainment
+//!   summaries for multi-tenant cluster runs.
 
 pub mod edit;
 pub mod error;
 pub mod jct;
 pub mod rouge;
+pub mod tenant;
 
 pub use edit::edit_similarity;
 pub use jct::{average_ratios, JctBreakdown, JctStats, StageRatios};
 pub use rouge::rouge1_f1;
+pub use tenant::{jain_index, per_tenant_stats, slo_attainment, TenantSlo};

@@ -1,0 +1,177 @@
+//! Per-tenant service metrics: JCT grouping, Jain's fairness index and
+//! SLO-attainment summaries for multi-tenant cluster runs.
+//!
+//! The cluster simulator tags every request (and hence every result record)
+//! with a [`TenantId`]; the helpers here aggregate those records per tenant so
+//! scheduling policies can be compared on *who* got the service, not just on
+//! the global average.
+
+use crate::jct::{JctBreakdown, JctStats};
+use hack_workload::trace::TenantId;
+use serde::Serialize;
+
+/// Jain's fairness index over per-tenant allocations `x_i`:
+/// `(Σx)² / (n · Σx²)`.
+///
+/// Ranges over `(0, 1]`: `1.0` when every tenant receives the same allocation,
+/// `1/n` when one tenant receives everything. Degenerate inputs (empty, or all
+/// zero) are trivially fair and return `1.0`.
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    let n = allocations.len() as f64;
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sum_sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n * sum_sq)
+}
+
+/// Groups per-request JCT breakdowns by tenant, in ascending tenant order.
+pub fn group_by_tenant(
+    items: impl IntoIterator<Item = (TenantId, JctBreakdown)>,
+) -> Vec<(TenantId, Vec<JctBreakdown>)> {
+    let mut groups: Vec<(TenantId, Vec<JctBreakdown>)> = Vec::new();
+    for (tenant, breakdown) in items {
+        match groups.binary_search_by_key(&tenant, |(t, _)| *t) {
+            Ok(i) => groups[i].1.push(breakdown),
+            Err(i) => groups.insert(i, (tenant, vec![breakdown])),
+        }
+    }
+    groups
+}
+
+/// Per-tenant [`JctStats`], in ascending tenant order.
+pub fn per_tenant_stats(
+    items: impl IntoIterator<Item = (TenantId, JctBreakdown)>,
+) -> Vec<(TenantId, JctStats)> {
+    group_by_tenant(items)
+        .into_iter()
+        .map(|(tenant, breakdowns)| (tenant, JctStats::from_breakdowns(&breakdowns)))
+        .collect()
+}
+
+/// SLO attainment of one tenant: the fraction of its completed requests whose
+/// JCT stayed within the tenant's target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TenantSlo {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// The tenant's JCT target in seconds.
+    pub target: f64,
+    /// Completed requests of this tenant.
+    pub count: usize,
+    /// Requests that finished within the target.
+    pub attained: usize,
+}
+
+impl TenantSlo {
+    /// Attainment as a fraction in `[0, 1]` (`1.0` for a tenant with no
+    /// completed requests — no request missed its target).
+    pub fn attainment(&self) -> f64 {
+        if self.count == 0 {
+            return 1.0;
+        }
+        self.attained as f64 / self.count as f64
+    }
+}
+
+/// Per-tenant SLO attainment over `(tenant, jct)` pairs, with `target(tenant)`
+/// supplying each tenant's JCT target. Tenants appear in ascending order.
+pub fn slo_attainment(
+    jcts: impl IntoIterator<Item = (TenantId, f64)>,
+    target: impl Fn(TenantId) -> f64,
+) -> Vec<TenantSlo> {
+    let mut summaries: Vec<TenantSlo> = Vec::new();
+    for (tenant, jct) in jcts {
+        let i = match summaries.binary_search_by_key(&tenant, |s| s.tenant) {
+            Ok(i) => i,
+            Err(i) => {
+                summaries.insert(
+                    i,
+                    TenantSlo {
+                        tenant,
+                        target: target(tenant),
+                        count: 0,
+                        attained: 0,
+                    },
+                );
+                i
+            }
+        };
+        summaries[i].count += 1;
+        if jct <= summaries[i].target {
+            summaries[i].attained += 1;
+        }
+    }
+    summaries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(decode: f64, queueing: f64) -> JctBreakdown {
+        JctBreakdown {
+            decode,
+            queueing,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn jain_index_bounds_and_extremes() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        // One tenant takes everything: 1/n.
+        assert!((jain_index(&[5.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Monotone: a more skewed split is less fair.
+        assert!(jain_index(&[2.0, 1.0]) > jain_index(&[10.0, 1.0]));
+    }
+
+    #[test]
+    fn grouping_sorts_tenants_and_keeps_all_records() {
+        let items = vec![
+            (TenantId(2), breakdown(1.0, 0.0)),
+            (TenantId(0), breakdown(2.0, 0.0)),
+            (TenantId(2), breakdown(3.0, 0.0)),
+        ];
+        let groups = group_by_tenant(items);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, TenantId(0));
+        assert_eq!(groups[1].0, TenantId(2));
+        assert_eq!(groups[1].1.len(), 2);
+
+        let stats = per_tenant_stats(vec![
+            (TenantId(1), breakdown(4.0, 0.0)),
+            (TenantId(1), breakdown(6.0, 0.0)),
+        ]);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].1.count, 2);
+        assert!((stats[0].1.mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slo_attainment_counts_per_tenant() {
+        let jcts = vec![
+            (TenantId(0), 1.0),
+            (TenantId(0), 3.0),
+            (TenantId(1), 10.0),
+            (TenantId(1), 30.0),
+        ];
+        let summary = slo_attainment(jcts, |t| if t == TenantId(0) { 2.0 } else { 20.0 });
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].tenant, TenantId(0));
+        assert_eq!(summary[0].count, 2);
+        assert_eq!(summary[0].attained, 1);
+        assert!((summary[0].attainment() - 0.5).abs() < 1e-12);
+        assert!((summary[1].attainment() - 0.5).abs() < 1e-12);
+        let empty = TenantSlo {
+            tenant: TenantId(9),
+            target: 1.0,
+            count: 0,
+            attained: 0,
+        };
+        assert_eq!(empty.attainment(), 1.0);
+    }
+}

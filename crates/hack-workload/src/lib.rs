@@ -3,12 +3,16 @@
 //! Workload generation for the disaggregated-inference experiments: the four datasets
 //! of Table 4 (IMDb classification, arXiv summarization, Cocktail IR, HumanEval) as
 //! input/output-length distributions, plus a Poisson arrival process, combined into
-//! request traces consumed by the cluster simulator.
+//! request traces consumed by the cluster simulator. Traces are tenant-aware:
+//! [`tenant::MultiTenantTrace`] merge-sorts several per-tenant streams (each with its
+//! own dataset, rate and seed) into one deterministic trace.
 
 pub mod arrivals;
 pub mod dataset;
+pub mod tenant;
 pub mod trace;
 
 pub use arrivals::PoissonArrivals;
 pub use dataset::{Dataset, LengthStats};
-pub use trace::{Request, TraceConfig, TraceGenerator};
+pub use tenant::{MultiTenantTrace, TenantSpec};
+pub use trace::{Request, TenantId, TraceConfig, TraceGenerator};

@@ -4,13 +4,47 @@
 use crate::arrivals::PoissonArrivals;
 use crate::dataset::Dataset;
 use hack_tensor::DetRng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+
+/// Identity of the workload class ("tenant") a request belongs to.
+///
+/// Single-workload traces use [`TenantId::default`] (tenant 0); multi-tenant
+/// traces built by [`crate::tenant::MultiTenantTrace`] tag each request with
+/// the tenant whose stream produced it, and the tag rides through the cluster
+/// simulator into the per-request results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The tenant index as a plain `usize` (array key into per-tenant state).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+// Tuple structs are outside the derive stub's coverage; serialize as a bare
+// number so traces stay flat JSON.
+impl Serialize for TenantId {
+    fn serialize_value(&self) -> Value {
+        Value::Number(f64::from(self.0))
+    }
+}
+
+impl Deserialize for TenantId {}
 
 /// One inference request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Request {
     /// Request id (position in the trace).
     pub id: u64,
+    /// Tenant (workload class) the request belongs to.
+    pub tenant: TenantId,
     /// Arrival time in seconds since the start of the trace.
     pub arrival: f64,
     /// Prompt length in tokens.
@@ -23,6 +57,27 @@ impl Request {
     /// Total sequence length at the end of decoding.
     pub fn total_tokens(&self) -> usize {
         self.input_len + self.output_len
+    }
+
+    /// Decodes a request from its serialized [`Value`] tree (the stub serde's
+    /// data model; `serde_json::from_str` produces these).
+    ///
+    /// Trace snapshots written before multi-tenancy carry no `tenant` key;
+    /// those decode as tenant 0, so old snapshots stay readable. A *present*
+    /// but non-numeric `tenant` is corruption, not an old snapshot, and is
+    /// rejected like any other malformed field.
+    pub fn from_value(value: &Value) -> Option<Request> {
+        let tenant = match value.get_key("tenant") {
+            None => TenantId::default(),
+            Some(t) => TenantId(t.as_f64()? as u32),
+        };
+        Some(Request {
+            id: value.get_key("id")?.as_f64()? as u64,
+            tenant,
+            arrival: value.get_key("arrival")?.as_f64()?,
+            input_len: value.get_key("input_len")?.as_f64()? as usize,
+            output_len: value.get_key("output_len")?.as_f64()? as usize,
+        })
     }
 }
 
@@ -88,6 +143,7 @@ impl TraceGenerator {
                     .sample_lengths(self.config.max_context, &mut rng);
                 Request {
                     id,
+                    tenant: TenantId::default(),
                     arrival,
                     input_len,
                     output_len,
@@ -156,6 +212,13 @@ impl TraceTemplate {
     /// Materialises the trace at `rps`, bit-identical to
     /// `TraceGenerator::new(TraceConfig { rps, ..config }).generate()`.
     pub fn instantiate(&self, rps: f64) -> Vec<Request> {
+        self.instantiate_tagged(rps, TenantId::default())
+    }
+
+    /// [`Self::instantiate`] with every request tagged as `tenant` — the
+    /// per-tenant substreams of a [`crate::tenant::MultiTenantTrace`]. The
+    /// arrival times and lengths are bit-identical to the untagged trace.
+    pub fn instantiate_tagged(&self, rps: f64, tenant: TenantId) -> Vec<Request> {
         assert!(rps > 0.0, "arrival rate must be positive");
         let mut now = 0.0f64;
         self.unit_gaps
@@ -166,6 +229,7 @@ impl TraceTemplate {
                 now += gap / rps;
                 Request {
                     id: id as u64,
+                    tenant,
                     arrival: now,
                     input_len,
                     output_len,
@@ -284,5 +348,52 @@ mod tests {
             num_requests: 0,
             ..TraceConfig::cocktail_default()
         });
+    }
+
+    #[test]
+    fn request_serde_round_trips_exactly() {
+        // f64 serialization uses the shortest round-trippable representation,
+        // so a JSON round trip must reproduce the request bit-for-bit —
+        // including the tenant tag.
+        let trace = TraceTemplate::new(TraceConfig::cocktail_default())
+            .instantiate_tagged(0.37, TenantId(3));
+        for r in trace {
+            let json = serde_json::to_string(&r).unwrap();
+            let value = serde_json::from_str(&json).unwrap();
+            let back = Request::from_value(&value).expect("decodes");
+            assert_eq!(back, r);
+            assert_eq!(back.arrival.to_bits(), r.arrival.to_bits());
+        }
+    }
+
+    #[test]
+    fn pre_tenant_snapshots_decode_as_tenant_zero() {
+        // Trace snapshots written before multi-tenancy have no `tenant` key;
+        // they must keep decoding (forward compatibility).
+        let json = r#"{"id":5,"arrival":12.25,"input_len":100,"output_len":7}"#;
+        let value = serde_json::from_str(json).unwrap();
+        let r = Request::from_value(&value).expect("old snapshot decodes");
+        assert_eq!(
+            r,
+            Request {
+                id: 5,
+                tenant: TenantId::default(),
+                arrival: 12.25,
+                input_len: 100,
+                output_len: 7,
+            }
+        );
+        // A malformed snapshot is rejected, not silently defaulted: a missing
+        // required key, or a `tenant` key that is present but non-numeric.
+        let bad = serde_json::from_str(r#"{"id":5,"arrival":1.0}"#).unwrap();
+        assert!(Request::from_value(&bad).is_none());
+        let corrupt = serde_json::from_str(
+            r#"{"id":5,"tenant":"1","arrival":1.0,"input_len":10,"output_len":2}"#,
+        )
+        .unwrap();
+        assert!(
+            Request::from_value(&corrupt).is_none(),
+            "non-numeric tenant must be rejected, not defaulted"
+        );
     }
 }

@@ -40,6 +40,7 @@ fn main() {
             seed: 7,
         },
         profile: Method::hack().profile(),
+        policy: PolicyConfig::default(),
         failure: None,
     };
 

@@ -374,6 +374,7 @@ fn random_sim_config(rng: &mut DetRng) -> SimulationConfig {
         } else {
             Method::Baseline.profile()
         },
+        policy: PolicyConfig::default(),
         failure: if rng.chance(0.3) {
             Some(FailureSpec::transient(
                 rng.range_usize(0, cluster.decode_replicas),
@@ -408,4 +409,140 @@ fn cluster_simulation_diverges_across_trace_seeds() {
     let a = Simulator::new(config).run();
     let b = Simulator::new(other).run();
     assert_ne!(a, b, "different trace seeds must change the outcome");
+}
+
+// --- Policy invariants: conservation per tenant, no cross-tenant leakage,
+// --- and FCFS-equals-seed equivalence on single-tenant traces (the legacy
+// --- oracle itself lives in crates/hack-cluster/tests/seed_equivalence.rs).
+
+use hack_workload::tenant::{MultiTenantTrace, TenantSpec};
+use hack_workload::trace::TenantId;
+use std::sync::Arc;
+
+/// A random multi-tenant workload (2–4 tenants, mixed datasets/rates/seeds)
+/// over a random cluster config, under a random scheduling policy.
+fn random_multi_tenant(rng: &mut DetRng) -> (SimulationConfig, Arc<Vec<hack_workload::Request>>) {
+    use hack_cluster::{PolicyConfig, SchedulingPolicyKind, TenantClass, TenantClasses};
+    let datasets = [
+        Dataset::Imdb,
+        Dataset::Cocktail,
+        Dataset::Arxiv,
+        Dataset::HumanEval,
+    ];
+    let num_tenants = rng.range_usize(2, 5);
+    let mut specs = Vec::new();
+    let mut classes = Vec::new();
+    for t in 0..num_tenants {
+        specs.push(TenantSpec {
+            tenant: TenantId(t as u32),
+            trace: TraceConfig {
+                dataset: datasets[rng.range_usize(0, datasets.len())],
+                rps: rng.range_f64(0.05, 0.6),
+                num_requests: rng.range_usize(4, 14),
+                max_context: ModelKind::Llama31_70B.spec().max_context,
+                seed: rng.next_u64(),
+            },
+        });
+        classes.push(TenantClass {
+            weight: rng.range_f64(0.5, 4.0),
+            slo_jct: rng.range_f64(30.0, 3000.0),
+        });
+    }
+    let trace = MultiTenantTrace::new(specs);
+    let requests = Arc::new(trace.generate());
+    let scheduling = [
+        SchedulingPolicyKind::Fcfs,
+        SchedulingPolicyKind::WeightedRoundRobin,
+        SchedulingPolicyKind::SloEdf,
+    ][rng.range_usize(0, 3)];
+    let mut base = random_sim_config(rng);
+    base.failure = None; // exercised separately; keep every request completable
+    base.trace.num_requests = requests.len();
+    base.policy = PolicyConfig {
+        tenants: TenantClasses::new(&classes),
+        admission: hack_cluster::AdmissionPolicyKind::AdmitAll,
+        scheduling,
+    };
+    (base, requests)
+}
+
+#[test]
+fn every_admitted_request_completes_exactly_once_per_tenant() {
+    for case in 0..10 {
+        let mut rng = DetRng::new(14_000 + case);
+        let (config, requests) = random_multi_tenant(&mut rng);
+        let result = Simulator::with_requests(config, requests.clone()).run();
+        assert_eq!(result.rejected_requests, 0, "case {case}: AdmitAll");
+        // Conservation: every generated request appears in the records exactly
+        // once, and per-tenant completion counts equal per-tenant generation
+        // counts.
+        let mut seen = vec![0usize; requests.len()];
+        for r in &result.records {
+            seen[r.request.id as usize] += 1;
+        }
+        assert!(
+            seen.iter().all(|&n| n == 1),
+            "case {case}: duplicate or missing completion"
+        );
+        for (tenant, stats) in result.per_tenant_stats() {
+            let generated = requests.iter().filter(|r| r.tenant == tenant).count();
+            assert_eq!(stats.count, generated, "case {case}: {tenant}");
+        }
+    }
+}
+
+#[test]
+fn records_never_leak_across_tenants() {
+    for case in 0..10 {
+        let mut rng = DetRng::new(15_000 + case);
+        let (config, requests) = random_multi_tenant(&mut rng);
+        let result = Simulator::with_requests(config, requests.clone()).run();
+        for r in &result.records {
+            // A record's embedded request — tenant tag included — is exactly
+            // the generated one; the policy layer can reorder service but
+            // never relabel or rewrite a request.
+            assert_eq!(
+                r.request, requests[r.request.id as usize],
+                "case {case}: record diverged from its trace entry"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_tenant_runs_are_deterministic_under_every_policy() {
+    for case in 0..6 {
+        let mut rng = DetRng::new(16_000 + case);
+        let (config, requests) = random_multi_tenant(&mut rng);
+        let a = Simulator::with_requests(config, requests.clone()).run();
+        let b = Simulator::with_requests(config, requests.clone()).run();
+        assert_eq!(a, b, "case {case}: {:?}", config.policy.scheduling);
+    }
+}
+
+#[test]
+fn fcfs_policy_equals_default_on_single_tenant_traces() {
+    // The pluggable-policy frontend under any shipped scheduling policy must
+    // reproduce the default (pre-policy, FCFS) simulator bit-for-bit on
+    // single-tenant traces: with one tenant, round-robin has a single
+    // participant and EDF a single deadline offset.
+    use hack_cluster::SchedulingPolicyKind;
+    for case in 0..8 {
+        let mut rng = DetRng::new(17_000 + case);
+        let config = random_sim_config(&mut rng);
+        let default_run = Simulator::new(config).run();
+        for scheduling in [
+            SchedulingPolicyKind::Fcfs,
+            SchedulingPolicyKind::WeightedRoundRobin,
+            SchedulingPolicyKind::SloEdf,
+        ] {
+            let mut explicit = config;
+            explicit.policy.scheduling = scheduling;
+            assert_eq!(
+                Simulator::new(explicit).run(),
+                default_run,
+                "case {case}: {scheduling:?} must coincide with FCFS on one tenant"
+            );
+        }
+    }
 }
