@@ -12,7 +12,8 @@
 //!   engine vs the pre-change boxed engine (the headline wall-clock reduction),
 //!   the `sim_cost` section (prefix-sum cost tables vs the reference
 //!   per-token summation loops: microbench, full cluster run, capacity
-//!   bisection), plus per-method end-to-end cluster runs.
+//!   bisection), the `tenant_mix` scheduling grid, the `hetero_fleet`
+//!   mixed-vs-uniform dispatch grid, plus per-method end-to-end cluster runs.
 //!
 //! `BENCH_SCALE=smoke` (or `--smoke`) shrinks every workload for CI; the JSON
 //! schema is identical. `--compare <baseline.json>` (repeatable) prints a
@@ -166,6 +167,40 @@ struct TenantMixReport {
     slo_edf_jain_gain_vs_fcfs: f64,
 }
 
+/// One dispatch policy evaluated on the mixed A10G+L4 prefill fleet.
+#[derive(Debug, Serialize)]
+struct HeteroFleetPolicyRun {
+    policy: String,
+    /// Best wall-clock seconds of one full simulation run.
+    secs: f64,
+    /// Average JCT of the run (seconds; deterministic).
+    average_jct: f64,
+    /// Per-prefill-group utilization, in group order.
+    per_group_utilization: Vec<f64>,
+    /// Per-prefill-group completed requests, in group order.
+    per_group_completed: Vec<f64>,
+}
+
+/// The heterogeneous-fleet section: the `hetero_fleet` grid (mixed A10G+L4
+/// prefill fleet under every dispatch policy vs the uniform A10G fleet of
+/// equal instance count) plus the two JCT headlines the fleet API exists for.
+#[derive(Debug, Serialize)]
+struct HeteroFleetReport {
+    requests: usize,
+    /// The uniform fleet under default (least-loaded) dispatch.
+    uniform_secs: f64,
+    uniform_avg_jct: f64,
+    /// The mixed fleet, one run per dispatch policy.
+    runs: Vec<HeteroFleetPolicyRun>,
+    /// `1 - jct(mixed/least-loaded) / jct(uniform)`: the value of swapping
+    /// half the A10G instances for L4s under load-only dispatch.
+    mixed_jct_reduction_vs_uniform: f64,
+    /// `1 - jct(mixed/fastest-eligible) / jct(mixed/least-loaded)`: the
+    /// additional value of group-aware dispatch on the mixed fleet (the
+    /// headline; must stay positive).
+    fastest_eligible_jct_gain_vs_least_loaded: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct SimReport {
     schema: &'static str,
@@ -182,6 +217,9 @@ struct SimReport {
     /// The multi-tenant scheduling grid (see PERF.md, "Multi-tenant
     /// scenarios").
     tenant_mix: TenantMixReport,
+    /// The heterogeneous-fleet dispatch grid (see PERF.md, "Heterogeneous
+    /// fleets").
+    hetero_fleet: HeteroFleetReport,
     benches: Vec<Bench>,
 }
 
@@ -860,6 +898,88 @@ fn sim_benches(smoke: bool) -> SimReport {
         tenant_mix.wrr_jain_gain_vs_fcfs
     );
 
+    // --- hetero_fleet: the mixed A10G+L4 prefill fleet under every dispatch
+    // policy, against the uniform A10G fleet of equal instance count. As with
+    // tenant_mix, only the policy-driven simulation run is timed. ---
+    let mut hetero = HeteroFleetExperiment::paper_mixed();
+    if smoke {
+        hetero.num_requests = 25;
+    }
+    let hetero_iters = if smoke { 2 } else { 5 };
+    let uniform_sim = Simulator::new(hetero.simulation_config(
+        hetero.uniform_cluster(),
+        Method::hack(),
+        DispatchPolicyKind::LeastLoaded,
+    ));
+    let uniform_secs = time_iters(hetero_iters, || uniform_sim.run());
+    let uniform_avg_jct = uniform_sim.run().average_jct();
+    push(
+        &mut benches,
+        "hetero_fleet/cluster_run",
+        format!("fleet=uniform,requests={}", hetero.num_requests),
+        hetero_iters,
+        uniform_secs,
+    );
+    let mut hetero_runs = Vec::new();
+    for dispatch in DispatchPolicyKind::all() {
+        let simulator = Simulator::new(hetero.simulation_config(
+            hetero.mixed_cluster(),
+            Method::hack(),
+            dispatch,
+        ));
+        let secs = time_iters(hetero_iters, || simulator.run());
+        let outcome = HeteroFleetOutcome::from_result(dispatch, simulator.run());
+        push(
+            &mut benches,
+            "hetero_fleet/cluster_run",
+            format!(
+                "fleet=mixed,policy={},requests={}",
+                dispatch.name(),
+                hetero.num_requests
+            ),
+            hetero_iters,
+            secs,
+        );
+        hetero_runs.push(HeteroFleetPolicyRun {
+            policy: dispatch.name().to_string(),
+            secs,
+            average_jct: outcome.average_jct,
+            per_group_utilization: outcome
+                .prefill_groups
+                .iter()
+                .map(|g| g.utilization)
+                .collect(),
+            per_group_completed: outcome
+                .prefill_groups
+                .iter()
+                .map(|g| g.completed as f64)
+                .collect(),
+        });
+    }
+    let jct_of = |runs: &[HeteroFleetPolicyRun], policy: &str| {
+        runs.iter()
+            .find(|r| r.policy == policy)
+            .map_or(f64::NAN, |r| r.average_jct)
+    };
+    let (least_jct, fastest_jct) = (
+        jct_of(&hetero_runs, "least-loaded"),
+        jct_of(&hetero_runs, "fastest-eligible"),
+    );
+    let hetero_fleet = HeteroFleetReport {
+        requests: hetero.num_requests,
+        uniform_secs,
+        uniform_avg_jct,
+        runs: hetero_runs,
+        mixed_jct_reduction_vs_uniform: 1.0 - least_jct / uniform_avg_jct,
+        fastest_eligible_jct_gain_vs_least_loaded: 1.0 - fastest_jct / least_jct,
+    };
+    println!(
+        "  hetero_fleet: uniform {uniform_avg_jct:.2}s / mixed least-loaded {least_jct:.2}s / \
+         mixed fastest-eligible {fastest_jct:.2}s (mixed {:+.1}%, dispatch {:+.1}%)",
+        -100.0 * hetero_fleet.mixed_jct_reduction_vs_uniform,
+        -100.0 * hetero_fleet.fastest_eligible_jct_gain_vs_least_loaded
+    );
+
     // --- Per-method end-to-end runs (ported from benches/simulator.rs). ---
     let per_method_requests = if smoke { 10 } else { 200 };
     for method in Method::main_comparison() {
@@ -879,7 +999,7 @@ fn sim_benches(smoke: bool) -> SimReport {
     }
 
     SimReport {
-        schema: "hack-bench/sim/v3",
+        schema: "hack-bench/sim/v4",
         scale: if smoke { "smoke" } else { "full" },
         cluster_run_requests: requests,
         engine_cluster_run,
@@ -890,6 +1010,7 @@ fn sim_benches(smoke: bool) -> SimReport {
             capacity_bisection,
         },
         tenant_mix,
+        hetero_fleet,
         benches,
     }
 }
@@ -1095,6 +1216,16 @@ mod compare {
                 for path in [
                     ["tenant_mix", "wrr_jain_gain_vs_fcfs"],
                     ["tenant_mix", "slo_edf_jain_gain_vs_fcfs"],
+                ] {
+                    headline(
+                        &path.join("."),
+                        lookup(baseline, &path).and_then(Value::as_f64),
+                        lookup(current, &path).and_then(Value::as_f64),
+                    );
+                }
+                for path in [
+                    ["hetero_fleet", "mixed_jct_reduction_vs_uniform"],
+                    ["hetero_fleet", "fastest_eligible_jct_gain_vs_least_loaded"],
                 ] {
                     headline(
                         &path.join("."),

@@ -36,10 +36,11 @@ impl DecodeReplica {
 
         cs.decode[d].active += 1;
         cs.decode[d].resident_tokens += cs.requests[req].total_tokens();
-        let (decode_t, dequant_t) = cs.decode_durations(&cs.requests[req]);
-        // Congestion: when more sequences are resident than the nominal batch,
-        // every iteration takes proportionally longer.
-        let nominal = cs.config.cluster.cost_params.decode_batch;
+        let group = cs.decode[d].group;
+        let (decode_t, dequant_t) = cs.decode_durations(group, &cs.requests[req]);
+        // Congestion: when more sequences are resident than the group's
+        // nominal batch, every iteration takes proportionally longer.
+        let nominal = cs.decode_models[group].params.decode_batch;
         let congestion = (cs.decode[d].active as f64 / nominal).max(1.0);
         let decode_t = decode_t * congestion;
         let dequant_t = dequant_t * congestion;
@@ -86,10 +87,12 @@ impl DecodeReplica {
                     && cs.states[r].pending_decode.is_some()
             })
             .collect();
+        let group = cs.decode[d].group;
         for &r in &aborted {
             let (event_id, started) = cs.states[r].pending_decode.take().expect("filtered above");
             cs.decode_ctxs[d].cancel_event(event_id);
             cs.states[r].aborted_decode += now - started;
+            cs.aborted_decode_by_group[group] += now - started;
             cs.states[r].decode_time = 0.0;
             cs.states[r].dequant_time = 0.0;
             cs.states[r].reserved = false;

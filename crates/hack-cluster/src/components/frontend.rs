@@ -1,24 +1,28 @@
-//! Admission and routing of arriving requests.
+//! Admission and replica-aware dispatch of arriving requests.
 
 use crate::components::{prefill, ClusterState};
 use crate::events::RequestArrived;
+use crate::policy::ReplicaLoad;
 use hack_sim::{Event, EventHandler};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// The cluster frontend: receives [`RequestArrived`] events, asks the run's
 /// [`crate::policy::AdmissionPolicy`] whether the request enters at all, and
-/// dispatches admitted requests to the prefill replica with the shortest queue
-/// by queued tokens (§7.1), kicking the replica if it is idle. Which queued
-/// request a replica serves next is the scheduling policy's decision (see
-/// [`prefill::start_prefill`]).
+/// dispatches admitted requests onto the prefill fleet — by default to the
+/// replica with the shortest queue by queued tokens (§7.1), or through the
+/// run's [`crate::policy::DispatchPolicy`], which sees every replica's group,
+/// backlog and per-group service speed (heterogeneous fleets). The chosen
+/// replica is kicked if idle; *which* queued request a replica serves next is
+/// the scheduling policy's decision (see [`prefill::start_prefill`]).
 pub(crate) struct Frontend {
     pub cluster: Rc<RefCell<ClusterState>>,
 }
 
 impl Frontend {
-    /// Shortest-queue routing: pending tokens per replica, counting the
-    /// in-service request of a busy replica at this request's own length.
+    /// Built-in least-loaded routing (the pre-fleet default, no policy call):
+    /// pending tokens per replica, counting the in-service request of a busy
+    /// replica at this request's own length.
     fn route(cs: &ClusterState, req: usize) -> usize {
         (0..cs.prefill.len())
             .min_by_key(|&r| {
@@ -30,6 +34,39 @@ impl Frontend {
                     }
             })
             .expect("cluster has at least one prefill replica")
+    }
+
+    /// Policy-driven routing: assemble the per-replica load views (group,
+    /// backlog, this request's estimated service time on the replica's group)
+    /// and delegate. Only non-default dispatch policies pay this.
+    fn route_with_policy(cs: &mut ClusterState, req: usize, now: f64) -> usize {
+        let mut policy = cs
+            .dispatch
+            .take()
+            .expect("route_with_policy requires an active dispatch policy");
+        let input_len = cs.requests[req].input_len;
+        let loads: Vec<ReplicaLoad> = cs
+            .prefill
+            .iter()
+            .map(|p| {
+                let (prefill_t, quant_t) = cs.prefill_service_times(p.group, input_len);
+                ReplicaLoad {
+                    group: p.group,
+                    queued_tokens: p.queued_tokens,
+                    queue_len: p.queue.len(),
+                    busy: p.busy,
+                    service_secs: prefill_t + quant_t,
+                }
+            })
+            .collect();
+        let replica = policy.route(&loads, &cs.requests[req], now);
+        cs.dispatch = Some(policy);
+        assert!(
+            replica < cs.prefill.len(),
+            "dispatch policy routed to replica {replica} of {}",
+            cs.prefill.len()
+        );
+        replica
     }
 }
 
@@ -50,9 +87,16 @@ impl EventHandler for Frontend {
                 return;
             }
         }
-        let replica = Self::route(cs, req);
+        // `None` dispatch is the built-in least-loaded default: no load-view
+        // assembly, no policy call.
+        let replica = if cs.dispatch.is_some() {
+            Self::route_with_policy(cs, req, now)
+        } else {
+            Self::route(cs, req)
+        };
         cs.states[req].prefill_replica = replica;
-        cs.prefill[replica].queue.push_back(req);
+        let tenant = cs.requests[req].tenant.index();
+        cs.prefill[replica].queue.push(req, tenant);
         cs.prefill[replica].queued_tokens += cs.requests[req].input_len;
         if !cs.prefill[replica].busy {
             prefill::start_prefill(cs, replica, now);

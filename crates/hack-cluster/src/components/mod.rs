@@ -2,8 +2,9 @@
 //!
 //! Four component kinds cooperate:
 //!
-//! * [`frontend::Frontend`] — admission and shortest-queue routing of arriving
-//!   requests onto the prefill fleet;
+//! * [`frontend::Frontend`] — admission and replica-aware dispatch of arriving
+//!   requests onto the prefill fleet (least-loaded by default; pluggable
+//!   [`crate::policy::DispatchPolicy`] for heterogeneous fleets);
 //! * [`prefill::PrefillReplica`] — the prefill lifecycle of one replica
 //!   (queueing, prefill + quantization service, hand-off to the transfer path);
 //! * [`network::NetworkFabric`] — per-prefill-NIC serialization of KV
@@ -16,6 +17,11 @@
 //! per-replica bookkeeping; the event-handler layer stays thin so that the
 //! arithmetic below is a line-for-line port of the original monolithic
 //! simulator (whose per-request numerics this refactor reproduces exactly).
+//!
+//! Every replica belongs to a [`crate::fleet::ReplicaGroup`]; costs are
+//! evaluated under the *group's* cost model (GPU, parallelism, NIC, optional
+//! per-group efficiency constants), with one cost table per group (decode) or
+//! per prefill×decode group pair (transfer wire times).
 
 pub(crate) mod decode;
 pub(crate) mod frontend;
@@ -24,7 +30,7 @@ pub(crate) mod prefill;
 
 use crate::config::SimulationConfig;
 use crate::events::TransferCompleted;
-use crate::policy::{AdmissionPolicy, SchedulingPolicy};
+use crate::policy::{AdmissionPolicy, DispatchPolicy, SchedulingPolicy, MAX_TENANTS};
 use crate::sim::CostMode;
 use hack_model::cost::{KvMethodProfile, ReplicaCostModel};
 use hack_model::cost_table::{DecodeCostTable, PrefillCostTable};
@@ -33,44 +39,156 @@ use hack_workload::trace::Request;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// The memoized cost layer of one simulation run: the decode-side prefix-sum
-/// table and the prefill-side per-prompt-length memo, both built once per
-/// [`crate::sim::Simulator`], plus the mode selecting between them and the
-/// reference summation loops (kept as the equivalence oracle). The tables are
-/// `None` exactly under [`CostMode::Reference`], which never reads them (and
-/// must not pay for building them — it is the benchmarked "pre-table"
-/// baseline).
+/// The memoized cost layer of one simulation run: per-decode-group prefix-sum
+/// tables and per-(prefill group × decode group) prompt-length memos, built
+/// once per [`crate::sim::Simulator`], plus the mode selecting between them
+/// and the reference summation loops (kept as the equivalence oracle). The
+/// tables are `None` exactly under [`CostMode::Reference`], which never reads
+/// them (and must not pay for building them — it is the benchmarked
+/// "pre-table" baseline).
 pub(crate) struct SimCosts {
     pub mode: CostMode,
-    pub decode: Option<Arc<DecodeCostTable>>,
-    pub prefill: Option<Arc<PrefillCostTable>>,
+    /// `decode[dg]`: the decode cost table of decode group `dg`.
+    pub decode: Option<Vec<Arc<DecodeCostTable>>>,
+    /// `prefill[pg][dg]`: prefill/quantization times under prefill group
+    /// `pg`'s model and the wire time over `min(pg, dg)` NIC bandwidth. The
+    /// prefill/quantization entries are identical across `dg` (they do not
+    /// depend on the network), so group-only lookups read `prefill[pg][0]`.
+    pub prefill: Option<Vec<Vec<Arc<PrefillCostTable>>>>,
 }
 
 impl SimCosts {
-    fn decode_table(&self) -> &DecodeCostTable {
-        self.decode
+    fn decode_table(&self, group: usize) -> &DecodeCostTable {
+        &self
+            .decode
             .as_deref()
-            .expect("table cost mode always carries a decode cost table")
+            .expect("table cost mode always carries decode cost tables")[group]
     }
 
-    fn prefill_table(&self) -> &PrefillCostTable {
-        self.prefill
+    fn prefill_table(&self, prefill_group: usize, decode_group: usize) -> &PrefillCostTable {
+        &self
+            .prefill
             .as_deref()
-            .expect("table cost mode always carries a prefill cost table")
+            .expect("table cost mode always carries prefill cost tables")[prefill_group]
+            [decode_group]
+    }
+}
+
+/// The pending requests of one prefill replica.
+///
+/// Two representations, chosen once per run: a plain arrival-ordered FIFO when
+/// no scheduling policy is active (the pre-policy hot path: `push_back` /
+/// `pop_front`, nothing else), or per-tenant sub-queues when one is — the
+/// policy picks a *tenant* from the sub-queue heads (O(tenants)) and the
+/// winner's head pops in O(1), replacing the old O(queue) scan +
+/// `VecDeque::remove(pos)`. Requests enter exactly once, in arrival order, so
+/// within any sub-queue request indices ascend and the head is always the
+/// tenant's earliest arrival.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PrefillQueue {
+    /// Arrival-ordered FIFO (no-scheduling-policy runs).
+    fifo: VecDeque<usize>,
+    /// Per-tenant sub-queues (`Some` exactly when a scheduling policy runs).
+    by_tenant: Option<Vec<VecDeque<usize>>>,
+    len: usize,
+}
+
+impl PrefillQueue {
+    /// An empty queue; `per_tenant` selects the sub-queue representation.
+    pub fn new(per_tenant: bool) -> Self {
+        Self {
+            fifo: VecDeque::new(),
+            by_tenant: per_tenant.then(|| vec![VecDeque::new(); MAX_TENANTS]),
+            len: 0,
+        }
+    }
+
+    /// Queues `req` for `tenant` (requests arrive in arrival order).
+    pub fn push(&mut self, req: usize, tenant: usize) {
+        self.len += 1;
+        match &mut self.by_tenant {
+            Some(queues) => queues[tenant.min(MAX_TENANTS - 1)].push_back(req),
+            None => self.fifo.push_back(req),
+        }
+    }
+
+    /// Pops the overall earliest-queued request (the FCFS fast path; only
+    /// valid in FIFO representation).
+    pub fn pop_front(&mut self) -> Option<usize> {
+        debug_assert!(
+            self.by_tenant.is_none(),
+            "pop_front is the no-policy fast path"
+        );
+        let req = self.fifo.pop_front();
+        if req.is_some() {
+            self.len -= 1;
+        }
+        req
+    }
+
+    /// The per-tenant sub-queue heads (each tenant's earliest queued request).
+    pub fn heads(&self) -> [Option<usize>; MAX_TENANTS] {
+        let queues = self
+            .by_tenant
+            .as_ref()
+            .expect("heads() requires the per-tenant representation");
+        let mut heads = [None; MAX_TENANTS];
+        for (head, queue) in heads.iter_mut().zip(queues) {
+            *head = queue.front().copied();
+        }
+        heads
+    }
+
+    /// Pops `tenant`'s earliest queued request.
+    pub fn pop_tenant(&mut self, tenant: usize) -> Option<usize> {
+        let queues = self
+            .by_tenant
+            .as_mut()
+            .expect("pop_tenant requires the per-tenant representation");
+        let req = queues[tenant.min(MAX_TENANTS - 1)].pop_front();
+        if req.is_some() {
+            self.len -= 1;
+        }
+        req
+    }
+
+    /// Queued requests across all tenants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 }
 
 /// Prefill-side state of one replica.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub(crate) struct PrefillReplicaState {
-    pub queue: VecDeque<usize>,
+    /// Prefill group the replica belongs to.
+    pub group: usize,
+    pub queue: PrefillQueue,
     pub queued_tokens: usize,
     pub busy: bool,
+}
+
+impl PrefillReplicaState {
+    pub fn new(group: usize, per_tenant_queue: bool) -> Self {
+        Self {
+            group,
+            queue: PrefillQueue::new(per_tenant_queue),
+            queued_tokens: 0,
+            busy: false,
+        }
+    }
 }
 
 /// Decode-side state of one replica.
 #[derive(Debug, Clone)]
 pub(crate) struct DecodeReplicaState {
+    /// Decode group the replica belongs to.
+    pub group: usize,
     pub kv_capacity: f64,
     pub kv_used: f64,
     pub peak_kv: f64,
@@ -118,9 +236,15 @@ pub(crate) struct ReqState {
 /// live here as methods so every component sees one consistent picture.
 pub(crate) struct ClusterState {
     pub config: SimulationConfig,
-    pub prefill_model: ReplicaCostModel,
-    pub decode_model: ReplicaCostModel,
+    /// Cost model of each prefill group (index = group).
+    pub prefill_models: Vec<ReplicaCostModel>,
+    /// Cost model of each decode group (index = group).
+    pub decode_models: Vec<ReplicaCostModel>,
     pub costs: SimCosts,
+    /// Dispatch policy of this run (fresh per run; see [`crate::policy`]).
+    /// `None` is the built-in least-loaded default — the frontend routes
+    /// without assembling load views or making a policy call.
+    pub dispatch: Option<Box<dyn DispatchPolicy>>,
     /// Admission policy of this run (fresh per run; see [`crate::policy`]).
     /// `None` is the built-in admit-everything default — the frontend skips
     /// the policy call entirely, keeping the default arrival path as cheap as
@@ -128,7 +252,8 @@ pub(crate) struct ClusterState {
     pub admission: Option<Box<dyn AdmissionPolicy>>,
     /// Scheduling policy of this run (fresh per run; see [`crate::policy`]).
     /// `None` is built-in FCFS — `start_prefill` pops the queue head without
-    /// a policy call.
+    /// a policy call, and the prefill queues skip the per-tenant sub-queue
+    /// bookkeeping entirely.
     pub scheduling: Option<Box<dyn SchedulingPolicy>>,
     pub requests: Arc<Vec<Request>>,
     pub prefill: Vec<PrefillReplicaState>,
@@ -143,6 +268,12 @@ pub(crate) struct ClusterState {
     pub swapped: usize,
     pub requeued: usize,
     pub injected_failures: usize,
+    /// Decode seconds wasted by failure-aborted attempts, per decode *group*
+    /// — the group that actually spent the time, which under re-dispatch can
+    /// differ from the group that eventually completes the request (the
+    /// per-request `aborted_decode` charge follows the request; this follows
+    /// the hardware, for the per-group utilization report).
+    pub aborted_decode_by_group: Vec<f64>,
     /// Per-prefill-replica contexts (engine address + emitter of
     /// `PrefillFinished` for each replica).
     pub prefill_ctxs: Vec<SimulationContext>,
@@ -157,59 +288,80 @@ impl ClusterState {
     }
 
     pub fn kv_reserve_bytes(&self, request: &Request) -> f64 {
-        self.decode_model.kv_fp16_bytes(request.total_tokens()) * self.profile().kv_size_factor
+        // KV bytes depend only on the model architecture (identical across
+        // decode groups); any group's model computes the same value.
+        self.decode_models[0].kv_fp16_bytes(request.total_tokens()) * self.profile().kv_size_factor
     }
 
-    /// Total (decode, dequant/approx) time of `request`'s decode iterations —
-    /// two prefix subtractions in the decode cost table (O(1) per request), or
-    /// the reference summation loop under [`CostMode::Reference`].
-    pub fn decode_durations(&self, request: &Request) -> (f64, f64) {
+    /// Total (decode, dequant/approx) time of `request`'s decode iterations on
+    /// a replica of decode group `group` — two prefix subtractions in the
+    /// group's decode cost table (O(1) per request), or the reference
+    /// summation loop under [`CostMode::Reference`].
+    pub fn decode_durations(&self, group: usize, request: &Request) -> (f64, f64) {
         match self.costs.mode {
             CostMode::Table => self
                 .costs
-                .decode_table()
+                .decode_table(group)
                 .decode_durations(request.input_len, request.output_len),
-            CostMode::Reference => self.decode_durations_reference(request),
+            CostMode::Reference => self.decode_durations_reference(group, request),
         }
     }
 
     /// The pre-table sequential summation over decode iterations, kept as the
     /// oracle the table path is pinned against.
-    pub fn decode_durations_reference(&self, request: &Request) -> (f64, f64) {
-        self.decode_model.decode_durations_reference(
+    pub fn decode_durations_reference(&self, group: usize, request: &Request) -> (f64, f64) {
+        let model = &self.decode_models[group];
+        model.decode_durations_reference(
             self.profile(),
-            self.config.cluster.cost_params.decode_batch,
+            model.params.decode_batch,
             request.input_len,
             request.output_len,
         )
     }
 
-    /// Prefill and quantization service times of a prompt, memoized by prompt
-    /// length (lengths repeat heavily across a trace).
-    pub fn prefill_service_times(&self, prompt: usize) -> (f64, f64) {
+    /// Prefill and quantization service times of a prompt on prefill group
+    /// `group`, memoized by prompt length (lengths repeat heavily across a
+    /// trace).
+    pub fn prefill_service_times(&self, group: usize, prompt: usize) -> (f64, f64) {
         if self.costs.mode == CostMode::Table {
-            if let Some(costs) = self.costs.prefill_table().get(prompt) {
+            if let Some(costs) = self.costs.prefill_table(group, 0).get(prompt) {
                 return (costs.prefill, costs.quantization);
             }
         }
         let profile = self.profile();
+        let model = &self.prefill_models[group];
         (
-            self.prefill_model.prefill_time(prompt, profile),
-            self.prefill_model.quantization_time(prompt, profile),
+            model.prefill_time(prompt, profile),
+            model.quantization_time(prompt, profile),
         )
     }
 
-    /// Uncontended wire time of `request`'s KV transfer, memoized by prompt
-    /// length (the NIC serialization on top of it is per-request state in the
-    /// fabric).
-    pub fn transfer_duration(&self, request: &Request) -> f64 {
+    /// Uncontended wire time of `request`'s KV transfer from prefill group
+    /// `prefill_group` to decode group `decode_group`, bottlenecked by the
+    /// slower of the two groups' NICs and memoized by prompt length (the NIC
+    /// serialization on top of it is per-request state in the fabric).
+    pub fn transfer_duration(
+        &self,
+        prefill_group: usize,
+        decode_group: usize,
+        request: &Request,
+    ) -> f64 {
         if self.costs.mode == CostMode::Table {
-            if let Some(costs) = self.costs.prefill_table().get(request.input_len) {
+            if let Some(costs) = self
+                .costs
+                .prefill_table(prefill_group, decode_group)
+                .get(request.input_len)
+            {
                 return costs.transfer;
             }
         }
-        self.fabric
-            .transfer_duration(&self.config, &self.prefill_model, request)
+        let fleet = &self.config.cluster.fleet;
+        let gbps = fleet
+            .prefill
+            .get(prefill_group)
+            .network_gbps
+            .min(fleet.decode.get(decode_group).network_gbps);
+        self.prefill_models[prefill_group].transfer_time(request.input_len, self.profile(), gbps)
     }
 
     /// Hands `req` to the transfer/decode pipeline: reserve decode memory and
@@ -243,7 +395,11 @@ impl ClusterState {
         self.states[req].reserved = true;
 
         let replica = self.states[req].prefill_replica;
-        let duration = self.transfer_duration(&self.requests[req]);
+        let duration = self.transfer_duration(
+            self.prefill[replica].group,
+            self.decode[target].group,
+            &self.requests[req],
+        );
         let end = self.fabric.reserve_nic(replica, now, duration);
         // Communication time as experienced by the request: waiting for the NIC
         // plus the wire time.

@@ -1,9 +1,6 @@
 //! NIC serialization and KV-transfer delivery.
 
-use crate::config::SimulationConfig;
-use hack_model::cost::ReplicaCostModel;
 use hack_sim::{ComponentId, SimulationContext};
-use hack_workload::trace::Request;
 use std::any::Any;
 
 /// The transfer path between the prefill and decode fleets.
@@ -11,7 +8,10 @@ use std::any::Any;
 /// Each prefill replica sources its KV transfers from one NIC, modelled as a
 /// FIFO resource (`nic_free_at`): a transfer starts when the NIC frees up and
 /// occupies it for the wire time, which is where the communication bottleneck
-/// and its contention come from. The fabric is a passive component — it emits
+/// and its contention come from. The wire time itself is group-aware — see
+/// [`super::ClusterState::transfer_duration`], which memoizes it per
+/// (prefill group, decode group, prompt length) and bottlenecks on the slower
+/// of the two groups' NICs. The fabric is a passive component — it emits
 /// [`crate::events::TransferCompleted`] events on behalf of the transfer path
 /// but receives none itself.
 pub(crate) struct NetworkFabric {
@@ -26,26 +26,6 @@ impl NetworkFabric {
             ctx,
             nic_free_at: vec![0.0; prefill_replicas],
         }
-    }
-
-    /// Wire time of one request's KV data, bottlenecked by the slower of the
-    /// prefill egress and decode ingress NICs.
-    ///
-    /// This is the direct formula evaluation; the simulator's hot path goes
-    /// through [`super::ClusterState::transfer_duration`], which memoizes
-    /// these values by prompt length and falls back here under
-    /// [`crate::sim::CostMode::Reference`].
-    pub fn transfer_duration(
-        &self,
-        config: &SimulationConfig,
-        prefill_model: &ReplicaCostModel,
-        request: &Request,
-    ) -> f64 {
-        let gbps = config
-            .cluster
-            .prefill_network_gbps
-            .min(config.cluster.decode_network_gbps);
-        prefill_model.transfer_time(request.input_len, &config.profile, gbps)
     }
 
     /// Serializes a `duration`-second transfer onto prefill replica `replica`'s

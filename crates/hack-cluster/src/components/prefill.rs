@@ -7,17 +7,20 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 /// One prefill replica: serves its queue one request at a time (prefill +
-/// quantization), optionally starting the KV transfer concurrently with
-/// prefill (pipelining, Fig. 1(d)), and hands finished requests to the
-/// transfer/decode pipeline.
+/// quantization under its group's cost model), optionally starting the KV
+/// transfer concurrently with prefill (pipelining, Fig. 1(d)), and hands
+/// finished requests to the transfer/decode pipeline.
 pub(crate) struct PrefillReplica {
     pub index: usize,
     pub cluster: Rc<RefCell<ClusterState>>,
 }
 
 /// Starts the next queued prefill on `replica`, if any — *which* queued
-/// request is the run's [`crate::policy::SchedulingPolicy`] decision (FCFS
-/// picks the head, reproducing the pre-policy simulator bit-for-bit).
+/// request is the run's [`crate::policy::SchedulingPolicy`] decision: the
+/// policy picks a tenant from the per-tenant sub-queue heads (O(tenants)) and
+/// the tenant's earliest-queued request pops in O(1). Built-in FCFS (no
+/// policy) pops the FIFO head, reproducing the pre-policy simulator
+/// bit-for-bit.
 ///
 /// Free function (rather than a method of [`PrefillReplica`]) because both the
 /// frontend (on arrival at an idle replica) and the replica itself (on
@@ -38,8 +41,9 @@ pub(crate) fn start_prefill(cs: &mut ClusterState, replica: usize, now: f64) {
             None => queue.pop_front(),
             Some(_) if queue.is_empty() => None,
             Some(policy) => {
-                let pos = policy.select(queue, requests, &config.policy.tenants, now);
-                queue.remove(pos)
+                let heads = queue.heads();
+                let tenant = policy.select_tenant(&heads, requests, &config.policy.tenants, now);
+                queue.pop_tenant(tenant)
             }
         }
     };
@@ -47,10 +51,11 @@ pub(crate) fn start_prefill(cs: &mut ClusterState, replica: usize, now: f64) {
         return;
     };
     cs.prefill[replica].busy = true;
+    let group = cs.prefill[replica].group;
     let request = cs.requests[req];
 
     cs.states[req].prefill_wait = (now - request.arrival).max(0.0);
-    let (prefill_t, quant_t) = cs.prefill_service_times(request.input_len);
+    let (prefill_t, quant_t) = cs.prefill_service_times(group, request.input_len);
     cs.states[req].prefill_time = prefill_t;
     cs.states[req].quant_time = quant_t;
 
@@ -65,7 +70,7 @@ pub(crate) fn start_prefill(cs: &mut ClusterState, replica: usize, now: f64) {
             cs.states[req].decode_replica = target;
             cs.states[req].kv_reserve_bytes = bytes;
             cs.states[req].reserved = true;
-            let duration = cs.transfer_duration(&request);
+            let duration = cs.transfer_duration(group, cs.decode[target].group, &request);
             let end = cs.fabric.reserve_nic(replica, now, duration);
             cs.states[req].pipelined_transfer_end = Some(end);
         }

@@ -1,33 +1,35 @@
 //! Cluster and simulation configuration (§7.1).
+//!
+//! Since the fleet-topology redesign, the cluster's replica layout is a
+//! [`FleetSpec`] — heterogeneous replica groups with per-group GPU kinds, NIC
+//! bandwidths and cost parameterisations (see [`crate::fleet`]). The paper's
+//! homogeneous deployments are single-group fleets; [`ClusterConfig`] keeps
+//! flat accessors (`prefill_replicas()`, `decode_network_gbps()`, …) for that
+//! shape, and [`ClusterConfig::from_value`] still decodes pre-fleet config
+//! snapshots (flat `prefill_gpu`/`prefill_replicas`/… keys) by lowering them
+//! to a single-group fleet.
 
+use crate::fleet::{FleetSpec, GroupSet, ReplicaGroup};
 use crate::policy::PolicyConfig;
-use hack_model::cost::{CostParams, KvMethodProfile};
+use hack_model::cost::{CostParams, KvMethodProfile, ReplicaCostModel};
 use hack_model::gpu::GpuKind;
 use hack_model::parallelism::Parallelism;
 use hack_model::spec::ModelKind;
 use hack_workload::trace::TraceConfig;
-use serde::{Deserialize, Serialize};
+use serde::{Serialize, Value};
 
-/// Static description of a disaggregated cluster: model, prefill fleet, decode fleet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// Static description of a disaggregated cluster: model, fleet topology and
+/// the fleet-wide cost/memory constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ClusterConfig {
     /// Model being served.
     pub model: ModelKind,
-    /// GPU family of the prefill fleet.
-    pub prefill_gpu: GpuKind,
-    /// Number of prefill model replicas.
-    pub prefill_replicas: usize,
-    /// Egress NIC bandwidth available to each prefill replica, in Gbps.
-    pub prefill_network_gbps: f64,
-    /// GPU family of the decode fleet (A100 in the paper).
-    pub decode_gpu: GpuKind,
-    /// Number of decode model replicas.
-    pub decode_replicas: usize,
-    /// Ingress NIC bandwidth available to each decode replica, in Gbps.
-    pub decode_network_gbps: f64,
+    /// The replica groups of both fleet sides.
+    pub fleet: FleetSpec,
     /// Whether KV transfer is overlapped with prefill computation (Fig. 1(d)).
     pub pipelining: bool,
-    /// Cost-model efficiency constants.
+    /// Fleet-wide cost-model efficiency constants (groups may override them
+    /// via [`ReplicaGroup::cost_params`]).
     pub cost_params: CostParams,
     /// Fraction of each decode replica's GPU memory reserved for activations and
     /// runtime overheads (the rest, minus parameters, is KV cache budget).
@@ -35,10 +37,22 @@ pub struct ClusterConfig {
 }
 
 impl ClusterConfig {
+    /// A homogeneous cluster: one prefill group, one decode group (the
+    /// pre-fleet configuration shape).
+    pub fn homogeneous(model: ModelKind, prefill: ReplicaGroup, decode: ReplicaGroup) -> Self {
+        Self {
+            model,
+            fleet: FleetSpec::homogeneous(prefill, decode),
+            pipelining: false,
+            cost_params: CostParams::default(),
+            activation_reserve: 0.10,
+        }
+    }
+
     /// The paper's default fleet for a given model and prefill GPU (§7.1):
     /// ten g5 / sixteen p3 / sixteen g4dn / ten g6 / two p4de instances for prefill,
     /// two p4de.24xlarge instances for decode, so that the two sides have roughly
-    /// similar capacity.
+    /// similar capacity. Lowers to a single-group [`FleetSpec`] per side.
     pub fn paper_default(model: ModelKind, prefill_gpu: GpuKind) -> Self {
         let prefill_instances = match prefill_gpu {
             GpuKind::A10G => 10,
@@ -47,116 +61,202 @@ impl ClusterConfig {
             GpuKind::L4 => 10,
             GpuKind::A100 => 2,
         };
-        let decode_instances = 2usize;
-
-        let prefill_parallel = Parallelism::table3(model, prefill_gpu);
-        let decode_parallel = Parallelism::table3(model, GpuKind::A100);
-
-        let prefill_gpus = prefill_instances * prefill_gpu.instance().gpus;
-        let decode_gpus = decode_instances * GpuKind::A100.instance().gpus;
-
-        let prefill_replicas = (prefill_gpus / prefill_parallel.gpus_per_replica()).max(1);
-        let decode_replicas = (decode_gpus / decode_parallel.gpus_per_replica()).max(1);
-
-        // Each replica gets the NIC bandwidth of one instance (a replica that spans
-        // several instances still sources each request's KV transfer from one NIC);
-        // replicas that share an instance share its NIC.
-        let prefill_replicas_per_instance =
-            (prefill_replicas as f64 / prefill_instances as f64).max(1.0);
-        let decode_replicas_per_instance =
-            (decode_replicas as f64 / decode_instances as f64).max(1.0);
-
-        Self {
+        Self::homogeneous(
             model,
-            prefill_gpu,
-            prefill_replicas,
-            prefill_network_gbps: prefill_gpu.instance().network_gbps
-                / prefill_replicas_per_instance,
-            decode_gpu: GpuKind::A100,
-            decode_replicas,
-            decode_network_gbps: GpuKind::A100.instance().network_gbps
-                / decode_replicas_per_instance,
-            pipelining: false,
-            cost_params: CostParams::default(),
-            activation_reserve: 0.10,
-        }
+            ReplicaGroup::paper_sized(model, prefill_gpu, prefill_instances),
+            ReplicaGroup::paper_sized(model, GpuKind::A100, 2),
+        )
     }
 
     /// The scalability configuration of §7.6: `p` prefill replicas (A10G, TP=4, PP=2,
     /// two instances each) against **one** decode replica on half an A100 instance
     /// (4 GPUs, 200 Gbps).
     pub fn scalability(p: usize) -> Self {
-        let base = Self::paper_default(ModelKind::Llama31_70B, GpuKind::A10G);
-        Self {
-            prefill_replicas: p,
-            decode_replicas: 1,
-            decode_network_gbps: 200.0,
-            ..base
-        }
+        let mut base = Self::paper_default(ModelKind::Llama31_70B, GpuKind::A10G);
+        base.fleet.prefill.get_mut(0).replicas = p;
+        let decode = base.fleet.decode.get_mut(0);
+        decode.replicas = 1;
+        decode.network_gbps = 200.0;
+        base
     }
 
-    /// TP/PP configuration of the prefill replicas.
+    // --- Flat accessors for the homogeneous (single-group) shape. Multi-group
+    // --- fleets are addressed through `fleet` directly; these read the
+    // --- *primary* (first) group, which is the whole side for every legacy
+    // --- configuration.
+
+    /// Total prefill replicas across all groups.
+    pub fn prefill_replicas(&self) -> usize {
+        self.fleet.prefill.total_replicas()
+    }
+
+    /// Total decode replicas across all groups.
+    pub fn decode_replicas(&self) -> usize {
+        self.fleet.decode.total_replicas()
+    }
+
+    /// GPU family of the primary prefill group.
+    pub fn prefill_gpu(&self) -> GpuKind {
+        self.fleet.prefill.get(0).gpu
+    }
+
+    /// GPU family of the primary decode group.
+    pub fn decode_gpu(&self) -> GpuKind {
+        self.fleet.decode.get(0).gpu
+    }
+
+    /// NIC bandwidth of the primary prefill group (Gbps).
+    pub fn prefill_network_gbps(&self) -> f64 {
+        self.fleet.prefill.get(0).network_gbps
+    }
+
+    /// NIC bandwidth of the primary decode group (Gbps).
+    pub fn decode_network_gbps(&self) -> f64 {
+        self.fleet.decode.get(0).network_gbps
+    }
+
+    /// TP/PP configuration of the primary prefill group's replicas.
     pub fn prefill_parallelism(&self) -> Parallelism {
-        Parallelism::table3(self.model, self.prefill_gpu)
+        self.fleet.prefill.get(0).parallel
     }
 
-    /// TP/PP configuration of the decode replicas.
+    /// TP/PP configuration of the primary decode group's replicas.
     pub fn decode_parallelism(&self) -> Parallelism {
-        Parallelism::table3(self.model, self.decode_gpu)
+        self.fleet.decode.get(0).parallel
     }
 
-    /// GPU memory (bytes) available to one decode replica.
-    pub fn decode_replica_mem_bytes(&self) -> f64 {
-        self.decode_parallelism().gpus_per_replica() as f64
-            * self.decode_gpu.spec().mem_gib
-            * (1u64 << 30) as f64
+    /// Overrides the prefill replica count (single-group fleets only — the
+    /// legacy experiment knobs; shape multi-group fleets through `fleet`).
+    pub fn set_prefill_replicas(&mut self, replicas: usize) {
+        assert_eq!(
+            self.fleet.prefill.len(),
+            1,
+            "set_prefill_replicas addresses a single-group fleet"
+        );
+        self.fleet.prefill.get_mut(0).replicas = replicas;
     }
 
-    /// KV-cache byte budget of one decode replica (memory minus parameters minus the
-    /// activation reserve).
-    pub fn decode_kv_budget_bytes(&self) -> f64 {
-        let mem = self.decode_replica_mem_bytes();
+    /// Overrides the decode replica count (single-group fleets only).
+    pub fn set_decode_replicas(&mut self, replicas: usize) {
+        assert_eq!(
+            self.fleet.decode.len(),
+            1,
+            "set_decode_replicas addresses a single-group fleet"
+        );
+        self.fleet.decode.get_mut(0).replicas = replicas;
+    }
+
+    /// The cost model of prefill group `group`.
+    pub fn prefill_cost_model(&self, group: usize) -> ReplicaCostModel {
+        self.fleet
+            .prefill
+            .get(group)
+            .cost_model(self.model, self.cost_params)
+    }
+
+    /// The cost model of decode group `group`.
+    pub fn decode_cost_model(&self, group: usize) -> ReplicaCostModel {
+        self.fleet
+            .decode
+            .get(group)
+            .cost_model(self.model, self.cost_params)
+    }
+
+    /// GPU memory (bytes) available to one replica of decode group `group`.
+    pub fn decode_group_mem_bytes(&self, group: usize) -> f64 {
+        self.fleet.decode.get(group).replica_mem_bytes()
+    }
+
+    /// KV-cache byte budget of one replica of decode group `group` (memory
+    /// minus parameters minus the activation reserve).
+    pub fn decode_group_kv_budget_bytes(&self, group: usize) -> f64 {
+        let mem = self.decode_group_mem_bytes(group);
         let params = self.model.spec().param_bytes_fp16();
         (mem - params - self.activation_reserve * mem).max(0.0)
     }
 
+    /// GPU memory (bytes) available to one primary-group decode replica.
+    pub fn decode_replica_mem_bytes(&self) -> f64 {
+        self.decode_group_mem_bytes(0)
+    }
+
+    /// KV-cache byte budget of one primary-group decode replica.
+    pub fn decode_kv_budget_bytes(&self) -> f64 {
+        self.decode_group_kv_budget_bytes(0)
+    }
+
     /// Rough estimate of the cluster's maximum sustainable request rate for a given
     /// workload and method, used to set "RPS = maximum processing capacity" (§7.1).
+    /// Each side's throughput is the sum of its groups' throughputs under the
+    /// groups' own cost models and NICs.
     pub fn estimate_max_rps(
         &self,
         profile: &KvMethodProfile,
         avg_input: usize,
         avg_output: usize,
     ) -> f64 {
-        let model = self.model.spec();
-        let prefill_model = hack_model::ReplicaCostModel {
-            model,
-            gpu: self.prefill_gpu.spec(),
-            parallel: self.prefill_parallelism(),
-            params: self.cost_params,
-        };
-        let decode_model = hack_model::ReplicaCostModel {
-            model,
-            gpu: self.decode_gpu.spec(),
-            parallel: self.decode_parallelism(),
-            params: self.cost_params,
-        };
-        // Prefill-side throughput.
-        let prefill_service = prefill_model.prefill_time(avg_input, profile)
-            + prefill_model.quantization_time(avg_input, profile);
-        let prefill_rps = self.prefill_replicas as f64 / prefill_service.max(1e-9);
-        // Network-side throughput.
-        let transfer = prefill_model.transfer_time(avg_input, profile, self.prefill_network_gbps);
-        let network_rps = self.prefill_replicas as f64 / transfer.max(1e-9);
-        // Decode-side throughput: each replica decodes `decode_batch` sequences
-        // concurrently.
+        // Prefill- and network-side throughput, per group.
+        let mut prefill_rps = 0.0;
+        let mut network_rps = 0.0;
+        for group in self.fleet.prefill.iter() {
+            let model = group.cost_model(self.model, self.cost_params);
+            let service = model.prefill_time(avg_input, profile)
+                + model.quantization_time(avg_input, profile);
+            prefill_rps += group.replicas as f64 / service.max(1e-9);
+            let transfer = model.transfer_time(avg_input, profile, group.network_gbps);
+            network_rps += group.replicas as f64 / transfer.max(1e-9);
+        }
+        // Decode-side throughput: each replica decodes its group's
+        // `decode_batch` sequences concurrently.
         let kv_len = avg_input + avg_output / 2;
-        let iter = decode_model.decode_iter_time(kv_len, profile, self.cost_params.decode_batch)
-            + decode_model.dequant_or_approx_iter_time(kv_len, profile);
-        let decode_seconds_per_request = iter * avg_output as f64;
-        let decode_rps = self.decode_replicas as f64 * self.cost_params.decode_batch
-            / decode_seconds_per_request.max(1e-9);
+        let mut decode_rps = 0.0;
+        for group in self.fleet.decode.iter() {
+            let model = group.cost_model(self.model, self.cost_params);
+            let batch = model.params.decode_batch;
+            let iter = model.decode_iter_time(kv_len, profile, batch)
+                + model.dequant_or_approx_iter_time(kv_len, profile);
+            let decode_seconds_per_request = iter * avg_output as f64;
+            decode_rps += group.replicas as f64 * batch / decode_seconds_per_request.max(1e-9);
+        }
         prefill_rps.min(network_rps).min(decode_rps)
+    }
+
+    /// Decodes a cluster configuration from its serialized [`Value`] tree.
+    ///
+    /// Accepts both the current fleet format (a `fleet` key) and pre-fleet
+    /// snapshots (flat `prefill_gpu`/`prefill_replicas`/`prefill_network_gbps`
+    /// keys, ditto decode), lowering the latter to a single-group fleet with
+    /// the Table 3 parallelism those configurations implied.
+    pub fn from_value(value: &Value) -> Option<ClusterConfig> {
+        let model = ModelKind::from_name(value.get_key("model")?.as_str()?)?;
+        let fleet = match value.get_key("fleet") {
+            Some(fleet) => FleetSpec::from_value(fleet)?,
+            None => {
+                // Pre-fleet snapshot: flat homogeneous fields.
+                let side = |prefix: &str| -> Option<ReplicaGroup> {
+                    let gpu =
+                        GpuKind::from_name(value.get_key(&format!("{prefix}_gpu"))?.as_str()?)?;
+                    Some(ReplicaGroup {
+                        gpu,
+                        replicas: value.get_key(&format!("{prefix}_replicas"))?.as_f64()? as usize,
+                        parallel: Parallelism::table3(model, gpu),
+                        network_gbps: value.get_key(&format!("{prefix}_network_gbps"))?.as_f64()?,
+                        cost_params: None,
+                    })
+                };
+                FleetSpec {
+                    prefill: GroupSet::single(side("prefill")?),
+                    decode: GroupSet::single(side("decode")?),
+                }
+            }
+        };
+        Some(ClusterConfig {
+            model,
+            fleet,
+            pipelining: matches!(value.get_key("pipelining")?, Value::Bool(true)),
+            cost_params: CostParams::from_value(value.get_key("cost_params")?)?,
+            activation_reserve: value.get_key("activation_reserve")?.as_f64()?,
+        })
     }
 }
 
@@ -168,9 +268,9 @@ impl ClusterConfig {
 /// the normal admission path (re-transferring their KV from the prefill side's
 /// CPU copy, the spill path of §4). On recovery the replica rejoins the fleet
 /// empty and the memory-wait queue is drained into it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct FailureSpec {
-    /// Index of the decode replica that fails.
+    /// Index of the decode replica that fails (global, group-major).
     pub decode_replica: usize,
     /// Failure time (seconds since trace start).
     pub at: f64,
@@ -208,9 +308,9 @@ pub struct SimulationConfig {
     pub trace: TraceConfig,
     /// KV-handling method being evaluated.
     pub profile: KvMethodProfile,
-    /// Frontend policy: tenant classes plus admission/scheduling policies.
-    /// [`PolicyConfig::default`] reproduces the pre-policy simulator
-    /// bit-for-bit (admit all, FCFS).
+    /// Frontend policy: tenant classes plus dispatch/admission/scheduling
+    /// policies. [`PolicyConfig::default`] reproduces the pre-policy simulator
+    /// bit-for-bit (least-loaded dispatch, admit all, FCFS).
     pub policy: PolicyConfig,
     /// Optional decode-replica failure injected during the run.
     pub failure: Option<FailureSpec>,
@@ -225,12 +325,15 @@ mod tests {
     fn paper_default_llama_a10g_fleet() {
         let c = ClusterConfig::paper_default(ModelKind::Llama31_70B, GpuKind::A10G);
         // 10 g5 instances x 4 GPUs / (TP4*PP2 = 8 GPUs) = 5 prefill replicas.
-        assert_eq!(c.prefill_replicas, 5);
+        assert_eq!(c.prefill_replicas(), 5);
         // 2 p4de x 8 GPUs / (TP4 = 4 GPUs) = 4 decode replicas.
-        assert_eq!(c.decode_replicas, 4);
-        assert_eq!(c.decode_gpu, GpuKind::A100);
-        assert!(c.prefill_network_gbps <= 40.0 + 1e-9);
+        assert_eq!(c.decode_replicas(), 4);
+        assert_eq!(c.decode_gpu(), GpuKind::A100);
+        assert!(c.prefill_network_gbps() <= 40.0 + 1e-9);
         assert!(!c.pipelining);
+        // Legacy constructors lower to single-group fleets.
+        assert_eq!(c.fleet.prefill.len(), 1);
+        assert_eq!(c.fleet.decode.len(), 1);
     }
 
     #[test]
@@ -246,9 +349,9 @@ mod tests {
     #[test]
     fn scalability_config_uses_half_an_a100_instance() {
         let c = ClusterConfig::scalability(4);
-        assert_eq!(c.prefill_replicas, 4);
-        assert_eq!(c.decode_replicas, 1);
-        assert_eq!(c.decode_network_gbps, 200.0);
+        assert_eq!(c.prefill_replicas(), 4);
+        assert_eq!(c.decode_replicas(), 1);
+        assert_eq!(c.decode_network_gbps(), 200.0);
     }
 
     #[test]
@@ -272,9 +375,62 @@ mod tests {
     }
 
     #[test]
+    fn mixed_fleet_estimate_adds_group_throughputs() {
+        let uniform = ClusterConfig::paper_default(ModelKind::Llama31_70B, GpuKind::A10G);
+        let mut mixed = uniform;
+        let l4 = ReplicaGroup::paper_sized(ModelKind::Llama31_70B, GpuKind::L4, 10);
+        mixed.fleet.prefill = GroupSet::new(&[*uniform.fleet.prefill.get(0), l4]);
+        let avg_in = Dataset::Cocktail.input_stats().avg;
+        let avg_out = Dataset::Cocktail.output_stats().avg;
+        let profile = KvMethodProfile::baseline();
+        // Adding a second prefill group can only raise (or leave, if decode-
+        // bound) the estimate.
+        assert!(
+            mixed.estimate_max_rps(&profile, avg_in, avg_out)
+                >= uniform.estimate_max_rps(&profile, avg_in, avg_out)
+        );
+    }
+
+    #[test]
     fn v100_fleet_has_lowest_bandwidth() {
         let v100 = ClusterConfig::paper_default(ModelKind::Llama31_70B, GpuKind::V100);
         let a10g = ClusterConfig::paper_default(ModelKind::Llama31_70B, GpuKind::A10G);
-        assert!(v100.prefill_network_gbps < a10g.prefill_network_gbps);
+        assert!(v100.prefill_network_gbps() < a10g.prefill_network_gbps());
+    }
+
+    #[test]
+    fn cluster_config_serde_round_trips() {
+        let original = ClusterConfig::paper_default(ModelKind::Llama31_70B, GpuKind::A10G);
+        let json = serde_json::to_string(&original).unwrap();
+        let value = serde_json::from_str(&json).unwrap();
+        let back = ClusterConfig::from_value(&value).expect("fleet-format config decodes");
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn pre_fleet_snapshots_lower_to_single_group_fleets() {
+        // A config serialized before the fleet API existed: flat homogeneous
+        // fields, no `fleet` key. Values mirror paper_default(Llama, A10G).
+        let json = r#"{
+            "model": "Llama31_70B",
+            "prefill_gpu": "A10G", "prefill_replicas": 5, "prefill_network_gbps": 40.0,
+            "decode_gpu": "A100", "decode_replicas": 4, "decode_network_gbps": 200.0,
+            "pipelining": false,
+            "cost_params": {
+                "compute_efficiency": 0.5, "attention_efficiency": 0.22,
+                "elementwise_efficiency": 0.005, "memory_efficiency": 0.8,
+                "kv_access_efficiency": 0.05, "dequant_efficiency": 0.0003,
+                "decode_iter_overhead_s": 0.03, "network_efficiency": 0.9,
+                "pp_bubble": 0.10, "decode_batch": 8.0
+            },
+            "activation_reserve": 0.10
+        }"#;
+        let value = serde_json::from_str(json).unwrap();
+        let decoded = ClusterConfig::from_value(&value).expect("old snapshot decodes");
+        assert_eq!(
+            decoded,
+            ClusterConfig::paper_default(ModelKind::Llama31_70B, GpuKind::A10G),
+            "the lowered single-group fleet must equal the legacy constructor"
+        );
     }
 }

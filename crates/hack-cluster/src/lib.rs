@@ -25,7 +25,14 @@
 //! admission and prefill-scheduling decisions are pluggable policies
 //! ([`policy`]: FCFS — bit-identical to the pre-policy simulator — weighted
 //! round-robin, SLO-deadline EDF, and per-tenant token-bucket admission), with
-//! per-tenant JCT/fairness/SLO summaries on [`SimulationResult`].
+//! per-tenant JCT/fairness/SLO summaries on [`SimulationResult`]. Heterogeneous
+//! fleets are the third: the cluster's topology is a first-class [`FleetSpec`]
+//! of [`ReplicaGroup`]s ([`fleet`]), each group carrying its own GPU kind,
+//! parallelism, NIC bandwidth and cost model; the frontend's replica routing is
+//! a pluggable [`policy::DispatchPolicy`] (least-loaded — bit-identical to the
+//! pre-fleet router — fastest-eligible, group-affinity), and results report
+//! per-group utilization/JCT ([`GroupStats`]). Every legacy constructor lowers
+//! to a single-group fleet pinned bit-identical to the flat configuration.
 //!
 //! Per-stage *service* times come from [`hack_model::ReplicaCostModel`]; the simulator
 //! adds queueing, NIC contention, memory admission control and batching, and produces
@@ -35,14 +42,16 @@
 mod components;
 pub mod config;
 pub mod events;
+pub mod fleet;
 pub mod policy;
 pub mod result;
 pub mod sim;
 
 pub use config::{ClusterConfig, FailureSpec, SimulationConfig};
+pub use fleet::{FleetSpec, GroupSet, ReplicaGroup, MAX_GROUPS};
 pub use policy::{
-    AdmissionPolicy, AdmissionPolicyKind, PolicyConfig, SchedulingPolicy, SchedulingPolicyKind,
-    TenantClass, TenantClasses,
+    AdmissionPolicy, AdmissionPolicyKind, DispatchPolicy, DispatchPolicyKind, PolicyConfig,
+    ReplicaLoad, SchedulingPolicy, SchedulingPolicyKind, TenantClass, TenantClasses,
 };
-pub use result::{RequestRecord, SimulationResult};
+pub use result::{GroupStats, RequestRecord, SimulationResult};
 pub use sim::{CostMode, Simulator};

@@ -1,34 +1,47 @@
-//! Pluggable admission and scheduling policies of the [`Frontend`].
+//! Pluggable dispatch, admission and scheduling policies of the [`Frontend`].
 //!
-//! Multi-tenant serving separates *whether* a request enters the cluster
-//! ([`AdmissionPolicy`]) from *which* queued request a freed prefill replica
-//! serves next ([`SchedulingPolicy`]). Both are chosen per run through the
-//! serializable, `Copy` [`PolicyConfig`] on
-//! [`crate::config::SimulationConfig`]; the trait objects themselves are
-//! built fresh for every run so policy state (round-robin credit, token
-//! buckets) never leaks across runs.
+//! The frontend makes three per-request decisions, each behind its own trait:
 //!
-//! Shipped scheduling policies:
+//! * [`DispatchPolicy`] — *which prefill replica* an admitted request queues
+//!   on. Replica-aware: policies see every replica's group, backlog and the
+//!   request's estimated service time on that replica's group, so
+//!   heterogeneous fleets can route around slow groups.
+//! * [`AdmissionPolicy`] — *whether* a request enters the cluster at all.
+//! * [`SchedulingPolicy`] — *which queued request* a freed prefill replica
+//!   serves next. Since the per-tenant sub-queue redesign the policy picks a
+//!   **tenant** from the sub-queue heads (O(tenants) per decision) and the
+//!   replica serves that tenant's earliest-queued request; the old
+//!   O(queue)-scan + `VecDeque::remove` selection is gone, with the scan kept
+//!   as a test oracle pinning the selections bit-identical.
 //!
-//! * [`Fcfs`] — first-come-first-served, **bit-identical** to the pre-policy
-//!   simulator (the frontend queues are already in arrival order, and `Fcfs`
-//!   always picks the head; pinned by `tests/seed_equivalence.rs`).
-//! * [`WeightedRoundRobin`] — smooth weighted round-robin over the tenants
-//!   present in the queue: each tenant's wait is bounded by the backlog of
-//!   one "turn" of the other tenants instead of the whole FCFS backlog.
-//! * [`SloEdf`] — earliest-deadline-first with per-tenant deadlines
-//!   `arrival + slo_jct`, prioritising tight-SLO tenants under contention.
+//! All three are chosen per run through the serializable, `Copy`
+//! [`PolicyConfig`] on [`crate::config::SimulationConfig`]; the trait objects
+//! themselves are built fresh for every run so policy state (round-robin
+//! credit, token buckets) never leaks across runs. Every default
+//! ([`DispatchPolicyKind::LeastLoaded`], [`AdmissionPolicyKind::AdmitAll`],
+//! [`SchedulingPolicyKind::Fcfs`]) instantiates to `None` and keeps the
+//! built-in hot path, bit-identical *and* cost-identical to the pre-policy
+//! simulator.
 //!
-//! Shipped admission policies: [`AdmitAll`] (default) and
-//! [`TenantTokenBucket`] — a per-tenant token bucket whose refill rate is
-//! proportional to the tenant's scheduling weight, turning overload into
-//! bounded per-tenant rejection instead of unbounded queueing.
+//! Shipped dispatch policies:
+//!
+//! * [`LeastLoaded`] — shortest queue by pending tokens (§7.1), the default;
+//!   **bit-identical** to the pre-fleet frontend routing.
+//! * [`FastestEligible`] — least estimated completion time: the token backlog
+//!   scaled by the replica group's service speed for this request, so a fast
+//!   L4 group absorbs more load than an A10G group of equal queue length.
+//! * [`GroupAffinity`] — tenants are pinned to prefill groups round-robin
+//!   (`tenant mod groups`), least-loaded within the preferred group; gives
+//!   noisy tenants a blast radius of one group.
+//!
+//! Shipped scheduling policies: [`Fcfs`] (default), [`WeightedRoundRobin`],
+//! [`SloEdf`]. Shipped admission policies: [`AdmitAll`] (default) and
+//! [`TenantTokenBucket`].
 //!
 //! [`Frontend`]: crate::components::frontend::Frontend
 
 use hack_workload::trace::{Request, TenantId};
 use serde::{Serialize, Value};
-use std::collections::VecDeque;
 
 /// Upper bound on distinct tenants per simulation (sizes the fixed per-tenant
 /// state so [`PolicyConfig`] stays `Copy`).
@@ -136,6 +149,165 @@ impl Serialize for TenantClasses {
     }
 }
 
+// --- Dispatch: which prefill replica an admitted request queues on. ---
+
+/// The frontend's per-replica view when routing one request: group membership,
+/// current backlog and the request's estimated service time on the replica's
+/// group (heterogeneous groups differ in speed, not just load).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaLoad {
+    /// Prefill group of the replica.
+    pub group: usize,
+    /// Prompt tokens pending on the replica. While the replica is `busy`
+    /// this still *includes* the in-service request's prompt (it is released
+    /// only when its prefill finishes), so policies should not add their own
+    /// in-service estimate on top of it — [`ReplicaLoad::backlog_tokens`]'s
+    /// extra `busy` addend is the pre-fleet router's deliberate pessimism
+    /// (the in-service request counted *again*, at the arriving request's
+    /// length), kept for bit-compatibility.
+    pub queued_tokens: usize,
+    /// Requests queued on the replica (the in-service one excluded).
+    pub queue_len: usize,
+    /// Whether the replica is currently serving a prefill.
+    pub busy: bool,
+    /// Estimated (prefill + quantization) service seconds of the *arriving*
+    /// request on this replica's group.
+    pub service_secs: f64,
+}
+
+impl ReplicaLoad {
+    /// The pre-fleet routing metric: pending tokens, penalising a busy
+    /// replica by the arriving request's own length on top of
+    /// [`Self::queued_tokens`] (which already holds the in-service prompt).
+    fn backlog_tokens(&self, input_len: usize) -> usize {
+        self.queued_tokens + if self.busy { input_len } else { 0 }
+    }
+}
+
+/// Picks the prefill replica an admitted request queues on.
+pub trait DispatchPolicy {
+    /// Returns the index (into `loads`) of the replica to route `request` to.
+    /// `loads` is non-empty and ordered by global replica index (group-major).
+    fn route(&mut self, loads: &[ReplicaLoad], request: &Request, now: f64) -> usize;
+}
+
+/// Shortest queue by pending tokens (§7.1) — the default, bit-identical to
+/// the pre-fleet frontend (first replica wins ties).
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl DispatchPolicy for LeastLoaded {
+    fn route(&mut self, loads: &[ReplicaLoad], request: &Request, _now: f64) -> usize {
+        loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.backlog_tokens(request.input_len))
+            .map(|(i, _)| i)
+            .expect("cluster has at least one prefill replica")
+    }
+}
+
+/// Least estimated completion time: the token backlog (plus this request)
+/// scaled by the group's per-token service speed for this request. On a
+/// homogeneous fleet this degrades to [`LeastLoaded`] with a constant extra
+/// addend; on a mixed fleet the faster group absorbs proportionally more load.
+#[derive(Debug, Default)]
+pub struct FastestEligible;
+
+impl DispatchPolicy for FastestEligible {
+    fn route(&mut self, loads: &[ReplicaLoad], request: &Request, _now: f64) -> usize {
+        let input = request.input_len.max(1);
+        let mut best = 0usize;
+        let mut best_score = f64::INFINITY;
+        for (i, l) in loads.iter().enumerate() {
+            let backlog = (l.backlog_tokens(request.input_len) + request.input_len) as f64;
+            // Seconds to drain the backlog at this group's speed for prompts
+            // like this one (service_secs / input tokens).
+            let score = backlog * l.service_secs / input as f64;
+            // Strict `<` keeps the first minimum, matching LeastLoaded's
+            // deterministic tie-break.
+            if score < best_score {
+                best = i;
+                best_score = score;
+            }
+        }
+        best
+    }
+}
+
+/// Pins tenants to prefill groups round-robin (`tenant mod groups`) and
+/// routes least-loaded *within* the preferred group, so one tenant's burst
+/// only queues behind its own group.
+#[derive(Debug, Default)]
+pub struct GroupAffinity;
+
+impl DispatchPolicy for GroupAffinity {
+    fn route(&mut self, loads: &[ReplicaLoad], request: &Request, _now: f64) -> usize {
+        let groups = loads.iter().map(|l| l.group + 1).max().unwrap_or(1);
+        let preferred = request.tenant.index() % groups;
+        loads
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.group == preferred)
+            .min_by_key(|(_, l)| l.backlog_tokens(request.input_len))
+            .map(|(i, _)| i)
+            .expect("every group has at least one replica")
+    }
+}
+
+/// Serializable selector of the run's [`DispatchPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub enum DispatchPolicyKind {
+    /// Shortest queue by pending tokens (the pre-fleet routing, bit-identical).
+    #[default]
+    LeastLoaded,
+    /// Least estimated completion time under the group's cost model.
+    FastestEligible,
+    /// Tenant-to-group pinning, least-loaded within the preferred group.
+    GroupAffinity,
+}
+
+impl DispatchPolicyKind {
+    /// Builds the policy instance for one run.
+    pub fn build(self) -> Box<dyn DispatchPolicy> {
+        match self {
+            DispatchPolicyKind::LeastLoaded => Box::<LeastLoaded>::default(),
+            DispatchPolicyKind::FastestEligible => Box::<FastestEligible>::default(),
+            DispatchPolicyKind::GroupAffinity => Box::<GroupAffinity>::default(),
+        }
+    }
+
+    /// Builds the policy for the simulator's hot path: `None` means the
+    /// built-in least-loaded default, which the frontend routes without a
+    /// policy call or load-view assembly.
+    pub(crate) fn instantiate(self) -> Option<Box<dyn DispatchPolicy>> {
+        match self {
+            DispatchPolicyKind::LeastLoaded => None,
+            other => Some(other.build()),
+        }
+    }
+
+    /// Display name (bench/table row labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchPolicyKind::LeastLoaded => "least-loaded",
+            DispatchPolicyKind::FastestEligible => "fastest-eligible",
+            DispatchPolicyKind::GroupAffinity => "group-affinity",
+        }
+    }
+
+    /// Every shipped dispatch policy (grid/bench sweeps).
+    pub fn all() -> [DispatchPolicyKind; 3] {
+        [
+            DispatchPolicyKind::LeastLoaded,
+            DispatchPolicyKind::FastestEligible,
+            DispatchPolicyKind::GroupAffinity,
+        ]
+    }
+}
+
+// --- Admission: whether an arriving request enters the cluster. ---
+
 /// Decides whether an arriving request enters the cluster at all.
 ///
 /// Rejected requests never occupy a prefill queue; the simulator counts them
@@ -145,14 +317,20 @@ pub trait AdmissionPolicy {
     fn admit(&mut self, request: &Request, now: f64) -> bool;
 }
 
-/// Picks which queued request a prefill replica serves next.
+/// Picks which tenant a prefill replica serves next.
+///
+/// `heads[t]` is the request index of tenant `t`'s earliest-queued request on
+/// the replica, or `None` when the tenant has nothing queued there (at least
+/// one entry is `Some`). Within a tenant, service order is always arrival
+/// order — the policy only arbitrates *between* tenants, which is what makes
+/// each decision O(tenants) instead of an O(queue) scan.
 pub trait SchedulingPolicy {
-    /// Returns the position in `queue` (non-empty, arrival-ordered) of the
-    /// request to start next. `requests` is the full trace, `classes` the
-    /// per-tenant service classes, `now` the decision time.
-    fn select(
+    /// Returns the tenant (index into `heads`, `Some` entry) to serve next.
+    /// `requests` is the full trace, `classes` the per-tenant service
+    /// classes, `now` the decision time.
+    fn select_tenant(
         &mut self,
-        queue: &VecDeque<usize>,
+        heads: &[Option<usize>; MAX_TENANTS],
         requests: &[Request],
         classes: &TenantClasses,
         now: f64,
@@ -216,20 +394,27 @@ impl AdmissionPolicy for TenantTokenBucket {
     }
 }
 
-/// First-come-first-served: always the queue head. Bit-identical to the
-/// pre-policy simulator.
+/// First-come-first-served: the tenant whose head arrived first (queue pushes
+/// are arrival-ordered, so request indices order arrivals). Bit-identical to
+/// the pre-policy simulator.
 #[derive(Debug, Default)]
 pub struct Fcfs;
 
 impl SchedulingPolicy for Fcfs {
-    fn select(
+    fn select_tenant(
         &mut self,
-        _queue: &VecDeque<usize>,
+        heads: &[Option<usize>; MAX_TENANTS],
         _requests: &[Request],
         _classes: &TenantClasses,
         _now: f64,
     ) -> usize {
-        0
+        heads
+            .iter()
+            .enumerate()
+            .filter_map(|(t, head)| head.map(|req| (req, t)))
+            .min()
+            .map(|(_, t)| t)
+            .expect("the queue is non-empty")
     }
 }
 
@@ -240,27 +425,26 @@ impl SchedulingPolicy for Fcfs {
 /// its weight, picks the present tenant with the highest accumulated credit
 /// (ties to the lowest tenant id), then debits the winner by the total weight
 /// credited this round. Absent tenants accrue nothing, so a tenant cannot
-/// bank service while idle.
+/// bank service while idle. O(tenants) per decision.
 #[derive(Debug, Default)]
 pub struct WeightedRoundRobin {
     credit: [f64; MAX_TENANTS],
 }
 
 impl SchedulingPolicy for WeightedRoundRobin {
-    fn select(
+    fn select_tenant(
         &mut self,
-        queue: &VecDeque<usize>,
-        requests: &[Request],
+        heads: &[Option<usize>; MAX_TENANTS],
+        _requests: &[Request],
         classes: &TenantClasses,
         _now: f64,
     ) -> usize {
-        let mut present = [false; MAX_TENANTS];
-        for &req in queue {
-            present[requests[req].tenant.index().min(MAX_TENANTS - 1)] = true;
-        }
         let mut round_total = 0.0;
         let mut winner = MAX_TENANTS;
-        for (t, _) in present.iter().enumerate().filter(|(_, &p)| p) {
+        for (t, head) in heads.iter().enumerate() {
+            if head.is_none() {
+                continue;
+            }
             let weight = classes.get(TenantId(t as u32)).weight;
             self.credit[t] += weight;
             round_total += weight;
@@ -270,40 +454,43 @@ impl SchedulingPolicy for WeightedRoundRobin {
         }
         debug_assert!(winner < MAX_TENANTS, "queue is non-empty");
         self.credit[winner] -= round_total;
-        queue
-            .iter()
-            .position(|&req| requests[req].tenant.index().min(MAX_TENANTS - 1) == winner)
-            .expect("winner was marked present from this queue")
+        winner
     }
 }
 
 /// Earliest-deadline-first with per-tenant deadlines `arrival + slo_jct`.
 ///
 /// Tenants without a finite SLO target effectively yield to every tenant with
-/// one; among equal deadlines the earliest queue position (arrival order)
-/// wins, so single-tenant traces degrade to FCFS.
+/// one; among equal deadlines the earliest arrival (smallest request index)
+/// wins, so single-tenant traces degrade to FCFS. Each tenant's head carries
+/// the tenant's earliest deadline (arrival order within a tenant is deadline
+/// order), so the decision is O(tenants).
 #[derive(Debug, Default)]
 pub struct SloEdf;
 
 impl SchedulingPolicy for SloEdf {
-    fn select(
+    fn select_tenant(
         &mut self,
-        queue: &VecDeque<usize>,
+        heads: &[Option<usize>; MAX_TENANTS],
         requests: &[Request],
         classes: &TenantClasses,
         _now: f64,
     ) -> usize {
-        let deadline = |req: usize| {
+        let mut best_tenant = MAX_TENANTS;
+        let mut best = (f64::INFINITY, usize::MAX);
+        for (t, head) in heads.iter().enumerate() {
+            let Some(req) = *head else { continue };
             let r = &requests[req];
-            r.arrival + classes.get(r.tenant).slo_jct
-        };
-        let mut best = 0;
-        for pos in 1..queue.len() {
-            if deadline(queue[pos]) < deadline(queue[best]) {
-                best = pos;
+            let deadline = r.arrival + classes.get(r.tenant).slo_jct;
+            // Strict lexicographic minimum on (deadline, request index): ties
+            // resolve to the earliest-queued request, as the old scan did.
+            if deadline < best.0 || (deadline == best.0 && req < best.1) {
+                best = (deadline, req);
+                best_tenant = t;
             }
         }
-        best
+        debug_assert!(best_tenant < MAX_TENANTS, "queue is non-empty");
+        best_tenant
     }
 }
 
@@ -399,13 +586,15 @@ impl SchedulingPolicyKind {
     }
 }
 
-/// The frontend policy of one run: tenant classes plus the admission and
-/// scheduling policies operating on them. `Copy` and serializable so it rides
-/// inside [`crate::config::SimulationConfig`].
+/// The frontend policy of one run: tenant classes plus the dispatch,
+/// admission and scheduling policies operating on them. `Copy` and
+/// serializable so it rides inside [`crate::config::SimulationConfig`].
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
 pub struct PolicyConfig {
     /// Per-tenant service classes (weight, SLO target).
     pub tenants: TenantClasses,
+    /// Replica dispatch policy (which prefill replica a request queues on).
+    pub dispatch: DispatchPolicyKind,
     /// Admission policy.
     pub admission: AdmissionPolicyKind,
     /// Scheduling policy.
@@ -414,12 +603,22 @@ pub struct PolicyConfig {
 
 impl PolicyConfig {
     /// A multi-tenant policy with the given classes and scheduling policy,
-    /// admitting everything.
+    /// admitting everything and dispatching least-loaded.
     pub fn scheduled(classes: &[TenantClass], scheduling: SchedulingPolicyKind) -> Self {
         Self {
             tenants: TenantClasses::new(classes),
+            dispatch: DispatchPolicyKind::LeastLoaded,
             admission: AdmissionPolicyKind::AdmitAll,
             scheduling,
+        }
+    }
+
+    /// A single-tenant policy with the given dispatch policy (heterogeneous-
+    /// fleet routing experiments).
+    pub fn dispatched(dispatch: DispatchPolicyKind) -> Self {
+        Self {
+            dispatch,
+            ..Self::default()
         }
     }
 }
@@ -427,6 +626,7 @@ impl PolicyConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::VecDeque;
 
     fn request(id: u64, tenant: u32, arrival: f64) -> Request {
         Request {
@@ -438,8 +638,60 @@ mod tests {
         }
     }
 
-    fn queue_of(ids: &[usize]) -> VecDeque<usize> {
-        ids.iter().copied().collect()
+    /// Per-tenant sub-queue heads of an arrival-ordered flat queue.
+    fn heads_of(queue: &VecDeque<usize>, requests: &[Request]) -> [Option<usize>; MAX_TENANTS] {
+        let mut heads = [None; MAX_TENANTS];
+        for &req in queue {
+            let t = requests[req].tenant.index().min(MAX_TENANTS - 1);
+            if heads[t].is_none() {
+                heads[t] = Some(req);
+            }
+        }
+        heads
+    }
+
+    // --- The retired O(queue) scan selections, kept verbatim as the oracle
+    // --- the O(tenants) head-based policies are pinned against.
+
+    fn scan_wrr(
+        credit: &mut [f64; MAX_TENANTS],
+        queue: &VecDeque<usize>,
+        requests: &[Request],
+        classes: &TenantClasses,
+    ) -> usize {
+        let mut present = [false; MAX_TENANTS];
+        for &req in queue {
+            present[requests[req].tenant.index().min(MAX_TENANTS - 1)] = true;
+        }
+        let mut round_total = 0.0;
+        let mut winner = MAX_TENANTS;
+        for (t, _) in present.iter().enumerate().filter(|(_, &p)| p) {
+            let weight = classes.get(TenantId(t as u32)).weight;
+            credit[t] += weight;
+            round_total += weight;
+            if winner == MAX_TENANTS || credit[t] > credit[winner] {
+                winner = t;
+            }
+        }
+        credit[winner] -= round_total;
+        queue
+            .iter()
+            .position(|&req| requests[req].tenant.index().min(MAX_TENANTS - 1) == winner)
+            .expect("winner was marked present from this queue")
+    }
+
+    fn scan_edf(queue: &VecDeque<usize>, requests: &[Request], classes: &TenantClasses) -> usize {
+        let deadline = |req: usize| {
+            let r = &requests[req];
+            r.arrival + classes.get(r.tenant).slo_jct
+        };
+        let mut best = 0;
+        for pos in 1..queue.len() {
+            if deadline(queue[pos]) < deadline(queue[best]) {
+                best = pos;
+            }
+        }
+        best
     }
 
     #[test]
@@ -463,11 +715,15 @@ mod tests {
     }
 
     #[test]
-    fn fcfs_always_picks_the_head() {
+    fn fcfs_picks_the_tenant_with_the_earliest_head() {
         let requests = vec![request(0, 1, 0.0), request(1, 0, 1.0)];
         let classes = TenantClasses::single_tenant();
         let mut fcfs = Fcfs;
-        assert_eq!(fcfs.select(&queue_of(&[1, 0]), &requests, &classes, 5.0), 0);
+        // Tenant 1's head (request 0) arrived before tenant 0's (request 1).
+        let mut heads = [None; MAX_TENANTS];
+        heads[0] = Some(1);
+        heads[1] = Some(0);
+        assert_eq!(fcfs.select_tenant(&heads, &requests, &classes, 5.0), 1);
     }
 
     #[test]
@@ -488,11 +744,11 @@ mod tests {
             },
         ]);
         let mut wrr = WeightedRoundRobin::default();
-        let queue = queue_of(&[0, 1, 2, 3, 4, 5]); // tenants 0,1,0,1,0,1
+        let queue: VecDeque<usize> = [0, 1, 2, 3, 4, 5].into_iter().collect();
+        let heads = heads_of(&queue, &requests);
         let mut wins = [0usize; 2];
         for _ in 0..6 {
-            let pos = wrr.select(&queue, &requests, &classes, 0.0);
-            wins[requests[queue[pos]].tenant.index()] += 1;
+            wins[wrr.select_tenant(&heads, &requests, &classes, 0.0)] += 1;
         }
         assert_eq!(wins, [4, 2], "2:1 weights over 6 turns");
     }
@@ -502,17 +758,19 @@ mod tests {
         let requests: Vec<Request> = (0..4).map(|i| request(i, 0, i as f64)).collect();
         let classes = TenantClasses::single_tenant();
         let mut wrr = WeightedRoundRobin::default();
-        // Only tenant 0 present: always position 0 (the earliest arrival).
+        let queue: VecDeque<usize> = [0, 1, 2, 3].into_iter().collect();
+        // Only tenant 0 present: always tenant 0 (whose head is the earliest
+        // arrival).
         for _ in 0..4 {
             assert_eq!(
-                wrr.select(&queue_of(&[0, 1, 2, 3]), &requests, &classes, 0.0),
+                wrr.select_tenant(&heads_of(&queue, &requests), &requests, &classes, 0.0),
                 0
             );
         }
     }
 
     #[test]
-    fn slo_edf_prioritises_tight_deadlines_and_breaks_ties_by_position() {
+    fn slo_edf_prioritises_tight_deadlines_and_breaks_ties_by_arrival() {
         let requests = vec![
             request(0, 0, 0.0), // deadline 0 + 1000
             request(1, 1, 5.0), // deadline 5 + 10 = 15
@@ -529,21 +787,96 @@ mod tests {
             },
         ]);
         let mut edf = SloEdf;
+        let queue: VecDeque<usize> = [0, 1, 2].into_iter().collect();
         assert_eq!(
-            edf.select(&queue_of(&[0, 1, 2]), &requests, &classes, 9.0),
+            edf.select_tenant(&heads_of(&queue, &requests), &requests, &classes, 9.0),
             1
         );
-        // Equal deadlines: earliest queue position wins.
-        let twins = vec![request(0, 0, 1.0), request(1, 0, 1.0)];
+        // Equal deadlines: the earliest-queued request wins.
+        let twins = vec![request(0, 0, 1.0), request(1, 1, 1.0)];
+        let classes = TenantClasses::new(&[TenantClass::default(), TenantClass::default()]);
+        let queue: VecDeque<usize> = [0, 1].into_iter().collect();
         assert_eq!(
-            edf.select(
-                &queue_of(&[0, 1]),
-                &twins,
-                &TenantClasses::single_tenant(),
-                2.0
-            ),
+            edf.select_tenant(&heads_of(&queue, &twins), &twins, &classes, 2.0),
             0
         );
+    }
+
+    #[test]
+    fn head_based_policies_match_the_retired_queue_scan() {
+        // Drive the O(tenants) head-based selection and the retired O(queue)
+        // scan through identical randomized queue evolutions; every selection
+        // must pick the same request. This pins the per-tenant sub-queue
+        // redesign bit-identical to the scan path it replaced.
+        let classes = TenantClasses::new(&[
+            TenantClass {
+                weight: 3.0,
+                slo_jct: 45.0,
+            },
+            TenantClass {
+                weight: 1.0,
+                slo_jct: 800.0,
+            },
+            TenantClass {
+                weight: 2.0,
+                slo_jct: f64::INFINITY,
+            },
+        ]);
+        // Deterministic pseudo-random stream (no external RNG in this crate).
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let requests: Vec<Request> = (0..64)
+            .map(|i| {
+                request(
+                    i,
+                    (next() % 3) as u32,
+                    i as f64 + (next() % 7) as f64 * 0.125,
+                )
+            })
+            .collect();
+
+        let mut wrr_heads = WeightedRoundRobin::default();
+        let mut wrr_scan_credit = [0.0f64; MAX_TENANTS];
+        let mut edf_heads = SloEdf;
+
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut arrivals = 0usize;
+        for step in 0..200 {
+            // Randomly push the next arrival(s) (arrival order preserved).
+            while arrivals < requests.len() && next() % 2 == 0 {
+                queue.push_back(arrivals);
+                arrivals += 1;
+            }
+            if queue.is_empty() {
+                continue;
+            }
+            let heads = heads_of(&queue, &requests);
+
+            // EDF: stateless, compare directly.
+            let scan_pos = scan_edf(&queue, &requests, &classes);
+            let tenant = edf_heads.select_tenant(&heads, &requests, &classes, step as f64);
+            assert_eq!(
+                heads[tenant],
+                Some(queue[scan_pos]),
+                "step {step}: EDF head selection diverged from the scan"
+            );
+
+            // WRR: stateful; advance both copies with the same selection.
+            let scan_pos = scan_wrr(&mut wrr_scan_credit, &queue, &requests, &classes);
+            let tenant = wrr_heads.select_tenant(&heads, &requests, &classes, step as f64);
+            let scan_req = queue[scan_pos];
+            assert_eq!(
+                heads[tenant],
+                Some(scan_req),
+                "step {step}: WRR head selection diverged from the scan"
+            );
+            queue.remove(scan_pos);
+        }
     }
 
     #[test]
@@ -574,15 +907,76 @@ mod tests {
         assert!(bucket.admit(&request(8, 0, 1.0), 1.0));
     }
 
+    fn load(group: usize, queued_tokens: usize, busy: bool, service_secs: f64) -> ReplicaLoad {
+        ReplicaLoad {
+            group,
+            queued_tokens,
+            queue_len: usize::from(queued_tokens > 0),
+            busy,
+            service_secs,
+        }
+    }
+
+    #[test]
+    fn least_loaded_matches_the_pre_fleet_metric() {
+        let mut policy = LeastLoaded;
+        let req = request(0, 0, 0.0); // input_len = 100
+                                      // Replica 1 has fewer queued tokens, but replica 2 is idle: idle beats
+                                      // a busy replica whose in-service request counts at this length.
+        let loads = [
+            load(0, 300, false, 1.0),
+            load(0, 50, true, 1.0),
+            load(0, 120, false, 1.0),
+        ];
+        assert_eq!(policy.route(&loads, &req, 0.0), 2);
+        // First minimum wins ties.
+        let tied = [load(0, 80, false, 1.0), load(0, 80, false, 1.0)];
+        assert_eq!(policy.route(&tied, &req, 0.0), 0);
+    }
+
+    #[test]
+    fn fastest_eligible_prefers_the_faster_group_under_equal_load() {
+        let mut policy = FastestEligible;
+        let req = request(0, 0, 0.0);
+        // Same backlog; group 1 serves this prompt twice as fast.
+        let loads = [load(0, 200, false, 2.0), load(1, 200, false, 1.0)];
+        assert_eq!(policy.route(&loads, &req, 0.0), 1);
+        // A fast group with a deep queue loses to an idle slow one.
+        let loads = [load(0, 0, false, 2.0), load(1, 5_000, true, 1.0)];
+        assert_eq!(policy.route(&loads, &req, 0.0), 0);
+    }
+
+    #[test]
+    fn group_affinity_pins_tenants_to_groups() {
+        let mut policy = GroupAffinity;
+        let loads = [
+            load(0, 500, false, 1.0),
+            load(0, 0, false, 1.0),
+            load(1, 0, false, 1.0),
+            load(1, 100, false, 1.0),
+        ];
+        // Tenant 0 -> group 0 (least-loaded within it), tenant 1 -> group 1,
+        // tenant 2 wraps to group 0 again.
+        assert_eq!(policy.route(&loads, &request(0, 0, 0.0), 0.0), 1);
+        assert_eq!(policy.route(&loads, &request(1, 1, 0.0), 0.0), 2);
+        assert_eq!(policy.route(&loads, &request(2, 2, 0.0), 0.0), 1);
+    }
+
     #[test]
     fn kinds_build_their_policies() {
         let classes = TenantClasses::single_tenant();
-        let mut requestq = queue_of(&[0]);
-        requestq.make_contiguous();
         let requests = vec![request(0, 0, 0.0)];
+        let mut heads = [None; MAX_TENANTS];
+        heads[0] = Some(0);
         for kind in SchedulingPolicyKind::all() {
             let mut policy = kind.build();
-            assert_eq!(policy.select(&requestq, &requests, &classes, 0.0), 0);
+            assert_eq!(policy.select_tenant(&heads, &requests, &classes, 0.0), 0);
+            assert!(!kind.name().is_empty());
+        }
+        for kind in DispatchPolicyKind::all() {
+            let mut policy = kind.build();
+            let loads = [load(0, 0, false, 1.0)];
+            assert_eq!(policy.route(&loads, &requests[0], 0.0), 0);
             assert!(!kind.name().is_empty());
         }
         let mut admit = AdmissionPolicyKind::AdmitAll.build(&classes);

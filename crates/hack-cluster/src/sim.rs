@@ -6,13 +6,16 @@
 //! arrival events (plus any fault-injection events), and drives the engine
 //! until every request completes.
 //!
-//! [`Simulator::new`] also materialises the run's *cost layer* once: the trace
-//! itself, the decode-side prefix-sum table
-//! ([`hack_model::cost_table::DecodeCostTable`], shared process-wide across
-//! simulators with the same parameterisation) and the prefill-side
-//! per-prompt-length memo, so every per-request cost during the event loop is
-//! O(1). [`CostMode::Reference`] re-runs the original per-token summation
-//! loops instead — kept for benchmarking and as the equivalence oracle.
+//! The fleet is a [`crate::fleet::FleetSpec`]: replicas are instantiated
+//! group-major (group 0's replicas first), each carrying its group's cost
+//! model and memory budget. [`Simulator::new`] materialises the run's *cost
+//! layer* once: the trace itself, one decode-side prefix-sum table per decode
+//! group ([`hack_model::cost_table::DecodeCostTable`], shared process-wide
+//! across simulators with the same parameterisation) and one prefill-side
+//! per-prompt-length memo per (prefill group × decode group) pair, so every
+//! per-request cost during the event loop is O(1).
+//! [`CostMode::Reference`] re-runs the original per-token summation loops
+//! instead — kept for benchmarking and as the equivalence oracle.
 
 use crate::components::decode::DecodeReplica;
 use crate::components::frontend::Frontend;
@@ -23,7 +26,7 @@ use crate::components::{
 };
 use crate::config::SimulationConfig;
 use crate::events::{ReplicaFailed, ReplicaRecovered, RequestArrived};
-use crate::result::{RequestRecord, SimulationResult};
+use crate::result::{GroupStats, RequestRecord, SimulationResult};
 use hack_metrics::jct::JctBreakdown;
 use hack_model::cost::{KvMethodProfile, ReplicaCostModel};
 use hack_model::cost_table::{DecodeCostTable, PrefillCostTable};
@@ -50,7 +53,7 @@ pub enum CostMode {
 #[cfg(test)]
 thread_local! {
     /// Test-only switch forcing the boxed trait-object policy path even for
-    /// the FCFS/AdmitAll defaults (see
+    /// the LeastLoaded/FCFS/AdmitAll defaults (see
     /// [`Simulator::run_with_boxed_default_policies`]).
     static FORCE_BOXED_POLICIES: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
@@ -58,13 +61,16 @@ thread_local! {
 /// Discrete-event simulator of one configuration (cluster × trace × method).
 pub struct Simulator {
     config: SimulationConfig,
-    prefill_model: ReplicaCostModel,
-    decode_model: ReplicaCostModel,
+    /// Cost model of each prefill group.
+    prefill_models: Vec<ReplicaCostModel>,
+    /// Cost model of each decode group.
+    decode_models: Vec<ReplicaCostModel>,
     requests: Arc<Vec<Request>>,
     /// Cost tables, built on the first [`CostMode::Table`] run and reused by
     /// every subsequent one. Lazy so that pure [`CostMode::Reference`] runs —
     /// the benchmarked "pre-table" baseline — never pay table construction.
-    tables: OnceCell<(Arc<DecodeCostTable>, Arc<PrefillCostTable>)>,
+    #[allow(clippy::type_complexity)]
+    tables: OnceCell<(Vec<Arc<DecodeCostTable>>, Vec<Vec<Arc<PrefillCostTable>>>)>,
 }
 
 impl Simulator {
@@ -85,32 +91,28 @@ impl Simulator {
             config.trace.num_requests,
             "supplied trace length must match config.trace.num_requests"
         );
-        let model = config.cluster.model.spec();
-        let prefill_model = ReplicaCostModel {
-            model,
-            gpu: config.cluster.prefill_gpu.spec(),
-            parallel: config.cluster.prefill_parallelism(),
-            params: config.cluster.cost_params,
-        };
-        let decode_model = ReplicaCostModel {
-            model,
-            gpu: config.cluster.decode_gpu.spec(),
-            parallel: config.cluster.decode_parallelism(),
-            params: config.cluster.cost_params,
-        };
+        let cluster = &config.cluster;
+        let prefill_models = (0..cluster.fleet.prefill.len())
+            .map(|g| cluster.prefill_cost_model(g))
+            .collect();
+        let decode_models = (0..cluster.fleet.decode.len())
+            .map(|g| cluster.decode_cost_model(g))
+            .collect();
         Self {
             config,
-            prefill_model,
-            decode_model,
+            prefill_models,
+            decode_models,
             requests,
             tables: OnceCell::new(),
         }
     }
 
-    /// The memoized cost layer of this simulator: the decode prefix-sum table
-    /// (shared process-wide across equal parameterisations) and the prefill
-    /// per-prompt-length memo, built on first use.
-    fn tables(&self) -> &(Arc<DecodeCostTable>, Arc<PrefillCostTable>) {
+    /// The memoized cost layer of this simulator: one decode prefix-sum table
+    /// per decode group (shared process-wide across equal parameterisations)
+    /// and one prefill per-prompt-length memo per (prefill × decode) group
+    /// pair, built on first use.
+    #[allow(clippy::type_complexity)]
+    fn tables(&self) -> &(Vec<Arc<DecodeCostTable>>, Vec<Vec<Arc<PrefillCostTable>>>) {
         self.tables.get_or_init(|| {
             let max_kv_len = self
                 .requests
@@ -118,24 +120,58 @@ impl Simulator {
                 .map(Request::total_tokens)
                 .max()
                 .unwrap_or(1);
-            let decode_table = DecodeCostTable::shared(
-                &self.decode_model,
-                &self.config.profile,
-                self.config.cluster.cost_params.decode_batch,
-                max_kv_len,
-            );
-            let network_gbps = self
-                .config
-                .cluster
-                .prefill_network_gbps
-                .min(self.config.cluster.decode_network_gbps);
-            let prefill_table = Arc::new(PrefillCostTable::build(
-                &self.prefill_model,
-                &self.config.profile,
-                network_gbps,
-                self.requests.iter().map(|r| r.input_len),
-            ));
-            (decode_table, prefill_table)
+            let fleet = &self.config.cluster.fleet;
+            let decode_tables: Vec<Arc<DecodeCostTable>> = self
+                .decode_models
+                .iter()
+                .map(|model| {
+                    DecodeCostTable::shared(
+                        model,
+                        &self.config.profile,
+                        model.params.decode_batch,
+                        max_kv_len,
+                    )
+                })
+                .collect();
+            // One full build per prefill group; further decode pairings only
+            // re-evaluate the transfer column at their own min-NIC bandwidth
+            // (prefill/quantization are bandwidth-independent), and pairings
+            // with an equal bandwidth share one table.
+            let prefill_tables: Vec<Vec<Arc<PrefillCostTable>>> = self
+                .prefill_models
+                .iter()
+                .enumerate()
+                .map(|(pg, model)| {
+                    let prefill_gbps = fleet.prefill.get(pg).network_gbps;
+                    let mut built: Vec<(f64, Arc<PrefillCostTable>)> = Vec::new();
+                    fleet
+                        .decode
+                        .iter()
+                        .map(|dg| {
+                            let network_gbps = prefill_gbps.min(dg.network_gbps);
+                            if let Some((_, table)) =
+                                built.iter().find(|(gbps, _)| *gbps == network_gbps)
+                            {
+                                return table.clone();
+                            }
+                            let table = Arc::new(match built.first() {
+                                None => PrefillCostTable::build(
+                                    model,
+                                    &self.config.profile,
+                                    network_gbps,
+                                    self.requests.iter().map(|r| r.input_len),
+                                ),
+                                Some((_, base)) => {
+                                    base.with_network(model, &self.config.profile, network_gbps)
+                                }
+                            });
+                            built.push((network_gbps, table.clone()));
+                            table
+                        })
+                        .collect()
+                })
+                .collect();
+            (decode_tables, prefill_tables)
         })
     }
 
@@ -175,10 +211,11 @@ impl Simulator {
     }
 
     /// Test hook: run with the configured policies forced through the boxed
-    /// trait-object path, even for the FCFS/AdmitAll defaults that normally
-    /// instantiate to `None`. Pins the `Some`-branch mechanics (virtual
-    /// `select` + `VecDeque::remove(pos)`, per-arrival `admit`) bit-identical
-    /// to the built-in fast path.
+    /// trait-object path, even for the LeastLoaded/FCFS/AdmitAll defaults
+    /// that normally instantiate to `None`. Pins the `Some`-branch mechanics
+    /// (load-view assembly + virtual `route`, per-tenant sub-queues + virtual
+    /// `select_tenant`, per-arrival `admit`) bit-identical to the built-in
+    /// fast path.
     #[cfg(test)]
     pub(crate) fn run_with_boxed_default_policies(&self) -> SimulationResult {
         self.run_boxed_impl().0
@@ -223,6 +260,8 @@ impl Simulator {
         };
         let profile = *self.profile();
         let cluster_cfg = &self.config.cluster;
+        let prefill_replicas = cluster_cfg.fleet.prefill.total_replicas();
+        let decode_replicas = cluster_cfg.fleet.decode.total_replicas();
 
         assert!(
             requests
@@ -234,10 +273,10 @@ impl Simulator {
 
         if let Some(f) = self.config.failure {
             assert!(
-                f.decode_replica < cluster_cfg.decode_replicas,
+                f.decode_replica < decode_replicas,
                 "failure targets decode replica {} but the cluster has {}",
                 f.decode_replica,
-                cluster_cfg.decode_replicas
+                decode_replicas
             );
             assert!(
                 f.at.is_finite() && f.at >= 0.0,
@@ -259,10 +298,10 @@ impl Simulator {
         let driver = sim.create_context("driver");
         let frontend_ctx = sim.create_context("frontend");
         let fabric_ctx = sim.create_context("fabric");
-        let prefill_ctxs: Vec<_> = (0..cluster_cfg.prefill_replicas)
+        let prefill_ctxs: Vec<_> = (0..prefill_replicas)
             .map(|i| sim.create_context(format!("prefill-{i}")))
             .collect();
-        let decode_ctxs: Vec<_> = (0..cluster_cfg.decode_replicas)
+        let decode_ctxs: Vec<_> = (0..decode_replicas)
             .map(|i| sim.create_context(format!("decode-{i}")))
             .collect();
 
@@ -281,52 +320,68 @@ impl Simulator {
         }
 
         let num_requests = requests.len();
-        let kv_capacity = cluster_cfg.decode_kv_budget_bytes();
         let policy = self.config.policy;
         #[cfg(test)]
         let force_boxed = FORCE_BOXED_POLICIES.with(std::cell::Cell::get);
         #[cfg(not(test))]
         let force_boxed = false;
-        let (admission, scheduling) = if force_boxed {
+        let (dispatch, admission, scheduling) = if force_boxed {
             (
+                Some(policy.dispatch.build()),
                 Some(policy.admission.build(&policy.tenants)),
                 Some(policy.scheduling.build()),
             )
         } else {
             (
+                policy.dispatch.instantiate(),
                 policy.admission.instantiate(&policy.tenants),
                 policy.scheduling.instantiate(),
             )
         };
+        let per_tenant_queues = scheduling.is_some();
+
+        // Replicas flatten group-major: group 0's replicas first, carrying
+        // their group's memory budget.
+        let prefill_group_of = cluster_cfg.fleet.prefill.flatten_groups();
+        let decode_group_of = cluster_cfg.fleet.decode.flatten_groups();
+        let decode_budgets: Vec<f64> = (0..cluster_cfg.fleet.decode.len())
+            .map(|g| cluster_cfg.decode_group_kv_budget_bytes(g))
+            .collect();
         let state = ClusterState {
             config: self.config,
-            prefill_model: self.prefill_model,
-            decode_model: self.decode_model,
+            prefill_models: self.prefill_models.clone(),
+            decode_models: self.decode_models.clone(),
             costs: sim_costs,
+            dispatch,
             admission,
             scheduling,
             states: vec![ReqState::default(); requests.len()],
             requests,
-            prefill: vec![PrefillReplicaState::default(); cluster_cfg.prefill_replicas],
-            decode: vec![
-                DecodeReplicaState {
-                    kv_capacity,
+            prefill: prefill_group_of
+                .iter()
+                .map(|&g| PrefillReplicaState::new(g, per_tenant_queues))
+                .collect(),
+            decode: decode_group_of
+                .iter()
+                .map(|&g| DecodeReplicaState {
+                    group: g,
+                    kv_capacity: decode_budgets[g],
                     kv_used: 0.0,
                     peak_kv: 0.0,
                     active: 0,
                     resident_tokens: 0,
                     failed: false,
-                };
-                cluster_cfg.decode_replicas
-            ],
+                })
+                .collect(),
             waiting_for_memory: VecDeque::new(),
-            fabric: NetworkFabric::new(fabric_ctx, cluster_cfg.prefill_replicas),
+            fabric: NetworkFabric::new(fabric_ctx, prefill_replicas),
             completed: 0,
             rejected: 0,
             rejected_per_tenant: [0; crate::policy::MAX_TENANTS],
             swapped: 0,
             requeued: 0,
             injected_failures: 0,
+            aborted_decode_by_group: vec![0.0; cluster_cfg.fleet.decode.len()],
             prefill_ctxs,
             decode_ctxs,
         };
@@ -338,7 +393,7 @@ impl Simulator {
                 cluster: cluster.clone(),
             })),
         );
-        for i in 0..cluster_cfg.prefill_replicas {
+        for i in 0..prefill_replicas {
             sim.add_handler(
                 &format!("prefill-{i}"),
                 Rc::new(RefCell::new(PrefillReplica {
@@ -347,7 +402,7 @@ impl Simulator {
                 })),
             );
         }
-        for i in 0..cluster_cfg.decode_replicas {
+        for i in 0..decode_replicas {
             sim.add_handler(
                 &format!("decode-{i}"),
                 Rc::new(RefCell::new(DecodeReplica {
@@ -373,11 +428,8 @@ impl Simulator {
 
         // --- Assemble records. ---
         let cs = cluster.borrow();
-        let kv_capacity_total = cluster_cfg.decode_replica_mem_bytes();
         let params_bytes = cluster_cfg.model.spec().param_bytes_fp16();
-        let act_bytes = cluster_cfg.activation_reserve * kv_capacity_total;
         let peak_kv = cs.decode.iter().map(|d| d.peak_kv).fold(0.0, f64::max);
-        let peak_fraction = ((params_bytes + act_bytes + peak_kv) / kv_capacity_total).min(1.0);
 
         let mut records: Vec<RequestRecord> = cs
             .requests
@@ -410,6 +462,85 @@ impl Simulator {
             .collect();
         records.sort_by(|a, b| a.finish_time.partial_cmp(&b.finish_time).unwrap());
 
+        // --- Per-group usage summaries. ---
+        let mut prefill_groups: Vec<GroupStats> = cluster_cfg
+            .fleet
+            .prefill
+            .iter()
+            .enumerate()
+            .map(|(g, spec)| GroupStats {
+                group: g,
+                gpu: spec.gpu,
+                replicas: spec.replicas,
+                completed: 0,
+                busy_secs: 0.0,
+                utilization: 0.0,
+                mean_jct: 0.0,
+                peak_kv_bytes: 0.0,
+                peak_memory_fraction: 0.0,
+            })
+            .collect();
+        let mut decode_groups: Vec<GroupStats> = cluster_cfg
+            .fleet
+            .decode
+            .iter()
+            .enumerate()
+            .map(|(g, spec)| {
+                let mem = cluster_cfg.decode_group_mem_bytes(g);
+                let act_bytes = cluster_cfg.activation_reserve * mem;
+                let group_peak = cs
+                    .decode
+                    .iter()
+                    .filter(|d| d.group == g)
+                    .map(|d| d.peak_kv)
+                    .fold(0.0, f64::max);
+                GroupStats {
+                    group: g,
+                    gpu: spec.gpu,
+                    replicas: spec.replicas,
+                    completed: 0,
+                    busy_secs: 0.0,
+                    utilization: 0.0,
+                    mean_jct: 0.0,
+                    peak_kv_bytes: group_peak,
+                    peak_memory_fraction: ((params_bytes + act_bytes + group_peak) / mem).min(1.0),
+                }
+            })
+            .collect();
+        // Accumulate from the per-request states rather than the records: the
+        // record's decode stage folds failure-aborted attempts into the
+        // completing replica's column (it is a *request* decomposition),
+        // while group utilization must charge wasted attempts to the group
+        // that actually spent them (`aborted_decode_by_group`, below).
+        for (i, s) in cs.states.iter().enumerate().filter(|(_, s)| s.done) {
+            let pg = &mut prefill_groups[cs.prefill[s.prefill_replica].group];
+            pg.completed += 1;
+            pg.busy_secs += s.prefill_time + s.quant_time;
+            let jct = s.finish_time - cs.requests[i].arrival;
+            pg.mean_jct += jct;
+            let dg = &mut decode_groups[cs.decode[s.decode_replica].group];
+            dg.completed += 1;
+            dg.busy_secs += s.dequant_time + s.decode_time;
+            dg.mean_jct += jct;
+        }
+        for (g, aborted) in cs.aborted_decode_by_group.iter().enumerate() {
+            decode_groups[g].busy_secs += aborted;
+        }
+        for g in prefill_groups.iter_mut().chain(decode_groups.iter_mut()) {
+            if g.completed > 0 {
+                g.mean_jct /= g.completed as f64;
+            }
+            if makespan > 0.0 {
+                g.utilization = g.busy_secs / (g.replicas as f64 * makespan);
+            }
+        }
+        // The headline memory figure is the worst group's (for single-group
+        // fleets this is exactly the pre-fleet scalar).
+        let peak_fraction = decode_groups
+            .iter()
+            .map(|g| g.peak_memory_fraction)
+            .fold(0.0, f64::max);
+
         let result = SimulationResult {
             method: profile.name.to_string(),
             records,
@@ -424,6 +555,8 @@ impl Simulator {
             },
             requeued_requests: cs.requeued,
             injected_failures: cs.injected_failures,
+            prefill_groups,
+            decode_groups,
             makespan,
         };
         drop(cs);
@@ -436,7 +569,8 @@ impl Simulator {
 mod tests {
     use super::*;
     use crate::config::{ClusterConfig, FailureSpec};
-    use crate::policy::PolicyConfig;
+    use crate::fleet::{GroupSet, ReplicaGroup};
+    use crate::policy::{DispatchPolicyKind, PolicyConfig};
     use hack_model::gpu::GpuKind;
     use hack_model::spec::ModelKind;
     use hack_workload::dataset::Dataset;
@@ -732,6 +866,104 @@ mod tests {
         assert!(result.peak_decode_memory_fraction > 0.6);
     }
 
+    // --- Heterogeneous fleets: the scenarios the flat config could not express. ---
+
+    /// A mixed A10G + L4 prefill fleet over the paper's decode side.
+    fn mixed_config(profile: KvMethodProfile, n: usize) -> SimulationConfig {
+        let mut cfg = sim_config(profile, Dataset::Cocktail, 0.08, n);
+        let a10g = ReplicaGroup {
+            replicas: 3,
+            ..ReplicaGroup::paper_sized(ModelKind::Llama31_70B, GpuKind::A10G, 6)
+        };
+        let l4 = ReplicaGroup {
+            replicas: 2,
+            ..ReplicaGroup::paper_sized(ModelKind::Llama31_70B, GpuKind::L4, 4)
+        };
+        cfg.cluster.fleet.prefill = GroupSet::new(&[a10g, l4]);
+        cfg
+    }
+
+    #[test]
+    fn mixed_fleet_serves_from_both_groups_and_reports_group_stats() {
+        let result = Simulator::new(mixed_config(KvMethodProfile::baseline(), 40)).run();
+        assert_eq!(result.records.len(), 40);
+        assert_eq!(result.prefill_groups.len(), 2);
+        assert_eq!(result.decode_groups.len(), 1);
+        let total: usize = result.prefill_groups.iter().map(|g| g.completed).sum();
+        assert_eq!(total, 40, "every request is attributed to one group");
+        for g in &result.prefill_groups {
+            assert!(g.completed > 0, "group {} starved", g.group);
+            assert!(g.utilization > 0.0 && g.utilization <= 1.0 + 1e-9);
+            assert!(g.mean_jct > 0.0);
+        }
+        assert_eq!(result.prefill_groups[0].gpu, GpuKind::A10G);
+        assert_eq!(result.prefill_groups[1].gpu, GpuKind::L4);
+        // The decode group's memory figures reproduce the headline scalars.
+        let d = &result.decode_groups[0];
+        assert_eq!(d.peak_kv_bytes, result.peak_decode_kv_bytes);
+        assert_eq!(d.peak_memory_fraction, result.peak_decode_memory_fraction);
+    }
+
+    #[test]
+    fn mixed_fleet_runs_are_deterministic_across_engines_and_cost_modes() {
+        let cfg = mixed_config(KvMethodProfile::hack(), 35);
+        let sim = Simulator::new(cfg);
+        let (slab, slab_trace) = sim.run_traced(EngineMode::Slab);
+        let (boxed, boxed_trace) = sim.run_traced(EngineMode::Boxed);
+        assert_eq!(slab_trace, boxed_trace, "mixed fleet: engine traces");
+        assert_eq!(slab, boxed, "mixed fleet: engine results");
+        let reference = sim.run_with_costs(CostMode::Reference);
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+        assert_eq!(slab.records.len(), reference.records.len());
+        for (t, r) in slab.records.iter().zip(&reference.records) {
+            assert_eq!(t.request.id, r.request.id);
+            assert_eq!(t.prefill_replica, r.prefill_replica);
+            assert!(close(t.jct(), r.jct()));
+        }
+    }
+
+    #[test]
+    fn per_group_cost_params_override_the_fleet_default() {
+        // Give the L4 prefill group its own, much worse elementwise
+        // efficiency: quantization must get slower only for requests
+        // prefilled by the overridden group.
+        let base = mixed_config(KvMethodProfile::hack(), 30);
+        let mut slow = base;
+        let mut params = slow.cluster.cost_params;
+        params.elementwise_efficiency *= 0.25;
+        slow.cluster.fleet.prefill.get_mut(1).cost_params = Some(params);
+        let base_run = Simulator::new(base).run();
+        let slow_run = Simulator::new(slow).run();
+        let quant_of = |result: &SimulationResult, group: usize| {
+            result
+                .records
+                .iter()
+                .filter(|r| {
+                    // Group-major: replicas 0..3 are A10G, 3..5 are L4.
+                    let g = usize::from(r.prefill_replica >= 3);
+                    g == group
+                })
+                .map(|r| r.breakdown.quantization)
+                .sum::<f64>()
+        };
+        // The overridden group got slower; the other group's service times are
+        // untouched for any request served by the same replica in both runs.
+        assert!(quant_of(&slow_run, 1) > quant_of(&base_run, 1) * 2.0);
+        assert!(base_run.prefill_groups[1].busy_secs < slow_run.prefill_groups[1].busy_secs);
+    }
+
+    #[test]
+    fn dispatch_policies_route_and_complete_on_mixed_fleets() {
+        for dispatch in DispatchPolicyKind::all() {
+            let mut cfg = mixed_config(KvMethodProfile::baseline(), 40);
+            cfg.policy.dispatch = dispatch;
+            let a = Simulator::new(cfg).run();
+            let b = Simulator::new(cfg).run();
+            assert_eq!(a.records.len(), 40, "{}", dispatch.name());
+            assert_eq!(a, b, "{}: dispatch must be deterministic", dispatch.name());
+        }
+    }
+
     // --- Fault injection: scenarios the monolithic simulator could not express. ---
 
     /// A failure window covering the middle of the run on the default config.
@@ -830,20 +1062,23 @@ mod tests {
 
     #[test]
     fn boxed_default_policies_reproduce_the_fast_path_bit_for_bit() {
-        // FCFS/AdmitAll normally instantiate to `None` (the pre-policy
-        // pop_front hot path). Forcing them through the boxed trait-object
-        // path (`Fcfs::select` + `VecDeque::remove(pos)`, per-arrival
-        // `AdmitAll::admit`) must change nothing: PartialEq compares every
-        // f64 exactly.
+        // LeastLoaded/FCFS/AdmitAll normally instantiate to `None` (the
+        // pre-policy hot paths). Forcing them through the boxed trait-object
+        // path (load-view assembly + `LeastLoaded::route`, per-tenant
+        // sub-queues + `Fcfs::select_tenant`, per-arrival `AdmitAll::admit`)
+        // must change nothing: PartialEq compares every f64 exactly.
         for (dataset, rps) in [(Dataset::Cocktail, 0.08), (Dataset::Imdb, 0.6)] {
             let sim = Simulator::new(sim_config(KvMethodProfile::hack(), dataset, rps, 50));
             assert_eq!(
                 sim.run_with_boxed_default_policies(),
                 sim.run(),
-                "{}: boxed Fcfs/AdmitAll must match the built-in fast path",
+                "{}: boxed LeastLoaded/Fcfs/AdmitAll must match the built-in fast path",
                 dataset.name()
             );
         }
+        // Same pin on a heterogeneous fleet.
+        let sim = Simulator::new(mixed_config(KvMethodProfile::baseline(), 30));
+        assert_eq!(sim.run_with_boxed_default_policies(), sim.run());
     }
 
     #[test]

@@ -110,13 +110,13 @@ mod legacy {
             let model = config.cluster.model.spec();
             let prefill_model = ReplicaCostModel {
                 model,
-                gpu: config.cluster.prefill_gpu.spec(),
+                gpu: config.cluster.prefill_gpu().spec(),
                 parallel: config.cluster.prefill_parallelism(),
                 params: config.cluster.cost_params,
             };
             let decode_model = ReplicaCostModel {
                 model,
-                gpu: config.cluster.decode_gpu.spec(),
+                gpu: config.cluster.decode_gpu().spec(),
                 parallel: config.cluster.decode_parallelism(),
                 params: config.cluster.cost_params,
             };
@@ -157,7 +157,7 @@ mod legacy {
             let cluster = &self.config.cluster;
 
             let mut prefill: Vec<PrefillReplica> =
-                vec![PrefillReplica::default(); cluster.prefill_replicas];
+                vec![PrefillReplica::default(); cluster.prefill_replicas()];
             let kv_capacity = cluster.decode_kv_budget_bytes();
             let mut decode: Vec<DecodeReplica> = vec![
                 DecodeReplica {
@@ -167,7 +167,7 @@ mod legacy {
                     active: 0,
                     resident_tokens: 0,
                 };
-                cluster.decode_replicas
+                cluster.decode_replicas()
             ];
             let mut states: Vec<ReqState> = vec![ReqState::default(); requests.len()];
             let mut waiting_for_memory: VecDeque<usize> = VecDeque::new();
@@ -379,6 +379,8 @@ mod legacy {
                 rejected_by_tenant: Vec::new(),
                 requeued_requests: 0,
                 injected_failures: 0,
+                prefill_groups: Vec::new(),
+                decode_groups: Vec::new(),
                 makespan,
             }
         }
@@ -441,8 +443,8 @@ mod legacy {
             let gbps = self
                 .config
                 .cluster
-                .prefill_network_gbps
-                .min(self.config.cluster.decode_network_gbps);
+                .prefill_network_gbps()
+                .min(self.config.cluster.decode_network_gbps());
             self.prefill_model
                 .transfer_time(request.input_len, self.profile(), gbps)
         }

@@ -85,10 +85,10 @@ impl JctExperiment {
             _ => ClusterConfig::paper_default(self.model, self.prefill_gpu),
         };
         if let Some(p) = self.prefill_replicas {
-            cluster.prefill_replicas = p;
+            cluster.set_prefill_replicas(p);
         }
         if let Some(d) = self.decode_replicas {
-            cluster.decode_replicas = d;
+            cluster.set_decode_replicas(d);
         }
         cluster.pipelining = self.pipelining;
         cluster
@@ -472,8 +472,8 @@ mod tests {
     fn scalability_experiment_builds_single_decode_replica() {
         let e = JctExperiment::scalability(4);
         let cluster = e.cluster_config();
-        assert_eq!(cluster.prefill_replicas, 4);
-        assert_eq!(cluster.decode_replicas, 1);
+        assert_eq!(cluster.prefill_replicas(), 4);
+        assert_eq!(cluster.decode_replicas(), 1);
         assert!((e.effective_rps() - 0.08).abs() < 1e-12);
     }
 

@@ -30,12 +30,14 @@
 
 pub mod experiment;
 pub mod fidelity;
+pub mod hetero_fleet;
 pub mod jct_runner;
 pub mod method;
 pub mod tenant_mix;
 
 pub use experiment::{ExperimentTable, Row};
 pub use fidelity::{FidelityReport, FidelitySetup};
+pub use hetero_fleet::{HeteroFleetExperiment, HeteroFleetOutcome};
 pub use jct_runner::{JctExperiment, JctOutcome};
 pub use method::Method;
 pub use tenant_mix::{TenantMixExperiment, TenantMixOutcome, TenantWorkload};
@@ -44,6 +46,7 @@ pub use tenant_mix::{TenantMixExperiment, TenantMixOutcome, TenantWorkload};
 pub mod prelude {
     pub use crate::experiment::{ExperimentTable, Row};
     pub use crate::fidelity::{FidelityReport, FidelitySetup};
+    pub use crate::hetero_fleet::{HeteroFleetExperiment, HeteroFleetOutcome};
     pub use crate::jct_runner::{JctExperiment, JctOutcome};
     pub use crate::method::Method;
     pub use crate::tenant_mix::{TenantMixExperiment, TenantMixOutcome, TenantWorkload};
@@ -51,8 +54,9 @@ pub mod prelude {
     pub use hack_attention::prefill::hack_prefill_attention;
     pub use hack_attention::state::HackKvState;
     pub use hack_cluster::{
-        AdmissionPolicyKind, ClusterConfig, FailureSpec, PolicyConfig, SchedulingPolicyKind,
-        SimulationConfig, Simulator, TenantClass, TenantClasses,
+        AdmissionPolicyKind, ClusterConfig, DispatchPolicyKind, FailureSpec, FleetSpec, GroupSet,
+        GroupStats, PolicyConfig, ReplicaGroup, SchedulingPolicyKind, SimulationConfig, Simulator,
+        TenantClass, TenantClasses,
     };
     pub use hack_model::gpu::GpuKind;
     pub use hack_model::spec::ModelKind;

@@ -149,6 +149,7 @@ impl TenantMixExperiment {
             profile: method.profile(),
             policy: PolicyConfig {
                 tenants: self.classes(),
+                dispatch: hack_cluster::DispatchPolicyKind::LeastLoaded,
                 admission: self.admission,
                 scheduling,
             },

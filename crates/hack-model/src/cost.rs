@@ -11,7 +11,7 @@
 use crate::gpu::GpuSpec;
 use crate::parallelism::Parallelism;
 use crate::spec::ModelSpec;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// How an evaluated method treats KV data. Every method in the paper maps to one of
 /// these profiles (the mapping lives in `hack-core`).
@@ -198,6 +198,25 @@ pub struct CostParams {
     pub decode_batch: f64,
 }
 
+impl CostParams {
+    /// Decodes the efficiency constants from their serialized [`Value`] tree
+    /// (config snapshots; every field must be present and numeric).
+    pub fn from_value(value: &Value) -> Option<CostParams> {
+        Some(CostParams {
+            compute_efficiency: value.get_key("compute_efficiency")?.as_f64()?,
+            attention_efficiency: value.get_key("attention_efficiency")?.as_f64()?,
+            elementwise_efficiency: value.get_key("elementwise_efficiency")?.as_f64()?,
+            memory_efficiency: value.get_key("memory_efficiency")?.as_f64()?,
+            kv_access_efficiency: value.get_key("kv_access_efficiency")?.as_f64()?,
+            dequant_efficiency: value.get_key("dequant_efficiency")?.as_f64()?,
+            decode_iter_overhead_s: value.get_key("decode_iter_overhead_s")?.as_f64()?,
+            network_efficiency: value.get_key("network_efficiency")?.as_f64()?,
+            pp_bubble: value.get_key("pp_bubble")?.as_f64()?,
+            decode_batch: value.get_key("decode_batch")?.as_f64()?,
+        })
+    }
+}
+
 impl Default for CostParams {
     fn default() -> Self {
         Self {
@@ -254,11 +273,24 @@ pub struct ReplicaCostModel {
 impl ReplicaCostModel {
     /// Creates a cost model with default efficiency constants.
     pub fn new(model: ModelSpec, gpu: GpuSpec, parallel: Parallelism) -> Self {
+        Self::with_params(model, gpu, parallel, CostParams::default())
+    }
+
+    /// Creates a cost model with explicit efficiency constants — the
+    /// per-replica-group instantiation path of heterogeneous fleets (each
+    /// group pairs its own GPU/parallelism with its own, or the fleet-wide,
+    /// constants).
+    pub fn with_params(
+        model: ModelSpec,
+        gpu: GpuSpec,
+        parallel: Parallelism,
+        params: CostParams,
+    ) -> Self {
         Self {
             model,
             gpu,
             parallel,
-            params: CostParams::default(),
+            params,
         }
     }
 

@@ -204,6 +204,35 @@ impl PrefillCostTable {
         Self { entries }
     }
 
+    /// A copy of this memo with the transfer column re-evaluated at a
+    /// different network bandwidth, reusing the (bandwidth-independent)
+    /// prefill/quantization entries. Heterogeneous fleets need one transfer
+    /// memo per (prefill group, decode group) NIC pairing but only one
+    /// prefill/quantization evaluation per prefill group; this avoids
+    /// re-running the expensive service-time formulas per pairing. Transfer
+    /// values are bit-identical to a fresh [`Self::build`] at `network_gbps`.
+    pub fn with_network(
+        &self,
+        model: &ReplicaCostModel,
+        profile: &KvMethodProfile,
+        network_gbps: f64,
+    ) -> Self {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(&prompt, costs)| {
+                (
+                    prompt,
+                    PrefillCosts {
+                        transfer: model.transfer_time(prompt, profile, network_gbps),
+                        ..*costs
+                    },
+                )
+            })
+            .collect();
+        Self { entries }
+    }
+
     /// Memoized costs of `prompt`, if it was part of the build set.
     pub fn get(&self, prompt: usize) -> Option<PrefillCosts> {
         self.entries.get(&prompt).copied()
@@ -342,6 +371,23 @@ mod tests {
         // A different batch size is a different table.
         let d = DecodeCostTable::shared(&m, &profile, 9.0, 1000);
         assert_ne!(d.decode_iter_time(1000), a.decode_iter_time(1000));
+    }
+
+    #[test]
+    fn with_network_matches_a_fresh_build() {
+        let m = decode_model();
+        let profile = KvMethodProfile::hack();
+        let base = PrefillCostTable::build(&m, &profile, 40.0, [100, 200, 300]);
+        let rebased = base.with_network(&m, &profile, 10.0);
+        let fresh = PrefillCostTable::build(&m, &profile, 10.0, [100, 200, 300]);
+        for prompt in [100usize, 200, 300] {
+            assert_eq!(rebased.get(prompt), fresh.get(prompt), "prompt {prompt}");
+            // Prefill/quantization are bandwidth-independent and carried over.
+            assert_eq!(
+                rebased.get(prompt).unwrap().prefill,
+                base.get(prompt).unwrap().prefill
+            );
+        }
     }
 
     #[test]

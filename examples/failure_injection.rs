@@ -57,7 +57,7 @@ fn main() {
     println!("          {}", breakdown_line(&healthy));
 
     // Pick the busiest decode replica and kill it mid-run, recovering later.
-    let mut served = vec![0usize; base_config.cluster.decode_replicas];
+    let mut served = vec![0usize; base_config.cluster.decode_replicas()];
     for r in &healthy.records {
         served[r.decode_replica] += 1;
     }
@@ -92,7 +92,7 @@ fn main() {
         failed.requeued_requests, failed.swapped_requests
     );
 
-    let mut served_failed = vec![0usize; base_config.cluster.decode_replicas];
+    let mut served_failed = vec![0usize; base_config.cluster.decode_replicas()];
     for r in &failed.records {
         served_failed[r.decode_replica] += 1;
     }
@@ -110,7 +110,7 @@ fn main() {
     println!(
         "\nimpact: {:.1}% average-JCT inflation from losing 1/{} of the decode fleet for half the run",
         100.0 * (slowdown - 1.0),
-        base_config.cluster.decode_replicas
+        base_config.cluster.decode_replicas()
     );
     assert_eq!(
         failed.records.len(),

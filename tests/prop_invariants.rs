@@ -377,7 +377,7 @@ fn random_sim_config(rng: &mut DetRng) -> SimulationConfig {
         policy: PolicyConfig::default(),
         failure: if rng.chance(0.3) {
             Some(FailureSpec::transient(
-                rng.range_usize(0, cluster.decode_replicas),
+                rng.range_usize(0, cluster.decode_replicas()),
                 rng.range_f64(1.0, 300.0),
                 1e6,
             ))
@@ -455,11 +455,13 @@ fn random_multi_tenant(rng: &mut DetRng) -> (SimulationConfig, Arc<Vec<hack_work
         SchedulingPolicyKind::WeightedRoundRobin,
         SchedulingPolicyKind::SloEdf,
     ][rng.range_usize(0, 3)];
+    let dispatch = hack_cluster::DispatchPolicyKind::all()[rng.range_usize(0, 3)];
     let mut base = random_sim_config(rng);
     base.failure = None; // exercised separately; keep every request completable
     base.trace.num_requests = requests.len();
     base.policy = PolicyConfig {
         tenants: TenantClasses::new(&classes),
+        dispatch,
         admission: hack_cluster::AdmissionPolicyKind::AdmitAll,
         scheduling,
     };
