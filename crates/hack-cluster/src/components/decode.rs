@@ -30,8 +30,15 @@ impl DecodeReplica {
             cs.states[req].requeues += 1;
             cs.requeued += 1;
             cs.states[req].pipelined_transfer_end = None;
+            if let Some(tel) = &mut cs.tel {
+                tel.transfer_landed();
+                tel.requeued(d, req, now);
+            }
             cs.try_dispatch_to_decode(req, now);
             return;
+        }
+        if let Some(tel) = &mut cs.tel {
+            tel.transfer_landed();
         }
 
         cs.decode[d].active += 1;
@@ -63,10 +70,15 @@ impl DecodeReplica {
             .resident_tokens
             .saturating_sub(cs.requests[req].total_tokens());
         cs.states[req].reserved = false;
-        cs.states[req].pending_decode = None;
+        let pending = cs.states[req].pending_decode.take();
         cs.states[req].finish_time = now;
         cs.states[req].done = true;
         cs.completed += 1;
+        let started = pending.map_or(now, |(_, started)| started);
+        let jct = now - cs.requests[req].arrival;
+        if let Some(tel) = &mut cs.tel {
+            tel.decode_finished(d, req, started, now, jct);
+        }
 
         // Freed memory: admit waiting requests in FIFO order while they fit.
         cs.drain_waiting(now);
@@ -77,6 +89,9 @@ impl DecodeReplica {
         let mut cs = self.cluster.borrow_mut();
         cs.injected_failures += 1;
         cs.decode[d].failed = true;
+        if let Some(tel) = &mut cs.tel {
+            tel.replica_failed(d, now);
+        }
 
         // Abort every in-flight decode on this replica: cancel its completion
         // event and charge the wasted time to the decode stage.
@@ -91,6 +106,9 @@ impl DecodeReplica {
         for &r in &aborted {
             let (event_id, started) = cs.states[r].pending_decode.take().expect("filtered above");
             cs.decode_ctxs[d].cancel_event(event_id);
+            if let Some(tel) = &mut cs.tel {
+                tel.decode_aborted(d, r, started, now);
+            }
             cs.states[r].aborted_decode += now - started;
             cs.aborted_decode_by_group[group] += now - started;
             cs.states[r].decode_time = 0.0;
@@ -125,6 +143,9 @@ impl DecodeReplica {
         let d = self.index;
         let mut cs = self.cluster.borrow_mut();
         cs.decode[d].failed = false;
+        if let Some(tel) = &mut cs.tel {
+            tel.replica_recovered(d, now);
+        }
         // Freshly available capacity: admit waiting requests.
         cs.drain_waiting(now);
     }

@@ -84,6 +84,9 @@ impl EventHandler for Frontend {
             if !admission.admit(&cs.requests[req], now) {
                 cs.rejected += 1;
                 cs.rejected_per_tenant[cs.requests[req].tenant.index()] += 1;
+                if let Some(tel) = &mut cs.tel {
+                    tel.request_rejected(req, now);
+                }
                 return;
             }
         }
@@ -96,6 +99,10 @@ impl EventHandler for Frontend {
         };
         cs.states[req].prefill_replica = replica;
         let tenant = cs.requests[req].tenant.index();
+        if let Some(tel) = &mut cs.tel {
+            tel.request_arrived(req, now);
+            tel.tenant_enqueued(tenant);
+        }
         cs.prefill[replica].queue.push(req, tenant);
         cs.prefill[replica].queued_tokens += cs.requests[req].input_len;
         if !cs.prefill[replica].busy {

@@ -280,6 +280,9 @@ pub(crate) struct ClusterState {
     /// Per-decode-replica contexts (engine address + emitter of
     /// `DecodeFinished` for each replica).
     pub decode_ctxs: Vec<SimulationContext>,
+    /// Telemetry recording state — `None` when telemetry is off, keeping the
+    /// default run path identical to the pre-telemetry simulator.
+    pub tel: Option<crate::telemetry::TelemetryState>,
 }
 
 impl ClusterState {
@@ -404,6 +407,9 @@ impl ClusterState {
         // Communication time as experienced by the request: waiting for the NIC
         // plus the wire time.
         self.states[req].comm_time += end - now;
+        if let Some(tel) = &mut self.tel {
+            tel.transfer_started(replica, req, now, end - duration, end);
+        }
         self.fabric.deliver(
             TransferCompleted { req },
             self.decode_ctxs[target].id(),
@@ -420,6 +426,9 @@ impl ClusterState {
                 self.waiting_for_memory.pop_front();
                 let wait_start = self.states[head].memory_wait_start.take().unwrap_or(now);
                 self.states[head].memory_wait += now - wait_start;
+                if let Some(tel) = &mut self.tel {
+                    tel.memory_wait_over(target, head, wait_start, now);
+                }
                 self.reserve_and_transfer(head, target, bytes, now);
             } else {
                 break;

@@ -58,6 +58,11 @@ pub(crate) fn start_prefill(cs: &mut ClusterState, replica: usize, now: f64) {
     let (prefill_t, quant_t) = cs.prefill_service_times(group, request.input_len);
     cs.states[req].prefill_time = prefill_t;
     cs.states[req].quant_time = quant_t;
+    if let Some(tel) = &mut cs.tel {
+        tel.tenant_dequeued(request.tenant.index());
+        let wait_start = now - cs.states[req].prefill_wait;
+        tel.prefill_started(replica, req, wait_start, now, prefill_t, quant_t);
+    }
 
     // Pipelining: start the KV transfer concurrently with prefill when a decode
     // replica can take the request right now (Fig. 1(d): this hides communication
@@ -73,6 +78,9 @@ pub(crate) fn start_prefill(cs: &mut ClusterState, replica: usize, now: f64) {
             let duration = cs.transfer_duration(group, cs.decode[target].group, &request);
             let end = cs.fabric.reserve_nic(replica, now, duration);
             cs.states[req].pipelined_transfer_end = Some(end);
+            if let Some(tel) = &mut cs.tel {
+                tel.transfer_started(replica, req, now, end - duration, end);
+            }
         }
     }
 

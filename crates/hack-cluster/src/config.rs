@@ -11,6 +11,7 @@
 
 use crate::fleet::{FleetSpec, GroupSet, ReplicaGroup};
 use crate::policy::PolicyConfig;
+use crate::telemetry::TelemetryConfig;
 use hack_model::cost::{CostParams, KvMethodProfile, ReplicaCostModel};
 use hack_model::gpu::GpuKind;
 use hack_model::parallelism::Parallelism;
@@ -314,6 +315,11 @@ pub struct SimulationConfig {
     pub policy: PolicyConfig,
     /// Optional decode-replica failure injected during the run.
     pub failure: Option<FailureSpec>,
+    /// Telemetry switch. [`TelemetryConfig::Off`] (the default) allocates no
+    /// recording state and is bit- and cost-identical to the pre-telemetry
+    /// simulator; `On` records lifecycle spans and periodic time-series
+    /// samples without perturbing the simulation.
+    pub telemetry: TelemetryConfig,
 }
 
 #[cfg(test)]

@@ -36,6 +36,12 @@ pub struct DecodeFinished {
     pub req: usize,
 }
 
+/// Periodic telemetry tick, self-addressed by the
+/// [`crate::telemetry::TelemetrySampler`]. Only exists in telemetry-enabled
+/// runs; the sampler re-arms itself each tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleTick;
+
 /// Fault injection: the destination decode replica goes down. Its in-flight
 /// requests are aborted and re-queued onto the remaining fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

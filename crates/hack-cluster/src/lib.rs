@@ -46,6 +46,7 @@ pub mod fleet;
 pub mod policy;
 pub mod result;
 pub mod sim;
+pub mod telemetry;
 
 pub use config::{ClusterConfig, FailureSpec, SimulationConfig};
 pub use fleet::{FleetSpec, GroupSet, ReplicaGroup, MAX_GROUPS};
@@ -55,3 +56,4 @@ pub use policy::{
 };
 pub use result::{GroupStats, RequestRecord, SimulationResult};
 pub use sim::{CostMode, Simulator};
+pub use telemetry::{TelemetryConfig, TelemetrySettings};

@@ -25,9 +25,11 @@ use crate::components::{
     ClusterState, DecodeReplicaState, PrefillReplicaState, ReqState, SimCosts,
 };
 use crate::config::SimulationConfig;
-use crate::events::{ReplicaFailed, ReplicaRecovered, RequestArrived};
+use crate::events::{ReplicaFailed, ReplicaRecovered, RequestArrived, SampleTick};
 use crate::result::{GroupStats, RequestRecord, SimulationResult};
+use crate::telemetry::{TelemetrySampler, TelemetryState};
 use hack_metrics::jct::JctBreakdown;
+use hack_metrics::telemetry::Telemetry;
 use hack_model::cost::{KvMethodProfile, ReplicaCostModel};
 use hack_model::cost_table::{DecodeCostTable, PrefillCostTable};
 use hack_sim::{EngineMode, EventRecord, Simulation};
@@ -196,6 +198,25 @@ impl Simulator {
         self.run_impl(mode, CostMode::Table, false).0
     }
 
+    /// Runs and returns the recorded [`Telemetry`] alongside the result —
+    /// `None` unless the configuration enables [`crate::TelemetryConfig`].
+    /// The result itself is bit-identical to [`Simulator::run`]: telemetry
+    /// records the simulation, it never perturbs it.
+    pub fn run_with_telemetry(&self) -> (SimulationResult, Option<Telemetry>) {
+        self.run_with_telemetry_modes(EngineMode::Slab, CostMode::Table)
+    }
+
+    /// [`Simulator::run_with_telemetry`] on explicit engine/cost modes (used
+    /// by the telemetry determinism tests).
+    pub fn run_with_telemetry_modes(
+        &self,
+        mode: EngineMode,
+        costs: CostMode,
+    ) -> (SimulationResult, Option<Telemetry>) {
+        let (result, _, _, telemetry) = self.run_impl(mode, costs, false);
+        (result, telemetry)
+    }
+
     /// Runs with an explicit cost-evaluation mode ([`CostMode::Reference`] is
     /// the pre-table summation path, kept for benchmarking and equivalence
     /// testing; results agree to ~1e-15 relative).
@@ -206,7 +227,7 @@ impl Simulator {
     /// Runs with structured event logging enabled, returning the full engine
     /// event trace alongside the result (used by the trace-equivalence tests).
     pub fn run_traced(&self, mode: EngineMode) -> (SimulationResult, Vec<EventRecord>) {
-        let (result, trace, _) = self.run_impl(mode, CostMode::Table, true);
+        let (result, trace, _, _) = self.run_impl(mode, CostMode::Table, true);
         (result, trace)
     }
 
@@ -222,7 +243,8 @@ impl Simulator {
     }
 
     #[cfg(test)]
-    fn run_boxed_impl(&self) -> (SimulationResult, Vec<EventRecord>, u64) {
+    #[allow(clippy::type_complexity)]
+    fn run_boxed_impl(&self) -> (SimulationResult, Vec<EventRecord>, u64, Option<Telemetry>) {
         let prev = FORCE_BOXED_POLICIES.with(|f| f.replace(true));
         let out = self.run_impl(EngineMode::Slab, CostMode::Table, false);
         FORCE_BOXED_POLICIES.with(|f| f.set(prev));
@@ -232,16 +254,17 @@ impl Simulator {
     /// Runs and also reports the number of engine events processed (used by the
     /// bench harness to size its workloads honestly).
     pub fn run_counted(&self, mode: EngineMode) -> (SimulationResult, u64) {
-        let (result, _, events) = self.run_impl(mode, CostMode::Table, false);
+        let (result, _, events, _) = self.run_impl(mode, CostMode::Table, false);
         (result, events)
     }
 
+    #[allow(clippy::type_complexity)]
     fn run_impl(
         &self,
         mode: EngineMode,
         costs: CostMode,
         capture_log: bool,
-    ) -> (SimulationResult, Vec<EventRecord>, u64) {
+    ) -> (SimulationResult, Vec<EventRecord>, u64, Option<Telemetry>) {
         let requests = self.requests.clone();
         let sim_costs = match costs {
             CostMode::Table => {
@@ -304,6 +327,12 @@ impl Simulator {
         let decode_ctxs: Vec<_> = (0..decode_replicas)
             .map(|i| sim.create_context(format!("decode-{i}")))
             .collect();
+        // The sampler context is created *after* every regular component, so a
+        // telemetry-off run assigns exactly the component ids it always did.
+        let telemetry_settings = self.config.telemetry.settings();
+        let sampler_ctx = telemetry_settings
+            .as_ref()
+            .map(|_| sim.create_context("telemetry-sampler"));
 
         let frontend_id = frontend_ctx.id();
         let decode_ids: Vec<_> = decode_ctxs.iter().map(|c| c.id()).collect();
@@ -347,6 +376,29 @@ impl Simulator {
         let decode_budgets: Vec<f64> = (0..cluster_cfg.fleet.decode.len())
             .map(|g| cluster_cfg.decode_group_kv_budget_bytes(g))
             .collect();
+
+        // Telemetry recording state: registered tracks/series for this cluster
+        // shape. The span/instant stores are pre-sized from the number of
+        // trace-sampled requests (~7 spans and ~2 instants per traced request
+        // lifecycle) so the recording hot path never reallocates.
+        let tel_state = telemetry_settings.map(|settings| {
+            let tenants = requests
+                .iter()
+                .map(|r| r.tenant.index())
+                .max()
+                .map_or(1, |m| m + 1);
+            let span_every = settings.resolved_span_every(requests.len());
+            let mut ts = TelemetryState::new(
+                prefill_replicas,
+                decode_replicas,
+                cluster_cfg.fleet.decode.len(),
+                tenants,
+                span_every,
+            );
+            let traced = requests.len() / span_every as usize + 1;
+            ts.tel.reserve_recording(8 * traced + 64, 3 * traced + 64);
+            ts
+        });
         let state = ClusterState {
             config: self.config,
             prefill_models: self.prefill_models.clone(),
@@ -384,8 +436,15 @@ impl Simulator {
             aborted_decode_by_group: vec![0.0; cluster_cfg.fleet.decode.len()],
             prefill_ctxs,
             decode_ctxs,
+            tel: tel_state,
         };
         let cluster = Rc::new(RefCell::new(state));
+        if telemetry_settings.is_some() {
+            // The blackboard doubles as the engine probe: auxiliary components
+            // (the sampler) observe the simulation through
+            // `SimulationContext::probe` instead of being wired into it.
+            sim.install_probe(cluster.clone());
+        }
 
         sim.add_handler(
             "frontend",
@@ -411,19 +470,66 @@ impl Simulator {
                 })),
             );
         }
+        let sampler_ticks = Rc::new(std::cell::Cell::new(0u64));
+        if let (Some(ctx), Some(settings)) = (sampler_ctx, telemetry_settings) {
+            // Seed the first tick at t=0 so every series starts at the origin;
+            // the sampler re-arms itself each tick.
+            ctx.emit_at(SampleTick, ctx.id(), 0.0);
+            sim.add_handler(
+                "telemetry-sampler",
+                Rc::new(RefCell::new(TelemetrySampler {
+                    ctx,
+                    interval: settings.sample_interval_secs.max(f64::MIN_POSITIVE),
+                    ticks: sampler_ticks.clone(),
+                })),
+            );
+        }
 
         // --- Drive the engine until every request is resolved — completed or
         // rejected by admission — (or the queue runs dry, e.g. under a
         // permanent failure of the whole decode fleet). ---
         let mut makespan = 0.0f64;
-        while {
-            let cs = cluster.borrow();
-            cs.completed + cs.rejected < num_requests
-        } {
-            if !sim.step() {
-                break;
+        if telemetry_settings.is_none() {
+            // The exact pre-telemetry loop: nothing on this path even looks at
+            // the sampler machinery.
+            while {
+                let cs = cluster.borrow();
+                cs.completed + cs.rejected < num_requests
+            } {
+                if !sim.step() {
+                    break;
+                }
+                makespan = makespan.max(sim.time());
             }
-            makespan = makespan.max(sim.time());
+        } else {
+            // The sampler keeps exactly one tick pending at all times, so the
+            // queue never runs dry on its own: when a delivered tick leaves
+            // nothing but its own re-arm behind (`queue_len() <= 1`) the
+            // simulation proper is over — the telemetry-off loop would have
+            // seen `step()` return false. That check only needs to run on
+            // tick-delivering steps (between ticks the queue always holds the
+            // pending tick plus at least one live event), which keeps the
+            // per-step cost of this loop at two counter loads over the
+            // telemetry-off loop. Steps that deliver a sampler tick are
+            // excluded from the makespan so it stays bit-identical to the
+            // telemetry-off run even when the run ends with the queue dry
+            // (e.g. a permanent whole-fleet failure): events are delivered in
+            // time order, so the surviving maximum is over exactly the same
+            // event set.
+            while {
+                let cs = cluster.borrow();
+                cs.completed + cs.rejected < num_requests
+            } {
+                let ticks_before = sampler_ticks.get();
+                if !sim.step() {
+                    break;
+                }
+                if sampler_ticks.get() == ticks_before {
+                    makespan = makespan.max(sim.time());
+                } else if sim.queue_len() <= 1 {
+                    break;
+                }
+            }
         }
 
         // --- Assemble records. ---
@@ -561,7 +667,8 @@ impl Simulator {
         };
         drop(cs);
         let events = sim.processed_count();
-        (result, sim.take_log(), events)
+        let telemetry = cluster.borrow_mut().tel.take().map(|ts| ts.tel);
+        (result, sim.take_log(), events, telemetry)
     }
 }
 
@@ -571,6 +678,7 @@ mod tests {
     use crate::config::{ClusterConfig, FailureSpec};
     use crate::fleet::{GroupSet, ReplicaGroup};
     use crate::policy::{DispatchPolicyKind, PolicyConfig};
+    use crate::telemetry::TelemetryConfig;
     use hack_model::gpu::GpuKind;
     use hack_model::spec::ModelKind;
     use hack_workload::dataset::Dataset;
@@ -595,6 +703,7 @@ mod tests {
             profile,
             policy: PolicyConfig::default(),
             failure: None,
+            telemetry: TelemetryConfig::Off,
         }
     }
 
@@ -752,6 +861,7 @@ mod tests {
                 profile: KvMethodProfile::baseline(),
                 policy: PolicyConfig::default(),
                 failure: None,
+                telemetry: TelemetryConfig::Off,
             };
             Simulator::new(cfg).run().average_ratios().communication
         };
@@ -856,6 +966,7 @@ mod tests {
             profile: KvMethodProfile::baseline(),
             policy: PolicyConfig::default(),
             failure: None,
+            telemetry: TelemetryConfig::Off,
         };
         let result = Simulator::new(cfg).run();
         assert_eq!(result.records.len(), 80);

@@ -10,7 +10,7 @@
 use hack_cluster::{
     AdmissionPolicyKind, ClusterConfig, CostMode, DispatchPolicyKind, FleetSpec, GroupSet,
     PolicyConfig, ReplicaGroup, SchedulingPolicyKind, SimulationConfig, SimulationResult,
-    Simulator, TenantClass, TenantClasses,
+    Simulator, TelemetryConfig, TenantClass, TenantClasses,
 };
 use hack_model::cost::{CostParams, KvMethodProfile};
 use hack_model::gpu::GpuKind;
@@ -63,6 +63,7 @@ fn sim_config(cluster: ClusterConfig, seed: u64, n: usize) -> SimulationConfig {
         profile: KvMethodProfile::hack(),
         policy: PolicyConfig::default(),
         failure: None,
+        telemetry: TelemetryConfig::Off,
     }
 }
 

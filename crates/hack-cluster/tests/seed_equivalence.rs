@@ -539,7 +539,7 @@ mod legacy {
     }
 }
 
-use hack_cluster::{ClusterConfig, PolicyConfig, SimulationConfig, Simulator};
+use hack_cluster::{ClusterConfig, PolicyConfig, SimulationConfig, Simulator, TelemetryConfig};
 use hack_model::cost::KvMethodProfile;
 use hack_model::gpu::GpuKind;
 use hack_model::spec::ModelKind;
@@ -637,6 +637,7 @@ fn config(
         profile,
         policy: PolicyConfig::default(),
         failure: None,
+        telemetry: TelemetryConfig::Off,
     }
 }
 
@@ -711,6 +712,7 @@ fn memory_pressure_and_swap_path_match_seed_simulator() {
         profile: KvMethodProfile::baseline(),
         policy: PolicyConfig::default(),
         failure: None,
+        telemetry: TelemetryConfig::Off,
     };
     assert_equivalent(cfg, "overload/swap");
 }

@@ -14,7 +14,7 @@ use crate::experiment::{ExperimentTable, Row};
 use crate::method::Method;
 use hack_cluster::{
     ClusterConfig, DispatchPolicyKind, GroupSet, GroupStats, PolicyConfig, ReplicaGroup,
-    SimulationConfig, SimulationResult, Simulator,
+    SimulationConfig, SimulationResult, Simulator, TelemetryConfig,
 };
 use hack_metrics::jct::JctStats;
 use hack_model::gpu::GpuKind;
@@ -99,6 +99,7 @@ impl HeteroFleetExperiment {
             profile: method.profile(),
             policy: PolicyConfig::dispatched(dispatch),
             failure: None,
+            telemetry: TelemetryConfig::Off,
         }
     }
 

@@ -7,6 +7,7 @@
 use crate::method::Method;
 use hack_cluster::{
     ClusterConfig, CostMode, FailureSpec, PolicyConfig, SimulationConfig, Simulator,
+    TelemetryConfig,
 };
 use hack_metrics::jct::{JctStats, StageRatios};
 use hack_model::gpu::GpuKind;
@@ -251,6 +252,7 @@ impl JctExperiment {
             profile: method.profile(),
             policy: PolicyConfig::default(),
             failure: self.failure,
+            telemetry: TelemetryConfig::Off,
         }
     }
 

@@ -56,8 +56,9 @@ pub mod prelude {
     pub use hack_cluster::{
         AdmissionPolicyKind, ClusterConfig, DispatchPolicyKind, FailureSpec, FleetSpec, GroupSet,
         GroupStats, PolicyConfig, ReplicaGroup, SchedulingPolicyKind, SimulationConfig, Simulator,
-        TenantClass, TenantClasses,
+        TelemetryConfig, TelemetrySettings, TenantClass, TenantClasses,
     };
+    pub use hack_metrics::telemetry::Telemetry;
     pub use hack_model::gpu::GpuKind;
     pub use hack_model::spec::ModelKind;
     pub use hack_quant::{HackConfig, QuantizedTensor};

@@ -13,7 +13,7 @@ use crate::experiment::{ExperimentTable, Row};
 use crate::method::Method;
 use hack_cluster::{
     AdmissionPolicyKind, PolicyConfig, SchedulingPolicyKind, SimulationConfig, SimulationResult,
-    Simulator, TenantClass, TenantClasses,
+    Simulator, TelemetryConfig, TenantClass, TenantClasses,
 };
 use hack_metrics::jct::JctStats;
 use hack_metrics::tenant::TenantSlo;
@@ -154,6 +154,7 @@ impl TenantMixExperiment {
                 scheduling,
             },
             failure: None,
+            telemetry: TelemetryConfig::Off,
         }
     }
 

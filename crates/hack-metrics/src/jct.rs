@@ -128,6 +128,8 @@ pub struct JctStats {
     pub p50: f64,
     /// 95th-percentile JCT.
     pub p95: f64,
+    /// 99th-percentile JCT.
+    pub p99: f64,
     /// Maximum JCT.
     pub max: f64,
     /// Mean per-stage breakdown (seconds, not ratios).
@@ -166,6 +168,7 @@ impl JctStats {
             mean,
             p50: pct(0.5),
             p95: pct(0.95),
+            p99: pct(0.99),
             max: *totals.last().unwrap(),
             mean_breakdown: mb,
         }
@@ -220,7 +223,8 @@ mod tests {
         let stats = JctStats::from_breakdowns(&breakdowns);
         assert_eq!(stats.count, 100);
         assert!(stats.p50 <= stats.p95);
-        assert!(stats.p95 <= stats.max);
+        assert!(stats.p95 <= stats.p99);
+        assert!(stats.p99 <= stats.max);
         assert!(stats.mean > 0.0);
         assert!((stats.mean_breakdown.queueing - 0.5).abs() < 1e-9);
     }

@@ -12,14 +12,19 @@
 //! * [`error`] — scalar error metrics on vectors (used by the fidelity harness).
 //! * [`tenant`] — per-tenant JCT grouping, Jain's fairness index and SLO-attainment
 //!   summaries for multi-tenant cluster runs.
+//! * [`telemetry`] — request-lifecycle spans, time-series probes and trace
+//!   exporters (Chrome trace-event JSON for Perfetto, CSV/JSON time-series
+//!   dumps).
 
 pub mod edit;
 pub mod error;
 pub mod jct;
 pub mod rouge;
+pub mod telemetry;
 pub mod tenant;
 
 pub use edit::edit_similarity;
 pub use jct::{average_ratios, JctBreakdown, JctStats, StageRatios};
 pub use rouge::rouge1_f1;
+pub use telemetry::{Histogram, InstantEvent, SeriesId, Span, Telemetry, TimeSeries, TrackId};
 pub use tenant::{jain_index, per_tenant_stats, slo_attainment, TenantSlo};

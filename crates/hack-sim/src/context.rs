@@ -89,6 +89,21 @@ impl SimulationContext {
     pub fn fork_rng(&self) -> DetRng {
         self.state.borrow_mut().rng().fork()
     }
+
+    /// Runs `f` against the engine probe installed with
+    /// [`crate::Simulation::install_probe`], handing it the current simulation
+    /// time. Returns `None` — without touching the clock, the queue or the
+    /// RNG — when no probe is installed or the installed probe is not a `T`,
+    /// so instrumentation guarded by `probe` is free when telemetry is off.
+    pub fn probe<T: Any, R>(&self, f: impl FnOnce(f64, &mut T) -> R) -> Option<R> {
+        let (probe, time) = {
+            let state = self.state.borrow();
+            let probe = Rc::clone(state.probe()?);
+            (probe, state.time())
+        };
+        let mut probe = probe.borrow_mut();
+        probe.downcast_mut::<T>().map(|t| f(time, t))
+    }
 }
 
 /// Wraps a payload according to the engine mode: inline-capable in the default

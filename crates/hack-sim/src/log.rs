@@ -34,21 +34,50 @@ pub struct EventRecord {
 }
 
 impl EventRecord {
-    /// Compact single-line rendering, e.g. for debugging failed runs.
+    /// Header line matching [`EventRecord::render_csv`]'s column order.
+    pub const CSV_HEADER: &'static str = "kind,time,id,src,dst,payload";
+
+    /// Strips module paths from the payload type for readability.
+    fn short_payload(&self) -> &'static str {
+        self.payload_type
+            .rsplit("::")
+            .next()
+            .unwrap_or(self.payload_type)
+    }
+
+    /// Compact single-line rendering, e.g. for debugging failed runs. All
+    /// columns are fixed-width so consecutive records line up.
     pub fn render(&self) -> String {
         let arrow = match self.kind {
             RecordKind::Emitted => "~>",
             RecordKind::Delivered => "->",
         };
-        // Strip module paths from the payload type for readability.
-        let short = self
-            .payload_type
-            .rsplit("::")
-            .next()
-            .unwrap_or(self.payload_type);
         format!(
-            "[{:>12.6}] #{} {} {} {} ({short})",
-            self.time, self.id, self.src, arrow, self.dst
+            "[{:>14.6}] #{:<8} {:>4} {} {:<4} ({})",
+            self.time,
+            self.id,
+            self.src,
+            arrow,
+            self.dst,
+            self.short_payload()
+        )
+    }
+
+    /// One CSV row (no trailing newline); columns per
+    /// [`EventRecord::CSV_HEADER`]. Times use full `f64` round-trip precision
+    /// so CSV dumps remain valid determinism evidence.
+    pub fn render_csv(&self) -> String {
+        let kind = match self.kind {
+            RecordKind::Emitted => "emit",
+            RecordKind::Delivered => "deliver",
+        };
+        format!(
+            "{kind},{},{},{},{},{}",
+            self.time,
+            self.id,
+            self.src,
+            self.dst,
+            self.short_payload()
         )
     }
 }

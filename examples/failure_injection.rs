@@ -42,6 +42,7 @@ fn main() {
         profile: Method::hack().profile(),
         policy: PolicyConfig::default(),
         failure: None,
+        telemetry: TelemetryConfig::Off,
     };
 
     println!("== Fault injection on the paper-default cluster (HACK, Cocktail) ==\n");

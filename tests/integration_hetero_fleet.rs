@@ -163,6 +163,7 @@ fn uniform_fleet_reproduces_legacy_jct_experiment_results() {
         profile: Method::hack().profile(),
         policy: PolicyConfig::default(),
         failure: None,
+        telemetry: TelemetryConfig::Off,
     };
     let direct = Simulator::new(legacy_config).run();
     let via_experiment = e.run(uniform, Method::hack(), DispatchPolicyKind::LeastLoaded);

@@ -384,6 +384,7 @@ fn random_sim_config(rng: &mut DetRng) -> SimulationConfig {
         } else {
             None
         },
+        telemetry: TelemetryConfig::Off,
     }
 }
 
