@@ -13,7 +13,9 @@
 //!   the `sim_cost` section (prefix-sum cost tables vs the reference
 //!   per-token summation loops: microbench, full cluster run, capacity
 //!   bisection), the `tenant_mix` scheduling grid, the `hetero_fleet`
-//!   mixed-vs-uniform dispatch grid, plus per-method end-to-end cluster runs.
+//!   mixed-vs-uniform dispatch grid, the `fault_storm` robustness grid with
+//!   its Flat-vs-LinkGraph fabric A/B, plus per-method end-to-end cluster
+//!   runs.
 //!
 //! `BENCH_SCALE=smoke` (or `--smoke`) shrinks every workload for CI; the JSON
 //! schema is identical. `--compare <baseline.json>` (repeatable) prints a
@@ -201,6 +203,49 @@ struct HeteroFleetReport {
     fastest_eligible_jct_gain_vs_least_loaded: f64,
 }
 
+/// One fault-storm scenario: wall-clock plus the resilience sensors.
+#[derive(Debug, Serialize)]
+struct FaultStormScenarioRun {
+    /// Scenario label, `fabric/fault` shaped (e.g. `graph/tor`).
+    scenario: String,
+    /// Best wall-clock seconds of one full simulation run.
+    secs: f64,
+    /// Average JCT of the run (seconds; deterministic).
+    average_jct: f64,
+    completed: usize,
+    aborted: usize,
+    transfer_retries: usize,
+    /// Replicas failed by the widest single fault of the scenario.
+    blast_radius: usize,
+    /// Completions per second inside the fault windows.
+    degraded_goodput: f64,
+    /// Memory-wait drain time after recovery (seconds).
+    recovery_drain_secs: f64,
+}
+
+/// The fault-storm section: the interleaved Flat vs LinkGraph fault-free A/B
+/// (what the flow-based fabric costs on the unchanged default path) plus one
+/// run per fault scenario with the resilience sensors. The `flat/no-fault`
+/// run is asserted bit-identical to the plain pre-topology simulation before
+/// timing, so this section doubles as the retained-reference guard at bench
+/// scale.
+#[derive(Debug, Serialize)]
+struct FaultStormReport {
+    requests: usize,
+    /// Best wall-clock of the fault-free run on the flat fabric.
+    flat_secs: f64,
+    /// Best wall-clock of the identical workload on the link-graph fabric.
+    graph_secs: f64,
+    /// `100 * (graph_secs / flat_secs - 1)`: the link-graph fabric's cost.
+    graph_overhead_percent: f64,
+    /// Average JCT of the `flat/no-fault` anchor. Deterministic, so
+    /// `--compare` flags *any* drift against the committed baseline as a
+    /// semantic regression rather than noise.
+    flat_avg_jct: f64,
+    /// One run per scenario of [`FaultStormExperiment::scenarios`].
+    runs: Vec<FaultStormScenarioRun>,
+}
+
 /// The telemetry A/B: the headline cluster run with [`TelemetryConfig::Off`]
 /// vs fully instrumented, same seed. `Off` must stay bit- and cost-identical
 /// to the pre-telemetry simulator, and the instrumented run must stay within
@@ -242,6 +287,9 @@ struct SimReport {
     /// The heterogeneous-fleet dispatch grid (see PERF.md, "Heterogeneous
     /// fleets").
     hetero_fleet: HeteroFleetReport,
+    /// The fault-storm robustness grid and the Flat-vs-LinkGraph fabric A/B
+    /// (see PERF.md, "Fault storms").
+    fault_storm: FaultStormReport,
     benches: Vec<Bench>,
 }
 
@@ -1061,6 +1109,100 @@ fn sim_benches(smoke: bool) -> SimReport {
         -100.0 * hetero_fleet.fastest_eligible_jct_gain_vs_least_loaded
     );
 
+    // --- fault_storm: the robustness grid. First the interleaved Flat vs
+    // LinkGraph A/B on the identical fault-free workload — what the flow-based
+    // fabric costs when nothing fails — then one run per fault scenario
+    // reporting the resilience sensors. Before timing, the flat/no-fault run
+    // is asserted bit-identical to the plain pre-topology simulation, so the
+    // bench doubles as the retained-reference guard at bench scale. ---
+    let mut storm = FaultStormExperiment::paper_storm();
+    if smoke {
+        storm.num_requests = 25;
+    }
+    let storm_scenarios = storm.scenarios();
+    let storm_iters = if smoke { 2 } else { 5 };
+    let flat_sim = Simulator::new(storm.simulation_config(&storm_scenarios[0], Method::hack()));
+    let graph_sim = Simulator::new(storm.simulation_config(&storm_scenarios[1], Method::hack()));
+    {
+        let mut legacy = storm.simulation_config(&storm_scenarios[0], Method::hack());
+        legacy.cluster = ClusterConfig::paper_default(storm.model, GpuKind::A10G);
+        assert_eq!(
+            flat_sim.run(),
+            Simulator::new(legacy).run(),
+            "the flat/no-fault anchor must be the pre-topology simulation, bit for bit"
+        );
+    }
+    // Interleaved A/B (flat, graph, flat, graph, ...), best-of per fabric.
+    black_box(flat_sim.run());
+    black_box(graph_sim.run());
+    let mut flat_secs = f64::INFINITY;
+    let mut graph_secs = f64::INFINITY;
+    for _ in 0..storm_iters {
+        let start = Instant::now();
+        black_box(flat_sim.run());
+        flat_secs = flat_secs.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        black_box(graph_sim.run());
+        graph_secs = graph_secs.min(start.elapsed().as_secs_f64());
+    }
+    let mut storm_runs = Vec::new();
+    for (i, scenario) in storm_scenarios.iter().enumerate() {
+        let simulator = Simulator::new(storm.simulation_config(scenario, Method::hack()));
+        // The two fault-free rows reuse the interleaved A/B timings.
+        let secs = match i {
+            0 => flat_secs,
+            1 => graph_secs,
+            _ => time_iters(storm_iters, || simulator.run()),
+        };
+        let outcome = FaultStormOutcome::from_result(scenario.label, simulator.run());
+        push(
+            &mut benches,
+            "fault_storm/cluster_run",
+            format!(
+                "scenario={},requests={}",
+                scenario.label, storm.num_requests
+            ),
+            storm_iters,
+            secs,
+        );
+        storm_runs.push(FaultStormScenarioRun {
+            scenario: outcome.label,
+            secs,
+            average_jct: outcome.average_jct,
+            completed: outcome.completed,
+            aborted: outcome.aborted,
+            transfer_retries: outcome.transfer_retries,
+            blast_radius: outcome.blast_radius,
+            degraded_goodput: outcome.degraded_goodput,
+            recovery_drain_secs: outcome.recovery_drain_secs,
+        });
+    }
+    let fault_storm = FaultStormReport {
+        requests: storm.num_requests,
+        flat_secs,
+        graph_secs,
+        graph_overhead_percent: 100.0 * (graph_secs / flat_secs - 1.0),
+        flat_avg_jct: storm_runs[0].average_jct,
+        runs: storm_runs,
+    };
+    let blast = |label: &str| {
+        fault_storm
+            .runs
+            .iter()
+            .find(|r| r.scenario == label)
+            .map_or(0, |r| r.blast_radius)
+    };
+    println!(
+        "  fault_storm: flat {:.3}s vs graph {:.3}s ({:+.2}% fabric overhead); \
+         blast radius tor {} / nic {} / spine {}",
+        fault_storm.flat_secs,
+        fault_storm.graph_secs,
+        fault_storm.graph_overhead_percent,
+        blast("graph/tor"),
+        blast("graph/nic"),
+        blast("graph/spine")
+    );
+
     // --- Per-method end-to-end runs (ported from benches/simulator.rs). ---
     let per_method_requests = if smoke { 10 } else { 200 };
     for method in Method::main_comparison() {
@@ -1080,7 +1222,7 @@ fn sim_benches(smoke: bool) -> SimReport {
     }
 
     SimReport {
-        schema: "hack-bench/sim/v5",
+        schema: "hack-bench/sim/v6",
         scale: if smoke { "smoke" } else { "full" },
         cluster_run_requests: requests,
         engine_cluster_run,
@@ -1093,6 +1235,7 @@ fn sim_benches(smoke: bool) -> SimReport {
         },
         tenant_mix,
         hetero_fleet,
+        fault_storm,
         benches,
     }
 }
@@ -1119,6 +1262,9 @@ mod compare {
     /// telemetry-off run (an absolute budget, not a relative-to-baseline one:
     /// the retained-reference claim is "under 5% at full scale").
     const TELEMETRY_OVERHEAD_FLAG_PERCENT: f64 = 5.0;
+    /// Flag the link-graph fabric when the fault-free run costs more than
+    /// this over the flat fabric (the flow bookkeeping should stay cheap).
+    const FABRIC_OVERHEAD_FLAG_PERCENT: f64 = 10.0;
 
     /// Loads a baseline JSON, warning (not failing) on any problem.
     pub fn load(path: &str) -> Option<Value> {
@@ -1343,6 +1489,42 @@ mod compare {
                         lookup(baseline, &path).and_then(Value::as_f64),
                         lookup(current, &path).and_then(Value::as_f64),
                     );
+                }
+                // fault_storm: what the link-graph fabric costs over the flat
+                // one on the identical fault-free workload. Like the telemetry
+                // budget this is an absolute check, not relative-to-baseline,
+                // and only a full-scale ratio is meaningful.
+                if let Some(overhead) = lookup(current, &["fault_storm", "graph_overhead_percent"])
+                    .and_then(Value::as_f64)
+                {
+                    let full_scale =
+                        lookup(current, &["scale"]).and_then(Value::as_str) == Some("full");
+                    let verdict = if overhead <= FABRIC_OVERHEAD_FLAG_PERCENT {
+                        "ok"
+                    } else if full_scale {
+                        "REGRESSION?"
+                    } else {
+                        "smoke scale, informational (budget applies at full scale)"
+                    };
+                    println!(
+                        "  [headline] {:<44} {overhead:>8.2}% (budget {FABRIC_OVERHEAD_FLAG_PERCENT:.0}%)  {verdict}",
+                        "fault_storm.graph_overhead_percent"
+                    );
+                }
+                // The flat/no-fault anchor is deterministic: at equal scale,
+                // *any* average-JCT drift against the committed baseline is a
+                // semantic regression of the unchanged path, not noise.
+                if b_scale == c_scale {
+                    let flat = |v: &Value| {
+                        lookup(v, &["fault_storm", "flat_avg_jct"]).and_then(Value::as_f64)
+                    };
+                    if let (Some(b), Some(c)) = (flat(baseline), flat(current)) {
+                        let verdict = if b == c { "ok" } else { "DRIFT?" };
+                        println!(
+                            "  [headline] {:<44} {b:>9.3} -> {c:>9.3}  {verdict} (must be exact)",
+                            "fault_storm.flat_avg_jct"
+                        );
+                    }
                 }
             }
             _ => println!("  [compare] unknown schema in current report"),

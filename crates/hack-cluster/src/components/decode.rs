@@ -1,7 +1,9 @@
 //! Decode-side memory accounting, batching, completion — and failures.
 
 use crate::components::ClusterState;
-use crate::events::{DecodeFinished, ReplicaFailed, ReplicaRecovered, TransferCompleted};
+use crate::events::{
+    DecodeFinished, FlowCompleted, ReplicaFailed, ReplicaRecovered, TransferCompleted,
+};
 use hack_sim::{Event, EventHandler};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -14,6 +16,30 @@ use std::rc::Rc;
 pub(crate) struct DecodeReplica {
     pub index: usize,
     pub cluster: Rc<RefCell<ClusterState>>,
+}
+
+/// Admits `req` into replica `d`'s continuous batch: memory already reserved,
+/// KV data fully landed. Shared by the flat fabric's [`TransferCompleted`]
+/// path and the link-graph fabric's [`FlowCompleted`] path.
+fn admit_to_batch(cs: &mut ClusterState, d: usize, req: usize, now: f64) {
+    cs.decode[d].active += 1;
+    cs.decode[d].resident_tokens += cs.requests[req].total_tokens();
+    let group = cs.decode[d].group;
+    let (decode_t, dequant_t) = cs.decode_durations(group, &cs.requests[req]);
+    // Congestion: when more sequences are resident than the group's
+    // nominal batch, every iteration takes proportionally longer.
+    let nominal = cs.decode_models[group].params.decode_batch;
+    let congestion = (cs.decode[d].active as f64 / nominal).max(1.0);
+    let decode_t = decode_t * congestion;
+    let dequant_t = dequant_t * congestion;
+    cs.states[req].decode_time = decode_t;
+    cs.states[req].dequant_time = dequant_t;
+    let finish = cs.decode_ctxs[d].emit_at(
+        DecodeFinished { req },
+        cs.decode_ctxs[d].id(),
+        now + decode_t + dequant_t,
+    );
+    cs.states[req].pending_decode = Some((finish, now));
 }
 
 impl DecodeReplica {
@@ -40,25 +66,47 @@ impl DecodeReplica {
         if let Some(tel) = &mut cs.tel {
             tel.transfer_landed();
         }
+        admit_to_batch(&mut cs, d, req, now);
+    }
 
-        cs.decode[d].active += 1;
-        cs.decode[d].resident_tokens += cs.requests[req].total_tokens();
-        let group = cs.decode[d].group;
-        let (decode_t, dequant_t) = cs.decode_durations(group, &cs.requests[req]);
-        // Congestion: when more sequences are resident than the group's
-        // nominal batch, every iteration takes proportionally longer.
-        let nominal = cs.decode_models[group].params.decode_batch;
-        let congestion = (cs.decode[d].active as f64 / nominal).max(1.0);
-        let decode_t = decode_t * congestion;
-        let dequant_t = dequant_t * congestion;
-        cs.states[req].decode_time = decode_t;
-        cs.states[req].dequant_time = dequant_t;
-        let finish = cs.decode_ctxs[d].emit_at(
-            DecodeFinished { req },
-            cs.decode_ctxs[d].id(),
-            now + decode_t + dequant_t,
-        );
-        cs.states[req].pending_decode = Some((finish, now));
+    /// A fair-shared flow delivered its last byte (link-graph fabric only).
+    fn on_flow_completed(&self, req: usize, now: f64) {
+        let d = self.index;
+        let mut cs = self.cluster.borrow_mut();
+        let cs = &mut *cs;
+        let flow = cs.fabric.finish_flow(req, now);
+
+        if cs.states[req].transfer_start.is_none() {
+            // Pipelined flow landing while its prefill still runs: record the
+            // landing; `PrefillFinished` admits it with zero exposed
+            // communication (the in-flight gauge drops on that delivery).
+            cs.states[req].pipelined_transfer_end = Some(now);
+            return;
+        }
+        // Exposed communication: from the charging epoch's start (reservation,
+        // or prefill completion for pipelined flows) to the landing — backoff
+        // gaps and aborted partial attempts included.
+        let t0 = cs.states[req].transfer_start.take().expect("checked above");
+        cs.states[req].comm_time += now - t0;
+        cs.states[req].transfer_remaining = None;
+        if let Some(tel) = &mut cs.tel {
+            if let Some(f) = &flow {
+                tel.flow_finished(f.src, req, f.started, now);
+            }
+            tel.transfer_landed();
+        }
+
+        if cs.decode[d].failed || !cs.states[req].reserved {
+            // Same as the flat fabric's landed-on-a-dead-replica path.
+            cs.states[req].requeues += 1;
+            cs.requeued += 1;
+            if let Some(tel) = &mut cs.tel {
+                tel.requeued(d, req, now);
+            }
+            cs.try_dispatch_to_decode(req, now);
+            return;
+        }
+        admit_to_batch(cs, d, req, now);
     }
 
     fn on_decode_finished(&self, req: usize, now: f64) {
@@ -84,7 +132,7 @@ impl DecodeReplica {
         cs.drain_waiting(now);
     }
 
-    fn on_failed(&self, now: f64) {
+    fn on_failed(&self, fault: usize, now: f64) {
         let d = self.index;
         let mut cs = self.cluster.borrow_mut();
         cs.injected_failures += 1;
@@ -92,6 +140,20 @@ impl DecodeReplica {
         if let Some(tel) = &mut cs.tel {
             tel.replica_failed(d, now);
         }
+
+        // Blast radius: every request whose reservation this replica held —
+        // in-flight decodes plus transfers still heading here. Transfers the
+        // same fault's fabric cut already aborted (they carry partial
+        // progress in `transfer_remaining`) are not counted twice.
+        let affected = (0..cs.states.len())
+            .filter(|&r| {
+                !cs.states[r].done
+                    && cs.states[r].decode_replica == d
+                    && cs.states[r].reserved
+                    && cs.states[r].transfer_remaining.is_none()
+            })
+            .count();
+        cs.fault_tallies[fault].requests_aborted += affected;
 
         // Abort every in-flight decode on this replica: cancel its completion
         // event and charge the wasted time to the decode stage.
@@ -139,12 +201,17 @@ impl DecodeReplica {
         }
     }
 
-    fn on_recovered(&self, now: f64) {
+    fn on_recovered(&self, fault: usize, now: f64) {
         let d = self.index;
         let mut cs = self.cluster.borrow_mut();
         cs.decode[d].failed = false;
         if let Some(tel) = &mut cs.tel {
             tel.replica_recovered(d, now);
+        }
+        // Recovery-drain sensor: when requests queued for memory during the
+        // outage, time how long the queue takes to empty from here.
+        if !cs.waiting_for_memory.is_empty() {
+            cs.pending_drain.push((fault, now));
         }
         // Freshly available capacity: admit waiting requests.
         cs.drain_waiting(now);
@@ -156,12 +223,14 @@ impl EventHandler for DecodeReplica {
         let now = event.time;
         if let Some(&TransferCompleted { req }) = event.get::<TransferCompleted>() {
             self.on_transfer_completed(req, now);
+        } else if let Some(&FlowCompleted { req }) = event.get::<FlowCompleted>() {
+            self.on_flow_completed(req, now);
         } else if let Some(&DecodeFinished { req }) = event.get::<DecodeFinished>() {
             self.on_decode_finished(req, now);
-        } else if event.is::<ReplicaFailed>() {
-            self.on_failed(now);
-        } else if event.is::<ReplicaRecovered>() {
-            self.on_recovered(now);
+        } else if let Some(&ReplicaFailed { fault }) = event.get::<ReplicaFailed>() {
+            self.on_failed(fault, now);
+        } else if let Some(&ReplicaRecovered { fault }) = event.get::<ReplicaRecovered>() {
+            self.on_recovered(fault, now);
         }
     }
 }

@@ -1,7 +1,9 @@
-//! Admission and replica-aware dispatch of arriving requests.
+//! Admission and replica-aware dispatch of arriving requests — and, under
+//! fault injection, the fabric fault/recovery and transfer-retry control
+//! events.
 
 use crate::components::{prefill, ClusterState};
-use crate::events::RequestArrived;
+use crate::events::{FabricFault, FabricRecovered, RequestArrived, TransferRetry};
 use crate::policy::ReplicaLoad;
 use hack_sim::{Event, EventHandler};
 use std::cell::RefCell;
@@ -10,21 +12,50 @@ use std::rc::Rc;
 /// The cluster frontend: receives [`RequestArrived`] events, asks the run's
 /// [`crate::policy::AdmissionPolicy`] whether the request enters at all, and
 /// dispatches admitted requests onto the prefill fleet — by default to the
-/// replica with the shortest queue by queued tokens (§7.1), or through the
-/// run's [`crate::policy::DispatchPolicy`], which sees every replica's group,
-/// backlog and per-group service speed (heterogeneous fleets). The chosen
-/// replica is kicked if idle; *which* queued request a replica serves next is
-/// the scheduling policy's decision (see [`prefill::start_prefill`]).
+/// live replica with the shortest queue by queued tokens (§7.1), or through
+/// the run's [`crate::policy::DispatchPolicy`], which sees every replica's
+/// group, backlog and per-group service speed (heterogeneous fleets). The
+/// chosen replica is kicked if idle; *which* queued request a replica serves
+/// next is the scheduling policy's decision (see [`prefill::start_prefill`]).
+///
+/// The frontend is also the addressee of the fault-plan control events that
+/// concern no single replica: [`FabricFault`]/[`FabricRecovered`] (link
+/// liveness and flow aborts) and [`TransferRetry`] (the seeded-backoff retry
+/// chain of aborted KV transfers).
 pub(crate) struct Frontend {
     pub cluster: Rc<RefCell<ClusterState>>,
+}
+
+/// Dispatches an admitted request onto the prefill fleet (or parks it in
+/// `waiting_for_prefill` when every replica is down — drained on recovery).
+/// Shared by the arrival path and prefill-failure re-routing.
+pub(crate) fn dispatch_to_prefill(cs: &mut ClusterState, req: usize, now: f64) {
+    let replica = if cs.dispatch.is_some() {
+        Frontend::route_with_policy(cs, req, now)
+    } else {
+        Frontend::route(cs, req)
+    };
+    let Some(replica) = replica else {
+        cs.waiting_for_prefill.push_back(req);
+        return;
+    };
+    cs.states[req].prefill_replica = replica;
+    let tenant = cs.requests[req].tenant.index();
+    cs.prefill[replica].queue.push(req, tenant);
+    cs.prefill[replica].queued_tokens += cs.requests[req].input_len;
+    if !cs.prefill[replica].busy {
+        prefill::start_prefill(cs, replica, now);
+    }
 }
 
 impl Frontend {
     /// Built-in least-loaded routing (the pre-fleet default, no policy call):
     /// pending tokens per replica, counting the in-service request of a busy
-    /// replica at this request's own length.
-    fn route(cs: &ClusterState, req: usize) -> usize {
+    /// replica at this request's own length. Failed replicas never qualify;
+    /// `None` means the whole fleet is down.
+    fn route(cs: &ClusterState, req: usize) -> Option<usize> {
         (0..cs.prefill.len())
+            .filter(|&r| !cs.prefill[r].failed)
             .min_by_key(|&r| {
                 cs.prefill[r].queued_tokens
                     + if cs.prefill[r].busy {
@@ -33,13 +64,14 @@ impl Frontend {
                         0
                     }
             })
-            .expect("cluster has at least one prefill replica")
     }
 
     /// Policy-driven routing: assemble the per-replica load views (group,
     /// backlog, this request's estimated service time on the replica's group)
-    /// and delegate. Only non-default dispatch policies pay this.
-    fn route_with_policy(cs: &mut ClusterState, req: usize, now: f64) -> usize {
+    /// and delegate. Only non-default dispatch policies pay this. A policy
+    /// that routes onto a failed replica falls back to built-in live-replica
+    /// routing (policies predate fault awareness).
+    fn route_with_policy(cs: &mut ClusterState, req: usize, now: f64) -> Option<usize> {
         let mut policy = cs
             .dispatch
             .take()
@@ -66,16 +98,13 @@ impl Frontend {
             "dispatch policy routed to replica {replica} of {}",
             cs.prefill.len()
         );
-        replica
+        if cs.prefill[replica].failed {
+            return Self::route(cs, req);
+        }
+        Some(replica)
     }
-}
 
-impl EventHandler for Frontend {
-    fn on(&mut self, event: Event) {
-        let Some(&RequestArrived { req }) = event.get::<RequestArrived>() else {
-            return;
-        };
-        let now = event.time;
+    fn on_arrival(&self, req: usize, now: f64) {
         let mut cs = self.cluster.borrow_mut();
         let cs = &mut *cs;
         // `None` is the built-in admit-everything default: no policy call on
@@ -83,6 +112,7 @@ impl EventHandler for Frontend {
         if let Some(admission) = cs.admission.as_mut() {
             if !admission.admit(&cs.requests[req], now) {
                 cs.rejected += 1;
+                cs.states[req].rejected = true;
                 cs.rejected_per_tenant[cs.requests[req].tenant.index()] += 1;
                 if let Some(tel) = &mut cs.tel {
                     tel.request_rejected(req, now);
@@ -90,23 +120,107 @@ impl EventHandler for Frontend {
                 return;
             }
         }
-        // `None` dispatch is the built-in least-loaded default: no load-view
-        // assembly, no policy call.
-        let replica = if cs.dispatch.is_some() {
-            Self::route_with_policy(cs, req, now)
-        } else {
-            Self::route(cs, req)
-        };
-        cs.states[req].prefill_replica = replica;
         let tenant = cs.requests[req].tenant.index();
         if let Some(tel) = &mut cs.tel {
             tel.request_arrived(req, now);
             tel.tenant_enqueued(tenant);
         }
-        cs.prefill[replica].queue.push(req, tenant);
-        cs.prefill[replica].queued_tokens += cs.requests[req].input_len;
-        if !cs.prefill[replica].busy {
-            prefill::start_prefill(cs, replica, now);
+        dispatch_to_prefill(cs, req, now);
+    }
+
+    /// A fault plan event cut this fault's links: every in-flight flow
+    /// crossing them aborts with partial progress and enters the retry chain.
+    fn on_fabric_fault(&self, fault: usize, now: f64) {
+        let mut cs = self.cluster.borrow_mut();
+        let cs = &mut *cs;
+        cs.injected_failures += 1;
+        let domain = cs.config.faults.get(fault).domain;
+        let links = cs.fabric.links_for_domain(domain);
+        cs.fabric.set_links(&links, false);
+        if let Some(tel) = &mut cs.tel {
+            tel.fabric_fault(fault, now);
+        }
+        for (req, flow) in cs.fabric.abort_dead_flows(now) {
+            cs.fault_tallies[fault].requests_aborted += 1;
+            cs.states[req].transfer_remaining = Some(flow.remaining);
+            if let Some(tel) = &mut cs.tel {
+                tel.transfer_aborted(flow.src, req, flow.started, now);
+            }
+            cs.schedule_retry(req, now);
+        }
+    }
+
+    fn on_fabric_recovered(&self, fault: usize, now: f64) {
+        let mut cs = self.cluster.borrow_mut();
+        let cs = &mut *cs;
+        let domain = cs.config.faults.get(fault).domain;
+        let links = cs.fabric.links_for_domain(domain);
+        cs.fabric.set_links(&links, true);
+        if let Some(tel) = &mut cs.tel {
+            tel.fabric_recovered(fault, now);
+        }
+    }
+
+    /// The seeded backoff of an aborted transfer elapsed: restart the flow
+    /// over the surviving path, re-enter the backoff if the path is still
+    /// dead, or — when the reservation died with its replica — dispatch the
+    /// request afresh.
+    fn on_transfer_retry(&self, req: usize, now: f64) {
+        let mut cs = self.cluster.borrow_mut();
+        let cs = &mut *cs;
+        if cs.states[req].done || cs.states[req].abandoned {
+            return;
+        }
+        // A cleared `transfer_remaining` marks the retry as stale (the
+        // request was re-dispatched through another path meanwhile).
+        let Some(volume) = cs.states[req].transfer_remaining else {
+            return;
+        };
+        if !cs.states[req].reserved {
+            // The target decode replica failed during the backoff and took
+            // the reservation with it: start the dispatch over.
+            cs.states[req].transfer_remaining = None;
+            if let Some(t0) = cs.states[req].transfer_start.take() {
+                cs.states[req].comm_time += now - t0;
+            }
+            cs.try_dispatch_to_decode(req, now);
+            return;
+        }
+        let replica = cs.states[req].prefill_replica;
+        let target = cs.states[req].decode_replica;
+        if cs.fabric.path_alive(replica, target) {
+            cs.states[req].transfer_remaining = None;
+            // Note: `transfer_start` is left untouched — the communication
+            // charging epoch spans aborts and backoff gaps.
+            let started = cs.fabric.start_flow(
+                req,
+                replica,
+                target,
+                cs.decode_ctxs[target].id(),
+                volume,
+                now,
+            );
+            debug_assert!(started, "path checked alive");
+            if let Some(tel) = &mut cs.tel {
+                tel.flow_started(replica);
+            }
+        } else {
+            cs.schedule_retry(req, now);
+        }
+    }
+}
+
+impl EventHandler for Frontend {
+    fn on(&mut self, event: Event) {
+        let now = event.time;
+        if let Some(&RequestArrived { req }) = event.get::<RequestArrived>() {
+            self.on_arrival(req, now);
+        } else if let Some(&TransferRetry { req }) = event.get::<TransferRetry>() {
+            self.on_transfer_retry(req, now);
+        } else if let Some(&FabricFault { fault }) = event.get::<FabricFault>() {
+            self.on_fabric_fault(fault, now);
+        } else if let Some(&FabricRecovered { fault }) = event.get::<FabricRecovered>() {
+            self.on_fabric_recovered(fault, now);
         }
     }
 }

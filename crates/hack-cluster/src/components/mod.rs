@@ -29,12 +29,13 @@ pub(crate) mod network;
 pub(crate) mod prefill;
 
 use crate::config::SimulationConfig;
-use crate::events::TransferCompleted;
+use crate::events::{RequestArrived, TransferCompleted, TransferRetry};
 use crate::policy::{AdmissionPolicy, DispatchPolicy, SchedulingPolicy, MAX_TENANTS};
 use crate::sim::CostMode;
+use crate::topology::{retry_backoff, MAX_READMISSIONS, MAX_TRANSFER_ATTEMPTS};
 use hack_model::cost::{KvMethodProfile, ReplicaCostModel};
 use hack_model::cost_table::{DecodeCostTable, PrefillCostTable};
-use hack_sim::{EventId, SimulationContext};
+use hack_sim::{ComponentId, EventId, SimulationContext};
 use hack_workload::trace::Request;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -157,6 +158,20 @@ impl PrefillQueue {
         self.len
     }
 
+    /// Empties the queue, returning every queued request in arrival order
+    /// (request indices ascend with arrival, so sorting restores the global
+    /// order across per-tenant sub-queues). Used when a prefill replica fails
+    /// and its queue re-routes.
+    pub fn drain_all(&mut self) -> Vec<usize> {
+        let mut all: Vec<usize> = match &mut self.by_tenant {
+            Some(queues) => queues.iter_mut().flat_map(|q| q.drain(..)).collect(),
+            None => self.fifo.drain(..).collect(),
+        };
+        all.sort_unstable();
+        self.len = 0;
+        all
+    }
+
     /// Whether nothing is queued.
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -171,6 +186,10 @@ pub(crate) struct PrefillReplicaState {
     pub queue: PrefillQueue,
     pub queued_tokens: usize,
     pub busy: bool,
+    /// Whether the replica is currently failed (fault injection).
+    pub failed: bool,
+    /// The request currently in prefill service (cancellable on failure).
+    pub current: Option<usize>,
 }
 
 impl PrefillReplicaState {
@@ -180,6 +199,8 @@ impl PrefillReplicaState {
             queue: PrefillQueue::new(per_tenant_queue),
             queued_tokens: 0,
             busy: false,
+            failed: false,
+            current: None,
         }
     }
 }
@@ -223,11 +244,68 @@ pub(crate) struct ReqState {
     /// Pending `DecodeFinished` event (cancellable on replica failure) and the
     /// time decoding started.
     pub pending_decode: Option<(EventId, f64)>,
+    /// Pending `PrefillFinished` event (cancellable on prefill-replica
+    /// failure).
+    pub pending_prefill: Option<EventId>,
+    /// When communication charging started for the current transfer flow
+    /// (link-graph fabric; `None` while the flow hides under prefill).
+    pub transfer_start: Option<f64>,
+    /// Partial progress of an aborted flow: the volume (Gbps-seconds) still
+    /// to move when it retries toward the *same* reservation. Dropped when
+    /// the request re-targets.
+    pub transfer_remaining: Option<f64>,
+    /// Transfer attempts consumed (aborts + failed restarts); feeds the retry
+    /// histogram.
+    pub transfer_attempts: u32,
+    /// Times the request re-entered admission after exhausting retries.
+    pub readmissions: u32,
     pub finish_time: f64,
     pub done: bool,
     pub swapped: bool,
+    /// Rejected by admission (terminal).
+    pub rejected: bool,
+    /// Permanently aborted: retries and re-admissions exhausted, or stranded
+    /// by a permanent fault (terminal).
+    pub abandoned: bool,
     /// How many times the request was re-queued by a replica failure.
     pub requeues: usize,
+}
+
+impl ReqState {
+    /// Clears the per-stage charges of an aborted journey before the request
+    /// re-enters admission: its next prefill start recomputes the queueing
+    /// wait from the original arrival, so everything spent on the failed
+    /// journey collapses into queueing time and the breakdown keeps summing
+    /// to the JCT. Terminal flags, counters and placement survive.
+    pub fn reset_for_readmission(&mut self) {
+        self.prefill_wait = 0.0;
+        self.prefill_time = 0.0;
+        self.quant_time = 0.0;
+        self.comm_time = 0.0;
+        self.memory_wait = 0.0;
+        self.dequant_time = 0.0;
+        self.decode_time = 0.0;
+        self.aborted_decode = 0.0;
+        self.pipelined_transfer_end = None;
+        self.memory_wait_start = None;
+        self.transfer_start = None;
+        self.transfer_remaining = None;
+    }
+}
+
+/// Per-fault blast-radius bookkeeping, accumulated while the run executes and
+/// folded into [`crate::result::FaultRecord`]s afterwards.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FaultTally {
+    /// Replicas (prefill + decode) this fault took down, precomputed at
+    /// seeding time.
+    pub replicas_affected: usize,
+    /// Requests whose in-flight work (prefill, transfer, or decode) this
+    /// fault aborted.
+    pub requests_aborted: usize,
+    /// Seconds from the fault's recovery until the memory-wait queue next
+    /// drained (0 when it was already empty).
+    pub recovery_drain: f64,
 }
 
 /// Shared blackboard of the cluster components: the request trace, per-replica
@@ -260,6 +338,9 @@ pub(crate) struct ClusterState {
     pub decode: Vec<DecodeReplicaState>,
     pub states: Vec<ReqState>,
     pub waiting_for_memory: VecDeque<usize>,
+    /// Requests that could not route to any live prefill replica (whole
+    /// prefill fleet down); drained on prefill recovery.
+    pub waiting_for_prefill: VecDeque<usize>,
     pub fabric: network::NetworkFabric,
     pub completed: usize,
     pub rejected: usize,
@@ -268,6 +349,19 @@ pub(crate) struct ClusterState {
     pub swapped: usize,
     pub requeued: usize,
     pub injected_failures: usize,
+    /// Total transfer retries scheduled (aborts + failed restarts).
+    pub retries: usize,
+    /// Requests permanently aborted after exhausting retries and
+    /// re-admissions.
+    pub gave_up: usize,
+    /// One tally per event of the run's fault plan (empty without faults).
+    pub fault_tallies: Vec<FaultTally>,
+    /// Faults whose recovery is waiting for the memory-wait queue to drain:
+    /// `(fault index, recovery time)`.
+    pub pending_drain: Vec<(usize, f64)>,
+    /// Engine address of the frontend (destination of re-admissions and
+    /// transfer retries). `None` only during construction.
+    pub frontend_id: Option<ComponentId>,
     /// Decode seconds wasted by failure-aborted attempts, per decode *group*
     /// — the group that actually spent the time, which under re-dispatch can
     /// differ from the group that eventually completes the request (the
@@ -398,6 +492,10 @@ impl ClusterState {
         self.states[req].reserved = true;
 
         let replica = self.states[req].prefill_replica;
+        if self.fabric.graph_enabled() {
+            self.start_transfer_flow(req, replica, target, now);
+            return;
+        }
         let duration = self.transfer_duration(
             self.prefill[replica].group,
             self.decode[target].group,
@@ -417,6 +515,113 @@ impl ClusterState {
         );
     }
 
+    /// The volume of `req`'s KV transfer in Gbps-seconds: the wire time is
+    /// linear in inverse bandwidth, so the memoized min-NIC duration times
+    /// that bandwidth is the bandwidth-independent volume a fair-shared flow
+    /// must move.
+    pub fn transfer_volume(&self, prefill_group: usize, decode_group: usize, req: usize) -> f64 {
+        let fleet = &self.config.cluster.fleet;
+        let gbps = fleet
+            .prefill
+            .get(prefill_group)
+            .network_gbps
+            .min(fleet.decode.get(decode_group).network_gbps);
+        self.transfer_duration(prefill_group, decode_group, &self.requests[req]) * gbps
+    }
+
+    /// Starts (or fails to start) the fair-shared flow of `req` from prefill
+    /// replica `replica` to decode replica `target` (link-graph fabric). A
+    /// dead path schedules a seeded-backoff retry instead.
+    pub fn start_transfer_flow(&mut self, req: usize, replica: usize, target: usize, now: f64) {
+        debug_assert!(
+            !self.fabric.has_flow(req),
+            "request {req} already has an active flow"
+        );
+        let volume = self.states[req]
+            .transfer_remaining
+            .take()
+            .unwrap_or_else(|| {
+                self.transfer_volume(self.prefill[replica].group, self.decode[target].group, req)
+            });
+        self.states[req].transfer_start = Some(now);
+        if self.fabric.start_flow(
+            req,
+            replica,
+            target,
+            self.decode_ctxs[target].id(),
+            volume,
+            now,
+        ) {
+            if let Some(tel) = &mut self.tel {
+                tel.flow_started(replica);
+            }
+        } else {
+            self.states[req].transfer_remaining = Some(volume);
+            self.schedule_retry(req, now);
+        }
+    }
+
+    /// Schedules the next retry of `req`'s transfer after a deterministic
+    /// seeded backoff, or — once [`MAX_TRANSFER_ATTEMPTS`] are spent — gives
+    /// the reservation up and sends the request back through admission.
+    pub fn schedule_retry(&mut self, req: usize, now: f64) {
+        if self.states[req].transfer_attempts >= MAX_TRANSFER_ATTEMPTS {
+            self.give_up_transfer(req, now);
+            return;
+        }
+        self.states[req].transfer_attempts += 1;
+        self.retries += 1;
+        let attempt = self.states[req].transfer_attempts;
+        let delay = retry_backoff(self.config.trace.seed, req, attempt);
+        let frontend = self.frontend_id.expect("frontend registered before events");
+        self.fabric
+            .deliver(TransferRetry { req }, frontend, now + delay);
+        if let Some(tel) = &mut self.tel {
+            tel.transfer_retry_scheduled(self.states[req].prefill_replica, req, now, attempt);
+        }
+    }
+
+    /// Exhausted transfer retries: drop the KV reservation and re-enter
+    /// admission, or permanently abort once [`MAX_READMISSIONS`] are spent.
+    pub fn give_up_transfer(&mut self, req: usize, now: f64) {
+        let target = self.states[req].decode_replica;
+        if self.states[req].reserved {
+            // The reservation is only still held when the target is alive (a
+            // replica failure zeroes its accounting and clears the flag).
+            self.decode[target].kv_used -= self.states[req].kv_reserve_bytes;
+            self.states[req].reserved = false;
+        }
+        self.states[req].transfer_remaining = None;
+        self.states[req].transfer_start = None;
+        if self.states[req].pending_prefill.is_some() {
+            // A pipelined flow exhausted its retries while the prefill is
+            // still in service: drop only the transfer state — the request
+            // never left its prefill replica, so `PrefillFinished` dispatches
+            // it through the normal path (no re-admission).
+            self.states[req].pipelined_transfer_end = None;
+            return;
+        }
+        self.states[req].readmissions += 1;
+        if self.states[req].readmissions > MAX_READMISSIONS {
+            self.states[req].abandoned = true;
+            self.gave_up += 1;
+            if let Some(tel) = &mut self.tel {
+                tel.request_abandoned(req, now);
+            }
+            return;
+        }
+        // Everything spent so far collapses into queueing time at the next
+        // prefill start, keeping the breakdown equal to the JCT.
+        self.states[req].reset_for_readmission();
+        self.states[req].requeues += 1;
+        self.requeued += 1;
+        let frontend = self.frontend_id.expect("frontend registered before events");
+        self.fabric.deliver(RequestArrived { req }, frontend, now);
+        if let Some(tel) = &mut self.tel {
+            tel.requeued(target, req, now);
+        }
+    }
+
     /// Freed memory (or a recovered replica): admit waiting requests in FIFO
     /// order while they fit somewhere.
     pub fn drain_waiting(&mut self, now: f64) {
@@ -432,6 +637,16 @@ impl ClusterState {
                 self.reserve_and_transfer(head, target, bytes, now);
             } else {
                 break;
+            }
+        }
+        // Recovery-drain accounting: a recovered fault waits here until the
+        // memory-wait queue next empties (no-op — one empty-vec check — in
+        // fault-free runs).
+        if !self.pending_drain.is_empty() && self.waiting_for_memory.is_empty() {
+            for (fault, recovered_at) in std::mem::take(&mut self.pending_drain) {
+                let drain = now - recovered_at;
+                let tally = &mut self.fault_tallies[fault];
+                tally.recovery_drain = tally.recovery_drain.max(drain);
             }
         }
     }

@@ -1,7 +1,9 @@
-//! The prefill lifecycle of one replica.
+//! The prefill lifecycle of one replica — including prefill-side failures.
 
-use crate::components::ClusterState;
-use crate::events::{PrefillFinished, TransferCompleted};
+use crate::components::{frontend, ClusterState};
+use crate::events::{
+    PrefillFailed, PrefillFinished, PrefillRecovered, RequestArrived, TransferCompleted,
+};
 use hack_sim::{Event, EventHandler};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -9,7 +11,9 @@ use std::rc::Rc;
 /// One prefill replica: serves its queue one request at a time (prefill +
 /// quantization under its group's cost model), optionally starting the KV
 /// transfer concurrently with prefill (pipelining, Fig. 1(d)), and hands
-/// finished requests to the transfer/decode pipeline.
+/// finished requests to the transfer/decode pipeline. Under fault injection it
+/// fails (aborting its in-service prefill and re-routing its queue) and
+/// recovers (draining requests parked while the whole fleet was down).
 pub(crate) struct PrefillReplica {
     pub index: usize,
     pub cluster: Rc<RefCell<ClusterState>>,
@@ -51,6 +55,7 @@ pub(crate) fn start_prefill(cs: &mut ClusterState, replica: usize, now: f64) {
         return;
     };
     cs.prefill[replica].busy = true;
+    cs.prefill[replica].current = Some(req);
     let group = cs.prefill[replica].group;
     let request = cs.requests[req];
 
@@ -67,40 +72,63 @@ pub(crate) fn start_prefill(cs: &mut ClusterState, replica: usize, now: f64) {
     // Pipelining: start the KV transfer concurrently with prefill when a decode
     // replica can take the request right now (Fig. 1(d): this hides communication
     // only while the transfer is shorter than prefill and memory is available).
+    // On the link-graph fabric the flow only pipelines over a live path; a dead
+    // path falls back to the dispatch at `PrefillFinished` (and its retries).
     if cs.config.cluster.pipelining {
         let bytes = cs.kv_reserve_bytes(&request);
-        if let Some(target) = cs.best_decode_replica(bytes) {
+        let target = cs
+            .best_decode_replica(bytes)
+            .filter(|&t| !cs.fabric.graph_enabled() || cs.fabric.path_alive(replica, t));
+        if let Some(target) = target {
             cs.decode[target].kv_used += bytes;
             cs.decode[target].peak_kv = cs.decode[target].peak_kv.max(cs.decode[target].kv_used);
             cs.states[req].decode_replica = target;
             cs.states[req].kv_reserve_bytes = bytes;
             cs.states[req].reserved = true;
-            let duration = cs.transfer_duration(group, cs.decode[target].group, &request);
-            let end = cs.fabric.reserve_nic(replica, now, duration);
-            cs.states[req].pipelined_transfer_end = Some(end);
-            if let Some(tel) = &mut cs.tel {
-                tel.transfer_started(replica, req, now, end - duration, end);
+            if cs.fabric.graph_enabled() {
+                // The flow races prefill: an early landing is recorded in
+                // `pipelined_transfer_end`; otherwise `PrefillFinished`
+                // exposes the remaining communication time.
+                let volume = cs.transfer_volume(group, cs.decode[target].group, req);
+                let started = cs.fabric.start_flow(
+                    req,
+                    replica,
+                    target,
+                    cs.decode_ctxs[target].id(),
+                    volume,
+                    now,
+                );
+                debug_assert!(started, "pipelined path checked alive");
+                if let Some(tel) = &mut cs.tel {
+                    tel.flow_started(replica);
+                }
+            } else {
+                let duration = cs.transfer_duration(group, cs.decode[target].group, &request);
+                let end = cs.fabric.reserve_nic(replica, now, duration);
+                cs.states[req].pipelined_transfer_end = Some(end);
+                if let Some(tel) = &mut cs.tel {
+                    tel.transfer_started(replica, req, now, end - duration, end);
+                }
             }
         }
     }
 
-    cs.prefill_ctxs[replica].emit_at(
+    let finish = cs.prefill_ctxs[replica].emit_at(
         PrefillFinished { req },
         cs.prefill_ctxs[replica].id(),
         now + prefill_t + quant_t,
     );
+    cs.states[req].pending_prefill = Some(finish);
 }
 
-impl EventHandler for PrefillReplica {
-    fn on(&mut self, event: Event) {
-        let Some(&PrefillFinished { req }) = event.get::<PrefillFinished>() else {
-            return;
-        };
-        let now = event.time;
+impl PrefillReplica {
+    fn on_finished(&self, req: usize, now: f64) {
         let i = self.index;
         let mut cs = self.cluster.borrow_mut();
 
         cs.prefill[i].busy = false;
+        cs.prefill[i].current = None;
+        cs.states[req].pending_prefill = None;
         cs.prefill[i].queued_tokens = cs.prefill[i]
             .queued_tokens
             .saturating_sub(cs.requests[req].input_len);
@@ -108,12 +136,20 @@ impl EventHandler for PrefillReplica {
         // Hand the request to the transfer/decode pipeline.
         if let Some(transfer_end) = cs.states[req].pipelined_transfer_end {
             // Pipelined: the transfer has been running during prefill; only
-            // the non-overlapped part counts as communication time.
+            // the non-overlapped part counts as communication time. (On the
+            // link-graph fabric this is the flow-landed-early case, so the
+            // exposed part is zero.)
             let ready = transfer_end.max(now);
-            cs.states[req].comm_time = (transfer_end - now).max(0.0);
+            cs.states[req].comm_time += (transfer_end - now).max(0.0);
             let target = cs.states[req].decode_replica;
             let dst = cs.decode_ctxs[target].id();
             cs.fabric.deliver(TransferCompleted { req }, dst, ready);
+        } else if cs.states[req].reserved {
+            // Link-graph pipelined flow still in flight (or in retry
+            // backoff): communication is exposed from here on; the
+            // `FlowCompleted` delivery — or the retry chain — finishes the
+            // hand-off.
+            cs.states[req].transfer_start = Some(now);
         } else {
             cs.try_dispatch_to_decode(req, now);
         }
@@ -121,6 +157,91 @@ impl EventHandler for PrefillReplica {
         // Start the next queued prefill, if any.
         if !cs.prefill[i].queue.is_empty() {
             start_prefill(&mut cs, i, now);
+        }
+    }
+
+    fn on_failed(&self, fault: usize, now: f64) {
+        let i = self.index;
+        let mut cs = self.cluster.borrow_mut();
+        let cs = &mut *cs;
+        cs.injected_failures += 1;
+        cs.prefill[i].failed = true;
+        if let Some(tel) = &mut cs.tel {
+            tel.prefill_failed(i, now);
+        }
+
+        // Abort the in-service prefill (and its pipelined transfer, if any):
+        // the request re-enters admission from scratch.
+        if let Some(req) = cs.prefill[i].current.take() {
+            cs.prefill[i].busy = false;
+            cs.prefill[i].queued_tokens = cs.prefill[i]
+                .queued_tokens
+                .saturating_sub(cs.requests[req].input_len);
+            if let Some(ev) = cs.states[req].pending_prefill.take() {
+                cs.prefill_ctxs[i].cancel_event(ev);
+            }
+            if let Some(flow) = cs.fabric.abort_flow(req, now) {
+                if let Some(tel) = &mut cs.tel {
+                    tel.transfer_aborted(flow.src, req, flow.started, now);
+                }
+            } else if cs.states[req].pipelined_transfer_end.is_some() {
+                // Flat pipelined reservation (or an early-landed flow): the
+                // in-flight gauge was counted up when it started.
+                if let Some(tel) = &mut cs.tel {
+                    tel.transfer_landed();
+                }
+            }
+            if cs.states[req].reserved {
+                let target = cs.states[req].decode_replica;
+                cs.decode[target].kv_used -= cs.states[req].kv_reserve_bytes;
+                cs.states[req].reserved = false;
+            }
+            cs.states[req].reset_for_readmission();
+            cs.states[req].requeues += 1;
+            cs.requeued += 1;
+            cs.fault_tallies[fault].requests_aborted += 1;
+            let frontend_id = cs.frontend_id.expect("frontend registered before events");
+            cs.fabric.deliver(RequestArrived { req }, frontend_id, now);
+            if let Some(tel) = &mut cs.tel {
+                tel.requeued(cs.states[req].decode_replica, req, now);
+            }
+        }
+
+        // Re-route the queue onto live replicas (or park requests in
+        // `waiting_for_prefill` when the whole fleet is down).
+        let queued = cs.prefill[i].queue.drain_all();
+        cs.prefill[i].queued_tokens = 0;
+        for r in queued {
+            frontend::dispatch_to_prefill(cs, r, now);
+        }
+    }
+
+    fn on_recovered(&self, now: f64) {
+        let i = self.index;
+        let mut cs = self.cluster.borrow_mut();
+        let cs = &mut *cs;
+        cs.prefill[i].failed = false;
+        if let Some(tel) = &mut cs.tel {
+            tel.prefill_recovered(i, now);
+        }
+        // Dispatch requests that arrived while the whole prefill fleet was
+        // down.
+        let parked: Vec<usize> = cs.waiting_for_prefill.drain(..).collect();
+        for r in parked {
+            frontend::dispatch_to_prefill(cs, r, now);
+        }
+    }
+}
+
+impl EventHandler for PrefillReplica {
+    fn on(&mut self, event: Event) {
+        let now = event.time;
+        if let Some(&PrefillFinished { req }) = event.get::<PrefillFinished>() {
+            self.on_finished(req, now);
+        } else if let Some(&PrefillFailed { fault }) = event.get::<PrefillFailed>() {
+            self.on_failed(fault, now);
+        } else if event.is::<PrefillRecovered>() {
+            self.on_recovered(now);
         }
     }
 }

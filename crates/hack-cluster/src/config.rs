@@ -12,6 +12,9 @@
 use crate::fleet::{FleetSpec, GroupSet, ReplicaGroup};
 use crate::policy::PolicyConfig;
 use crate::telemetry::TelemetryConfig;
+use crate::topology::{
+    ConfigError, FaultDomain, FaultEvent, FaultPlan, LinkGraphSpec, TopologySpec,
+};
 use hack_model::cost::{CostParams, KvMethodProfile, ReplicaCostModel};
 use hack_model::gpu::GpuKind;
 use hack_model::parallelism::Parallelism;
@@ -35,6 +38,11 @@ pub struct ClusterConfig {
     /// Fraction of each decode replica's GPU memory reserved for activations and
     /// runtime overheads (the rest, minus parameters, is KV cache budget).
     pub activation_reserve: f64,
+    /// The KV-transfer fabric model. [`TopologySpec::Flat`] (the default) is
+    /// the original per-NIC FIFO fabric, bit- and cost-identical to the
+    /// pre-topology simulator; [`TopologySpec::LinkGraph`] shares link
+    /// capacity fairly among concurrent transfers (see [`crate::topology`]).
+    pub topology: TopologySpec,
 }
 
 impl ClusterConfig {
@@ -47,6 +55,7 @@ impl ClusterConfig {
             pipelining: false,
             cost_params: CostParams::default(),
             activation_reserve: 0.10,
+            topology: TopologySpec::Flat,
         }
     }
 
@@ -257,7 +266,30 @@ impl ClusterConfig {
             pipelining: matches!(value.get_key("pipelining")?, Value::Bool(true)),
             cost_params: CostParams::from_value(value.get_key("cost_params")?)?,
             activation_reserve: value.get_key("activation_reserve")?.as_f64()?,
+            // Pre-topology snapshots have no `topology` key: they ran on the
+            // flat fabric.
+            topology: match value.get_key("topology") {
+                Some(v) => TopologySpec::from_value(v)?,
+                None => TopologySpec::Flat,
+            },
         })
+    }
+
+    /// Number of prefill-side ToRs under the link-graph topology (0 under
+    /// [`TopologySpec::Flat`]).
+    pub fn prefill_tors(&self) -> usize {
+        match self.topology.link_graph() {
+            Some(spec) => LinkGraphSpec::tors_for(self.prefill_replicas(), spec.prefill_per_tor),
+            None => 0,
+        }
+    }
+
+    /// Number of decode-side ToRs under the link-graph topology.
+    pub fn decode_tors(&self) -> usize {
+        match self.topology.link_graph() {
+            Some(spec) => LinkGraphSpec::tors_for(self.decode_replicas(), spec.decode_per_tor),
+            None => 0,
+        }
     }
 }
 
@@ -299,6 +331,19 @@ impl FailureSpec {
     }
 }
 
+impl From<FailureSpec> for FaultPlan {
+    /// The legacy single-failure schedule is a one-event fault plan over the
+    /// decode-replica domain (identical seeded events, hence bit-identical
+    /// runs).
+    fn from(spec: FailureSpec) -> FaultPlan {
+        FaultPlan::new(&[FaultEvent {
+            domain: FaultDomain::DecodeReplica(spec.decode_replica),
+            at: spec.at,
+            recover_at: spec.recover_at,
+        }])
+    }
+}
+
 /// A full simulation: cluster + workload + evaluated method + frontend policy
 /// (+ optional fault injection).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -313,13 +358,96 @@ pub struct SimulationConfig {
     /// policies. [`PolicyConfig::default`] reproduces the pre-policy simulator
     /// bit-for-bit (least-loaded dispatch, admit all, FCFS).
     pub policy: PolicyConfig,
-    /// Optional decode-replica failure injected during the run.
-    pub failure: Option<FailureSpec>,
+    /// Scheduled fault injection over typed fault domains (replicas, NICs,
+    /// ToRs, the spine). The empty plan (the default) injects nothing; the
+    /// legacy single-failure [`FailureSpec`] converts via `From`.
+    pub faults: FaultPlan,
     /// Telemetry switch. [`TelemetryConfig::Off`] (the default) allocates no
     /// recording state and is bit- and cost-identical to the pre-telemetry
     /// simulator; `On` records lifecycle spans and periodic time-series
     /// samples without perturbing the simulation.
     pub telemetry: TelemetryConfig,
+}
+
+impl SimulationConfig {
+    /// Validates the fault plan against the cluster and topology, returning a
+    /// typed [`ConfigError`] instead of misbehaving mid-run. Called by
+    /// [`Simulator::try_new`](crate::Simulator::try_new) before any event is
+    /// scheduled.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(spec) = self.cluster.topology.link_graph() {
+            let positive = |x: f64| x.is_finite() && x > 0.0;
+            if !positive(spec.tor_uplink_gbps) {
+                return Err(ConfigError::InvalidTopology {
+                    what: "tor_uplink_gbps",
+                });
+            }
+            if !positive(spec.spine_gbps) {
+                return Err(ConfigError::InvalidTopology { what: "spine_gbps" });
+            }
+            if spec.prefill_per_tor == 0 {
+                return Err(ConfigError::InvalidTopology {
+                    what: "prefill_per_tor",
+                });
+            }
+            if spec.decode_per_tor == 0 {
+                return Err(ConfigError::InvalidTopology {
+                    what: "decode_per_tor",
+                });
+            }
+        }
+        let prefill = self.cluster.prefill_replicas();
+        let decode = self.cluster.decode_replicas();
+        for event in self.faults.iter() {
+            let domain = event.domain;
+            if !event.at.is_finite() || event.at < 0.0 {
+                return Err(ConfigError::InvalidFaultTime {
+                    domain,
+                    at: event.at,
+                });
+            }
+            if let Some(recover) = event.recover_at {
+                if !recover.is_finite() {
+                    return Err(ConfigError::InvalidFaultTime {
+                        domain,
+                        at: recover,
+                    });
+                }
+                if recover <= event.at {
+                    return Err(ConfigError::RecoveryBeforeFault {
+                        domain,
+                        at: event.at,
+                        recover_at: recover,
+                    });
+                }
+            }
+            if domain.needs_link_graph() && self.cluster.topology.link_graph().is_none() {
+                return Err(ConfigError::TopologyRequired { domain });
+            }
+            let (index, limit) = match domain {
+                FaultDomain::DecodeReplica(i) | FaultDomain::DecodeNic(i) => (i, decode),
+                FaultDomain::PrefillReplica(i) | FaultDomain::PrefillNic(i) => (i, prefill),
+                FaultDomain::PrefillTor(t) => (t, self.cluster.prefill_tors()),
+                FaultDomain::DecodeTor(t) => (t, self.cluster.decode_tors()),
+                FaultDomain::Spine => (0, 1),
+            };
+            if index >= limit {
+                return Err(ConfigError::ReplicaOutOfRange { domain, limit });
+            }
+        }
+        // Two faults on one domain must not overlap in time: the fault
+        // machinery tracks a single down-window per domain.
+        let window_end = |e: &FaultEvent| e.recover_at.unwrap_or(f64::INFINITY);
+        let events: Vec<_> = self.faults.iter().copied().collect();
+        for (i, a) in events.iter().enumerate() {
+            for b in events.iter().skip(i + 1) {
+                if a.domain == b.domain && a.at < window_end(b) && b.at < window_end(a) {
+                    return Err(ConfigError::OverlappingFaults { domain: a.domain });
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -411,6 +539,118 @@ mod tests {
         let value = serde_json::from_str(&json).unwrap();
         let back = ClusterConfig::from_value(&value).expect("fleet-format config decodes");
         assert_eq!(back, original);
+    }
+
+    fn sim_config(cluster: ClusterConfig, faults: FaultPlan) -> SimulationConfig {
+        SimulationConfig {
+            cluster,
+            trace: hack_workload::trace::TraceConfig {
+                dataset: Dataset::Cocktail,
+                rps: 0.1,
+                num_requests: 10,
+                max_context: ModelKind::Llama31_70B.spec().max_context,
+                seed: 1,
+            },
+            profile: KvMethodProfile::baseline(),
+            policy: PolicyConfig::default(),
+            faults,
+            telemetry: TelemetryConfig::Off,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_sane_plans_and_rejects_malformed_ones() {
+        let flat = ClusterConfig::paper_default(ModelKind::Llama31_70B, GpuKind::A10G);
+        let mut graph = flat;
+        graph.topology = TopologySpec::LinkGraph(LinkGraphSpec::paper_default());
+
+        // The empty plan and a legacy-shaped transient failure are fine.
+        assert_eq!(sim_config(flat, FaultPlan::none()).validate(), Ok(()));
+        let legacy = FaultPlan::from(FailureSpec::transient(0, 10.0, 20.0));
+        assert_eq!(sim_config(flat, legacy).validate(), Ok(()));
+
+        // Out-of-range decode replica: the old should-panic case, now typed.
+        let oob = FaultPlan::from(FailureSpec::permanent(99, 1.0));
+        assert!(matches!(
+            sim_config(flat, oob).validate(),
+            Err(ConfigError::ReplicaOutOfRange { limit: 4, .. })
+        ));
+
+        // Recovery at or before the failure instant.
+        let backwards = FaultPlan::new(&[FaultEvent::transient(
+            FaultDomain::DecodeReplica(0),
+            50.0,
+            50.0,
+        )]);
+        assert!(matches!(
+            sim_config(flat, backwards).validate(),
+            Err(ConfigError::RecoveryBeforeFault { .. })
+        ));
+
+        // Non-finite and negative fault times.
+        for at in [f64::NAN, f64::INFINITY, -1.0] {
+            let plan = FaultPlan::new(&[FaultEvent::permanent(FaultDomain::DecodeReplica(0), at)]);
+            assert!(
+                matches!(
+                    sim_config(flat, plan).validate(),
+                    Err(ConfigError::InvalidFaultTime { .. })
+                ),
+                "at = {at}"
+            );
+        }
+
+        // Overlapping windows on one domain are rejected; disjoint ones pass.
+        let overlapping = FaultPlan::new(&[
+            FaultEvent::transient(FaultDomain::DecodeReplica(1), 10.0, 100.0),
+            FaultEvent::transient(FaultDomain::DecodeReplica(1), 50.0, 60.0),
+        ]);
+        assert!(matches!(
+            sim_config(flat, overlapping).validate(),
+            Err(ConfigError::OverlappingFaults { .. })
+        ));
+        let disjoint = FaultPlan::new(&[
+            FaultEvent::transient(FaultDomain::DecodeReplica(1), 10.0, 20.0),
+            FaultEvent::transient(FaultDomain::DecodeReplica(1), 50.0, 60.0),
+        ]);
+        assert_eq!(sim_config(flat, disjoint).validate(), Ok(()));
+
+        // Link-cutting faults require the link-graph topology.
+        let tor = FaultPlan::new(&[FaultEvent::permanent(FaultDomain::DecodeTor(0), 10.0)]);
+        assert!(matches!(
+            sim_config(flat, tor).validate(),
+            Err(ConfigError::TopologyRequired { .. })
+        ));
+        assert_eq!(sim_config(graph, tor).validate(), Ok(()));
+
+        // ToR indices are checked against the derived switch count.
+        let tor_oob = FaultPlan::new(&[FaultEvent::permanent(FaultDomain::DecodeTor(9), 10.0)]);
+        assert!(matches!(
+            sim_config(graph, tor_oob).validate(),
+            Err(ConfigError::ReplicaOutOfRange { .. })
+        ));
+
+        // Degenerate link-graph capacities are typed errors too.
+        let mut bad = graph;
+        bad.topology = TopologySpec::LinkGraph(LinkGraphSpec {
+            spine_gbps: 0.0,
+            ..LinkGraphSpec::paper_default()
+        });
+        assert!(matches!(
+            sim_config(bad, FaultPlan::none()).validate(),
+            Err(ConfigError::InvalidTopology { what: "spine_gbps" })
+        ));
+    }
+
+    #[test]
+    fn topology_aware_cluster_config_round_trips() {
+        let mut c = ClusterConfig::paper_default(ModelKind::Llama31_70B, GpuKind::A10G);
+        c.topology = TopologySpec::LinkGraph(LinkGraphSpec::paper_default());
+        let json = serde_json::to_string(&c).unwrap();
+        let value = serde_json::from_str(&json).unwrap();
+        assert_eq!(ClusterConfig::from_value(&value), Some(c));
+        // 5 prefill replicas at 4 per ToR -> 2 switches; 4 decode at 2 -> 2.
+        assert_eq!(c.prefill_tors(), 2);
+        assert_eq!(c.decode_tors(), 2);
     }
 
     #[test]

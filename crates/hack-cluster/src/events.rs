@@ -45,9 +45,64 @@ pub struct SampleTick;
 /// Fault injection: the destination decode replica goes down. Its in-flight
 /// requests are aborted and re-queued onto the remaining fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ReplicaFailed;
+pub struct ReplicaFailed {
+    /// Index of the causing fault in the run's
+    /// [`FaultPlan`](crate::topology::FaultPlan) (blast-radius attribution).
+    pub fault: usize,
+}
 
 /// Fault injection: the destination decode replica comes back empty and starts
 /// admitting requests again.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ReplicaRecovered;
+pub struct ReplicaRecovered {
+    /// Index of the recovering fault in the run's fault plan.
+    pub fault: usize,
+}
+
+/// Fault injection: the destination prefill replica goes down. Its queue
+/// re-routes to live replicas and its in-flight prefill re-enters admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillFailed {
+    /// Index of the causing fault in the run's fault plan.
+    pub fault: usize,
+}
+
+/// Fault injection: the destination prefill replica rejoins the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillRecovered {
+    /// Index of the recovering fault in the run's fault plan.
+    pub fault: usize,
+}
+
+/// Fault injection (link-graph fabric only, delivered to the frontend): the
+/// fault's links go down and every in-flight transfer crossing them aborts
+/// with partial progress, then retries with seeded backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricFault {
+    /// Index of the causing fault in the run's fault plan.
+    pub fault: usize,
+}
+
+/// The links of a fabric fault come back up (delivered to the frontend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricRecovered {
+    /// Index of the recovering fault in the run's fault plan.
+    pub fault: usize,
+}
+
+/// A previously aborted KV transfer retries (delivered to the frontend at the
+/// end of its deterministic seeded backoff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRetry {
+    /// Index of the request in the trace.
+    pub req: usize,
+}
+
+/// A fair-shared transfer flow delivered its last byte (link-graph fabric
+/// only; the flat fabric uses [`TransferCompleted`] at a precomputed time).
+/// Delivered to the destination decode replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowCompleted {
+    /// Index of the request in the trace.
+    pub req: usize,
+}

@@ -38,6 +38,37 @@
 //! adds queueing, NIC contention, memory admission control and batching, and produces
 //! the per-request JCT decompositions, average time ratios and peak decode-memory
 //! figures that the paper's figures and tables report.
+//!
+//! # RESILIENCE
+//!
+//! The robustness layer generalizes fault injection to topology-aware
+//! correlated failures:
+//!
+//! * **Topology** ([`topology::TopologySpec`]): [`TopologySpec::Flat`] (the
+//!   default) is the original per-NIC FIFO fabric, pinned bit- and
+//!   cost-identical to the pre-topology simulator.
+//!   [`TopologySpec::LinkGraph`] models replica NIC → ToR → spine tiers with
+//!   per-link capacities; every KV transfer becomes a flow receiving the
+//!   max-min fair share `min_l capacity(l)/flows(l)` along its five-link
+//!   path, re-split on every transfer start/finish/failure.
+//! * **Fault plans** ([`FaultPlan`]): a bounded schedule of typed
+//!   [`FaultEvent`]s over [`FaultDomain`]s — a decode or prefill replica, a
+//!   NIC, a ToR, or the spine. A switch fault atomically fails every replica
+//!   behind it and cuts its fabric links; in-flight transfers crossing a dead
+//!   link abort with partial progress and retry under deterministic seeded
+//!   exponential backoff (at most [`topology::MAX_TRANSFER_ATTEMPTS`]
+//!   attempts, then at most [`topology::MAX_READMISSIONS`] re-admissions
+//!   before the request is permanently aborted). The frontend routes around
+//!   dead prefill replicas and parks arrivals when the whole fleet is down.
+//!   Configurations are validated at [`Simulator::try_new`] time with typed
+//!   [`ConfigError`]s. The legacy single-failure [`FailureSpec`] converts via
+//!   `From` and stays bit-identical.
+//! * **Sensors** ([`SimulationResult`]): per-fault blast radius
+//!   ([`FaultRecord`]: replicas affected, requests aborted, downtime,
+//!   recovery-drain time), retry counts and a per-request attempt histogram,
+//!   permanently aborted requests, and goodput while degraded. Telemetry
+//!   gains fault/recovery instants and flow/retry spans (see
+//!   `OBSERVABILITY.md`).
 
 mod components;
 pub mod config;
@@ -47,6 +78,7 @@ pub mod policy;
 pub mod result;
 pub mod sim;
 pub mod telemetry;
+pub mod topology;
 
 pub use config::{ClusterConfig, FailureSpec, SimulationConfig};
 pub use fleet::{FleetSpec, GroupSet, ReplicaGroup, MAX_GROUPS};
@@ -54,6 +86,9 @@ pub use policy::{
     AdmissionPolicy, AdmissionPolicyKind, DispatchPolicy, DispatchPolicyKind, PolicyConfig,
     ReplicaLoad, SchedulingPolicy, SchedulingPolicyKind, TenantClass, TenantClasses,
 };
-pub use result::{GroupStats, RequestRecord, SimulationResult};
+pub use result::{FaultRecord, GroupStats, RequestRecord, SimulationResult};
 pub use sim::{CostMode, Simulator};
 pub use telemetry::{TelemetryConfig, TelemetrySettings};
+pub use topology::{
+    ConfigError, FaultDomain, FaultEvent, FaultPlan, LinkGraphSpec, TopologySpec, MAX_FAULTS,
+};

@@ -22,12 +22,16 @@ use crate::components::frontend::Frontend;
 use crate::components::network::NetworkFabric;
 use crate::components::prefill::PrefillReplica;
 use crate::components::{
-    ClusterState, DecodeReplicaState, PrefillReplicaState, ReqState, SimCosts,
+    ClusterState, DecodeReplicaState, FaultTally, PrefillReplicaState, ReqState, SimCosts,
 };
-use crate::config::SimulationConfig;
-use crate::events::{ReplicaFailed, ReplicaRecovered, RequestArrived, SampleTick};
-use crate::result::{GroupStats, RequestRecord, SimulationResult};
+use crate::config::{ClusterConfig, SimulationConfig};
+use crate::events::{
+    FabricFault, FabricRecovered, PrefillFailed, PrefillRecovered, ReplicaFailed, ReplicaRecovered,
+    RequestArrived, SampleTick,
+};
+use crate::result::{FaultRecord, GroupStats, RequestRecord, SimulationResult};
 use crate::telemetry::{TelemetrySampler, TelemetryState};
+use crate::topology::{ConfigError, FaultDomain};
 use hack_metrics::jct::JctBreakdown;
 use hack_metrics::telemetry::Telemetry;
 use hack_model::cost::{KvMethodProfile, ReplicaCostModel};
@@ -78,16 +82,35 @@ pub struct Simulator {
 impl Simulator {
     /// Creates a simulator from a configuration, generating its trace once
     /// (reused across `run*` calls, as are the lazily built cost tables).
+    /// Panics on an invalid fault/topology configuration; use
+    /// [`Simulator::try_new`] for a typed error.
     pub fn new(config: SimulationConfig) -> Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Simulator::new`], but an invalid fault plan or topology returns a
+    /// typed [`ConfigError`] instead of panicking — every check runs here,
+    /// before any event is scheduled.
+    pub fn try_new(config: SimulationConfig) -> Result<Self, ConfigError> {
         let requests = Arc::new(TraceGenerator::new(config.trace).generate());
-        Self::with_requests(config, requests)
+        Self::try_with_requests(config, requests)
     }
 
     /// Creates a simulator over an externally supplied trace (which must match
     /// `config.trace.num_requests`). This is how the capacity bisection in
     /// `hack-core` reuses one trace template across its probe runs instead of
-    /// re-synthesising the trace per probe.
+    /// re-synthesising the trace per probe. Panics on an invalid
+    /// configuration; use [`Simulator::try_with_requests`] for a typed error.
     pub fn with_requests(config: SimulationConfig, requests: Arc<Vec<Request>>) -> Self {
+        Self::try_with_requests(config, requests).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Simulator::with_requests`] with construction-time validation.
+    pub fn try_with_requests(
+        config: SimulationConfig,
+        requests: Arc<Vec<Request>>,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
         assert_eq!(
             requests.len(),
             config.trace.num_requests,
@@ -100,13 +123,13 @@ impl Simulator {
         let decode_models = (0..cluster.fleet.decode.len())
             .map(|g| cluster.decode_cost_model(g))
             .collect();
-        Self {
+        Ok(Self {
             config,
             prefill_models,
             decode_models,
             requests,
             tables: OnceCell::new(),
-        }
+        })
     }
 
     /// The memoized cost layer of this simulator: one decode prefix-sum table
@@ -294,28 +317,8 @@ impl Simulator {
             crate::policy::MAX_TENANTS
         );
 
-        if let Some(f) = self.config.failure {
-            assert!(
-                f.decode_replica < decode_replicas,
-                "failure targets decode replica {} but the cluster has {}",
-                f.decode_replica,
-                decode_replicas
-            );
-            assert!(
-                f.at.is_finite() && f.at >= 0.0,
-                "failure time must be finite and non-negative, got {}",
-                f.at
-            );
-            if let Some(recover) = f.recover_at {
-                assert!(
-                    recover.is_finite() && recover > f.at,
-                    "recovery time {recover} must come after the failure at {}",
-                    f.at
-                );
-            }
-        }
-
-        // --- Assemble the engine and the component fleet. ---
+        // --- Assemble the engine and the component fleet. (The fault plan and
+        // topology were validated at construction time.) ---
         let mut sim = Simulation::with_mode(self.config.trace.seed, mode);
         sim.set_log_enabled(capture_log);
         let driver = sim.create_context("driver");
@@ -335,16 +338,39 @@ impl Simulator {
             .map(|_| sim.create_context("telemetry-sampler"));
 
         let frontend_id = frontend_ctx.id();
+        let prefill_ids: Vec<_> = prefill_ctxs.iter().map(|c| c.id()).collect();
         let decode_ids: Vec<_> = decode_ctxs.iter().map(|c| c.id()).collect();
 
         // Seed the queue: one arrival event per request, plus fault injection.
         for (i, r) in requests.iter().enumerate() {
             driver.emit_at(RequestArrived { req: i }, frontend_id, r.arrival);
         }
-        if let Some(f) = self.config.failure {
-            driver.emit_at(ReplicaFailed, decode_ids[f.decode_replica], f.at);
+        // Expand the fault plan: for each fault, its fabric cut (link-cutting
+        // domains only, delivered to the frontend) precedes the correlated
+        // replica failures (ascending replica index), and recovery events
+        // mirror that order. A legacy single-decode-replica plan expands to
+        // exactly the two events the pre-plan simulator seeded.
+        for (k, f) in self.config.faults.iter().enumerate() {
+            let (pre, dec) = fault_targets(f.domain, cluster_cfg);
+            if f.domain.needs_link_graph() {
+                driver.emit_at(FabricFault { fault: k }, frontend_id, f.at);
+            }
+            for &i in &pre {
+                driver.emit_at(PrefillFailed { fault: k }, prefill_ids[i], f.at);
+            }
+            for &i in &dec {
+                driver.emit_at(ReplicaFailed { fault: k }, decode_ids[i], f.at);
+            }
             if let Some(recover) = f.recover_at {
-                driver.emit_at(ReplicaRecovered, decode_ids[f.decode_replica], recover);
+                if f.domain.needs_link_graph() {
+                    driver.emit_at(FabricRecovered { fault: k }, frontend_id, recover);
+                }
+                for &i in &pre {
+                    driver.emit_at(PrefillRecovered { fault: k }, prefill_ids[i], recover);
+                }
+                for &i in &dec {
+                    driver.emit_at(ReplicaRecovered { fault: k }, decode_ids[i], recover);
+                }
             }
         }
 
@@ -426,13 +452,54 @@ impl Simulator {
                 })
                 .collect(),
             waiting_for_memory: VecDeque::new(),
-            fabric: NetworkFabric::new(fabric_ctx, prefill_replicas),
+            waiting_for_prefill: VecDeque::new(),
+            fabric: match cluster_cfg.topology.link_graph() {
+                // The flat fabric is constructed exactly as before the
+                // topology API existed (bit- and cost-identical default).
+                None => NetworkFabric::new(fabric_ctx, prefill_replicas),
+                Some(spec) => {
+                    // Per-replica NIC capacities, flattened group-major like
+                    // the replicas themselves.
+                    let nic_gbps = |groups: &crate::fleet::GroupSet| -> Vec<f64> {
+                        groups
+                            .iter()
+                            .flat_map(|g| std::iter::repeat_n(g.network_gbps, g.replicas))
+                            .collect()
+                    };
+                    NetworkFabric::with_link_graph(
+                        fabric_ctx,
+                        nic_gbps(&cluster_cfg.fleet.prefill),
+                        nic_gbps(&cluster_cfg.fleet.decode),
+                        spec.prefill_per_tor,
+                        spec.decode_per_tor,
+                        spec.tor_uplink_gbps,
+                        spec.spine_gbps,
+                    )
+                }
+            },
             completed: 0,
             rejected: 0,
             rejected_per_tenant: [0; crate::policy::MAX_TENANTS],
             swapped: 0,
             requeued: 0,
             injected_failures: 0,
+            retries: 0,
+            gave_up: 0,
+            fault_tallies: self
+                .config
+                .faults
+                .iter()
+                .map(|f| {
+                    let (pre, dec) = fault_targets(f.domain, cluster_cfg);
+                    FaultTally {
+                        replicas_affected: pre.len() + dec.len(),
+                        requests_aborted: 0,
+                        recovery_drain: 0.0,
+                    }
+                })
+                .collect(),
+            pending_drain: Vec::new(),
+            frontend_id: Some(frontend_id),
             aborted_decode_by_group: vec![0.0; cluster_cfg.fleet.decode.len()],
             prefill_ctxs,
             decode_ctxs,
@@ -534,6 +601,11 @@ impl Simulator {
 
         // --- Assemble records. ---
         let cs = cluster.borrow();
+        debug_assert_eq!(
+            cs.fabric.active_flows(),
+            0,
+            "every link-graph flow must have landed or been aborted by run end"
+        );
         let params_bytes = cluster_cfg.model.spec().param_bytes_fp16();
         let peak_kv = cs.decode.iter().map(|d| d.peak_kv).fold(0.0, f64::max);
 
@@ -647,6 +719,79 @@ impl Simulator {
             .map(|g| g.peak_memory_fraction)
             .fold(0.0, f64::max);
 
+        // --- Robustness sensors. All zero/empty without fault injection. ---
+        // Requests neither completed nor rejected by admission when the run
+        // ended: permanently aborted (exhausted retries + re-admissions) or
+        // stranded by a permanent whole-fleet failure.
+        let aborted_requests = cs.states.iter().filter(|s| !s.done && !s.rejected).count();
+        // retry_histogram[k] = requests that made exactly k transfer attempts
+        // (k >= 1; empty when no retries happened, so fault-free results stay
+        // visibly clean).
+        let retry_histogram = if cs.retries == 0 {
+            Vec::new()
+        } else {
+            let max_attempts = cs
+                .states
+                .iter()
+                .map(|s| s.transfer_attempts as usize)
+                .max()
+                .unwrap_or(0);
+            let mut hist = vec![0usize; max_attempts + 1];
+            for s in cs.states.iter().filter(|s| s.transfer_attempts > 0) {
+                hist[s.transfer_attempts as usize] += 1;
+            }
+            hist
+        };
+        let faults: Vec<FaultRecord> = self
+            .config
+            .faults
+            .iter()
+            .zip(&cs.fault_tallies)
+            .map(|(f, tally)| FaultRecord {
+                domain: f.domain,
+                at: f.at,
+                recover_at: f.recover_at,
+                replicas_affected: tally.replicas_affected,
+                requests_aborted: tally.requests_aborted,
+                downtime_secs: (f.recover_at.unwrap_or(makespan.max(f.at)) - f.at).max(0.0),
+                recovery_drain_secs: tally.recovery_drain,
+            })
+            .collect();
+        // Goodput while degraded: completions per second inside the union of
+        // the fault windows (clipped to the run).
+        let mut windows: Vec<(f64, f64)> = faults
+            .iter()
+            .map(|f| {
+                (
+                    f.at.min(makespan),
+                    f.recover_at.unwrap_or(makespan).min(makespan),
+                )
+            })
+            .filter(|(a, b)| b > a)
+            .collect();
+        windows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut merged: Vec<(f64, f64)> = Vec::new();
+        for w in windows {
+            match merged.last_mut() {
+                Some(last) if w.0 <= last.1 => last.1 = last.1.max(w.1),
+                _ => merged.push(w),
+            }
+        }
+        let degraded_secs: f64 = merged.iter().map(|(a, b)| b - a).sum();
+        let degraded_completions = records
+            .iter()
+            .filter(|r| {
+                merged
+                    .iter()
+                    .any(|&(a, b)| r.finish_time >= a && r.finish_time <= b)
+            })
+            .count();
+        let degraded_goodput = if degraded_secs > 0.0 {
+            degraded_completions as f64 / degraded_secs
+        } else {
+            0.0
+        };
+
         let result = SimulationResult {
             method: profile.name.to_string(),
             records,
@@ -661,6 +806,13 @@ impl Simulator {
             },
             requeued_requests: cs.requeued,
             injected_failures: cs.injected_failures,
+            transfer_retries: cs.retries,
+            retry_histogram,
+            aborted_requests,
+            abandoned_requests: cs.gave_up,
+            faults,
+            degraded_secs,
+            degraded_goodput,
             prefill_groups,
             decode_groups,
             makespan,
@@ -672,6 +824,38 @@ impl Simulator {
     }
 }
 
+/// The replica indices (prefill side, decode side) a fault domain takes down.
+///
+/// Replica and NIC domains fail one replica (a dead NIC isolates its replica:
+/// it fails and its queue re-routes, on top of the link cut). ToR domains
+/// atomically fail every replica behind the switch (group-major chunks of
+/// `per_tor`, the last possibly partial). A spine fault cuts only links: no
+/// replica fails, but no transfer can cross the fabric until recovery.
+fn fault_targets(domain: FaultDomain, cluster: &ClusterConfig) -> (Vec<usize>, Vec<usize>) {
+    let tor_chunk = |t: usize, per_tor: usize, n: usize| -> Vec<usize> {
+        (t * per_tor..((t + 1) * per_tor).min(n)).collect()
+    };
+    match domain {
+        FaultDomain::DecodeReplica(i) | FaultDomain::DecodeNic(i) => (Vec::new(), vec![i]),
+        FaultDomain::PrefillReplica(i) | FaultDomain::PrefillNic(i) => (vec![i], Vec::new()),
+        FaultDomain::PrefillTor(t) => {
+            let spec = cluster.topology.link_graph().expect("validated");
+            (
+                tor_chunk(t, spec.prefill_per_tor, cluster.prefill_replicas()),
+                Vec::new(),
+            )
+        }
+        FaultDomain::DecodeTor(t) => {
+            let spec = cluster.topology.link_graph().expect("validated");
+            (
+                Vec::new(),
+                tor_chunk(t, spec.decode_per_tor, cluster.decode_replicas()),
+            )
+        }
+        FaultDomain::Spine => (Vec::new(), Vec::new()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -679,6 +863,7 @@ mod tests {
     use crate::fleet::{GroupSet, ReplicaGroup};
     use crate::policy::{DispatchPolicyKind, PolicyConfig};
     use crate::telemetry::TelemetryConfig;
+    use crate::topology::FaultPlan;
     use hack_model::gpu::GpuKind;
     use hack_model::spec::ModelKind;
     use hack_workload::dataset::Dataset;
@@ -702,7 +887,7 @@ mod tests {
             },
             profile,
             policy: PolicyConfig::default(),
-            failure: None,
+            faults: FaultPlan::none(),
             telemetry: TelemetryConfig::Off,
         }
     }
@@ -860,7 +1045,7 @@ mod tests {
                 },
                 profile: KvMethodProfile::baseline(),
                 policy: PolicyConfig::default(),
-                failure: None,
+                faults: FaultPlan::none(),
                 telemetry: TelemetryConfig::Off,
             };
             Simulator::new(cfg).run().average_ratios().communication
@@ -965,7 +1150,7 @@ mod tests {
             },
             profile: KvMethodProfile::baseline(),
             policy: PolicyConfig::default(),
-            failure: None,
+            faults: FaultPlan::none(),
             telemetry: TelemetryConfig::Off,
         };
         let result = Simulator::new(cfg).run();
@@ -1080,7 +1265,7 @@ mod tests {
     /// A failure window covering the middle of the run on the default config.
     fn failure_config(n: usize, failure: FailureSpec) -> SimulationConfig {
         SimulationConfig {
-            failure: Some(failure),
+            faults: failure.into(),
             ..sim_config(KvMethodProfile::baseline(), Dataset::Cocktail, 0.08, n)
         }
     }
@@ -1190,6 +1375,271 @@ mod tests {
         // Same pin on a heterogeneous fleet.
         let sim = Simulator::new(mixed_config(KvMethodProfile::baseline(), 30));
         assert_eq!(sim.run_with_boxed_default_policies(), sim.run());
+    }
+
+    // --- Topology-aware fabric and fault plans. ---
+
+    fn link_graph_config(n: usize, rps: f64) -> SimulationConfig {
+        let mut config = sim_config(KvMethodProfile::baseline(), Dataset::Imdb, rps, n);
+        config.cluster.topology = crate::topology::TopologySpec::LinkGraph(
+            crate::topology::LinkGraphSpec::paper_default(),
+        );
+        config
+    }
+
+    #[test]
+    fn link_graph_without_faults_is_deterministic_and_conserves_requests() {
+        let a = Simulator::new(link_graph_config(40, 0.6)).run();
+        let b = Simulator::new(link_graph_config(40, 0.6)).run();
+        assert_eq!(a, b, "link-graph runs must be bit-identical for one seed");
+        assert_eq!(a.records.len(), 40);
+        assert_eq!(a.aborted_requests, 0);
+        assert_eq!(a.abandoned_requests, 0);
+        assert_eq!(a.transfer_retries, 0, "no faults, no retries");
+        assert!(a.faults.is_empty());
+    }
+
+    #[test]
+    fn link_graph_matches_flat_when_transfers_never_overlap() {
+        // A single request can never contend: its flow gets the full NIC rate
+        // (the bottleneck link of the paper-default oversubscribed fabric), so
+        // the fair-shared transfer takes the same time as the FIFO NIC's.
+        let flat = Simulator::new(sim_config(
+            KvMethodProfile::baseline(),
+            Dataset::Imdb,
+            0.1,
+            1,
+        ))
+        .run();
+        let graph = Simulator::new(link_graph_config(1, 0.1)).run();
+        assert_eq!(flat.records.len(), 1);
+        assert_eq!(graph.records.len(), 1);
+        let (f, g) = (
+            flat.records[0].breakdown.communication,
+            graph.records[0].breakdown.communication,
+        );
+        assert!(
+            (f - g).abs() < 1e-9 * f.max(1e-9),
+            "uncontended comm time must agree between fabrics: {f} vs {g}"
+        );
+    }
+
+    #[test]
+    fn link_graph_engines_agree_under_a_fault_storm() {
+        let mut cfg = link_graph_config(30, 0.6);
+        let mut plan = crate::topology::FaultPlan::none();
+        plan.push(crate::topology::FaultEvent::transient(
+            crate::topology::FaultDomain::DecodeTor(0),
+            40.0,
+            120.0,
+        ));
+        plan.push(crate::topology::FaultEvent::transient(
+            crate::topology::FaultDomain::Spine,
+            150.0,
+            165.0,
+        ));
+        cfg.faults = plan;
+        let (slab_result, slab_trace) = Simulator::new(cfg).run_traced(EngineMode::Slab);
+        let (boxed_result, boxed_trace) = Simulator::new(cfg).run_traced(EngineMode::Boxed);
+        assert_eq!(slab_trace, boxed_trace);
+        assert_eq!(slab_result, boxed_result);
+    }
+
+    #[test]
+    fn tor_fault_blast_radius_is_exactly_the_replicas_behind_it() {
+        // Paper-default fleet: 4 decode replicas at 2 per ToR -> DecodeTor(0)
+        // shields replicas {0, 1}.
+        let mut cfg = link_graph_config(40, 0.6);
+        let mut plan = crate::topology::FaultPlan::none();
+        plan.push(crate::topology::FaultEvent::transient(
+            crate::topology::FaultDomain::DecodeTor(0),
+            30.0,
+            90.0,
+        ));
+        cfg.faults = plan;
+        let result = Simulator::new(cfg).run();
+        assert_eq!(result.faults.len(), 1);
+        let fault = &result.faults[0];
+        assert_eq!(
+            fault.replicas_affected, 2,
+            "a ToR fault must fail every replica behind the switch"
+        );
+        assert!((fault.downtime_secs - 60.0).abs() < 1e-9);
+        // One FabricFault plus one ReplicaFailed per shielded replica.
+        assert_eq!(result.injected_failures, 3);
+        // Conservation: every request either completed, was rejected, or is
+        // accounted as aborted.
+        assert_eq!(
+            result.records.len() + result.rejected_requests + result.aborted_requests,
+            40
+        );
+        // Nothing decodes on a dead replica during the outage.
+        for r in &result.records {
+            if r.decode_replica < 2 {
+                let decode_start = r.finish_time - r.breakdown.decode;
+                assert!(
+                    r.finish_time <= 30.0 + 1e-9 || decode_start >= 90.0 - 1e-9,
+                    "request {} decoded on replica {} across the outage",
+                    r.request.id,
+                    r.decode_replica
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spine_fault_aborts_inflight_transfers_and_retries_complete_after_recovery() {
+        let mut cfg = link_graph_config(40, 0.6);
+        let mut plan = crate::topology::FaultPlan::none();
+        plan.push(crate::topology::FaultEvent::transient(
+            crate::topology::FaultDomain::Spine,
+            20.0,
+            35.0,
+        ));
+        cfg.faults = plan;
+        let result = Simulator::new(cfg).run();
+        // The spine fails no replicas -- it only severs every transfer path.
+        assert_eq!(result.faults[0].replicas_affected, 0);
+        assert!(
+            result.transfer_retries > 0,
+            "transfers attempted during the outage must retry"
+        );
+        assert!(
+            !result.retry_histogram.is_empty(),
+            "retrying requests must populate the attempt histogram"
+        );
+        assert_eq!(
+            result.records.len() + result.rejected_requests + result.aborted_requests,
+            40
+        );
+        assert!(
+            result.records.len() > 30,
+            "a 15s spine outage must not sink most of the run: {} completed",
+            result.records.len()
+        );
+        assert!(result.degraded_secs > 0.0);
+    }
+
+    #[test]
+    fn prefill_replica_fault_requeues_and_everything_completes_after_recovery() {
+        // Prefill faults work on the Flat fabric too -- no link graph needed.
+        let mut cfg = sim_config(KvMethodProfile::baseline(), Dataset::Imdb, 0.6, 40);
+        let mut plan = crate::topology::FaultPlan::none();
+        plan.push(crate::topology::FaultEvent::transient(
+            crate::topology::FaultDomain::PrefillReplica(0),
+            20.0,
+            60.0,
+        ));
+        cfg.faults = plan;
+        let result = Simulator::new(cfg).run();
+        assert_eq!(
+            result.records.len(),
+            40,
+            "everything completes after recovery"
+        );
+        assert_eq!(result.injected_failures, 1);
+        assert_eq!(result.faults[0].replicas_affected, 1);
+        for r in &result.records {
+            let jct = r.jct();
+            let total = r.breakdown.total();
+            assert!(
+                (total - jct).abs() < 1e-6 * jct.max(1.0),
+                "breakdown must sum to JCT under prefill faults: {total} vs {jct}"
+            );
+        }
+    }
+
+    #[test]
+    fn nic_fault_fails_its_replica_and_counts_one_domain() {
+        let mut cfg = link_graph_config(40, 0.6);
+        let mut plan = crate::topology::FaultPlan::none();
+        plan.push(crate::topology::FaultEvent::transient(
+            crate::topology::FaultDomain::DecodeNic(1),
+            25.0,
+            70.0,
+        ));
+        cfg.faults = plan;
+        let result = Simulator::new(cfg).run();
+        assert_eq!(result.faults[0].replicas_affected, 1);
+        // FabricFault (link cut) + ReplicaFailed.
+        assert_eq!(result.injected_failures, 2);
+        assert_eq!(
+            result.records.len() + result.rejected_requests + result.aborted_requests,
+            40
+        );
+    }
+
+    #[test]
+    fn legacy_failure_spec_still_pins_the_single_replica_fault_path() {
+        // `FailureSpec -> FaultPlan` must reproduce the legacy event sequence
+        // exactly (it seeds one ReplicaFailed + one ReplicaRecovered).
+        let spec = FailureSpec::transient(1, 50.0, 400.0);
+        let via_plan = Simulator::new(failure_config(30, spec)).run();
+        assert_eq!(via_plan.injected_failures, 1);
+        assert_eq!(via_plan.faults.len(), 1);
+        assert_eq!(via_plan.faults[0].replicas_affected, 1);
+    }
+
+    #[test]
+    fn invalid_fault_configs_yield_typed_errors() {
+        use crate::topology::{ConfigError, FaultDomain, FaultEvent, FaultPlan};
+        let base = sim_config(KvMethodProfile::baseline(), Dataset::Imdb, 0.3, 5);
+
+        // Recovery at or before the fault instant.
+        let mut cfg = base;
+        let mut plan = FaultPlan::none();
+        plan.push(FaultEvent::transient(
+            FaultDomain::DecodeReplica(0),
+            10.0,
+            10.0,
+        ));
+        cfg.faults = plan;
+        assert!(matches!(
+            Simulator::try_new(cfg),
+            Err(ConfigError::RecoveryBeforeFault { .. })
+        ));
+
+        // Overlapping windows on the same domain.
+        let mut cfg = base;
+        let mut plan = FaultPlan::none();
+        plan.push(FaultEvent::transient(
+            FaultDomain::DecodeReplica(0),
+            10.0,
+            50.0,
+        ));
+        plan.push(FaultEvent::transient(
+            FaultDomain::DecodeReplica(0),
+            30.0,
+            60.0,
+        ));
+        cfg.faults = plan;
+        assert!(matches!(
+            Simulator::try_new(cfg),
+            Err(ConfigError::OverlappingFaults { .. })
+        ));
+
+        // Switch faults need a link-graph topology.
+        let mut cfg = base;
+        let mut plan = FaultPlan::none();
+        plan.push(FaultEvent::transient(FaultDomain::DecodeTor(0), 10.0, 50.0));
+        cfg.faults = plan;
+        assert!(matches!(
+            Simulator::try_new(cfg),
+            Err(ConfigError::TopologyRequired { .. })
+        ));
+
+        // Out-of-range ToR index under a link graph.
+        let mut cfg = base;
+        cfg.cluster.topology = crate::topology::TopologySpec::LinkGraph(
+            crate::topology::LinkGraphSpec::paper_default(),
+        );
+        let mut plan = FaultPlan::none();
+        plan.push(FaultEvent::transient(FaultDomain::DecodeTor(9), 10.0, 50.0));
+        cfg.faults = plan;
+        assert!(matches!(
+            Simulator::try_new(cfg),
+            Err(ConfigError::ReplicaOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -316,6 +316,131 @@ impl TelemetryState {
         self.inflight_transfers = self.inflight_transfers.saturating_sub(1);
     }
 
+    // --- Link-graph flows and the fault/retry path (see OBSERVABILITY.md,
+    // "Fault and retry taxonomy"). ---
+
+    /// A fair-shared flow started (or restarted after an abort) on the
+    /// link-graph fabric. The span is recorded at the landing, when the end
+    /// is known ([`Self::flow_finished`]); starting only moves the in-flight
+    /// gauge.
+    #[inline]
+    pub fn flow_started(&mut self, _replica: usize) {
+        self.inflight_transfers += 1;
+    }
+
+    /// A fair-shared flow delivered its last byte: the final (successful)
+    /// attempt occupied [`started`, `now`]. The in-flight gauge drops via
+    /// [`Self::transfer_landed`], which the caller invokes alongside.
+    #[inline]
+    pub fn flow_finished(&mut self, replica: usize, req: usize, started: f64, now: f64) {
+        if self.traced(req) {
+            self.tel.span(
+                "kv_flow",
+                "fabric",
+                self.nic_tracks[replica],
+                req as u64,
+                started,
+                now,
+            );
+        }
+    }
+
+    /// An in-flight transfer aborted (dead link or dead source replica) after
+    /// running over [`started`, `now`]; its partial progress is kept for the
+    /// retry.
+    pub fn transfer_aborted(&mut self, replica: usize, req: usize, started: f64, now: f64) {
+        self.inflight_transfers = self.inflight_transfers.saturating_sub(1);
+        if self.traced(req) {
+            self.tel.span(
+                "kv_flow_aborted",
+                "fabric",
+                self.nic_tracks[replica],
+                req as u64,
+                started,
+                now,
+            );
+        }
+        self.tel.add_counter("transfer_aborts", 1);
+    }
+
+    /// Attempt `attempt` of `req`'s transfer was scheduled after a seeded
+    /// backoff starting at `now`.
+    pub fn transfer_retry_scheduled(
+        &mut self,
+        replica: usize,
+        req: usize,
+        now: f64,
+        _attempt: u32,
+    ) {
+        if self.traced(req) {
+            self.tel.instant(
+                "transfer_retry",
+                "fabric",
+                self.nic_tracks[replica],
+                req as u64,
+                now,
+            );
+        }
+        self.tel.add_counter("transfer_retries", 1);
+    }
+
+    /// `req` exhausted its transfer retries and re-admissions: permanently
+    /// aborted.
+    pub fn request_abandoned(&mut self, req: usize, now: f64) {
+        if self.traced(req) {
+            self.tel.instant(
+                "abandoned",
+                "frontend",
+                self.frontend_track,
+                req as u64,
+                now,
+            );
+        }
+        self.tel.add_counter("abandoned", 1);
+    }
+
+    pub fn prefill_failed(&mut self, replica: usize, now: f64) {
+        self.tel.instant(
+            "replica_failed",
+            "prefill",
+            self.prefill_tracks[replica],
+            NO_REQUEST,
+            now,
+        );
+    }
+
+    pub fn prefill_recovered(&mut self, replica: usize, now: f64) {
+        self.tel.instant(
+            "replica_recovered",
+            "prefill",
+            self.prefill_tracks[replica],
+            NO_REQUEST,
+            now,
+        );
+    }
+
+    /// Fault `fault` of the run's plan cut its links (the `req` slot carries
+    /// the fault index for attribution in the exported trace).
+    pub fn fabric_fault(&mut self, fault: usize, now: f64) {
+        self.tel.instant(
+            "fabric_fault",
+            "fabric",
+            self.frontend_track,
+            fault as u64,
+            now,
+        );
+    }
+
+    pub fn fabric_recovered(&mut self, fault: usize, now: f64) {
+        self.tel.instant(
+            "fabric_recovered",
+            "fabric",
+            self.frontend_track,
+            fault as u64,
+            now,
+        );
+    }
+
     // --- Decode lifecycle. ---
 
     /// A request waited for decode KV memory over [`wait_start`, `now`] before

@@ -1,0 +1,586 @@
+//! Fabric topology and correlated-fault configuration.
+//!
+//! [`TopologySpec`] selects the KV-transfer fabric model. The default,
+//! [`TopologySpec::Flat`], is the original per-NIC FIFO with a min-bandwidth
+//! wire time and is pinned bit- and cost-identical to the pre-topology
+//! simulator. [`TopologySpec::LinkGraph`] models the fabric as replica NIC →
+//! ToR → spine tiers with per-link capacities; active KV transfers become
+//! flows that fairly share each link, with progress re-split on every
+//! transfer start/finish/failure event, so a group's effective NIC bandwidth
+//! is emergent rather than assumed.
+//!
+//! [`FaultPlan`] generalizes the old single-decode-replica [`FailureSpec`]
+//! (see [`crate::config`]) to a bounded schedule of typed fault events over
+//! *fault domains* — a single replica, a NIC, a ToR, or the spine. A switch
+//! fault atomically fails every replica behind it; in-flight transfers
+//! crossing a dead link abort with partial progress and retry with
+//! deterministic seeded backoff.
+//!
+//! [`FailureSpec`]: crate::config::FailureSpec
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Maximum number of fault events in a [`FaultPlan`] (the plan is a
+/// fixed-capacity `Copy` value, like [`crate::fleet::GroupSet`]).
+pub const MAX_FAULTS: usize = 8;
+
+/// Bounded transfer retry attempts before a request gives up on its current
+/// reservation and re-enters admission.
+pub const MAX_TRANSFER_ATTEMPTS: u32 = 4;
+
+/// Bounded re-admissions after exhausted transfer retries before a request is
+/// permanently aborted (it then counts into
+/// [`crate::SimulationResult::aborted_requests`]).
+pub const MAX_READMISSIONS: u32 = 2;
+
+/// Base of the deterministic exponential retry backoff (seconds).
+pub const RETRY_BACKOFF_BASE_S: f64 = 1.0;
+
+/// The KV-transfer fabric model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub enum TopologySpec {
+    /// The original fabric: one FIFO NIC per prefill replica, wire time from
+    /// the min of the two groups' NIC bandwidths. Bit- and cost-identical to
+    /// the pre-topology simulator (pinned by seed_equivalence and the
+    /// interleaved `fault_storm` bench row).
+    #[default]
+    Flat,
+    /// Link-graph fabric: per-replica NICs feeding ToR uplinks feeding a
+    /// spine, with transfers as max-min fairly shared flows.
+    LinkGraph(LinkGraphSpec),
+}
+
+impl TopologySpec {
+    /// The link-graph spec, if this topology is one.
+    pub fn link_graph(&self) -> Option<&LinkGraphSpec> {
+        match self {
+            TopologySpec::Flat => None,
+            TopologySpec::LinkGraph(spec) => Some(spec),
+        }
+    }
+
+    /// Decodes a topology from its serialized [`Value`] shape. A missing
+    /// `topology` key in old snapshots lowers to [`TopologySpec::Flat`]; this
+    /// decodes the present-key shapes.
+    pub fn from_value(value: &Value) -> Option<TopologySpec> {
+        match value {
+            Value::String(s) if s == "Flat" => Some(TopologySpec::Flat),
+            Value::Object(_) => {
+                let inner = value.get_key("LinkGraph")?;
+                let spec = match inner {
+                    Value::Array(items) => LinkGraphSpec::from_value(items.first()?)?,
+                    other => LinkGraphSpec::from_value(other)?,
+                };
+                Some(TopologySpec::LinkGraph(spec))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Parameters of the link-graph fabric: how many replicas share each ToR and
+/// the per-link capacities of the two switching tiers.
+///
+/// Every KV transfer is a flow crossing five links — source prefill NIC,
+/// prefill-side ToR uplink, spine, decode-side ToR uplink, destination decode
+/// NIC — and receives `min_l capacity(l) / flows(l)` of bandwidth along its
+/// path. NIC capacities come from the replica groups' `network_gbps`, so the
+/// oversubscription of a ToR is `per_tor · nic_gbps / tor_uplink_gbps`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LinkGraphSpec {
+    /// Prefill replicas per prefill-side ToR (last ToR may be partial).
+    pub prefill_per_tor: usize,
+    /// Decode replicas per decode-side ToR.
+    pub decode_per_tor: usize,
+    /// Capacity of each ToR's spine uplink (Gbps).
+    pub tor_uplink_gbps: f64,
+    /// Capacity of the spine (Gbps), shared by all inter-ToR traffic.
+    pub spine_gbps: f64,
+}
+
+impl LinkGraphSpec {
+    /// A paper-shaped default: four prefill replicas and two decode replicas
+    /// per ToR, 100 Gbps uplinks, a 400 Gbps spine.
+    pub fn paper_default() -> Self {
+        Self {
+            prefill_per_tor: 4,
+            decode_per_tor: 2,
+            tor_uplink_gbps: 100.0,
+            spine_gbps: 400.0,
+        }
+    }
+
+    /// An effectively non-blocking fabric: uplinks and spine so fat that every
+    /// flow is NIC-limited (useful as the "topology enabled, no contention"
+    /// reference point).
+    pub fn non_blocking() -> Self {
+        Self {
+            prefill_per_tor: 4,
+            decode_per_tor: 2,
+            tor_uplink_gbps: 1e6,
+            spine_gbps: 1e6,
+        }
+    }
+
+    /// Oversubscription ratio of a ToR whose replicas have `nic_gbps` NICs:
+    /// aggregate downlink capacity over uplink capacity.
+    pub fn oversubscription(&self, nic_gbps: f64, per_tor: usize) -> f64 {
+        nic_gbps * per_tor as f64 / self.tor_uplink_gbps
+    }
+
+    /// Number of ToRs needed for `replicas` replicas at `per_tor` per switch.
+    pub fn tors_for(replicas: usize, per_tor: usize) -> usize {
+        replicas.div_ceil(per_tor.max(1))
+    }
+
+    /// Decodes a spec from its serialized [`Value`] tree.
+    pub fn from_value(value: &Value) -> Option<LinkGraphSpec> {
+        Some(LinkGraphSpec {
+            prefill_per_tor: value.get_key("prefill_per_tor")?.as_f64()? as usize,
+            decode_per_tor: value.get_key("decode_per_tor")?.as_f64()? as usize,
+            tor_uplink_gbps: value.get_key("tor_uplink_gbps")?.as_f64()?,
+            spine_gbps: value.get_key("spine_gbps")?.as_f64()?,
+        })
+    }
+}
+
+/// A fault domain: the unit of the cluster that a [`FaultEvent`] takes down.
+///
+/// Switch domains (`*Tor`, `Spine`, `*Nic`) atomically fail every replica
+/// behind them and abort in-flight transfers crossing the dead link; they
+/// require [`TopologySpec::LinkGraph`] (there are no links to cut in the flat
+/// fabric). Replica domains work under either topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FaultDomain {
+    /// One decode replica (global, group-major index) — the legacy
+    /// [`FailureSpec`](crate::config::FailureSpec) semantics.
+    DecodeReplica(usize),
+    /// One prefill replica: its queue re-routes to live replicas, its
+    /// in-flight prefill is aborted and re-admitted.
+    PrefillReplica(usize),
+    /// The NIC of one prefill replica: the replica fails and flows through
+    /// the NIC abort (link-graph only).
+    PrefillNic(usize),
+    /// The NIC of one decode replica (link-graph only).
+    DecodeNic(usize),
+    /// A prefill-side ToR: every prefill replica behind it fails
+    /// (link-graph only).
+    PrefillTor(usize),
+    /// A decode-side ToR: every decode replica behind it fails
+    /// (link-graph only).
+    DecodeTor(usize),
+    /// The spine: no replica fails, but every in-flight transfer aborts and
+    /// new transfers cannot start until recovery (link-graph only).
+    Spine,
+}
+
+impl FaultDomain {
+    /// Whether this domain cuts fabric links (and therefore requires the
+    /// link-graph topology).
+    pub fn needs_link_graph(&self) -> bool {
+        !matches!(
+            self,
+            FaultDomain::DecodeReplica(_) | FaultDomain::PrefillReplica(_)
+        )
+    }
+
+    /// A short stable label for traces and reports.
+    pub fn label(&self) -> String {
+        match self {
+            FaultDomain::DecodeReplica(i) => format!("decode-{i}"),
+            FaultDomain::PrefillReplica(i) => format!("prefill-{i}"),
+            FaultDomain::PrefillNic(i) => format!("nic-p{i}"),
+            FaultDomain::DecodeNic(i) => format!("nic-d{i}"),
+            FaultDomain::PrefillTor(i) => format!("tor-p{i}"),
+            FaultDomain::DecodeTor(i) => format!("tor-d{i}"),
+            FaultDomain::Spine => "spine".to_string(),
+        }
+    }
+
+    /// Decodes a domain from its serialized [`Value`] shape (unit variants
+    /// serialize to a string, tuple variants to `{name: [index]}`).
+    pub fn from_value(value: &Value) -> Option<FaultDomain> {
+        match value {
+            Value::String(s) if s == "Spine" => Some(FaultDomain::Spine),
+            Value::Object(fields) => {
+                let (name, inner) = fields.first()?;
+                let index = match inner {
+                    Value::Array(items) => items.first()?.as_f64()? as usize,
+                    other => other.as_f64()? as usize,
+                };
+                match name.as_str() {
+                    "DecodeReplica" => Some(FaultDomain::DecodeReplica(index)),
+                    "PrefillReplica" => Some(FaultDomain::PrefillReplica(index)),
+                    "PrefillNic" => Some(FaultDomain::PrefillNic(index)),
+                    "DecodeNic" => Some(FaultDomain::DecodeNic(index)),
+                    "PrefillTor" => Some(FaultDomain::PrefillTor(index)),
+                    "DecodeTor" => Some(FaultDomain::DecodeTor(index)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One scheduled fault: a domain goes down at `at` and (optionally) recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FaultEvent {
+    /// What fails.
+    pub domain: FaultDomain,
+    /// Failure time (seconds since trace start).
+    pub at: f64,
+    /// Recovery time, or `None` for a permanent fault.
+    pub recover_at: Option<f64>,
+}
+
+impl FaultEvent {
+    /// A permanent fault of `domain` at time `at`.
+    pub fn permanent(domain: FaultDomain, at: f64) -> Self {
+        Self {
+            domain,
+            at,
+            recover_at: None,
+        }
+    }
+
+    /// A fault of `domain` at `at` that recovers at `recover_at`.
+    pub fn transient(domain: FaultDomain, at: f64, recover_at: f64) -> Self {
+        Self {
+            domain,
+            at,
+            recover_at: Some(recover_at),
+        }
+    }
+
+    fn from_value(value: &Value) -> Option<FaultEvent> {
+        Some(FaultEvent {
+            domain: FaultDomain::from_value(value.get_key("domain")?)?,
+            at: value.get_key("at")?.as_f64()?,
+            recover_at: match value.get_key("recover_at") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(v.as_f64()?),
+            },
+        })
+    }
+}
+
+/// A bounded, `Copy` schedule of fault events (at most [`MAX_FAULTS`]).
+///
+/// The empty plan (the default) injects nothing and is bit-identical to the
+/// pre-fault simulator. The legacy single-failure
+/// [`FailureSpec`](crate::config::FailureSpec) converts losslessly via
+/// `From`, and [`FaultPlan::from_value`] additionally accepts that old
+/// serialized shape (a `decode_replica`/`at`/`recover_at` object), so
+/// pre-fault snapshots keep decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    events: [Option<FaultEvent>; MAX_FAULTS],
+    len: usize,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan from a slice of events. Panics if more than [`MAX_FAULTS`].
+    pub fn new(events: &[FaultEvent]) -> Self {
+        assert!(
+            events.len() <= MAX_FAULTS,
+            "a FaultPlan holds at most {MAX_FAULTS} events, got {}",
+            events.len()
+        );
+        let mut plan = Self::default();
+        for &e in events {
+            plan.events[plan.len] = Some(e);
+            plan.len += 1;
+        }
+        plan
+    }
+
+    /// Appends an event. Panics when full.
+    pub fn push(&mut self, event: FaultEvent) {
+        assert!(
+            self.len < MAX_FAULTS,
+            "a FaultPlan holds at most {MAX_FAULTS} events"
+        );
+        self.events[self.len] = Some(event);
+        self.len += 1;
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th fault event.
+    pub fn get(&self, i: usize) -> &FaultEvent {
+        self.events[i].as_ref().expect("fault index in range")
+    }
+
+    /// Iterates over the scheduled events.
+    pub fn iter(&self) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().take(self.len).filter_map(|e| e.as_ref())
+    }
+
+    /// Whether any event cuts fabric links (requires the link-graph topology).
+    pub fn needs_link_graph(&self) -> bool {
+        self.iter().any(|e| e.domain.needs_link_graph())
+    }
+
+    /// Decodes a plan from either the current shape (an array of fault
+    /// events) or the legacy single-failure [`FailureSpec`] shape.
+    ///
+    /// [`FailureSpec`]: crate::config::FailureSpec
+    pub fn from_value(value: &Value) -> Option<FaultPlan> {
+        match value {
+            Value::Null => Some(FaultPlan::none()),
+            Value::Array(items) => {
+                if items.len() > MAX_FAULTS {
+                    return None;
+                }
+                let mut plan = FaultPlan::none();
+                for item in items {
+                    plan.push(FaultEvent::from_value(item)?);
+                }
+                Some(plan)
+            }
+            Value::Object(_) => {
+                // Legacy FailureSpec snapshot: {decode_replica, at, recover_at}.
+                let replica = value.get_key("decode_replica")?.as_f64()? as usize;
+                let at = value.get_key("at")?.as_f64()?;
+                let recover_at = match value.get_key("recover_at") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(v.as_f64()?),
+                };
+                Some(FaultPlan::new(&[FaultEvent {
+                    domain: FaultDomain::DecodeReplica(replica),
+                    at,
+                    recover_at,
+                }]))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for FaultPlan {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(|e| e.serialize_value()).collect())
+    }
+}
+
+impl serde::Deserialize for FaultPlan {}
+
+/// A configuration error detected at [`Simulator`](crate::Simulator)
+/// construction time, before any event runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A fault targets a replica index outside the fleet.
+    ReplicaOutOfRange {
+        /// The offending domain.
+        domain: FaultDomain,
+        /// Number of replicas (or switches) on that side.
+        limit: usize,
+    },
+    /// A fault time is non-finite or negative.
+    InvalidFaultTime {
+        /// The offending domain.
+        domain: FaultDomain,
+        /// The rejected time.
+        at: f64,
+    },
+    /// A fault recovers at or before its failure time.
+    RecoveryBeforeFault {
+        /// The offending domain.
+        domain: FaultDomain,
+        /// Failure time.
+        at: f64,
+        /// Rejected recovery time.
+        recover_at: f64,
+    },
+    /// Two faults on the same domain overlap in time.
+    OverlappingFaults {
+        /// The domain faulted twice.
+        domain: FaultDomain,
+    },
+    /// A fault cuts fabric links but the topology is [`TopologySpec::Flat`].
+    TopologyRequired {
+        /// The offending domain.
+        domain: FaultDomain,
+    },
+    /// A link-graph capacity or grouping parameter is not a positive,
+    /// finite number.
+    InvalidTopology {
+        /// Which parameter is invalid.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ReplicaOutOfRange { domain, limit } => write!(
+                f,
+                "failure targets {} but the cluster has {limit}",
+                match domain {
+                    FaultDomain::DecodeReplica(i) => format!("decode replica {i}"),
+                    FaultDomain::PrefillReplica(i) => format!("prefill replica {i}"),
+                    FaultDomain::PrefillNic(i) => format!("prefill NIC {i}"),
+                    FaultDomain::DecodeNic(i) => format!("decode NIC {i}"),
+                    FaultDomain::PrefillTor(i) => format!("prefill ToR {i}"),
+                    FaultDomain::DecodeTor(i) => format!("decode ToR {i}"),
+                    FaultDomain::Spine => "the spine".to_string(),
+                }
+            ),
+            ConfigError::InvalidFaultTime { domain, at } => write!(
+                f,
+                "fault on {} has invalid time {at} (must be finite and >= 0)",
+                domain.label()
+            ),
+            ConfigError::RecoveryBeforeFault {
+                domain,
+                at,
+                recover_at,
+            } => write!(
+                f,
+                "fault on {} recovers at {recover_at} <= failure time {at}",
+                domain.label()
+            ),
+            ConfigError::OverlappingFaults { domain } => {
+                write!(f, "overlapping faults on domain {}", domain.label())
+            }
+            ConfigError::TopologyRequired { domain } => write!(
+                f,
+                "fault on {} cuts fabric links and requires TopologySpec::LinkGraph",
+                domain.label()
+            ),
+            ConfigError::InvalidTopology { what } => {
+                write!(f, "link-graph topology has invalid {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Deterministic per-(seed, request, attempt) jitter in `[0, 1)` for the
+/// retry backoff — a splitmix64 finalizer, identical across engine modes and
+/// platforms.
+pub(crate) fn retry_jitter(seed: u64, req: usize, attempt: u32) -> f64 {
+    let mut z = seed
+        .wrapping_add((req as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((attempt as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The deterministic seeded backoff before transfer retry `attempt`
+/// (1-based): exponential base with bounded jitter.
+pub(crate) fn retry_backoff(seed: u64, req: usize, attempt: u32) -> f64 {
+    let scale = (1u64 << (attempt - 1).min(6)) as f64;
+    RETRY_BACKOFF_BASE_S * scale * (1.0 + retry_jitter(seed, req, attempt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_the_default_topology() {
+        assert_eq!(TopologySpec::default(), TopologySpec::Flat);
+        assert!(TopologySpec::Flat.link_graph().is_none());
+    }
+
+    #[test]
+    fn topology_serde_round_trips() {
+        for topo in [
+            TopologySpec::Flat,
+            TopologySpec::LinkGraph(LinkGraphSpec::paper_default()),
+        ] {
+            let value = topo.serialize_value();
+            assert_eq!(TopologySpec::from_value(&value), Some(topo));
+        }
+    }
+
+    #[test]
+    fn fault_plan_serde_round_trips() {
+        let plan = FaultPlan::new(&[
+            FaultEvent::transient(FaultDomain::DecodeReplica(1), 10.0, 50.0),
+            FaultEvent::permanent(FaultDomain::PrefillTor(0), 100.0),
+            FaultEvent::transient(FaultDomain::Spine, 200.0, 210.0),
+        ]);
+        let value = plan.serialize_value();
+        assert_eq!(FaultPlan::from_value(&value), Some(plan));
+    }
+
+    #[test]
+    fn fault_plan_decodes_legacy_failure_spec_shape() {
+        // A pre-fault-plan snapshot: the serialized FailureSpec object.
+        let spec = crate::config::FailureSpec::transient(2, 40.0, 400.0);
+        let value = spec.serialize_value();
+        let plan = FaultPlan::from_value(&value).expect("legacy shape decodes");
+        assert_eq!(plan, FaultPlan::from(spec));
+        assert_eq!(
+            plan.get(0).domain,
+            FaultDomain::DecodeReplica(2),
+            "legacy failures are decode-replica faults"
+        );
+
+        let permanent = crate::config::FailureSpec::permanent(0, 5.0);
+        let plan = FaultPlan::from_value(&permanent.serialize_value()).unwrap();
+        assert_eq!(plan.get(0).recover_at, None);
+    }
+
+    #[test]
+    fn fault_domain_labels_and_link_needs() {
+        assert!(!FaultDomain::DecodeReplica(0).needs_link_graph());
+        assert!(!FaultDomain::PrefillReplica(0).needs_link_graph());
+        for d in [
+            FaultDomain::PrefillNic(0),
+            FaultDomain::DecodeNic(1),
+            FaultDomain::PrefillTor(0),
+            FaultDomain::DecodeTor(1),
+            FaultDomain::Spine,
+        ] {
+            assert!(d.needs_link_graph(), "{}", d.label());
+        }
+        assert_eq!(FaultDomain::Spine.label(), "spine");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_growing() {
+        let b1 = retry_backoff(42, 7, 1);
+        let b2 = retry_backoff(42, 7, 2);
+        let b3 = retry_backoff(42, 7, 3);
+        assert_eq!(b1, retry_backoff(42, 7, 1), "same inputs, same backoff");
+        assert!((RETRY_BACKOFF_BASE_S..2.0 * RETRY_BACKOFF_BASE_S).contains(&b1));
+        assert!((2.0 * RETRY_BACKOFF_BASE_S..4.0 * RETRY_BACKOFF_BASE_S).contains(&b2));
+        assert!(b3 > b2 && b2 > b1);
+        assert_ne!(
+            retry_jitter(42, 7, 1),
+            retry_jitter(42, 8, 1),
+            "jitter differs per request"
+        );
+    }
+
+    #[test]
+    fn oversubscription_ratio() {
+        let spec = LinkGraphSpec::paper_default();
+        let ratio = spec.oversubscription(40.0, 4);
+        assert!((ratio - 1.6).abs() < 1e-12);
+        assert_eq!(LinkGraphSpec::tors_for(5, 4), 2);
+        assert_eq!(LinkGraphSpec::tors_for(4, 4), 1);
+        assert_eq!(LinkGraphSpec::tors_for(0, 4), 0);
+    }
+}

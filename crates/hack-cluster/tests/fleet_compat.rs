@@ -8,9 +8,9 @@
 //! [`ClusterConfig::from_value`].
 
 use hack_cluster::{
-    AdmissionPolicyKind, ClusterConfig, CostMode, DispatchPolicyKind, FleetSpec, GroupSet,
-    PolicyConfig, ReplicaGroup, SchedulingPolicyKind, SimulationConfig, SimulationResult,
-    Simulator, TelemetryConfig, TenantClass, TenantClasses,
+    AdmissionPolicyKind, ClusterConfig, CostMode, DispatchPolicyKind, FaultPlan, FleetSpec,
+    GroupSet, PolicyConfig, ReplicaGroup, SchedulingPolicyKind, SimulationConfig, SimulationResult,
+    Simulator, TelemetryConfig, TenantClass, TenantClasses, TopologySpec,
 };
 use hack_model::cost::{CostParams, KvMethodProfile};
 use hack_model::gpu::GpuKind;
@@ -47,6 +47,7 @@ fn hand_built_default() -> ClusterConfig {
         pipelining: false,
         cost_params: CostParams::default(),
         activation_reserve: 0.10,
+        topology: TopologySpec::Flat,
     }
 }
 
@@ -62,7 +63,7 @@ fn sim_config(cluster: ClusterConfig, seed: u64, n: usize) -> SimulationConfig {
         },
         profile: KvMethodProfile::hack(),
         policy: PolicyConfig::default(),
-        failure: None,
+        faults: FaultPlan::none(),
         telemetry: TelemetryConfig::Off,
     }
 }

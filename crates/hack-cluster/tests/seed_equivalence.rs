@@ -379,6 +379,13 @@ mod legacy {
                 rejected_by_tenant: Vec::new(),
                 requeued_requests: 0,
                 injected_failures: 0,
+                transfer_retries: 0,
+                retry_histogram: Vec::new(),
+                aborted_requests: 0,
+                abandoned_requests: 0,
+                faults: Vec::new(),
+                degraded_secs: 0.0,
+                degraded_goodput: 0.0,
                 prefill_groups: Vec::new(),
                 decode_groups: Vec::new(),
                 makespan,
@@ -539,7 +546,9 @@ mod legacy {
     }
 }
 
-use hack_cluster::{ClusterConfig, PolicyConfig, SimulationConfig, Simulator, TelemetryConfig};
+use hack_cluster::{
+    ClusterConfig, FaultPlan, PolicyConfig, SimulationConfig, Simulator, TelemetryConfig,
+};
 use hack_model::cost::KvMethodProfile;
 use hack_model::gpu::GpuKind;
 use hack_model::spec::ModelKind;
@@ -636,7 +645,7 @@ fn config(
         },
         profile,
         policy: PolicyConfig::default(),
-        failure: None,
+        faults: FaultPlan::none(),
         telemetry: TelemetryConfig::Off,
     }
 }
@@ -711,7 +720,7 @@ fn memory_pressure_and_swap_path_match_seed_simulator() {
         },
         profile: KvMethodProfile::baseline(),
         policy: PolicyConfig::default(),
-        failure: None,
+        faults: FaultPlan::none(),
         telemetry: TelemetryConfig::Off,
     };
     assert_equivalent(cfg, "overload/swap");

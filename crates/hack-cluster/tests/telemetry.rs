@@ -15,7 +15,7 @@
 //!    timestamps agree to ~1e-9 (the cost layers agree to ~1e-15 relative).
 
 use hack_cluster::{
-    ClusterConfig, CostMode, FailureSpec, PolicyConfig, SimulationConfig, Simulator,
+    ClusterConfig, CostMode, FailureSpec, FaultPlan, PolicyConfig, SimulationConfig, Simulator,
     TelemetryConfig,
 };
 use hack_metrics::telemetry::Telemetry;
@@ -39,7 +39,7 @@ fn base_config(n: usize, rps: f64) -> SimulationConfig {
         },
         profile: KvMethodProfile::hack(),
         policy: PolicyConfig::default(),
-        failure: None,
+        faults: FaultPlan::none(),
         telemetry: TelemetryConfig::Off,
     }
 }
@@ -51,7 +51,7 @@ fn with_telemetry(mut config: SimulationConfig, interval: f64) -> SimulationConf
 
 fn failure_config(n: usize) -> SimulationConfig {
     SimulationConfig {
-        failure: Some(FailureSpec::transient(0, 40.0, 400.0)),
+        faults: FailureSpec::transient(0, 40.0, 400.0).into(),
         ..base_config(n, 0.08)
     }
 }

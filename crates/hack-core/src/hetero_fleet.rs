@@ -13,7 +13,7 @@
 use crate::experiment::{ExperimentTable, Row};
 use crate::method::Method;
 use hack_cluster::{
-    ClusterConfig, DispatchPolicyKind, GroupSet, GroupStats, PolicyConfig, ReplicaGroup,
+    ClusterConfig, DispatchPolicyKind, FaultPlan, GroupSet, GroupStats, PolicyConfig, ReplicaGroup,
     SimulationConfig, SimulationResult, Simulator, TelemetryConfig,
 };
 use hack_metrics::jct::JctStats;
@@ -98,7 +98,7 @@ impl HeteroFleetExperiment {
             },
             profile: method.profile(),
             policy: PolicyConfig::dispatched(dispatch),
-            failure: None,
+            faults: FaultPlan::none(),
             telemetry: TelemetryConfig::Off,
         }
     }

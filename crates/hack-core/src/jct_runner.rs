@@ -6,7 +6,7 @@
 
 use crate::method::Method;
 use hack_cluster::{
-    ClusterConfig, CostMode, FailureSpec, PolicyConfig, SimulationConfig, Simulator,
+    ClusterConfig, CostMode, FailureSpec, FaultPlan, PolicyConfig, SimulationConfig, Simulator,
     TelemetryConfig,
 };
 use hack_metrics::jct::{JctStats, StageRatios};
@@ -251,7 +251,7 @@ impl JctExperiment {
             trace: self.trace_config(),
             profile: method.profile(),
             policy: PolicyConfig::default(),
-            failure: self.failure,
+            faults: self.failure.map(FaultPlan::from).unwrap_or_default(),
             telemetry: TelemetryConfig::Off,
         }
     }

@@ -29,6 +29,7 @@
 //! ```
 
 pub mod experiment;
+pub mod fault_storm;
 pub mod fidelity;
 pub mod hetero_fleet;
 pub mod jct_runner;
@@ -36,6 +37,7 @@ pub mod method;
 pub mod tenant_mix;
 
 pub use experiment::{ExperimentTable, Row};
+pub use fault_storm::{FaultScenario, FaultStormExperiment, FaultStormOutcome};
 pub use fidelity::{FidelityReport, FidelitySetup};
 pub use hetero_fleet::{HeteroFleetExperiment, HeteroFleetOutcome};
 pub use jct_runner::{JctExperiment, JctOutcome};
@@ -45,6 +47,7 @@ pub use tenant_mix::{TenantMixExperiment, TenantMixOutcome, TenantWorkload};
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
     pub use crate::experiment::{ExperimentTable, Row};
+    pub use crate::fault_storm::{FaultScenario, FaultStormExperiment, FaultStormOutcome};
     pub use crate::fidelity::{FidelityReport, FidelitySetup};
     pub use crate::hetero_fleet::{HeteroFleetExperiment, HeteroFleetOutcome};
     pub use crate::jct_runner::{JctExperiment, JctOutcome};
@@ -54,9 +57,10 @@ pub mod prelude {
     pub use hack_attention::prefill::hack_prefill_attention;
     pub use hack_attention::state::HackKvState;
     pub use hack_cluster::{
-        AdmissionPolicyKind, ClusterConfig, DispatchPolicyKind, FailureSpec, FleetSpec, GroupSet,
-        GroupStats, PolicyConfig, ReplicaGroup, SchedulingPolicyKind, SimulationConfig, Simulator,
-        TelemetryConfig, TelemetrySettings, TenantClass, TenantClasses,
+        AdmissionPolicyKind, ClusterConfig, ConfigError, DispatchPolicyKind, FailureSpec,
+        FaultDomain, FaultEvent, FaultPlan, FaultRecord, FleetSpec, GroupSet, GroupStats,
+        LinkGraphSpec, PolicyConfig, ReplicaGroup, SchedulingPolicyKind, SimulationConfig,
+        Simulator, TelemetryConfig, TelemetrySettings, TenantClass, TenantClasses, TopologySpec,
     };
     pub use hack_metrics::telemetry::Telemetry;
     pub use hack_model::gpu::GpuKind;

@@ -12,8 +12,8 @@
 use crate::experiment::{ExperimentTable, Row};
 use crate::method::Method;
 use hack_cluster::{
-    AdmissionPolicyKind, PolicyConfig, SchedulingPolicyKind, SimulationConfig, SimulationResult,
-    Simulator, TelemetryConfig, TenantClass, TenantClasses,
+    AdmissionPolicyKind, FaultPlan, PolicyConfig, SchedulingPolicyKind, SimulationConfig,
+    SimulationResult, Simulator, TelemetryConfig, TenantClass, TenantClasses,
 };
 use hack_metrics::jct::JctStats;
 use hack_metrics::tenant::TenantSlo;
@@ -153,7 +153,7 @@ impl TenantMixExperiment {
                 admission: self.admission,
                 scheduling,
             },
-            failure: None,
+            faults: FaultPlan::none(),
             telemetry: TelemetryConfig::Off,
         }
     }

@@ -40,7 +40,7 @@ fn main() {
         },
         profile: Method::hack().profile(),
         policy: PolicyConfig::default(),
-        failure: None,
+        faults: FaultPlan::none(),
         telemetry: TelemetryConfig::Off,
     };
 
@@ -66,7 +66,7 @@ fn main() {
     // ~1/200th of the expected makespan so counter tracks have useful shape.
     let interval = (healthy.makespan / 200.0).max(1.0);
     let config = SimulationConfig {
-        failure: Some(FailureSpec::transient(victim, fail_at, recover_at)),
+        faults: FailureSpec::transient(victim, fail_at, recover_at).into(),
         telemetry: TelemetryConfig::with_interval(interval),
         ..base_config
     };

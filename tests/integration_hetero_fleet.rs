@@ -162,7 +162,7 @@ fn uniform_fleet_reproduces_legacy_jct_experiment_results() {
         },
         profile: Method::hack().profile(),
         policy: PolicyConfig::default(),
-        failure: None,
+        faults: FaultPlan::none(),
         telemetry: TelemetryConfig::Off,
     };
     let direct = Simulator::new(legacy_config).run();
@@ -231,10 +231,7 @@ fn aborted_decode_time_is_charged_to_the_failing_group() {
         .find(|r| r.decode_replica < 2 && r.breakdown.decode > 1.0)
         .expect("some request decodes on group 0 for more than a second");
     let mut config = base;
-    config.failure = Some(FailureSpec::permanent(
-        victim.decode_replica,
-        victim.finish_time - 0.5,
-    ));
+    config.faults = FailureSpec::permanent(victim.decode_replica, victim.finish_time - 0.5).into();
     let result = Simulator::new(config).run();
     assert_eq!(result.records.len(), e.num_requests);
     assert!(result.requeued_requests > 0, "the failure must abort work");

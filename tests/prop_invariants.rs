@@ -375,14 +375,15 @@ fn random_sim_config(rng: &mut DetRng) -> SimulationConfig {
             Method::Baseline.profile()
         },
         policy: PolicyConfig::default(),
-        failure: if rng.chance(0.3) {
-            Some(FailureSpec::transient(
+        faults: if rng.chance(0.3) {
+            FailureSpec::transient(
                 rng.range_usize(0, cluster.decode_replicas()),
                 rng.range_f64(1.0, 300.0),
                 1e6,
-            ))
+            )
+            .into()
         } else {
-            None
+            FaultPlan::none()
         },
         telemetry: TelemetryConfig::Off,
     }
@@ -458,7 +459,7 @@ fn random_multi_tenant(rng: &mut DetRng) -> (SimulationConfig, Arc<Vec<hack_work
     ][rng.range_usize(0, 3)];
     let dispatch = hack_cluster::DispatchPolicyKind::all()[rng.range_usize(0, 3)];
     let mut base = random_sim_config(rng);
-    base.failure = None; // exercised separately; keep every request completable
+    base.faults = FaultPlan::none(); // exercised separately; keep every request completable
     base.trace.num_requests = requests.len();
     base.policy = PolicyConfig {
         tenants: TenantClasses::new(&classes),
@@ -546,6 +547,134 @@ fn fcfs_policy_equals_default_on_single_tenant_traces() {
                 default_run,
                 "case {case}: {scheduling:?} must coincide with FCFS on one tenant"
             );
+        }
+    }
+}
+
+// --- Robustness invariants: conservation under randomized fault plans
+// --- (topology-aware fabric, correlated switch faults, transfer retries).
+
+use hack_cluster::{CostMode, SimulationResult};
+use hack_sim::EngineMode;
+
+/// A random non-overlapping fault plan over every fault-domain kind. When any
+/// chosen domain needs the link graph, the caller must have set a `LinkGraph`
+/// topology on the cluster first (this helper derives ToR counts from it).
+fn random_fault_plan(rng: &mut DetRng, cluster: &ClusterConfig) -> FaultPlan {
+    let link_graph = cluster.topology.link_graph().is_some();
+    let mut plan = FaultPlan::none();
+    let mut used: Vec<FaultDomain> = Vec::new();
+    for _ in 0..rng.range_usize(1, 4) {
+        let kinds = if link_graph { 7 } else { 2 };
+        let domain = match rng.range_usize(0, kinds) {
+            0 => FaultDomain::DecodeReplica(rng.range_usize(0, cluster.decode_replicas())),
+            1 => FaultDomain::PrefillReplica(rng.range_usize(0, cluster.prefill_replicas())),
+            2 => FaultDomain::DecodeNic(rng.range_usize(0, cluster.decode_replicas())),
+            3 => FaultDomain::PrefillNic(rng.range_usize(0, cluster.prefill_replicas())),
+            4 => FaultDomain::DecodeTor(rng.range_usize(0, cluster.decode_tors())),
+            5 => FaultDomain::PrefillTor(rng.range_usize(0, cluster.prefill_tors())),
+            _ => FaultDomain::Spine,
+        };
+        // The validator rejects overlapping windows on one domain; one fault
+        // per domain sidesteps overlap entirely.
+        if used.contains(&domain) {
+            continue;
+        }
+        used.push(domain);
+        let at = rng.range_f64(1.0, 300.0);
+        plan.push(FaultEvent::transient(
+            domain,
+            at,
+            at + rng.range_f64(5.0, 100.0),
+        ));
+    }
+    plan
+}
+
+/// Global conservation: every generated request is completed exactly once,
+/// rejected, or accounted as aborted — never lost, never duplicated.
+fn assert_conserved(result: &SimulationResult, total: usize, label: &str) {
+    let mut seen = vec![0usize; total];
+    for r in &result.records {
+        seen[r.request.id as usize] += 1;
+    }
+    assert!(
+        seen.iter().all(|&n| n <= 1),
+        "{label}: a request completed twice"
+    );
+    let missing = seen.iter().filter(|&&n| n == 0).count();
+    assert_eq!(
+        missing,
+        result.rejected_requests + result.aborted_requests,
+        "{label}: completed {} + rejected {} + aborted {} != total {total}",
+        result.records.len(),
+        result.rejected_requests,
+        result.aborted_requests
+    );
+}
+
+#[test]
+fn conservation_holds_under_randomized_fault_plans_across_engines_and_cost_modes() {
+    use hack_cluster::{LinkGraphSpec, TopologySpec};
+    for case in 0..8 {
+        let mut rng = DetRng::new(18_000 + case);
+        let mut config = random_sim_config(&mut rng);
+        if rng.chance(0.7) {
+            config.cluster.topology = TopologySpec::LinkGraph(LinkGraphSpec::paper_default());
+        }
+        config.faults = random_fault_plan(&mut rng, &config.cluster);
+        let total = config.trace.num_requests;
+
+        // The two engine layouts must agree bit-for-bit even mid-fault-storm.
+        let slab = Simulator::new(config).run_with_mode(EngineMode::Slab);
+        let boxed = Simulator::new(config).run_with_mode(EngineMode::Boxed);
+        assert_eq!(slab, boxed, "case {case}: engine divergence under faults");
+
+        // Conservation holds in every cost mode (Reference recomputes each
+        // stage time from first principles, so it reshuffles all timing).
+        let reference = Simulator::new(config).run_with_costs(CostMode::Reference);
+        assert_conserved(&slab, total, &format!("case {case} (table)"));
+        assert_conserved(&reference, total, &format!("case {case} (reference)"));
+
+        // Fault records stay within the plan's bounds.
+        assert_eq!(slab.faults.len(), config.faults.len());
+        for f in &slab.faults {
+            assert!(f.requests_aborted <= total);
+            assert!(f.downtime_secs >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn per_tenant_conservation_holds_under_randomized_fault_plans() {
+    use hack_cluster::{LinkGraphSpec, TopologySpec};
+    for case in 0..6 {
+        let mut rng = DetRng::new(19_000 + case);
+        let (mut config, requests) = random_multi_tenant(&mut rng);
+        config.cluster.topology = TopologySpec::LinkGraph(LinkGraphSpec::paper_default());
+        config.faults = random_fault_plan(&mut rng, &config.cluster);
+        let result = Simulator::with_requests(config, requests.clone()).run();
+
+        assert_conserved(&result, requests.len(), &format!("case {case}"));
+
+        // Per-tenant: completions plus that tenant's missing requests cover
+        // exactly what the tenant generated, and rejections never exceed the
+        // tenant's missing share.
+        let mut completed = std::collections::BTreeMap::new();
+        let mut done = vec![false; requests.len()];
+        for r in &result.records {
+            *completed.entry(r.request.tenant).or_insert(0usize) += 1;
+            done[r.request.id as usize] = true;
+        }
+        for (tenant, stats) in result.per_tenant_stats() {
+            let generated = requests.iter().filter(|r| r.tenant == tenant).count();
+            let finished = completed.get(&tenant).copied().unwrap_or(0);
+            assert_eq!(stats.count, finished, "case {case}: {tenant}");
+            let missing = requests
+                .iter()
+                .filter(|r| r.tenant == tenant && !done[r.id as usize])
+                .count();
+            assert_eq!(finished + missing, generated, "case {case}: {tenant}");
         }
     }
 }
