@@ -14,8 +14,8 @@
 //!   per-token summation loops: microbench, full cluster run, capacity
 //!   bisection), the `tenant_mix` scheduling grid, the `hetero_fleet`
 //!   mixed-vs-uniform dispatch grid, the `fault_storm` robustness grid with
-//!   its Flat-vs-LinkGraph fabric A/B, plus per-method end-to-end cluster
-//!   runs.
+//!   its Flat-vs-LinkGraph fabric A/B, the `availability` MTBF/MTTR
+//!   Monte-Carlo SLO sweep, plus per-method end-to-end cluster runs.
 //!
 //! `BENCH_SCALE=smoke` (or `--smoke`) shrinks every workload for CI; the JSON
 //! schema is identical. `--compare <baseline.json>` (repeatable) prints a
@@ -246,6 +246,55 @@ struct FaultStormReport {
     runs: Vec<FaultStormScenarioRun>,
 }
 
+/// One MTBF grid point of the availability sweep: the pooled SLO sensors of
+/// every fault seed at that failure rate.
+#[derive(Debug, Serialize)]
+struct AvailabilityGridRun {
+    /// Mean time between failures of this grid point (seconds).
+    mtbf_s: f64,
+    /// Completed / offered requests, pooled across the fault seeds.
+    availability: f64,
+    /// `-log10(1 - availability)`, capped at 9 for a loss-free sample.
+    nines: f64,
+    /// Pooled p99 JCT (seconds; nearest rank).
+    p99_jct_s: f64,
+    /// Pooled p999 JCT (seconds; nearest rank).
+    p999_jct_s: f64,
+    /// Summed fault downtime (domain-seconds).
+    downtime_s: f64,
+    /// Summed link-degradation exposure (link-seconds below nominal).
+    degraded_link_secs: f64,
+    abandoned: usize,
+    aborted: usize,
+    transfer_retries: usize,
+    /// Flows ECMP-rerouted across surviving spine blocks.
+    rerouted_flows: usize,
+    /// Fault events the MTBF/MTTR model generated across the pooled runs.
+    generated_faults: usize,
+}
+
+/// The availability section: a Monte-Carlo sweep over MTBF grid × fault
+/// seeds on the redundant-spine fabric, with plans generated from per-domain
+/// exponential failure/repair processes. The grid is a pure function of the
+/// experiment, so at equal scale `--compare` flags *any* drift on the pooled
+/// sensors as a semantic regression rather than noise.
+#[derive(Debug, Serialize)]
+struct AvailabilityReport {
+    /// Requests per run (each grid cell replays the identical trace).
+    requests: usize,
+    /// Fault seeds pooled per grid point.
+    fault_seeds: usize,
+    /// Redundant spine blocks of the swept fabric.
+    spines: usize,
+    /// Best wall-clock seconds of the full sweep (every grid point × seed).
+    sweep_secs: f64,
+    /// Availability of the harshest (shortest-MTBF) grid point — the
+    /// deterministic headline anchor.
+    worst_availability: f64,
+    /// One pooled entry per MTBF grid value, harshest first.
+    points: Vec<AvailabilityGridRun>,
+}
+
 /// The telemetry A/B: the headline cluster run with [`TelemetryConfig::Off`]
 /// vs fully instrumented, same seed. `Off` must stay bit- and cost-identical
 /// to the pre-telemetry simulator, and the instrumented run must stay within
@@ -290,6 +339,9 @@ struct SimReport {
     /// The fault-storm robustness grid and the Flat-vs-LinkGraph fabric A/B
     /// (see PERF.md, "Fault storms").
     fault_storm: FaultStormReport,
+    /// The MTBF/MTTR-generated availability SLO sweep (see PERF.md,
+    /// "Availability sweeps").
+    availability: AvailabilityReport,
     benches: Vec<Bench>,
 }
 
@@ -1203,6 +1255,72 @@ fn sim_benches(smoke: bool) -> SimReport {
         blast("graph/spine")
     );
 
+    // --- availability: the MTBF/MTTR Monte-Carlo sweep on the redundant-
+    // spine fabric. Each grid point generates its fault plans from seeded
+    // exponential failure/repair processes, so the pooled SLO curve is a pure
+    // function of the experiment and `--compare` can pin it exactly. ---
+    let mut sweep = AvailabilityExperiment::paper_sweep();
+    if smoke {
+        sweep.num_requests = 15;
+        sweep.fault_seeds.truncate(2);
+    }
+    let sweep_iters = if smoke { 1 } else { 3 };
+    let sweep_secs = time_iters(sweep_iters, || sweep.sweep(Method::hack()));
+    push(
+        &mut benches,
+        "availability/sweep",
+        format!(
+            "grid={},seeds={},requests={}",
+            sweep.mtbf_grid_s.len(),
+            sweep.fault_seeds.len(),
+            sweep.num_requests
+        ),
+        sweep_iters,
+        sweep_secs,
+    );
+    let points: Vec<AvailabilityGridRun> = sweep
+        .sweep(Method::hack())
+        .into_iter()
+        .map(|p| AvailabilityGridRun {
+            mtbf_s: p.mtbf_s,
+            availability: p.availability,
+            nines: p.nines,
+            p99_jct_s: p.p99_jct_s,
+            p999_jct_s: p.p999_jct_s,
+            downtime_s: p.downtime_s,
+            degraded_link_secs: p.degraded_link_secs,
+            abandoned: p.abandoned,
+            aborted: p.aborted,
+            transfer_retries: p.transfer_retries,
+            rerouted_flows: p.rerouted_flows,
+            generated_faults: p.generated_faults,
+        })
+        .collect();
+    let availability = AvailabilityReport {
+        requests: sweep.num_requests,
+        fault_seeds: sweep.fault_seeds.len(),
+        spines: sweep.spines,
+        sweep_secs,
+        worst_availability: points.first().map_or(1.0, |p| p.availability),
+        points,
+    };
+    {
+        let worst = availability.points.first();
+        let best = availability.points.last();
+        println!(
+            "  availability: mtbf {:.0}s -> {:.4} ({:.2} nines, p99 {:.2}s) / mtbf {:.0}s -> {:.4}; \
+             {} faults generated, {} flows rerouted",
+            worst.map_or(0.0, |p| p.mtbf_s),
+            availability.worst_availability,
+            worst.map_or(0.0, |p| p.nines),
+            worst.map_or(0.0, |p| p.p99_jct_s),
+            best.map_or(0.0, |p| p.mtbf_s),
+            best.map_or(1.0, |p| p.availability),
+            availability.points.iter().map(|p| p.generated_faults).sum::<usize>(),
+            availability.points.iter().map(|p| p.rerouted_flows).sum::<usize>(),
+        );
+    }
+
     // --- Per-method end-to-end runs (ported from benches/simulator.rs). ---
     let per_method_requests = if smoke { 10 } else { 200 };
     for method in Method::main_comparison() {
@@ -1222,7 +1340,7 @@ fn sim_benches(smoke: bool) -> SimReport {
     }
 
     SimReport {
-        schema: "hack-bench/sim/v6",
+        schema: "hack-bench/sim/v7",
         scale: if smoke { "smoke" } else { "full" },
         cluster_run_requests: requests,
         engine_cluster_run,
@@ -1236,6 +1354,7 @@ fn sim_benches(smoke: bool) -> SimReport {
         tenant_mix,
         hetero_fleet,
         fault_storm,
+        availability,
         benches,
     }
 }
@@ -1523,6 +1642,41 @@ mod compare {
                         println!(
                             "  [headline] {:<44} {b:>9.3} -> {c:>9.3}  {verdict} (must be exact)",
                             "fault_storm.flat_avg_jct"
+                        );
+                    }
+                    // The availability grid is generated from seeded MTBF/MTTR
+                    // processes: at equal scale every pooled point is
+                    // deterministic, so any drift is semantic.
+                    let grid = |v: &Value| -> Vec<(f64, f64, f64)> {
+                        lookup(v, &["availability", "points"])
+                            .and_then(as_array)
+                            .map(|rows| {
+                                rows.iter()
+                                    .filter_map(|r| {
+                                        Some((
+                                            r.get_key("mtbf_s")?.as_f64()?,
+                                            r.get_key("availability")?.as_f64()?,
+                                            r.get_key("p99_jct_s")?.as_f64()?,
+                                        ))
+                                    })
+                                    .collect()
+                            })
+                            .unwrap_or_default()
+                    };
+                    let base = grid(baseline);
+                    for (mtbf, cur_avail, cur_p99) in grid(current) {
+                        let Some(&(_, b_avail, b_p99)) = base.iter().find(|(m, _, _)| *m == mtbf)
+                        else {
+                            continue;
+                        };
+                        let verdict = if b_avail == cur_avail && b_p99 == cur_p99 {
+                            "ok"
+                        } else {
+                            "DRIFT?"
+                        };
+                        println!(
+                            "  [headline] {:<44} {b_avail:>9.4} -> {cur_avail:>9.4}  {verdict} (must be exact)",
+                            format!("availability[mtbf={mtbf:.0}s]")
                         );
                     }
                 }

@@ -128,19 +128,36 @@ impl Frontend {
         dispatch_to_prefill(cs, req, now);
     }
 
-    /// A fault plan event cut this fault's links: every in-flight flow
-    /// crossing them aborts with partial progress and enters the retry chain.
+    /// A fault plan event hit this fault's links. A binary fault cuts them:
+    /// every in-flight flow crossing a dead endpoint aborts with partial
+    /// progress and enters the retry chain, while flows that only lost their
+    /// spine block ECMP-reroute onto a surviving spine. A degradation lowers
+    /// the links' capacity instead: nothing aborts, flows just re-split at
+    /// the slower rates.
     fn on_fabric_fault(&self, fault: usize, now: f64) {
         let mut cs = self.cluster.borrow_mut();
         let cs = &mut *cs;
         cs.injected_failures += 1;
-        let domain = cs.config.faults.get(fault).domain;
-        let links = cs.fabric.links_for_domain(domain);
+        let event = *cs.config.faults.get(fault);
+        let links = cs.fabric.links_for_domain(event.domain);
+        if let Some(factor) = event.degrade {
+            cs.fabric.set_degrade(&links, factor, now);
+            if let Some(tel) = &mut cs.tel {
+                tel.link_degraded(fault, now);
+            }
+            return;
+        }
         cs.fabric.set_links(&links, false);
         if let Some(tel) = &mut cs.tel {
             tel.fabric_fault(fault, now);
         }
-        for (req, flow) in cs.fabric.abort_dead_flows(now) {
+        let (aborted, rerouted) = cs.fabric.abort_dead_flows(now);
+        for (req, src) in rerouted {
+            if let Some(tel) = &mut cs.tel {
+                tel.flow_rerouted(src, req, now);
+            }
+        }
+        for (req, flow) in aborted {
             cs.fault_tallies[fault].requests_aborted += 1;
             cs.states[req].transfer_remaining = Some(flow.remaining);
             if let Some(tel) = &mut cs.tel {
@@ -153,8 +170,15 @@ impl Frontend {
     fn on_fabric_recovered(&self, fault: usize, now: f64) {
         let mut cs = self.cluster.borrow_mut();
         let cs = &mut *cs;
-        let domain = cs.config.faults.get(fault).domain;
-        let links = cs.fabric.links_for_domain(domain);
+        let event = *cs.config.faults.get(fault);
+        let links = cs.fabric.links_for_domain(event.domain);
+        if event.degrade.is_some() {
+            cs.fabric.set_degrade(&links, 1.0, now);
+            if let Some(tel) = &mut cs.tel {
+                tel.link_restored(fault, now);
+            }
+            return;
+        }
         cs.fabric.set_links(&links, true);
         if let Some(tel) = &mut cs.tel {
             tel.fabric_recovered(fault, now);

@@ -32,7 +32,7 @@ use crate::config::SimulationConfig;
 use crate::events::{RequestArrived, TransferCompleted, TransferRetry};
 use crate::policy::{AdmissionPolicy, DispatchPolicy, SchedulingPolicy, MAX_TENANTS};
 use crate::sim::CostMode;
-use crate::topology::{retry_backoff, MAX_READMISSIONS, MAX_TRANSFER_ATTEMPTS};
+use crate::topology::retry_backoff;
 use hack_model::cost::{KvMethodProfile, ReplicaCostModel};
 use hack_model::cost_table::{DecodeCostTable, PrefillCostTable};
 use hack_sim::{ComponentId, EventId, SimulationContext};
@@ -562,17 +562,18 @@ impl ClusterState {
     }
 
     /// Schedules the next retry of `req`'s transfer after a deterministic
-    /// seeded backoff, or — once [`MAX_TRANSFER_ATTEMPTS`] are spent — gives
-    /// the reservation up and sends the request back through admission.
+    /// seeded backoff, or — once the policy's transfer attempts are spent —
+    /// gives the reservation up and sends the request back through admission.
     pub fn schedule_retry(&mut self, req: usize, now: f64) {
-        if self.states[req].transfer_attempts >= MAX_TRANSFER_ATTEMPTS {
+        let policy = self.config.policy.retry;
+        if self.states[req].transfer_attempts >= policy.max_transfer_attempts {
             self.give_up_transfer(req, now);
             return;
         }
         self.states[req].transfer_attempts += 1;
         self.retries += 1;
         let attempt = self.states[req].transfer_attempts;
-        let delay = retry_backoff(self.config.trace.seed, req, attempt);
+        let delay = retry_backoff(&policy, self.config.trace.seed, req, attempt);
         let frontend = self.frontend_id.expect("frontend registered before events");
         self.fabric
             .deliver(TransferRetry { req }, frontend, now + delay);
@@ -582,7 +583,8 @@ impl ClusterState {
     }
 
     /// Exhausted transfer retries: drop the KV reservation and re-enter
-    /// admission, or permanently abort once [`MAX_READMISSIONS`] are spent.
+    /// admission, or permanently abort once the policy's re-admissions are
+    /// spent.
     pub fn give_up_transfer(&mut self, req: usize, now: f64) {
         let target = self.states[req].decode_replica;
         if self.states[req].reserved {
@@ -602,7 +604,7 @@ impl ClusterState {
             return;
         }
         self.states[req].readmissions += 1;
-        if self.states[req].readmissions > MAX_READMISSIONS {
+        if self.states[req].readmissions > self.config.policy.retry.max_readmissions {
             self.states[req].abandoned = true;
             self.gave_up += 1;
             if let Some(tel) = &mut self.tel {
@@ -652,17 +654,20 @@ impl ClusterState {
     }
 
     /// Picks the live decode replica with the fewest resident tokens among those
-    /// that can fit `bytes` of new KV data. A request too large to ever fit an
-    /// *empty* replica is force-admitted to the emptiest idle one (modelling
-    /// partial host offload) so the simulation always terminates. Failed
-    /// replicas never qualify.
+    /// that can fit `bytes` of new KV data, de-prioritizing replicas behind a
+    /// degraded ToR uplink or NIC (the sort key is `(degraded, tokens)`, which
+    /// collapses to the plain token order when no link is degraded — the
+    /// bit-identical default). A request too large to ever fit an *empty*
+    /// replica is force-admitted to the emptiest idle one (modelling partial
+    /// host offload) so the simulation always terminates. Failed replicas
+    /// never qualify.
     pub fn best_decode_replica(&self, bytes: f64) -> Option<usize> {
         let fit = self
             .decode
             .iter()
             .enumerate()
             .filter(|(_, d)| !d.failed && d.kv_used + bytes <= d.kv_capacity)
-            .min_by_key(|(_, d)| d.resident_tokens)
+            .min_by_key(|(i, d)| (self.fabric.decode_path_degraded(*i), d.resident_tokens))
             .map(|(i, _)| i);
         if fit.is_some() {
             return fit;

@@ -33,6 +33,8 @@ pub(crate) struct Flow {
     pub src: usize,
     /// Destination decode replica.
     pub dst: usize,
+    /// Spine block this flow is ECMP-pinned to (0 on single-spine fabrics).
+    pub spine: usize,
     /// Engine address of the destination decode replica's component.
     pub dst_ctx: ComponentId,
     /// Remaining volume in Gbps-seconds (`transfer_time` at 1 Gbps).
@@ -46,7 +48,7 @@ pub(crate) struct Flow {
 }
 
 /// Fixed link-index layout of the graph:
-/// `[prefill NICs][prefill ToR uplinks][spine][decode ToR uplinks][decode NICs]`.
+/// `[prefill NICs][prefill ToR uplinks][spine blocks][decode ToR uplinks][decode NICs]`.
 #[derive(Debug, Clone, Copy)]
 struct Layout {
     prefill_replicas: usize,
@@ -54,23 +56,36 @@ struct Layout {
     decode_tors: usize,
     prefill_per_tor: usize,
     decode_per_tor: usize,
+    spines: usize,
 }
 
 impl Layout {
-    fn spine(&self) -> usize {
+    fn spine_base(&self) -> usize {
         self.prefill_replicas + self.prefill_tors
     }
 
-    fn path(&self, src: usize, dst: usize) -> [usize; 5] {
-        let spine = self.spine();
+    fn decode_tor_base(&self) -> usize {
+        self.spine_base() + self.spines
+    }
+
+    fn path_via(&self, src: usize, dst: usize, spine: usize) -> [usize; 5] {
         [
             src,
             self.prefill_replicas + src / self.prefill_per_tor,
-            spine,
-            spine + 1 + dst / self.decode_per_tor,
-            spine + 1 + self.decode_tors + dst,
+            self.spine_base() + spine,
+            self.decode_tor_base() + dst / self.decode_per_tor,
+            self.decode_tor_base() + self.decode_tors + dst,
         ]
     }
+}
+
+/// Deterministic ECMP hash of a request id — a splitmix64 finalizer, so the
+/// spine choice is identical across engine modes and platforms.
+fn ecmp_hash(req: usize) -> u64 {
+    let mut z = (req as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Mutable state of the link-graph fabric.
@@ -80,6 +95,9 @@ pub(crate) struct LinkGraph {
     capacity: Vec<f64>,
     /// Per-link liveness (fault injection cuts links).
     alive: Vec<bool>,
+    /// Per-link degradation multiplier in `(0, 1]` (1.0 = nominal; link
+    /// degradation faults lower it, recovery restores it).
+    degrade: Vec<f64>,
     /// Active flows by request index (ordered: deterministic re-splits).
     flows: BTreeMap<usize, Flow>,
     /// Time the flows' `remaining` volumes were last advanced to.
@@ -96,6 +114,8 @@ pub(crate) struct NetworkFabric {
     ///
     /// [`TopologySpec::Flat`]: crate::topology::TopologySpec::Flat
     graph: Option<LinkGraph>,
+    /// Flows ECMP-rerouted onto a surviving spine after a spine fault.
+    rerouted: usize,
 }
 
 impl NetworkFabric {
@@ -104,11 +124,14 @@ impl NetworkFabric {
             ctx,
             nic_free_at: vec![0.0; prefill_replicas],
             graph: None,
+            rerouted: 0,
         }
     }
 
     /// Enables the link-graph fabric with the given per-replica NIC capacities
-    /// and switch-tier parameters.
+    /// and switch-tier parameters. `spines` redundant spine blocks of
+    /// `spine_gbps` each carry the ECMP-hashed inter-ToR traffic.
+    #[allow(clippy::too_many_arguments)]
     pub fn with_link_graph(
         ctx: SimulationContext,
         prefill_nic_gbps: Vec<f64>,
@@ -117,6 +140,7 @@ impl NetworkFabric {
         decode_per_tor: usize,
         tor_uplink_gbps: f64,
         spine_gbps: f64,
+        spines: usize,
     ) -> Self {
         let prefill_replicas = prefill_nic_gbps.len();
         let layout = Layout {
@@ -125,13 +149,15 @@ impl NetworkFabric {
             decode_tors: decode_nic_gbps.len().div_ceil(decode_per_tor.max(1)),
             prefill_per_tor: prefill_per_tor.max(1),
             decode_per_tor: decode_per_tor.max(1),
+            spines: spines.max(1),
         };
         let mut capacity = prefill_nic_gbps;
         capacity.extend(std::iter::repeat_n(tor_uplink_gbps, layout.prefill_tors));
-        capacity.push(spine_gbps);
+        capacity.extend(std::iter::repeat_n(spine_gbps, layout.spines));
         capacity.extend(std::iter::repeat_n(tor_uplink_gbps, layout.decode_tors));
         capacity.extend(decode_nic_gbps);
         let alive = vec![true; capacity.len()];
+        let degrade = vec![1.0; capacity.len()];
         Self {
             ctx,
             nic_free_at: vec![0.0; prefill_replicas],
@@ -139,9 +165,11 @@ impl NetworkFabric {
                 layout,
                 capacity,
                 alive,
+                degrade,
                 flows: BTreeMap::new(),
                 last_update: 0.0,
             }),
+            rerouted: 0,
         }
     }
 
@@ -176,9 +204,9 @@ impl NetworkFabric {
             FaultDomain::DecodeReplica(_) | FaultDomain::PrefillReplica(_) => Vec::new(),
             FaultDomain::PrefillNic(i) => vec![i],
             FaultDomain::PrefillTor(t) => vec![l.prefill_replicas + t],
-            FaultDomain::Spine => vec![l.spine()],
-            FaultDomain::DecodeTor(t) => vec![l.spine() + 1 + t],
-            FaultDomain::DecodeNic(i) => vec![l.spine() + 1 + l.decode_tors + i],
+            FaultDomain::Spine(s) => vec![l.spine_base() + s],
+            FaultDomain::DecodeTor(t) => vec![l.decode_tor_base() + t],
+            FaultDomain::DecodeNic(i) => vec![l.decode_tor_base() + l.decode_tors + i],
         }
     }
 
@@ -191,12 +219,59 @@ impl NetworkFabric {
         }
     }
 
-    /// Whether every link on the `src → dst` path is up.
+    /// Sets the degradation multiplier of `links` (1.0 restores nominal
+    /// capacity), re-splitting every active flow at the new capacities.
+    pub fn set_degrade(&mut self, links: &[usize], factor: f64, now: f64) {
+        let Self { ctx, graph, .. } = self;
+        if let Some(g) = graph.as_mut() {
+            g.advance(now);
+            for &l in links {
+                g.degrade[l] = factor;
+            }
+            g.resplit(ctx, now);
+        }
+    }
+
+    /// Sum of the nominal capacities of `links` (Gbps) — for the
+    /// throughput-loss sensor.
+    pub fn nominal_capacity(&self, links: &[usize]) -> f64 {
+        self.graph
+            .as_ref()
+            .map_or(0.0, |g| links.iter().map(|&l| g.capacity[l]).sum())
+    }
+
+    /// Flows ECMP-rerouted onto a surviving spine after a spine fault.
+    pub fn rerouted_flows(&self) -> usize {
+        self.rerouted
+    }
+
+    /// Whether decode replica `dst`'s ToR uplink or NIC is currently
+    /// degraded — dispatch can de-prioritize such groups.
+    pub fn decode_path_degraded(&self, dst: usize) -> bool {
+        let Some(g) = &self.graph else {
+            return false;
+        };
+        let l = g.layout;
+        let tor = l.decode_tor_base() + dst / l.decode_per_tor;
+        let nic = l.decode_tor_base() + l.decode_tors + dst;
+        g.degrade[tor] < 1.0 || g.degrade[nic] < 1.0
+    }
+
+    /// Whether every link on the `src → dst` path is up: the four endpoint
+    /// links must be alive and at least one spine block must survive (ECMP
+    /// hops around dead spines).
     pub fn path_alive(&self, src: usize, dst: usize) -> bool {
         let Some(g) = &self.graph else {
             return true;
         };
-        g.layout.path(src, dst).iter().all(|&l| g.alive[l])
+        let l = g.layout;
+        let endpoints = [
+            src,
+            l.prefill_replicas + src / l.prefill_per_tor,
+            l.decode_tor_base() + dst / l.decode_per_tor,
+            l.decode_tor_base() + l.decode_tors + dst,
+        ];
+        endpoints.iter().all(|&x| g.alive[x]) && g.alive_spines().next().is_some()
     }
 
     /// Whether `req` currently has an active flow.
@@ -229,6 +304,7 @@ impl NetworkFabric {
         }
         let Self { ctx, graph, .. } = self;
         let g = graph.as_mut().expect("start_flow requires the link graph");
+        let spine = g.ecmp_spine(req).expect("path_alive checked a live spine");
         g.advance(now);
         // The completion event is re-emitted with the true fair-share rate by
         // the resplit below; the placeholder is never delivered.
@@ -238,6 +314,7 @@ impl NetworkFabric {
             Flow {
                 src,
                 dst,
+                spine,
                 dst_ctx,
                 remaining: volume,
                 rate: 0.0,
@@ -275,32 +352,82 @@ impl NetworkFabric {
         flow
     }
 
-    /// Aborts every flow crossing a dead link, keeping partial progress.
-    /// Returns the aborted flows in request order (deterministic).
-    pub fn abort_dead_flows(&mut self, now: f64) -> Vec<(usize, Flow)> {
-        let Self { ctx, graph, .. } = self;
+    /// Handles every flow crossing a dead link, in request order
+    /// (deterministic). A flow whose *only* dead link is its spine block is
+    /// ECMP-rerouted onto a surviving spine (re-split, partial progress
+    /// kept); a flow with a dead endpoint link — or no surviving spine —
+    /// aborts with partial progress kept for the retry path. Returns the
+    /// aborted `(req, flow)` pairs and the `(req, src)` pairs of the
+    /// rerouted ones (also counted in [`Self::rerouted_flows`]).
+    #[allow(clippy::type_complexity)]
+    pub fn abort_dead_flows(&mut self, now: f64) -> (Vec<(usize, Flow)>, Vec<(usize, usize)>) {
+        let Self {
+            ctx,
+            graph,
+            rerouted,
+            ..
+        } = self;
         let Some(g) = graph.as_mut() else {
-            return Vec::new();
+            return (Vec::new(), Vec::new());
         };
         g.advance(now);
         let dead: Vec<usize> = g
             .flows
             .iter()
-            .filter(|(_, f)| g.layout.path(f.src, f.dst).iter().any(|&l| !g.alive[l]))
+            .filter(|(_, f)| {
+                g.layout
+                    .path_via(f.src, f.dst, f.spine)
+                    .iter()
+                    .any(|&l| !g.alive[l])
+            })
             .map(|(&req, _)| req)
             .collect();
         let mut aborted = Vec::with_capacity(dead.len());
+        let mut moved = Vec::new();
         for req in dead {
+            let flow = g.flows.get(&req).expect("listed flow exists");
+            let path = g.layout.path_via(flow.src, flow.dst, flow.spine);
+            let endpoint_dead = path
+                .iter()
+                .enumerate()
+                .any(|(hop, &l)| hop != 2 && !g.alive[l]);
+            if !endpoint_dead {
+                if let Some(spine) = g.ecmp_spine(req) {
+                    let flow = g.flows.get_mut(&req).expect("listed flow exists");
+                    flow.spine = spine;
+                    *rerouted += 1;
+                    moved.push((req, flow.src));
+                    continue;
+                }
+            }
             let flow = g.flows.remove(&req).expect("listed flow exists");
             ctx.cancel_event(flow.event);
             aborted.push((req, flow));
         }
         g.resplit(ctx, now);
-        aborted
+        (aborted, moved)
     }
 }
 
 impl LinkGraph {
+    /// Spine blocks that are currently up, in index order.
+    fn alive_spines(&self) -> impl Iterator<Item = usize> + '_ {
+        let base = self.layout.spine_base();
+        (0..self.layout.spines).filter(move |&s| self.alive[base + s])
+    }
+
+    /// The spine block a flow of `req` is ECMP-hashed onto, among the
+    /// currently alive blocks; `None` when every spine is down. With one
+    /// spine this is always block 0 (bit-identical to the pre-ECMP fabric).
+    fn ecmp_spine(&self, req: usize) -> Option<usize> {
+        let alive: Vec<usize> = self.alive_spines().collect();
+        if alive.is_empty() {
+            None
+        } else {
+            Some(alive[(ecmp_hash(req) % alive.len() as u64) as usize])
+        }
+    }
+
     /// Advances every flow's remaining volume to `now` at its current rate.
     fn advance(&mut self, now: f64) {
         let dt = now - self.last_update;
@@ -318,16 +445,17 @@ impl LinkGraph {
     fn resplit(&mut self, ctx: &SimulationContext, now: f64) {
         let mut load = vec![0u32; self.capacity.len()];
         for flow in self.flows.values() {
-            for l in self.layout.path(flow.src, flow.dst) {
+            for l in self.layout.path_via(flow.src, flow.dst, flow.spine) {
                 load[l] += 1;
             }
         }
         let layout = self.layout;
         let capacity = &self.capacity;
+        let degrade = &self.degrade;
         for (&req, flow) in self.flows.iter_mut() {
             let mut rate = f64::INFINITY;
-            for l in layout.path(flow.src, flow.dst) {
-                rate = rate.min(capacity[l] / load[l] as f64);
+            for l in layout.path_via(flow.src, flow.dst, flow.spine) {
+                rate = rate.min(capacity[l] * degrade[l] / load[l] as f64);
             }
             flow.rate = rate;
             ctx.cancel_event(flow.event);

@@ -291,6 +291,20 @@ impl ClusterConfig {
             None => 0,
         }
     }
+
+    /// The fleet dimensions an
+    /// [`AvailabilityModel`](crate::topology::AvailabilityModel) draws fault
+    /// targets from. Flat-fabric clusters report zero switches, so generated
+    /// plans never target links the topology does not have.
+    pub fn fleet_shape(&self) -> crate::topology::FleetShape {
+        crate::topology::FleetShape {
+            prefill_replicas: self.prefill_replicas(),
+            decode_replicas: self.decode_replicas(),
+            prefill_tors: self.prefill_tors(),
+            decode_tors: self.decode_tors(),
+            spines: self.topology.link_graph().map_or(0, |spec| spec.spines),
+        }
+    }
 }
 
 /// Fault-injection schedule: one decode replica goes down mid-run and
@@ -340,6 +354,7 @@ impl From<FailureSpec> for FaultPlan {
             domain: FaultDomain::DecodeReplica(spec.decode_replica),
             at: spec.at,
             recover_at: spec.recover_at,
+            degrade: None,
         }])
     }
 }
@@ -395,7 +410,11 @@ impl SimulationConfig {
                     what: "decode_per_tor",
                 });
             }
+            if spec.spines == 0 {
+                return Err(ConfigError::InvalidTopology { what: "spines" });
+            }
         }
+        self.policy.retry.validate()?;
         let prefill = self.cluster.prefill_replicas();
         let decode = self.cluster.decode_replicas();
         for event in self.faults.iter() {
@@ -424,12 +443,24 @@ impl SimulationConfig {
             if domain.needs_link_graph() && self.cluster.topology.link_graph().is_none() {
                 return Err(ConfigError::TopologyRequired { domain });
             }
+            if let Some(factor) = event.degrade {
+                // Only links can run slow; replicas fail binarily.
+                let in_range = factor.is_finite() && factor > 0.0 && factor < 1.0;
+                if !in_range || !domain.needs_link_graph() {
+                    return Err(ConfigError::InvalidDegradeFactor { domain });
+                }
+            }
+            let spines = self
+                .cluster
+                .topology
+                .link_graph()
+                .map_or(1, |spec| spec.spines);
             let (index, limit) = match domain {
                 FaultDomain::DecodeReplica(i) | FaultDomain::DecodeNic(i) => (i, decode),
                 FaultDomain::PrefillReplica(i) | FaultDomain::PrefillNic(i) => (i, prefill),
                 FaultDomain::PrefillTor(t) => (t, self.cluster.prefill_tors()),
                 FaultDomain::DecodeTor(t) => (t, self.cluster.decode_tors()),
-                FaultDomain::Spine => (0, 1),
+                FaultDomain::Spine(s) => (s, spines),
             };
             if index >= limit {
                 return Err(ConfigError::ReplicaOutOfRange { domain, limit });

@@ -69,6 +69,27 @@
 //!   permanently aborted requests, and goodput while degraded. Telemetry
 //!   gains fault/recovery instants and flow/retry spans (see
 //!   `OBSERVABILITY.md`).
+//!
+//! The availability layer builds on that machinery:
+//!
+//! * **Link degradation**: a [`FaultEvent`] carrying a `degrade` factor runs
+//!   the domain's links at a fraction of nominal capacity instead of cutting
+//!   them — flows re-split to the smaller max-min shares, dispatch
+//!   de-prioritizes replicas behind degraded decode paths, nothing aborts,
+//!   and [`SimulationResult`] reports the exposure (`degraded_link_secs`,
+//!   `throughput_loss_gbps_s`).
+//! * **Redundant spines with ECMP** ([`LinkGraphSpec::redundant`]): the
+//!   fabric generalizes to N spine blocks; each flow is pinned to one by a
+//!   deterministic hash of its request id, and a spine fault *reroutes* the
+//!   surviving in-flight flows across the remaining blocks
+//!   (`rerouted_flows`) instead of aborting them. A single spine stays
+//!   bit-identical to the pre-ECMP fabric.
+//! * **Generated fault plans** ([`AvailabilityModel`]): per-domain-kind
+//!   MTBF/MTTR specs ([`MtbfSpec`]) walk seeded exponential failure/repair
+//!   processes over a [`FleetShape`] and emit a valid [`FaultPlan`] for a
+//!   run horizon — Monte-Carlo availability sweeps without hand-written
+//!   event lists. Retry behaviour is a config knob now ([`RetryPolicy`] on
+//!   [`PolicyConfig`]), defaults bit-identical to the old constants.
 
 mod components;
 pub mod config;
@@ -90,5 +111,6 @@ pub use result::{FaultRecord, GroupStats, RequestRecord, SimulationResult};
 pub use sim::{CostMode, Simulator};
 pub use telemetry::{TelemetryConfig, TelemetrySettings};
 pub use topology::{
-    ConfigError, FaultDomain, FaultEvent, FaultPlan, LinkGraphSpec, TopologySpec, MAX_FAULTS,
+    AvailabilityModel, ConfigError, FaultDomain, FaultEvent, FaultPlan, FleetShape, LinkGraphSpec,
+    MtbfSpec, RetryPolicy, TopologySpec, MAX_FAULTS,
 };

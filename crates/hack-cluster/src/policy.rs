@@ -599,6 +599,9 @@ pub struct PolicyConfig {
     pub admission: AdmissionPolicyKind,
     /// Scheduling policy.
     pub scheduling: SchedulingPolicyKind,
+    /// Transfer-retry backoff and give-up budgets. The default reproduces
+    /// the pre-policy hardcoded constants bit-for-bit.
+    pub retry: crate::topology::RetryPolicy,
 }
 
 impl PolicyConfig {
@@ -610,6 +613,7 @@ impl PolicyConfig {
             dispatch: DispatchPolicyKind::LeastLoaded,
             admission: AdmissionPolicyKind::AdmitAll,
             scheduling,
+            retry: crate::topology::RetryPolicy::default(),
         }
     }
 

@@ -351,7 +351,13 @@ impl Simulator {
         // mirror that order. A legacy single-decode-replica plan expands to
         // exactly the two events the pre-plan simulator seeded.
         for (k, f) in self.config.faults.iter().enumerate() {
-            let (pre, dec) = fault_targets(f.domain, cluster_cfg);
+            // A degradation slows links without failing anything behind them:
+            // it expands to the fabric events only.
+            let (pre, dec) = if f.degrade.is_some() {
+                (Vec::new(), Vec::new())
+            } else {
+                fault_targets(f.domain, cluster_cfg)
+            };
             if f.domain.needs_link_graph() {
                 driver.emit_at(FabricFault { fault: k }, frontend_id, f.at);
             }
@@ -474,6 +480,7 @@ impl Simulator {
                         spec.decode_per_tor,
                         spec.tor_uplink_gbps,
                         spec.spine_gbps,
+                        spec.spines,
                     )
                 }
             },
@@ -490,7 +497,11 @@ impl Simulator {
                 .faults
                 .iter()
                 .map(|f| {
-                    let (pre, dec) = fault_targets(f.domain, cluster_cfg);
+                    let (pre, dec) = if f.degrade.is_some() {
+                        (Vec::new(), Vec::new())
+                    } else {
+                        fault_targets(f.domain, cluster_cfg)
+                    };
                     FaultTally {
                         replicas_affected: pre.len() + dec.len(),
                         requests_aborted: 0,
@@ -791,6 +802,20 @@ impl Simulator {
         } else {
             0.0
         };
+        // Link-degradation sensors: link-seconds spent below nominal capacity
+        // and the capacity removed from the fabric (Gbps-seconds), windows
+        // clipped to the run. ECMP reroutes are counted by the fabric itself.
+        let mut degraded_link_secs = 0.0;
+        let mut throughput_loss_gbps_s = 0.0;
+        for f in self.config.faults.iter() {
+            let Some(factor) = f.degrade else { continue };
+            let window =
+                (f.recover_at.unwrap_or(makespan).min(makespan) - f.at.min(makespan)).max(0.0);
+            let links = cs.fabric.links_for_domain(f.domain);
+            degraded_link_secs += links.len() as f64 * window;
+            throughput_loss_gbps_s += cs.fabric.nominal_capacity(&links) * (1.0 - factor) * window;
+        }
+        let rerouted_flows = cs.fabric.rerouted_flows();
 
         let result = SimulationResult {
             method: profile.name.to_string(),
@@ -813,6 +838,9 @@ impl Simulator {
             faults,
             degraded_secs,
             degraded_goodput,
+            degraded_link_secs,
+            throughput_loss_gbps_s,
+            rerouted_flows,
             prefill_groups,
             decode_groups,
             makespan,
@@ -852,7 +880,7 @@ fn fault_targets(domain: FaultDomain, cluster: &ClusterConfig) -> (Vec<usize>, V
                 tor_chunk(t, spec.decode_per_tor, cluster.decode_replicas()),
             )
         }
-        FaultDomain::Spine => (Vec::new(), Vec::new()),
+        FaultDomain::Spine(_) => (Vec::new(), Vec::new()),
     }
 }
 
@@ -1434,7 +1462,7 @@ mod tests {
             120.0,
         ));
         plan.push(crate::topology::FaultEvent::transient(
-            crate::topology::FaultDomain::Spine,
+            crate::topology::FaultDomain::Spine(0),
             150.0,
             165.0,
         ));
@@ -1492,7 +1520,7 @@ mod tests {
         let mut cfg = link_graph_config(40, 0.6);
         let mut plan = crate::topology::FaultPlan::none();
         plan.push(crate::topology::FaultEvent::transient(
-            crate::topology::FaultDomain::Spine,
+            crate::topology::FaultDomain::Spine(0),
             20.0,
             35.0,
         ));

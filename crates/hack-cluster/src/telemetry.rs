@@ -441,6 +441,44 @@ impl TelemetryState {
         );
     }
 
+    /// Fault `fault` of the run's plan degraded its links (capacity lowered,
+    /// flows re-split but kept alive; the `req` slot carries the fault index).
+    pub fn link_degraded(&mut self, fault: usize, now: f64) {
+        self.tel.instant(
+            "link_degraded",
+            "fabric",
+            self.frontend_track,
+            fault as u64,
+            now,
+        );
+    }
+
+    /// Fault `fault`'s degraded links were restored to nominal capacity.
+    pub fn link_restored(&mut self, fault: usize, now: f64) {
+        self.tel.instant(
+            "link_restored",
+            "fabric",
+            self.frontend_track,
+            fault as u64,
+            now,
+        );
+    }
+
+    /// A flow survived a spine fault by ECMP-rerouting onto a surviving
+    /// spine block (instant on the source replica's NIC track).
+    pub fn flow_rerouted(&mut self, replica: usize, req: usize, now: f64) {
+        if self.traced(req) {
+            self.tel.instant(
+                "flow_rerouted",
+                "fabric",
+                self.nic_tracks[replica],
+                req as u64,
+                now,
+            );
+        }
+        self.tel.add_counter("flow_reroutes", 1);
+    }
+
     // --- Decode lifecycle. ---
 
     /// A request waited for decode KV memory over [`wait_start`, `now`] before

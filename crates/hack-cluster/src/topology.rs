@@ -22,20 +22,81 @@ use serde::{Serialize, Value};
 use std::fmt;
 
 /// Maximum number of fault events in a [`FaultPlan`] (the plan is a
-/// fixed-capacity `Copy` value, like [`crate::fleet::GroupSet`]).
-pub const MAX_FAULTS: usize = 8;
+/// fixed-capacity `Copy` value, like [`crate::fleet::GroupSet`]). Sized for
+/// generated availability schedules ([`AvailabilityModel::generate_plan`]),
+/// not just hand-written storms.
+pub const MAX_FAULTS: usize = 32;
 
-/// Bounded transfer retry attempts before a request gives up on its current
-/// reservation and re-enters admission.
+/// Default bounded transfer retry attempts before a request gives up on its
+/// current reservation and re-enters admission
+/// ([`RetryPolicy::max_transfer_attempts`]).
 pub const MAX_TRANSFER_ATTEMPTS: u32 = 4;
 
-/// Bounded re-admissions after exhausted transfer retries before a request is
-/// permanently aborted (it then counts into
-/// [`crate::SimulationResult::aborted_requests`]).
+/// Default bounded re-admissions after exhausted transfer retries before a
+/// request is permanently aborted (it then counts into
+/// [`crate::SimulationResult::aborted_requests`];
+/// [`RetryPolicy::max_readmissions`]).
 pub const MAX_READMISSIONS: u32 = 2;
 
-/// Base of the deterministic exponential retry backoff (seconds).
+/// Default base of the deterministic exponential retry backoff (seconds;
+/// [`RetryPolicy::backoff_base_s`]).
 pub const RETRY_BACKOFF_BASE_S: f64 = 1.0;
+
+/// Default cap on the backoff doubling exponent
+/// ([`RetryPolicy::backoff_cap_doublings`]).
+pub const RETRY_BACKOFF_CAP_DOUBLINGS: u32 = 6;
+
+/// The transfer-retry and re-admission policy: the deterministic seeded
+/// exponential backoff (`base * 2^min(attempt-1, cap) * (1 + jitter)`) and
+/// the two give-up budgets. The default reproduces the pre-policy hardcoded
+/// constants bit-for-bit (pinned by seed_equivalence).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RetryPolicy {
+    /// Backoff base (seconds) before the first retry.
+    pub backoff_base_s: f64,
+    /// The doubling exponent saturates at this many doublings (the backoff
+    /// cap is `base * 2^cap`).
+    pub backoff_cap_doublings: u32,
+    /// Transfer attempts before the request drops its reservation and
+    /// re-enters admission.
+    pub max_transfer_attempts: u32,
+    /// Re-admissions before the request is permanently abandoned.
+    pub max_readmissions: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            backoff_base_s: RETRY_BACKOFF_BASE_S,
+            backoff_cap_doublings: RETRY_BACKOFF_CAP_DOUBLINGS,
+            max_transfer_attempts: MAX_TRANSFER_ATTEMPTS,
+            max_readmissions: MAX_READMISSIONS,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Validates the policy (called from
+    /// [`SimulationConfig::validate`](crate::config::SimulationConfig)).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.backoff_base_s.is_finite() && self.backoff_base_s > 0.0) {
+            return Err(ConfigError::InvalidRetryPolicy {
+                what: "backoff_base_s (must be positive and finite)",
+            });
+        }
+        if self.backoff_cap_doublings > 62 {
+            return Err(ConfigError::InvalidRetryPolicy {
+                what: "backoff_cap_doublings (must be <= 62)",
+            });
+        }
+        if self.max_transfer_attempts == 0 {
+            return Err(ConfigError::InvalidRetryPolicy {
+                what: "max_transfer_attempts (must be >= 1)",
+            });
+        }
+        Ok(())
+    }
+}
 
 /// The KV-transfer fabric model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
@@ -83,10 +144,17 @@ impl TopologySpec {
 /// the per-link capacities of the two switching tiers.
 ///
 /// Every KV transfer is a flow crossing five links — source prefill NIC,
-/// prefill-side ToR uplink, spine, decode-side ToR uplink, destination decode
-/// NIC — and receives `min_l capacity(l) / flows(l)` of bandwidth along its
-/// path. NIC capacities come from the replica groups' `network_gbps`, so the
-/// oversubscription of a ToR is `per_tor · nic_gbps / tor_uplink_gbps`.
+/// prefill-side ToR uplink, one spine block, decode-side ToR uplink,
+/// destination decode NIC — and receives `min_l capacity(l) / flows(l)` of
+/// bandwidth along its path. NIC capacities come from the replica groups'
+/// `network_gbps`, so the oversubscription of a ToR is
+/// `per_tor · nic_gbps / tor_uplink_gbps`.
+///
+/// With `spines > 1` the fabric has that many redundant spine blocks of
+/// `spine_gbps` each; every flow is pinned to one block by a deterministic
+/// ECMP hash of its request id, and a spine fault reroutes surviving flows
+/// across the remaining blocks instead of aborting them. `spines == 1` is
+/// bit-identical to the pre-ECMP single-spine fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct LinkGraphSpec {
     /// Prefill replicas per prefill-side ToR (last ToR may be partial).
@@ -95,8 +163,12 @@ pub struct LinkGraphSpec {
     pub decode_per_tor: usize,
     /// Capacity of each ToR's spine uplink (Gbps).
     pub tor_uplink_gbps: f64,
-    /// Capacity of the spine (Gbps), shared by all inter-ToR traffic.
+    /// Capacity of each spine block (Gbps), shared by the inter-ToR traffic
+    /// ECMP-hashed onto it.
     pub spine_gbps: f64,
+    /// Number of redundant spine blocks (ECMP paths). Old snapshots without
+    /// the key decode to 1.
+    pub spines: usize,
 }
 
 impl LinkGraphSpec {
@@ -108,6 +180,15 @@ impl LinkGraphSpec {
             decode_per_tor: 2,
             tor_uplink_gbps: 100.0,
             spine_gbps: 400.0,
+            spines: 1,
+        }
+    }
+
+    /// The paper-shaped fabric with `spines` redundant spine blocks (ECMP).
+    pub fn redundant(spines: usize) -> Self {
+        Self {
+            spines,
+            ..Self::paper_default()
         }
     }
 
@@ -120,6 +201,7 @@ impl LinkGraphSpec {
             decode_per_tor: 2,
             tor_uplink_gbps: 1e6,
             spine_gbps: 1e6,
+            spines: 1,
         }
     }
 
@@ -141,6 +223,10 @@ impl LinkGraphSpec {
             decode_per_tor: value.get_key("decode_per_tor")?.as_f64()? as usize,
             tor_uplink_gbps: value.get_key("tor_uplink_gbps")?.as_f64()?,
             spine_gbps: value.get_key("spine_gbps")?.as_f64()?,
+            spines: value
+                .get_key("spines")
+                .and_then(Value::as_f64)
+                .map_or(1, |v| v as usize),
         })
     }
 }
@@ -170,9 +256,12 @@ pub enum FaultDomain {
     /// A decode-side ToR: every decode replica behind it fails
     /// (link-graph only).
     DecodeTor(usize),
-    /// The spine: no replica fails, but every in-flight transfer aborts and
-    /// new transfers cannot start until recovery (link-graph only).
-    Spine,
+    /// One spine block: no replica fails. With a single spine every in-flight
+    /// transfer aborts and new transfers cannot start until recovery; with
+    /// redundant spines surviving flows are ECMP-rerouted across the live
+    /// blocks instead (link-graph only). Old snapshots serialized the
+    /// unit-variant string `"Spine"`, which decodes to `Spine(0)`.
+    Spine(usize),
 }
 
 impl FaultDomain {
@@ -194,15 +283,16 @@ impl FaultDomain {
             FaultDomain::DecodeNic(i) => format!("nic-d{i}"),
             FaultDomain::PrefillTor(i) => format!("tor-p{i}"),
             FaultDomain::DecodeTor(i) => format!("tor-d{i}"),
-            FaultDomain::Spine => "spine".to_string(),
+            FaultDomain::Spine(i) => format!("spine-{i}"),
         }
     }
 
-    /// Decodes a domain from its serialized [`Value`] shape (unit variants
-    /// serialize to a string, tuple variants to `{name: [index]}`).
+    /// Decodes a domain from its serialized [`Value`] shape (tuple variants
+    /// serialize to `{name: [index]}`; the legacy unit-variant string
+    /// `"Spine"` decodes to `Spine(0)`).
     pub fn from_value(value: &Value) -> Option<FaultDomain> {
         match value {
-            Value::String(s) if s == "Spine" => Some(FaultDomain::Spine),
+            Value::String(s) if s == "Spine" => Some(FaultDomain::Spine(0)),
             Value::Object(fields) => {
                 let (name, inner) = fields.first()?;
                 let index = match inner {
@@ -216,6 +306,7 @@ impl FaultDomain {
                     "DecodeNic" => Some(FaultDomain::DecodeNic(index)),
                     "PrefillTor" => Some(FaultDomain::PrefillTor(index)),
                     "DecodeTor" => Some(FaultDomain::DecodeTor(index)),
+                    "Spine" => Some(FaultDomain::Spine(index)),
                     _ => None,
                 }
             }
@@ -225,6 +316,12 @@ impl FaultDomain {
 }
 
 /// One scheduled fault: a domain goes down at `at` and (optionally) recovers.
+///
+/// With `degrade: None` the fault is binary (the domain is fully down). With
+/// `degrade: Some(f)` the fault is a *link degradation*: the domain's links
+/// keep carrying traffic at `f` times their nominal capacity (`0 < f < 1`),
+/// flows re-split instead of aborting, and no replica fails. Degradation is
+/// only valid on link domains (NICs, ToRs, spines).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct FaultEvent {
     /// What fails.
@@ -233,6 +330,9 @@ pub struct FaultEvent {
     pub at: f64,
     /// Recovery time, or `None` for a permanent fault.
     pub recover_at: Option<f64>,
+    /// Capacity multiplier in `(0, 1)` for a degradation, or `None` for a
+    /// binary up/down fault. Old snapshots without the key decode to `None`.
+    pub degrade: Option<f64>,
 }
 
 impl FaultEvent {
@@ -242,6 +342,7 @@ impl FaultEvent {
             domain,
             at,
             recover_at: None,
+            degrade: None,
         }
     }
 
@@ -251,6 +352,18 @@ impl FaultEvent {
             domain,
             at,
             recover_at: Some(recover_at),
+            degrade: None,
+        }
+    }
+
+    /// A link degradation: `domain`'s links run at `factor` times nominal
+    /// capacity between `at` and `recover_at`.
+    pub fn degraded(domain: FaultDomain, at: f64, recover_at: f64, factor: f64) -> Self {
+        Self {
+            domain,
+            at,
+            recover_at: Some(recover_at),
+            degrade: Some(factor),
         }
     }
 
@@ -259,6 +372,10 @@ impl FaultEvent {
             domain: FaultDomain::from_value(value.get_key("domain")?)?,
             at: value.get_key("at")?.as_f64()?,
             recover_at: match value.get_key("recover_at") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(v.as_f64()?),
+            },
+            degrade: match value.get_key("degrade") {
                 None | Some(Value::Null) => None,
                 Some(v) => Some(v.as_f64()?),
             },
@@ -365,6 +482,7 @@ impl FaultPlan {
                     domain: FaultDomain::DecodeReplica(replica),
                     at,
                     recover_at,
+                    degrade: None,
                 }]))
             }
             _ => None,
@@ -423,6 +541,17 @@ pub enum ConfigError {
         /// Which parameter is invalid.
         what: &'static str,
     },
+    /// A [`RetryPolicy`] parameter is out of range.
+    InvalidRetryPolicy {
+        /// Which parameter is invalid.
+        what: &'static str,
+    },
+    /// A degradation factor is not in `(0, 1)`, or a degradation targets a
+    /// replica domain (only links can run slow; replicas fail binarily).
+    InvalidDegradeFactor {
+        /// The offending domain.
+        domain: FaultDomain,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -438,7 +567,7 @@ impl fmt::Display for ConfigError {
                     FaultDomain::DecodeNic(i) => format!("decode NIC {i}"),
                     FaultDomain::PrefillTor(i) => format!("prefill ToR {i}"),
                     FaultDomain::DecodeTor(i) => format!("decode ToR {i}"),
-                    FaultDomain::Spine => "the spine".to_string(),
+                    FaultDomain::Spine(i) => format!("spine {i}"),
                 }
             ),
             ConfigError::InvalidFaultTime { domain, at } => write!(
@@ -466,6 +595,14 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidTopology { what } => {
                 write!(f, "link-graph topology has invalid {what}")
             }
+            ConfigError::InvalidRetryPolicy { what } => {
+                write!(f, "retry policy has invalid {what}")
+            }
+            ConfigError::InvalidDegradeFactor { domain } => write!(
+                f,
+                "degradation on {} needs a factor in (0, 1) and a link domain",
+                domain.label()
+            ),
         }
     }
 }
@@ -486,10 +623,175 @@ pub(crate) fn retry_jitter(seed: u64, req: usize, attempt: u32) -> f64 {
 }
 
 /// The deterministic seeded backoff before transfer retry `attempt`
-/// (1-based): exponential base with bounded jitter.
-pub(crate) fn retry_backoff(seed: u64, req: usize, attempt: u32) -> f64 {
-    let scale = (1u64 << (attempt - 1).min(6)) as f64;
-    RETRY_BACKOFF_BASE_S * scale * (1.0 + retry_jitter(seed, req, attempt))
+/// (1-based): exponential base with bounded jitter, both from `policy`.
+pub(crate) fn retry_backoff(policy: &RetryPolicy, seed: u64, req: usize, attempt: u32) -> f64 {
+    let scale = (1u64 << (attempt - 1).min(policy.backoff_cap_doublings)) as f64;
+    policy.backoff_base_s * scale * (1.0 + retry_jitter(seed, req, attempt))
+}
+
+/// Availability of one fault-domain kind: exponential mean time between
+/// failures and mean time to repair, plus an optional degradation factor
+/// (link kinds only) that turns generated faults into slowdowns instead of
+/// binary outages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MtbfSpec {
+    /// Mean time between failures (seconds; exponential inter-failure times).
+    pub mtbf_s: f64,
+    /// Mean time to repair (seconds; exponential repair times).
+    pub mttr_s: f64,
+    /// When `Some(f)`, generated faults are link degradations at factor `f`
+    /// instead of binary outages. Ignored (forced to `None`) on replica
+    /// domains, which can only fail binarily.
+    pub degrade: Option<f64>,
+}
+
+impl MtbfSpec {
+    /// A binary-outage availability spec.
+    pub fn outage(mtbf_s: f64, mttr_s: f64) -> Self {
+        Self {
+            mtbf_s,
+            mttr_s,
+            degrade: None,
+        }
+    }
+
+    /// A degradation availability spec: faults slow links to `factor` times
+    /// nominal capacity instead of cutting them.
+    pub fn slowdown(mtbf_s: f64, mttr_s: f64, factor: f64) -> Self {
+        Self {
+            mtbf_s,
+            mttr_s,
+            degrade: Some(factor),
+        }
+    }
+}
+
+/// The fleet dimensions an [`AvailabilityModel`] draws fault targets from —
+/// a plain value so plan generation does not need the full cluster config
+/// (see `ClusterConfig::fleet_shape`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FleetShape {
+    /// Prefill replicas (global, group-major indexing).
+    pub prefill_replicas: usize,
+    /// Decode replicas (global, group-major indexing).
+    pub decode_replicas: usize,
+    /// Prefill-side ToRs.
+    pub prefill_tors: usize,
+    /// Decode-side ToRs.
+    pub decode_tors: usize,
+    /// Redundant spine blocks.
+    pub spines: usize,
+}
+
+/// Per-fault-domain-kind MTBF/MTTR availability models that *generate* a
+/// [`FaultPlan`] deterministically for a run horizon.
+///
+/// Each `(kind, instance)` pair walks its own seeded exponential
+/// failure/repair process, so windows on one domain are sequential by
+/// construction and the generated plan always passes
+/// `SimulationConfig::validate` (no overlapping windows per domain, in-range
+/// indices). Generation stops early once the plan holds [`MAX_FAULTS`]
+/// events. `None` kinds never fail; the all-`None` default generates the
+/// empty plan.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct AvailabilityModel {
+    /// Decode-replica availability.
+    pub decode_replica: Option<MtbfSpec>,
+    /// Prefill-replica availability.
+    pub prefill_replica: Option<MtbfSpec>,
+    /// Prefill-NIC availability (link-graph only).
+    pub prefill_nic: Option<MtbfSpec>,
+    /// Decode-NIC availability (link-graph only).
+    pub decode_nic: Option<MtbfSpec>,
+    /// Prefill-ToR availability (link-graph only).
+    pub prefill_tor: Option<MtbfSpec>,
+    /// Decode-ToR availability (link-graph only).
+    pub decode_tor: Option<MtbfSpec>,
+    /// Spine-block availability (link-graph only).
+    pub spine: Option<MtbfSpec>,
+}
+
+/// One fault-generation kind: its MTBF/MTTR spec (if configured), how many
+/// instances of the domain the fleet has, and the domain constructor.
+type FaultKindSpec = (Option<MtbfSpec>, usize, fn(usize) -> FaultDomain);
+
+impl AvailabilityModel {
+    /// The `(kind, spec, instances, domain constructor)` grid in a fixed
+    /// generation order.
+    fn kinds(&self, shape: &FleetShape) -> [FaultKindSpec; 7] {
+        // A shape without spine blocks is the flat fabric: it has no links to
+        // cut or degrade, so every link-bound kind gets zero instances and the
+        // generated plan stays valid for the flat topology.
+        let nics = |n: usize| if shape.spines == 0 { 0 } else { n };
+        [
+            (self.decode_replica, shape.decode_replicas, {
+                FaultDomain::DecodeReplica as fn(usize) -> FaultDomain
+            }),
+            (self.prefill_replica, shape.prefill_replicas, {
+                FaultDomain::PrefillReplica
+            }),
+            (self.prefill_nic, nics(shape.prefill_replicas), {
+                FaultDomain::PrefillNic
+            }),
+            (self.decode_nic, nics(shape.decode_replicas), {
+                FaultDomain::DecodeNic
+            }),
+            (
+                self.prefill_tor,
+                shape.prefill_tors,
+                FaultDomain::PrefillTor,
+            ),
+            (self.decode_tor, shape.decode_tors, FaultDomain::DecodeTor),
+            (self.spine, shape.spines, FaultDomain::Spine),
+        ]
+    }
+
+    /// Whether any configured kind cuts or degrades fabric links (and the
+    /// generated plan therefore requires the link-graph topology).
+    pub fn needs_link_graph(&self) -> bool {
+        self.prefill_nic.is_some()
+            || self.decode_nic.is_some()
+            || self.prefill_tor.is_some()
+            || self.decode_tor.is_some()
+            || self.spine.is_some()
+    }
+
+    /// Generates the fault plan of one run: every configured `(kind,
+    /// instance)` domain walks its own exponential failure/repair process
+    /// from a [`DetRng`](hack_tensor::DetRng) seeded off `seed`, until
+    /// `horizon_s`. Deterministic in `(self, shape, horizon_s, seed)`.
+    pub fn generate_plan(&self, shape: &FleetShape, horizon_s: f64, seed: u64) -> FaultPlan {
+        use hack_tensor::DetRng;
+        let mut plan = FaultPlan::none();
+        for (kind, (spec, instances, domain)) in self.kinds(shape).into_iter().enumerate() {
+            let Some(spec) = spec else { continue };
+            // Replica domains fail binarily; only links can run slow.
+            let degrade = if kind < 2 { None } else { spec.degrade };
+            for i in 0..instances {
+                let mut rng = DetRng::new(
+                    seed.wrapping_add((kind as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        .wrapping_add((i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)),
+                );
+                let mut t = rng.exponential(1.0 / spec.mtbf_s);
+                while t < horizon_s {
+                    if plan.len() == MAX_FAULTS {
+                        return plan;
+                    }
+                    let recover = t + rng.exponential(1.0 / spec.mttr_s);
+                    plan.push(FaultEvent {
+                        domain: domain(i),
+                        at: t,
+                        recover_at: Some(recover),
+                        degrade,
+                    });
+                    // The next failure draw starts after the repair finishes,
+                    // so windows on one domain never overlap.
+                    t = recover + rng.exponential(1.0 / spec.mtbf_s);
+                }
+            }
+        }
+        plan
+    }
 }
 
 #[cfg(test)]
@@ -518,10 +820,28 @@ mod tests {
         let plan = FaultPlan::new(&[
             FaultEvent::transient(FaultDomain::DecodeReplica(1), 10.0, 50.0),
             FaultEvent::permanent(FaultDomain::PrefillTor(0), 100.0),
-            FaultEvent::transient(FaultDomain::Spine, 200.0, 210.0),
+            FaultEvent::transient(FaultDomain::Spine(0), 200.0, 210.0),
+            FaultEvent::degraded(FaultDomain::DecodeTor(1), 300.0, 330.0, 0.25),
         ]);
         let value = plan.serialize_value();
         assert_eq!(FaultPlan::from_value(&value), Some(plan));
+    }
+
+    #[test]
+    fn legacy_spine_string_and_missing_spines_key_decode() {
+        // Pre-ECMP snapshots serialized the unit variant "Spine" and a
+        // LinkGraphSpec without the `spines` key.
+        assert_eq!(
+            FaultDomain::from_value(&Value::String("Spine".to_string())),
+            Some(FaultDomain::Spine(0))
+        );
+        let mut value = LinkGraphSpec::paper_default().serialize_value();
+        if let Value::Object(fields) = &mut value {
+            fields.retain(|(k, _)| k != "spines");
+        }
+        let spec = LinkGraphSpec::from_value(&value).expect("legacy shape decodes");
+        assert_eq!(spec.spines, 1);
+        assert_eq!(spec, LinkGraphSpec::paper_default());
     }
 
     #[test]
@@ -551,15 +871,18 @@ mod tests {
             FaultDomain::DecodeNic(1),
             FaultDomain::PrefillTor(0),
             FaultDomain::DecodeTor(1),
-            FaultDomain::Spine,
+            FaultDomain::Spine(0),
         ] {
             assert!(d.needs_link_graph(), "{}", d.label());
         }
-        assert_eq!(FaultDomain::Spine.label(), "spine");
+        assert_eq!(FaultDomain::Spine(0).label(), "spine-0");
+        assert_eq!(FaultDomain::Spine(2).label(), "spine-2");
     }
 
     #[test]
     fn backoff_is_deterministic_bounded_and_growing() {
+        let policy = RetryPolicy::default();
+        let retry_backoff = |seed, req, attempt| retry_backoff(&policy, seed, req, attempt);
         let b1 = retry_backoff(42, 7, 1);
         let b2 = retry_backoff(42, 7, 2);
         let b3 = retry_backoff(42, 7, 3);
@@ -572,6 +895,91 @@ mod tests {
             retry_jitter(42, 8, 1),
             "jitter differs per request"
         );
+    }
+
+    #[test]
+    fn retry_policy_default_validates_and_bad_values_do_not() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        let bad_base = RetryPolicy {
+            backoff_base_s: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert!(matches!(
+            bad_base.validate(),
+            Err(ConfigError::InvalidRetryPolicy { .. })
+        ));
+        let bad_cap = RetryPolicy {
+            backoff_cap_doublings: 63,
+            ..RetryPolicy::default()
+        };
+        assert!(bad_cap.validate().is_err());
+        let bad_attempts = RetryPolicy {
+            max_transfer_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(bad_attempts.validate().is_err());
+    }
+
+    fn shape() -> FleetShape {
+        FleetShape {
+            prefill_replicas: 8,
+            decode_replicas: 4,
+            prefill_tors: 2,
+            decode_tors: 2,
+            spines: 2,
+        }
+    }
+
+    #[test]
+    fn generated_plans_are_deterministic_and_sequential_per_domain() {
+        let model = AvailabilityModel {
+            decode_replica: Some(MtbfSpec::outage(400.0, 60.0)),
+            spine: Some(MtbfSpec::outage(900.0, 30.0)),
+            decode_tor: Some(MtbfSpec::slowdown(600.0, 120.0, 0.3)),
+            ..AvailabilityModel::default()
+        };
+        let a = model.generate_plan(&shape(), 2000.0, 7);
+        let b = model.generate_plan(&shape(), 2000.0, 7);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_ne!(a, model.generate_plan(&shape(), 2000.0, 8));
+        assert!(!a.is_empty(), "2000 s horizon at MTBF 400 s must fault");
+        // Windows on one domain are sequential: sorted by `at` per domain
+        // and each recovery precedes the next failure.
+        for e in a.iter() {
+            assert!(e.at >= 0.0 && e.at < 2000.0);
+            let recover = e.recover_at.expect("generated faults always recover");
+            assert!(recover > e.at);
+            for other in a.iter() {
+                if other.domain == e.domain && other.at > e.at {
+                    assert!(other.at > recover, "windows on {:?} overlap", e.domain);
+                }
+            }
+        }
+        // Degradations only land on link domains, binary faults elsewhere.
+        for e in a.iter() {
+            match e.domain {
+                FaultDomain::DecodeTor(_) => assert_eq!(e.degrade, Some(0.3)),
+                _ => assert_eq!(e.degrade, None),
+            }
+        }
+    }
+
+    #[test]
+    fn generation_caps_at_max_faults_and_default_is_empty() {
+        let model = AvailabilityModel::default();
+        assert!(model.generate_plan(&shape(), 1e6, 1).is_empty());
+        assert!(!model.needs_link_graph());
+        let storm = AvailabilityModel {
+            decode_replica: Some(MtbfSpec::outage(1.0, 0.5)),
+            ..AvailabilityModel::default()
+        };
+        let plan = storm.generate_plan(&shape(), 1e6, 1);
+        assert_eq!(plan.len(), MAX_FAULTS);
+        let linky = AvailabilityModel {
+            spine: Some(MtbfSpec::outage(100.0, 10.0)),
+            ..AvailabilityModel::default()
+        };
+        assert!(linky.needs_link_graph());
     }
 
     #[test]

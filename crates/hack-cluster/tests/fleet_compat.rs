@@ -9,8 +9,8 @@
 
 use hack_cluster::{
     AdmissionPolicyKind, ClusterConfig, CostMode, DispatchPolicyKind, FaultPlan, FleetSpec,
-    GroupSet, PolicyConfig, ReplicaGroup, SchedulingPolicyKind, SimulationConfig, SimulationResult,
-    Simulator, TelemetryConfig, TenantClass, TenantClasses, TopologySpec,
+    GroupSet, PolicyConfig, ReplicaGroup, RetryPolicy, SchedulingPolicyKind, SimulationConfig,
+    SimulationResult, Simulator, TelemetryConfig, TenantClass, TenantClasses, TopologySpec,
 };
 use hack_model::cost::{CostParams, KvMethodProfile};
 use hack_model::gpu::GpuKind;
@@ -142,6 +142,7 @@ fn single_group_results_are_bit_identical_under_every_policy() {
                         burst: 10.0,
                     },
                     scheduling,
+                    retry: RetryPolicy::default(),
                 };
                 Simulator::with_requests(config, requests.clone()).run()
             };

@@ -386,6 +386,9 @@ mod legacy {
                 faults: Vec::new(),
                 degraded_secs: 0.0,
                 degraded_goodput: 0.0,
+                degraded_link_secs: 0.0,
+                throughput_loss_gbps_s: 0.0,
+                rerouted_flows: 0,
                 prefill_groups: Vec::new(),
                 decode_groups: Vec::new(),
                 makespan,

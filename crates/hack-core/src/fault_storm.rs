@@ -117,7 +117,7 @@ impl FaultStormExperiment {
             FaultScenario {
                 label: "graph/spine",
                 topology: graph,
-                faults: single(FaultDomain::Spine),
+                faults: single(FaultDomain::Spine(0)),
             },
         ]
     }

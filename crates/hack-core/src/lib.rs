@@ -28,6 +28,7 @@
 //! assert_eq!(out.output.shape(), (64, 64));
 //! ```
 
+pub mod availability;
 pub mod experiment;
 pub mod fault_storm;
 pub mod fidelity;
@@ -36,6 +37,7 @@ pub mod jct_runner;
 pub mod method;
 pub mod tenant_mix;
 
+pub use availability::{nines_of, AvailabilityExperiment, AvailabilityPoint};
 pub use experiment::{ExperimentTable, Row};
 pub use fault_storm::{FaultScenario, FaultStormExperiment, FaultStormOutcome};
 pub use fidelity::{FidelityReport, FidelitySetup};
@@ -46,6 +48,7 @@ pub use tenant_mix::{TenantMixExperiment, TenantMixOutcome, TenantWorkload};
 
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
+    pub use crate::availability::{nines_of, AvailabilityExperiment, AvailabilityPoint};
     pub use crate::experiment::{ExperimentTable, Row};
     pub use crate::fault_storm::{FaultScenario, FaultStormExperiment, FaultStormOutcome};
     pub use crate::fidelity::{FidelityReport, FidelitySetup};
@@ -57,10 +60,11 @@ pub mod prelude {
     pub use hack_attention::prefill::hack_prefill_attention;
     pub use hack_attention::state::HackKvState;
     pub use hack_cluster::{
-        AdmissionPolicyKind, ClusterConfig, ConfigError, DispatchPolicyKind, FailureSpec,
-        FaultDomain, FaultEvent, FaultPlan, FaultRecord, FleetSpec, GroupSet, GroupStats,
-        LinkGraphSpec, PolicyConfig, ReplicaGroup, SchedulingPolicyKind, SimulationConfig,
-        Simulator, TelemetryConfig, TelemetrySettings, TenantClass, TenantClasses, TopologySpec,
+        AdmissionPolicyKind, AvailabilityModel, ClusterConfig, ConfigError, DispatchPolicyKind,
+        FailureSpec, FaultDomain, FaultEvent, FaultPlan, FaultRecord, FleetShape, FleetSpec,
+        GroupSet, GroupStats, LinkGraphSpec, MtbfSpec, PolicyConfig, ReplicaGroup, RetryPolicy,
+        SchedulingPolicyKind, SimulationConfig, Simulator, TelemetryConfig, TelemetrySettings,
+        TenantClass, TenantClasses, TopologySpec,
     };
     pub use hack_metrics::telemetry::Telemetry;
     pub use hack_model::gpu::GpuKind;

@@ -152,6 +152,7 @@ impl TenantMixExperiment {
                 dispatch: hack_cluster::DispatchPolicyKind::LeastLoaded,
                 admission: self.admission,
                 scheduling,
+                retry: hack_cluster::RetryPolicy::default(),
             },
             faults: FaultPlan::none(),
             telemetry: TelemetryConfig::Off,

@@ -109,7 +109,7 @@ fn aborted_transfers_resume_with_partial_progress_and_bounded_retries() {
     // retries them until the fabric heals.
     let mut config = storm_config(60, 0.4);
     let mut plan = FaultPlan::none();
-    plan.push(FaultEvent::transient(FaultDomain::Spine, 20.0, 40.0));
+    plan.push(FaultEvent::transient(FaultDomain::Spine(0), 20.0, 40.0));
     config.faults = plan;
 
     let result = Simulator::new(config).run();

@@ -466,6 +466,7 @@ fn random_multi_tenant(rng: &mut DetRng) -> (SimulationConfig, Arc<Vec<hack_work
         dispatch,
         admission: hack_cluster::AdmissionPolicyKind::AdmitAll,
         scheduling,
+        retry: hack_cluster::RetryPolicy::default(),
     };
     (base, requests)
 }
@@ -573,7 +574,7 @@ fn random_fault_plan(rng: &mut DetRng, cluster: &ClusterConfig) -> FaultPlan {
             3 => FaultDomain::PrefillNic(rng.range_usize(0, cluster.prefill_replicas())),
             4 => FaultDomain::DecodeTor(rng.range_usize(0, cluster.decode_tors())),
             5 => FaultDomain::PrefillTor(rng.range_usize(0, cluster.prefill_tors())),
-            _ => FaultDomain::Spine,
+            _ => FaultDomain::Spine(0),
         };
         // The validator rejects overlapping windows on one domain; one fault
         // per domain sidesteps overlap entirely.
@@ -675,6 +676,111 @@ fn per_tenant_conservation_holds_under_randomized_fault_plans() {
                 .filter(|r| r.tenant == tenant && !done[r.id as usize])
                 .count();
             assert_eq!(finished + missing, generated, "case {case}: {tenant}");
+        }
+    }
+}
+
+// --- Availability invariants: MTBF/MTTR-generated fault plans.
+
+/// A random availability model. Link-bound kinds (NICs, ToRs, spine) are only
+/// populated when the cluster actually has a link-graph fabric — on the flat
+/// fabric the generator produces zero instances for them anyway, so gating
+/// here just keeps the drawn specs meaningful.
+fn random_availability_model(
+    rng: &mut DetRng,
+    link_graph: bool,
+) -> hack_cluster::AvailabilityModel {
+    use hack_cluster::{AvailabilityModel, MtbfSpec};
+    let mut draw = |degradable: bool| -> Option<MtbfSpec> {
+        if !rng.chance(0.6) {
+            return None;
+        }
+        let mtbf = rng.range_f64(30.0, 600.0);
+        let mttr = rng.range_f64(5.0, 90.0);
+        if degradable && rng.chance(0.5) {
+            Some(MtbfSpec::slowdown(mtbf, mttr, rng.range_f64(0.05, 0.95)))
+        } else {
+            Some(MtbfSpec::outage(mtbf, mttr))
+        }
+    };
+    let mut model = AvailabilityModel {
+        decode_replica: draw(false),
+        prefill_replica: draw(false),
+        ..AvailabilityModel::default()
+    };
+    if link_graph {
+        model.prefill_nic = draw(true);
+        model.decode_nic = draw(true);
+        model.prefill_tor = draw(true);
+        model.decode_tor = draw(true);
+        model.spine = draw(true);
+    }
+    model
+}
+
+#[test]
+fn generated_fault_plans_are_deterministic_and_always_validate() {
+    use hack_cluster::{LinkGraphSpec, TopologySpec};
+    for case in 0..24 {
+        let mut rng = DetRng::new(21_000 + case);
+        let mut config = random_sim_config(&mut rng);
+        config.faults = hack_cluster::FaultPlan::none();
+        let link_graph = rng.chance(0.6);
+        if link_graph {
+            config.cluster.topology =
+                TopologySpec::LinkGraph(LinkGraphSpec::redundant(rng.range_usize(1, 5)));
+        }
+        let model = random_availability_model(&mut rng, link_graph);
+        let shape = config.cluster.fleet_shape();
+        let horizon = rng.range_f64(20.0, 2_000.0);
+        let seed = rng.next_u64();
+
+        let plan = model.generate_plan(&shape, horizon, seed);
+        assert_eq!(
+            plan,
+            model.generate_plan(&shape, horizon, seed),
+            "case {case}: generation must be a pure function of (model, shape, horizon, seed)"
+        );
+        assert!(plan.len() <= hack_cluster::MAX_FAULTS);
+        for event in plan.iter() {
+            assert!(event.at >= 0.0 && event.at < horizon, "case {case}");
+            assert!(event.recover_at.unwrap() > event.at, "case {case}");
+        }
+
+        // Whatever the model drew, the generated plan passes the same typed
+        // validator that rejects malformed hand-written plans.
+        config.faults = plan;
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("case {case}: generated plan rejected: {e}"));
+    }
+}
+
+#[test]
+fn conservation_holds_under_generated_plans_across_engines_and_cost_modes() {
+    use hack_cluster::{LinkGraphSpec, TopologySpec};
+    for case in 0..6 {
+        let mut rng = DetRng::new(22_000 + case);
+        let mut config = random_sim_config(&mut rng);
+        config.cluster.topology =
+            TopologySpec::LinkGraph(LinkGraphSpec::redundant(rng.range_usize(1, 4)));
+        let model = random_availability_model(&mut rng, true);
+        // A horizon past every arrival so faults can land mid-decode too.
+        let horizon = config.trace.num_requests as f64 / config.trace.rps + 100.0;
+        config.faults = model.generate_plan(&config.cluster.fleet_shape(), horizon, rng.next_u64());
+        let total = config.trace.num_requests;
+
+        let slab = Simulator::new(config).run_with_mode(EngineMode::Slab);
+        let boxed = Simulator::new(config).run_with_mode(EngineMode::Boxed);
+        assert_eq!(slab, boxed, "case {case}: engine divergence");
+        let reference = Simulator::new(config).run_with_costs(CostMode::Reference);
+        assert_conserved(&slab, total, &format!("case {case} (table)"));
+        assert_conserved(&reference, total, &format!("case {case} (reference)"));
+
+        // Degradation exposure only ever comes from degrade-tagged events.
+        if config.faults.iter().all(|e| e.degrade.is_none()) {
+            assert_eq!(slab.degraded_link_secs, 0.0, "case {case}");
+            assert_eq!(slab.throughput_loss_gbps_s, 0.0, "case {case}");
         }
     }
 }
