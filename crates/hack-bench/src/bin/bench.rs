@@ -15,7 +15,8 @@
 //!   bisection), the `tenant_mix` scheduling grid, the `hetero_fleet`
 //!   mixed-vs-uniform dispatch grid, the `fault_storm` robustness grid with
 //!   its Flat-vs-LinkGraph fabric A/B, the `availability` MTBF/MTTR
-//!   Monte-Carlo SLO sweep, plus per-method end-to-end cluster runs.
+//!   Monte-Carlo SLO sweep, the `autoscale` cost-vs-SLO Pareto grid with its
+//!   Off-identity controller A/B, plus per-method end-to-end cluster runs.
 //!
 //! `BENCH_SCALE=smoke` (or `--smoke`) shrinks every workload for CI; the JSON
 //! schema is identical. `--compare <baseline.json>` (repeatable) prints a
@@ -295,6 +296,59 @@ struct AvailabilityReport {
     points: Vec<AvailabilityGridRun>,
 }
 
+/// One `(shape, policy)` cell of the autoscaling Pareto grid: the cost and
+/// SLO axes of one scaling policy on one time-warped trace.
+#[derive(Debug, Serialize)]
+struct AutoscaleGridRun {
+    /// Trace shape (`diurnal` / `bursty`).
+    shape: String,
+    /// Scaling policy (`off` / `threshold` / `target-util` / `predictive`).
+    policy: String,
+    /// Fraction of offered requests finishing within the JCT target.
+    slo_attainment: f64,
+    /// Mean JCT of the completed requests (seconds).
+    mean_jct_s: f64,
+    /// p99 JCT of the completed requests (seconds, nearest-rank).
+    p99_jct_s: f64,
+    /// GPU dollars billed (racked uptime × per-group `$`/GPU-hour).
+    gpu_dollars: f64,
+    /// GPU dollars per thousand generated tokens.
+    dollars_per_1k_tokens: f64,
+    /// Scale-up orders placed by the controller.
+    scale_ups: usize,
+    /// Scale-downs completed (drained replicas released).
+    scale_downs: usize,
+    /// On the shape's cost-vs-attainment Pareto frontier.
+    pareto: bool,
+}
+
+/// The autoscale section: the cost-vs-SLO Pareto sweep of every scaling
+/// policy over the diurnal/bursty traces, plus the Off-identity A/B. The
+/// traces are deterministic time-warps of one seeded Poisson draw, so at
+/// equal scale every cell is exact and `--compare` flags *any* drift on the
+/// cost/SLO sensors as a semantic regression rather than noise.
+#[derive(Debug, Serialize)]
+struct AutoscaleReport {
+    /// Requests per cell (each cell replays the identical shaped trace).
+    requests: usize,
+    /// JCT target the attainment axis is measured against (seconds).
+    slo_jct_s: f64,
+    /// Best wall-clock seconds of the full sweep (every shape × policy).
+    sweep_secs: f64,
+    /// `100 * (inert_secs / off_secs - 1)`: what an armed-but-never-firing
+    /// controller costs over the scaling-free run loop (interleaved A/B,
+    /// best-of per path). The retained-reference claim is that `Off` skips
+    /// the controller entirely, so this measures the *armed* overhead only.
+    controller_overhead_percent: f64,
+    /// Diurnal-trace savings of the cheapest frontier policy vs the static
+    /// fleet: `100 * (1 - min_frontier_dollars / off_dollars)`. The headline
+    /// elastic-fleet anchor — deterministic, so `--compare` pins it.
+    diurnal_savings_percent: f64,
+    /// One entry per `(shape, policy)` cell, shapes then policies in sweep
+    /// order.
+    points: Vec<AutoscaleGridRun>,
+}
+
 /// The telemetry A/B: the headline cluster run with [`TelemetryConfig::Off`]
 /// vs fully instrumented, same seed. `Off` must stay bit- and cost-identical
 /// to the pre-telemetry simulator, and the instrumented run must stay within
@@ -342,6 +396,9 @@ struct SimReport {
     /// The MTBF/MTTR-generated availability SLO sweep (see PERF.md,
     /// "Availability sweeps").
     availability: AvailabilityReport,
+    /// The autoscaling cost-vs-SLO Pareto grid and the Off-identity A/B (see
+    /// PERF.md, "Autoscaling sweeps").
+    autoscale: AutoscaleReport,
     benches: Vec<Bench>,
 }
 
@@ -1321,6 +1378,110 @@ fn sim_benches(smoke: bool) -> SimReport {
         );
     }
 
+    // --- autoscale: the cost-vs-SLO Pareto sweep of every scaling policy on
+    // the time-warped (diurnal / bursty) traces, plus the Off-identity A/B.
+    // The shaped traces are deterministic in the experiment, so at equal
+    // scale `--compare` can pin every cell exactly. ---
+    let mut auto_e = AutoscaleExperiment::paper_sweep();
+    if smoke {
+        auto_e.num_requests = 20;
+    }
+    let auto_iters = if smoke { 1 } else { 3 };
+    let auto_secs = time_iters(auto_iters, || auto_e.sweep(Method::hack()));
+    push(
+        &mut benches,
+        "autoscale/sweep",
+        format!(
+            "shapes={},policies={},requests={}",
+            TraceShape::all().len(),
+            ScalingPolicyKind::all(auto_e.per_replica_rps).len(),
+            auto_e.num_requests
+        ),
+        auto_iters,
+        auto_secs,
+    );
+    let autoscale = {
+        // Off-identity A/B: an armed controller whose watermarks can never
+        // fire must reproduce the scaling-free run bit-for-bit — cost sensors
+        // included — and the interleaved wall-clock ratio is the pure cost of
+        // arming the controller (ticks + probe, zero orders). `Off` itself
+        // skips the controller entirely, so its run loop is the pre-scaling
+        // one; this measures what turning the dial from Off to inert costs.
+        let inert = ScalingPolicyKind::Threshold {
+            high: 1e18,
+            low: -1.0,
+        };
+        let run = |scaling| auto_e.run_cell(TraceShape::Diurnal, scaling, Method::hack());
+        let off_reference = run(ScalingPolicyKind::Off);
+        assert_eq!(
+            off_reference,
+            run(inert),
+            "an inert controller must be bit-identical to ScalingPolicyKind::Off"
+        );
+        assert_eq!(
+            (off_reference.scale_ups, off_reference.scale_downs),
+            (0, 0),
+            "the static fleet must not scale"
+        );
+        let ab_iters = if smoke { 2 } else { 5 };
+        let mut off_secs = f64::INFINITY;
+        let mut inert_secs = f64::INFINITY;
+        for _ in 0..ab_iters {
+            let start = Instant::now();
+            black_box(run(ScalingPolicyKind::Off));
+            off_secs = off_secs.min(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            black_box(run(inert));
+            inert_secs = inert_secs.min(start.elapsed().as_secs_f64());
+        }
+        let outcomes = auto_e.sweep(Method::hack());
+        let off_dollars = outcomes
+            .iter()
+            .find(|o| o.shape == TraceShape::Diurnal && o.policy == ScalingPolicyKind::Off)
+            .map_or(0.0, |o| o.gpu_dollars);
+        let frontier_min = outcomes
+            .iter()
+            .filter(|o| o.shape == TraceShape::Diurnal && o.pareto)
+            .map(|o| o.gpu_dollars)
+            .fold(f64::INFINITY, f64::min);
+        let diurnal_savings_percent = if off_dollars > 0.0 && frontier_min.is_finite() {
+            100.0 * (1.0 - frontier_min / off_dollars)
+        } else {
+            0.0
+        };
+        let points: Vec<AutoscaleGridRun> = outcomes
+            .iter()
+            .map(|o| AutoscaleGridRun {
+                shape: o.shape.name().to_string(),
+                policy: o.policy.name().to_string(),
+                slo_attainment: o.slo_attainment,
+                mean_jct_s: o.mean_jct_s,
+                p99_jct_s: o.p99_jct_s,
+                gpu_dollars: o.gpu_dollars,
+                dollars_per_1k_tokens: o.dollars_per_1k_tokens,
+                scale_ups: o.scale_ups,
+                scale_downs: o.scale_downs,
+                pareto: o.pareto,
+            })
+            .collect();
+        AutoscaleReport {
+            requests: auto_e.num_requests,
+            slo_jct_s: auto_e.slo_jct_s,
+            sweep_secs: auto_secs,
+            controller_overhead_percent: 100.0 * (inert_secs / off_secs - 1.0),
+            diurnal_savings_percent,
+            points,
+        }
+    };
+    println!(
+        "  autoscale: diurnal frontier spends {:.1}% less than the static fleet; \
+         inert-controller A/B identical ({:+.2}% armed overhead); {} scale-ups / {} scale-downs across the grid",
+        autoscale.diurnal_savings_percent,
+        autoscale.controller_overhead_percent,
+        autoscale.points.iter().map(|p| p.scale_ups).sum::<usize>(),
+        autoscale.points.iter().map(|p| p.scale_downs).sum::<usize>(),
+    );
+
     // --- Per-method end-to-end runs (ported from benches/simulator.rs). ---
     let per_method_requests = if smoke { 10 } else { 200 };
     for method in Method::main_comparison() {
@@ -1340,7 +1501,7 @@ fn sim_benches(smoke: bool) -> SimReport {
     }
 
     SimReport {
-        schema: "hack-bench/sim/v7",
+        schema: "hack-bench/sim/v8",
         scale: if smoke { "smoke" } else { "full" },
         cluster_run_requests: requests,
         engine_cluster_run,
@@ -1355,6 +1516,7 @@ fn sim_benches(smoke: bool) -> SimReport {
         hetero_fleet,
         fault_storm,
         availability,
+        autoscale,
         benches,
     }
 }
@@ -1679,6 +1841,56 @@ mod compare {
                             format!("availability[mtbf={mtbf:.0}s]")
                         );
                     }
+                    // The autoscale grid replays deterministic time-warped
+                    // traces: at equal scale every (shape, policy) cell's
+                    // cost/SLO sensors are exact, so any drift is semantic —
+                    // a changed controller decision, price, or drain path.
+                    let auto_grid = |v: &Value| -> Vec<(String, f64, f64)> {
+                        lookup(v, &["autoscale", "points"])
+                            .and_then(as_array)
+                            .map(|rows| {
+                                rows.iter()
+                                    .filter_map(|r| {
+                                        Some((
+                                            format!(
+                                                "{}/{}",
+                                                r.get_key("shape")?.as_str()?,
+                                                r.get_key("policy")?.as_str()?
+                                            ),
+                                            r.get_key("gpu_dollars")?.as_f64()?,
+                                            r.get_key("slo_attainment")?.as_f64()?,
+                                        ))
+                                    })
+                                    .collect()
+                            })
+                            .unwrap_or_default()
+                    };
+                    let auto_base = auto_grid(baseline);
+                    for (cell, cur_dollars, cur_att) in auto_grid(current) {
+                        let Some((_, b_dollars, b_att)) =
+                            auto_base.iter().find(|(label, _, _)| *label == cell)
+                        else {
+                            continue;
+                        };
+                        let (b_dollars, b_att) = (*b_dollars, *b_att);
+                        let verdict = if b_dollars == cur_dollars && b_att == cur_att {
+                            "ok"
+                        } else {
+                            "DRIFT?"
+                        };
+                        println!(
+                            "  [headline] {:<44} ${b_dollars:>8.2} -> ${cur_dollars:>8.2}  {verdict} (must be exact)",
+                            format!("autoscale[{cell}].gpu_dollars")
+                        );
+                    }
+                    let savings = |v: &Value| {
+                        lookup(v, &["autoscale", "diurnal_savings_percent"]).and_then(Value::as_f64)
+                    };
+                    headline(
+                        "autoscale.diurnal_savings_percent",
+                        savings(baseline),
+                        savings(current),
+                    );
                 }
             }
             _ => println!("  [compare] unknown schema in current report"),

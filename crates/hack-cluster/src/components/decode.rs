@@ -114,6 +114,7 @@ impl DecodeReplica {
         let mut cs = self.cluster.borrow_mut();
         cs.decode[d].kv_used -= cs.states[req].kv_reserve_bytes;
         cs.decode[d].active -= 1;
+        cs.decode[d].reservations -= 1;
         cs.decode[d].resident_tokens = cs.decode[d]
             .resident_tokens
             .saturating_sub(cs.requests[req].total_tokens());
@@ -130,6 +131,11 @@ impl DecodeReplica {
 
         // Freed memory: admit waiting requests in FIFO order while they fit.
         cs.drain_waiting(now);
+
+        // A draining replica that just went idle completes its scale-down.
+        if cs.decode[d].draining {
+            cs.maybe_finish_drain(d, now);
+        }
     }
 
     fn on_failed(&self, fault: usize, now: f64) {
@@ -193,6 +199,13 @@ impl DecodeReplica {
         cs.decode[d].kv_used = 0.0;
         cs.decode[d].active = 0;
         cs.decode[d].resident_tokens = 0;
+        cs.decode[d].reservations = 0;
+
+        // A draining replica whose remaining work the fault just aborted is
+        // now idle: its scale-down completes at the failure instant.
+        if cs.decode[d].draining {
+            cs.maybe_finish_drain(d, now);
+        }
 
         // Re-dispatch the aborted requests onto the surviving fleet (or the
         // memory-wait queue when nothing fits).
@@ -207,6 +220,11 @@ impl DecodeReplica {
         cs.decode[d].failed = false;
         if let Some(tel) = &mut cs.tel {
             tel.replica_recovered(d, now);
+        }
+        // A replica the autoscaler powered down while it was failed stays
+        // out of the fleet: only a ReplicaProvisioned join brings it back.
+        if cs.decode[d].scaled_out {
+            return;
         }
         // Recovery-drain sensor: when requests queued for memory during the
         // outage, time how long the queue takes to empty from here.

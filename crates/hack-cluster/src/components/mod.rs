@@ -27,6 +27,7 @@ pub(crate) mod decode;
 pub(crate) mod frontend;
 pub(crate) mod network;
 pub(crate) mod prefill;
+pub(crate) mod scaling;
 
 use crate::config::SimulationConfig;
 use crate::events::{RequestArrived, TransferCompleted, TransferRetry};
@@ -217,6 +218,25 @@ pub(crate) struct DecodeReplicaState {
     pub resident_tokens: usize,
     /// Whether the replica is currently failed (fault injection).
     pub failed: bool,
+    /// Outstanding KV reservations (decoding or in transfer toward this
+    /// replica). `active == 0 && reservations == 0` is the idle test the
+    /// scale-down drain waits on — a counter, not `kv_used == 0.0`, because
+    /// float accumulation need not return to exactly zero.
+    pub reservations: usize,
+    /// Scaled out by the autoscaler: powered down, invisible to routing, not
+    /// billed. Only the controller flips this (fault injection uses `failed`).
+    pub scaled_out: bool,
+    /// Draining toward scale-down: finishes its in-flight work but admits
+    /// nothing new; flips to `scaled_out` once idle.
+    pub draining: bool,
+}
+
+impl DecodeReplicaState {
+    /// Whether routing may target this replica.
+    #[inline]
+    pub fn dispatchable(&self) -> bool {
+        !self.failed && !self.scaled_out && !self.draining
+    }
 }
 
 /// Per-request bookkeeping.
@@ -377,6 +397,17 @@ pub(crate) struct ClusterState {
     /// Telemetry recording state — `None` when telemetry is off, keeping the
     /// default run path identical to the pre-telemetry simulator.
     pub tel: Option<crate::telemetry::TelemetryState>,
+    /// When each decode replica's current billed interval opened (`Some(t)`
+    /// while racked — live, draining or failed — `None` while scaled out).
+    /// All replicas open at 0.0; without a scaling policy nothing ever
+    /// closes, so the static fleet bills the full makespan.
+    pub decode_up_since: Vec<Option<f64>>,
+    /// Closed billed intervals accrued by each decode replica (seconds).
+    pub decode_uptime: Vec<f64>,
+    /// Scale-up orders issued by the autoscaling controller.
+    pub scale_ups: usize,
+    /// Scale-down drains completed by the autoscaling controller.
+    pub scale_downs: usize,
 }
 
 impl ClusterState {
@@ -487,6 +518,7 @@ impl ClusterState {
     pub fn reserve_and_transfer(&mut self, req: usize, target: usize, bytes: f64, now: f64) {
         self.decode[target].kv_used += bytes;
         self.decode[target].peak_kv = self.decode[target].peak_kv.max(self.decode[target].kv_used);
+        self.decode[target].reservations += 1;
         self.states[req].decode_replica = target;
         self.states[req].kv_reserve_bytes = bytes;
         self.states[req].reserved = true;
@@ -591,7 +623,11 @@ impl ClusterState {
             // The reservation is only still held when the target is alive (a
             // replica failure zeroes its accounting and clears the flag).
             self.decode[target].kv_used -= self.states[req].kv_reserve_bytes;
+            self.decode[target].reservations -= 1;
             self.states[req].reserved = false;
+            if self.decode[target].draining {
+                self.maybe_finish_drain(target, now);
+            }
         }
         self.states[req].transfer_remaining = None;
         self.states[req].transfer_start = None;
@@ -666,7 +702,7 @@ impl ClusterState {
             .decode
             .iter()
             .enumerate()
-            .filter(|(_, d)| !d.failed && d.kv_used + bytes <= d.kv_capacity)
+            .filter(|(_, d)| d.dispatchable() && d.kv_used + bytes <= d.kv_capacity)
             .min_by_key(|(i, d)| (self.fabric.decode_path_degraded(*i), d.resident_tokens))
             .map(|(i, _)| i);
         if fit.is_some() {
@@ -675,7 +711,7 @@ impl ClusterState {
         if self
             .decode
             .iter()
-            .filter(|d| !d.failed)
+            .filter(|d| d.dispatchable())
             .all(|d| bytes > d.kv_capacity)
         {
             // Oversized even for an empty replica: admit to the one with the
@@ -684,10 +720,43 @@ impl ClusterState {
                 .decode
                 .iter()
                 .enumerate()
-                .filter(|(_, d)| !d.failed && d.active == 0)
+                .filter(|(_, d)| d.dispatchable() && d.active == 0)
                 .min_by_key(|(_, d)| d.resident_tokens)
                 .map(|(i, _)| i);
         }
         None
+    }
+
+    // --- Autoscaling bookkeeping (no-ops in runs without a scaling policy:
+    // --- `draining`/`scaled_out` stay false and nothing below ever fires). ---
+
+    /// Completes decode replica `d`'s scale-down drain if it is draining and
+    /// idle: close its billed interval, power it down, and record the drain.
+    pub fn maybe_finish_drain(&mut self, d: usize, now: f64) {
+        let state = &mut self.decode[d];
+        if !state.draining || state.active != 0 || state.reservations != 0 {
+            return;
+        }
+        state.draining = false;
+        state.scaled_out = true;
+        if let Some(opened) = self.decode_up_since[d].take() {
+            self.decode_uptime[d] += now - opened;
+        }
+        self.scale_downs += 1;
+        if let Some(tel) = &mut self.tel {
+            tel.replica_drained(d, now);
+        }
+    }
+
+    /// A provisioned decode replica joins the dispatchable fleet: open its
+    /// billed interval, make it routable, and admit waiting work.
+    pub fn replica_join(&mut self, d: usize, now: f64) {
+        debug_assert!(self.decode[d].scaled_out, "only scaled-out replicas join");
+        self.decode[d].scaled_out = false;
+        self.decode_up_since[d] = Some(now);
+        if let Some(tel) = &mut self.tel {
+            tel.replica_joined(d, now);
+        }
+        self.drain_waiting(now);
     }
 }

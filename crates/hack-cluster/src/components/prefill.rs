@@ -82,6 +82,7 @@ pub(crate) fn start_prefill(cs: &mut ClusterState, replica: usize, now: f64) {
         if let Some(target) = target {
             cs.decode[target].kv_used += bytes;
             cs.decode[target].peak_kv = cs.decode[target].peak_kv.max(cs.decode[target].kv_used);
+            cs.decode[target].reservations += 1;
             cs.states[req].decode_replica = target;
             cs.states[req].kv_reserve_bytes = bytes;
             cs.states[req].reserved = true;
@@ -194,7 +195,11 @@ impl PrefillReplica {
             if cs.states[req].reserved {
                 let target = cs.states[req].decode_replica;
                 cs.decode[target].kv_used -= cs.states[req].kv_reserve_bytes;
+                cs.decode[target].reservations -= 1;
                 cs.states[req].reserved = false;
+                if cs.decode[target].draining {
+                    cs.maybe_finish_drain(target, now);
+                }
             }
             cs.states[req].reset_for_readmission();
             cs.states[req].requeues += 1;

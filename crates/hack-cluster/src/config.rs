@@ -252,6 +252,8 @@ impl ClusterConfig {
                         parallel: Parallelism::table3(model, gpu),
                         network_gbps: value.get_key(&format!("{prefix}_network_gbps"))?.as_f64()?,
                         cost_params: None,
+                        dollars_per_gpu_hour: ReplicaGroup::default_dollars_per_gpu_hour(gpu),
+                        provision_delay_s: ReplicaGroup::default_provision_delay_s(gpu),
                     })
                 };
                 FleetSpec {
@@ -450,11 +452,14 @@ impl SimulationConfig {
                     return Err(ConfigError::InvalidDegradeFactor { domain });
                 }
             }
+            // No link graph means no spine blocks at all: a `Spine(s)` event
+            // that slipped past the topology check (e.g. a legacy `"Spine"`
+            // decode) must never validate against a phantom block.
             let spines = self
                 .cluster
                 .topology
                 .link_graph()
-                .map_or(1, |spec| spec.spines);
+                .map_or(0, |spec| spec.spines);
             let (index, limit) = match domain {
                 FaultDomain::DecodeReplica(i) | FaultDomain::DecodeNic(i) => (i, decode),
                 FaultDomain::PrefillReplica(i) | FaultDomain::PrefillNic(i) => (i, prefill),
@@ -466,13 +471,21 @@ impl SimulationConfig {
                 return Err(ConfigError::ReplicaOutOfRange { domain, limit });
             }
         }
-        // Two faults on one domain must not overlap in time: the fault
-        // machinery tracks a single down-window per domain.
+        // Two faults of the same *kind* on one domain must not overlap in
+        // time: the fault machinery tracks a single down-window (and a single
+        // degrade factor) per domain. A degradation overlapping a binary
+        // outage on the same domain is legal — link liveness and link
+        // capacity are independent fabric fields — and the degraded-exposure
+        // sensors subtract the dead intersection.
         let window_end = |e: &FaultEvent| e.recover_at.unwrap_or(f64::INFINITY);
         let events: Vec<_> = self.faults.iter().copied().collect();
         for (i, a) in events.iter().enumerate() {
             for b in events.iter().skip(i + 1) {
-                if a.domain == b.domain && a.at < window_end(b) && b.at < window_end(a) {
+                if a.domain == b.domain
+                    && a.degrade.is_some() == b.degrade.is_some()
+                    && a.at < window_end(b)
+                    && b.at < window_end(a)
+                {
                     return Err(ConfigError::OverlappingFaults { domain: a.domain });
                 }
             }
@@ -658,6 +671,36 @@ mod tests {
         assert!(matches!(
             sim_config(graph, tor_oob).validate(),
             Err(ConfigError::ReplicaOutOfRange { .. })
+        ));
+
+        // Spine indices are checked against the spine-block count: the
+        // paper-default fabric has exactly one spine, so `Spine(0)` is legal
+        // and `Spine(1)` — which a legacy `"Spine"` decode can never produce
+        // but an availability-generated plan could — is typed out-of-range.
+        let spine_ok = FaultPlan::new(&[FaultEvent::transient(FaultDomain::Spine(0), 10.0, 20.0)]);
+        assert_eq!(sim_config(graph, spine_ok).validate(), Ok(()));
+        let spine_oob = FaultPlan::new(&[FaultEvent::transient(FaultDomain::Spine(1), 10.0, 20.0)]);
+        assert!(matches!(
+            sim_config(graph, spine_oob).validate(),
+            Err(ConfigError::ReplicaOutOfRange { limit: 1, .. })
+        ));
+
+        // A degradation overlapping a *binary* outage on the same domain is
+        // legal (independent fabric fields; the sensors subtract the dead
+        // intersection) — but two binary windows, or two degrade windows, on
+        // one domain still collide.
+        let degrade_over_outage = FaultPlan::new(&[
+            FaultEvent::degraded(FaultDomain::DecodeTor(0), 10.0, 80.0, 0.5),
+            FaultEvent::transient(FaultDomain::DecodeTor(0), 30.0, 50.0),
+        ]);
+        assert_eq!(sim_config(graph, degrade_over_outage).validate(), Ok(()));
+        let degrade_over_degrade = FaultPlan::new(&[
+            FaultEvent::degraded(FaultDomain::DecodeTor(0), 10.0, 80.0, 0.5),
+            FaultEvent::degraded(FaultDomain::DecodeTor(0), 30.0, 50.0, 0.25),
+        ]);
+        assert!(matches!(
+            sim_config(graph, degrade_over_degrade).validate(),
+            Err(ConfigError::OverlappingFaults { .. })
         ));
 
         // Degenerate link-graph capacities are typed errors too.

@@ -106,3 +106,18 @@ pub struct FlowCompleted {
     /// Index of the request in the trace.
     pub req: usize,
 }
+
+/// Periodic autoscaling tick, self-addressed by the
+/// [`crate::components::scaling::ScalingController`]. Only exists in runs
+/// with a scaling policy; the controller re-arms itself each tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleTick;
+
+/// A scale-up order finished paying its provisioning delay: the destination
+/// decode replica joins the dispatchable fleet (delivered to the controller,
+/// which flips the replica live and kicks queued work at it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaProvisioned {
+    /// Global decode replica index of the joining replica.
+    pub replica: usize,
+}

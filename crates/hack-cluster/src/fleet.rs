@@ -43,6 +43,15 @@ pub struct ReplicaGroup {
     /// Group-specific cost-model efficiency constants; `None` inherits the
     /// fleet-wide [`crate::config::ClusterConfig::cost_params`].
     pub cost_params: Option<CostParams>,
+    /// On-demand price of one GPU of this group, in $/GPU-hour (defaults to
+    /// the instance family's list price per GPU). One replica costs
+    /// `dollars_per_gpu_hour * gpus_per_replica` per hour of uptime; the
+    /// simulator turns replica uptime into the `gpu_dollars` cost sensors.
+    pub dollars_per_gpu_hour: f64,
+    /// Seconds between a scale-up decision and the new replica becoming
+    /// dispatchable (instance launch + model load). Defaults per GPU kind;
+    /// only the autoscaling controller reads it.
+    pub provision_delay_s: f64,
 }
 
 impl ReplicaGroup {
@@ -55,7 +64,38 @@ impl ReplicaGroup {
             parallel: Parallelism::table3(model, gpu),
             network_gbps: gpu.instance().network_gbps,
             cost_params: None,
+            dollars_per_gpu_hour: Self::default_dollars_per_gpu_hour(gpu),
+            provision_delay_s: Self::default_provision_delay_s(gpu),
         }
+    }
+
+    /// On-demand list price of one GPU of `gpu`'s instance family, in
+    /// $/GPU-hour (the §7.1 instance families: g5, p3, g4dn, g6, p4de).
+    pub fn default_dollars_per_gpu_hour(gpu: GpuKind) -> f64 {
+        match gpu {
+            GpuKind::A10G => 1.21,
+            GpuKind::V100 => 3.06,
+            GpuKind::T4 => 0.53,
+            GpuKind::L4 => 0.80,
+            GpuKind::A100 => 4.10,
+        }
+    }
+
+    /// Default scale-up provisioning delay of `gpu` in seconds (instance
+    /// launch plus loading the model shards; bigger GPUs ship bigger shards).
+    pub fn default_provision_delay_s(gpu: GpuKind) -> f64 {
+        match gpu {
+            GpuKind::A10G => 30.0,
+            GpuKind::V100 => 45.0,
+            GpuKind::T4 => 20.0,
+            GpuKind::L4 => 25.0,
+            GpuKind::A100 => 90.0,
+        }
+    }
+
+    /// Dollars one replica of this group costs per second of uptime.
+    pub fn replica_dollars_per_s(&self) -> f64 {
+        self.dollars_per_gpu_hour * self.parallel.gpus_per_replica() as f64 / 3600.0
     }
 
     /// The paper's fleet sizing (§7.1) for `instances` instances of `gpu`:
@@ -81,6 +121,8 @@ impl ReplicaGroup {
             parallel,
             network_gbps: Self::shared_nic_gbps(gpu.instance().network_gbps, replicas, instances),
             cost_params: None,
+            dollars_per_gpu_hour: Self::default_dollars_per_gpu_hour(gpu),
+            provision_delay_s: Self::default_provision_delay_s(gpu),
         }
     }
 
@@ -115,10 +157,13 @@ impl ReplicaGroup {
         )
     }
 
-    /// Decodes a group from its serialized [`Value`] tree.
+    /// Decodes a group from its serialized [`Value`] tree. Snapshots from
+    /// before the cost model carry no price/provisioning keys; those fall
+    /// back to the GPU kind's defaults.
     pub fn from_value(value: &Value) -> Option<ReplicaGroup> {
+        let gpu = GpuKind::from_name(value.get_key("gpu")?.as_str()?)?;
         Some(ReplicaGroup {
-            gpu: GpuKind::from_name(value.get_key("gpu")?.as_str()?)?,
+            gpu,
             replicas: value.get_key("replicas")?.as_f64()? as usize,
             parallel: Parallelism::from_value(value.get_key("parallel")?)?,
             network_gbps: value.get_key("network_gbps")?.as_f64()?,
@@ -126,6 +171,14 @@ impl ReplicaGroup {
                 None | Some(Value::Null) => None,
                 Some(params) => Some(CostParams::from_value(params)?),
             },
+            dollars_per_gpu_hour: value
+                .get_key("dollars_per_gpu_hour")
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|| Self::default_dollars_per_gpu_hour(gpu)),
+            provision_delay_s: value
+                .get_key("provision_delay_s")
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|| Self::default_provision_delay_s(gpu)),
         })
     }
 }

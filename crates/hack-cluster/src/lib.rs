@@ -90,6 +90,18 @@
 //!   run horizon — Monte-Carlo availability sweeps without hand-written
 //!   event lists. Retry behaviour is a config knob now ([`RetryPolicy`] on
 //!   [`PolicyConfig`]), defaults bit-identical to the old constants.
+//! * **Elastic fleets** ([`ScalingPolicyKind`] on [`PolicyConfig`]): an
+//!   autoscaling controller ticks every [`SCALE_TICK_SECS`], asks a pluggable
+//!   [`ScalingPolicy`] (queue-depth thresholds, target utilization with
+//!   hysteresis, or a predictive arrival-rate EWMA) for a desired decode
+//!   replica count per group, and grows/shrinks the fleet through the same
+//!   event machinery faults use — scale-ups pay a per-GPU-kind provisioning
+//!   delay, scale-downs drain in-flight work before powering off. Each
+//!   [`ReplicaGroup`] carries a `$`/GPU-hour price, and [`SimulationResult`]
+//!   turns racked uptime into cost sensors (`gpu_dollars`,
+//!   `dollars_per_1k_tokens`). [`ScalingPolicyKind::Off`] (the default)
+//!   instantiates no controller at all and stays bit- and cost-identical to
+//!   the static fleet.
 
 mod components;
 pub mod config;
@@ -101,11 +113,13 @@ pub mod sim;
 pub mod telemetry;
 pub mod topology;
 
+pub use components::scaling::SCALE_TICK_SECS;
 pub use config::{ClusterConfig, FailureSpec, SimulationConfig};
 pub use fleet::{FleetSpec, GroupSet, ReplicaGroup, MAX_GROUPS};
 pub use policy::{
-    AdmissionPolicy, AdmissionPolicyKind, DispatchPolicy, DispatchPolicyKind, PolicyConfig,
-    ReplicaLoad, SchedulingPolicy, SchedulingPolicyKind, TenantClass, TenantClasses,
+    AdmissionPolicy, AdmissionPolicyKind, DispatchPolicy, DispatchPolicyKind, GroupScalingView,
+    PolicyConfig, ReplicaLoad, ScalingPolicy, ScalingPolicyKind, SchedulingPolicy,
+    SchedulingPolicyKind, TenantClass, TenantClasses,
 };
 pub use result::{FaultRecord, GroupStats, RequestRecord, SimulationResult};
 pub use sim::{CostMode, Simulator};

@@ -586,6 +586,280 @@ impl SchedulingPolicyKind {
     }
 }
 
+// --- Scaling: how many decode replicas each group keeps live. ---
+
+/// The autoscaling controller's per-group snapshot at one scaling tick.
+/// `live` replicas are dispatchable, `provisioning` ones were ordered but are
+/// still paying the provisioning delay, `draining` ones are finishing their
+/// in-flight batches before leaving; the three never overlap and never exceed
+/// `capacity` (the group's configured replica count).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupScalingView {
+    /// Decode group index.
+    pub group: usize,
+    /// Dispatchable (non-failed, non-drained) replicas.
+    pub live: usize,
+    /// Replicas ordered but not yet dispatchable.
+    pub provisioning: usize,
+    /// Replicas draining towards scale-down.
+    pub draining: usize,
+    /// Configured replica count — the fleet the operator paid to rack.
+    pub capacity: usize,
+    /// Requests currently decoding across the group's live replicas.
+    pub active: usize,
+    /// Decode batch slots per replica.
+    pub batch: usize,
+    /// Requests queued for decode admission (waiting for memory or a batch
+    /// slot) plus those still in prefill/transfer — demand that has entered
+    /// the cluster but not yet finished decoding.
+    pub queued: usize,
+    /// Requests that arrived at the cluster since the previous scaling tick.
+    pub arrived: usize,
+}
+
+impl GroupScalingView {
+    /// Replicas already committed to serving (live or on the way up).
+    pub fn committed(&self) -> usize {
+        self.live + self.provisioning
+    }
+}
+
+/// Picks each decode group's desired replica count at every scaling tick.
+/// The controller clamps the answer to `[1, capacity]` and turns the delta
+/// into provisioning orders (scale-up) or drains (scale-down).
+pub trait ScalingPolicy {
+    /// Desired replica count for the group described by `view` at time `now`.
+    fn desired(&mut self, view: &GroupScalingView, now: f64) -> usize;
+}
+
+/// Holds the committed replica count steady (the inert controller: every
+/// tick's machinery runs but no scale event ever fires).
+#[derive(Debug, Default)]
+pub struct HoldSteady;
+
+impl ScalingPolicy for HoldSteady {
+    fn desired(&mut self, view: &GroupScalingView, _now: f64) -> usize {
+        view.committed()
+    }
+}
+
+/// Queue-depth watermarks: grow by one replica while the backlog per
+/// committed replica exceeds `high`, shrink by one while it sits below `low`.
+#[derive(Debug)]
+pub struct ThresholdScaler {
+    high: f64,
+    low: f64,
+}
+
+impl ThresholdScaler {
+    /// Watermarks in queued requests per committed replica (`low < high`).
+    pub fn new(high: f64, low: f64) -> Self {
+        assert!(low < high, "low watermark must sit below high");
+        Self { high, low }
+    }
+}
+
+impl ScalingPolicy for ThresholdScaler {
+    fn desired(&mut self, view: &GroupScalingView, _now: f64) -> usize {
+        let committed = view.committed();
+        let backlog = view.queued as f64 / committed.max(1) as f64;
+        if backlog > self.high {
+            committed + 1
+        } else if backlog < self.low {
+            committed.saturating_sub(1)
+        } else {
+            committed
+        }
+    }
+}
+
+/// Busy-fraction setpoint with hysteresis: utilization is active decodes over
+/// the committed fleet's batch slots; outside `setpoint ± band` the group
+/// grows or shrinks by one replica per tick, inside the band it holds (the
+/// band is what keeps a noisy trace from thrashing up and down every tick).
+#[derive(Debug)]
+pub struct TargetUtilizationScaler {
+    setpoint: f64,
+    band: f64,
+}
+
+impl TargetUtilizationScaler {
+    /// Setpoint and hysteresis half-width, both in (0, 1).
+    pub fn new(setpoint: f64, band: f64) -> Self {
+        assert!(
+            setpoint > 0.0 && setpoint < 1.0,
+            "setpoint must be in (0,1)"
+        );
+        assert!(
+            band >= 0.0 && band < setpoint,
+            "band must fit under setpoint"
+        );
+        Self { setpoint, band }
+    }
+}
+
+impl ScalingPolicy for TargetUtilizationScaler {
+    fn desired(&mut self, view: &GroupScalingView, _now: f64) -> usize {
+        let committed = view.committed();
+        let slots = (committed * view.batch.max(1)).max(1) as f64;
+        let util = (view.active + view.queued) as f64 / slots;
+        if util > self.setpoint + self.band {
+            committed + 1
+        } else if util < self.setpoint - self.band {
+            committed.saturating_sub(1)
+        } else {
+            committed
+        }
+    }
+}
+
+/// EWMA of the arrival rate (fed by the same tick cadence the telemetry
+/// sampler uses): desired replicas are the smoothed rate, padded by
+/// `headroom`, divided by one replica's sustainable throughput.
+#[derive(Debug)]
+pub struct PredictiveScaler {
+    alpha: f64,
+    per_replica_rps: f64,
+    headroom: f64,
+    ewma: f64,
+    last_now: f64,
+    primed: bool,
+}
+
+impl PredictiveScaler {
+    /// `alpha` is the EWMA smoothing factor in (0, 1], `per_replica_rps` one
+    /// replica's sustainable request rate, `headroom` the safety multiplier.
+    pub fn new(alpha: f64, per_replica_rps: f64, headroom: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        assert!(per_replica_rps > 0.0, "per-replica rate must be positive");
+        assert!(
+            headroom >= 1.0,
+            "headroom below 1 would plan to fall behind"
+        );
+        Self {
+            alpha,
+            per_replica_rps,
+            headroom,
+            ewma: 0.0,
+            last_now: 0.0,
+            primed: false,
+        }
+    }
+}
+
+impl ScalingPolicy for PredictiveScaler {
+    fn desired(&mut self, view: &GroupScalingView, now: f64) -> usize {
+        let dt = now - self.last_now;
+        self.last_now = now;
+        if dt <= 0.0 {
+            return view.committed();
+        }
+        let rate = view.arrived as f64 / dt;
+        // The first observation seeds the average instead of decaying from 0.
+        self.ewma = if self.primed {
+            self.alpha * rate + (1.0 - self.alpha) * self.ewma
+        } else {
+            self.primed = true;
+            rate
+        };
+        (self.ewma * self.headroom / self.per_replica_rps).ceil() as usize
+    }
+}
+
+/// Serializable selector of the run's [`ScalingPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub enum ScalingPolicyKind {
+    /// No autoscaling: the fleet stays at its configured size and the
+    /// simulator skips the controller entirely (the pre-scaling behaviour,
+    /// bit- and cost-identical).
+    #[default]
+    Off,
+    /// Queue-depth watermarks per committed replica.
+    Threshold {
+        /// Grow while queued-per-replica exceeds this.
+        high: f64,
+        /// Shrink while queued-per-replica sits below this.
+        low: f64,
+    },
+    /// Busy-fraction setpoint with hysteresis.
+    TargetUtilization {
+        /// Target busy fraction of the committed batch slots.
+        setpoint: f64,
+        /// Hysteresis half-width around the setpoint.
+        band: f64,
+    },
+    /// EWMA arrival-rate forecast over per-replica throughput.
+    Predictive {
+        /// EWMA smoothing factor in (0, 1].
+        alpha: f64,
+        /// One replica's sustainable request rate (requests/s).
+        per_replica_rps: f64,
+        /// Safety multiplier on the forecast rate (≥ 1).
+        headroom: f64,
+    },
+}
+
+impl ScalingPolicyKind {
+    /// Builds the policy instance for one run ([`Off`](Self::Off) builds the
+    /// inert [`HoldSteady`], useful for measuring pure controller overhead).
+    pub fn build(self) -> Box<dyn ScalingPolicy> {
+        match self {
+            ScalingPolicyKind::Off => Box::<HoldSteady>::default(),
+            ScalingPolicyKind::Threshold { high, low } => Box::new(ThresholdScaler::new(high, low)),
+            ScalingPolicyKind::TargetUtilization { setpoint, band } => {
+                Box::new(TargetUtilizationScaler::new(setpoint, band))
+            }
+            ScalingPolicyKind::Predictive {
+                alpha,
+                per_replica_rps,
+                headroom,
+            } => Box::new(PredictiveScaler::new(alpha, per_replica_rps, headroom)),
+        }
+    }
+
+    /// Builds the policy for the simulator's hot path: `None` means no
+    /// controller at all — no scaling ticks on the event queue, no uptime
+    /// bookkeeping beyond the static fleet's, bit- *and* cost-identical to
+    /// the pre-scaling simulator.
+    pub(crate) fn instantiate(self) -> Option<Box<dyn ScalingPolicy>> {
+        match self {
+            ScalingPolicyKind::Off => None,
+            other => Some(other.build()),
+        }
+    }
+
+    /// Display name (bench/table row labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalingPolicyKind::Off => "off",
+            ScalingPolicyKind::Threshold { .. } => "threshold",
+            ScalingPolicyKind::TargetUtilization { .. } => "target-util",
+            ScalingPolicyKind::Predictive { .. } => "predictive",
+        }
+    }
+
+    /// The paper-flavoured parameterisation of every shipped scaling policy
+    /// (grid/bench sweeps); `per_replica_rps` feeds the predictive forecast.
+    pub fn all(per_replica_rps: f64) -> [ScalingPolicyKind; 4] {
+        [
+            ScalingPolicyKind::Off,
+            ScalingPolicyKind::Threshold {
+                high: 4.0,
+                low: 1.0,
+            },
+            ScalingPolicyKind::TargetUtilization {
+                setpoint: 0.7,
+                band: 0.15,
+            },
+            ScalingPolicyKind::Predictive {
+                alpha: 0.3,
+                per_replica_rps,
+                headroom: 1.2,
+            },
+        ]
+    }
+}
+
 /// The frontend policy of one run: tenant classes plus the dispatch,
 /// admission and scheduling policies operating on them. `Copy` and
 /// serializable so it rides inside [`crate::config::SimulationConfig`].
@@ -602,6 +876,9 @@ pub struct PolicyConfig {
     /// Transfer-retry backoff and give-up budgets. The default reproduces
     /// the pre-policy hardcoded constants bit-for-bit.
     pub retry: crate::topology::RetryPolicy,
+    /// Decode-fleet autoscaling policy ([`ScalingPolicyKind::Off`] keeps the
+    /// static fleet and skips the controller entirely).
+    pub scaling: ScalingPolicyKind,
 }
 
 impl PolicyConfig {
@@ -614,6 +891,16 @@ impl PolicyConfig {
             admission: AdmissionPolicyKind::AdmitAll,
             scheduling,
             retry: crate::topology::RetryPolicy::default(),
+            scaling: ScalingPolicyKind::Off,
+        }
+    }
+
+    /// A single-tenant policy with the given decode-fleet scaling policy
+    /// (autoscaling experiments).
+    pub fn autoscaled(scaling: ScalingPolicyKind) -> Self {
+        Self {
+            scaling,
+            ..Self::default()
         }
     }
 
@@ -992,5 +1279,60 @@ mod tests {
         .build(&classes);
         assert!(bucket.admit(&requests[0], 0.0));
         assert!(!bucket.admit(&requests[0], 0.0));
+    }
+
+    fn view(live: usize, provisioning: usize, active: usize, queued: usize) -> GroupScalingView {
+        GroupScalingView {
+            group: 0,
+            live,
+            provisioning,
+            draining: 0,
+            capacity: 8,
+            active,
+            batch: 8,
+            queued,
+            arrived: 0,
+        }
+    }
+
+    #[test]
+    fn scaling_policies_track_load() {
+        // Off instantiates to no controller at all; everything else to one.
+        assert!(ScalingPolicyKind::Off.instantiate().is_none());
+        for kind in ScalingPolicyKind::all(1.0).into_iter().skip(1) {
+            assert!(kind.instantiate().is_some(), "{}", kind.name());
+        }
+
+        // The inert policy holds whatever is committed, including in-flight
+        // provisioning orders.
+        assert_eq!(HoldSteady.desired(&view(3, 1, 0, 100), 10.0), 4);
+
+        // Threshold: backlog per committed replica against the watermarks.
+        let mut th = ThresholdScaler::new(4.0, 1.0);
+        assert_eq!(th.desired(&view(2, 0, 0, 10), 0.0), 3, "10/2 > 4 grows");
+        assert_eq!(th.desired(&view(2, 0, 0, 1), 0.0), 1, "1/2 < 1 shrinks");
+        assert_eq!(th.desired(&view(2, 0, 0, 4), 0.0), 2, "2 <= 4/2 <= 4 holds");
+        // Provisioning replicas count as committed: no double-ordering while
+        // the first order is still in flight.
+        assert_eq!(th.desired(&view(2, 1, 0, 13), 0.0), 4);
+        assert_eq!(th.desired(&view(2, 1, 0, 9), 0.0), 3);
+
+        // Target utilization: demand over committed batch slots, hysteresis
+        // band holds in between.
+        let mut tu = TargetUtilizationScaler::new(0.7, 0.15);
+        assert_eq!(tu.desired(&view(2, 0, 14, 0), 0.0), 3, "14/16 > 0.85");
+        assert_eq!(tu.desired(&view(2, 0, 4, 0), 0.0), 1, "4/16 < 0.55");
+        assert_eq!(tu.desired(&view(2, 0, 11, 0), 0.0), 2, "0.69 in band");
+
+        // Predictive: the first tick seeds the EWMA, later ticks smooth it;
+        // desired is the padded forecast over per-replica throughput.
+        let mut pr = PredictiveScaler::new(0.5, 1.0, 1.0);
+        let mut v = view(1, 0, 0, 0);
+        v.arrived = 40;
+        assert_eq!(pr.desired(&v, 10.0), 4, "seed: 4 rps / 1 rps per replica");
+        v.arrived = 0;
+        assert_eq!(pr.desired(&v, 20.0), 2, "EWMA 2 rps after an idle tick");
+        // A zero-dt tick holds instead of dividing by zero.
+        assert_eq!(pr.desired(&v, 20.0), 1);
     }
 }

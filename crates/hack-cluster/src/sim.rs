@@ -21,14 +21,16 @@ use crate::components::decode::DecodeReplica;
 use crate::components::frontend::Frontend;
 use crate::components::network::NetworkFabric;
 use crate::components::prefill::PrefillReplica;
+use crate::components::scaling::ScalingController;
 use crate::components::{
     ClusterState, DecodeReplicaState, FaultTally, PrefillReplicaState, ReqState, SimCosts,
 };
 use crate::config::{ClusterConfig, SimulationConfig};
 use crate::events::{
     FabricFault, FabricRecovered, PrefillFailed, PrefillRecovered, ReplicaFailed, ReplicaRecovered,
-    RequestArrived, SampleTick,
+    RequestArrived, SampleTick, ScaleTick,
 };
+use crate::policy::ScalingPolicyKind;
 use crate::result::{FaultRecord, GroupStats, RequestRecord, SimulationResult};
 use crate::telemetry::{TelemetrySampler, TelemetryState};
 use crate::topology::{ConfigError, FaultDomain};
@@ -330,12 +332,15 @@ impl Simulator {
         let decode_ctxs: Vec<_> = (0..decode_replicas)
             .map(|i| sim.create_context(format!("decode-{i}")))
             .collect();
-        // The sampler context is created *after* every regular component, so a
-        // telemetry-off run assigns exactly the component ids it always did.
+        // The sampler and controller contexts are created *after* every
+        // regular component (sampler first), so runs without them assign
+        // exactly the component ids they always did.
         let telemetry_settings = self.config.telemetry.settings();
         let sampler_ctx = telemetry_settings
             .as_ref()
             .map(|_| sim.create_context("telemetry-sampler"));
+        let scaling_on = self.config.policy.scaling != ScalingPolicyKind::Off;
+        let scaler_ctx = scaling_on.then(|| sim.create_context("scaling-controller"));
 
         let frontend_id = frontend_ctx.id();
         let prefill_ids: Vec<_> = prefill_ctxs.iter().map(|c| c.id()).collect();
@@ -455,6 +460,9 @@ impl Simulator {
                     active: 0,
                     resident_tokens: 0,
                     failed: false,
+                    reservations: 0,
+                    scaled_out: false,
+                    draining: false,
                 })
                 .collect(),
             waiting_for_memory: VecDeque::new(),
@@ -515,12 +523,19 @@ impl Simulator {
             prefill_ctxs,
             decode_ctxs,
             tel: tel_state,
+            // Every decode replica starts live: the configured count is the
+            // fleet's *capacity*, and a scaling-off run bills all of it for
+            // the whole makespan (the static fleet).
+            decode_up_since: vec![Some(0.0); decode_replicas],
+            decode_uptime: vec![0.0; decode_replicas],
+            scale_ups: 0,
+            scale_downs: 0,
         };
         let cluster = Rc::new(RefCell::new(state));
-        if telemetry_settings.is_some() {
+        if telemetry_settings.is_some() || scaling_on {
             // The blackboard doubles as the engine probe: auxiliary components
-            // (the sampler) observe the simulation through
-            // `SimulationContext::probe` instead of being wired into it.
+            // (the sampler and the scaling controller) observe the simulation
+            // through `SimulationContext::probe` instead of being wired in.
             sim.install_probe(cluster.clone());
         }
 
@@ -562,14 +577,37 @@ impl Simulator {
                 })),
             );
         }
+        let scale_ticks = Rc::new(std::cell::Cell::new(0u64));
+        if let Some(ctx) = scaler_ctx {
+            // The first control decision fires at t=0 (observing the fleet's
+            // configured full capacity); the controller re-arms itself.
+            ctx.emit_at(ScaleTick, ctx.id(), 0.0);
+            sim.add_handler(
+                "scaling-controller",
+                Rc::new(RefCell::new(ScalingController {
+                    ctx,
+                    policy: policy
+                        .scaling
+                        .instantiate()
+                        .expect("scaling_on checked above"),
+                    ordered: vec![false; decode_replicas],
+                    arrivals_seen: 0,
+                    ticks: scale_ticks.clone(),
+                })),
+            );
+        }
 
         // --- Drive the engine until every request is resolved — completed or
         // rejected by admission — (or the queue runs dry, e.g. under a
         // permanent failure of the whole decode fleet). ---
         let mut makespan = 0.0f64;
-        if telemetry_settings.is_none() {
+        // Perpetual tickers: auxiliary components that always keep one
+        // self-addressed event pending (the telemetry sampler's SampleTick,
+        // the scaling controller's ScaleTick).
+        let tickers = usize::from(telemetry_settings.is_some()) + usize::from(scaling_on);
+        if tickers == 0 {
             // The exact pre-telemetry loop: nothing on this path even looks at
-            // the sampler machinery.
+            // the ticker machinery.
             while {
                 let cs = cluster.borrow();
                 cs.completed + cs.rejected < num_requests
@@ -580,31 +618,33 @@ impl Simulator {
                 makespan = makespan.max(sim.time());
             }
         } else {
-            // The sampler keeps exactly one tick pending at all times, so the
-            // queue never runs dry on its own: when a delivered tick leaves
-            // nothing but its own re-arm behind (`queue_len() <= 1`) the
-            // simulation proper is over — the telemetry-off loop would have
-            // seen `step()` return false. That check only needs to run on
-            // tick-delivering steps (between ticks the queue always holds the
-            // pending tick plus at least one live event), which keeps the
-            // per-step cost of this loop at two counter loads over the
-            // telemetry-off loop. Steps that deliver a sampler tick are
-            // excluded from the makespan so it stays bit-identical to the
-            // telemetry-off run even when the run ends with the queue dry
-            // (e.g. a permanent whole-fleet failure): events are delivered in
-            // time order, so the surviving maximum is over exactly the same
-            // event set.
+            // Each ticker keeps exactly one tick pending at all times, so the
+            // queue never runs dry on its own: when a delivered control event
+            // leaves nothing but the tickers' own re-arms behind
+            // (`queue_len() <= tickers`) the simulation proper is over — the
+            // ticker-free loop would have seen `step()` return false. That
+            // check only needs to run on control-delivering steps (between
+            // control events the queue always holds the pending ticks plus at
+            // least one live event), which keeps the per-step cost of this
+            // loop at a few counter loads over the ticker-free loop. Steps
+            // that deliver control-plane traffic (sampler ticks, scale ticks,
+            // provisioning landings) are excluded from the makespan so it
+            // stays a maximum over request-visible events only — bit-identical
+            // to the ticker-free run when nothing scales, even when the run
+            // ends with the queue dry (e.g. a permanent whole-fleet failure):
+            // events are delivered in time order, so the surviving maximum is
+            // over exactly the same event set.
             while {
                 let cs = cluster.borrow();
                 cs.completed + cs.rejected < num_requests
             } {
-                let ticks_before = sampler_ticks.get();
+                let ticks_before = sampler_ticks.get() + scale_ticks.get();
                 if !sim.step() {
                     break;
                 }
-                if sampler_ticks.get() == ticks_before {
+                if sampler_ticks.get() + scale_ticks.get() == ticks_before {
                     makespan = makespan.max(sim.time());
-                } else if sim.queue_len() <= 1 {
+                } else if sim.queue_len() <= tickers {
                     break;
                 }
             }
@@ -667,6 +707,7 @@ impl Simulator {
                 mean_jct: 0.0,
                 peak_kv_bytes: 0.0,
                 peak_memory_fraction: 0.0,
+                gpu_dollars: 0.0,
             })
             .collect();
         let mut decode_groups: Vec<GroupStats> = cluster_cfg
@@ -693,6 +734,7 @@ impl Simulator {
                     mean_jct: 0.0,
                     peak_kv_bytes: group_peak,
                     peak_memory_fraction: ((params_bytes + act_bytes + group_peak) / mem).min(1.0),
+                    gpu_dollars: 0.0,
                 }
             })
             .collect();
@@ -809,13 +851,63 @@ impl Simulator {
         let mut throughput_loss_gbps_s = 0.0;
         for f in self.config.faults.iter() {
             let Some(factor) = f.degrade else { continue };
-            let window =
-                (f.recover_at.unwrap_or(makespan).min(makespan) - f.at.min(makespan)).max(0.0);
+            let start = f.at.min(makespan);
+            let end = f.recover_at.unwrap_or(makespan).min(makespan);
+            let mut window = (end - start).max(0.0);
+            // A binary outage of the same domain cuts the very links the
+            // degradation slows: dead link time is not *degraded* time, so
+            // each overlapping outage window's intersection is subtracted
+            // (outage windows on one domain are validated disjoint, so no
+            // intersection is subtracted twice).
+            for o in self.config.faults.iter() {
+                if o.degrade.is_some() || o.domain != f.domain {
+                    continue;
+                }
+                let o_start = o.at.min(makespan);
+                let o_end = o.recover_at.unwrap_or(makespan).min(makespan);
+                window -= (end.min(o_end) - start.max(o_start)).max(0.0);
+            }
             let links = cs.fabric.links_for_domain(f.domain);
             degraded_link_secs += links.len() as f64 * window;
             throughput_loss_gbps_s += cs.fabric.nominal_capacity(&links) * (1.0 - factor) * window;
         }
         let rerouted_flows = cs.fabric.rerouted_flows();
+
+        // --- $/GPU-hour cost sensors. Prefill groups are static this PR and
+        // bill every replica for the whole makespan. Decode replicas bill
+        // their racked uptime: closed scale-down intervals accumulated in
+        // `decode_uptime`, plus the still-open interval of every replica that
+        // is live (or failed-but-racked) at run end. Without a scaling policy
+        // every interval is `[0, makespan]`, so the cost collapses to
+        // `replicas * makespan * rate` — the static fleet's bill. ---
+        let mut gpu_dollars = 0.0;
+        for (g, spec) in cluster_cfg.fleet.prefill.iter().enumerate() {
+            let dollars = spec.replicas as f64 * makespan * spec.replica_dollars_per_s();
+            prefill_groups[g].gpu_dollars = dollars;
+            gpu_dollars += dollars;
+        }
+        let mut base = 0usize;
+        for (g, spec) in cluster_cfg.fleet.decode.iter().enumerate() {
+            let mut uptime = 0.0;
+            for r in base..base + spec.replicas {
+                uptime += cs.decode_uptime[r];
+                if let Some(opened) = cs.decode_up_since[r] {
+                    uptime += (makespan - opened).max(0.0);
+                }
+            }
+            base += spec.replicas;
+            let dollars = uptime * spec.replica_dollars_per_s();
+            decode_groups[g].gpu_dollars = dollars;
+            gpu_dollars += dollars;
+        }
+        // Generated (output) tokens across completed requests: the serving
+        // industry's unit cost denominator.
+        let generated_tokens: usize = records.iter().map(|r| r.request.output_len).sum();
+        let dollars_per_1k_tokens = if generated_tokens > 0 {
+            gpu_dollars / (generated_tokens as f64 / 1000.0)
+        } else {
+            0.0
+        };
 
         let result = SimulationResult {
             method: profile.name.to_string(),
@@ -841,6 +933,10 @@ impl Simulator {
             degraded_link_secs,
             throughput_loss_gbps_s,
             rerouted_flows,
+            scale_ups: cs.scale_ups,
+            scale_downs: cs.scale_downs,
+            gpu_dollars,
+            dollars_per_1k_tokens,
             prefill_groups,
             decode_groups,
             makespan,

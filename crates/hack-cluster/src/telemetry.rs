@@ -567,6 +567,45 @@ impl TelemetryState {
         );
     }
 
+    // --- Autoscaling lifecycle (see OBSERVABILITY.md, "Autoscaling
+    // taxonomy"). ---
+
+    /// The controller ordered a scale-up of `replica`: the provisioning delay
+    /// starts now.
+    pub fn replica_provisioning(&mut self, replica: usize, now: f64) {
+        self.tel.instant(
+            "replica_provisioning",
+            "scaling",
+            self.decode_tracks[replica],
+            NO_REQUEST,
+            now,
+        );
+        self.tel.add_counter("scale_ups", 1);
+    }
+
+    /// `replica` finished provisioning and joined the dispatchable fleet.
+    pub fn replica_joined(&mut self, replica: usize, now: f64) {
+        self.tel.instant(
+            "replica_joined",
+            "scaling",
+            self.decode_tracks[replica],
+            NO_REQUEST,
+            now,
+        );
+    }
+
+    /// `replica` finished draining its in-flight batch and left the fleet.
+    pub fn replica_drained(&mut self, replica: usize, now: f64) {
+        self.tel.instant(
+            "replica_drained",
+            "scaling",
+            self.decode_tracks[replica],
+            NO_REQUEST,
+            now,
+        );
+        self.tel.add_counter("scale_downs", 1);
+    }
+
     // --- Periodic sampling. ---
 
     /// Samples every registered time series. `prefill`/`decode`/`mem_wait`

@@ -35,6 +35,8 @@ fn hand_built_default() -> ClusterConfig {
                 parallel: Parallelism::table3(model, GpuKind::A10G),
                 network_gbps: 40.0,
                 cost_params: None,
+                dollars_per_gpu_hour: ReplicaGroup::default_dollars_per_gpu_hour(GpuKind::A10G),
+                provision_delay_s: ReplicaGroup::default_provision_delay_s(GpuKind::A10G),
             }),
             decode: GroupSet::single(ReplicaGroup {
                 gpu: GpuKind::A100,
@@ -42,6 +44,8 @@ fn hand_built_default() -> ClusterConfig {
                 parallel: Parallelism::table3(model, GpuKind::A100),
                 network_gbps: 200.0,
                 cost_params: None,
+                dollars_per_gpu_hour: ReplicaGroup::default_dollars_per_gpu_hour(GpuKind::A100),
+                provision_delay_s: ReplicaGroup::default_provision_delay_s(GpuKind::A100),
             }),
         },
         pipelining: false,
@@ -143,6 +147,7 @@ fn single_group_results_are_bit_identical_under_every_policy() {
                     },
                     scheduling,
                     retry: RetryPolicy::default(),
+                    scaling: hack_cluster::ScalingPolicyKind::Off,
                 };
                 Simulator::with_requests(config, requests.clone()).run()
             };

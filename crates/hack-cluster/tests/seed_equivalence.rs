@@ -389,6 +389,10 @@ mod legacy {
                 degraded_link_secs: 0.0,
                 throughput_loss_gbps_s: 0.0,
                 rerouted_flows: 0,
+                scale_ups: 0,
+                scale_downs: 0,
+                gpu_dollars: 0.0,
+                dollars_per_1k_tokens: 0.0,
                 prefill_groups: Vec::new(),
                 decode_groups: Vec::new(),
                 makespan,

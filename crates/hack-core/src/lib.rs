@@ -28,6 +28,7 @@
 //! assert_eq!(out.output.shape(), (64, 64));
 //! ```
 
+pub mod autoscale;
 pub mod availability;
 pub mod experiment;
 pub mod fault_storm;
@@ -37,6 +38,7 @@ pub mod jct_runner;
 pub mod method;
 pub mod tenant_mix;
 
+pub use autoscale::{AutoscaleExperiment, AutoscaleOutcome, TraceShape};
 pub use availability::{nines_of, AvailabilityExperiment, AvailabilityPoint};
 pub use experiment::{ExperimentTable, Row};
 pub use fault_storm::{FaultScenario, FaultStormExperiment, FaultStormOutcome};
@@ -48,6 +50,7 @@ pub use tenant_mix::{TenantMixExperiment, TenantMixOutcome, TenantWorkload};
 
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
+    pub use crate::autoscale::{AutoscaleExperiment, AutoscaleOutcome, TraceShape};
     pub use crate::availability::{nines_of, AvailabilityExperiment, AvailabilityPoint};
     pub use crate::experiment::{ExperimentTable, Row};
     pub use crate::fault_storm::{FaultScenario, FaultStormExperiment, FaultStormOutcome};
@@ -63,8 +66,8 @@ pub mod prelude {
         AdmissionPolicyKind, AvailabilityModel, ClusterConfig, ConfigError, DispatchPolicyKind,
         FailureSpec, FaultDomain, FaultEvent, FaultPlan, FaultRecord, FleetShape, FleetSpec,
         GroupSet, GroupStats, LinkGraphSpec, MtbfSpec, PolicyConfig, ReplicaGroup, RetryPolicy,
-        SchedulingPolicyKind, SimulationConfig, Simulator, TelemetryConfig, TelemetrySettings,
-        TenantClass, TenantClasses, TopologySpec,
+        ScalingPolicyKind, SchedulingPolicyKind, SimulationConfig, Simulator, TelemetryConfig,
+        TelemetrySettings, TenantClass, TenantClasses, TopologySpec, SCALE_TICK_SECS,
     };
     pub use hack_metrics::telemetry::Telemetry;
     pub use hack_model::gpu::GpuKind;

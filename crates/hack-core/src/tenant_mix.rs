@@ -153,6 +153,7 @@ impl TenantMixExperiment {
                 admission: self.admission,
                 scheduling,
                 retry: hack_cluster::RetryPolicy::default(),
+                scaling: hack_cluster::ScalingPolicyKind::Off,
             },
             faults: FaultPlan::none(),
             telemetry: TelemetryConfig::Off,

@@ -240,4 +240,44 @@ fn degraded_window_sensors_recount_from_the_raw_plan_under_overlapping_windows()
         .count();
     assert!(inside > 0, "the squeeze must overlap some completions");
     assert!((result.degraded_goodput - inside as f64 / 55.0).abs() < 1e-9);
+
+    // A binary outage overlapping a degrade window *on the same domain* cuts
+    // the very link the degradation slows: dead time is not degraded time, so
+    // the sensors count the union and subtract the outage. DecodeTor(0)'s
+    // degraded window [20, 60] loses its intersection with the outage
+    // [30, 50] — 20 degraded link-seconds survive — while DecodeTor(1)'s
+    // outage-free window still counts in full.
+    let mut overlaid = graph_config(n, 0.4, 1);
+    let mut plan = FaultPlan::none();
+    plan.push(FaultEvent::degraded(
+        FaultDomain::DecodeTor(0),
+        20.0,
+        60.0,
+        0.5,
+    ));
+    plan.push(FaultEvent::transient(FaultDomain::DecodeTor(0), 30.0, 50.0));
+    plan.push(FaultEvent::degraded(
+        FaultDomain::DecodeTor(1),
+        30.0,
+        50.0,
+        0.25,
+    ));
+    overlaid.faults = plan;
+    overlaid
+        .validate()
+        .expect("a degrade over a binary outage on one domain is legal");
+    let overlaid = Simulator::new(overlaid).run();
+    assert_conserved(&overlaid, n, "degrade over outage");
+    assert!(
+        overlaid.makespan > 60.0,
+        "windows must close before makespan"
+    );
+    let expected_secs = ((60.0 - 20.0) - (50.0 - 30.0)) + (50.0 - 30.0);
+    let expected_loss = uplink * (1.0 - 0.5) * 20.0 + uplink * (1.0 - 0.25) * 20.0;
+    assert!((overlaid.degraded_link_secs - expected_secs).abs() < 1e-9);
+    assert!((overlaid.throughput_loss_gbps_s - expected_loss).abs() < 1e-6);
+    // The outage itself is a real fault with a real blast radius (the two
+    // replicas behind the ToR), recorded alongside the two degradations.
+    assert_eq!(overlaid.faults.len(), 3);
+    assert!(overlaid.faults.iter().any(|f| f.replicas_affected == 2));
 }

@@ -422,7 +422,10 @@ use hack_workload::trace::TenantId;
 use std::sync::Arc;
 
 /// A random multi-tenant workload (2–4 tenants, mixed datasets/rates/seeds)
-/// over a random cluster config, under a random scheduling policy.
+/// over a random cluster config, under random scheduling, dispatch and
+/// decode-fleet scaling policies — so the conservation / no-leakage /
+/// determinism properties below also cover runs that grow and drain the
+/// decode fleet mid-flight.
 fn random_multi_tenant(rng: &mut DetRng) -> (SimulationConfig, Arc<Vec<hack_workload::Request>>) {
     use hack_cluster::{PolicyConfig, SchedulingPolicyKind, TenantClass, TenantClasses};
     let datasets = [
@@ -458,6 +461,25 @@ fn random_multi_tenant(rng: &mut DetRng) -> (SimulationConfig, Arc<Vec<hack_work
         SchedulingPolicyKind::SloEdf,
     ][rng.range_usize(0, 3)];
     let dispatch = hack_cluster::DispatchPolicyKind::all()[rng.range_usize(0, 3)];
+    let scaling = {
+        use hack_cluster::ScalingPolicyKind;
+        [
+            ScalingPolicyKind::Off,
+            ScalingPolicyKind::Threshold {
+                high: rng.range_f64(1.0, 6.0),
+                low: rng.range_f64(0.1, 0.9),
+            },
+            ScalingPolicyKind::TargetUtilization {
+                setpoint: rng.range_f64(0.4, 0.9),
+                band: rng.range_f64(0.05, 0.2),
+            },
+            ScalingPolicyKind::Predictive {
+                alpha: rng.range_f64(0.1, 0.9),
+                per_replica_rps: rng.range_f64(0.1, 1.0),
+                headroom: rng.range_f64(1.0, 1.5),
+            },
+        ][rng.range_usize(0, 4)]
+    };
     let mut base = random_sim_config(rng);
     base.faults = FaultPlan::none(); // exercised separately; keep every request completable
     base.trace.num_requests = requests.len();
@@ -467,6 +489,7 @@ fn random_multi_tenant(rng: &mut DetRng) -> (SimulationConfig, Arc<Vec<hack_work
         admission: hack_cluster::AdmissionPolicyKind::AdmitAll,
         scheduling,
         retry: hack_cluster::RetryPolicy::default(),
+        scaling,
     };
     (base, requests)
 }
