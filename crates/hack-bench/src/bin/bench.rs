@@ -16,7 +16,8 @@
 //!   mixed-vs-uniform dispatch grid, the `fault_storm` robustness grid with
 //!   its Flat-vs-LinkGraph fabric A/B, the `availability` MTBF/MTTR
 //!   Monte-Carlo SLO sweep, the `autoscale` cost-vs-SLO Pareto grid with its
-//!   Off-identity controller A/B, plus per-method end-to-end cluster runs.
+//!   Off-identity controller A/B, the `session_cache` prefix-cache grid with
+//!   its Off-vs-armed-idle A/B, plus per-method end-to-end cluster runs.
 //!
 //! `BENCH_SCALE=smoke` (or `--smoke`) shrinks every workload for CI; the JSON
 //! schema is identical. `--compare <baseline.json>` (repeatable) prints a
@@ -349,6 +350,55 @@ struct AutoscaleReport {
     points: Vec<AutoscaleGridRun>,
 }
 
+/// One (mix, cache, dispatch) cell of the session-cache grid: wall-clock plus
+/// the cache sensors.
+#[derive(Debug, Serialize)]
+struct SessionCacheCellRun {
+    /// Cell label, `mix/cache/dispatch` shaped (e.g. `chat/on/session-affinity`).
+    cell: String,
+    /// Best wall-clock seconds of one full simulation run.
+    secs: f64,
+    /// Mean JCT of the run (seconds; deterministic).
+    mean_jct_s: f64,
+    /// Prefix-cache hits over hits plus misses (0 for the cache-off cells).
+    hit_rate: f64,
+    /// Prefill compute-seconds the cache avoided.
+    prefill_s_saved: f64,
+    /// Quantized KV bytes whose prefill and transfer the cache avoided.
+    bytes_saved: f64,
+    /// Resident prefixes dropped by eviction or invalidation.
+    prefix_evictions: usize,
+    completed: usize,
+}
+
+/// The session-cache section: the interleaved Off vs armed-idle A/B on a
+/// sessionless trace (what arming the cache costs when nothing can hit — the
+/// retained-reference guard at bench scale; the runs are asserted identical
+/// before timing) plus one run per (mix, cache, dispatch) cell of the
+/// [`SessionCacheExperiment`] grid with the cache sensors.
+#[derive(Debug, Serialize)]
+struct SessionCacheReport {
+    /// Requests of the sessionless A/B trace.
+    ab_requests: usize,
+    /// Sessions per stream of the grid workloads.
+    sessions: usize,
+    /// Best wall-clock of the cache-off run on the sessionless trace.
+    off_secs: f64,
+    /// Best wall-clock of the armed-but-idle run on the identical trace.
+    armed_idle_secs: f64,
+    /// `100 * (armed_idle_secs / off_secs - 1)`: the pure cost of arming the
+    /// cache (per-dispatch lookups that never hit, zero insertions).
+    cache_overhead_percent: f64,
+    /// Hit rate of the `chat/on/session-affinity` cell. Deterministic, so
+    /// `--compare` pins it exactly at equal scale.
+    chat_hit_rate: f64,
+    /// `100 * (1 - jct(chat/on/session-affinity) / jct(chat/off))`: the
+    /// headline the cache exists for (must stay positive).
+    chat_jct_reduction_percent: f64,
+    /// One entry per (mix, cache, dispatch) cell, in sweep order.
+    runs: Vec<SessionCacheCellRun>,
+}
+
 /// The telemetry A/B: the headline cluster run with [`TelemetryConfig::Off`]
 /// vs fully instrumented, same seed. `Off` must stay bit- and cost-identical
 /// to the pre-telemetry simulator, and the instrumented run must stay within
@@ -399,6 +449,9 @@ struct SimReport {
     /// The autoscaling cost-vs-SLO Pareto grid and the Off-identity A/B (see
     /// PERF.md, "Autoscaling sweeps").
     autoscale: AutoscaleReport,
+    /// The session prefix-cache grid and the Off vs armed-idle A/B (see
+    /// PERF.md, "Session-cache sweeps").
+    session_cache: SessionCacheReport,
     benches: Vec<Bench>,
 }
 
@@ -1482,6 +1535,119 @@ fn sim_benches(smoke: bool) -> SimReport {
         autoscale.points.iter().map(|p| p.scale_downs).sum::<usize>(),
     );
 
+    // --- session_cache: the session prefix-cache grid. First the interleaved
+    // Off vs armed-idle A/B on a sessionless trace — with no parents and no
+    // shared prefixes an armed cache never hits, never inserts and never
+    // evicts, so the run must match the cache-off one exactly (asserted,
+    // sensor shape aside, before timing) and the wall-clock ratio is the pure
+    // cost of arming the cache. Then one run per (mix, cache, dispatch) cell
+    // with the cache sensors. ---
+    let session_cache = {
+        use hack_cluster::CacheConfig;
+        let ab_requests = if smoke { 500 } else { 20_000 };
+        let ab_experiment = JctExperiment {
+            num_requests: ab_requests,
+            rps: Some(2.0),
+            ..JctExperiment::new(ModelKind::Llama31_70B, GpuKind::A10G, Dataset::Imdb)
+        };
+        let off_sim = Simulator::new(ab_experiment.simulation_config(Method::hack()));
+        let mut armed_config = ab_experiment.simulation_config(Method::hack());
+        armed_config.cache = CacheConfig::on();
+        let armed_sim = Simulator::new(armed_config);
+        {
+            let mut armed = armed_sim.run();
+            assert_eq!(armed.prefix_hits + armed.prefix_misses, 0);
+            assert!(armed.prefix_cache_peak_fraction.iter().all(|&f| f == 0.0));
+            armed.prefix_cache_peak_fraction = Vec::new();
+            assert_eq!(
+                armed,
+                off_sim.run(),
+                "an armed-but-idle cache must be bit-identical to CacheConfig::Off"
+            );
+        }
+        // Interleaved A/B (off, armed, off, armed, ...), best-of per path.
+        let ab_iters = if smoke { 2 } else { 5 };
+        black_box(off_sim.run());
+        black_box(armed_sim.run());
+        let mut off_secs = f64::INFINITY;
+        let mut armed_idle_secs = f64::INFINITY;
+        for _ in 0..ab_iters {
+            let start = Instant::now();
+            black_box(off_sim.run());
+            off_secs = off_secs.min(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            black_box(armed_sim.run());
+            armed_idle_secs = armed_idle_secs.min(start.elapsed().as_secs_f64());
+        }
+
+        let mut sessions = SessionCacheExperiment::paper_default();
+        if smoke {
+            sessions.sessions = 3;
+        }
+        let cell_iters = if smoke { 2 } else { 5 };
+        let mut cell_runs = Vec::new();
+        for mix in SessionMix::all() {
+            let requests = std::sync::Arc::new(sessions.trace(mix).generate());
+            for (cache, dispatch) in sessions.cells() {
+                let config = sessions.simulation_config(
+                    Method::hack(),
+                    mix,
+                    cache,
+                    dispatch,
+                    requests.len(),
+                );
+                let simulator = Simulator::with_requests(config, requests.clone());
+                let secs = time_iters(cell_iters, || simulator.run());
+                let outcome =
+                    SessionCacheOutcome::from_result(mix, cache.is_on(), dispatch, simulator.run());
+                push(
+                    &mut benches,
+                    "session_cache/cluster_run",
+                    format!("cell={},requests={}", outcome.label(), requests.len()),
+                    cell_iters,
+                    secs,
+                );
+                cell_runs.push(SessionCacheCellRun {
+                    cell: outcome.label(),
+                    secs,
+                    mean_jct_s: outcome.mean_jct,
+                    hit_rate: outcome.hit_rate,
+                    prefill_s_saved: outcome.prefill_seconds_saved,
+                    bytes_saved: outcome.bytes_saved,
+                    prefix_evictions: outcome.prefix_evictions,
+                    completed: outcome.completed_requests,
+                });
+            }
+        }
+        let jct_of = |runs: &[SessionCacheCellRun], cell: &str| {
+            runs.iter()
+                .find(|r| r.cell == cell)
+                .map_or(f64::NAN, |r| r.mean_jct_s)
+        };
+        let chat_off_jct = jct_of(&cell_runs, "chat/off/least-loaded");
+        let chat_on = cell_runs
+            .iter()
+            .find(|r| r.cell == "chat/on/session-affinity")
+            .expect("armed chat cell ran");
+        SessionCacheReport {
+            ab_requests,
+            sessions: sessions.sessions,
+            off_secs,
+            armed_idle_secs,
+            cache_overhead_percent: 100.0 * (armed_idle_secs / off_secs - 1.0),
+            chat_hit_rate: chat_on.hit_rate,
+            chat_jct_reduction_percent: 100.0 * (1.0 - chat_on.mean_jct_s / chat_off_jct),
+            runs: cell_runs,
+        }
+    };
+    println!(
+        "  session_cache: armed-idle A/B identical ({:+.2}% overhead); chat hit rate {:.2}, \
+         mean JCT {:+.1}% vs cache-off",
+        session_cache.cache_overhead_percent,
+        session_cache.chat_hit_rate,
+        -session_cache.chat_jct_reduction_percent
+    );
+
     // --- Per-method end-to-end runs (ported from benches/simulator.rs). ---
     let per_method_requests = if smoke { 10 } else { 200 };
     for method in Method::main_comparison() {
@@ -1501,7 +1667,7 @@ fn sim_benches(smoke: bool) -> SimReport {
     }
 
     SimReport {
-        schema: "hack-bench/sim/v8",
+        schema: "hack-bench/sim/v9",
         scale: if smoke { "smoke" } else { "full" },
         cluster_run_requests: requests,
         engine_cluster_run,
@@ -1517,6 +1683,7 @@ fn sim_benches(smoke: bool) -> SimReport {
         fault_storm,
         availability,
         autoscale,
+        session_cache,
         benches,
     }
 }
@@ -1546,6 +1713,9 @@ mod compare {
     /// Flag the link-graph fabric when the fault-free run costs more than
     /// this over the flat fabric (the flow bookkeeping should stay cheap).
     const FABRIC_OVERHEAD_FLAG_PERCENT: f64 = 10.0;
+    /// Flag an armed-but-idle prefix cache when it costs more than this over
+    /// the cache-off run (the lookup fast path should stay near-free).
+    const CACHE_OVERHEAD_FLAG_PERCENT: f64 = 5.0;
 
     /// Loads a baseline JSON, warning (not failing) on any problem.
     pub fn load(path: &str) -> Option<Value> {
@@ -1792,6 +1962,34 @@ mod compare {
                         "fault_storm.graph_overhead_percent"
                     );
                 }
+                // session_cache: what arming the prefix cache costs on a
+                // sessionless trace (identity asserted before timing). An
+                // absolute budget like the telemetry one, full scale only.
+                if let Some(overhead) =
+                    lookup(current, &["session_cache", "cache_overhead_percent"])
+                        .and_then(Value::as_f64)
+                {
+                    let full_scale =
+                        lookup(current, &["scale"]).and_then(Value::as_str) == Some("full");
+                    let verdict = if overhead <= CACHE_OVERHEAD_FLAG_PERCENT {
+                        "ok"
+                    } else if full_scale {
+                        "REGRESSION?"
+                    } else {
+                        "smoke scale, informational (budget applies at full scale)"
+                    };
+                    println!(
+                        "  [headline] {:<44} {overhead:>8.2}% (budget {CACHE_OVERHEAD_FLAG_PERCENT:.0}%)  {verdict}",
+                        "session_cache.cache_overhead_percent"
+                    );
+                }
+                headline(
+                    "session_cache.chat_jct_reduction_percent",
+                    lookup(baseline, &["session_cache", "chat_jct_reduction_percent"])
+                        .and_then(Value::as_f64),
+                    lookup(current, &["session_cache", "chat_jct_reduction_percent"])
+                        .and_then(Value::as_f64),
+                );
                 // The flat/no-fault anchor is deterministic: at equal scale,
                 // *any* average-JCT drift against the committed baseline is a
                 // semantic regression of the unchanged path, not noise.
@@ -1891,6 +2089,43 @@ mod compare {
                         savings(baseline),
                         savings(current),
                     );
+                    // The session-cache grid replays deterministic session
+                    // traces: at equal scale every cell's hit rate and mean
+                    // JCT are exact, so any drift is semantic — a changed
+                    // lookup, eviction, or dispatch decision.
+                    let cache_grid = |v: &Value| -> Vec<(String, f64, f64)> {
+                        lookup(v, &["session_cache", "runs"])
+                            .and_then(as_array)
+                            .map(|rows| {
+                                rows.iter()
+                                    .filter_map(|r| {
+                                        Some((
+                                            r.get_key("cell")?.as_str()?.to_string(),
+                                            r.get_key("hit_rate")?.as_f64()?,
+                                            r.get_key("mean_jct_s")?.as_f64()?,
+                                        ))
+                                    })
+                                    .collect()
+                            })
+                            .unwrap_or_default()
+                    };
+                    let cache_base = cache_grid(baseline);
+                    for (cell, cur_hit, cur_jct) in cache_grid(current) {
+                        let Some((_, b_hit, b_jct)) =
+                            cache_base.iter().find(|(label, _, _)| *label == cell)
+                        else {
+                            continue;
+                        };
+                        let verdict = if *b_hit == cur_hit && *b_jct == cur_jct {
+                            "ok"
+                        } else {
+                            "DRIFT?"
+                        };
+                        println!(
+                            "  [headline] {:<44} {b_hit:>9.3} -> {cur_hit:>9.3}  {verdict} (must be exact)",
+                            format!("session_cache[{cell}].hit_rate")
+                        );
+                    }
                 }
             }
             _ => println!("  [compare] unknown schema in current report"),

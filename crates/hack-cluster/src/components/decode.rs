@@ -129,6 +129,10 @@ impl DecodeReplica {
             tel.decode_finished(d, req, started, now, jct);
         }
 
+        // Session bookkeeping: the finished request's full context becomes
+        // (or refreshes) its session's cached prefix on this replica.
+        cs.cache_on_decode_finished(req, d, now);
+
         // Freed memory: admit waiting requests in FIFO order while they fit.
         cs.drain_waiting(now);
 
@@ -136,6 +140,9 @@ impl DecodeReplica {
         if cs.decode[d].draining {
             cs.maybe_finish_drain(d, now);
         }
+
+        // Children gated on this request's completion arrive now.
+        cs.release_children(req, now);
     }
 
     fn on_failed(&self, fault: usize, now: f64) {
@@ -200,6 +207,18 @@ impl DecodeReplica {
         cs.decode[d].active = 0;
         cs.decode[d].resident_tokens = 0;
         cs.decode[d].reservations = 0;
+
+        // Cached prefixes died with the memory, and every in-flight hit
+        // promised against them downgrades to the miss path (kv_used is
+        // already zeroed wholesale, so no per-entry subtraction here).
+        if cs.cache.is_some() {
+            for r in 0..cs.states.len() {
+                if !cs.states[r].done && cs.states[r].prefix.is_some_and(|h| h.replica == d) {
+                    cs.release_hit(r);
+                }
+            }
+            cs.invalidate_replica_cache(d);
+        }
 
         // A draining replica whose remaining work the fault just aborted is
         // now idle: its scale-down completes at the failure instant.

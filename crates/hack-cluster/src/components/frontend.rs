@@ -117,6 +117,9 @@ impl Frontend {
                 if let Some(tel) = &mut cs.tel {
                     tel.request_rejected(req, now);
                 }
+                // Rejection is terminal: children gated on this request are
+                // released rather than orphaned.
+                cs.release_children(req, now);
                 return;
             }
         }

@@ -29,6 +29,7 @@ pub(crate) mod network;
 pub(crate) mod prefill;
 pub(crate) mod scaling;
 
+use crate::cache::{PrefixHit, SessionCacheState};
 use crate::config::SimulationConfig;
 use crate::events::{RequestArrived, TransferCompleted, TransferRetry};
 use crate::policy::{AdmissionPolicy, DispatchPolicy, SchedulingPolicy, MAX_TENANTS};
@@ -289,6 +290,11 @@ pub(crate) struct ReqState {
     pub abandoned: bool,
     /// How many times the request was re-queued by a replica failure.
     pub requeues: usize,
+    /// The prefix-cache hit this request was promised at prefill time:
+    /// `Some` between the prefill-side lookup and decode completion (or a
+    /// downgrade when the prefix replica dies). Always `None` with
+    /// [`crate::cache::CacheConfig::Off`].
+    pub prefix: Option<PrefixHit>,
 }
 
 impl ReqState {
@@ -408,6 +414,13 @@ pub(crate) struct ClusterState {
     pub scale_ups: usize,
     /// Scale-down drains completed by the autoscaling controller.
     pub scale_downs: usize,
+    /// Session prefix-cache state — `None` when the cache is off, keeping the
+    /// default run path identical to the pre-cache simulator.
+    pub cache: Option<SessionCacheState>,
+    /// `session_children[req]`: children gated on request `req`'s completion.
+    /// Empty (outer `Vec`) when the trace has no session parents, so
+    /// non-session runs pay one `is_empty` check per terminal request.
+    pub session_children: Vec<Vec<usize>>,
 }
 
 impl ClusterState {
@@ -419,6 +432,27 @@ impl ClusterState {
         // KV bytes depend only on the model architecture (identical across
         // decode groups); any group's model computes the same value.
         self.decode_models[0].kv_fp16_bytes(request.total_tokens()) * self.profile().kv_size_factor
+    }
+
+    /// The KV bytes `req`'s decode reservation must cover: the full
+    /// sequence, minus the shared prefix already resident on the target
+    /// replica when the request holds a prefix-cache hit.
+    pub fn request_kv_bytes(&self, req: usize) -> f64 {
+        let full = self.kv_reserve_bytes(&self.requests[req]);
+        match self.states[req].prefix {
+            Some(hit) => (full - hit.bytes).max(0.0),
+            None => full,
+        }
+    }
+
+    /// The prompt tokens `req`'s prefill/transfer actually covers: the full
+    /// prompt, or only the suffix past the cached prefix on a hit.
+    pub fn effective_prompt(&self, req: usize) -> usize {
+        let input = self.requests[req].input_len;
+        match self.states[req].prefix {
+            Some(hit) => input - hit.tokens,
+            None => input,
+        }
     }
 
     /// Total (decode, dequant/approx) time of `request`'s decode iterations on
@@ -474,11 +508,24 @@ impl ClusterState {
         decode_group: usize,
         request: &Request,
     ) -> f64 {
+        self.transfer_duration_len(prefill_group, decode_group, request.input_len)
+    }
+
+    /// [`Self::transfer_duration`] for an explicit prompt length — the
+    /// prefix-cache hit path transfers only the suffix past the cached
+    /// prefix. Off-table lengths fall through to the direct formula, so
+    /// suffix lengths need no table entries.
+    pub fn transfer_duration_len(
+        &self,
+        prefill_group: usize,
+        decode_group: usize,
+        prompt: usize,
+    ) -> f64 {
         if self.costs.mode == CostMode::Table {
             if let Some(costs) = self
                 .costs
                 .prefill_table(prefill_group, decode_group)
-                .get(request.input_len)
+                .get(prompt)
             {
                 return costs.transfer;
             }
@@ -489,15 +536,17 @@ impl ClusterState {
             .get(prefill_group)
             .network_gbps
             .min(fleet.decode.get(decode_group).network_gbps);
-        self.prefill_models[prefill_group].transfer_time(request.input_len, self.profile(), gbps)
+        self.prefill_models[prefill_group].transfer_time(prompt, self.profile(), gbps)
     }
 
     /// Hands `req` to the transfer/decode pipeline: reserve decode memory and
     /// serialize the KV transfer onto the prefill NIC, or spill to prefill CPU
-    /// memory and join the FIFO memory-wait queue (§4).
+    /// memory and join the FIFO memory-wait queue (§4). A prefix-cache hit
+    /// forces the target onto the replica holding the prefix.
     pub fn try_dispatch_to_decode(&mut self, req: usize, now: f64) {
-        let bytes = self.kv_reserve_bytes(&self.requests[req]);
-        if let Some(target) = self.best_decode_replica(bytes) {
+        self.downgrade_dead_hit(req);
+        let bytes = self.request_kv_bytes(req);
+        if let Some(target) = self.dispatch_target(req, bytes) {
             self.reserve_and_transfer(req, target, bytes, now);
         } else {
             self.states[req].memory_wait_start = Some(now);
@@ -516,6 +565,15 @@ impl ClusterState {
     /// caller's `kv_reserve_bytes` for the request, computed once per dispatch
     /// attempt.
     pub fn reserve_and_transfer(&mut self, req: usize, target: usize, bytes: f64, now: f64) {
+        // Cache occupancy yields to decode memory demand: a reservation that
+        // does not fit under the raw budget first reclaims unpinned cached
+        // prefixes on the target (no-op branch when the cache is off).
+        if self.cache.is_some() {
+            let overflow = self.decode[target].kv_used + bytes - self.decode[target].kv_capacity;
+            if overflow > 0.0 {
+                self.reclaim_cache(target, overflow);
+            }
+        }
         self.decode[target].kv_used += bytes;
         self.decode[target].peak_kv = self.decode[target].peak_kv.max(self.decode[target].kv_used);
         self.decode[target].reservations += 1;
@@ -528,10 +586,10 @@ impl ClusterState {
             self.start_transfer_flow(req, replica, target, now);
             return;
         }
-        let duration = self.transfer_duration(
+        let duration = self.transfer_duration_len(
             self.prefill[replica].group,
             self.decode[target].group,
-            &self.requests[req],
+            self.effective_prompt(req),
         );
         let end = self.fabric.reserve_nic(replica, now, duration);
         // Communication time as experienced by the request: waiting for the NIC
@@ -558,7 +616,7 @@ impl ClusterState {
             .get(prefill_group)
             .network_gbps
             .min(fleet.decode.get(decode_group).network_gbps);
-        self.transfer_duration(prefill_group, decode_group, &self.requests[req]) * gbps
+        self.transfer_duration_len(prefill_group, decode_group, self.effective_prompt(req)) * gbps
     }
 
     /// Starts (or fails to start) the fair-shared flow of `req` from prefill
@@ -639,6 +697,9 @@ impl ClusterState {
             self.states[req].pipelined_transfer_end = None;
             return;
         }
+        // The next journey re-resolves the prefix from scratch (and must not
+        // leak this journey's pin).
+        self.release_hit(req);
         self.states[req].readmissions += 1;
         if self.states[req].readmissions > self.config.policy.retry.max_readmissions {
             self.states[req].abandoned = true;
@@ -646,6 +707,9 @@ impl ClusterState {
             if let Some(tel) = &mut self.tel {
                 tel.request_abandoned(req, now);
             }
+            // Permanent abort is terminal: gated children would strand
+            // otherwise.
+            self.release_children(req, now);
             return;
         }
         // Everything spent so far collapses into queueing time at the next
@@ -661,11 +725,13 @@ impl ClusterState {
     }
 
     /// Freed memory (or a recovered replica): admit waiting requests in FIFO
-    /// order while they fit somewhere.
+    /// order while they fit somewhere (a head holding a prefix-cache hit
+    /// waits specifically for the replica holding its prefix).
     pub fn drain_waiting(&mut self, now: f64) {
         while let Some(&head) = self.waiting_for_memory.front() {
-            let bytes = self.kv_reserve_bytes(&self.requests[head]);
-            if let Some(target) = self.best_decode_replica(bytes) {
+            self.downgrade_dead_hit(head);
+            let bytes = self.request_kv_bytes(head);
+            if let Some(target) = self.dispatch_target(head, bytes) {
                 self.waiting_for_memory.pop_front();
                 let wait_start = self.states[head].memory_wait_start.take().unwrap_or(now);
                 self.states[head].memory_wait += now - wait_start;
@@ -702,7 +768,9 @@ impl ClusterState {
             .decode
             .iter()
             .enumerate()
-            .filter(|(_, d)| d.dispatchable() && d.kv_used + bytes <= d.kv_capacity)
+            .filter(|(i, d)| {
+                d.dispatchable() && d.kv_used + bytes <= d.kv_capacity + self.cache_evictable(*i)
+            })
             .min_by_key(|(i, d)| (self.fabric.decode_path_degraded(*i), d.resident_tokens))
             .map(|(i, _)| i);
         if fit.is_some() {
@@ -727,6 +795,219 @@ impl ClusterState {
         None
     }
 
+    // --- Session prefix cache (every entry point below is a no-op or a
+    // --- single `Option`/`is_empty` check when the cache is off / the trace
+    // --- has no sessions, keeping the default path bit-identical). ---
+
+    /// Bytes reclaimable from replica `d`'s prefix cache (0 when off).
+    fn cache_evictable(&self, d: usize) -> f64 {
+        match &self.cache {
+            Some(cache) => cache.caches[d].evictable_bytes(),
+            None => 0.0,
+        }
+    }
+
+    /// The decode replica `req` must land on: the replica holding its prefix
+    /// on a hit (waiting for it rather than paying a full transfer
+    /// elsewhere), otherwise [`Self::best_decode_replica`].
+    fn dispatch_target(&self, req: usize, bytes: f64) -> Option<usize> {
+        match self.states[req].prefix {
+            Some(hit) => {
+                let d = &self.decode[hit.replica];
+                (d.kv_used + bytes <= d.kv_capacity + self.cache_evictable(hit.replica))
+                    .then_some(hit.replica)
+            }
+            None => self.best_decode_replica(bytes),
+        }
+    }
+
+    /// Releases `req`'s prefix-cache pin (if any) and forgets the hit — the
+    /// request will pay full price on its next dispatch/journey.
+    pub fn release_hit(&mut self, req: usize) {
+        if let Some(hit) = self.states[req].prefix.take() {
+            if let Some(cache) = &mut self.cache {
+                cache.caches[hit.replica].unpin(self.requests[req].session);
+            }
+        }
+    }
+
+    /// Downgrades `req`'s hit to the miss path when the replica holding its
+    /// prefix has meanwhile failed or drained away. The prefill savings are
+    /// already banked — a deliberate modeling artifact of this failure race
+    /// — but the reservation and transfer revert to full price.
+    fn downgrade_dead_hit(&mut self, req: usize) {
+        if let Some(hit) = self.states[req].prefix {
+            if !self.decode[hit.replica].dispatchable() {
+                self.release_hit(req);
+            }
+        }
+    }
+
+    /// Evicts unpinned prefixes on `d` until `need` bytes are freed (or
+    /// nothing evictable remains), mirroring the bytes into `kv_used`.
+    fn reclaim_cache(&mut self, d: usize, need: f64) {
+        let Some(cache) = &mut self.cache else { return };
+        let (freed, evicted) = cache.caches[d].evict_until(need);
+        if evicted.is_empty() {
+            return;
+        }
+        for session in &evicted {
+            cache.resident.remove(session);
+        }
+        cache.evictions += evicted.len();
+        self.decode[d].kv_used = (self.decode[d].kv_used - freed).max(0.0);
+        if let Some(tel) = &mut self.tel {
+            tel.prefix_evicted(evicted.len());
+        }
+    }
+
+    /// Drops every cached prefix on replica `d` (failure or scale-down power
+    /// off) and forgets its residency; returns the bytes that were resident
+    /// (the caller decides whether `kv_used` still needs the subtraction —
+    /// a failure zeroes the replica's accounting wholesale).
+    pub fn invalidate_replica_cache(&mut self, d: usize) -> f64 {
+        let Some(cache) = &mut self.cache else {
+            return 0.0;
+        };
+        let before = cache.evictions;
+        let freed = cache.invalidate_replica(d);
+        let dropped = cache.evictions - before;
+        if dropped > 0 {
+            if let Some(tel) = &mut self.tel {
+                tel.prefix_evicted(dropped);
+            }
+        }
+        freed
+    }
+
+    /// Prefill-side prefix lookup for `req` on prefill group `group`:
+    /// returns the prompt length prefill must actually compute — the suffix
+    /// past the cached prefix on a hit (recording the hit on the request and
+    /// pinning the prefix until decode completes), the full prompt
+    /// otherwise. Misses are counted only for genuine session follow-ups.
+    pub fn resolve_prefix(&mut self, req: usize, group: usize, now: f64) -> usize {
+        let request = self.requests[req];
+        let full = request.input_len;
+        if self.cache.is_none() || request.parent.is_none() || request.shared_prefix_tokens == 0 {
+            return full;
+        }
+        let found = {
+            let cache = self.cache.as_mut().expect("checked above");
+            match cache.resident.get(&request.session).copied() {
+                Some(replica) => match cache.caches[replica].lookup(request.session) {
+                    Some((tokens, _)) => Some((replica, tokens)),
+                    None => {
+                        cache.resident.remove(&request.session);
+                        None
+                    }
+                },
+                None => None,
+            }
+        };
+        let hit = found.and_then(|(replica, tokens)| {
+            if !self.decode[replica].dispatchable() {
+                return None;
+            }
+            // Keep at least one suffix token: a prefill must still run to
+            // produce the turn's first output token.
+            let saved = tokens
+                .min(request.shared_prefix_tokens)
+                .min(full.saturating_sub(1));
+            (saved > 0).then_some((replica, saved))
+        });
+        let Some((replica, saved)) = hit else {
+            let cache = self.cache.as_mut().expect("checked above");
+            cache.misses += 1;
+            if let Some(tel) = &mut self.tel {
+                tel.prefix_miss(req, now);
+            }
+            return full;
+        };
+        let suffix = full - saved;
+        let (full_prefill, full_quant) = self.prefill_service_times(group, full);
+        let (suffix_prefill, suffix_quant) = self.prefill_service_times(group, suffix);
+        let bytes = self.decode_models[0].kv_fp16_bytes(saved) * self.profile().kv_size_factor;
+        let cache = self.cache.as_mut().expect("checked above");
+        cache.caches[replica].pin(request.session);
+        cache.hits += 1;
+        cache.prefill_secs_saved += (full_prefill + full_quant) - (suffix_prefill + suffix_quant);
+        cache.bytes_saved += bytes;
+        self.states[req].prefix = Some(PrefixHit {
+            replica,
+            tokens: saved,
+            bytes,
+        });
+        if let Some(tel) = &mut self.tel {
+            tel.prefix_hit(replica, req, now);
+        }
+        suffix
+    }
+
+    /// Decode-completion bookkeeping of a session request on replica `d`:
+    /// release the hit's pin, then insert (or grow) the session's prefix on
+    /// `d` — the replica now holding the request's full context — updating
+    /// residency and mirroring the byte deltas into `kv_used`.
+    pub fn cache_on_decode_finished(&mut self, req: usize, d: usize, now: f64) {
+        let request = self.requests[req];
+        if request.session == 0 || self.cache.is_none() {
+            return;
+        }
+        self.release_hit(req);
+        let bytes = self.decode_models[0].kv_fp16_bytes(request.total_tokens())
+            * self.profile().kv_size_factor;
+        let cache = self.cache.as_mut().expect("checked above");
+        let mut dropped = 0usize;
+        if let Some(prev) = cache.resident.get(&request.session).copied() {
+            if prev != d {
+                if cache.caches[prev].is_pinned(request.session) {
+                    // A sibling in flight was promised the old copy; it stays
+                    // authoritative and this newer context is not cached.
+                    return;
+                }
+                if let Some(freed) = cache.caches[prev].remove(request.session) {
+                    self.decode[prev].kv_used = (self.decode[prev].kv_used - freed).max(0.0);
+                    cache.evictions += 1;
+                    dropped += 1;
+                }
+                cache.resident.remove(&request.session);
+            }
+        }
+        let report = cache.caches[d].insert(request.session, request.total_tokens(), bytes);
+        for session in &report.evicted {
+            cache.resident.remove(session);
+        }
+        cache.evictions += report.evicted.len();
+        dropped += report.evicted.len();
+        if report.accepted {
+            cache.resident.insert(request.session, d);
+        } else {
+            cache.resident.remove(&request.session);
+        }
+        self.decode[d].kv_used += report.bytes_delta;
+        self.decode[d].peak_kv = self.decode[d].peak_kv.max(self.decode[d].kv_used);
+        if dropped > 0 {
+            if let Some(tel) = &mut self.tel {
+                tel.prefix_evicted(dropped);
+            }
+        }
+        let _ = now;
+    }
+
+    /// Releases the children gated on `req`'s terminal state: each arrives at
+    /// the frontend at `max(its nominal arrival, now)` — think time already
+    /// baked into the nominal arrival, causality enforced here.
+    pub fn release_children(&mut self, req: usize, now: f64) {
+        if self.session_children.is_empty() {
+            return;
+        }
+        let frontend = self.frontend_id.expect("frontend registered before events");
+        for child in std::mem::take(&mut self.session_children[req]) {
+            let at = self.requests[child].arrival.max(now);
+            self.fabric
+                .deliver(RequestArrived { req: child }, frontend, at);
+        }
+    }
+
     // --- Autoscaling bookkeeping (no-ops in runs without a scaling policy:
     // --- `draining`/`scaled_out` stay false and nothing below ever fires). ---
 
@@ -745,6 +1026,11 @@ impl ClusterState {
         self.scale_downs += 1;
         if let Some(tel) = &mut self.tel {
             tel.replica_drained(d, now);
+        }
+        // A powered-off replica keeps no cached prefixes.
+        let freed = self.invalidate_replica_cache(d);
+        if freed > 0.0 {
+            self.decode[d].kv_used = (self.decode[d].kv_used - freed).max(0.0);
         }
     }
 

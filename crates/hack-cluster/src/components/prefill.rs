@@ -60,7 +60,10 @@ pub(crate) fn start_prefill(cs: &mut ClusterState, replica: usize, now: f64) {
     let request = cs.requests[req];
 
     cs.states[req].prefill_wait = (now - request.arrival).max(0.0);
-    let (prefill_t, quant_t) = cs.prefill_service_times(group, request.input_len);
+    // Session prefix lookup: on a hit, prefill (and later the KV transfer)
+    // covers only the suffix past the cached prefix.
+    let prompt = cs.resolve_prefix(req, group, now);
+    let (prefill_t, quant_t) = cs.prefill_service_times(group, prompt);
     cs.states[req].prefill_time = prefill_t;
     cs.states[req].quant_time = quant_t;
     if let Some(tel) = &mut cs.tel {
@@ -74,7 +77,9 @@ pub(crate) fn start_prefill(cs: &mut ClusterState, replica: usize, now: f64) {
     // only while the transfer is shorter than prefill and memory is available).
     // On the link-graph fabric the flow only pipelines over a live path; a dead
     // path falls back to the dispatch at `PrefillFinished` (and its retries).
-    if cs.config.cluster.pipelining {
+    // Prefix hits skip pipelining: their placement is forced onto the replica
+    // holding the prefix, which the post-prefill dispatch handles.
+    if cs.config.cluster.pipelining && cs.states[req].prefix.is_none() {
         let bytes = cs.kv_reserve_bytes(&request);
         let target = cs
             .best_decode_replica(bytes)
@@ -201,6 +206,9 @@ impl PrefillReplica {
                     cs.maybe_finish_drain(target, now);
                 }
             }
+            // The re-admitted request re-runs prefill from scratch and will
+            // re-resolve (and re-pin) its prefix there.
+            cs.release_hit(req);
             cs.states[req].reset_for_readmission();
             cs.states[req].requeues += 1;
             cs.requeued += 1;

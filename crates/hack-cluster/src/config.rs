@@ -9,6 +9,7 @@
 //! snapshots (flat `prefill_gpu`/`prefill_replicas`/… keys) by lowering them
 //! to a single-group fleet.
 
+use crate::cache::CacheConfig;
 use crate::fleet::{FleetSpec, GroupSet, ReplicaGroup};
 use crate::policy::PolicyConfig;
 use crate::telemetry::TelemetryConfig;
@@ -384,6 +385,12 @@ pub struct SimulationConfig {
     /// simulator; `On` records lifecycle spans and periodic time-series
     /// samples without perturbing the simulation.
     pub telemetry: TelemetryConfig,
+    /// Session prefix-cache switch. [`CacheConfig::Off`] (the default)
+    /// allocates no cache state and is bit- and cost-identical to the
+    /// pre-cache simulator; `On` keeps finished sessions' KV prefixes
+    /// resident on decode replicas so follow-up turns skip the shared
+    /// prefix's prefill and transfer.
+    pub cache: CacheConfig,
 }
 
 impl SimulationConfig {
@@ -599,6 +606,7 @@ mod tests {
             policy: PolicyConfig::default(),
             faults,
             telemetry: TelemetryConfig::Off,
+            cache: crate::cache::CacheConfig::Off,
         }
     }
 

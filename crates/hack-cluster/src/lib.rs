@@ -102,7 +102,35 @@
 //!   `dollars_per_1k_tokens`). [`ScalingPolicyKind::Off`] (the default)
 //!   instantiates no controller at all and stays bit- and cost-identical to
 //!   the static fleet.
+//!
+//! # SESSIONS
+//!
+//! The session layer adds structured workloads and a prefix cache on top:
+//!
+//! * **Session-structured traces** ([`hack_workload::session`]): requests
+//!   carry a session id, an optional parent, and a shared-prefix length;
+//!   the simulator *gates* a child on its parent's terminal state (released
+//!   at `max(arrival, parent completion)`), modeling chat think time and
+//!   agentic tool-call joins. Parent links are validated at
+//!   [`Simulator::try_new`] time ([`ConfigError::InvalidSessionParent`]).
+//! * **Prefix cache** ([`CacheConfig`], [`hack_kvcache::PrefixCache`]): each
+//!   decode replica keeps finished sessions' quantized KV prefixes resident
+//!   under a configurable fraction of its KV budget (LRU with pinning while
+//!   a descendant is in flight). A hit skips the shared prefix's prefill
+//!   compute *and* its fabric transfer and shrinks the decode reservation;
+//!   resident bytes are charged to the same `kv_used` accounting decode
+//!   reservations use, which can reclaim them on demand. Results report hit
+//!   rate, bytes saved, prefill seconds avoided and per-group occupancy;
+//!   telemetry gains `prefix_hit`/`prefix_miss`/`prefix_evicted` (see
+//!   `OBSERVABILITY.md`). [`CacheConfig::Off`] (the default) instantiates no
+//!   cache state and stays bit- and cost-identical to the pre-cache
+//!   simulator.
+//! * **Session-affinity dispatch** ([`DispatchPolicyKind::SessionAffinity`]):
+//!   routes a session's follow-ups to the prefill replica that served it
+//!   last, spilling to the least-loaded replica when the pinned one's
+//!   backlog exceeds a load-spill threshold.
 
+pub mod cache;
 mod components;
 pub mod config;
 pub mod events;
@@ -113,6 +141,7 @@ pub mod sim;
 pub mod telemetry;
 pub mod topology;
 
+pub use cache::{CacheConfig, CacheSettings};
 pub use components::scaling::SCALE_TICK_SECS;
 pub use config::{ClusterConfig, FailureSpec, SimulationConfig};
 pub use fleet::{FleetSpec, GroupSet, ReplicaGroup, MAX_GROUPS};

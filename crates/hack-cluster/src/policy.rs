@@ -255,6 +255,66 @@ impl DispatchPolicy for GroupAffinity {
     }
 }
 
+/// Factor by which a session's pinned prefill replica may exceed the
+/// least-loaded replica's backlog before [`SessionAffinity`] spills the
+/// session elsewhere.
+pub const SESSION_SPILL_FACTOR: f64 = 2.0;
+
+/// Keeps each session's turns on the prefill replica that served the session
+/// last (warm locality: the session's KV prefix lands on one decode path and
+/// the prefill replica re-serves familiar context), spilling to the
+/// least-loaded replica — and re-pinning there — when the pinned replica's
+/// backlog exceeds [`SESSION_SPILL_FACTOR`] × the least-loaded backlog plus
+/// the request's own length. Independent requests (session 0) route
+/// least-loaded. This is the prefill-side half of session affinity; on the
+/// decode side, a prefix-cache hit independently forces placement onto the
+/// replica holding the prefix.
+#[derive(Debug)]
+pub struct SessionAffinity {
+    spill_factor: f64,
+    pinned: std::collections::HashMap<u64, usize>,
+}
+
+impl Default for SessionAffinity {
+    fn default() -> Self {
+        Self {
+            spill_factor: SESSION_SPILL_FACTOR,
+            pinned: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl DispatchPolicy for SessionAffinity {
+    fn route(&mut self, loads: &[ReplicaLoad], request: &Request, _now: f64) -> usize {
+        let fallback = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.backlog_tokens(request.input_len))
+            .map(|(i, _)| i)
+            .expect("cluster has at least one prefill replica");
+        if request.session == 0 {
+            return fallback;
+        }
+        match self.pinned.get(&request.session) {
+            Some(&pinned) if pinned < loads.len() => {
+                let pinned_backlog = loads[pinned].backlog_tokens(request.input_len) as f64;
+                let best_backlog = loads[fallback].backlog_tokens(request.input_len) as f64;
+                let limit = self.spill_factor * best_backlog + request.input_len as f64;
+                if pinned_backlog <= limit {
+                    pinned
+                } else {
+                    self.pinned.insert(request.session, fallback);
+                    fallback
+                }
+            }
+            _ => {
+                self.pinned.insert(request.session, fallback);
+                fallback
+            }
+        }
+    }
+}
+
 /// Serializable selector of the run's [`DispatchPolicy`].
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
 pub enum DispatchPolicyKind {
@@ -265,6 +325,9 @@ pub enum DispatchPolicyKind {
     FastestEligible,
     /// Tenant-to-group pinning, least-loaded within the preferred group.
     GroupAffinity,
+    /// Session-to-replica pinning with a load-spill threshold; independent
+    /// requests route least-loaded.
+    SessionAffinity,
 }
 
 impl DispatchPolicyKind {
@@ -274,6 +337,7 @@ impl DispatchPolicyKind {
             DispatchPolicyKind::LeastLoaded => Box::<LeastLoaded>::default(),
             DispatchPolicyKind::FastestEligible => Box::<FastestEligible>::default(),
             DispatchPolicyKind::GroupAffinity => Box::<GroupAffinity>::default(),
+            DispatchPolicyKind::SessionAffinity => Box::<SessionAffinity>::default(),
         }
     }
 
@@ -293,15 +357,17 @@ impl DispatchPolicyKind {
             DispatchPolicyKind::LeastLoaded => "least-loaded",
             DispatchPolicyKind::FastestEligible => "fastest-eligible",
             DispatchPolicyKind::GroupAffinity => "group-affinity",
+            DispatchPolicyKind::SessionAffinity => "session-affinity",
         }
     }
 
     /// Every shipped dispatch policy (grid/bench sweeps).
-    pub fn all() -> [DispatchPolicyKind; 3] {
+    pub fn all() -> [DispatchPolicyKind; 4] {
         [
             DispatchPolicyKind::LeastLoaded,
             DispatchPolicyKind::FastestEligible,
             DispatchPolicyKind::GroupAffinity,
+            DispatchPolicyKind::SessionAffinity,
         ]
     }
 }
@@ -926,6 +992,9 @@ mod tests {
             arrival,
             input_len: 100,
             output_len: 10,
+            session: 0,
+            parent: None,
+            shared_prefix_tokens: 0,
         }
     }
 
@@ -1235,6 +1304,32 @@ mod tests {
         // A fast group with a deep queue loses to an idle slow one.
         let loads = [load(0, 0, false, 2.0), load(1, 5_000, true, 1.0)];
         assert_eq!(policy.route(&loads, &req, 0.0), 0);
+    }
+
+    #[test]
+    fn session_affinity_pins_sessions_and_spills_under_load() {
+        let mut policy = SessionAffinity::default();
+        let mut req = request(0, 0, 0.0); // input_len = 100
+        req.session = 7;
+        // First turn of the session routes least-loaded and pins there.
+        let loads = [load(0, 300, false, 1.0), load(0, 50, false, 1.0)];
+        assert_eq!(policy.route(&loads, &req, 0.0), 1);
+        // Follow-ups stick to the pin even when it is no longer least-loaded
+        // (400 <= 2 * 200 + 100).
+        let loads = [load(0, 200, false, 1.0), load(0, 400, false, 1.0)];
+        assert_eq!(policy.route(&loads, &req, 0.0), 1);
+        // ... until the pinned backlog crosses the spill threshold
+        // (901 > 2 * 400 + 100); the session re-pins on the spill target.
+        let loads = [load(0, 400, false, 1.0), load(0, 901, false, 1.0)];
+        assert_eq!(policy.route(&loads, &req, 0.0), 0);
+        let loads = [load(0, 500, false, 1.0), load(0, 450, false, 1.0)];
+        assert_eq!(policy.route(&loads, &req, 0.0), 0, "re-pinned after spill");
+        // Independent requests (session 0) always route least-loaded.
+        assert_eq!(policy.route(&loads, &request(1, 0, 0.0), 0.0), 1);
+        // Different sessions pin independently.
+        let mut other = request(2, 0, 0.0);
+        other.session = 9;
+        assert_eq!(policy.route(&loads, &other, 0.0), 1);
     }
 
     #[test]

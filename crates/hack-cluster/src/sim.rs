@@ -118,6 +118,20 @@ impl Simulator {
             config.trace.num_requests,
             "supplied trace length must match config.trace.num_requests"
         );
+        // Session DAG validation: a child's parent must precede it in the
+        // trace and must not arrive after it — gating releases children at
+        // `max(child arrival, parent completion)`, which is only causal when
+        // parents nominally arrive first.
+        for (i, r) in requests.iter().enumerate() {
+            if let Some(p) = r.parent {
+                if (p as usize) >= i || requests[p as usize].arrival > r.arrival {
+                    return Err(ConfigError::InvalidSessionParent {
+                        child: r.id,
+                        parent: p,
+                    });
+                }
+            }
+        }
         let cluster = &config.cluster;
         let prefill_models = (0..cluster.fleet.prefill.len())
             .map(|g| cluster.prefill_cost_model(g))
@@ -346,9 +360,16 @@ impl Simulator {
         let prefill_ids: Vec<_> = prefill_ctxs.iter().map(|c| c.id()).collect();
         let decode_ids: Vec<_> = decode_ctxs.iter().map(|c| c.id()).collect();
 
-        // Seed the queue: one arrival event per request, plus fault injection.
+        // Seed the queue: one arrival event per independent request or
+        // session root, plus fault injection. Session children are gated on
+        // their parent's terminal state — `release_children` injects them at
+        // `max(arrival, parent completion)`. `parent.is_none()` is always
+        // true for legacy traces, so this is the exact pre-session seeding
+        // for them.
         for (i, r) in requests.iter().enumerate() {
-            driver.emit_at(RequestArrived { req: i }, frontend_id, r.arrival);
+            if r.parent.is_none() {
+                driver.emit_at(RequestArrived { req: i }, frontend_id, r.arrival);
+            }
         }
         // Expand the fault plan: for each fault, its fabric cut (link-cutting
         // domains only, delivered to the frontend) precedes the correlated
@@ -435,6 +456,25 @@ impl Simulator {
             let traced = requests.len() / span_every as usize + 1;
             ts.tel.reserve_recording(8 * traced + 64, 3 * traced + 64);
             ts
+        });
+        // Child index for session gating: left empty when the trace has no
+        // sessions, so every release site is a single `is_empty` check on the
+        // legacy path.
+        let mut session_children: Vec<Vec<usize>> = Vec::new();
+        if requests.iter().any(|r| r.parent.is_some()) {
+            session_children = vec![Vec::new(); requests.len()];
+            for (i, r) in requests.iter().enumerate() {
+                if let Some(p) = r.parent {
+                    session_children[p as usize].push(i);
+                }
+            }
+        }
+        // Prefix caches: one per decode replica, sized as a fraction of that
+        // replica's KV budget. `CacheConfig::Off` allocates nothing.
+        let cache = self.config.cache.settings().map(|settings| {
+            let kv_capacities: Vec<f64> =
+                decode_group_of.iter().map(|&g| decode_budgets[g]).collect();
+            crate::cache::SessionCacheState::new(settings, &kv_capacities)
         });
         let state = ClusterState {
             config: self.config,
@@ -530,6 +570,8 @@ impl Simulator {
             decode_uptime: vec![0.0; decode_replicas],
             scale_ups: 0,
             scale_downs: 0,
+            cache,
+            session_children,
         };
         let cluster = Rc::new(RefCell::new(state));
         if telemetry_settings.is_some() || scaling_on {
@@ -909,6 +951,33 @@ impl Simulator {
             0.0
         };
 
+        // --- Prefix-cache sensors. All zero/empty when the cache is off. ---
+        let (prefix_hits, prefix_misses, prefix_evictions) = match &cs.cache {
+            Some(c) => (c.hits, c.misses, c.evictions),
+            None => (0, 0, 0),
+        };
+        let (prefix_hit_rate, prefix_bytes_saved, prefill_seconds_saved) = match &cs.cache {
+            Some(c) => (c.hit_rate(), c.bytes_saved, c.prefill_secs_saved),
+            None => (0.0, 0.0, 0.0),
+        };
+        // Per decode group: the worst replica's peak cache occupancy as a
+        // fraction of that replica's full KV budget.
+        let prefix_cache_peak_fraction: Vec<f64> = match &cs.cache {
+            None => Vec::new(),
+            Some(c) => (0..cluster_cfg.fleet.decode.len())
+                .map(|g| {
+                    cs.decode
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, d)| d.group == g)
+                        .map(|(i, d)| {
+                            c.caches[i].peak_bytes() / d.kv_capacity.max(f64::MIN_POSITIVE)
+                        })
+                        .fold(0.0, f64::max)
+                })
+                .collect(),
+        };
+
         let result = SimulationResult {
             method: profile.name.to_string(),
             records,
@@ -937,6 +1006,13 @@ impl Simulator {
             scale_downs: cs.scale_downs,
             gpu_dollars,
             dollars_per_1k_tokens,
+            prefix_hits,
+            prefix_misses,
+            prefix_evictions,
+            prefix_hit_rate,
+            prefix_bytes_saved,
+            prefill_seconds_saved,
+            prefix_cache_peak_fraction,
             prefill_groups,
             decode_groups,
             makespan,
@@ -983,6 +1059,7 @@ fn fault_targets(domain: FaultDomain, cluster: &ClusterConfig) -> (Vec<usize>, V
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheConfig;
     use crate::config::{ClusterConfig, FailureSpec};
     use crate::fleet::{GroupSet, ReplicaGroup};
     use crate::policy::{DispatchPolicyKind, PolicyConfig};
@@ -1013,6 +1090,7 @@ mod tests {
             policy: PolicyConfig::default(),
             faults: FaultPlan::none(),
             telemetry: TelemetryConfig::Off,
+            cache: CacheConfig::Off,
         }
     }
 
@@ -1171,6 +1249,7 @@ mod tests {
                 policy: PolicyConfig::default(),
                 faults: FaultPlan::none(),
                 telemetry: TelemetryConfig::Off,
+                cache: CacheConfig::Off,
             };
             Simulator::new(cfg).run().average_ratios().communication
         };
@@ -1276,6 +1355,7 @@ mod tests {
             policy: PolicyConfig::default(),
             faults: FaultPlan::none(),
             telemetry: TelemetryConfig::Off,
+            cache: CacheConfig::Off,
         };
         let result = Simulator::new(cfg).run();
         assert_eq!(result.records.len(), 80);
@@ -1774,5 +1854,136 @@ mod tests {
         let mut requests = hack_workload::trace::TraceGenerator::new(cfg.trace).generate();
         requests[3].tenant = TenantId(crate::policy::MAX_TENANTS as u32);
         let _ = Simulator::with_requests(cfg, std::sync::Arc::new(requests)).run();
+    }
+
+    // --- Session-structured traces and the prefix cache. ---
+
+    #[test]
+    fn invalid_session_parents_yield_typed_errors() {
+        let cfg = sim_config(KvMethodProfile::baseline(), Dataset::Cocktail, 0.05, 5);
+        let gen = || TraceGenerator::new(cfg.trace).generate();
+
+        // Parent index beyond the trace.
+        let mut requests = gen();
+        requests[2].session = 1;
+        requests[2].parent = Some(99);
+        assert!(matches!(
+            Simulator::try_with_requests(cfg, Arc::new(requests)),
+            Err(ConfigError::InvalidSessionParent {
+                child: 2,
+                parent: 99
+            })
+        ));
+
+        // Self-parent (equivalently: a parent that does not precede the child
+        // in the trace).
+        let mut requests = gen();
+        requests[2].session = 1;
+        requests[2].parent = Some(2);
+        assert!(matches!(
+            Simulator::try_with_requests(cfg, Arc::new(requests)),
+            Err(ConfigError::InvalidSessionParent {
+                child: 2,
+                parent: 2
+            })
+        ));
+
+        // Parent nominally arriving after its child.
+        let mut requests = gen();
+        requests[1].session = 1;
+        requests[3].session = 1;
+        requests[3].parent = Some(1);
+        requests[1].arrival = requests[3].arrival + 10.0;
+        assert!(matches!(
+            Simulator::try_with_requests(cfg, Arc::new(requests)),
+            Err(ConfigError::InvalidSessionParent {
+                child: 3,
+                parent: 1
+            })
+        ));
+
+        // A well-formed link constructs fine.
+        let mut requests = gen();
+        requests[1].session = 1;
+        requests[3].session = 1;
+        requests[3].parent = Some(1);
+        requests[3].shared_prefix_tokens = requests[1].input_len.min(16);
+        assert!(Simulator::try_with_requests(cfg, Arc::new(requests)).is_ok());
+    }
+
+    #[test]
+    fn session_children_wait_for_their_parent() {
+        let cfg = sim_config(KvMethodProfile::baseline(), Dataset::Cocktail, 0.05, 6);
+        let mut requests = TraceGenerator::new(cfg.trace).generate();
+        // Request 3 follows up on request 0 in session 1, nominally arriving
+        // at its original (pre-gating) instant.
+        requests[0].session = 1;
+        requests[3].session = 1;
+        requests[3].parent = Some(0);
+        requests[3].shared_prefix_tokens = requests[0].input_len;
+        let result = Simulator::with_requests(cfg, Arc::new(requests)).run();
+        assert_eq!(result.records.len(), 6);
+        let record_of = |id: u64| {
+            result
+                .records
+                .iter()
+                .find(|r| r.request.id == id)
+                .expect("completed")
+        };
+        let parent_finish = record_of(0).finish_time;
+        let child = record_of(3);
+        // The child's prefill starts at arrival + queueing; gating must push
+        // that past the parent's completion.
+        assert!(
+            child.request.arrival + child.breakdown.queueing >= parent_finish - 1e-9,
+            "child prefill started before its parent finished"
+        );
+    }
+
+    #[test]
+    fn chat_sessions_hit_the_cache_and_cache_off_stays_identical() {
+        use hack_workload::trace::TenantId;
+        use hack_workload::{SessionKind, SessionSpec, SessionTrace};
+        let spec = SessionSpec {
+            tenant: TenantId(0),
+            kind: SessionKind::Chat {
+                turns: 4,
+                think_mean_s: 25.0,
+            },
+            sessions: 8,
+            rps: 0.04,
+            dataset: Dataset::Cocktail,
+            max_context: ModelKind::Llama31_70B.spec().max_context,
+            seed: 17,
+        };
+        let requests = Arc::new(SessionTrace::new(vec![spec]).generate());
+        let mut cfg = sim_config(KvMethodProfile::hack(), Dataset::Cocktail, 0.04, 0);
+        cfg.trace.num_requests = requests.len();
+
+        let off = Simulator::with_requests(cfg, requests.clone()).run();
+        let off_again = Simulator::with_requests(cfg, requests.clone()).run();
+        assert_eq!(off, off_again, "cache-off runs must be bit-identical");
+        assert_eq!(off.prefix_hits, 0);
+        assert_eq!(off.prefix_misses, 0);
+        assert!(off.prefix_cache_peak_fraction.is_empty());
+
+        cfg.cache = CacheConfig::on();
+        let on = Simulator::with_requests(cfg, requests.clone()).run();
+        assert_eq!(on.records.len(), off.records.len());
+        assert!(on.prefix_hits > 0, "chat follow-ups must hit");
+        assert!(
+            on.prefix_hit_rate >= 0.5,
+            "hit rate {} below 0.5",
+            on.prefix_hit_rate
+        );
+        assert!(on.prefill_seconds_saved > 0.0);
+        assert!(on.prefix_bytes_saved > 0.0);
+        assert!(!on.prefix_cache_peak_fraction.is_empty());
+        assert!(
+            on.average_jct() < off.average_jct(),
+            "cache-on JCT {} must beat cache-off {}",
+            on.average_jct(),
+            off.average_jct()
+        );
     }
 }

@@ -227,6 +227,48 @@ impl TelemetryState {
         self.tel.add_counter("rejected", 1);
     }
 
+    // --- Session prefix cache (see OBSERVABILITY.md, "Prefix-cache
+    // taxonomy"). ---
+
+    /// A prefill-side lookup found `req`'s session prefix resident on decode
+    /// `replica`.
+    #[inline]
+    pub fn prefix_hit(&mut self, replica: usize, req: usize, now: f64) {
+        if self.traced(req) {
+            self.tel.instant(
+                "prefix_hit",
+                "decode",
+                self.decode_tracks[replica],
+                req as u64,
+                now,
+            );
+        }
+        self.tel.add_counter("prefix_hit", 1);
+    }
+
+    /// A session follow-up's prefix was not resident (evicted, invalidated,
+    /// or never cached).
+    #[inline]
+    pub fn prefix_miss(&mut self, req: usize, now: f64) {
+        if self.traced(req) {
+            self.tel.instant(
+                "prefix_miss",
+                "frontend",
+                self.frontend_track,
+                req as u64,
+                now,
+            );
+        }
+        self.tel.add_counter("prefix_miss", 1);
+    }
+
+    /// `n` cached prefixes were dropped (LRU pressure, reservation reclaim,
+    /// residency move, failure, or drain).
+    #[inline]
+    pub fn prefix_evicted(&mut self, n: usize) {
+        self.tel.add_counter("prefix_evicted", n as u64);
+    }
+
     #[inline]
     pub fn tenant_enqueued(&mut self, tenant: usize) {
         if let Some(n) = self.tenant_backlog.get_mut(tenant) {

@@ -552,6 +552,15 @@ pub enum ConfigError {
         /// The offending domain.
         domain: FaultDomain,
     },
+    /// A session child references a parent that is missing from the trace,
+    /// is itself, or arrives after the child — the simulator gates children
+    /// on parent completion and cannot honor a causality-violating link.
+    InvalidSessionParent {
+        /// The child request's trace id.
+        child: u64,
+        /// The rejected parent id.
+        parent: u64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -602,6 +611,11 @@ impl fmt::Display for ConfigError {
                 f,
                 "degradation on {} needs a factor in (0, 1) and a link domain",
                 domain.label()
+            ),
+            ConfigError::InvalidSessionParent { child, parent } => write!(
+                f,
+                "session child {child} references parent {parent} that is \
+                 missing, itself, or arrives after the child"
             ),
         }
     }

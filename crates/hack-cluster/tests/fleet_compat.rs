@@ -8,9 +8,10 @@
 //! [`ClusterConfig::from_value`].
 
 use hack_cluster::{
-    AdmissionPolicyKind, ClusterConfig, CostMode, DispatchPolicyKind, FaultPlan, FleetSpec,
-    GroupSet, PolicyConfig, ReplicaGroup, RetryPolicy, SchedulingPolicyKind, SimulationConfig,
-    SimulationResult, Simulator, TelemetryConfig, TenantClass, TenantClasses, TopologySpec,
+    AdmissionPolicyKind, CacheConfig, ClusterConfig, CostMode, DispatchPolicyKind, FaultPlan,
+    FleetSpec, GroupSet, PolicyConfig, ReplicaGroup, RetryPolicy, SchedulingPolicyKind,
+    SimulationConfig, SimulationResult, Simulator, TelemetryConfig, TenantClass, TenantClasses,
+    TopologySpec,
 };
 use hack_model::cost::{CostParams, KvMethodProfile};
 use hack_model::gpu::GpuKind;
@@ -69,6 +70,7 @@ fn sim_config(cluster: ClusterConfig, seed: u64, n: usize) -> SimulationConfig {
         policy: PolicyConfig::default(),
         faults: FaultPlan::none(),
         telemetry: TelemetryConfig::Off,
+        cache: CacheConfig::Off,
     }
 }
 

@@ -393,6 +393,13 @@ mod legacy {
                 scale_downs: 0,
                 gpu_dollars: 0.0,
                 dollars_per_1k_tokens: 0.0,
+                prefix_hits: 0,
+                prefix_misses: 0,
+                prefix_evictions: 0,
+                prefix_hit_rate: 0.0,
+                prefix_bytes_saved: 0.0,
+                prefill_seconds_saved: 0.0,
+                prefix_cache_peak_fraction: Vec::new(),
                 prefill_groups: Vec::new(),
                 decode_groups: Vec::new(),
                 makespan,
@@ -554,7 +561,8 @@ mod legacy {
 }
 
 use hack_cluster::{
-    ClusterConfig, FaultPlan, PolicyConfig, SimulationConfig, Simulator, TelemetryConfig,
+    CacheConfig, ClusterConfig, FaultPlan, PolicyConfig, SimulationConfig, Simulator,
+    TelemetryConfig,
 };
 use hack_model::cost::KvMethodProfile;
 use hack_model::gpu::GpuKind;
@@ -654,6 +662,7 @@ fn config(
         policy: PolicyConfig::default(),
         faults: FaultPlan::none(),
         telemetry: TelemetryConfig::Off,
+        cache: CacheConfig::Off,
     }
 }
 
@@ -729,6 +738,7 @@ fn memory_pressure_and_swap_path_match_seed_simulator() {
         policy: PolicyConfig::default(),
         faults: FaultPlan::none(),
         telemetry: TelemetryConfig::Off,
+        cache: CacheConfig::Off,
     };
     assert_equivalent(cfg, "overload/swap");
 }
@@ -748,4 +758,27 @@ fn datasets_gpus_and_seeds_match_seed_simulator() {
     let mut cfg = config(KvMethodProfile::kvquant(), Dataset::Cocktail, 0.05, 30, 23);
     cfg.cluster = ClusterConfig::paper_default(ModelKind::Llama31_70B, GpuKind::V100);
     assert_equivalent(cfg, "v100 fleet");
+}
+
+#[test]
+fn armed_idle_prefix_cache_is_bit_identical_to_cache_off_and_the_seed() {
+    // An armed cache over a sessionless trace never hits, never inserts and
+    // never evicts: every hot-path probe must collapse to the exact arithmetic
+    // of the cache-off run (`kv_capacity + 0.0` included), so the result is
+    // bit-identical to Off — and, via the oracle, to the seed simulator.
+    let off = config(KvMethodProfile::hack(), Dataset::Cocktail, 0.08, 50, 31);
+    let mut armed = off;
+    armed.cache = CacheConfig::on();
+    let mut armed_run = Simulator::new(armed).run();
+    assert_eq!(armed_run.prefix_hits + armed_run.prefix_misses, 0);
+    // The armed run reports a (all-zero) per-group occupancy vector where the
+    // off run reports none; every timing, record and cost field must agree
+    // bit-for-bit once that sensor shape is normalized away.
+    assert!(armed_run
+        .prefix_cache_peak_fraction
+        .iter()
+        .all(|&f| f == 0.0));
+    armed_run.prefix_cache_peak_fraction = Vec::new();
+    assert_eq!(armed_run, Simulator::new(off).run(), "armed-idle vs off");
+    assert_equivalent(armed, "armed-idle cache vs seed");
 }

@@ -15,8 +15,8 @@
 //!    timestamps agree to ~1e-9 (the cost layers agree to ~1e-15 relative).
 
 use hack_cluster::{
-    ClusterConfig, CostMode, FailureSpec, FaultPlan, PolicyConfig, SimulationConfig, Simulator,
-    TelemetryConfig,
+    CacheConfig, ClusterConfig, CostMode, FailureSpec, FaultPlan, PolicyConfig, SimulationConfig,
+    Simulator, TelemetryConfig,
 };
 use hack_metrics::telemetry::Telemetry;
 use hack_model::cost::KvMethodProfile;
@@ -41,6 +41,7 @@ fn base_config(n: usize, rps: f64) -> SimulationConfig {
         policy: PolicyConfig::default(),
         faults: FaultPlan::none(),
         telemetry: TelemetryConfig::Off,
+        cache: CacheConfig::Off,
     }
 }
 

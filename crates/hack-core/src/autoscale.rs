@@ -15,8 +15,8 @@ use crate::availability::percentile;
 use crate::experiment::{ExperimentTable, Row};
 use crate::method::Method;
 use hack_cluster::{
-    ClusterConfig, FaultPlan, PolicyConfig, ScalingPolicyKind, SimulationConfig, SimulationResult,
-    Simulator, TelemetryConfig,
+    CacheConfig, ClusterConfig, FaultPlan, PolicyConfig, ScalingPolicyKind, SimulationConfig,
+    SimulationResult, Simulator, TelemetryConfig,
 };
 use hack_model::gpu::GpuKind;
 use hack_model::spec::ModelKind;
@@ -162,6 +162,7 @@ impl AutoscaleExperiment {
             policy: PolicyConfig::autoscaled(scaling),
             faults: FaultPlan::none(),
             telemetry: TelemetryConfig::Off,
+            cache: CacheConfig::Off,
         }
     }
 

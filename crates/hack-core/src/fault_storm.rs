@@ -13,7 +13,7 @@
 use crate::experiment::{ExperimentTable, Row};
 use crate::method::Method;
 use hack_cluster::{
-    ClusterConfig, FaultDomain, FaultEvent, FaultPlan, LinkGraphSpec, PolicyConfig,
+    CacheConfig, ClusterConfig, FaultDomain, FaultEvent, FaultPlan, LinkGraphSpec, PolicyConfig,
     SimulationConfig, SimulationResult, Simulator, TelemetryConfig, TopologySpec,
 };
 use hack_model::gpu::GpuKind;
@@ -139,6 +139,7 @@ impl FaultStormExperiment {
             policy: PolicyConfig::default(),
             faults: scenario.faults,
             telemetry: TelemetryConfig::Off,
+            cache: CacheConfig::Off,
         }
     }
 

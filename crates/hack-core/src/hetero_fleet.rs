@@ -13,8 +13,8 @@
 use crate::experiment::{ExperimentTable, Row};
 use crate::method::Method;
 use hack_cluster::{
-    ClusterConfig, DispatchPolicyKind, FaultPlan, GroupSet, GroupStats, PolicyConfig, ReplicaGroup,
-    SimulationConfig, SimulationResult, Simulator, TelemetryConfig,
+    CacheConfig, ClusterConfig, DispatchPolicyKind, FaultPlan, GroupSet, GroupStats, PolicyConfig,
+    ReplicaGroup, SimulationConfig, SimulationResult, Simulator, TelemetryConfig,
 };
 use hack_metrics::jct::JctStats;
 use hack_model::gpu::GpuKind;
@@ -100,6 +100,7 @@ impl HeteroFleetExperiment {
             policy: PolicyConfig::dispatched(dispatch),
             faults: FaultPlan::none(),
             telemetry: TelemetryConfig::Off,
+            cache: CacheConfig::Off,
         }
     }
 

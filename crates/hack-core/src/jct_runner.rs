@@ -6,8 +6,8 @@
 
 use crate::method::Method;
 use hack_cluster::{
-    ClusterConfig, CostMode, FailureSpec, FaultPlan, PolicyConfig, SimulationConfig, Simulator,
-    TelemetryConfig,
+    CacheConfig, ClusterConfig, CostMode, FailureSpec, FaultPlan, PolicyConfig, SimulationConfig,
+    Simulator, TelemetryConfig,
 };
 use hack_metrics::jct::{JctStats, StageRatios};
 use hack_model::gpu::GpuKind;
@@ -253,6 +253,7 @@ impl JctExperiment {
             policy: PolicyConfig::default(),
             faults: self.failure.map(FaultPlan::from).unwrap_or_default(),
             telemetry: TelemetryConfig::Off,
+            cache: CacheConfig::Off,
         }
     }
 

@@ -36,6 +36,7 @@ pub mod fidelity;
 pub mod hetero_fleet;
 pub mod jct_runner;
 pub mod method;
+pub mod session_cache;
 pub mod tenant_mix;
 
 pub use autoscale::{AutoscaleExperiment, AutoscaleOutcome, TraceShape};
@@ -46,6 +47,7 @@ pub use fidelity::{FidelityReport, FidelitySetup};
 pub use hetero_fleet::{HeteroFleetExperiment, HeteroFleetOutcome};
 pub use jct_runner::{JctExperiment, JctOutcome};
 pub use method::Method;
+pub use session_cache::{SessionCacheExperiment, SessionCacheOutcome, SessionMix};
 pub use tenant_mix::{TenantMixExperiment, TenantMixOutcome, TenantWorkload};
 
 /// Convenience re-exports for examples and downstream users.
@@ -58,16 +60,18 @@ pub mod prelude {
     pub use crate::hetero_fleet::{HeteroFleetExperiment, HeteroFleetOutcome};
     pub use crate::jct_runner::{JctExperiment, JctOutcome};
     pub use crate::method::Method;
+    pub use crate::session_cache::{SessionCacheExperiment, SessionCacheOutcome, SessionMix};
     pub use crate::tenant_mix::{TenantMixExperiment, TenantMixOutcome, TenantWorkload};
     pub use hack_attention::baseline::{baseline_attention, AttentionMask};
     pub use hack_attention::prefill::hack_prefill_attention;
     pub use hack_attention::state::HackKvState;
     pub use hack_cluster::{
-        AdmissionPolicyKind, AvailabilityModel, ClusterConfig, ConfigError, DispatchPolicyKind,
-        FailureSpec, FaultDomain, FaultEvent, FaultPlan, FaultRecord, FleetShape, FleetSpec,
-        GroupSet, GroupStats, LinkGraphSpec, MtbfSpec, PolicyConfig, ReplicaGroup, RetryPolicy,
-        ScalingPolicyKind, SchedulingPolicyKind, SimulationConfig, Simulator, TelemetryConfig,
-        TelemetrySettings, TenantClass, TenantClasses, TopologySpec, SCALE_TICK_SECS,
+        AdmissionPolicyKind, AvailabilityModel, CacheConfig, CacheSettings, ClusterConfig,
+        ConfigError, DispatchPolicyKind, FailureSpec, FaultDomain, FaultEvent, FaultPlan,
+        FaultRecord, FleetShape, FleetSpec, GroupSet, GroupStats, LinkGraphSpec, MtbfSpec,
+        PolicyConfig, ReplicaGroup, RetryPolicy, ScalingPolicyKind, SchedulingPolicyKind,
+        SimulationConfig, Simulator, TelemetryConfig, TelemetrySettings, TenantClass,
+        TenantClasses, TopologySpec, SCALE_TICK_SECS,
     };
     pub use hack_metrics::telemetry::Telemetry;
     pub use hack_model::gpu::GpuKind;
@@ -75,6 +79,7 @@ pub mod prelude {
     pub use hack_quant::{HackConfig, QuantizedTensor};
     pub use hack_tensor::{DetRng, Matrix};
     pub use hack_workload::dataset::Dataset;
+    pub use hack_workload::session::{SessionKind, SessionSpec, SessionTrace};
     pub use hack_workload::tenant::{MultiTenantTrace, TenantSpec};
     pub use hack_workload::trace::TenantId;
     pub use hack_workload::trace::TraceConfig;

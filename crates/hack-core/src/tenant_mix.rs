@@ -12,8 +12,8 @@
 use crate::experiment::{ExperimentTable, Row};
 use crate::method::Method;
 use hack_cluster::{
-    AdmissionPolicyKind, FaultPlan, PolicyConfig, SchedulingPolicyKind, SimulationConfig,
-    SimulationResult, Simulator, TelemetryConfig, TenantClass, TenantClasses,
+    AdmissionPolicyKind, CacheConfig, FaultPlan, PolicyConfig, SchedulingPolicyKind,
+    SimulationConfig, SimulationResult, Simulator, TelemetryConfig, TenantClass, TenantClasses,
 };
 use hack_metrics::jct::JctStats;
 use hack_metrics::tenant::TenantSlo;
@@ -157,6 +157,7 @@ impl TenantMixExperiment {
             },
             faults: FaultPlan::none(),
             telemetry: TelemetryConfig::Off,
+            cache: CacheConfig::Off,
         }
     }
 

@@ -19,15 +19,20 @@
 //!   memory, §2.1/§4).
 //! * [`accounting`] — decode-instance memory accounting used to regenerate Table 5 and
 //!   the SE/RQE overhead numbers of §7.4.
+//! * [`prefix`] — [`PrefixCache`]: per-decode-replica residency of finished sessions'
+//!   quantized KV prefixes (LRU with pinning), the model behind the cluster
+//!   simulator's prefix-cache hits that skip re-prefilling shared session context.
 
 pub mod accounting;
 pub mod allocator;
 pub mod block;
 pub mod layout;
 pub mod manager;
+pub mod prefix;
 
 pub use accounting::{DecodeMemoryModel, MemoryBreakdown};
 pub use allocator::BlockAllocator;
 pub use block::{BlockId, BLOCK_TOKENS};
 pub use layout::{CacheLayout, KvShape};
 pub use manager::{KvCacheManager, SequenceId};
+pub use prefix::{InsertReport, PrefixCache, PrefixEntry};

@@ -5,14 +5,19 @@
 //! input/output-length distributions, plus a Poisson arrival process, combined into
 //! request traces consumed by the cluster simulator. Traces are tenant-aware:
 //! [`tenant::MultiTenantTrace`] merge-sorts several per-tenant streams (each with its
-//! own dataset, rate and seed) into one deterministic trace.
+//! own dataset, rate and seed) into one deterministic trace. Traces are also
+//! session-aware: [`session::SessionTrace`] generates multi-turn chat and agentic
+//! tool-call DAGs whose requests carry session, parent and shared-prefix tags for
+//! the cluster simulator's prefix cache.
 
 pub mod arrivals;
 pub mod dataset;
+pub mod session;
 pub mod tenant;
 pub mod trace;
 
 pub use arrivals::PoissonArrivals;
 pub use dataset::{Dataset, LengthStats};
+pub use session::{merge_streams, DagNode, RequestDag, SessionKind, SessionSpec, SessionTrace};
 pub use tenant::{MultiTenantTrace, TenantSpec};
 pub use trace::{Request, TenantId, TraceConfig, TraceGenerator};

@@ -51,6 +51,20 @@ pub struct Request {
     pub input_len: usize,
     /// Number of output tokens to generate.
     pub output_len: usize,
+    /// Session the request belongs to (0 = independent, no session).
+    ///
+    /// Session-structured traces ([`crate::session::SessionTrace`]) number
+    /// sessions from 1; every turn/tool-call of one conversation shares the
+    /// session id, which keys the decode-side prefix cache.
+    pub session: u64,
+    /// Trace id of the request this one follows up on, if any.
+    ///
+    /// A request with a parent is *gated*: the simulator dispatches it no
+    /// earlier than its parent's completion, at `max(arrival, parent finish)`.
+    pub parent: Option<u64>,
+    /// Leading tokens of `input_len` shared verbatim with the parent's final
+    /// context — the KV prefix a cache hit can skip re-prefilling.
+    pub shared_prefix_tokens: usize,
 }
 
 impl Request {
@@ -62,14 +76,29 @@ impl Request {
     /// Decodes a request from its serialized [`Value`] tree (the stub serde's
     /// data model; `serde_json::from_str` produces these).
     ///
-    /// Trace snapshots written before multi-tenancy carry no `tenant` key;
-    /// those decode as tenant 0, so old snapshots stay readable. A *present*
-    /// but non-numeric `tenant` is corruption, not an old snapshot, and is
-    /// rejected like any other malformed field.
+    /// Trace snapshots written before multi-tenancy carry no `tenant` key and
+    /// pre-session snapshots carry no `session`/`parent`/`shared_prefix_tokens`
+    /// keys; those decode with the defaults (tenant 0, independent request), so
+    /// old snapshots stay readable. A *present* but malformed optional key is
+    /// corruption, not an old snapshot, and is rejected like any other
+    /// malformed field (`parent` may be `null` — that is how `None`
+    /// serializes — but not, say, a string).
     pub fn from_value(value: &Value) -> Option<Request> {
         let tenant = match value.get_key("tenant") {
             None => TenantId::default(),
             Some(t) => TenantId(t.as_f64()? as u32),
+        };
+        let session = match value.get_key("session") {
+            None => 0,
+            Some(s) => s.as_f64()? as u64,
+        };
+        let parent = match value.get_key("parent") {
+            None | Some(Value::Null) => None,
+            Some(p) => Some(p.as_f64()? as u64),
+        };
+        let shared_prefix_tokens = match value.get_key("shared_prefix_tokens") {
+            None => 0,
+            Some(s) => s.as_f64()? as usize,
         };
         Some(Request {
             id: value.get_key("id")?.as_f64()? as u64,
@@ -77,6 +106,9 @@ impl Request {
             arrival: value.get_key("arrival")?.as_f64()?,
             input_len: value.get_key("input_len")?.as_f64()? as usize,
             output_len: value.get_key("output_len")?.as_f64()? as usize,
+            session,
+            parent,
+            shared_prefix_tokens,
         })
     }
 }
@@ -147,6 +179,9 @@ impl TraceGenerator {
                     arrival,
                     input_len,
                     output_len,
+                    session: 0,
+                    parent: None,
+                    shared_prefix_tokens: 0,
                 }
             })
             .collect()
@@ -233,6 +268,9 @@ impl TraceTemplate {
                     arrival: now,
                     input_len,
                     output_len,
+                    session: 0,
+                    parent: None,
+                    shared_prefix_tokens: 0,
                 }
             })
             .collect()
@@ -354,9 +392,16 @@ mod tests {
     fn request_serde_round_trips_exactly() {
         // f64 serialization uses the shortest round-trippable representation,
         // so a JSON round trip must reproduce the request bit-for-bit —
-        // including the tenant tag.
-        let trace = TraceTemplate::new(TraceConfig::cocktail_default())
+        // including the tenant tag and the session fields.
+        let mut trace = TraceTemplate::new(TraceConfig::cocktail_default())
             .instantiate_tagged(0.37, TenantId(3));
+        for (i, r) in trace.iter_mut().enumerate() {
+            if i % 3 == 1 {
+                r.session = 1 + i as u64 / 3;
+                r.parent = Some(i as u64 - 1);
+                r.shared_prefix_tokens = r.input_len / 2;
+            }
+        }
         for r in trace {
             let json = serde_json::to_string(&r).unwrap();
             let value = serde_json::from_str(&json).unwrap();
@@ -381,6 +426,9 @@ mod tests {
                 arrival: 12.25,
                 input_len: 100,
                 output_len: 7,
+                session: 0,
+                parent: None,
+                shared_prefix_tokens: 0,
             }
         );
         // A malformed snapshot is rejected, not silently defaulted: a missing
@@ -394,6 +442,43 @@ mod tests {
         assert!(
             Request::from_value(&corrupt).is_none(),
             "non-numeric tenant must be rejected, not defaulted"
+        );
+    }
+
+    #[test]
+    fn pre_session_snapshots_decode_as_independent_requests() {
+        // Pre-session snapshots (no session/parent/shared_prefix_tokens keys)
+        // decode as independent requests; `parent: null` is how `None`
+        // serializes and must also decode as `None`.
+        let json = r#"{"id":2,"tenant":1,"arrival":3.5,"input_len":64,"output_len":8}"#;
+        let value = serde_json::from_str(json).unwrap();
+        let r = Request::from_value(&value).expect("pre-session snapshot decodes");
+        assert_eq!(r.session, 0);
+        assert_eq!(r.parent, None);
+        assert_eq!(r.shared_prefix_tokens, 0);
+
+        let json = r#"{"id":2,"tenant":1,"arrival":3.5,"input_len":64,"output_len":8,
+                       "session":4,"parent":null,"shared_prefix_tokens":0}"#;
+        let value = serde_json::from_str(json).unwrap();
+        let r = Request::from_value(&value).expect("null parent decodes");
+        assert_eq!(r.session, 4);
+        assert_eq!(r.parent, None);
+
+        let json = r#"{"id":2,"tenant":1,"arrival":3.5,"input_len":64,"output_len":8,
+                       "session":4,"parent":1,"shared_prefix_tokens":32}"#;
+        let value = serde_json::from_str(json).unwrap();
+        let r = Request::from_value(&value).expect("numeric parent decodes");
+        assert_eq!(r.parent, Some(1));
+        assert_eq!(r.shared_prefix_tokens, 32);
+
+        // Present-but-malformed session fields are corruption, not back-compat.
+        let corrupt = serde_json::from_str(
+            r#"{"id":2,"arrival":3.5,"input_len":64,"output_len":8,"parent":"x"}"#,
+        )
+        .unwrap();
+        assert!(
+            Request::from_value(&corrupt).is_none(),
+            "non-numeric parent must be rejected, not defaulted"
         );
     }
 }

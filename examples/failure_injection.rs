@@ -15,7 +15,7 @@
 //! in-flight KV transfer crossing the dead uplink aborts with its partial
 //! progress kept, and the seeded backoff retries carry the work to the
 //! survivors. The run self-validates the blast radius against the topology
-//! and exports a Perfetto trace (`fault_storm_trace.json`) with the fault and
+//! and exports a Perfetto trace (`artifacts/fault_storm_trace.json`) with the fault and
 //! recovery instants on it.
 //!
 //! Run with: `cargo run --release --example failure_injection`
@@ -55,6 +55,7 @@ fn main() {
         policy: PolicyConfig::default(),
         faults: FaultPlan::none(),
         telemetry: TelemetryConfig::Off,
+        cache: CacheConfig::Off,
     };
 
     println!("== Fault injection on the paper-default cluster (HACK, Cocktail) ==\n");
@@ -175,6 +176,7 @@ fn correlated_tor_storm(smoke: bool) {
         policy: PolicyConfig::default(),
         faults,
         telemetry: TelemetryConfig::with_interval(1.0),
+        cache: CacheConfig::Off,
     };
     let (result, telemetry) = Simulator::new(config).run_with_telemetry();
     let tel = telemetry.expect("telemetry is on");
@@ -216,7 +218,9 @@ fn correlated_tor_storm(smoke: bool) {
 
     // --- Perfetto trace export with the fault instants on it. ---
     let trace_json = tel.chrome_trace_json();
-    std::fs::write("fault_storm_trace.json", &trace_json).expect("write fault_storm_trace.json");
+    std::fs::create_dir_all("artifacts").expect("create artifacts/");
+    std::fs::write("artifacts/fault_storm_trace.json", &trace_json)
+        .expect("write artifacts/fault_storm_trace.json");
     let parsed = serde_json::from_str(&trace_json).expect("exported trace must be valid JSON");
     assert!(
         matches!(
@@ -239,7 +243,7 @@ fn correlated_tor_storm(smoke: bool) {
         "the correlated replica failures must be on the trace"
     );
     println!(
-        "\nwrote fault_storm_trace.json ({} bytes) — open at https://ui.perfetto.dev",
+        "\nwrote artifacts/fault_storm_trace.json ({} bytes) — open at https://ui.perfetto.dev",
         trace_json.len()
     );
     println!("blast radius, conservation and trace contents validated.");

@@ -3,13 +3,13 @@
 //! Runs the fault-injection scenario of `examples/failure_injection.rs` with
 //! telemetry enabled, then exports
 //!
-//! * `telemetry_trace.json` — Chrome trace-event JSON: one track per replica
+//! * `artifacts/telemetry_trace.json` — Chrome trace-event JSON: one track per replica
 //!   (prefill, NIC, decode) carrying the request-lifecycle spans (queue wait,
 //!   prefill, quantize, NIC wait, KV transfer, memory wait, decode) plus the
 //!   sampled counter tracks. Open it at <https://ui.perfetto.dev> (or
 //!   `chrome://tracing`) — the injected outage is visible as the span gap on
 //!   the failed decode replica's track.
-//! * `telemetry_timeseries.csv` — the periodic samples (queue depths, KV
+//! * `artifacts/telemetry_timeseries.csv` — the periodic samples (queue depths, KV
 //!   occupancy, in-flight transfers, tenant backlog) as `series,time_s,value`.
 //!
 //! The run also self-validates: the exported JSON must parse, carry at least
@@ -42,6 +42,7 @@ fn main() {
         policy: PolicyConfig::default(),
         faults: FaultPlan::none(),
         telemetry: TelemetryConfig::Off,
+        cache: CacheConfig::Off,
     };
 
     println!("== Telemetry export of a failure-injection run (HACK, Cocktail) ==\n");
@@ -68,6 +69,7 @@ fn main() {
     let config = SimulationConfig {
         faults: FailureSpec::transient(victim, fail_at, recover_at).into(),
         telemetry: TelemetryConfig::with_interval(interval),
+        cache: CacheConfig::Off,
         ..base_config
     };
     let (result, telemetry) = Simulator::new(config).run_with_telemetry();
@@ -77,6 +79,7 @@ fn main() {
     // configuration is bit-identical.
     let off = Simulator::new(SimulationConfig {
         telemetry: TelemetryConfig::Off,
+        cache: CacheConfig::Off,
         ..config
     })
     .run();
@@ -104,13 +107,19 @@ fn main() {
     // --- Export. ---
     let trace_json = tel.chrome_trace_json();
     let csv = tel.timeseries_csv();
-    std::fs::write("telemetry_trace.json", &trace_json).expect("write telemetry_trace.json");
-    std::fs::write("telemetry_timeseries.csv", &csv).expect("write telemetry_timeseries.csv");
+    std::fs::create_dir_all("artifacts").expect("create artifacts/");
+    std::fs::write("artifacts/telemetry_trace.json", &trace_json)
+        .expect("write artifacts/telemetry_trace.json");
+    std::fs::write("artifacts/telemetry_timeseries.csv", &csv)
+        .expect("write artifacts/telemetry_timeseries.csv");
     println!(
-        "\nwrote telemetry_trace.json ({} bytes) — open at https://ui.perfetto.dev",
+        "\nwrote artifacts/telemetry_trace.json ({} bytes) — open at https://ui.perfetto.dev",
         trace_json.len()
     );
-    println!("wrote telemetry_timeseries.csv ({} bytes)", csv.len());
+    println!(
+        "wrote artifacts/telemetry_timeseries.csv ({} bytes)",
+        csv.len()
+    );
 
     // --- Self-validation (CI smoke gate). ---
     let parsed = serde_json::from_str(&trace_json).expect("exported trace must be valid JSON");

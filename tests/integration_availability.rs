@@ -29,6 +29,7 @@ fn graph_config(n: usize, rps: f64, spines: usize) -> SimulationConfig {
         policy: PolicyConfig::default(),
         faults: FaultPlan::none(),
         telemetry: TelemetryConfig::Off,
+        cache: CacheConfig::Off,
     }
 }
 

@@ -28,6 +28,7 @@ fn storm_config(n: usize, rps: f64) -> SimulationConfig {
         policy: PolicyConfig::default(),
         faults: FaultPlan::none(),
         telemetry: TelemetryConfig::Off,
+        cache: CacheConfig::Off,
     }
 }
 

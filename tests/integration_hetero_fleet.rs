@@ -164,6 +164,7 @@ fn uniform_fleet_reproduces_legacy_jct_experiment_results() {
         policy: PolicyConfig::default(),
         faults: FaultPlan::none(),
         telemetry: TelemetryConfig::Off,
+        cache: CacheConfig::Off,
     };
     let direct = Simulator::new(legacy_config).run();
     let via_experiment = e.run(uniform, Method::hack(), DispatchPolicyKind::LeastLoaded);

@@ -386,6 +386,7 @@ fn random_sim_config(rng: &mut DetRng) -> SimulationConfig {
             FaultPlan::none()
         },
         telemetry: TelemetryConfig::Off,
+        cache: CacheConfig::Off,
     }
 }
 
@@ -460,7 +461,10 @@ fn random_multi_tenant(rng: &mut DetRng) -> (SimulationConfig, Arc<Vec<hack_work
         SchedulingPolicyKind::WeightedRoundRobin,
         SchedulingPolicyKind::SloEdf,
     ][rng.range_usize(0, 3)];
-    let dispatch = hack_cluster::DispatchPolicyKind::all()[rng.range_usize(0, 3)];
+    let dispatch = {
+        let all = hack_cluster::DispatchPolicyKind::all();
+        all[rng.range_usize(0, all.len())]
+    };
     let scaling = {
         use hack_cluster::ScalingPolicyKind;
         [
@@ -805,5 +809,177 @@ fn conservation_holds_under_generated_plans_across_engines_and_cost_modes() {
             assert_eq!(slab.degraded_link_secs, 0.0, "case {case}");
             assert_eq!(slab.throughput_loss_gbps_s, 0.0, "case {case}");
         }
+    }
+}
+
+// --- Session invariants: causal ordering, conservation under randomized
+// --- session DAGs, and cache-off bit-identity to independent requests.
+
+use hack_workload::session::{SessionKind, SessionSpec, SessionTrace};
+
+/// A random session-structured workload (chat and agentic streams mixed with
+/// an independent background stream) over a random cluster config, with the
+/// prefix cache and the session-affinity dispatcher armed on half the draws.
+fn random_session_workload(
+    rng: &mut DetRng,
+) -> (SimulationConfig, Arc<Vec<hack_workload::Request>>) {
+    let datasets = [
+        Dataset::Imdb,
+        Dataset::Cocktail,
+        Dataset::Arxiv,
+        Dataset::HumanEval,
+    ];
+    let mut specs = Vec::new();
+    for t in 0..rng.range_usize(1, 4) {
+        let kind = if rng.chance(0.5) {
+            SessionKind::Chat {
+                turns: rng.range_usize(2, 6),
+                think_mean_s: rng.range_f64(2.0, 60.0),
+            }
+        } else {
+            SessionKind::Agentic {
+                tools: rng.range_usize(1, 5),
+                tool_delay_s: rng.range_f64(0.5, 20.0),
+            }
+        };
+        specs.push(SessionSpec {
+            tenant: hack_workload::trace::TenantId(t as u32),
+            kind,
+            sessions: rng.range_usize(2, 6),
+            rps: rng.range_f64(0.02, 0.2),
+            dataset: datasets[rng.range_usize(0, datasets.len())],
+            max_context: ModelKind::Llama31_70B.spec().max_context,
+            seed: rng.next_u64(),
+        });
+    }
+    let mut trace = SessionTrace::new(specs);
+    if rng.chance(0.5) {
+        // Independent background requests interleaved into the same stream.
+        trace = trace.with_background(
+            hack_workload::trace::TraceGenerator::new(TraceConfig {
+                dataset: datasets[rng.range_usize(0, datasets.len())],
+                rps: rng.range_f64(0.05, 0.3),
+                num_requests: rng.range_usize(3, 10),
+                max_context: ModelKind::Llama31_70B.spec().max_context,
+                seed: rng.next_u64(),
+            })
+            .generate(),
+        );
+    }
+    let requests = Arc::new(trace.generate());
+    let mut config = random_sim_config(rng);
+    config.faults = FaultPlan::none(); // keep every request completable
+    config.trace.num_requests = requests.len();
+    if rng.chance(0.5) {
+        config.cache = CacheConfig::with_capacity_fraction(rng.range_f64(0.1, 1.0));
+    }
+    if rng.chance(0.5) {
+        config.policy.dispatch = hack_cluster::DispatchPolicyKind::SessionAffinity;
+    }
+    (config, requests)
+}
+
+#[test]
+fn session_children_never_start_before_their_parent_completes() {
+    for case in 0..8 {
+        let mut rng = DetRng::new(23_000 + case);
+        let (config, requests) = random_session_workload(&mut rng);
+        let result = Simulator::with_requests(config, requests.clone()).run();
+        assert_conserved(&result, requests.len(), &format!("case {case}"));
+
+        let mut finish = vec![f64::NAN; requests.len()];
+        for r in &result.records {
+            finish[r.request.id as usize] = r.finish_time;
+        }
+        for r in &result.records {
+            let Some(parent) = r.request.parent else {
+                continue;
+            };
+            let parent_finish = finish[parent as usize];
+            assert!(
+                parent_finish.is_finite(),
+                "case {case}: request {} completed but its parent {parent} did not",
+                r.request.id
+            );
+            // Dispatch to prefill happens at nominal arrival plus queueing
+            // wait; gating must hold it past the parent's completion.
+            let started = r.request.arrival + r.breakdown.queueing;
+            assert!(
+                started >= parent_finish - 1e-9,
+                "case {case}: request {} started at {started} before parent {parent} \
+                 finished at {parent_finish}",
+                r.request.id
+            );
+        }
+    }
+}
+
+#[test]
+fn session_conservation_holds_across_engines_and_cost_modes() {
+    for case in 0..6 {
+        let mut rng = DetRng::new(24_000 + case);
+        let (config, requests) = random_session_workload(&mut rng);
+        let slab =
+            Simulator::with_requests(config, requests.clone()).run_with_mode(EngineMode::Slab);
+        let boxed =
+            Simulator::with_requests(config, requests.clone()).run_with_mode(EngineMode::Boxed);
+        assert_eq!(
+            slab, boxed,
+            "case {case}: engine divergence on session DAGs"
+        );
+        let reference =
+            Simulator::with_requests(config, requests.clone()).run_with_costs(CostMode::Reference);
+        assert_conserved(&slab, requests.len(), &format!("case {case} (table)"));
+        assert_conserved(
+            &reference,
+            requests.len(),
+            &format!("case {case} (reference)"),
+        );
+    }
+}
+
+#[test]
+fn cache_off_single_turn_sessions_match_independent_requests_exactly() {
+    // With the cache off and every session a single root (no parents, no
+    // shared prefixes), session tagging is inert metadata: the run must be
+    // bit-identical to the same trace with the tags stripped.
+    for case in 0..4 {
+        let mut rng = DetRng::new(25_000 + case);
+        let trace = SessionTrace::new(vec![SessionSpec {
+            tenant: hack_workload::trace::TenantId(0),
+            kind: SessionKind::Chat {
+                turns: 1,
+                think_mean_s: 10.0,
+            },
+            sessions: rng.range_usize(8, 20),
+            rps: rng.range_f64(0.05, 0.3),
+            dataset: [Dataset::Imdb, Dataset::Cocktail][rng.range_usize(0, 2)],
+            max_context: ModelKind::Llama31_70B.spec().max_context,
+            seed: rng.next_u64(),
+        }]);
+        let tagged = Arc::new(trace.generate());
+        assert!(tagged.iter().all(|r| r.parent.is_none()));
+        let stripped = Arc::new(
+            tagged
+                .iter()
+                .map(|r| hack_workload::Request {
+                    session: 0,
+                    shared_prefix_tokens: 0,
+                    ..*r
+                })
+                .collect::<Vec<_>>(),
+        );
+        let mut config = random_sim_config(&mut rng);
+        config.cache = CacheConfig::Off;
+        config.trace.num_requests = tagged.len();
+        let mut from_tagged = Simulator::with_requests(config, tagged).run();
+        let from_stripped = Simulator::with_requests(config, stripped).run();
+        // Records embed the generated request; normalize the inert tags away
+        // so `assert_eq!` compares every timing and cost field bit-for-bit.
+        for r in &mut from_tagged.records {
+            r.request.session = 0;
+            r.request.shared_prefix_tokens = 0;
+        }
+        assert_eq!(from_tagged, from_stripped, "case {case}");
     }
 }
